@@ -1,0 +1,67 @@
+//! DHT performance and the DHT-width ablation (DESIGN.md ablation #5):
+//! insert/query cost as the number of DHT cores (one per node in the
+//! paper) grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use insitu_cods::{var_id, Dht, LocationEntry};
+use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu_sfc::HilbertCurve;
+
+fn populated_dht(cores: u32) -> Dht {
+    let dht = Dht::new(Box::new(HilbertCurve::new(3, 7)), (0..cores).collect());
+    // 512 producer pieces blocked over 128^3.
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[128, 128, 128]),
+        ProcessGrid::new(&[8, 8, 8]),
+        Distribution::Blocked,
+    );
+    for r in 0..dec.num_ranks() {
+        let piece = dec.blocked_box(r).unwrap();
+        dht.insert(var_id("t"), 0, LocationEntry { bbox: piece, owner: r as u32, piece: 0 });
+    }
+    dht
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_insert");
+    for cores in [1u32, 4, 16, 48] {
+        let dht = Dht::new(Box::new(HilbertCurve::new(3, 7)), (0..cores).collect());
+        let piece = BoundingBox::new(&[16, 16, 16], &[31, 31, 31]);
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &dht, |b, dht| {
+            b.iter(|| {
+                dht.insert(
+                    var_id("t"),
+                    1,
+                    LocationEntry { bbox: black_box(piece), owner: 0, piece: 0 },
+                )
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_query_512pieces");
+    let query = BoundingBox::new(&[20, 20, 20], &[90, 90, 90]);
+    for cores in [1u32, 4, 16, 48] {
+        let dht = populated_dht(cores);
+        let (entries, consulted) = dht.query(var_id("t"), 0, &query);
+        eprintln!(
+            "[ablation_dht_width] {cores} cores: query touches {} cores, {} entries",
+            consulted.len(),
+            entries.len()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &dht, |b, dht| {
+            b.iter(|| dht.query(var_id("t"), 0, black_box(&query)).0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_query
+}
+criterion_main!(benches);

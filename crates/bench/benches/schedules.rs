@@ -1,0 +1,78 @@
+//! Communication-schedule computation and the schedule-cache ablation
+//! (DESIGN.md ablation #1): planning cost from a decomposition, and
+//! `get` planning cost with the cache on vs off — the win the paper
+//! attributes to schedule reuse across iterations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use insitu_cods::{schedule_from_decomposition, CodsConfig, CodsSpace, Dht};
+use insitu_dart::DartRuntime;
+use insitu_domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu_fabric::{MachineSpec, Placement, TransferLedger};
+use insitu_sfc::HilbertCurve;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_plan_from_decomposition(c: &mut Criterion) {
+    // The paper's CAP1 decomposition: 512 ranks, blocked over 1024^3.
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[1024, 1024, 1024]),
+        ProcessGrid::new(&[8, 8, 8]),
+        Distribution::Blocked,
+    );
+    let clients: Vec<u32> = (0..512).collect();
+    // One CAP2 task's 128 MB query region.
+    let query = BoundingBox::new(&[0, 0, 0], &[255, 255, 255]);
+    c.bench_function("schedule_from_decomposition_512ranks", |b| {
+        b.iter(|| schedule_from_decomposition(black_box(&dec), &clients, black_box(&query)).ops.len())
+    });
+}
+
+fn space_with_data(cache: bool) -> (Arc<CodsSpace>, Decomposition) {
+    let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(4, 4), 16));
+    let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+    let dht = Dht::new(Box::new(HilbertCurve::new(3, 5)), vec![0, 4, 8, 12]);
+    let space = CodsSpace::new(
+        dart,
+        dht,
+        CodsConfig {
+            get_timeout: Duration::from_secs(5),
+            cache_schedules: cache,
+            ..Default::default()
+        },
+    );
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[32, 32, 32]),
+        ProcessGrid::new(&[2, 2, 4]),
+        Distribution::Blocked,
+    );
+    for r in 0..16u64 {
+        let piece = dec.blocked_box(r).unwrap();
+        let data = layout::fill_with(&piece, |p| p[0] as f64 + p[1] as f64);
+        space.put_seq(r as u32, 1, "field", 0, 0, &piece, &data).unwrap();
+    }
+    (space, dec)
+}
+
+fn bench_get_seq_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_seq_32cubed");
+    group.sample_size(30);
+    for (name, cache) in [("cache_on", true), ("cache_off", false)] {
+        let (space, _dec) = space_with_data(cache);
+        let query = BoundingBox::new(&[5, 5, 5], &[26, 26, 26]);
+        // Warm the cache so cache_on measures the replay path.
+        let _ = space.get_seq(1, 2, "field", 0, &query).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| space.get_seq(1, 2, "field", 0, black_box(&query)).unwrap().0.len())
+        });
+        let (hits, misses) = space.cache().stats();
+        eprintln!("[ablation_schedule_cache] {name}: {hits} hits / {misses} misses");
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_plan_from_decomposition, bench_get_seq_cache
+}
+criterion_main!(benches);

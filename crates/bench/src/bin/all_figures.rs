@@ -1,0 +1,31 @@
+//! Run every evaluation figure in sequence and print the full report —
+//! the source of EXPERIMENTS.md's measured numbers.
+//!
+//! ```text
+//! cargo run --release -p insitu-bench --bin all_figures
+//! ```
+
+use insitu_bench::report;
+
+fn main() {
+    println!("=== Reproduction report: all evaluation figures ===");
+    println!("(modeled executor; ledger semantics verified byte-exact against the");
+    println!(" threaded executor by tests/integration_equivalence.rs)\n");
+    report::print_fig08();
+    println!();
+    report::print_fig09();
+    println!();
+    report::print_fig10();
+    println!();
+    report::print_fig11();
+    println!();
+    report::print_fig12();
+    println!();
+    report::print_fig13();
+    println!();
+    report::print_fig14();
+    println!();
+    report::print_fig15();
+    println!();
+    report::print_fig16();
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's Figure 16 at its evaluation configuration.
+//! See `insitu_bench::report` for what is printed.
+
+fn main() {
+    insitu_bench::report::print_fig16();
+}

@@ -1,0 +1,477 @@
+//! Drivers for every evaluation figure.
+//!
+//! Each `figNN_*` function runs the paper's configuration (or a scaled
+//! version for quick runs) through the modeled executor and returns
+//! structured rows; the `src/bin/figNN` binaries print them.
+
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_modeled, sequential_scenario, MappingStrategy,
+    PatternPair, Scenario,
+};
+use insitu_fabric::{Locality, TrafficClass};
+use insitu_workflow::fanout_per_consumer;
+
+/// The block-cyclic block size used throughout the experiments (32^3
+/// blocks of the 128^3 per-task regions).
+pub const PAPER_BLOCK: [u64; 3] = [32, 32, 32];
+
+/// The two mapping strategies every figure compares.
+pub const STRATEGIES: [MappingStrategy; 2] =
+    [MappingStrategy::RoundRobin, MappingStrategy::DataCentric];
+
+/// Scaled experiment size. `factor = 1` is the paper's configuration
+/// (CAP1/CAP2 = 512/64, SAP1/(SAP2+SAP3) = 512/(128+384), 128^3 regions);
+/// smaller factors shrink task counts and regions for quick runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Size {
+    /// Producer tasks (CAP1 / SAP1).
+    pub prod: u64,
+    /// First consumer tasks (CAP2 / SAP2).
+    pub cons1: u64,
+    /// Second consumer tasks (SAP3, sequential only).
+    pub cons2: u64,
+    /// Per-producer-task region side.
+    pub region: u64,
+    /// Block-cyclic block side.
+    pub block: u64,
+}
+
+impl Size {
+    /// The paper's evaluation size.
+    pub fn paper() -> Self {
+        Size { prod: 512, cons1: 64, cons2: 384, region: 128, block: 32 }
+    }
+
+    /// Paper sequential consumer split (SAP2=128, SAP3=384).
+    pub fn paper_sequential() -> Self {
+        Size { prod: 512, cons1: 128, cons2: 384, region: 128, block: 32 }
+    }
+
+    /// A miniature for unit tests and criterion benches.
+    pub fn mini() -> Self {
+        Size { prod: 64, cons1: 8, cons2: 24, region: 16, block: 8 }
+    }
+
+    fn block3(&self) -> [u64; 3] {
+        [self.block; 3]
+    }
+
+    /// The figure-8/11-style concurrent scenario at this size.
+    pub fn concurrent(&self, pattern: PatternPair) -> Scenario {
+        concurrent_scenario(self.prod, self.cons1, self.region, pattern)
+    }
+
+    /// The figure-9/11-style sequential scenario at this size.
+    pub fn sequential(&self, pattern: PatternPair) -> Scenario {
+        sequential_scenario(self.prod, self.cons1, self.cons2, self.region, pattern)
+    }
+
+    /// The pattern pairs swept at this size.
+    pub fn patterns(&self) -> Vec<PatternPair> {
+        pattern_pairs(&self.block3())
+    }
+}
+
+/// One row of Figs. 8/9: coupled bytes over the network per pattern and
+/// strategy.
+#[derive(Clone, Debug)]
+pub struct CouplingRow {
+    /// Pattern pair label.
+    pub pattern: String,
+    /// Mapping strategy label.
+    pub strategy: &'static str,
+    /// Coupled bytes that crossed the network.
+    pub network_bytes: u64,
+    /// Coupled bytes served in-situ via shared memory.
+    pub shm_bytes: u64,
+}
+
+fn coupling_rows(mk: impl Fn(PatternPair) -> Scenario, patterns: &[PatternPair]) -> Vec<CouplingRow> {
+    let mut rows = Vec::new();
+    for &pattern in patterns {
+        let scenario = mk(pattern);
+        for strategy in STRATEGIES {
+            let o = run_modeled(&scenario, strategy);
+            rows.push(CouplingRow {
+                pattern: pattern.label(),
+                strategy: strategy.label(),
+                network_bytes: o.ledger.network_bytes(TrafficClass::InterApp),
+                shm_bytes: o.ledger.shm_bytes(TrafficClass::InterApp),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 8: concurrent coupling, coupled data over the network by pattern
+/// pair and strategy.
+pub fn fig08(size: Size) -> Vec<CouplingRow> {
+    coupling_rows(|p| size.concurrent(p), &size.patterns())
+}
+
+/// Fig. 9: sequential coupling, same metric.
+pub fn fig09(size: Size) -> Vec<CouplingRow> {
+    coupling_rows(|p| size.sequential(p), &size.patterns())
+}
+
+/// One row of Fig. 10: fan-out of the coupling under a pattern pair.
+#[derive(Clone, Debug)]
+pub struct FanoutRow {
+    /// Pattern pair label.
+    pub pattern: String,
+    /// Mean producers contacted per consumer task.
+    pub avg_fanout: f64,
+    /// Worst-case producers contacted by one consumer task.
+    pub max_fanout: u32,
+}
+
+/// Fig. 10 (quantified): how many producer tasks each consumer task must
+/// contact — the mismatched-distribution pathology.
+pub fn fig10(size: Size) -> Vec<FanoutRow> {
+    let mut rows = Vec::new();
+    for pattern in size.patterns() {
+        let s = size.concurrent(pattern);
+        let fan = fanout_per_consumer(s.decomposition(1), s.decomposition(2));
+        let max = fan.iter().copied().max().unwrap_or(0);
+        let avg = fan.iter().map(|&f| f as f64).sum::<f64>() / fan.len() as f64;
+        rows.push(FanoutRow { pattern: pattern.label(), avg_fanout: avg, max_fanout: max });
+    }
+    rows
+}
+
+/// One row of Fig. 11 / Fig. 16: a consumer application's retrieve time.
+#[derive(Clone, Debug)]
+pub struct RetrieveRow {
+    /// Application label (CAP2, SAP2, SAP3).
+    pub app: String,
+    /// Mapping strategy label.
+    pub strategy: &'static str,
+    /// Producer task count of the run (weak-scaling x-axis).
+    pub producer_tasks: u64,
+    /// Estimated retrieve time, milliseconds.
+    pub ms: f64,
+}
+
+/// Fig. 11: time to retrieve coupled data for CAP2, SAP2 and SAP3 under
+/// both strategies (matched blocked/blocked pattern).
+///
+/// Uses the same partially-aligned consumer grids as [`fig16`] (factor 1):
+/// perfectly aligned couplings retrieve ~100% on-node and would show
+/// *zero* network time, contradicting the paper's own contention
+/// discussion — see EXPERIMENTS.md's reproduction notes.
+pub fn fig11(size: Size, seq_size: Size) -> Vec<RetrieveRow> {
+    use insitu::{concurrent_scenario_with_grids, sequential_scenario_with_grids};
+    let pattern = size.patterns()[0];
+    // Scale the fig16 family down proportionally to the requested size.
+    let f = (size.prod / 512).max(1);
+    let (conc, seq) = if size.prod >= 512 {
+        (
+            concurrent_scenario_with_grids(&[8 * f, 8, 8], &[4 * f, 4, 4], size.region, pattern),
+            sequential_scenario_with_grids(
+                &[8 * f, 8, 8],
+                &[4 * f, 4, 8],
+                &[4 * f, 8, 12],
+                seq_size.region,
+                pattern,
+            ),
+        )
+    } else {
+        (size.concurrent(pattern), seq_size.sequential(pattern))
+    };
+    let mut rows = Vec::new();
+    for strategy in STRATEGIES {
+        let cap = run_modeled(&conc, strategy);
+        rows.push(RetrieveRow {
+            app: "CAP2".into(),
+            strategy: strategy.label(),
+            producer_tasks: size.prod,
+            ms: cap.retrieve_ms_mean[&2],
+        });
+        let sap = run_modeled(&seq, strategy);
+        for (app, label) in [(2u32, "SAP2"), (3u32, "SAP3")] {
+            rows.push(RetrieveRow {
+                app: label.into(),
+                strategy: strategy.label(),
+                producer_tasks: seq_size.prod,
+                ms: sap.retrieve_ms_mean[&app],
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Figs. 12/13: an application's intra-app bytes over the
+/// network.
+#[derive(Clone, Debug)]
+pub struct IntraAppRow {
+    /// Application label.
+    pub app: String,
+    /// Mapping strategy label.
+    pub strategy: &'static str,
+    /// Intra-application (stencil) bytes that crossed the network.
+    pub network_bytes: u64,
+}
+
+fn intra_rows(scenario: &Scenario, labels: &[(u32, &str)]) -> Vec<IntraAppRow> {
+    let mut rows = Vec::new();
+    for strategy in STRATEGIES {
+        let o = run_modeled(scenario, strategy);
+        for &(app, label) in labels {
+            rows.push(IntraAppRow {
+                app: label.into(),
+                strategy: strategy.label(),
+                network_bytes: o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::Network),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 12: concurrent scenario, per-app intra-application network bytes.
+pub fn fig12(size: Size) -> Vec<IntraAppRow> {
+    let s = size.concurrent(size.patterns()[0]);
+    intra_rows(&s, &[(1, "CAP1"), (2, "CAP2")])
+}
+
+/// Fig. 13: sequential scenario, per-app intra-application network bytes.
+pub fn fig13(size: Size) -> Vec<IntraAppRow> {
+    let s = size.sequential(size.patterns()[0]);
+    intra_rows(&s, &[(1, "SAP1"), (2, "SAP2"), (3, "SAP3")])
+}
+
+/// One row of Figs. 14/15: the total communication-cost breakdown.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Mapping strategy label.
+    pub strategy: &'static str,
+    /// Inter-application coupled bytes over the network.
+    pub inter_app_net: u64,
+    /// Intra-application stencil bytes over the network.
+    pub intra_app_net: u64,
+}
+
+fn breakdown(scenario: &Scenario) -> Vec<BreakdownRow> {
+    STRATEGIES
+        .iter()
+        .map(|&strategy| {
+            let o = run_modeled(scenario, strategy);
+            BreakdownRow {
+                strategy: strategy.label(),
+                inter_app_net: o.ledger.network_bytes(TrafficClass::InterApp),
+                intra_app_net: o.ledger.network_bytes(TrafficClass::IntraApp),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 14: concurrent scenario total network cost breakdown.
+pub fn fig14(size: Size) -> Vec<BreakdownRow> {
+    breakdown(&size.concurrent(size.patterns()[0]))
+}
+
+/// Fig. 15: sequential scenario total network cost breakdown.
+pub fn fig15(size: Size) -> Vec<BreakdownRow> {
+    breakdown(&size.sequential(size.patterns()[0]))
+}
+
+/// Fig. 16: weak scaling of retrieve time under data-centric mapping.
+/// `factors` multiply the paper's base task counts (1, 2, 4, 8, 16 in the
+/// paper: 512/64 up to 8192/1024 concurrent; 512/(128+384) up to
+/// 8192/(2048+6144) sequential).
+///
+/// The decomposition *family* is held fixed while one grid dimension
+/// grows (producer `[8f, 8, 8]`; consumers `[4f, 4, 4]`, `[4f, 4, 8]`,
+/// `[4f, 8, 12]`), so per-task geometry — and therefore per-task
+/// locality — is scale-invariant and the only growing effect is
+/// interconnect contention, which is what the figure plots. The consumer
+/// grids are deliberately only partially aligned with the producer:
+/// each consumer task pulls a minority of its data from non-adjacent
+/// nodes, the regime the paper's observed contention growth implies
+/// (perfectly aligned couplings pull only from on-node or adjacent
+/// sources and show no contention at any scale). Times are task means
+/// (retrieves run concurrently; the mean tracks contention without being
+/// dominated by one straggler).
+pub fn fig16(factors: &[u64], base_region: u64) -> Vec<RetrieveRow> {
+    use insitu::{concurrent_scenario_with_grids, sequential_scenario_with_grids};
+    let pattern = pattern_pairs(&[32, 32, 32])[0];
+    let mut rows = Vec::new();
+    for &f in factors {
+        let conc =
+            concurrent_scenario_with_grids(&[8 * f, 8, 8], &[4 * f, 4, 4], base_region, pattern);
+        let o = run_modeled(&conc, MappingStrategy::DataCentric);
+        rows.push(RetrieveRow {
+            app: "CAP2".into(),
+            strategy: "data-centric",
+            producer_tasks: 512 * f,
+            ms: o.retrieve_ms_mean[&2],
+        });
+        let seq = sequential_scenario_with_grids(
+            &[8 * f, 8, 8],
+            &[4 * f, 4, 8],
+            &[4 * f, 8, 12],
+            base_region,
+            pattern,
+        );
+        let o = run_modeled(&seq, MappingStrategy::DataCentric);
+        for (app, label) in [(2u32, "SAP2"), (3u32, "SAP3")] {
+            rows.push(RetrieveRow {
+                app: label.into(),
+                strategy: "data-centric",
+                producer_tasks: 512 * f,
+                ms: o.retrieve_ms_mean[&app],
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_mini_shapes() {
+        let rows = fig08(Size::mini());
+        assert_eq!(rows.len(), 10); // 5 patterns x 2 strategies
+        // Matched pattern: data-centric well below round-robin.
+        let rr = &rows[0];
+        let dc = &rows[1];
+        assert_eq!(rr.strategy, "round-robin");
+        assert!(dc.network_bytes < rr.network_bytes);
+        // Volume conservation per pattern.
+        for pair in rows.chunks(2) {
+            assert_eq!(
+                pair[0].network_bytes + pair[0].shm_bytes,
+                pair[1].network_bytes + pair[1].shm_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn fig09_mini_shapes() {
+        let rows = fig09(Size::mini());
+        assert_eq!(rows.len(), 10);
+        assert!(rows[1].network_bytes < rows[0].network_bytes);
+    }
+
+    #[test]
+    fn fig10_mismatched_fanout_explodes() {
+        let rows = fig10(Size::mini());
+        // blocked/blocked has fan-out l; blocked/cyclic touches everyone.
+        assert!(rows[0].avg_fanout <= rows[4].avg_fanout);
+        assert!(rows[4].max_fanout as u64 >= Size::mini().prod / 2);
+    }
+
+    #[test]
+    fn fig11_mini_orders() {
+        let rows = fig11(Size::mini(), Size::mini());
+        assert_eq!(rows.len(), 6);
+        // Data-centric faster than round-robin for each app.
+        for app in ["CAP2", "SAP2", "SAP3"] {
+            let rr = rows.iter().find(|r| r.app == app && r.strategy == "round-robin").unwrap();
+            let dc = rows.iter().find(|r| r.app == app && r.strategy == "data-centric").unwrap();
+            assert!(dc.ms < rr.ms, "{app}: dc {} >= rr {}", dc.ms, rr.ms);
+        }
+    }
+
+    #[test]
+    fn fig12_consumer_halo_grows() {
+        let rows = fig12(Size::mini());
+        let rr = rows.iter().find(|r| r.app == "CAP2" && r.strategy == "round-robin").unwrap();
+        let dc = rows.iter().find(|r| r.app == "CAP2" && r.strategy == "data-centric").unwrap();
+        assert!(dc.network_bytes >= rr.network_bytes);
+    }
+
+    #[test]
+    fn fig14_coupling_dominates_round_robin() {
+        let rows = fig14(Size::mini());
+        let rr = &rows[0];
+        assert!(rr.inter_app_net > rr.intra_app_net);
+        let dc = &rows[1];
+        assert!(dc.inter_app_net + dc.intra_app_net < rr.inter_app_net + rr.intra_app_net);
+    }
+
+    #[test]
+    fn fig16_times_grow_gently() {
+        let rows = fig16(&[1, 2], 16);
+        let cap_small = rows.iter().find(|r| r.app == "CAP2" && r.producer_tasks == 512).unwrap();
+        let cap_big = rows.iter().find(|r| r.app == "CAP2" && r.producer_tasks == 1024).unwrap();
+        assert!(cap_big.ms >= cap_small.ms * 0.5, "time should not collapse");
+    }
+}
+
+/// One row of the extra file-baseline experiment.
+#[derive(Clone, Debug)]
+pub struct FileBaselineRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Coupled bytes per iteration.
+    pub bytes: u64,
+    /// In-memory (CoDS, data-centric) retrieve completion, ms.
+    pub memory_ms: f64,
+    /// File-based coupling round (write + read through the parallel
+    /// filesystem), ms.
+    pub file_ms: f64,
+}
+
+/// Extra experiment (paper §VI Related Work, quantified): CoDS in-memory
+/// coupling vs the file-based coupling of conventional workflow systems,
+/// at the paper's configurations.
+pub fn extra_file_baseline(size: Size, seq_size: Size) -> Vec<FileBaselineRow> {
+    use insitu_fabric::{estimate_file_coupling_time, FilesystemModel};
+    let fs = FilesystemModel::jaguar_spider();
+    let pattern = size.patterns()[0];
+    let mut rows = Vec::new();
+
+    let conc = size.concurrent(pattern);
+    let o = run_modeled(&conc, MappingStrategy::DataCentric);
+    let bytes = o.ledger.total_bytes(insitu_fabric::TrafficClass::InterApp);
+    rows.push(FileBaselineRow {
+        scenario: format!("concurrent {}/{}", size.prod, size.cons1),
+        bytes,
+        memory_ms: o.retrieve_ms.values().fold(0.0f64, |a, &b| a.max(b)),
+        file_ms: estimate_file_coupling_time(
+            &fs,
+            bytes,
+            size.prod as u32,
+            bytes,
+            size.cons1 as u32,
+        ),
+    });
+
+    let seq = seq_size.sequential(pattern);
+    let o = run_modeled(&seq, MappingStrategy::DataCentric);
+    let bytes = o.ledger.total_bytes(insitu_fabric::TrafficClass::InterApp);
+    // Producers write once; the written volume is half the redistributed
+    // volume (two consumers read everything).
+    rows.push(FileBaselineRow {
+        scenario: format!(
+            "sequential {}/({}+{})",
+            seq_size.prod, seq_size.cons1, seq_size.cons2
+        ),
+        bytes,
+        memory_ms: o.retrieve_ms.values().fold(0.0f64, |a, &b| a.max(b)),
+        file_ms: estimate_file_coupling_time(
+            &fs,
+            bytes / 2,
+            seq_size.prod as u32,
+            bytes,
+            (seq_size.cons1 + seq_size.cons2) as u32,
+        ),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn file_baseline_penalizes_files() {
+        let rows = extra_file_baseline(Size::mini(), Size::mini());
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(r.file_ms > r.memory_ms, "{}: file {} <= mem {}", r.scenario, r.file_ms, r.memory_ms);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the paper's evaluation section.
+//!
+//! Every figure of the evaluation (Figs. 8–16) has a binary in
+//! `src/bin/` that regenerates its rows/series by running the modeled
+//! executor on the paper's configurations. This library holds the shared
+//! experiment drivers so the binaries, the `all_figures` report generator
+//! and the criterion benches use identical code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,333 @@
+//! Workload configuration file parsing.
+
+use insitu::CouplingSpec;
+use insitu_domain::Distribution;
+
+/// Per-application workload settings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppConfig {
+    /// Application id (must match an `APP_ID` of the DAG file).
+    pub id: u32,
+    /// Process grid over the shared domain.
+    pub grid: Vec<u64>,
+    /// Data distribution.
+    pub dist: Distribution,
+}
+
+/// A parsed workload configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Cores per compute node.
+    pub cores_per_node: u32,
+    /// Shared data domain sizes.
+    pub domain: Vec<u64>,
+    /// Stencil halo width.
+    pub halo: u64,
+    /// Coupling iterations.
+    pub iterations: u64,
+    /// Per-app settings.
+    pub apps: Vec<AppConfig>,
+    /// Couplings.
+    pub couplings: Vec<CouplingSpec>,
+}
+
+/// A configuration parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn parse_u64s(toks: &[&str], line: usize) -> Result<Vec<u64>, ConfigError> {
+    toks.iter()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|_| ConfigError { line, message: format!("invalid number '{t}'") })
+        })
+        .collect()
+}
+
+/// Parse a workload configuration file.
+pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
+    let mut cores_per_node = 12u32;
+    let mut domain: Option<Vec<u64>> = None;
+    let mut halo = 1u64;
+    let mut iterations = 1u64;
+    let mut apps: Vec<AppConfig> = Vec::new();
+    let mut couplings: Vec<CouplingSpec> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let err = |m: String| ConfigError { line, message: m };
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        match toks[0] {
+            "CORES_PER_NODE" => {
+                cores_per_node = toks
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("CORES_PER_NODE needs a positive integer".into()))?;
+            }
+            "DOMAIN" => {
+                let sizes = parse_u64s(&toks[1..], line)?;
+                if sizes.is_empty() || sizes.len() > 4 {
+                    return Err(err("DOMAIN needs 1-4 sizes".into()));
+                }
+                domain = Some(sizes);
+            }
+            "HALO" => {
+                halo = parse_u64s(&toks[1..], line)?
+                    .first()
+                    .copied()
+                    .ok_or_else(|| err("HALO needs a width".into()))?;
+            }
+            "ITERATIONS" => {
+                iterations = parse_u64s(&toks[1..], line)?
+                    .first()
+                    .copied()
+                    .filter(|&i| i >= 1)
+                    .ok_or_else(|| err("ITERATIONS needs a positive count".into()))?;
+            }
+            "APP" => {
+                // APP <id> GRID g1.. DIST <blocked|cyclic|block-cyclic [b..]>
+                let id = toks
+                    .get(1)
+                    .and_then(|t| t.parse::<u32>().ok())
+                    .ok_or_else(|| err("APP needs an id".into()))?;
+                let grid_pos = toks
+                    .iter()
+                    .position(|&t| t == "GRID")
+                    .ok_or_else(|| err("APP needs GRID".into()))?;
+                let dist_pos = toks
+                    .iter()
+                    .position(|&t| t == "DIST")
+                    .ok_or_else(|| err("APP needs DIST".into()))?;
+                if dist_pos < grid_pos {
+                    return Err(err("GRID must precede DIST".into()));
+                }
+                let grid = parse_u64s(&toks[grid_pos + 1..dist_pos], line)?;
+                if grid.is_empty() {
+                    return Err(err("GRID needs at least one dimension".into()));
+                }
+                let dist = match toks.get(dist_pos + 1) {
+                    Some(&"blocked") => Distribution::Blocked,
+                    Some(&"cyclic") => Distribution::Cyclic,
+                    Some(&"block-cyclic") => {
+                        let blocks = parse_u64s(&toks[dist_pos + 2..], line)?;
+                        if blocks.len() != grid.len() {
+                            return Err(err(
+                                "block-cyclic needs one block size per dimension".into(),
+                            ));
+                        }
+                        Distribution::block_cyclic(&blocks)
+                    }
+                    other => {
+                        return Err(err(format!("unknown distribution {other:?}")));
+                    }
+                };
+                if apps.iter().any(|a| a.id == id) {
+                    return Err(err(format!("app {id} configured twice")));
+                }
+                apps.push(AppConfig { id, grid, dist });
+            }
+            "COUPLING" => {
+                // COUPLING VAR <name> PRODUCER <id> CONSUMERS <id..>
+                //          MODE <concurrent|sequential>
+                //          [REGION lb.. UB ub..]
+                let find = |key: &str| toks.iter().position(|&t| t == key);
+                let var_pos = find("VAR").ok_or_else(|| err("COUPLING needs VAR".into()))?;
+                let prod_pos =
+                    find("PRODUCER").ok_or_else(|| err("COUPLING needs PRODUCER".into()))?;
+                let cons_pos =
+                    find("CONSUMERS").ok_or_else(|| err("COUPLING needs CONSUMERS".into()))?;
+                let mode_pos = find("MODE").ok_or_else(|| err("COUPLING needs MODE".into()))?;
+                let var = toks
+                    .get(var_pos + 1)
+                    .ok_or_else(|| err("VAR needs a name".into()))?
+                    .to_string();
+                let producer_app = toks
+                    .get(prod_pos + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("PRODUCER needs an id".into()))?;
+                let consumer_apps: Vec<u32> = toks[cons_pos + 1..mode_pos]
+                    .iter()
+                    .map(|t| {
+                        t.parse::<u32>()
+                            .map_err(|_| err(format!("invalid consumer id '{t}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if consumer_apps.is_empty() {
+                    return Err(err("CONSUMERS needs at least one id".into()));
+                }
+                let concurrent = match toks.get(mode_pos + 1) {
+                    Some(&"concurrent") => true,
+                    Some(&"sequential") => false,
+                    other => return Err(err(format!("unknown MODE {other:?}"))),
+                };
+                let region = match find("REGION") {
+                    None => None,
+                    Some(rp) => {
+                        let ub_pos = find("UB")
+                            .ok_or_else(|| err("REGION needs a matching UB".into()))?;
+                        let lb = parse_u64s(&toks[rp + 1..ub_pos], line)?;
+                        let ub = parse_u64s(&toks[ub_pos + 1..], line)?;
+                        if lb.is_empty() || lb.len() != ub.len() {
+                            return Err(err("REGION lb/ub rank mismatch".into()));
+                        }
+                        Some(insitu_domain::BoundingBox::new(&lb, &ub))
+                    }
+                };
+                couplings.push(CouplingSpec {
+                    var,
+                    producer_app,
+                    consumer_apps,
+                    concurrent,
+                    region,
+                });
+            }
+            other => return Err(ConfigError {
+                line,
+                message: format!("unknown directive '{other}'"),
+            }),
+        }
+    }
+
+    let domain = domain.ok_or(ConfigError { line: 0, message: "missing DOMAIN".into() })?;
+    for a in &apps {
+        if a.grid.len() != domain.len() {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("app {} grid rank differs from DOMAIN", a.id),
+            });
+        }
+    }
+    Ok(WorkloadConfig { cores_per_node, domain, halo, iterations, apps, couplings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo
+CORES_PER_NODE 4
+DOMAIN 16 16 16
+HALO 2
+ITERATIONS 3
+APP 1 GRID 2 2 2 DIST blocked
+APP 2 GRID 4 1 1 DIST block-cyclic 4 8 8
+COUPLING VAR temperature PRODUCER 1 CONSUMERS 2 MODE concurrent
+";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse_config(SAMPLE).unwrap();
+        assert_eq!(c.cores_per_node, 4);
+        assert_eq!(c.domain, vec![16, 16, 16]);
+        assert_eq!(c.halo, 2);
+        assert_eq!(c.iterations, 3);
+        assert_eq!(c.apps.len(), 2);
+        assert_eq!(c.apps[0].dist, Distribution::Blocked);
+        assert!(matches!(c.apps[1].dist, Distribution::BlockCyclic(_)));
+        assert_eq!(c.couplings.len(), 1);
+        assert!(c.couplings[0].concurrent);
+        assert_eq!(c.couplings[0].consumer_apps, vec![2]);
+    }
+
+    #[test]
+    fn coupling_region_parsed() {
+        let c = parse_config(
+            "DOMAIN 16 16\nAPP 1 GRID 2 2 DIST blocked\nAPP 2 GRID 2 2 DIST blocked\nCOUPLING VAR f PRODUCER 1 CONSUMERS 2 MODE concurrent REGION 0 0 UB 15 1\n",
+        )
+        .unwrap();
+        let r = c.couplings[0].region.unwrap();
+        assert_eq!(r, insitu_domain::BoundingBox::new(&[0, 0], &[15, 1]));
+    }
+
+    #[test]
+    fn coupling_region_requires_ub() {
+        let err = parse_config(
+            "DOMAIN 16 16\nAPP 1 GRID 2 2 DIST blocked\nCOUPLING VAR f PRODUCER 1 CONSUMERS 1 MODE concurrent REGION 0 0\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("UB"));
+    }
+
+    #[test]
+    fn sequential_mode_and_multiple_consumers() {
+        let c = parse_config(
+            "DOMAIN 8 8\nAPP 1 GRID 2 2 DIST blocked\nAPP 2 GRID 2 1 DIST cyclic\nAPP 3 GRID 1 2 DIST cyclic\nCOUPLING VAR v PRODUCER 1 CONSUMERS 2 3 MODE sequential\n",
+        )
+        .unwrap();
+        assert!(!c.couplings[0].concurrent);
+        assert_eq!(c.couplings[0].consumer_apps, vec![2, 3]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let c = parse_config("DOMAIN 8 8\n").unwrap();
+        assert_eq!(c.cores_per_node, 12);
+        assert_eq!(c.halo, 1);
+        assert_eq!(c.iterations, 1);
+    }
+
+    #[test]
+    fn missing_domain_rejected() {
+        let err = parse_config("CORES_PER_NODE 4\n").unwrap_err();
+        assert!(err.message.contains("DOMAIN"));
+    }
+
+    #[test]
+    fn grid_rank_mismatch_rejected() {
+        let err =
+            parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 2 DIST blocked\n").unwrap_err();
+        assert!(err.message.contains("grid rank"));
+    }
+
+    #[test]
+    fn duplicate_app_rejected() {
+        let err = parse_config(
+            "DOMAIN 8 8\nAPP 1 GRID 2 2 DIST blocked\nAPP 1 GRID 2 2 DIST blocked\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn bad_distribution_rejected() {
+        let err = parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 DIST wavy\n").unwrap_err();
+        assert!(err.message.contains("unknown distribution"));
+    }
+
+    #[test]
+    fn block_cyclic_needs_blocks_per_dim() {
+        let err =
+            parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 DIST block-cyclic 4\n").unwrap_err();
+        assert!(err.message.contains("one block size per dimension"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_config("DOMAIN 8 8\nNONSENSE\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse_config("# hi\n\nDOMAIN 4 4  # inline\n").unwrap();
+        assert_eq!(c.domain, vec![4, 4]);
+    }
+}

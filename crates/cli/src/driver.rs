@@ -1,0 +1,246 @@
+//! Scenario assembly and execution for the command-line driver.
+
+use crate::config::{parse_config, ConfigError, WorkloadConfig};
+use insitu::{run_modeled, run_threaded, MappingStrategy, Scenario};
+use insitu_domain::{BoundingBox, Decomposition, ProcessGrid};
+use insitu_fabric::{NetworkModel, TrafficClass};
+use insitu_workflow::{parse_dag, ParseError};
+
+/// Command-line options (already parsed from `argv`).
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// DAG description file contents.
+    pub dag: String,
+    /// Workload configuration file contents.
+    pub config: String,
+    /// Mapping strategy.
+    pub strategy: MappingStrategy,
+    /// `true` = threaded executor (real data), `false` = modeled.
+    pub threaded: bool,
+}
+
+/// Driver failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// DAG file problem.
+    Dag(ParseError),
+    /// Config file problem.
+    Config(ConfigError),
+    /// Structural mismatch between the two files.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Dag(e) => write!(f, "DAG file: {e}"),
+            CliError::Config(e) => write!(f, "{e}"),
+            CliError::Mismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Assemble a [`Scenario`] from the two parsed files.
+pub fn build_scenario(dag: &str, config: &str) -> Result<Scenario, CliError> {
+    let mut workflow = parse_dag(dag).map_err(CliError::Dag)?;
+    let cfg: WorkloadConfig = parse_config(config).map_err(CliError::Config)?;
+    let domain = BoundingBox::from_sizes(&cfg.domain);
+    for app in &mut workflow.apps {
+        let ac = cfg
+            .apps
+            .iter()
+            .find(|a| a.id == app.id)
+            .ok_or_else(|| CliError::Mismatch(format!("app {} has no APP config", app.id)))?;
+        let dec = Decomposition::new(domain, ProcessGrid::new(&ac.grid), ac.dist);
+        app.ntasks = dec.num_ranks() as u32;
+        app.decomposition = Some(dec);
+    }
+    for c in &cfg.couplings {
+        for id in std::iter::once(c.producer_app).chain(c.consumer_apps.iter().copied()) {
+            if workflow.app(id).is_none() {
+                return Err(CliError::Mismatch(format!(
+                    "coupling '{}' references app {id} not in the DAG",
+                    c.var
+                )));
+            }
+        }
+    }
+    let scenario = Scenario {
+        name: "cli workflow".into(),
+        cores_per_node: cfg.cores_per_node,
+        workflow,
+        couplings: cfg.couplings,
+        halo: cfg.halo,
+        elem_bytes: 8,
+        model: NetworkModel::jaguar(),
+        iterations: cfg.iterations,
+    };
+    scenario
+        .workflow
+        .validate()
+        .map_err(|e| CliError::Mismatch(format!("invalid workflow: {e}")))?;
+    Ok(scenario)
+}
+
+/// Run the workflow under *both* mapping strategies (modeled executor)
+/// and return a side-by-side comparison — the quickest way to see what
+/// in-situ placement buys a given workflow.
+pub fn compare(dag: &str, config: &str) -> Result<String, CliError> {
+    let scenario = build_scenario(dag, config)?;
+    let rr = run_modeled(&scenario, MappingStrategy::RoundRobin);
+    let dc = run_modeled(&scenario, MappingStrategy::DataCentric);
+    let mut out = String::new();
+    let net = |o: &insitu::ModeledOutcome| o.ledger.network_bytes(TrafficClass::InterApp);
+    let total = rr.ledger.total_bytes(TrafficClass::InterApp);
+    out.push_str(&format!("coupled data:        {total} B per iteration\n"));
+    out.push_str(&format!(
+        "over network:        round-robin {} B | data-centric {} B\n",
+        net(&rr),
+        net(&dc)
+    ));
+    if net(&rr) > 0 {
+        out.push_str(&format!(
+            "network reduction:   {:.1}%\n",
+            100.0 * (1.0 - net(&dc) as f64 / net(&rr) as f64)
+        ));
+    }
+    for (app, ms) in &rr.retrieve_ms {
+        let dc_ms = dc.retrieve_ms.get(app).copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "retrieve (app {app}):    round-robin {ms:.2} ms | data-centric {dc_ms:.2} ms\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Run per `options` and return the printable report.
+pub fn run(options: &Options) -> Result<String, CliError> {
+    let scenario = build_scenario(&options.dag, &options.config)?;
+    let mut out = String::new();
+    let push = |out: &mut String, s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    push(&mut out, format!("strategy:  {}", options.strategy.label()));
+    push(
+        &mut out,
+        format!("executor:  {}", if options.threaded { "threaded" } else { "modeled" }),
+    );
+    push(&mut out, format!("waves:     {:?}", scenario.workflow.bundle_waves().unwrap()));
+
+    if options.threaded {
+        let o = run_threaded(&scenario, options.strategy);
+        push(&mut out, format!("verified:  {} cell mismatches", o.verify_failures));
+        push(
+            &mut out,
+            format!(
+                "coupling:  {} B over network, {} B in-situ ({:.1}% in-situ)",
+                o.ledger.network_bytes(TrafficClass::InterApp),
+                o.ledger.shm_bytes(TrafficClass::InterApp),
+                100.0 * (1.0 - o.ledger.network_fraction(TrafficClass::InterApp)),
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "intra-app: {} B over network, {} B in-situ",
+                o.ledger.network_bytes(TrafficClass::IntraApp),
+                o.ledger.shm_bytes(TrafficClass::IntraApp),
+            ),
+        );
+        push(&mut out, format!("gets:      {}", o.reports.len()));
+    } else {
+        let o = run_modeled(&scenario, options.strategy);
+        push(
+            &mut out,
+            format!(
+                "coupling:  {} B over network, {} B in-situ ({:.1}% in-situ)",
+                o.ledger.network_bytes(TrafficClass::InterApp),
+                o.ledger.shm_bytes(TrafficClass::InterApp),
+                100.0 * (1.0 - o.ledger.network_fraction(TrafficClass::InterApp)),
+            ),
+        );
+        for (app, ms) in &o.retrieve_ms {
+            push(&mut out, format!("retrieve:  app {app}: {ms:.2} ms (max over tasks)"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_workflow::ONLINE_PROCESSING_DAG;
+
+    const CONFIG: &str = "\
+CORES_PER_NODE 4
+DOMAIN 16 16 16
+HALO 1
+APP 1 GRID 2 2 2 DIST blocked
+APP 2 GRID 4 1 1 DIST blocked
+COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
+";
+
+    #[test]
+    fn builds_scenario_from_files() {
+        let s = build_scenario(ONLINE_PROCESSING_DAG, CONFIG).unwrap();
+        assert_eq!(s.workflow.apps.len(), 2);
+        assert_eq!(s.workflow.app(1).unwrap().ntasks, 8);
+        assert_eq!(s.workflow.app(2).unwrap().ntasks, 4);
+        assert_eq!(s.cores_per_node, 4);
+    }
+
+    #[test]
+    fn threaded_run_produces_report() {
+        let opts = Options {
+            dag: ONLINE_PROCESSING_DAG.into(),
+            config: CONFIG.into(),
+            strategy: MappingStrategy::DataCentric,
+            threaded: true,
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("verified:  0 cell mismatches"), "{report}");
+        assert!(report.contains("coupling:"));
+    }
+
+    #[test]
+    fn modeled_run_produces_report() {
+        let opts = Options {
+            dag: ONLINE_PROCESSING_DAG.into(),
+            config: CONFIG.into(),
+            strategy: MappingStrategy::RoundRobin,
+            threaded: false,
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.contains("retrieve:  app 2"), "{report}");
+    }
+
+    #[test]
+    fn compare_reports_reduction() {
+        let report = compare(ONLINE_PROCESSING_DAG, CONFIG).unwrap();
+        assert!(report.contains("network reduction"), "{report}");
+        assert!(report.contains("retrieve (app 2)"));
+    }
+
+    #[test]
+    fn missing_app_config_rejected() {
+        let bad = "DOMAIN 16 16 16\nAPP 1 GRID 2 2 2 DIST blocked\n";
+        let err = build_scenario(ONLINE_PROCESSING_DAG, bad).unwrap_err();
+        assert!(matches!(err, CliError::Mismatch(_)));
+        assert!(err.to_string().contains("app 2"));
+    }
+
+    #[test]
+    fn coupling_to_unknown_app_rejected() {
+        let bad = "\
+DOMAIN 16 16 16
+APP 1 GRID 2 2 2 DIST blocked
+APP 2 GRID 4 1 1 DIST blocked
+COUPLING VAR t PRODUCER 1 CONSUMERS 9 MODE concurrent
+";
+        let err = build_scenario(ONLINE_PROCESSING_DAG, bad).unwrap_err();
+        assert!(err.to_string().contains("app 9"));
+    }
+}

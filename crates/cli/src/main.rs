@@ -1,0 +1,158 @@
+//! `insitu` — run a coupled workflow from a DAG description file and a
+//! workload configuration file.
+//!
+//! ```text
+//! insitu run --dag workflow.dag --config workload.cfg \
+//!     [--strategy data-centric|round-robin|node-cyclic] [--modeled]
+//! ```
+
+use insitu::MappingStrategy;
+use insitu_cli::{run, Options};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: insitu run     --dag <file> --config <file>
+              [--strategy data-centric|round-robin|node-cyclic] [--modeled]
+       insitu compare --dag <file> --config <file>
+
+`run` executes the workflow described by the DAG file (paper Listing-1
+syntax) with the workload configuration (domains, grids, distributions,
+couplings); default is data-centric mapping on the threaded executor.
+`compare` runs both mapping strategies on the modeled executor and prints
+a side-by-side summary.";
+
+#[derive(Debug)]
+enum Command {
+    Run(Options),
+    Compare { dag: String, config: String },
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let sub = args.first().map(String::as_str);
+    if sub != Some("run") && sub != Some("compare") {
+        return Err("expected the 'run' or 'compare' subcommand".into());
+    }
+    let mut dag_path = None;
+    let mut config_path = None;
+    let mut strategy = MappingStrategy::DataCentric;
+    let mut threaded = true;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dag" => dag_path = Some(it.next().ok_or("--dag needs a path")?.clone()),
+            "--config" => config_path = Some(it.next().ok_or("--config needs a path")?.clone()),
+            "--strategy" => {
+                strategy = match it.next().map(String::as_str) {
+                    Some("data-centric") => MappingStrategy::DataCentric,
+                    Some("round-robin") => MappingStrategy::RoundRobin,
+                    Some("node-cyclic") => MappingStrategy::NodeCyclic,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                }
+            }
+            "--modeled" => threaded = false,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let dag_path = dag_path.ok_or("missing --dag")?;
+    let config_path = config_path.ok_or("missing --config")?;
+    let dag = std::fs::read_to_string(&dag_path)
+        .map_err(|e| format!("cannot read {dag_path}: {e}"))?;
+    let config = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    if sub == Some("compare") {
+        Ok(Command::Compare { dag, config })
+    } else {
+        Ok(Command::Run(Options { dag, config, strategy, threaded }))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &command {
+        Command::Run(options) => run(options),
+        Command::Compare { dag, config } => insitu_cli::driver::compare(dag, config),
+    };
+    match result {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const DAG: &str = "../../workflows/online.dag";
+    const CFG: &str = "../../workflows/online.cfg";
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse_args(&args(&["run", "--dag", DAG, "--config", CFG])).unwrap();
+        match cmd {
+            Command::Run(o) => {
+                assert_eq!(o.strategy, MappingStrategy::DataCentric);
+                assert!(o.threaded);
+                assert!(o.dag.contains("APP_ID 1"));
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn parses_strategy_and_modeled() {
+        let cmd = parse_args(&args(&[
+            "run", "--dag", DAG, "--config", CFG, "--strategy", "round-robin", "--modeled",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(o) => {
+                assert_eq!(o.strategy, MappingStrategy::RoundRobin);
+                assert!(!o.threaded);
+            }
+            _ => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn parses_compare() {
+        let cmd = parse_args(&args(&["compare", "--dag", DAG, "--config", CFG])).unwrap();
+        assert!(matches!(cmd, Command::Compare { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_paths_and_bad_strategy() {
+        assert!(parse_args(&args(&["run", "--dag", DAG])).unwrap_err().contains("--config"));
+        assert!(parse_args(&args(&["run", "--config", CFG])).unwrap_err().contains("--dag"));
+        assert!(parse_args(&args(&[
+            "run", "--dag", DAG, "--config", CFG, "--strategy", "psychic"
+        ]))
+        .unwrap_err()
+        .contains("unknown strategy"));
+        assert!(parse_args(&args(&["run", "--dag", "/no/such/file", "--config", CFG]))
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

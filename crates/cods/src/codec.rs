@@ -1,0 +1,67 @@
+//! Conversion between `f64` field data and raw byte buffers.
+//!
+//! CoDS stores registered buffers as raw bytes ([`bytes::Bytes`]); the
+//! applications' field data is `f64`. Encoding is a single memcpy through
+//! a byte view of the slice (always sound: any `f64` bit pattern is valid
+//! as bytes); decoding rebuilds `f64`s from native-endian chunks.
+
+use bytes::Bytes;
+
+/// Size of one field element.
+pub const ELEM_BYTES: usize = std::mem::size_of::<f64>();
+
+/// Encode a field slice into an owned byte buffer.
+pub fn encode_f64s(v: &[f64]) -> Bytes {
+    // SAFETY: reinterpreting `f64`s as bytes is always valid; the view
+    // lives only for the duration of the copy.
+    let view = unsafe {
+        std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), v.len() * ELEM_BYTES)
+    };
+    Bytes::copy_from_slice(view)
+}
+
+/// Decode a byte buffer produced by [`encode_f64s`].
+///
+/// # Panics
+/// Panics if the length is not a multiple of [`ELEM_BYTES`].
+pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % ELEM_BYTES, 0, "byte length not a multiple of 8");
+    b.chunks_exact(ELEM_BYTES)
+        .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 42.42];
+        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(decode_f64s(&encode_f64s(&[])).is_empty());
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let v = vec![f64::NAN];
+        let out = decode_f64s(&encode_f64s(&v));
+        assert_eq!(out[0].to_bits(), v[0].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_ragged_length() {
+        decode_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn large_buffer_roundtrip() {
+        let v: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+    }
+}

@@ -1,0 +1,233 @@
+//! Communication schedules for M×N redistribution.
+//!
+//! A communication schedule "represents the sequence of data transfers
+//! required to correctly move data between coupled applications"
+//! (§IV.A). Consumers compute one per `get()` — from the DHT's location
+//! entries (sequential coupling) or directly from the producer's declared
+//! decomposition (concurrent coupling) — cache it, and replay it on later
+//! iterations.
+
+use crate::dht::LocationEntry;
+use insitu_domain::{BoundingBox, Decomposition};
+use insitu_fabric::ClientId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One transfer of a schedule: pull `region` out of the piece stored by
+/// `src_client`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TransferOp {
+    /// Client holding the source piece.
+    pub src_client: ClientId,
+    /// Piece index within the source's put sequence.
+    pub piece: u64,
+    /// Full box of the stored piece (the registered buffer's layout).
+    pub piece_box: BoundingBox,
+    /// Sub-box to move.
+    pub region: BoundingBox,
+}
+
+/// The transfers fulfilling one consumer `get`.
+#[derive(Clone, Debug, Default)]
+pub struct CommSchedule {
+    /// Transfers, ordered by source client.
+    pub ops: Vec<TransferOp>,
+}
+
+impl CommSchedule {
+    /// Total cells moved by the schedule.
+    pub fn total_cells(&self) -> u128 {
+        self.ops.iter().map(|o| o.region.num_cells()).sum()
+    }
+}
+
+/// Build a schedule from DHT location entries, clipping each stored piece
+/// to the query box.
+pub fn schedule_from_entries(entries: &[LocationEntry], query: &BoundingBox) -> CommSchedule {
+    let mut ops: Vec<TransferOp> = entries
+        .iter()
+        .filter_map(|e| {
+            e.bbox.intersect(query).map(|region| TransferOp {
+                src_client: e.owner,
+                piece: e.piece,
+                piece_box: e.bbox,
+                region,
+            })
+        })
+        .collect();
+    ops.sort_by_key(|o| (o.src_client, o.piece));
+    CommSchedule { ops }
+}
+
+/// Build a schedule directly from a producer's decomposition — the
+/// concurrent-coupling path, where the consumer knows the producer's
+/// declared data decomposition instead of asking the DHT.
+///
+/// `producer_clients[rank]` maps producer ranks to execution clients.
+/// Piece indices follow the producer's `rank_region` enumeration order,
+/// matching what the producer's `put` sequence registers.
+pub fn schedule_from_decomposition(
+    producer: &Decomposition,
+    producer_clients: &[ClientId],
+    query: &BoundingBox,
+) -> CommSchedule {
+    assert_eq!(producer_clients.len() as u64, producer.num_ranks(), "client map size mismatch");
+    let mut ops = Vec::new();
+    for overlap in producer.overlaps(query) {
+        let src_client = producer_clients[overlap.rank as usize];
+        for (piece, piece_box) in producer.rank_region(overlap.rank).into_iter().enumerate() {
+            if let Some(region) = piece_box.intersect(query) {
+                ops.push(TransferOp { src_client, piece: piece as u64, piece_box, region });
+            }
+        }
+    }
+    ops.sort_by_key(|o| (o.src_client, o.piece));
+    CommSchedule { ops }
+}
+
+/// Cache of computed schedules keyed by `(var, query box)` — coupling
+/// patterns repeat every iteration, so replays skip the DHT entirely.
+#[derive(Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<(u64, BoundingBox), Arc<CommSchedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached schedule for `(var, query)`, if any.
+    pub fn lookup(&self, var: u64, query: &BoundingBox) -> Option<Arc<CommSchedule>> {
+        let got = self.map.lock().get(&(var, *query)).cloned();
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Store a schedule.
+    pub fn insert(&self, var: u64, query: &BoundingBox, schedule: Arc<CommSchedule>) {
+        self.map.lock().insert((var, *query), schedule);
+    }
+
+    /// Invalidate everything (e.g. after a re-decomposition).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_domain::{Distribution, ProcessGrid};
+
+    fn blocked(sizes: &[u64], procs: &[u64]) -> Decomposition {
+        Decomposition::new(
+            BoundingBox::from_sizes(sizes),
+            ProcessGrid::new(procs),
+            Distribution::Blocked,
+        )
+    }
+
+    #[test]
+    fn schedule_from_entries_clips() {
+        let entries = vec![
+            LocationEntry { bbox: BoundingBox::new(&[0, 0], &[3, 3]), owner: 0, piece: 0 },
+            LocationEntry { bbox: BoundingBox::new(&[0, 4], &[3, 7]), owner: 1, piece: 0 },
+            LocationEntry { bbox: BoundingBox::new(&[4, 0], &[7, 3]), owner: 2, piece: 0 },
+        ];
+        let q = BoundingBox::new(&[2, 2], &[5, 5]);
+        let s = schedule_from_entries(&entries, &q);
+        assert_eq!(s.ops.len(), 3);
+        assert_eq!(s.total_cells(), 4 + 4 + 4);
+        assert!(s.ops.iter().all(|o| q.contains_box(&o.region)));
+    }
+
+    #[test]
+    fn schedule_from_decomposition_covers_query() {
+        let dec = blocked(&[8, 8], &[2, 2]);
+        let clients = vec![10, 11, 12, 13];
+        let q = BoundingBox::new(&[1, 1], &[6, 6]);
+        let s = schedule_from_decomposition(&dec, &clients, &q);
+        assert_eq!(s.total_cells(), q.num_cells());
+        assert_eq!(s.ops.len(), 4);
+        assert!(s.ops.iter().all(|o| clients.contains(&o.src_client)));
+    }
+
+    #[test]
+    fn decomposition_and_entries_paths_agree() {
+        // Entries as the producers would have put them (one piece each).
+        let dec = blocked(&[8, 8], &[2, 2]);
+        let clients = vec![0, 1, 2, 3];
+        let entries: Vec<LocationEntry> = (0..4)
+            .map(|r| LocationEntry {
+                bbox: dec.blocked_box(r).unwrap(),
+                owner: clients[r as usize],
+                piece: 0,
+            })
+            .collect();
+        let q = BoundingBox::new(&[2, 3], &[7, 6]);
+        let a = schedule_from_entries(&entries, &q);
+        let b = schedule_from_decomposition(&dec, &clients, &q);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn cyclic_producer_many_pieces() {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[2, 2]),
+            Distribution::Cyclic,
+        );
+        let clients = vec![0, 1, 2, 3];
+        let q = BoundingBox::new(&[0, 0], &[3, 3]);
+        let s = schedule_from_decomposition(&dec, &clients, &q);
+        assert_eq!(s.total_cells(), 16);
+        // Every rank contributes scattered cells: 4 ranks x 4 single-cell ops.
+        assert_eq!(s.ops.len(), 16);
+    }
+
+    #[test]
+    fn empty_query_outside_domain() {
+        let dec = blocked(&[8, 8], &[2, 2]);
+        let s = schedule_from_decomposition(
+            &dec,
+            &[0, 1, 2, 3],
+            &BoundingBox::new(&[20, 20], &[30, 30]),
+        );
+        assert!(s.ops.is_empty());
+        assert_eq!(s.total_cells(), 0);
+    }
+
+    #[test]
+    fn cache_hit_miss_stats() {
+        let c = ScheduleCache::new();
+        let q = BoundingBox::new(&[0, 0], &[1, 1]);
+        assert!(c.lookup(1, &q).is_none());
+        c.insert(1, &q, Arc::new(CommSchedule::default()));
+        assert!(c.lookup(1, &q).is_some());
+        assert!(c.lookup(2, &q).is_none());
+        assert_eq!(c.stats(), (1, 2));
+        c.clear();
+        assert!(c.lookup(1, &q).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "client map size mismatch")]
+    fn rejects_short_client_map() {
+        let dec = blocked(&[8, 8], &[2, 2]);
+        schedule_from_decomposition(&dec, &[0, 1], &BoundingBox::from_sizes(&[8, 8]));
+    }
+}

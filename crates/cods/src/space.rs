@@ -1,0 +1,763 @@
+//! The shared-space programming abstraction: `put`/`get` operators.
+//!
+//! Mirrors Table I of the paper:
+//!
+//! | paper            | here                       | coupling    |
+//! |------------------|----------------------------|-------------|
+//! | `cods_put_cont()`| [`CodsSpace::put_cont`]    | concurrent  |
+//! | `cods_get_cont()`| [`CodsSpace::get_cont`]    | concurrent  |
+//! | `cods_put_seq()` | [`CodsSpace::put_seq`]     | sequential  |
+//! | `cods_get_seq()` | [`CodsSpace::get_seq`]     | sequential  |
+//!
+//! All operators are one-sided and asynchronous: a `put` registers a
+//! remotely readable buffer and returns; a `get` computes (or replays) a
+//! communication schedule and pulls every piece directly from where it
+//! lives — shared memory when producer and consumer share a node, the
+//! (simulated) network otherwise. The sequential variants additionally
+//! index the data in the DHT so later applications can discover it.
+
+use crate::codec::{decode_f64s, encode_f64s, ELEM_BYTES};
+use crate::dht::{var_id, Dht, LocationEntry, DHT_RECORD_BYTES};
+use crate::schedule::{
+    schedule_from_decomposition, schedule_from_entries, CommSchedule, ScheduleCache,
+};
+use insitu_dart::{BufKey, DartRuntime};
+use insitu_domain::layout::copy_region_bytes;
+use insitu_domain::{BoundingBox, Decomposition};
+use insitu_fabric::{ClientId, Locality, TrafficClass};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by the space operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodsError {
+    /// A required source buffer never appeared (producer missing or late).
+    Timeout {
+        /// Variable name hash.
+        var: u64,
+        /// Version requested.
+        version: u64,
+        /// The piece region that could not be fetched.
+        region: BoundingBox,
+    },
+    /// `put` data length does not match the declared box.
+    SizeMismatch {
+        /// Cells in the declared box.
+        expected: u128,
+        /// Elements supplied.
+        got: usize,
+    },
+    /// The available pieces do not cover the queried region.
+    IncompleteCover {
+        /// Cells of the query not covered by any stored piece.
+        missing_cells: u128,
+    },
+    /// Staging this piece would exceed the node's in-memory capacity.
+    StagingFull {
+        /// Node whose staging memory is exhausted.
+        node: u32,
+        /// Bytes currently staged on that node.
+        used: u64,
+        /// Configured per-node limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for CodsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodsError::Timeout { var, version, region } => {
+                write!(f, "timed out waiting for var {var:#x} v{version} piece {region:?}")
+            }
+            CodsError::SizeMismatch { expected, got } => {
+                write!(f, "data length {got} does not match box volume {expected}")
+            }
+            CodsError::IncompleteCover { missing_cells } => {
+                write!(f, "query not fully covered: {missing_cells} cells missing")
+            }
+            CodsError::StagingFull { node, used, limit } => {
+                write!(f, "node {node} staging full: {used} of {limit} bytes used")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodsError {}
+
+/// Tuning knobs of the space.
+#[derive(Clone, Copy, Debug)]
+pub struct CodsConfig {
+    /// How long a `get` waits for a missing producer piece.
+    pub get_timeout: Duration,
+    /// Whether `get` operators use the schedule cache.
+    pub cache_schedules: bool,
+    /// Per-node in-memory staging capacity (16 GB per Jaguar XT5 node).
+    /// `None` disables the check.
+    pub staging_limit_per_node: Option<u64>,
+}
+
+impl Default for CodsConfig {
+    fn default() -> Self {
+        CodsConfig {
+            get_timeout: Duration::from_secs(30),
+            cache_schedules: true,
+            staging_limit_per_node: None,
+        }
+    }
+}
+
+/// What one `get` did — consumed by tests, the ledger cross-checks and
+/// the retrieve-time model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GetReport {
+    /// DHT cores consulted (0 on a schedule-cache hit or concurrent get).
+    pub dht_cores_queried: u32,
+    /// Transfers executed.
+    pub ops: u32,
+    /// Bytes pulled through shared memory.
+    pub shm_bytes: u64,
+    /// Bytes pulled over the network.
+    pub net_bytes: u64,
+    /// Whether the schedule came from the cache.
+    pub cache_hit: bool,
+}
+
+/// The co-located data space.
+pub struct CodsSpace {
+    dart: Arc<DartRuntime>,
+    dht: Dht,
+    cfg: CodsConfig,
+    cache: ScheduleCache,
+    consumption: parking_lot::Mutex<ConsumptionState>,
+    consumed_cv: parking_lot::Condvar,
+    staging: parking_lot::Mutex<std::collections::HashMap<u32, u64>>,
+    staging_peak: std::sync::atomic::AtomicU64,
+}
+
+/// Version-consumption bookkeeping for iterative coupling: producers may
+/// only reclaim a version's buffers once every expected `get` of that
+/// version has completed.
+#[derive(Default)]
+struct ConsumptionState {
+    /// Expected number of completed gets per variable per version.
+    expected: std::collections::HashMap<u64, u64>,
+    /// Completed gets per `(var, version)`.
+    done: std::collections::HashMap<(u64, u64), u64>,
+}
+
+fn buf_key(var: u64, version: u64, owner: ClientId, piece: u64) -> BufKey {
+    BufKey { name: var, version, piece: ((owner as u64) << 32) | piece }
+}
+
+impl CodsSpace {
+    /// Build a space over an existing DART runtime and DHT.
+    pub fn new(dart: Arc<DartRuntime>, dht: Dht, cfg: CodsConfig) -> Arc<Self> {
+        Arc::new(CodsSpace {
+            dart,
+            dht,
+            cfg,
+            cache: ScheduleCache::new(),
+            consumption: parking_lot::Mutex::new(ConsumptionState::default()),
+            consumed_cv: parking_lot::Condvar::new(),
+            staging: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            staging_peak: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Declare how many `get` completions a version of `var` must see
+    /// before [`Self::wait_version_consumed`] releases it (one per
+    /// consumer piece retrieval). Enables producers of iterative
+    /// couplings to reclaim old versions safely.
+    pub fn set_expected_gets(&self, var: &str, gets: u64) {
+        self.consumption.lock().expected.insert(var_id(var), gets);
+    }
+
+    /// Completed gets recorded for `(var, version)`.
+    pub fn gets_completed(&self, var: &str, version: u64) -> u64 {
+        self.consumption.lock().done.get(&(var_id(var), version)).copied().unwrap_or(0)
+    }
+
+    /// Block until every expected `get` of `(var, version)` has completed,
+    /// up to `timeout`. Returns `false` on timeout or if no expectation
+    /// was declared.
+    pub fn wait_version_consumed(&self, var: &str, version: u64, timeout: Duration) -> bool {
+        let vid = var_id(var);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.consumption.lock();
+        let Some(&expected) = state.expected.get(&vid) else {
+            return false;
+        };
+        loop {
+            if state.done.get(&(vid, version)).copied().unwrap_or(0) >= expected {
+                return true;
+            }
+            if self.consumed_cv.wait_until(&mut state, deadline).timed_out() {
+                return state.done.get(&(vid, version)).copied().unwrap_or(0) >= expected;
+            }
+        }
+    }
+
+    fn note_get_complete(&self, vid: u64, version: u64) {
+        let mut state = self.consumption.lock();
+        *state.done.entry((vid, version)).or_insert(0) += 1;
+        drop(state);
+        self.consumed_cv.notify_all();
+    }
+
+    /// The location service.
+    pub fn dht(&self) -> &Dht {
+        &self.dht
+    }
+
+    /// The schedule cache (stats are used by the caching ablation).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// The underlying DART runtime.
+    pub fn dart(&self) -> &Arc<DartRuntime> {
+        &self.dart
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    fn put_impl(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        version: u64,
+        piece: u64,
+        bbox: &BoundingBox,
+        data: &[f64],
+        index_in_dht: bool,
+    ) -> Result<(), CodsError> {
+        if data.len() as u128 != bbox.num_cells() {
+            return Err(CodsError::SizeMismatch { expected: bbox.num_cells(), got: data.len() });
+        }
+        let vid = var_id(var);
+        let bytes = data.len() as u64 * ELEM_BYTES as u64;
+        let node = self.dart.placement().node_of(client);
+        {
+            let mut staging = self.staging.lock();
+            let used = staging.entry(node).or_insert(0);
+            if let Some(limit) = self.cfg.staging_limit_per_node {
+                if *used + bytes > limit {
+                    return Err(CodsError::StagingFull { node, used: *used, limit });
+                }
+            }
+            *used += bytes;
+            let peak = staging.values().copied().max().unwrap_or(0);
+            self.staging_peak.fetch_max(peak, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.dart.registry().register(
+            buf_key(vid, version, client, piece),
+            client,
+            encode_f64s(data),
+        );
+        if index_in_dht {
+            let cores =
+                self.dht.insert(vid, version, LocationEntry { bbox: *bbox, owner: client, piece });
+            for c in cores {
+                self.dart.account(
+                    app,
+                    TrafficClass::Dht,
+                    client,
+                    self.dht.core_client(c),
+                    DHT_RECORD_BYTES,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// `cods_put_seq`: store a piece into the space and index it in the
+    /// DHT for later (sequentially coupled) consumers.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    pub fn put_seq(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        version: u64,
+        piece: u64,
+        bbox: &BoundingBox,
+        data: &[f64],
+    ) -> Result<(), CodsError> {
+        self.put_impl(client, app, var, version, piece, bbox, data, true)
+    }
+
+    /// `cods_put_cont`: expose a piece for direct pull by a concurrently
+    /// running consumer (no DHT indexing — the consumer derives locations
+    /// from the producer's declared decomposition).
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    pub fn put_cont(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        version: u64,
+        piece: u64,
+        bbox: &BoundingBox,
+        data: &[f64],
+    ) -> Result<(), CodsError> {
+        self.put_impl(client, app, var, version, piece, bbox, data, false)
+    }
+
+    /// `cods_get_seq`: retrieve `query` of `(var, version)` using the DHT
+    /// location service (or a cached schedule).
+    pub fn get_seq(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        version: u64,
+        query: &BoundingBox,
+    ) -> Result<(Vec<f64>, GetReport), CodsError> {
+        let vid = var_id(var);
+        let mut report = GetReport::default();
+        let schedule = match self.cached(vid, query) {
+            Some(s) => {
+                report.cache_hit = true;
+                s
+            }
+            None => {
+                let (entries, cores) = self.dht.query(vid, version, query);
+                report.dht_cores_queried = cores.len() as u32;
+                // One query record out to each consulted core; the reply
+                // carries the matching location records (at least one
+                // record's worth of header per core).
+                let reply_records = 1 + entries.len().div_ceil(cores.len().max(1)) as u64;
+                for c in &cores {
+                    let peer = self.dht.core_client(*c);
+                    self.dart.account(app, TrafficClass::Dht, client, peer, DHT_RECORD_BYTES);
+                    self.dart.account(
+                        app,
+                        TrafficClass::Dht,
+                        peer,
+                        client,
+                        DHT_RECORD_BYTES * reply_records,
+                    );
+                }
+                let s = Arc::new(schedule_from_entries(&entries, query));
+                self.store_cache(vid, query, Arc::clone(&s));
+                s
+            }
+        };
+        let data = self.execute(&schedule, client, app, vid, version, query, &mut report)?;
+        Ok((data, report))
+    }
+
+    /// `cods_get_cont`: retrieve `query` directly from a concurrently
+    /// running producer, whose data decomposition is declared up front.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    pub fn get_cont(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        version: u64,
+        query: &BoundingBox,
+        producer: &Decomposition,
+        producer_clients: &[ClientId],
+    ) -> Result<(Vec<f64>, GetReport), CodsError> {
+        let vid = var_id(var);
+        let mut report = GetReport::default();
+        let schedule = match self.cached(vid, query) {
+            Some(s) => {
+                report.cache_hit = true;
+                s
+            }
+            None => {
+                let s =
+                    Arc::new(schedule_from_decomposition(producer, producer_clients, query));
+                self.store_cache(vid, query, Arc::clone(&s));
+                s
+            }
+        };
+        let data = self.execute(&schedule, client, app, vid, version, query, &mut report)?;
+        Ok((data, report))
+    }
+
+    fn cached(&self, vid: u64, query: &BoundingBox) -> Option<Arc<CommSchedule>> {
+        if self.cfg.cache_schedules {
+            self.cache.lookup(vid, query)
+        } else {
+            None
+        }
+    }
+
+    fn store_cache(&self, vid: u64, query: &BoundingBox, s: Arc<CommSchedule>) {
+        if self.cfg.cache_schedules {
+            self.cache.insert(vid, query, s);
+        }
+    }
+
+    /// Receiver-driven pull: fetch every scheduled piece and assemble the
+    /// dense row-major array of `query`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    fn execute(
+        &self,
+        schedule: &CommSchedule,
+        client: ClientId,
+        app: u32,
+        vid: u64,
+        version: u64,
+        query: &BoundingBox,
+        report: &mut GetReport,
+    ) -> Result<Vec<f64>, CodsError> {
+        let covered = schedule.total_cells();
+        if covered != query.num_cells() {
+            return Err(CodsError::IncompleteCover {
+                missing_cells: query.num_cells().saturating_sub(covered),
+            });
+        }
+        let mut dst = vec![0u8; query.num_cells() as usize * ELEM_BYTES];
+        for op in &schedule.ops {
+            let key = buf_key(vid, version, op.src_client, op.piece);
+            let handle = self
+                .dart
+                .registry()
+                .wait_for(&key, self.cfg.get_timeout)
+                .ok_or(CodsError::Timeout { var: vid, version, region: op.region })?;
+            copy_region_bytes(&handle.data, &op.piece_box, &mut dst, query, &op.region, ELEM_BYTES);
+            let bytes = op.region.num_cells() as u64 * ELEM_BYTES as u64;
+            let loc = self.dart.account(app, TrafficClass::InterApp, handle.owner, client, bytes);
+            match loc {
+                Locality::SharedMemory => report.shm_bytes += bytes,
+                Locality::Network => report.net_bytes += bytes,
+            }
+            report.ops += 1;
+        }
+        self.note_get_complete(vid, version);
+        Ok(decode_f64s(&dst))
+    }
+
+    /// Highest version of `var` visible in the DHT (sequential couplings
+    /// only; concurrent puts are not indexed).
+    pub fn latest_version(&self, var: &str) -> Option<u64> {
+        self.dht.latest_version(var_id(var))
+    }
+
+    /// Drop a version's buffers and DHT records (memory management between
+    /// workflow stages). Frees the owners' staging accounting.
+    /// Eviction is *in-order*: all versions up to and including `version`
+    /// are dropped from both the DHT and the registry.
+    pub fn evict_version(&self, var: &str, version: u64) {
+        let vid = var_id(var);
+        self.dht.remove_versions_up_to(vid, version);
+        let removed = self.dart.registry().evict_below(vid, version + 1);
+        let mut staging = self.staging.lock();
+        for (owner, bytes) in removed {
+            let node = self.dart.placement().node_of(owner);
+            if let Some(used) = staging.get_mut(&node) {
+                *used = used.saturating_sub(bytes);
+            }
+        }
+    }
+
+    /// Bytes currently staged in CoDS memory on `node`.
+    pub fn staging_bytes(&self, node: u32) -> u64 {
+        self.staging.lock().get(&node).copied().unwrap_or(0)
+    }
+
+    /// The highest per-node staging occupancy observed so far.
+    pub fn staging_peak(&self) -> u64 {
+        self.staging_peak.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_domain::{layout, Distribution, ProcessGrid};
+    use insitu_fabric::{MachineSpec, Placement, TransferLedger};
+    use insitu_sfc::HilbertCurve;
+
+    /// 4 clients on 2 nodes of 2 cores; DHT core per node on clients 0, 2.
+    fn space() -> Arc<CodsSpace> {
+        let placement =
+            Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        CodsSpace::new(dart, dht, CodsConfig { get_timeout: Duration::from_secs(2), ..Default::default() })
+    }
+
+    fn tagfn(p: &[u64]) -> f64 {
+        (p[0] * 100 + p[1]) as f64 + 0.25
+    }
+
+    /// Producer decomposition 2x2 blocked over 8x8; clients 0..4 hold it.
+    fn produce(space: &CodsSpace, var: &str, version: u64) -> (Decomposition, Vec<ClientId>) {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[2, 2]),
+            Distribution::Blocked,
+        );
+        let clients: Vec<ClientId> = (0..4).collect();
+        for r in 0..4u64 {
+            let b = dec.blocked_box(r).unwrap();
+            let data = layout::fill_with(&b, tagfn);
+            space.put_seq(clients[r as usize], 1, var, version, 0, &b, &data).unwrap();
+        }
+        (dec, clients)
+    }
+
+    #[test]
+    fn put_get_seq_roundtrip_full_domain() {
+        let s = space();
+        produce(&s, "temp", 0);
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let (data, report) = s.get_seq(3, 2, "temp", 0, &q).unwrap();
+        assert_eq!(data.len(), 64);
+        for p in q.iter_points() {
+            assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+        assert_eq!(report.ops, 4);
+        assert!(report.dht_cores_queried > 0);
+        assert!(!report.cache_hit);
+    }
+
+    #[test]
+    fn get_seq_sub_region_crossing_owners() {
+        let s = space();
+        produce(&s, "temp", 0);
+        let q = BoundingBox::new(&[2, 2], &[5, 5]);
+        let (data, report) = s.get_seq(0, 2, "temp", 0, &q).unwrap();
+        assert_eq!(report.ops, 4); // crosses all four quadrants
+        for p in q.iter_points() {
+            assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+    }
+
+    #[test]
+    fn second_get_hits_schedule_cache() {
+        let s = space();
+        produce(&s, "temp", 0);
+        let q = BoundingBox::new(&[0, 0], &[3, 3]);
+        let (_, r1) = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        let (_, r2) = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        assert!(!r1.cache_hit);
+        assert!(r2.cache_hit);
+        assert_eq!(r2.dht_cores_queried, 0);
+    }
+
+    #[test]
+    fn cached_schedule_replays_across_versions() {
+        let s = space();
+        produce(&s, "temp", 0);
+        let q = BoundingBox::new(&[0, 0], &[7, 7]);
+        let _ = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        produce(&s, "temp", 1);
+        let (data, r) = s.get_seq(1, 2, "temp", 1, &q).unwrap();
+        assert!(r.cache_hit);
+        assert_eq!(data.len(), 64);
+    }
+
+    #[test]
+    fn locality_accounting_matches_placement() {
+        let s = space();
+        produce(&s, "temp", 0);
+        // Client 1 is on node 0 with clients {0, 1}; producers 0,1 are
+        // co-located with it, producers 2,3 are not.
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let (_, report) = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        // Each producer piece is 16 cells = 128 bytes.
+        assert_eq!(report.shm_bytes, 2 * 128);
+        assert_eq!(report.net_bytes, 2 * 128);
+        let snap = s.dart().ledger().snapshot();
+        assert_eq!(snap.shm_bytes(TrafficClass::InterApp), 256);
+        assert_eq!(snap.network_bytes(TrafficClass::InterApp), 256);
+    }
+
+    #[test]
+    fn get_cont_without_dht() {
+        let s = space();
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[2, 2]),
+            Distribution::Blocked,
+        );
+        let clients: Vec<ClientId> = (0..4).collect();
+        for r in 0..4u64 {
+            let b = dec.blocked_box(r).unwrap();
+            let data = layout::fill_with(&b, tagfn);
+            s.put_cont(clients[r as usize], 1, "vel", 7, 0, &b, &data).unwrap();
+        }
+        let q = BoundingBox::new(&[1, 1], &[6, 6]);
+        let (data, report) = s.get_cont(2, 2, "vel", 7, &q, &dec, &clients).unwrap();
+        assert_eq!(report.dht_cores_queried, 0);
+        for p in q.iter_points() {
+            assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+        // No DHT traffic at all for the concurrent path.
+        assert_eq!(s.dart().ledger().snapshot().total_bytes(TrafficClass::Dht), 0);
+    }
+
+    #[test]
+    fn get_cont_rendezvous_producer_late() {
+        let s = space();
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[1, 1]),
+            Distribution::Blocked,
+        );
+        let s2 = Arc::clone(&s);
+        let consumer = std::thread::spawn(move || {
+            let q = BoundingBox::from_sizes(&[8, 8]);
+            s2.get_cont(1, 2, "late", 0, &q, &dec, &[0]).unwrap().0
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let b = BoundingBox::from_sizes(&[8, 8]);
+        let data = layout::fill_with(&b, tagfn);
+        s.put_cont(0, 1, "late", 0, 0, &b, &data).unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn version_isolation() {
+        let s = space();
+        produce(&s, "temp", 0);
+        let q = BoundingBox::new(&[0, 0], &[1, 1]);
+        // Version 5 was never put: schedule comes up empty -> incomplete.
+        let err = s.get_seq(0, 2, "x", 5, &q).unwrap_err();
+        assert!(matches!(err, CodsError::IncompleteCover { .. }));
+    }
+
+    #[test]
+    fn timeout_when_piece_missing() {
+        // Build an uncached space with tiny timeout; DHT knows about a
+        // piece that was never registered (e.g. producer died).
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(1, 2), 2));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0]);
+        let s = CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig { get_timeout: Duration::from_millis(20), ..Default::default() },
+        );
+        let b = BoundingBox::from_sizes(&[4, 4]);
+        s.dht().insert(var_id("ghost"), 0, LocationEntry { bbox: b, owner: 1, piece: 0 });
+        let err = s.get_seq(0, 1, "ghost", 0, &b).unwrap_err();
+        assert!(matches!(err, CodsError::Timeout { .. }));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let s = space();
+        let b = BoundingBox::from_sizes(&[4, 4]);
+        let err = s.put_seq(0, 1, "bad", 0, 0, &b, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, CodsError::SizeMismatch { expected: 16, got: 2 });
+    }
+
+    #[test]
+    fn evict_version_removes_data() {
+        let s = space();
+        produce(&s, "temp", 0);
+        s.evict_version("temp", 0);
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        // Schedules were cached before eviction? No get happened, so the
+        // DHT is consulted and finds nothing.
+        let err = s.get_seq(0, 2, "temp", 0, &q).unwrap_err();
+        assert!(matches!(err, CodsError::IncompleteCover { .. }));
+    }
+
+    #[test]
+    fn consumption_tracking_counts_gets() {
+        let s = space();
+        produce(&s, "temp", 0);
+        s.set_expected_gets("temp", 2);
+        assert_eq!(s.gets_completed("temp", 0), 0);
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let _ = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        assert_eq!(s.gets_completed("temp", 0), 1);
+        assert!(!s.wait_version_consumed("temp", 0, Duration::from_millis(10)));
+        let _ = s.get_seq(2, 2, "temp", 0, &q).unwrap();
+        assert!(s.wait_version_consumed("temp", 0, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_version_consumed_without_expectation_is_false() {
+        let s = space();
+        assert!(!s.wait_version_consumed("nobody", 0, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn wait_version_consumed_unblocks_across_threads() {
+        let s = space();
+        produce(&s, "temp", 0);
+        s.set_expected_gets("temp", 1);
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            s2.wait_version_consumed("temp", 0, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let _ = s.get_seq(3, 2, "temp", 0, &q).unwrap();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn latest_version_discovery() {
+        let s = space();
+        assert_eq!(s.latest_version("temp"), None);
+        produce(&s, "temp", 0);
+        assert_eq!(s.latest_version("temp"), Some(0));
+        produce(&s, "temp", 5);
+        assert_eq!(s.latest_version("temp"), Some(5));
+        // In-order eviction drops every version up to the given one.
+        s.evict_version("temp", 5);
+        assert_eq!(s.latest_version("temp"), None);
+    }
+
+    #[test]
+    fn staging_accounting_tracks_puts_and_evictions() {
+        let s = space();
+        // Clients 0,1 on node 0; 2,3 on node 1. Each piece = 16 cells.
+        produce(&s, "temp", 0);
+        assert_eq!(s.staging_bytes(0), 2 * 16 * 8);
+        assert_eq!(s.staging_bytes(1), 2 * 16 * 8);
+        assert_eq!(s.staging_peak(), 2 * 16 * 8);
+        s.evict_version("temp", 0);
+        assert_eq!(s.staging_bytes(0), 0);
+        assert_eq!(s.staging_bytes(1), 0);
+        // Peak is sticky.
+        assert_eq!(s.staging_peak(), 2 * 16 * 8);
+    }
+
+    #[test]
+    fn staging_limit_rejects_oversubscription() {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(1, 2), 2));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0]);
+        let s = CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig { staging_limit_per_node: Some(200), ..Default::default() },
+        );
+        let b = BoundingBox::from_sizes(&[4, 4]); // 128 bytes
+        let data = layout::fill_with(&b, tagfn);
+        s.put_seq(0, 1, "x", 0, 0, &b, &data).unwrap();
+        let err = s.put_seq(1, 1, "x", 0, 1, &b, &data).unwrap_err();
+        assert!(matches!(err, CodsError::StagingFull { node: 0, used: 128, limit: 200 }));
+        // Evicting frees capacity for a retry.
+        s.evict_version("x", 0);
+        s.put_seq(1, 1, "x", 1, 1, &b, &data).unwrap();
+    }
+
+    #[test]
+    fn multi_piece_producer() {
+        // One producer holding two disjoint pieces (cyclic-style put).
+        let s = space();
+        let b1 = BoundingBox::new(&[0, 0], &[3, 7]);
+        let b2 = BoundingBox::new(&[4, 0], &[7, 7]);
+        s.put_seq(0, 1, "mp", 0, 0, &b1, &layout::fill_with(&b1, tagfn)).unwrap();
+        s.put_seq(0, 1, "mp", 0, 1, &b2, &layout::fill_with(&b2, tagfn)).unwrap();
+        let q = BoundingBox::new(&[2, 2], &[5, 5]);
+        let (data, report) = s.get_seq(3, 2, "mp", 0, &q).unwrap();
+        assert_eq!(report.ops, 2);
+        for p in q.iter_points() {
+            assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Concurrency stress: many client threads hammering one space with
+//! overlapping variables, versions and gets — no locks ordering between
+//! producers and consumers beyond the space's own rendezvous.
+
+use insitu_cods::{CodsConfig, CodsSpace, Dht};
+use insitu_dart::DartRuntime;
+use insitu_domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu_fabric::{ClientId, MachineSpec, Placement, TransferLedger};
+use insitu_sfc::HilbertCurve;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn space(clients: u32) -> Arc<CodsSpace> {
+    let nodes = clients.div_ceil(4);
+    let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(nodes, 4), clients));
+    let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+    let dht = Dht::new(
+        Box::new(HilbertCurve::new(2, 5)),
+        (0..nodes).map(|n| n * 4).collect(),
+    );
+    CodsSpace::new(
+        dart,
+        dht,
+        CodsConfig { get_timeout: Duration::from_secs(20), ..Default::default() },
+    )
+}
+
+fn value(var: u64, version: u64, p: &[u64]) -> f64 {
+    (var * 1_000_000 + version * 10_000 + p[0] * 100 + p[1]) as f64
+}
+
+#[test]
+fn many_producers_consumers_many_versions() {
+    // 16 producers over a 32x32 domain, 8 consumers, 4 variables x 3
+    // versions, all threads racing.
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[32, 32]),
+        ProcessGrid::new(&[4, 4]),
+        Distribution::Blocked,
+    );
+    let s = space(24);
+    let vars = ["a", "b", "c", "d"];
+    let mut handles = Vec::new();
+    // Producers.
+    for rank in 0..16u64 {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let piece = dec.blocked_box(rank).unwrap();
+            for version in 0..3u64 {
+                for (vi, var) in ["a", "b", "c", "d"].iter().enumerate() {
+                    let data = layout::fill_with(&piece, |p| value(vi as u64, version, p));
+                    s.put_seq(rank as ClientId, 1, var, version, 0, &piece, &data).unwrap();
+                }
+            }
+        }));
+    }
+    // Consumers: each reads random-ish sections of every var/version.
+    for c in 0..8u32 {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let client = 16 + c;
+            for version in 0..3u64 {
+                for (vi, var) in vars.iter().enumerate() {
+                    let lo = [(c as u64 * 3) % 16, (c as u64 * 5) % 16];
+                    let q = BoundingBox::new(&lo, &[lo[0] + 13, lo[1] + 13]);
+                    let (data, _) = s.get_seq(client, 2, var, version, &q).unwrap();
+                    for p in q.iter_points() {
+                        assert_eq!(
+                            data[layout::linear_index(&q, &p[..2])],
+                            value(vi as u64, version, &p[..2]),
+                            "var {var} v{version} at {p:?}"
+                        );
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Schedule cache was shared across consumers: later gets hit it.
+    let (hits, misses) = s.cache().stats();
+    assert!(hits > 0, "expected cache hits, got {hits}/{misses}");
+}
+
+#[test]
+fn interleaved_put_get_rendezvous_storm() {
+    // Consumers issue gets *before* producers put, across 50 variables.
+    let s = space(8);
+    let b = BoundingBox::from_sizes(&[8, 8]);
+    let mut handles = Vec::new();
+    for k in 0..50u64 {
+        let s1 = Arc::clone(&s);
+        let s2 = Arc::clone(&s);
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[1, 1]),
+            Distribution::Blocked,
+        );
+        handles.push(std::thread::spawn(move || {
+            let var = format!("v{k}");
+            let (data, _) = s1
+                .get_cont((k % 8) as ClientId, 2, &var, 0, &b, &dec, &[((k + 1) % 8) as u32])
+                .unwrap();
+            assert_eq!(data[0], k as f64);
+        }));
+        handles.push(std::thread::spawn(move || {
+            // Stagger the puts behind the gets.
+            std::thread::sleep(Duration::from_millis(k % 7));
+            let var = format!("v{k}");
+            let data = layout::fill_with(&b, |_| k as f64);
+            s2.put_cont(((k + 1) % 8) as u32, 1, &var, 0, 0, &b, &data).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_staging_accounting_is_consistent() {
+    let s = space(16);
+    let b = BoundingBox::from_sizes(&[4, 4]); // 128 B per piece
+    let mut handles = Vec::new();
+    for c in 0..16u32 {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            for v in 0..10u64 {
+                let data = layout::fill_with(&b, |_| v as f64);
+                s.put_seq(c, 1, &format!("s{c}"), v, 0, &b, &data).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // 4 clients per node x 10 versions x 128 B.
+    let total: u64 = (0..4).map(|n| s.staging_bytes(n)).sum();
+    assert_eq!(total, 16 * 10 * 128);
+    assert_eq!(s.staging_peak(), 4 * 10 * 128);
+}

@@ -1,0 +1,371 @@
+//! The shared task-mapping pipeline.
+//!
+//! Both executors (modeled and threaded) place tasks with exactly this
+//! code, so their byte ledgers agree by construction. Strategy selection
+//! follows the paper: server-side data-centric mapping for bundles of
+//! concurrently coupled apps, client-side data-centric mapping for
+//! sequentially coupled consumers, and the launcher baseline otherwise.
+
+use crate::scenario::Scenario;
+use insitu_fabric::{CoreId, MachineSpec, NodeId};
+use insitu_workflow::{
+    map_client_side, pairwise_overlaps_region, AppSpec, BundleMapper, CoreAllocator,
+    DataCentricServerMapper, PackedMapper, RoundRobinMapper, WorkflowEngine,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which task-mapping strategy to run a scenario under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MappingStrategy {
+    /// The paper's baseline: the placement a plain MPI launcher produces,
+    /// dealing ranks to cores in order, filling each node before moving to
+    /// the next (the paper calls this "round-robin task mapping").
+    RoundRobin,
+    /// Locality-aware data-centric mapping (the paper's contribution).
+    DataCentric,
+    /// Ablation: deal tasks across nodes cyclically (one rank per node per
+    /// cycle), the other common launcher mode.
+    NodeCyclic,
+}
+
+impl MappingStrategy {
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MappingStrategy::RoundRobin => "round-robin",
+            MappingStrategy::DataCentric => "data-centric",
+            MappingStrategy::NodeCyclic => "node-cyclic",
+        }
+    }
+}
+
+/// A fully mapped scenario: every task of every app has a core.
+#[derive(Clone, Debug)]
+pub struct MappedScenario {
+    /// The machine the scenario runs on.
+    pub machine: MachineSpec,
+    /// `app_cores[&app][rank]` is the core of that task.
+    pub app_cores: BTreeMap<u32, Vec<CoreId>>,
+    /// The wave structure (from the workflow engine).
+    pub waves: Vec<Vec<Vec<u32>>>,
+}
+
+impl MappedScenario {
+    /// Node a task runs on.
+    #[inline]
+    pub fn node_of_task(&self, app: u32, rank: u64) -> NodeId {
+        self.machine.node_of_core(self.app_cores[&app][rank as usize])
+    }
+
+    /// Core of a task.
+    #[inline]
+    pub fn core_of_task(&self, app: u32, rank: u64) -> CoreId {
+        self.app_cores[&app][rank as usize]
+    }
+
+    /// Render the placement as an ASCII map: one row per node, one cell
+    /// per core, labeled with the app id occupying it (`.` = idle). The
+    /// picture the paper's Fig. 7 draws.
+    pub fn render(&self) -> String {
+        let mut grid =
+            vec![vec!['.'; self.machine.cores_per_node as usize]; self.machine.nodes as usize];
+        for (&app, cores) in &self.app_cores {
+            let label = char::from_digit(app % 36, 36).unwrap_or('?');
+            for &core in cores {
+                let node = self.machine.node_of_core(core) as usize;
+                let local = self.machine.local_core(core) as usize;
+                // Later waves reuse earlier waves' cores; show the last.
+                grid[node][local] = label;
+            }
+        }
+        let mut out = String::new();
+        for (n, row) in grid.iter().enumerate() {
+            out.push_str(&format!("node {n:>3}: "));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Map every wave of `scenario` under `strategy`.
+///
+/// Cores of a wave are released before the next wave is mapped (completed
+/// applications free their nodes, which the paper's sequential scenario
+/// reuses).
+///
+/// # Panics
+/// Panics if the workflow is invalid or the machine lacks capacity.
+pub fn map_scenario(scenario: &Scenario, strategy: MappingStrategy) -> MappedScenario {
+    let engine = WorkflowEngine::new(scenario.workflow.clone()).expect("invalid workflow spec");
+    let machine = engine.machine_for(scenario.cores_per_node);
+    let waves = engine.waves().to_vec();
+    let mut alloc = CoreAllocator::new(machine);
+    let mut app_cores: BTreeMap<u32, Vec<CoreId>> = BTreeMap::new();
+    let mut wave_cores: Vec<CoreId> = Vec::new();
+
+    for wave in &waves {
+        // The previous wave's applications have completed; their cores are
+        // free for this wave.
+        for c in wave_cores.drain(..) {
+            alloc.release(c);
+        }
+        for bundle in wave {
+            let apps: Vec<&AppSpec> =
+                bundle.iter().map(|&id| scenario.workflow.app(id).expect("validated")).collect();
+            let mapping = match strategy {
+                MappingStrategy::RoundRobin => PackedMapper.map_bundle(&mut alloc, &apps),
+                MappingStrategy::NodeCyclic => RoundRobinMapper.map_bundle(&mut alloc, &apps),
+                MappingStrategy::DataCentric => {
+                    map_bundle_data_centric(scenario, &app_cores, machine, &mut alloc, &apps)
+                }
+            };
+            for (app, cores) in mapping.cores {
+                wave_cores.extend(cores.iter().copied());
+                app_cores.insert(app, cores);
+            }
+        }
+    }
+    MappedScenario { machine, app_cores, waves }
+}
+
+fn map_bundle_data_centric(
+    scenario: &Scenario,
+    app_cores: &BTreeMap<u32, Vec<CoreId>>,
+    machine: MachineSpec,
+    alloc: &mut CoreAllocator,
+    apps: &[&AppSpec],
+) -> insitu_workflow::BundleMapping {
+    if apps.len() >= 2 {
+        // Concurrently coupled bundle: server-side graph partitioning,
+        // restricted to the bundle's coupled region when one is declared.
+        let region = apps
+            .iter()
+            .find_map(|a| scenario.coupling_into(a.id))
+            .and_then(|c| c.region);
+        return DataCentricServerMapper {
+            elem_bytes: scenario.elem_bytes,
+            region,
+            ..Default::default()
+        }
+        .map_bundle(alloc, apps);
+    }
+    let app = apps[0];
+    // Sequentially coupled consumer with an already-mapped producer:
+    // client-side mapping toward the data.
+    if let Some(coupling) = scenario.coupling_into(app.id) {
+        if let Some(producer_cores) = app_cores.get(&coupling.producer_app) {
+            let producer_dec = scenario.decomposition(coupling.producer_app);
+            let consumer_dec = scenario.decomposition(app.id);
+            let coupled_region = coupling.region.unwrap_or(*producer_dec.domain());
+            // Bytes of each consumer task's region per node, precomputed
+            // from the closed-form pairwise overlaps.
+            let mut per_rank: Vec<HashMap<NodeId, u64>> =
+                vec![HashMap::new(); app.ntasks as usize];
+            for (prank, crank, cells) in
+                pairwise_overlaps_region(producer_dec, consumer_dec, &coupled_region)
+            {
+                let node = machine.node_of_core(producer_cores[prank as usize]);
+                *per_rank[crank as usize].entry(node).or_insert(0) +=
+                    cells as u64 * scenario.elem_bytes;
+            }
+            let cores = map_client_side(alloc, app.ntasks, |rank| {
+                per_rank[rank as usize].iter().map(|(&n, &b)| (n, b)).collect()
+            });
+            let mut mapping = insitu_workflow::BundleMapping::default();
+            mapping.cores.insert(app.id, cores);
+            return mapping;
+        }
+    }
+    // Producer (or uncoupled) app: launcher placement.
+    PackedMapper.map_bundle(alloc, apps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{concurrent_scenario, pattern_pairs, sequential_scenario};
+    use insitu_workflow::pairwise_overlaps;
+
+    fn small_concurrent() -> Scenario {
+        // 16 producer tasks, 8 consumer tasks, 4^3 regions, 4-core nodes.
+        let mut s = concurrent_scenario(16, 8, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        s
+    }
+
+    fn small_sequential() -> Scenario {
+        let mut s = sequential_scenario(16, 8, 8, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        s
+    }
+
+    #[test]
+    fn concurrent_mapping_places_all_tasks() {
+        for strat in [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::DataCentric,
+            MappingStrategy::NodeCyclic,
+        ] {
+            let m = map_scenario(&small_concurrent(), strat);
+            assert_eq!(m.app_cores[&1].len(), 16);
+            assert_eq!(m.app_cores[&2].len(), 8);
+            // No core used twice within the concurrent wave.
+            let mut all: Vec<CoreId> =
+                m.app_cores.values().flatten().copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 24, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn machine_sized_for_widest_wave() {
+        let m = map_scenario(&small_concurrent(), MappingStrategy::RoundRobin);
+        assert_eq!(m.machine, MachineSpec::new(6, 4));
+        let m = map_scenario(&small_sequential(), MappingStrategy::RoundRobin);
+        // Widest wave: SAP1 alone (16) == SAP2+SAP3 (16) -> 4 nodes.
+        assert_eq!(m.machine, MachineSpec::new(4, 4));
+    }
+
+    #[test]
+    fn sequential_waves_reuse_cores() {
+        let m = map_scenario(&small_sequential(), MappingStrategy::RoundRobin);
+        // SAP2+SAP3 run on the same cores SAP1 used.
+        let mut second_wave: Vec<CoreId> = m.app_cores[&2]
+            .iter()
+            .chain(m.app_cores[&3].iter())
+            .copied()
+            .collect();
+        second_wave.sort_unstable();
+        let mut first_wave = m.app_cores[&1].clone();
+        first_wave.sort_unstable();
+        assert_eq!(second_wave, first_wave);
+    }
+
+    #[test]
+    fn data_centric_concurrent_colocates_couples() {
+        // Matched blocked/blocked decompositions: count coupled pairs
+        // sharing a node under both strategies; data-centric must win.
+        let s = small_concurrent();
+        let rr = map_scenario(&s, MappingStrategy::RoundRobin);
+        let dc = map_scenario(&s, MappingStrategy::DataCentric);
+        let p = s.decomposition(1);
+        let c = s.decomposition(2);
+        let colocated_bytes = |m: &MappedScenario| -> u128 {
+            pairwise_overlaps(p, c)
+                .into_iter()
+                .filter(|&(pr, cr, _)| m.node_of_task(1, pr) == m.node_of_task(2, cr))
+                .map(|(_, _, cells)| cells)
+                .sum()
+        };
+        assert!(
+            colocated_bytes(&dc) > colocated_bytes(&rr),
+            "dc {} <= rr {}",
+            colocated_bytes(&dc),
+            colocated_bytes(&rr)
+        );
+        // For this perfectly matched case the partitioner should get close
+        // to full co-location.
+        let total: u128 = pairwise_overlaps(p, c).iter().map(|&(_, _, c)| c).sum();
+        assert!(colocated_bytes(&dc) * 2 >= total, "less than half co-located");
+    }
+
+    #[test]
+    fn data_centric_sequential_follows_data() {
+        let s = small_sequential();
+        let rr = map_scenario(&s, MappingStrategy::RoundRobin);
+        let dc = map_scenario(&s, MappingStrategy::DataCentric);
+        let p = s.decomposition(1);
+        for consumer in [2u32, 3] {
+            let c = s.decomposition(consumer);
+            let local = |m: &MappedScenario| -> u128 {
+                pairwise_overlaps(p, c)
+                    .into_iter()
+                    .filter(|&(pr, cr, _)| {
+                        m.node_of_task(1, pr) == m.node_of_task(consumer, cr)
+                    })
+                    .map(|(_, _, cells)| cells)
+                    .sum()
+            };
+            assert!(local(&dc) >= local(&rr), "app {consumer}");
+        }
+    }
+
+    #[test]
+    fn strategies_have_labels() {
+        assert_eq!(MappingStrategy::RoundRobin.label(), "round-robin");
+        assert_eq!(MappingStrategy::DataCentric.label(), "data-centric");
+    }
+
+    #[test]
+    fn render_shows_one_row_per_node() {
+        let m = map_scenario(&small_concurrent(), MappingStrategy::RoundRobin);
+        let map = m.render();
+        assert_eq!(map.lines().count(), m.machine.nodes as usize);
+        // 24 tasks on 6 nodes x 4 cores: every core labeled 1 or 2
+        // (count only the cells after the "node N:" prefix).
+        let labels: usize = map
+            .lines()
+            .map(|l| l.split(": ").nth(1).unwrap())
+            .flat_map(|cells| cells.chars())
+            .filter(|&c| c == '1' || c == '2')
+            .count();
+        assert_eq!(labels, 24);
+    }
+
+    #[test]
+    fn paper_fig7_shape_colocates_bundle() {
+        // Fig. 7's illustration: APP1 with 12 tasks and APP2 with 4 tasks
+        // on two 8-core nodes — data-centric mapping co-locates each APP2
+        // task with the APP1 tasks it couples to.
+        use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
+        use insitu_workflow::{AppSpec, WorkflowSpec};
+        let domain = BoundingBox::from_sizes(&[12, 4]);
+        let app1 = AppSpec::new(1, "APP1", 12).with_decomposition(Decomposition::new(
+            domain,
+            ProcessGrid::new(&[12, 1]),
+            Distribution::Blocked,
+        ));
+        let app2 = AppSpec::new(2, "APP2", 4).with_decomposition(Decomposition::new(
+            domain,
+            ProcessGrid::new(&[4, 1]),
+            Distribution::Blocked,
+        ));
+        let s = Scenario {
+            name: "fig7".into(),
+            cores_per_node: 8,
+            workflow: WorkflowSpec {
+                apps: vec![app1, app2],
+                edges: vec![],
+                bundles: vec![vec![1, 2]],
+            },
+            couplings: vec![crate::CouplingSpec {
+                var: "v".into(),
+                producer_app: 1,
+                consumer_apps: vec![2],
+                concurrent: true,
+                region: None,
+            }],
+            halo: 1,
+            elem_bytes: 8,
+            model: insitu_fabric::NetworkModel::jaguar(),
+            iterations: 1,
+        };
+        let m = map_scenario(&s, MappingStrategy::DataCentric);
+        assert_eq!(m.machine, MachineSpec::new(2, 8));
+        // Every APP2 task couples with 3 consecutive APP1 tasks; all three
+        // must share its node.
+        for crank in 0..4u64 {
+            let cnode = m.node_of_task(2, crank);
+            for prank in crank * 3..(crank + 1) * 3 {
+                assert_eq!(
+                    m.node_of_task(1, prank),
+                    cnode,
+                    "APP1 task {prank} split from APP2 task {crank}\n{}",
+                    m.render()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The modeled executor: same placements, same schedules, same byte
+//! arithmetic as the threaded executor — evaluated analytically, with no
+//! threads and no data buffers — so the paper's 512- to 9216-core
+//! configurations run in milliseconds. An integration test pins its ledger
+//! to the threaded executor's on identical scenarios.
+
+use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
+use crate::scenario::Scenario;
+use insitu_domain::stencil::halo_exchanges;
+use insitu_fabric::{
+    estimate_retrieve_times, ClientRetrieve, LedgerSnapshot, Locality, NodeId, TorusTopology,
+    TrafficClass, Transfer, TransferLedger,
+};
+use insitu_workflow::pairwise_overlaps_region;
+use std::collections::{BTreeMap, HashMap};
+
+/// Results of one modeled scenario run.
+#[derive(Clone, Debug)]
+pub struct ModeledOutcome {
+    /// Strategy the scenario ran under.
+    pub strategy: MappingStrategy,
+    /// Byte ledger (the Figs. 8/9/12-15 quantities).
+    pub ledger: LedgerSnapshot,
+    /// Per consumer app: estimated retrieve time in ms, the per-app
+    /// maximum over its tasks (the Figs. 11/16 quantity).
+    pub retrieve_ms: BTreeMap<u32, f64>,
+    /// Per consumer app: mean retrieve time over its tasks.
+    pub retrieve_ms_mean: BTreeMap<u32, f64>,
+    /// The placements used.
+    pub mapped: MappedScenario,
+}
+
+/// Estimated DHT span queries a consumer task issues for a region of
+/// `region_cells` cells: the number of DHT-core intervals its index spans
+/// touch, approximated by volume (one core per `domain/nodes` indices),
+/// clamped to the core count. Cached schedules skip these entirely; we
+/// model the first (cold) iteration.
+fn dht_queries_estimate(region_cells: u128, domain_cells: u128, dht_cores: u32) -> u32 {
+    let interval = domain_cells.div_ceil(dht_cores as u128).max(1);
+    (region_cells.div_ceil(interval) as u32 + 1).min(dht_cores)
+}
+
+/// Run `scenario` under `strategy` analytically.
+pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOutcome {
+    let mapped = map_scenario(scenario, strategy);
+    let ledger = TransferLedger::new();
+    let topo = TorusTopology::cubic_for(mapped.machine.nodes);
+    let mut retrieves: BTreeMap<u32, Vec<ClientRetrieve>> = BTreeMap::new();
+
+    // Inter-application coupling traffic + per-consumer retrieve flows.
+    for coupling in &scenario.couplings {
+        let pdec = scenario.decomposition(coupling.producer_app);
+        let coupled_region = coupling.region.unwrap_or(*pdec.domain());
+        for &capp in &coupling.consumer_apps {
+            let cdec = scenario.decomposition(capp);
+            let ntasks = scenario.workflow.app(capp).unwrap().ntasks as usize;
+            let mut per_rank: Vec<HashMap<NodeId, u64>> = vec![HashMap::new(); ntasks];
+            for (pr, cr, cells) in pairwise_overlaps_region(pdec, cdec, &coupled_region) {
+                let bytes = cells as u64 * scenario.elem_bytes;
+                let src = mapped.node_of_task(coupling.producer_app, pr);
+                let dst = mapped.node_of_task(capp, cr);
+                let loc = if src == dst { Locality::SharedMemory } else { Locality::Network };
+                // The coupling repeats every iteration with the same
+                // schedule; flows below stay per-iteration (retrieve time
+                // is a per-version quantity).
+                ledger.record(capp, TrafficClass::InterApp, loc, bytes * scenario.iterations);
+                *per_rank[cr as usize].entry(src).or_insert(0) += bytes;
+            }
+            let domain_cells = pdec.domain().num_cells();
+            let app_retrieves = retrieves.entry(capp).or_default();
+            for (rank, sources) in per_rank.into_iter().enumerate() {
+                let dst_node = mapped.node_of_task(capp, rank as u64);
+                let transfers: Vec<Transfer> = sources
+                    .into_iter()
+                    .map(|(src_node, bytes)| Transfer { src_node, bytes })
+                    .collect();
+                let dht_queries = if coupling.concurrent {
+                    0
+                } else {
+                    dht_queries_estimate(
+                        cdec.rank_cells(rank as u64),
+                        domain_cells,
+                        mapped.machine.nodes,
+                    )
+                };
+                app_retrieves.push(ClientRetrieve { dst_node, transfers, dht_queries });
+            }
+        }
+    }
+
+    // Intra-application stencil traffic.
+    for app in &scenario.workflow.apps {
+        let Some(dec) = &app.decomposition else { continue };
+        for ex in halo_exchanges(dec, scenario.halo) {
+            let bytes = ex.cells as u64 * scenario.elem_bytes;
+            let na = mapped.node_of_task(app.id, ex.rank_a);
+            let nb = mapped.node_of_task(app.id, ex.rank_b);
+            let loc = if na == nb { Locality::SharedMemory } else { Locality::Network };
+            // Both directions of the exchange, once per iteration.
+            ledger.record(
+                app.id,
+                TrafficClass::IntraApp,
+                loc,
+                2 * bytes * scenario.iterations,
+            );
+        }
+    }
+
+    // Retrieve-time estimates. Consumers of the same coupling wave pull
+    // simultaneously (SAP2 and SAP3 contend with each other), so all
+    // retrieves share one contention domain.
+    let mut retrieve_ms = BTreeMap::new();
+    let mut retrieve_ms_mean = BTreeMap::new();
+    let all: Vec<(u32, usize)> = retrieves
+        .iter()
+        .flat_map(|(&app, v)| (0..v.len()).map(move |i| (app, i)))
+        .collect();
+    let flat: Vec<ClientRetrieve> =
+        retrieves.values().flat_map(|v| v.iter().cloned()).collect();
+    if !flat.is_empty() {
+        let times = estimate_retrieve_times(&scenario.model, &topo, &flat);
+        let mut sums: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
+        for ((app, _), t) in all.into_iter().zip(times) {
+            let e = retrieve_ms.entry(app).or_insert(0.0f64);
+            if t > *e {
+                *e = t;
+            }
+            let s = sums.entry(app).or_insert((0.0, 0));
+            s.0 += t;
+            s.1 += 1;
+        }
+        for (app, (sum, n)) in sums {
+            retrieve_ms_mean.insert(app, sum / n as f64);
+        }
+    }
+
+    ModeledOutcome { strategy, ledger: ledger.snapshot(), retrieve_ms, retrieve_ms_mean, mapped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{concurrent_scenario, pattern_pairs, sequential_scenario, PatternPair};
+
+    fn small(pair: PatternPair) -> Scenario {
+        let mut s = concurrent_scenario(16, 8, 8, pair);
+        s.cores_per_node = 4;
+        s
+    }
+
+    #[test]
+    fn coupling_bytes_conserved_across_strategies() {
+        // Total (shm + net) inter-app bytes equal the full coupled volume
+        // regardless of mapping.
+        let s = small(pattern_pairs(&[4, 4, 4])[0]);
+        let volume = s.decomposition(1).domain().num_cells() as u64 * 8;
+        for strat in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
+            let o = run_modeled(&s, strat);
+            assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), volume, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn data_centric_cuts_network_coupling_matched_patterns() {
+        let s = small(pattern_pairs(&[4, 4, 4])[0]); // blocked/blocked
+        let rr = run_modeled(&s, MappingStrategy::RoundRobin);
+        let dc = run_modeled(&s, MappingStrategy::DataCentric);
+        let rr_net = rr.ledger.network_bytes(TrafficClass::InterApp);
+        let dc_net = dc.ledger.network_bytes(TrafficClass::InterApp);
+        assert!(
+            (dc_net as f64) < 0.5 * rr_net as f64,
+            "dc {dc_net} not well below rr {rr_net}"
+        );
+    }
+
+    #[test]
+    fn mismatched_patterns_defeat_data_centric() {
+        // blocked/cyclic: fan-out makes co-location impossible; the gain
+        // must be much smaller than in the matched case.
+        let matched = small(pattern_pairs(&[4, 4, 4])[0]);
+        let mismatched = small(pattern_pairs(&[4, 4, 4])[4]);
+        let gain = |s: &Scenario| {
+            let rr = run_modeled(s, MappingStrategy::RoundRobin)
+                .ledger
+                .network_bytes(TrafficClass::InterApp) as f64;
+            let dc = run_modeled(s, MappingStrategy::DataCentric)
+                .ledger
+                .network_bytes(TrafficClass::InterApp) as f64;
+            1.0 - dc / rr
+        };
+        assert!(gain(&matched) > gain(&mismatched) + 0.2);
+    }
+
+    #[test]
+    fn sequential_scenario_retrieve_times_present() {
+        let mut s = sequential_scenario(16, 8, 8, 8, pattern_pairs(&[4, 4, 4])[0]);
+        s.cores_per_node = 4;
+        let o = run_modeled(&s, MappingStrategy::DataCentric);
+        assert!(o.retrieve_ms.contains_key(&2));
+        assert!(o.retrieve_ms.contains_key(&3));
+        assert!(o.retrieve_ms.values().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn data_centric_speeds_up_retrieves() {
+        let s = small(pattern_pairs(&[4, 4, 4])[0]);
+        let rr = run_modeled(&s, MappingStrategy::RoundRobin);
+        let dc = run_modeled(&s, MappingStrategy::DataCentric);
+        assert!(
+            dc.retrieve_ms[&2] < rr.retrieve_ms[&2],
+            "dc {} vs rr {}",
+            dc.retrieve_ms[&2],
+            rr.retrieve_ms[&2]
+        );
+    }
+
+    #[test]
+    fn stencil_bytes_recorded_per_app() {
+        let s = small(pattern_pairs(&[4, 4, 4])[0]);
+        let o = run_modeled(&s, MappingStrategy::RoundRobin);
+        for app in [1u32, 2] {
+            let total = o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::SharedMemory)
+                + o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::Network);
+            assert!(total > 0, "app {app} has no stencil traffic");
+        }
+    }
+
+    #[test]
+    fn smaller_app_stencil_grows_under_data_centric() {
+        // The Fig. 12 effect: the small consumer app's tasks scatter to
+        // follow data, so its own halo exchanges cross more node
+        // boundaries than under the packed baseline.
+        let s = small(pattern_pairs(&[4, 4, 4])[0]);
+        let rr = run_modeled(&s, MappingStrategy::RoundRobin);
+        let dc = run_modeled(&s, MappingStrategy::DataCentric);
+        let rr_net = rr.ledger.app_bytes(2, TrafficClass::IntraApp, Locality::Network);
+        let dc_net = dc.ledger.app_bytes(2, TrafficClass::IntraApp, Locality::Network);
+        assert!(dc_net >= rr_net, "dc {dc_net} < rr {rr_net}");
+    }
+
+    #[test]
+    fn dht_query_estimate_monotone_and_clamped() {
+        assert_eq!(dht_queries_estimate(0, 1000, 10), 1);
+        assert!(dht_queries_estimate(500, 1000, 10) <= 10);
+        assert!(
+            dht_queries_estimate(100, 1000, 10) <= dht_queries_estimate(900, 1000, 10)
+        );
+        assert_eq!(dht_queries_estimate(1000, 1000, 4), 4);
+    }
+}

@@ -1,0 +1,442 @@
+//! The threaded executor: one OS thread per computation task, really
+//! moving field data through CoDS and HybridDART.
+//!
+//! Execution clients (threads) are pinned to simulated cores by the task
+//! mapping; HybridDART classifies every transfer as shared-memory or
+//! network by that placement. Consumers verify every retrieved cell
+//! against the deterministic field function, so a passing run certifies
+//! the whole redistribution pipeline end to end.
+
+use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
+use crate::scenario::Scenario;
+use bytes::Bytes;
+use insitu_cods::{var_id, CodsConfig, CodsSpace, Dht, GetReport};
+use insitu_dart::DartRuntime;
+use insitu_domain::stencil::halo_exchanges;
+use insitu_domain::{layout, BoundingBox};
+use insitu_fabric::{
+    ClientId, LedgerSnapshot, Placement, TrafficClass, TransferLedger,
+};
+use insitu_sfc::HilbertCurve;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag for halo-exchange payloads.
+const TAG_HALO: u64 = 0x48414c4f; // "HALO"
+
+/// Message tag for task-dispatch control messages (workflow server ->
+/// execution client).
+const TAG_DISPATCH: u64 = 0x44495350; // "DISP"
+
+/// High-bit tag namespace reserved for group collectives (see
+/// [`crate::comm`]); disjoint from [`TAG_HALO`] and user tags.
+pub(crate) const TAG_COLLECTIVE_BASE: u64 = 0xC000_0000_0000_0000;
+
+/// Results of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedOutcome {
+    /// Strategy the scenario ran under.
+    pub strategy: MappingStrategy,
+    /// Byte ledger, comparable with the modeled executor's.
+    pub ledger: LedgerSnapshot,
+    /// One report per consumer `get`, tagged `(app, rank)`.
+    pub reports: Vec<(u32, u64, GetReport)>,
+    /// Cells whose retrieved value did not match the field function.
+    pub verify_failures: u64,
+    /// The placements used.
+    pub mapped: MappedScenario,
+}
+
+/// The deterministic synthetic field: every `(variable, version, point)`
+/// has one correct value, so consumers can verify redistribution exactly.
+pub fn field_value(var: u64, version: u64, p: &[u64]) -> f64 {
+    let mut h = var ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &c in p {
+        h = (h ^ c.wrapping_add(0x5851_F42D)).wrapping_mul(0x1000_0000_01b3);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn curve_for(domain: &BoundingBox) -> HilbertCurve {
+    let max_extent = (0..domain.ndim()).map(|d| domain.extent(d)).max().unwrap();
+    let order = 64 - (max_extent - 1).leading_zeros();
+    HilbertCurve::new(domain.ndim(), order.max(1))
+}
+
+struct TaskCtx {
+    scenario: Arc<Scenario>,
+    mapped: Arc<MappedScenario>,
+    space: Arc<CodsSpace>,
+    dart: Arc<DartRuntime>,
+    reports: Arc<Mutex<Vec<(u32, u64, GetReport)>>>,
+    failures: Arc<AtomicU64>,
+    app: u32,
+    rank: u64,
+}
+
+/// Run `scenario` under `strategy` with real threads and data.
+///
+/// Intended for up to a few hundred tasks (tests, examples); use
+/// [`crate::run_modeled`] for paper-scale configurations.
+pub fn run_threaded(scenario: &Scenario, strategy: MappingStrategy) -> ThreadedOutcome {
+    assert_eq!(scenario.elem_bytes, 8, "threaded mode stores f64 fields");
+    let mapped = Arc::new(map_scenario(scenario, strategy));
+    let machine = mapped.machine;
+    // One execution client per core, client id == core id.
+    let placement = Arc::new(Placement::pack_sequential(machine, machine.total_cores()));
+    let ledger = Arc::new(TransferLedger::new());
+    let dart = DartRuntime::new(placement, Arc::clone(&ledger));
+    let domain = *scenario
+        .workflow
+        .apps
+        .iter()
+        .find_map(|a| a.decomposition.as_ref())
+        .expect("no decomposition in workflow")
+        .domain();
+    let dht_clients: Vec<ClientId> = (0..machine.nodes).map(|n| machine.core(n, 0)).collect();
+    let dht = Dht::new(Box::new(curve_for(&domain)), dht_clients);
+    let space = CodsSpace::new(
+        Arc::clone(&dart),
+        dht,
+        CodsConfig {
+            get_timeout: Duration::from_secs(60),
+            // Jaguar XT5 nodes carry 16 GB; staged coupling data must fit.
+            staging_limit_per_node: Some(16 << 30),
+            ..Default::default()
+        },
+    );
+
+    let scenario = Arc::new(scenario.clone());
+    let reports = Arc::new(Mutex::new(Vec::new()));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    // Declare consumption expectations so producers can reclaim old
+    // versions: one completed get per consumer piece per version.
+    for coupling in &scenario.couplings {
+        let coupled_region = coupling
+            .region
+            .unwrap_or(*scenario.decomposition(coupling.producer_app).domain());
+        let mut gets = 0u64;
+        for &capp in &coupling.consumer_apps {
+            let cdec = scenario.decomposition(capp);
+            for r in 0..cdec.num_ranks() {
+                gets += cdec
+                    .rank_region(r)
+                    .into_iter()
+                    .filter(|p| p.intersect(&coupled_region).is_some())
+                    .count() as u64;
+            }
+        }
+        space.set_expected_gets(&coupling.var, gets);
+    }
+
+    for wave in &mapped.waves {
+        // The workflow management server dispatches each task assignment
+        // (app id, rank) to its execution client before launch — the
+        // paper's "initial distribution of computation tasks". The server
+        // is modeled as co-resident with client 0's node; dispatches are
+        // Control-class traffic. These are enqueued before any task thread
+        // exists, so each client's first message is its assignment.
+        for bundle in wave {
+            for &app_id in bundle {
+                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
+                for rank in 0..ntasks {
+                    let client = mapped.core_of_task(app_id, rank);
+                    let mut payload = Vec::with_capacity(12);
+                    payload.extend_from_slice(&app_id.to_ne_bytes());
+                    payload.extend_from_slice(&rank.to_ne_bytes());
+                    dart.send(app_id, TrafficClass::Control, 0, client, TAG_DISPATCH, Bytes::from(payload));
+                }
+            }
+        }
+        let mut handles = Vec::new();
+        for bundle in wave {
+            for &app_id in bundle {
+                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
+                for rank in 0..ntasks {
+                    let ctx = TaskCtx {
+                        scenario: Arc::clone(&scenario),
+                        mapped: Arc::clone(&mapped),
+                        space: Arc::clone(&space),
+                        dart: Arc::clone(&dart),
+                        reports: Arc::clone(&reports),
+                        failures: Arc::clone(&failures),
+                        app: app_id,
+                        rank,
+                    };
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("app{app_id}-r{rank}"))
+                            .stack_size(512 * 1024)
+                            .spawn(move || task_routine(ctx))
+                            .expect("thread spawn failed"),
+                    );
+                }
+            }
+        }
+        for h in handles {
+            h.join().expect("task thread panicked");
+        }
+    }
+
+    let reports = Arc::try_unwrap(reports).expect("threads done").into_inner();
+    ThreadedOutcome {
+        strategy,
+        ledger: ledger.snapshot(),
+        reports,
+        verify_failures: failures.load(Ordering::Relaxed),
+        mapped: Arc::try_unwrap(mapped).expect("threads done"),
+    }
+}
+
+/// The statically linked "application subroutine" every execution client
+/// runs: produce and/or consume coupled data, then do one stencil
+/// exchange round.
+fn task_routine(ctx: TaskCtx) {
+    let client = ctx.mapped.core_of_task(ctx.app, ctx.rank);
+    let mailbox = ctx.dart.take_mailbox(client);
+
+    // First message is always this client's task assignment from the
+    // workflow server (enqueued before the thread was spawned).
+    let dispatch = mailbox.recv();
+    assert_eq!(dispatch.tag, TAG_DISPATCH, "expected dispatch first");
+    assert_eq!(u32::from_ne_bytes(dispatch.payload[..4].try_into().unwrap()), ctx.app);
+    assert_eq!(u64::from_ne_bytes(dispatch.payload[4..12].try_into().unwrap()), ctx.rank);
+
+    let dec = ctx.scenario.decomposition(ctx.app);
+
+    // Producer role: one put sequence per iteration (version). For
+    // concurrent couplings, version v-1 is reclaimed once every consumer
+    // get of it has completed — the in-memory window a long-running
+    // simulation needs.
+    for coupling in &ctx.scenario.couplings {
+        if coupling.producer_app != ctx.app {
+            continue;
+        }
+        let vid = var_id(&coupling.var);
+        let pieces = dec.rank_region(ctx.rank);
+        for version in 0..ctx.scenario.iterations {
+            for (pi, piece) in pieces.iter().enumerate() {
+                let data =
+                    layout::fill_with(piece, |p| field_value(vid, version, &p[..piece.ndim()]));
+                let res = if coupling.concurrent {
+                    ctx.space
+                        .put_cont(client, ctx.app, &coupling.var, version, pi as u64, piece, &data)
+                } else {
+                    ctx.space
+                        .put_seq(client, ctx.app, &coupling.var, version, pi as u64, piece, &data)
+                };
+                res.expect("put failed");
+            }
+            if coupling.concurrent && version > 0 {
+                // Reclaim the previous version once fully consumed
+                // (rank 0 evicts on behalf of the group; eviction of a
+                // consumed version is idempotent).
+                if ctx.rank == 0
+                    && ctx.space.wait_version_consumed(
+                        &coupling.var,
+                        version - 1,
+                        std::time::Duration::from_secs(60),
+                    )
+                {
+                    ctx.space.evict_version(&coupling.var, version - 1);
+                }
+            }
+        }
+    }
+
+    // Consumer role: retrieve and verify every iteration's version.
+    for coupling in &ctx.scenario.couplings {
+        if !coupling.consumer_apps.contains(&ctx.app) {
+            continue;
+        }
+        let vid = var_id(&coupling.var);
+        let pdec = ctx.scenario.decomposition(coupling.producer_app);
+        let producer_clients: Vec<ClientId> = (0..pdec.num_ranks())
+            .map(|r| ctx.mapped.core_of_task(coupling.producer_app, r))
+            .collect();
+        let coupled_region = coupling.region.unwrap_or(*pdec.domain());
+        // Interface-region coupling: each task retrieves only the part of
+        // its owned set inside the coupled region.
+        let pieces: Vec<_> = dec
+            .rank_region(ctx.rank)
+            .into_iter()
+            .filter_map(|p| p.intersect(&coupled_region))
+            .collect();
+        for version in 0..ctx.scenario.iterations {
+            for piece in &pieces {
+                let (data, report) = if coupling.concurrent {
+                    ctx.space
+                        .get_cont(
+                            client,
+                            ctx.app,
+                            &coupling.var,
+                            version,
+                            piece,
+                            pdec,
+                            &producer_clients,
+                        )
+                        .expect("get_cont failed")
+                } else {
+                    ctx.space
+                        .get_seq(client, ctx.app, &coupling.var, version, piece)
+                        .expect("get_seq failed")
+                };
+                // Verify every retrieved cell against the field function.
+                let mut bad = 0u64;
+                for p in piece.iter_points() {
+                    let got = data[layout::linear_index(piece, &p[..piece.ndim()])];
+                    if got != field_value(vid, version, &p[..piece.ndim()]) {
+                        bad += 1;
+                    }
+                }
+                if bad > 0 {
+                    ctx.failures.fetch_add(bad, Ordering::Relaxed);
+                }
+                ctx.reports.lock().push((ctx.app, ctx.rank, report));
+            }
+        }
+    }
+
+    // One intra-application near-neighbor exchange round per iteration.
+    let exchanges = halo_exchanges(dec, ctx.scenario.halo);
+    for _ in 0..ctx.scenario.iterations {
+        let mut expected = 0u32;
+        for ex in &exchanges {
+            let peer_rank = if ex.rank_a == ctx.rank {
+                ex.rank_b
+            } else if ex.rank_b == ctx.rank {
+                ex.rank_a
+            } else {
+                continue;
+            };
+            let peer_client = ctx.mapped.core_of_task(ctx.app, peer_rank);
+            let bytes = ex.cells as usize * ctx.scenario.elem_bytes as usize;
+            ctx.dart.send(
+                ctx.app,
+                TrafficClass::IntraApp,
+                client,
+                peer_client,
+                TAG_HALO,
+                Bytes::from(vec![0u8; bytes]),
+            );
+            expected += 1;
+        }
+        for _ in 0..expected {
+            let msg = mailbox.recv();
+            debug_assert_eq!(msg.tag, TAG_HALO);
+        }
+    }
+
+    ctx.dart.return_mailbox(client, mailbox);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{concurrent_scenario, pattern_pairs, sequential_scenario};
+    use insitu_sfc::SpaceFillingCurve;
+
+    #[test]
+    fn field_value_deterministic_and_varied() {
+        let a = field_value(1, 0, &[1, 2, 3]);
+        assert_eq!(a, field_value(1, 0, &[1, 2, 3]));
+        assert_ne!(a, field_value(1, 0, &[1, 2, 4]));
+        assert_ne!(a, field_value(2, 0, &[1, 2, 3]));
+        assert_ne!(a, field_value(1, 1, &[1, 2, 3]));
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn curve_covers_domain() {
+        let c = curve_for(&BoundingBox::from_sizes(&[24, 24, 24]));
+        assert_eq!(c.side(), 32);
+        let c = curve_for(&BoundingBox::from_sizes(&[32, 8]));
+        assert_eq!(c.side(), 32);
+    }
+
+    #[test]
+    fn threaded_concurrent_verifies_clean() {
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::DataCentric);
+        assert_eq!(o.verify_failures, 0);
+        assert_eq!(o.reports.len(), 4);
+        // Full domain redistributed: 32^3... domain is grid*region = (2,2,2)*4 = 8^3.
+        assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 8 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn threaded_sequential_verifies_clean() {
+        let mut s = sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::DataCentric);
+        assert_eq!(o.verify_failures, 0);
+        // SAP2 and SAP3 each read the whole domain.
+        assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 2 * 8 * 8 * 8 * 8);
+        // Sequential gets consult the DHT.
+        assert!(o.reports.iter().any(|(_, _, r)| r.dht_cores_queried > 0 || r.cache_hit));
+    }
+
+    #[test]
+    fn threaded_mismatched_patterns_verify_clean() {
+        // block-cyclic consumer: many pieces, still exact.
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[2]);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert_eq!(o.verify_failures, 0);
+    }
+
+    #[test]
+    fn iterative_concurrent_coupling_verifies_and_reclaims() {
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0])
+            .with_iterations(4);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::DataCentric);
+        assert_eq!(o.verify_failures, 0);
+        // 4 consumers x 4 versions of gets.
+        assert_eq!(o.reports.len(), 16);
+        // Versions after the first replay the cached schedule.
+        let hits = o.reports.iter().filter(|(_, _, r)| r.cache_hit).count();
+        assert!(hits >= 12, "expected cache replays, got {hits}");
+        // Coupled volume scales with iterations.
+        let domain_bytes = s.decomposition(1).domain().num_cells() as u64 * 8;
+        assert_eq!(
+            o.ledger.total_bytes(TrafficClass::InterApp),
+            4 * domain_bytes
+        );
+    }
+
+    #[test]
+    fn iterative_sequential_coupling_verifies() {
+        let mut s = sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0])
+            .with_iterations(2);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert_eq!(o.verify_failures, 0);
+        let domain_bytes = s.decomposition(1).domain().num_cells() as u64 * 8;
+        assert_eq!(
+            o.ledger.total_bytes(TrafficClass::InterApp),
+            2 * 2 * domain_bytes // two consumers x two versions
+        );
+    }
+
+    #[test]
+    fn threaded_stencil_traffic_recorded() {
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert!(o.ledger.total_bytes(TrafficClass::IntraApp) > 0);
+    }
+
+    #[test]
+    fn task_dispatch_is_control_traffic() {
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        let o = run_threaded(&s, MappingStrategy::RoundRobin);
+        // One 12-byte dispatch per task.
+        assert_eq!(o.ledger.total_bytes(TrafficClass::Control), 12 * 12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the group collectives: correctness across arbitrary
+//! group sizes, roots, payload sizes and operation sequences.
+
+use bytes::Bytes;
+use insitu::comm::{GroupComm, ReduceOp};
+use insitu_dart::DartRuntime;
+use insitu_fabric::{MachineSpec, Placement, TransferLedger};
+use insitu_workflow::AppGroup;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run `f` as every rank of an `n`-member group on real threads, collect
+/// per-rank results.
+fn with_group<T, F>(n: u32, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&GroupComm<'_>) -> T + Send + Sync + 'static,
+{
+    let placement = Arc::new(Placement::pack_sequential(
+        MachineSpec::new(n.div_ceil(3).max(1), 3),
+        n,
+    ));
+    let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+    let group = Arc::new(AppGroup { app_id: 1, members: (0..n).collect() });
+    let f = Arc::new(f);
+    let mut handles = Vec::new();
+    for rank in 0..n {
+        let dart = Arc::clone(&dart);
+        let group = Arc::clone(&group);
+        let f = Arc::clone(&f);
+        handles.push(std::thread::spawn(move || {
+            let mailbox = dart.take_mailbox(group.client_of(rank));
+            let comm = GroupComm::new(&dart, &group, rank, &mailbox);
+            f(&comm)
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn broadcast_any_root_any_payload(n in 1u32..10, root_seed in any::<u32>(), len in 0usize..300) {
+        let root = root_seed % n;
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        let results = with_group(n, move |comm| {
+            let data = if comm.rank() == root {
+                Bytes::from(payload.clone())
+            } else {
+                Bytes::new()
+            };
+            comm.broadcast(root, data).to_vec()
+        });
+        for r in results {
+            prop_assert_eq!(&r[..], &expected[..]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial(n in 1u32..9, seed in any::<u64>()) {
+        let values: Vec<f64> =
+            (0..n).map(|i| ((seed >> (i % 48)) & 0xff) as f64 / 7.0).collect();
+        let expect: f64 = values.iter().sum();
+        let v2 = values.clone();
+        let results = with_group(n, move |comm| {
+            comm.allreduce_f64(v2[comm.rank() as usize], ReduceOp::Sum)
+        });
+        for r in results {
+            prop_assert!((r - expect).abs() < 1e-9, "{r} != {expect}");
+        }
+    }
+
+    #[test]
+    fn interleaved_collective_sequences(n in 2u32..7, rounds in 1u32..5) {
+        // barrier / broadcast / gather interleaved `rounds` times; every
+        // rank must observe consistent results at each step.
+        let results = with_group(n, move |comm| {
+            let mut log = Vec::new();
+            for round in 0..rounds {
+                comm.barrier();
+                let root = round % comm.size();
+                let b = comm.broadcast(
+                    root,
+                    if comm.rank() == root {
+                        Bytes::from(vec![round as u8; 3])
+                    } else {
+                        Bytes::new()
+                    },
+                );
+                log.push(b[0]);
+                let gathered = comm.gather(0, Bytes::from(vec![comm.rank() as u8]));
+                if comm.rank() == 0 {
+                    log.push(gathered.len() as u8);
+                }
+                let m = comm.allreduce_f64(comm.rank() as f64, ReduceOp::Max);
+                log.push(m as u8);
+            }
+            log
+        });
+        let n8 = (n - 1) as u8;
+        for (rank, log) in results.into_iter().enumerate() {
+            let mut i = 0;
+            for round in 0..rounds as u8 {
+                prop_assert_eq!(log[i], round, "rank {} round {} broadcast", rank, round);
+                i += 1;
+                if rank == 0 {
+                    prop_assert_eq!(log[i] as u32, n, "gather size");
+                    i += 1;
+                }
+                prop_assert_eq!(log[i], n8, "allreduce max");
+                i += 1;
+            }
+        }
+    }
+}

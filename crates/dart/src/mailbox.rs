@@ -1,0 +1,131 @@
+//! Two-sided asynchronous messaging between execution clients.
+//!
+//! Every client owns an unbounded inbox; `send` never blocks (DART's
+//! asynchronous RPC abstraction hides buffer management from the caller).
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use insitu_fabric::ClientId;
+use std::time::Duration;
+
+/// A message delivered to a client's inbox.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending client.
+    pub src: ClientId,
+    /// Application-defined tag for dispatch.
+    pub tag: u64,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// One client's inbox plus the send sides of all inboxes.
+pub struct Mailbox {
+    rx: Receiver<Msg>,
+    tx: Sender<Msg>,
+}
+
+impl Mailbox {
+    /// Create inboxes for `n` clients. Returns one mailbox per client; the
+    /// runtime hands out cloned senders.
+    pub fn create_all(n: u32) -> (Vec<Mailbox>, Vec<Sender<Msg>>) {
+        let mut boxes = Vec::with_capacity(n as usize);
+        let mut senders = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx.clone());
+            boxes.push(Mailbox { rx, tx });
+        }
+        (boxes, senders)
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Panics
+    /// Panics if every sender is dropped (runtime torn down mid-receive).
+    pub fn recv(&self) -> Msg {
+        self.rx.recv().expect("mailbox senders dropped")
+    }
+
+    /// Receive with a timeout; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Msg> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => panic!("mailbox senders dropped"),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Msg> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the inbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// A sender for this mailbox (used when constructing runtimes).
+    pub fn sender(&self) -> Sender<Msg> {
+        self.tx.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv() {
+        let (boxes, senders) = Mailbox::create_all(2);
+        senders[1]
+            .send(Msg { src: 0, tag: 7, payload: Bytes::from_static(b"hi") })
+            .unwrap();
+        let m = boxes[1].recv();
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 7);
+        assert_eq!(&m.payload[..], b"hi");
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let (boxes, senders) = Mailbox::create_all(1);
+        for i in 0..10u64 {
+            senders[0].send(Msg { src: 0, tag: i, payload: Bytes::new() }).unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(boxes[0].recv().tag, i);
+        }
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (boxes, _senders) = Mailbox::create_all(1);
+        assert!(boxes[0].try_recv().is_none());
+        assert!(boxes[0].is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (boxes, _senders) = Mailbox::create_all(1);
+        assert!(boxes[0].recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (boxes, senders) = Mailbox::create_all(2);
+        let tx = senders[0].clone();
+        let h = std::thread::spawn(move || {
+            tx.send(Msg { src: 1, tag: 42, payload: Bytes::from_static(b"x") }).unwrap();
+        });
+        let m = boxes[0].recv();
+        h.join().unwrap();
+        assert_eq!(m.tag, 42);
+    }
+}

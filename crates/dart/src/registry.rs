@@ -1,0 +1,191 @@
+//! Remotely accessible registered buffers.
+//!
+//! HybridDART "creates remotely accessible data buffers using either
+//! shared memory segments or RDMA memory regions" (§IV.A). The registry
+//! is the in-process equivalent: owners register immutable byte buffers
+//! under a key; any client can open them (one-sided read, no owner
+//! involvement) or block until they appear — the rendezvous used by
+//! concurrent coupling, where a consumer's `get` may race the producer's
+//! `put`.
+
+use bytes::Bytes;
+use insitu_fabric::ClientId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Key of a registered buffer. CoDS composes `(name_hash, version, piece)`;
+/// the registry treats it opaquely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BufKey {
+    /// Hash of the variable name (or other namespace).
+    pub name: u64,
+    /// Data version (iteration number).
+    pub version: u64,
+    /// Disambiguator, e.g. producing rank or piece index.
+    pub piece: u64,
+}
+
+/// An opened buffer: the owner (for locality decisions) plus a zero-copy
+/// view of the registered bytes.
+#[derive(Clone, Debug)]
+pub struct BufferHandle {
+    /// Client that registered the buffer.
+    pub owner: ClientId,
+    /// The registered bytes.
+    pub data: Bytes,
+}
+
+/// A concurrent key -> buffer table with blocking waits.
+#[derive(Default)]
+pub struct BufferRegistry {
+    table: Mutex<HashMap<BufKey, BufferHandle>>,
+    arrived: Condvar,
+}
+
+impl BufferRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a buffer and wake any waiters.
+    pub fn register(&self, key: BufKey, owner: ClientId, data: Bytes) {
+        self.table.lock().insert(key, BufferHandle { owner, data });
+        self.arrived.notify_all();
+    }
+
+    /// Non-blocking lookup.
+    pub fn get(&self, key: &BufKey) -> Option<BufferHandle> {
+        self.table.lock().get(key).cloned()
+    }
+
+    /// Block until `key` is registered, up to `timeout`. `None` on timeout.
+    pub fn wait_for(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut table = self.table.lock();
+        loop {
+            if let Some(h) = table.get(key) {
+                return Some(h.clone());
+            }
+            if self.arrived.wait_until(&mut table, deadline).timed_out() {
+                return table.get(key).cloned();
+            }
+        }
+    }
+
+    /// Remove a buffer (e.g. when a version is garbage collected).
+    pub fn unregister(&self, key: &BufKey) -> Option<BufferHandle> {
+        self.table.lock().remove(key)
+    }
+
+    /// Remove every buffer whose version is strictly below `min_version`
+    /// for the given name hash. Returns `(owner, bytes)` of each removed
+    /// buffer so callers can release per-node staging accounting.
+    pub fn evict_below(&self, name: u64, min_version: u64) -> Vec<(ClientId, u64)> {
+        let mut t = self.table.lock();
+        let mut removed = Vec::new();
+        t.retain(|k, h| {
+            let keep = k.name != name || k.version >= min_version;
+            if !keep {
+                removed.push((h.owner, h.data.len() as u64));
+            }
+            keep
+        });
+        removed
+    }
+
+    /// Number of registered buffers.
+    pub fn len(&self) -> usize {
+        self.table.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(n: u64) -> BufKey {
+        BufKey { name: n, version: 0, piece: 0 }
+    }
+
+    #[test]
+    fn register_and_get() {
+        let r = BufferRegistry::new();
+        r.register(key(1), 3, Bytes::from_static(b"abc"));
+        let h = r.get(&key(1)).unwrap();
+        assert_eq!(h.owner, 3);
+        assert_eq!(&h.data[..], b"abc");
+        assert!(r.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn wait_for_already_present() {
+        let r = BufferRegistry::new();
+        r.register(key(5), 0, Bytes::new());
+        assert!(r.wait_for(&key(5), Duration::from_millis(1)).is_some());
+    }
+
+    #[test]
+    fn wait_for_timeout() {
+        let r = BufferRegistry::new();
+        assert!(r.wait_for(&key(9), Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn wait_for_rendezvous_across_threads() {
+        let r = Arc::new(BufferRegistry::new());
+        let r2 = Arc::clone(&r);
+        let waiter = std::thread::spawn(move || {
+            r2.wait_for(&key(7), Duration::from_secs(5)).expect("producer must arrive")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        r.register(key(7), 11, Bytes::from_static(b"data"));
+        let h = waiter.join().unwrap();
+        assert_eq!(h.owner, 11);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let r = BufferRegistry::new();
+        r.register(key(1), 0, Bytes::new());
+        assert!(r.unregister(&key(1)).is_some());
+        assert!(r.get(&key(1)).is_none());
+        assert!(r.unregister(&key(1)).is_none());
+    }
+
+    #[test]
+    fn evict_below_respects_name_and_version() {
+        let r = BufferRegistry::new();
+        for v in 0..5u64 {
+            r.register(BufKey { name: 1, version: v, piece: 0 }, v as u32, Bytes::from(vec![0u8; 4]));
+            r.register(BufKey { name: 2, version: v, piece: 0 }, 0, Bytes::new());
+        }
+        let removed = r.evict_below(1, 3);
+        assert_eq!(removed.len(), 3);
+        // Each removed entry reports its owner and size.
+        assert!(removed.iter().all(|&(_, b)| b == 4));
+        let owners: std::collections::HashSet<u32> = removed.iter().map(|&(o, _)| o).collect();
+        assert_eq!(owners, [0u32, 1, 2].into_iter().collect());
+        assert_eq!(r.len(), 7);
+        assert!(r.get(&BufKey { name: 1, version: 3, piece: 0 }).is_some());
+        assert!(r.get(&BufKey { name: 2, version: 0, piece: 0 }).is_some());
+    }
+
+    #[test]
+    fn replace_same_key() {
+        let r = BufferRegistry::new();
+        r.register(key(1), 0, Bytes::from_static(b"a"));
+        r.register(key(1), 1, Bytes::from_static(b"b"));
+        let h = r.get(&key(1)).unwrap();
+        assert_eq!(h.owner, 1);
+        assert_eq!(&h.data[..], b"b");
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The HybridDART runtime: endpoints, transport selection and accounting.
+
+use crate::mailbox::{Mailbox, Msg};
+use crate::registry::BufferRegistry;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use insitu_fabric::{ClientId, Locality, Placement, TrafficClass, TransferLedger};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The shared communication runtime for one workflow execution.
+///
+/// Holds the placement (to select transports), the transfer ledger (to
+/// account every byte), the message senders of all endpoints and the
+/// one-sided buffer registry. Cheap to clone via `Arc`.
+pub struct DartRuntime {
+    placement: Arc<Placement>,
+    ledger: Arc<TransferLedger>,
+    senders: Vec<Sender<Msg>>,
+    mailboxes: Vec<Mutex<Option<Mailbox>>>,
+    registry: BufferRegistry,
+}
+
+impl DartRuntime {
+    /// Build a runtime for every client of `placement`.
+    pub fn new(placement: Arc<Placement>, ledger: Arc<TransferLedger>) -> Arc<Self> {
+        let n = placement.num_clients();
+        let (boxes, senders) = Mailbox::create_all(n);
+        Arc::new(DartRuntime {
+            placement,
+            ledger,
+            senders,
+            mailboxes: boxes.into_iter().map(|b| Mutex::new(Some(b))).collect(),
+            registry: BufferRegistry::new(),
+        })
+    }
+
+    /// The placement this runtime serves.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The byte ledger.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// The one-sided buffer registry.
+    pub fn registry(&self) -> &BufferRegistry {
+        &self.registry
+    }
+
+    /// HybridDART's transport selection: shared memory when the two
+    /// clients share a node, network otherwise.
+    #[inline]
+    pub fn transport(&self, a: ClientId, b: ClientId) -> Locality {
+        if self.placement.colocated(a, b) {
+            Locality::SharedMemory
+        } else {
+            Locality::Network
+        }
+    }
+
+    /// Account a logical transfer of `bytes` from `from` to `to` for
+    /// application `app`, choosing the transport by locality.
+    pub fn account(
+        &self,
+        app: u32,
+        class: TrafficClass,
+        from: ClientId,
+        to: ClientId,
+        bytes: u64,
+    ) -> Locality {
+        let loc = self.transport(from, to);
+        self.ledger.record(app, class, loc, bytes);
+        loc
+    }
+
+    /// Send a message, accounting its payload under `class` (control
+    /// messages, halo exchanges, ...).
+    pub fn send(
+        &self,
+        app: u32,
+        class: TrafficClass,
+        from: ClientId,
+        to: ClientId,
+        tag: u64,
+        payload: Bytes,
+    ) {
+        self.account(app, class, from, to, payload.len() as u64);
+        self.senders[to as usize]
+            .send(Msg { src: from, tag, payload })
+            .expect("receiver mailbox dropped");
+    }
+
+    /// Return a mailbox taken with [`Self::take_mailbox`] so a later task
+    /// on the same core (a new wave's application) can take it again.
+    pub fn return_mailbox(&self, client: ClientId, mailbox: Mailbox) {
+        let mut slot = self.mailboxes[client as usize].lock();
+        assert!(slot.is_none(), "mailbox returned twice");
+        *slot = Some(mailbox);
+    }
+
+    /// Take ownership of a client's mailbox (each client thread does this
+    /// once at startup).
+    ///
+    /// # Panics
+    /// Panics if the mailbox was already taken.
+    pub fn take_mailbox(&self, client: ClientId) -> Mailbox {
+        self.mailboxes[client as usize]
+            .lock()
+            .take()
+            .expect("mailbox already taken")
+    }
+
+    /// Number of endpoints.
+    pub fn num_clients(&self) -> u32 {
+        self.placement.num_clients()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_fabric::MachineSpec;
+
+    fn runtime(nodes: u32, cores: u32, clients: u32) -> Arc<DartRuntime> {
+        let placement =
+            Arc::new(Placement::pack_sequential(MachineSpec::new(nodes, cores), clients));
+        DartRuntime::new(placement, Arc::new(TransferLedger::new()))
+    }
+
+    #[test]
+    fn transport_selection_by_colocation() {
+        let rt = runtime(2, 2, 4);
+        assert_eq!(rt.transport(0, 1), Locality::SharedMemory);
+        assert_eq!(rt.transport(0, 2), Locality::Network);
+        assert_eq!(rt.transport(2, 3), Locality::SharedMemory);
+    }
+
+    #[test]
+    fn account_records_with_locality() {
+        let rt = runtime(2, 2, 4);
+        rt.account(1, TrafficClass::InterApp, 0, 1, 100);
+        rt.account(1, TrafficClass::InterApp, 0, 2, 40);
+        let s = rt.ledger().snapshot();
+        assert_eq!(s.shm_bytes(TrafficClass::InterApp), 100);
+        assert_eq!(s.network_bytes(TrafficClass::InterApp), 40);
+    }
+
+    #[test]
+    fn send_delivers_and_accounts_class() {
+        let rt = runtime(1, 4, 4);
+        let mb = rt.take_mailbox(3);
+        rt.send(9, TrafficClass::Control, 0, 3, 5, Bytes::from_static(b"task"));
+        let m = mb.recv();
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 5);
+        let s = rt.ledger().snapshot();
+        assert_eq!(s.shm_bytes(TrafficClass::Control), 4);
+    }
+
+    #[test]
+    fn mailbox_can_be_returned_and_retaken() {
+        let rt = runtime(1, 2, 2);
+        let mb = rt.take_mailbox(0);
+        rt.return_mailbox(0, mb);
+        let _again = rt.take_mailbox(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox already taken")]
+    fn mailbox_taken_once() {
+        let rt = runtime(1, 2, 2);
+        let _a = rt.take_mailbox(0);
+        let _b = rt.take_mailbox(0);
+    }
+
+    #[test]
+    fn registry_shared_through_runtime() {
+        let rt = runtime(2, 2, 4);
+        rt.registry().register(
+            crate::BufKey { name: 1, version: 0, piece: 0 },
+            2,
+            Bytes::from_static(b"xyz"),
+        );
+        let h = rt.registry().get(&crate::BufKey { name: 1, version: 0, piece: 0 }).unwrap();
+        assert_eq!(h.owner, 2);
+    }
+}

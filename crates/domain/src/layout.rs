@@ -1,0 +1,274 @@
+//! Row-major linearization of boxes and strided sub-box copies.
+//!
+//! Data for a box is stored as a dense row-major array (last dimension
+//! fastest), the layout a Fortran/C mesh code would register with the
+//! framework. Redistribution assembles a destination box from pieces of
+//! several source boxes, which is the n-dimensional strided copy
+//! implemented here.
+
+use crate::bbox::BoundingBox;
+
+/// Linear index of point `p` inside the dense row-major array of `bbox`.
+///
+/// # Panics
+/// Debug-panics if the point lies outside the box.
+#[inline]
+pub fn linear_index(bbox: &BoundingBox, p: &[u64]) -> usize {
+    debug_assert!(bbox.contains_point(p));
+    let mut idx: u64 = 0;
+    for d in 0..bbox.ndim() {
+        idx = idx * bbox.extent(d) + (p[d] - bbox.lb(d));
+    }
+    idx as usize
+}
+
+/// Copy the cells of `region` from the dense array of `src_box` into the
+/// dense array of `dst_box`.
+///
+/// `region` must be contained in both boxes. Rows (runs along the last
+/// dimension) are contiguous in both arrays and copied with `copy_from_slice`.
+///
+/// # Panics
+/// Panics if `region` is not contained in both boxes or if array lengths
+/// do not match their boxes.
+pub fn copy_region<T: Copy>(
+    src: &[T],
+    src_box: &BoundingBox,
+    dst: &mut [T],
+    dst_box: &BoundingBox,
+    region: &BoundingBox,
+) {
+    assert_eq!(src.len() as u128, src_box.num_cells(), "src length mismatch");
+    assert_eq!(dst.len() as u128, dst_box.num_cells(), "dst length mismatch");
+    assert!(src_box.contains_box(region), "region outside src box");
+    assert!(dst_box.contains_box(region), "region outside dst box");
+
+    let ndim = region.ndim();
+    let last = ndim - 1;
+    let row_len = region.extent(last) as usize;
+
+    // Iterate the region's row starts (all dims except the last, which is
+    // covered by the contiguous row copy).
+    let mut cur = region.lower();
+    loop {
+        let s = linear_index(src_box, &cur[..ndim]);
+        let d = linear_index(dst_box, &cur[..ndim]);
+        dst[d..d + row_len].copy_from_slice(&src[s..s + row_len]);
+
+        // Odometer advance over the prefix dims [0, last).
+        let mut advanced = false;
+        let mut dd = last;
+        while dd > 0 {
+            dd -= 1;
+            if cur[dd] < region.ub(dd) {
+                cur[dd] += 1;
+                for cd in dd + 1..last {
+                    cur[cd] = region.lb(cd);
+                }
+                advanced = true;
+                break;
+            }
+            cur[dd] = region.lb(dd);
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
+/// Byte-granularity variant of [`copy_region`] for raw buffers holding
+/// `elem_bytes`-sized cells. Used to extract coupled-data regions from
+/// registered byte buffers without decoding whole pieces.
+///
+/// # Panics
+/// Same containment/length requirements as [`copy_region`], with lengths
+/// measured in bytes (`num_cells * elem_bytes`).
+pub fn copy_region_bytes(
+    src: &[u8],
+    src_box: &BoundingBox,
+    dst: &mut [u8],
+    dst_box: &BoundingBox,
+    region: &BoundingBox,
+    elem_bytes: usize,
+) {
+    assert_eq!(src.len() as u128, src_box.num_cells() * elem_bytes as u128, "src length mismatch");
+    assert_eq!(dst.len() as u128, dst_box.num_cells() * elem_bytes as u128, "dst length mismatch");
+    assert!(src_box.contains_box(region), "region outside src box");
+    assert!(dst_box.contains_box(region), "region outside dst box");
+
+    let ndim = region.ndim();
+    let last = ndim - 1;
+    let row_bytes = region.extent(last) as usize * elem_bytes;
+    let mut cur = region.lower();
+    loop {
+        let s = linear_index(src_box, &cur[..ndim]) * elem_bytes;
+        let d = linear_index(dst_box, &cur[..ndim]) * elem_bytes;
+        dst[d..d + row_bytes].copy_from_slice(&src[s..s + row_bytes]);
+
+        let mut advanced = false;
+        let mut dd = last;
+        while dd > 0 {
+            dd -= 1;
+            if cur[dd] < region.ub(dd) {
+                cur[dd] += 1;
+                for cd in dd + 1..last {
+                    cur[cd] = region.lb(cd);
+                }
+                advanced = true;
+                break;
+            }
+            cur[dd] = region.lb(dd);
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
+/// Fill the dense array of `bbox` with `f(point)` evaluated at every cell,
+/// row-major. Used by tests and the synthetic workloads to create
+/// verifiable data.
+pub fn fill_with<T, F: FnMut(&[u64]) -> T>(bbox: &BoundingBox, mut f: F) -> Vec<T> {
+    let mut out = Vec::with_capacity(bbox.num_cells() as usize);
+    for p in bbox.iter_points() {
+        out.push(f(&p[..bbox.ndim()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BoundingBox;
+
+    #[test]
+    fn linear_index_row_major() {
+        let b = BoundingBox::new(&[0, 0], &[2, 3]);
+        assert_eq!(linear_index(&b, &[0, 0]), 0);
+        assert_eq!(linear_index(&b, &[0, 3]), 3);
+        assert_eq!(linear_index(&b, &[1, 0]), 4);
+        assert_eq!(linear_index(&b, &[2, 3]), 11);
+    }
+
+    #[test]
+    fn linear_index_respects_origin() {
+        let b = BoundingBox::new(&[5, 10], &[7, 13]);
+        assert_eq!(linear_index(&b, &[5, 10]), 0);
+        assert_eq!(linear_index(&b, &[6, 10]), 4);
+    }
+
+    fn tag(p: &[u64]) -> u64 {
+        p.iter().fold(1u64, |a, &x| a * 1000 + x)
+    }
+
+    #[test]
+    fn copy_region_2d() {
+        let src_box = BoundingBox::new(&[0, 0], &[7, 7]);
+        let dst_box = BoundingBox::new(&[4, 4], &[11, 11]);
+        let region = BoundingBox::new(&[5, 4], &[7, 7]);
+        let src = fill_with(&src_box, tag);
+        let mut dst = vec![0u64; dst_box.num_cells() as usize];
+        copy_region(&src, &src_box, &mut dst, &dst_box, &region);
+        for p in dst_box.iter_points() {
+            let expect = if region.contains_point(&p) { tag(&p[..2]) } else { 0 };
+            assert_eq!(dst[linear_index(&dst_box, &p[..2])], expect, "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn copy_region_3d() {
+        let src_box = BoundingBox::new(&[0, 0, 0], &[3, 3, 3]);
+        let dst_box = BoundingBox::new(&[2, 2, 2], &[5, 5, 5]);
+        let region = BoundingBox::new(&[2, 2, 2], &[3, 3, 3]);
+        let src = fill_with(&src_box, tag);
+        let mut dst = vec![0u64; dst_box.num_cells() as usize];
+        copy_region(&src, &src_box, &mut dst, &dst_box, &region);
+        for p in region.iter_points() {
+            assert_eq!(dst[linear_index(&dst_box, &p[..3])], tag(&p[..3]));
+        }
+        // Outside the region must stay zero.
+        let untouched = dst_box
+            .iter_points()
+            .filter(|p| !region.contains_point(p))
+            .map(|p| dst[linear_index(&dst_box, &p[..3])])
+            .all(|v| v == 0);
+        assert!(untouched);
+    }
+
+    #[test]
+    fn copy_region_1d() {
+        let src_box = BoundingBox::new(&[0], &[9]);
+        let dst_box = BoundingBox::new(&[5], &[14]);
+        let region = BoundingBox::new(&[5], &[9]);
+        let src: Vec<u64> = (0..10).collect();
+        let mut dst = vec![0u64; 10];
+        copy_region(&src, &src_box, &mut dst, &dst_box, &region);
+        assert_eq!(&dst[..5], &[5, 6, 7, 8, 9]);
+        assert_eq!(&dst[5..], &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn copy_region_full_overlap_is_identity() {
+        let b = BoundingBox::new(&[0, 0, 0], &[2, 2, 2]);
+        let src = fill_with(&b, tag);
+        let mut dst = vec![0u64; src.len()];
+        copy_region(&src, &b, &mut dst, &b, &b);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "region outside src box")]
+    fn copy_region_rejects_bad_region() {
+        let a = BoundingBox::new(&[0], &[3]);
+        let b = BoundingBox::new(&[0], &[9]);
+        let src = vec![0u64; 4];
+        let mut dst = vec![0u64; 10];
+        copy_region(&src, &a, &mut dst, &b, &BoundingBox::new(&[2], &[5]));
+    }
+
+    #[test]
+    fn copy_region_bytes_matches_typed_copy() {
+        let src_box = BoundingBox::new(&[0, 0], &[5, 5]);
+        let dst_box = BoundingBox::new(&[2, 2], &[7, 7]);
+        let region = BoundingBox::new(&[2, 2], &[5, 5]);
+        let src: Vec<u64> = fill_with(&src_box, tag);
+        let mut dst_typed = vec![0u64; dst_box.num_cells() as usize];
+        copy_region(&src, &src_box, &mut dst_typed, &dst_box, &region);
+
+        let src_bytes: Vec<u8> = src.iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let mut dst_bytes = vec![0u8; dst_box.num_cells() as usize * 8];
+        copy_region_bytes(&src_bytes, &src_box, &mut dst_bytes, &dst_box, &region, 8);
+        let dst_decoded: Vec<u64> = dst_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_ne_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(dst_typed, dst_decoded);
+    }
+
+    #[test]
+    fn copy_region_bytes_elem_size_1() {
+        let b = BoundingBox::new(&[0, 0], &[1, 1]);
+        let src = vec![1u8, 2, 3, 4];
+        let mut dst = vec![0u8; 4];
+        copy_region_bytes(&src, &b, &mut dst, &b, &b, 1);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "src length mismatch")]
+    fn copy_region_bytes_rejects_bad_length() {
+        let b = BoundingBox::new(&[0], &[3]);
+        let src = vec![0u8; 4];
+        let mut dst = vec![0u8; 32];
+        copy_region_bytes(&src, &b, &mut dst, &b, &b, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "src length mismatch")]
+    fn copy_region_rejects_bad_length() {
+        let a = BoundingBox::new(&[0], &[3]);
+        let src = vec![0u64; 3];
+        let mut dst = vec![0u64; 4];
+        copy_region(&src, &a, &mut dst, &a, &a);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the domain geometry invariants.
+
+use insitu_domain::bbox::pt;
+use insitu_domain::dist::count_owned_in_range;
+use insitu_domain::layout::{copy_region, fill_with, linear_index};
+use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
+use proptest::prelude::*;
+
+fn arb_box_2d(max: u64) -> impl Strategy<Value = BoundingBox> {
+    (0..max, 0..max, 0..max, 0..max).prop_map(move |(a, b, c, d)| {
+        BoundingBox::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)])
+    })
+}
+
+fn arb_dist() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Blocked),
+        Just(Distribution::Cyclic),
+        (1u64..5, 1u64..5).prop_map(|(a, b)| Distribution::block_cyclic(&[a, b])),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn intersect_commutative_and_contained(a in arb_box_2d(32), b in arb_box_2d(32)) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_box(&i));
+            prop_assert!(b.contains_box(&i));
+            prop_assert!(i.num_cells() <= a.num_cells().min(b.num_cells()));
+        }
+    }
+
+    #[test]
+    fn intersect_idempotent(a in arb_box_2d(32)) {
+        prop_assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn hull_contains_both(a in arb_box_2d(32), b in arb_box_2d(32)) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_box(&a));
+        prop_assert!(h.contains_box(&b));
+    }
+
+    #[test]
+    fn count_owned_matches_brute(
+        lo in 0u64..40, len in 0u64..40, b in 1u64..6, p in 1u64..6, g_seed in 0u64..6,
+    ) {
+        let g = g_seed % p;
+        let hi = lo + len;
+        let brute = (lo..=hi).filter(|x| (x / b) % p == g).count() as u64;
+        prop_assert_eq!(count_owned_in_range(lo, hi, b, p, g), brute);
+    }
+
+    #[test]
+    fn decomposition_tiles_domain(
+        sx in 1u64..24, sy in 1u64..24, px in 1u64..4, py in 1u64..4, dist in arb_dist(),
+    ) {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[sx, sy]),
+            ProcessGrid::new(&[px, py]),
+            dist,
+        );
+        // Every cell owned by exactly one rank; rank_cells sums to volume.
+        let total: u128 = (0..dec.num_ranks()).map(|r| dec.rank_cells(r)).sum();
+        prop_assert_eq!(total, dec.domain().num_cells());
+        for ptt in dec.domain().iter_points() {
+            let owner = dec.owner_of_point(&ptt[..2]);
+            prop_assert!(owner < dec.num_ranks());
+        }
+    }
+
+    #[test]
+    fn overlaps_consistent_with_overlap_cells(
+        sx in 4u64..20, sy in 4u64..20, px in 1u64..4, py in 1u64..4,
+        dist in arb_dist(), q in arb_box_2d(24),
+    ) {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[sx, sy]),
+            ProcessGrid::new(&[px, py]),
+            dist,
+        );
+        let overlaps = dec.overlaps(&q);
+        // Reported entries match per-rank closed form and are non-zero.
+        for o in &overlaps {
+            prop_assert!(o.cells > 0);
+            prop_assert_eq!(o.cells, dec.overlap_cells(o.rank, &q));
+        }
+        // Non-reported ranks overlap nothing.
+        let reported: std::collections::HashSet<u64> =
+            overlaps.iter().map(|o| o.rank).collect();
+        for r in 0..dec.num_ranks() {
+            if !reported.contains(&r) {
+                prop_assert_eq!(dec.overlap_cells(r, &q), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_partition_overlap(
+        sx in 4u64..16, sy in 4u64..16, px in 1u64..4, py in 1u64..4,
+        dist in arb_dist(), q in arb_box_2d(20),
+    ) {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[sx, sy]),
+            ProcessGrid::new(&[px, py]),
+            dist,
+        );
+        for r in 0..dec.num_ranks() {
+            let pieces = dec.pieces(r, &q);
+            let vol: u128 = pieces.iter().map(|p| p.num_cells()).sum();
+            prop_assert_eq!(vol, dec.overlap_cells(r, &q));
+            for (i, a) in pieces.iter().enumerate() {
+                for b in &pieces[i + 1..] {
+                    prop_assert!(a.intersect(b).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_region_moves_exactly_region(
+        ax in 0u64..6, ay in 0u64..6, ex in 1u64..6, ey in 1u64..6,
+    ) {
+        // src and dst boxes both contain the region; src larger.
+        let region = BoundingBox::new(&[ax + 2, ay + 2], &[ax + 1 + ex, ay + 1 + ey]);
+        let src_box = BoundingBox::new(&[0, 0], &[15, 15]);
+        let dst_box = BoundingBox::new(&[1, 1], &[14, 14]);
+        let tag = |p: &[u64]| p[0] * 100 + p[1] + 1;
+        let src = fill_with(&src_box, tag);
+        let mut dst = vec![0u64; dst_box.num_cells() as usize];
+        copy_region(&src, &src_box, &mut dst, &dst_box, &region);
+        for p in dst_box.iter_points() {
+            let got = dst[linear_index(&dst_box, &p[..2])];
+            if region.contains_point(&p) {
+                prop_assert_eq!(got, tag(&p[..2]));
+            } else {
+                prop_assert_eq!(got, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_of_point_agrees_with_pieces(
+        sx in 2u64..12, sy in 2u64..12, px in 1u64..3, py in 1u64..3, dist in arb_dist(),
+    ) {
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[sx, sy]),
+            ProcessGrid::new(&[px, py]),
+            dist,
+        );
+        for p in dec.domain().iter_points() {
+            let owner = dec.owner_of_point(&p[..2]);
+            let cell = BoundingBox::new(&[p[0], p[1]], &[p[0], p[1]]);
+            prop_assert_eq!(dec.overlap_cells(owner, &cell), 1);
+        }
+        // silence unused import lint for pt in some configurations
+        let _ = pt(&[0, 0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Byte accounting for every data transfer in the system.
+//!
+//! The paper's headline experiments (Figs. 8, 9, 12-15) measure *the
+//! amount of data transferred over the communication fabric* versus
+//! retrieved in-situ through shared memory. The [`TransferLedger`] is the
+//! single source of truth for those numbers: both the threaded executor
+//! (which really moves bytes) and the modeled executor (which only counts
+//! them) record into it, classified by traffic class, application id and
+//! locality.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a transfer is for. The evaluation separates inter-application
+/// coupling traffic from intra-application (stencil) exchanges; DHT
+/// queries and control messages are tracked for completeness.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TrafficClass {
+    /// Coupled data redistribution between applications.
+    InterApp,
+    /// Near-neighbor exchange within one application.
+    IntraApp,
+    /// DHT location queries and updates.
+    Dht,
+    /// Registration, task dispatch and other control-plane messages.
+    Control,
+}
+
+impl TrafficClass {
+    const ALL: [TrafficClass; 4] = [
+        TrafficClass::InterApp,
+        TrafficClass::IntraApp,
+        TrafficClass::Dht,
+        TrafficClass::Control,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            TrafficClass::InterApp => 0,
+            TrafficClass::IntraApp => 1,
+            TrafficClass::Dht => 2,
+            TrafficClass::Control => 3,
+        }
+    }
+}
+
+/// Whether a transfer stayed on-node (shared memory) or crossed the
+/// network fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Locality {
+    /// Intra-node: served from shared memory.
+    SharedMemory,
+    /// Inter-node: crossed the interconnect.
+    Network,
+}
+
+/// Thread-safe accumulator of transferred bytes.
+#[derive(Debug, Default)]
+pub struct TransferLedger {
+    shm: [AtomicU64; 4],
+    net: [AtomicU64; 4],
+    // (app, class, locality) -> bytes; the per-application breakdown used
+    // by Figs. 12-15. Kept under a mutex: recorded per transfer, not per
+    // byte, so contention is negligible.
+    per_app: Mutex<BTreeMap<(u32, TrafficClass, Locality), u64>>,
+}
+
+impl TransferLedger {
+    /// New, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` of traffic for application `app`.
+    pub fn record(&self, app: u32, class: TrafficClass, locality: Locality, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        match locality {
+            Locality::SharedMemory => &self.shm[class.idx()],
+            Locality::Network => &self.net[class.idx()],
+        }
+        .fetch_add(bytes, Ordering::Relaxed);
+        *self.per_app.lock().entry((app, class, locality)).or_insert(0) += bytes;
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            shm: std::array::from_fn(|i| self.shm[i].load(Ordering::Relaxed)),
+            net: std::array::from_fn(|i| self.net[i].load(Ordering::Relaxed)),
+            per_app: self.per_app.lock().clone(),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for a in &self.shm {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.net {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.per_app.lock().clear();
+    }
+}
+
+/// A point-in-time copy of a [`TransferLedger`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    shm: [u64; 4],
+    net: [u64; 4],
+    per_app: BTreeMap<(u32, TrafficClass, Locality), u64>,
+}
+
+impl LedgerSnapshot {
+    /// Bytes of `class` served from shared memory.
+    pub fn shm_bytes(&self, class: TrafficClass) -> u64 {
+        self.shm[class.idx()]
+    }
+
+    /// Bytes of `class` sent over the network.
+    pub fn network_bytes(&self, class: TrafficClass) -> u64 {
+        self.net[class.idx()]
+    }
+
+    /// Total bytes of `class` regardless of locality.
+    pub fn total_bytes(&self, class: TrafficClass) -> u64 {
+        self.shm_bytes(class) + self.network_bytes(class)
+    }
+
+    /// All network bytes across classes.
+    pub fn network_total(&self) -> u64 {
+        TrafficClass::ALL.iter().map(|&c| self.network_bytes(c)).sum()
+    }
+
+    /// All shared-memory bytes across classes.
+    pub fn shm_total(&self) -> u64 {
+        TrafficClass::ALL.iter().map(|&c| self.shm_bytes(c)).sum()
+    }
+
+    /// Bytes recorded for one application, class and locality.
+    pub fn app_bytes(&self, app: u32, class: TrafficClass, locality: Locality) -> u64 {
+        self.per_app.get(&(app, class, locality)).copied().unwrap_or(0)
+    }
+
+    /// Fraction of `class` bytes that crossed the network (0 when no
+    /// traffic of the class occurred).
+    pub fn network_fraction(&self, class: TrafficClass) -> f64 {
+        let total = self.total_bytes(class);
+        if total == 0 {
+            0.0
+        } else {
+            self.network_bytes(class) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::InterApp, Locality::Network, 100);
+        l.record(1, TrafficClass::InterApp, Locality::SharedMemory, 50);
+        l.record(2, TrafficClass::IntraApp, Locality::Network, 7);
+        let s = l.snapshot();
+        assert_eq!(s.network_bytes(TrafficClass::InterApp), 100);
+        assert_eq!(s.shm_bytes(TrafficClass::InterApp), 50);
+        assert_eq!(s.total_bytes(TrafficClass::InterApp), 150);
+        assert_eq!(s.network_bytes(TrafficClass::IntraApp), 7);
+        assert_eq!(s.network_total(), 107);
+        assert_eq!(s.shm_total(), 50);
+    }
+
+    #[test]
+    fn per_app_breakdown() {
+        let l = TransferLedger::new();
+        l.record(3, TrafficClass::IntraApp, Locality::Network, 10);
+        l.record(3, TrafficClass::IntraApp, Locality::Network, 5);
+        l.record(4, TrafficClass::IntraApp, Locality::SharedMemory, 2);
+        let s = l.snapshot();
+        assert_eq!(s.app_bytes(3, TrafficClass::IntraApp, Locality::Network), 15);
+        assert_eq!(s.app_bytes(4, TrafficClass::IntraApp, Locality::SharedMemory), 2);
+        assert_eq!(s.app_bytes(9, TrafficClass::IntraApp, Locality::Network), 0);
+    }
+
+    #[test]
+    fn zero_byte_records_ignored() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::Dht, Locality::Network, 0);
+        assert_eq!(l.snapshot().network_total(), 0);
+    }
+
+    #[test]
+    fn network_fraction() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::InterApp, Locality::Network, 20);
+        l.record(1, TrafficClass::InterApp, Locality::SharedMemory, 80);
+        let s = l.snapshot();
+        assert!((s.network_fraction(TrafficClass::InterApp) - 0.2).abs() < 1e-12);
+        assert_eq!(s.network_fraction(TrafficClass::Control), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::Control, Locality::Network, 9);
+        l.reset();
+        let s = l.snapshot();
+        assert_eq!(s.network_total(), 0);
+        assert_eq!(s.app_bytes(1, TrafficClass::Control, Locality::Network), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let l = Arc::new(TransferLedger::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.record(t, TrafficClass::InterApp, Locality::Network, 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = l.snapshot();
+        assert_eq!(s.network_bytes(TrafficClass::InterApp), 8 * 1000 * 3);
+        for t in 0..8 {
+            assert_eq!(s.app_bytes(t, TrafficClass::InterApp, Locality::Network), 3000);
+        }
+    }
+}

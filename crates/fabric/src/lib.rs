@@ -1,0 +1,30 @@
+//! Simulated multicore HPC platform.
+//!
+//! This crate substitutes for the paper's Jaguar Cray XT5 testbed. It
+//! provides:
+//!
+//! * [`MachineSpec`] / [`Placement`] — nodes × cores and the mapping from
+//!   execution clients to cores (the *output* of a task-mapping strategy);
+//! * [`TransferLedger`] — thread-safe byte accounting classified by
+//!   traffic class, application and locality (shared memory vs network),
+//!   the measured quantity of Figs. 8, 9 and 12–15;
+//! * [`TorusTopology`] — SeaStar2+-style 3-D torus with dimension-ordered
+//!   routing, used for link-contention accounting;
+//! * [`NetworkModel`] / [`estimate_retrieve_times`] — the analytic time
+//!   model that stands in for wall-clock measurements on the Cray
+//!   (Figs. 11 and 16).
+
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod machine;
+pub mod timemodel;
+pub mod torus;
+
+pub use ledger::{LedgerSnapshot, Locality, TrafficClass, TransferLedger};
+pub use machine::{ClientId, CoreId, MachineSpec, NodeId, Placement};
+pub use timemodel::{
+    estimate_file_coupling_time, estimate_retrieve_times, ClientRetrieve, FilesystemModel,
+    NetworkModel, Transfer,
+};
+pub use torus::{LinkId, TorusTopology};

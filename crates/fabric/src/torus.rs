@@ -1,0 +1,191 @@
+//! 3-D torus interconnect topology with dimension-ordered routing.
+//!
+//! Jaguar XT5's SeaStar2+ routers form a 3-D torus. The time model uses
+//! the torus to account for link sharing: concurrent flows whose
+//! dimension-ordered routes traverse the same directed link contend for
+//! its bandwidth, which is what produces the gentle growth of retrieve
+//! time under weak scaling (Fig. 16).
+
+use crate::machine::NodeId;
+
+/// A directed torus link, identified by its source node, dimension and
+/// direction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId {
+    /// Node the link leaves from.
+    pub from: NodeId,
+    /// Torus dimension (0, 1 or 2).
+    pub dim: u8,
+    /// `true` for the positive direction.
+    pub plus: bool,
+}
+
+/// A 3-D torus over `dims[0] * dims[1] * dims[2]` nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct TorusTopology {
+    dims: [u32; 3],
+}
+
+impl TorusTopology {
+    /// Create a torus with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(dims: [u32; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "torus dims must be positive");
+        TorusTopology { dims }
+    }
+
+    /// A roughly cubic torus covering at least `nodes` nodes.
+    pub fn cubic_for(nodes: u32) -> Self {
+        let mut d = [1u32; 3];
+        let mut i = 0;
+        while d[0] * d[1] * d[2] < nodes {
+            d[i] += 1;
+            i = (i + 1) % 3;
+        }
+        TorusTopology::new(d)
+    }
+
+    /// Torus dimensions.
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> u32 {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Coordinates of `node` (row-major, z fastest).
+    pub fn coords_of(&self, node: NodeId) -> [u32; 3] {
+        assert!(node < self.num_nodes(), "node out of range");
+        let z = node % self.dims[2];
+        let y = (node / self.dims[2]) % self.dims[1];
+        let x = node / (self.dims[2] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Node at coordinates.
+    pub fn node_of(&self, c: [u32; 3]) -> NodeId {
+        debug_assert!((0..3).all(|d| c[d] < self.dims[d]));
+        (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2]
+    }
+
+    /// Number of hops of the dimension-ordered route from `a` to `b`
+    /// (shortest direction around each ring).
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coords_of(a);
+        let cb = self.coords_of(b);
+        (0..3)
+            .map(|d| {
+                let fwd = (cb[d] + self.dims[d] - ca[d]) % self.dims[d];
+                fwd.min(self.dims[d] - fwd)
+            })
+            .sum()
+    }
+
+    /// The directed links of the dimension-ordered (x, then y, then z)
+    /// route from `a` to `b`, taking the shorter way around each ring.
+    /// Empty when `a == b`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        let mut cur = self.coords_of(a);
+        let target = self.coords_of(b);
+        let mut links = Vec::new();
+        for d in 0..3usize {
+            let n = self.dims[d];
+            let fwd = (target[d] + n - cur[d]) % n;
+            let bwd = n - fwd;
+            let (steps, plus) = if fwd == 0 {
+                (0, true)
+            } else if fwd <= bwd {
+                (fwd, true)
+            } else {
+                (bwd, false)
+            };
+            for _ in 0..steps {
+                links.push(LinkId { from: self.node_of(cur), dim: d as u8, plus });
+                cur[d] = if plus { (cur[d] + 1) % n } else { (cur[d] + n - 1) % n };
+            }
+        }
+        debug_assert_eq!(cur, target);
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = TorusTopology::new([3, 4, 5]);
+        for n in 0..t.num_nodes() {
+            assert_eq!(t.node_of(t.coords_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn cubic_for_covers() {
+        for n in [1u32, 7, 48, 100, 769] {
+            let t = TorusTopology::cubic_for(n);
+            assert!(t.num_nodes() >= n);
+            // Roughly cubic: dims within 1 step of each other.
+            let d = t.dims();
+            assert!(d.iter().max().unwrap() - d.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = TorusTopology::new([2, 2, 2]);
+        assert!(t.route(3, 3).is_empty());
+        assert_eq!(t.hop_distance(3, 3), 0);
+    }
+
+    #[test]
+    fn route_length_matches_hop_distance() {
+        let t = TorusTopology::new([3, 3, 3]);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(t.route(a, b).len() as u32, t.hop_distance(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_shortens_route() {
+        // Ring of 4 in x: 0 -> 3 is one hop backwards, not 3 forwards.
+        let t = TorusTopology::new([4, 1, 1]);
+        assert_eq!(t.hop_distance(0, 3), 1);
+        let r = t.route(0, 3);
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].plus);
+    }
+
+    #[test]
+    fn neighbors_are_one_hop() {
+        let t = TorusTopology::new([4, 4, 4]);
+        let a = t.node_of([1, 2, 3]);
+        let b = t.node_of([1, 2, 0]); // z wraps 3 -> 0
+        assert_eq!(t.hop_distance(a, b), 1);
+    }
+
+    #[test]
+    fn route_links_form_contiguous_path() {
+        let t = TorusTopology::new([4, 4, 2]);
+        let a = t.node_of([0, 1, 0]);
+        let b = t.node_of([3, 2, 1]);
+        let links = t.route(a, b);
+        // First link must leave `a`.
+        assert_eq!(links[0].from, a);
+        // Hop count: x 0->3 is 1 (wrap), y 1->2 is 1, z 0->1 is 1.
+        assert_eq!(links.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn rejects_bad_node() {
+        TorusTopology::new([2, 2, 2]).coords_of(8);
+    }
+}

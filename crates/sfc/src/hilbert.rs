@@ -1,0 +1,255 @@
+//! n-dimensional Hilbert curve via Skilling's transposed-bits algorithm.
+//!
+//! Reference: John Skilling, "Programming the Hilbert curve", AIP
+//! Conference Proceedings 707, 381 (2004). The algorithm transforms the
+//! coordinates in place into a "transposed" form of the Hilbert index —
+//! bit k of dimension i holds index bit `k*ndim + (ndim-1-i)` — which we
+//! then gather into a single `u128`.
+
+use crate::SpaceFillingCurve;
+use insitu_domain::{Pt, MAX_DIMS};
+
+/// An n-dimensional Hilbert curve of side `2^order`.
+#[derive(Clone, Copy, Debug)]
+pub struct HilbertCurve {
+    ndim: usize,
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Create a curve over `[0, 2^order)^ndim`.
+    ///
+    /// # Panics
+    /// Panics if `ndim` is 0 or exceeds [`MAX_DIMS`], if `order` is 0, or
+    /// if `ndim * order > 128` (index would overflow `u128`).
+    pub fn new(ndim: usize, order: u32) -> Self {
+        assert!((1..=MAX_DIMS).contains(&ndim), "bad ndim {ndim}");
+        assert!(order >= 1, "order must be >= 1");
+        assert!(ndim as u32 * order <= 128, "index exceeds u128");
+        HilbertCurve { ndim, order }
+    }
+
+    /// Axes -> transposed Hilbert index (in place), Skilling's algorithm.
+    fn axes_to_transpose(&self, x: &mut [u64]) {
+        let n = self.ndim;
+        let b = self.order;
+        let mut q: u64 = 1 << (b - 1);
+        // Inverse undo.
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..n {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+        // Gray encode.
+        for i in 1..n {
+            x[i] ^= x[i - 1];
+        }
+        let mut t: u64 = 0;
+        let mut q: u64 = 1 << (b - 1);
+        while q > 1 {
+            if x[n - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for xi in x.iter_mut().take(n) {
+            *xi ^= t;
+        }
+    }
+
+    /// Transposed Hilbert index -> axes (in place), Skilling's algorithm.
+    fn transpose_to_axes(&self, x: &mut [u64]) {
+        let n = self.ndim;
+        let b = self.order;
+        let top: u64 = 2u64 << (b - 1);
+        // Gray decode by H ^ (H/2).
+        let t = x[n - 1] >> 1;
+        for i in (1..n).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        // Undo excess work.
+        let mut q: u64 = 2;
+        while q != top {
+            let p = q - 1;
+            for i in (0..n).rev() {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+
+    /// Gather the transposed form into a single index: index bit
+    /// `(order-1-k)*ndim + (ndim-1-i)` is bit `(order-1-k)` of `x[i]`.
+    fn gather(&self, x: &[u64]) -> u128 {
+        let n = self.ndim;
+        let b = self.order;
+        let mut h: u128 = 0;
+        for k in (0..b).rev() {
+            for xi in x.iter().take(n) {
+                h = (h << 1) | ((xi >> k) & 1) as u128;
+            }
+        }
+        h
+    }
+
+    /// Scatter an index back into transposed form.
+    fn scatter(&self, mut h: u128) -> [u64; MAX_DIMS] {
+        let n = self.ndim;
+        let b = self.order;
+        let mut x = [0u64; MAX_DIMS];
+        for k in 0..b {
+            for i in (0..n).rev() {
+                x[i] |= ((h & 1) as u64) << k;
+                h >>= 1;
+            }
+        }
+        x
+    }
+}
+
+impl SpaceFillingCurve for HilbertCurve {
+    fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn index_of(&self, p: &[u64]) -> u128 {
+        debug_assert!(p.len() >= self.ndim);
+        let side = self.side();
+        let mut x = [0u64; MAX_DIMS];
+        for i in 0..self.ndim {
+            assert!(p[i] < side, "coordinate {} out of range (side {side})", p[i]);
+            x[i] = p[i];
+        }
+        self.axes_to_transpose(&mut x[..self.ndim]);
+        self.gather(&x[..self.ndim])
+    }
+
+    fn point_of(&self, idx: u128) -> Pt {
+        assert!(idx < self.index_count(), "index out of range");
+        let mut x = self.scatter(idx);
+        self.transpose_to_axes(&mut x[..self.ndim]);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_1_2d_is_the_canonical_u() {
+        // The 2x2 Hilbert curve visits (0,0),(0,1),(1,1),(1,0) or its
+        // reflection; indices must be a bijection and consecutive points
+        // must be grid neighbors.
+        let h = HilbertCurve::new(2, 1);
+        let seq: Vec<Pt> = (0..4).map(|i| h.point_of(i)).collect();
+        for w in seq.windows(2) {
+            let dist = (0..2).map(|d| w[0][d].abs_diff(w[1][d])).sum::<u64>();
+            assert_eq!(dist, 1, "consecutive points must be adjacent");
+        }
+    }
+
+    #[test]
+    fn bijective_2d_order_3() {
+        let h = HilbertCurve::new(2, 3);
+        let mut seen = [false; 64];
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let i = h.index_of(&[x, y]) as usize;
+                assert!(!seen[i], "index {i} hit twice");
+                seen[i] = true;
+                assert_eq!(h.point_of(i as u128)[..2], [x, y]);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bijective_3d_order_2() {
+        let h = HilbertCurve::new(3, 2);
+        let mut seen = [false; 64];
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                for z in 0..4u64 {
+                    let i = h.index_of(&[x, y, z]) as usize;
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbors_3d() {
+        let h = HilbertCurve::new(3, 3);
+        let mut prev = h.point_of(0);
+        for i in 1..h.index_count() {
+            let p = h.point_of(i);
+            let dist: u64 = (0..3).map(|d| prev[d].abs_diff(p[d])).sum();
+            assert_eq!(dist, 1, "break between {} and {}", i - 1, i);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbors_4d() {
+        let h = HilbertCurve::new(4, 2);
+        let mut prev = h.point_of(0);
+        for i in 1..h.index_count() {
+            let p = h.point_of(i);
+            let dist: u64 = (0..4).map(|d| prev[d].abs_diff(p[d])).sum();
+            assert_eq!(dist, 1);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn one_dimensional_curve_is_identity() {
+        let h = HilbertCurve::new(1, 5);
+        for x in 0..32u64 {
+            assert_eq!(h.index_of(&[x]), x as u128);
+            assert_eq!(h.point_of(x as u128)[0], x);
+        }
+    }
+
+    #[test]
+    fn large_order_roundtrip() {
+        let h = HilbertCurve::new(3, 20);
+        for &p in &[[0u64, 0, 0], [1 << 19, 12345, 999_999], [(1 << 20) - 1; 3]] {
+            let i = h.index_of(&p);
+            assert_eq!(h.point_of(i)[..3], p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_coordinate() {
+        HilbertCurve::new(2, 3).index_of(&[8, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index exceeds u128")]
+    fn rejects_overflowing_order() {
+        HilbertCurve::new(4, 33);
+    }
+}

@@ -1,0 +1,134 @@
+//! Space-filling-curve linearization of Cartesian domains.
+//!
+//! CoDS indexes the application data domain by linearizing n-dimensional
+//! Cartesian coordinates into a 1-dimensional index space, which is then
+//! divided into intervals assigned to DHT cores (paper §IV.A, Fig. 6). The
+//! paper uses the Hilbert curve; we provide [`HilbertCurve`] plus
+//! [`MortonCurve`] as an ablation alternative, and [`span::spans_of_box`]
+//! to convert a geometric descriptor (bounding box) into the set of
+//! contiguous index spans that CoDS queries are routed by.
+
+#![warn(missing_docs)]
+
+pub mod hilbert;
+pub mod morton;
+pub mod span;
+
+pub use hilbert::HilbertCurve;
+pub use morton::MortonCurve;
+pub use span::{boxes_of_span, spans_of_box, Span};
+
+use insitu_domain::Pt;
+
+/// A bijection between the lattice `[0, 2^order)^ndim` and the index range
+/// `[0, 2^(order*ndim))`.
+pub trait SpaceFillingCurve: Send + Sync {
+    /// Number of dimensions.
+    fn ndim(&self) -> usize;
+
+    /// Bits per dimension; the curve covers a side of `2^order` cells.
+    fn order(&self) -> u32;
+
+    /// Linear index of a lattice point.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is out of the curve's range.
+    fn index_of(&self, p: &[u64]) -> u128;
+
+    /// Lattice point of a linear index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    fn point_of(&self, idx: u128) -> Pt;
+
+    /// One past the largest valid index: `2^(order*ndim)`.
+    fn index_count(&self) -> u128 {
+        1u128 << (self.order() as u128 * self.ndim() as u128)
+    }
+
+    /// Side length of the covered cube.
+    fn side(&self) -> u64 {
+        1u64 << self.order()
+    }
+}
+
+/// Mean index distance between spatially adjacent points.
+///
+/// Note this is *not* the metric on which Hilbert beats Morton (Morton has
+/// a lower mean 1-step jump in 2-D); the DHT-relevant metric is the number
+/// of spans a box query decomposes into ([`span::spans_of_box`]), where
+/// Hilbert's superior clustering shows. Both are reported by the
+/// `ablation_sfc` bench.
+pub fn neighbor_locality(curve: &dyn SpaceFillingCurve, samples: u64) -> f64 {
+    let side = curve.side();
+    let n = curve.ndim();
+    let mut total: f64 = 0.0;
+    let mut count: u64 = 0;
+    // Deterministic LCG so the score is reproducible without rand.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut p = vec![0u64; n];
+    for _ in 0..samples {
+        for c in p.iter_mut() {
+            *c = next() % side;
+        }
+        let base = curve.index_of(&p);
+        for d in 0..n {
+            if p[d] + 1 >= side {
+                continue;
+            }
+            p[d] += 1;
+            let adj = curve.index_of(&p);
+            p[d] -= 1;
+            total += base.abs_diff(adj) as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_scores_are_finite_and_positive() {
+        let h = HilbertCurve::new(2, 6);
+        let m = MortonCurve::new(2, 6);
+        let lh = neighbor_locality(&h, 256);
+        let lm = neighbor_locality(&m, 256);
+        assert!(lh > 0.0 && lh.is_finite());
+        assert!(lm > 0.0 && lm.is_finite());
+    }
+
+    #[test]
+    fn hilbert_clusters_boxes_better_than_morton() {
+        // The DHT-relevant locality metric: total spans over a family of
+        // query boxes (Moon et al., "Analysis of the clustering properties
+        // of the Hilbert space-filling curve").
+        let h = HilbertCurve::new(2, 6);
+        let m = MortonCurve::new(2, 6);
+        let mut hs = 0;
+        let mut ms = 0;
+        for off in 0..16u64 {
+            let b = insitu_domain::BoundingBox::new(&[off, off / 2], &[off + 17, off / 2 + 11]);
+            hs += span::spans_of_box(&h, &b).len();
+            ms += span::spans_of_box(&m, &b).len();
+        }
+        assert!(hs < ms, "hilbert {hs} spans vs morton {ms}");
+    }
+
+    #[test]
+    fn index_count_matches_volume() {
+        let h = HilbertCurve::new(3, 4);
+        assert_eq!(h.index_count(), 1u128 << 12);
+        assert_eq!(h.side(), 16);
+    }
+}

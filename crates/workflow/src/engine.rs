@@ -1,0 +1,264 @@
+//! The workflow management server: client registration and DAG enactment.
+//!
+//! The server has two modules (§III.A): *Execution Client Management*,
+//! which tracks registered clients and their addresses, and the *Workflow
+//! Engine*, which enacts the DAG wave by wave, allocating clients to the
+//! applications of each ready bundle.
+
+use crate::mappers::{BundleMapper, BundleMapping, CoreAllocator};
+use crate::spec::{SpecError, WorkflowSpec};
+use insitu_fabric::{ClientId, CoreId, MachineSpec};
+use std::collections::HashMap;
+
+/// Lifecycle state of a registered execution client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientState {
+    /// Registered and waiting for work.
+    Idle,
+    /// Running a task of the given application.
+    Running(u32),
+}
+
+/// The Execution Client Management module: registration, addresses
+/// (core ids stand in for network addresses) and states.
+#[derive(Clone, Debug, Default)]
+pub struct ClientRegistry {
+    clients: HashMap<ClientId, (CoreId, ClientState)>,
+}
+
+impl ClientRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a client at its core ("network address").
+    ///
+    /// # Panics
+    /// Panics on duplicate registration.
+    pub fn register(&mut self, client: ClientId, core: CoreId) {
+        let prev = self.clients.insert(client, (core, ClientState::Idle));
+        assert!(prev.is_none(), "client {client} registered twice");
+    }
+
+    /// Unregister a client (e.g. on failure).
+    pub fn unregister(&mut self, client: ClientId) -> bool {
+        self.clients.remove(&client).is_some()
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// A client's core, if registered.
+    pub fn core_of(&self, client: ClientId) -> Option<CoreId> {
+        self.clients.get(&client).map(|&(c, _)| c)
+    }
+
+    /// A client's state, if registered.
+    pub fn state_of(&self, client: ClientId) -> Option<ClientState> {
+        self.clients.get(&client).map(|&(_, s)| s)
+    }
+
+    /// Mark a client running `app`.
+    pub fn set_running(&mut self, client: ClientId, app: u32) {
+        self.clients.get_mut(&client).expect("unknown client").1 = ClientState::Running(app);
+    }
+
+    /// Mark a client idle again.
+    pub fn set_idle(&mut self, client: ClientId) {
+        self.clients.get_mut(&client).expect("unknown client").1 = ClientState::Idle;
+    }
+
+    /// Clients currently idle, sorted.
+    pub fn idle_clients(&self) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = self
+            .clients
+            .iter()
+            .filter(|(_, (_, s))| *s == ClientState::Idle)
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// One wave of launched bundles: for every app, its task -> core mapping.
+#[derive(Clone, Debug)]
+pub struct WaveLaunch {
+    /// Index of the wave in the schedule.
+    pub wave: usize,
+    /// Mapping of each bundle of the wave, in bundle order.
+    pub mappings: Vec<BundleMapping>,
+}
+
+/// The Workflow Engine: walks the DAG in waves and produces task mappings
+/// through a pluggable [`BundleMapper`].
+pub struct WorkflowEngine {
+    spec: WorkflowSpec,
+    waves: Vec<Vec<Vec<u32>>>,
+    next_wave: usize,
+}
+
+impl WorkflowEngine {
+    /// Validate and prepare a workflow.
+    pub fn new(spec: WorkflowSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let waves = spec.bundle_waves()?;
+        Ok(WorkflowEngine { spec, waves, next_wave: 0 })
+    }
+
+    /// The workflow being enacted.
+    pub fn spec(&self) -> &WorkflowSpec {
+        &self.spec
+    }
+
+    /// All waves (bundles of app ids).
+    pub fn waves(&self) -> &[Vec<Vec<u32>>] {
+        &self.waves
+    }
+
+    /// Whether all waves have been launched.
+    pub fn is_complete(&self) -> bool {
+        self.next_wave >= self.waves.len()
+    }
+
+    /// Map and launch the next wave with `mapper`, drawing cores from
+    /// `alloc`. Returns `None` when the workflow is complete.
+    ///
+    /// The caller runs the wave's applications to completion and then
+    /// releases their cores before launching the next wave (the paper's
+    /// sequential scenario reuses SAP1's nodes for SAP2/SAP3).
+    pub fn launch_next_wave(
+        &mut self,
+        alloc: &mut CoreAllocator,
+        mapper: &dyn BundleMapper,
+    ) -> Option<WaveLaunch> {
+        if self.is_complete() {
+            return None;
+        }
+        let wave = self.next_wave;
+        self.next_wave += 1;
+        let mut mappings = Vec::new();
+        for bundle in &self.waves[wave] {
+            let apps: Vec<&crate::spec::AppSpec> =
+                bundle.iter().map(|&id| self.spec.app(id).expect("validated")).collect();
+            mappings.push(mapper.map_bundle(alloc, &apps));
+        }
+        Some(WaveLaunch { wave, mappings })
+    }
+
+    /// Machine sized to the widest wave (every task of every bundle of the
+    /// wave runs concurrently), assuming `cores_per_node`-core nodes.
+    pub fn machine_for(&self, cores_per_node: u32) -> MachineSpec {
+        let max_wave_tasks = self
+            .waves
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .flat_map(|b| b.iter())
+                    .map(|&id| self.spec.app(id).map(|a| a.ntasks).unwrap_or(0))
+                    .sum::<u32>()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        MachineSpec::new(max_wave_tasks.div_ceil(cores_per_node), cores_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mappers::PackedMapper;
+    use crate::spec::AppSpec;
+
+    fn climate_spec() -> WorkflowSpec {
+        WorkflowSpec {
+            apps: vec![
+                AppSpec::new(1, "atm", 4),
+                AppSpec::new(2, "land", 2),
+                AppSpec::new(3, "ice", 2),
+            ],
+            edges: vec![(1, 2), (1, 3)],
+            bundles: vec![vec![1], vec![2], vec![3]],
+        }
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let mut r = ClientRegistry::new();
+        r.register(0, 10);
+        r.register(1, 11);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.core_of(0), Some(10));
+        assert_eq!(r.state_of(1), Some(ClientState::Idle));
+        r.set_running(1, 9);
+        assert_eq!(r.state_of(1), Some(ClientState::Running(9)));
+        assert_eq!(r.idle_clients(), vec![0]);
+        r.set_idle(1);
+        assert_eq!(r.idle_clients(), vec![0, 1]);
+        assert!(r.unregister(0));
+        assert!(!r.unregister(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicates() {
+        let mut r = ClientRegistry::new();
+        r.register(0, 0);
+        r.register(0, 1);
+    }
+
+    #[test]
+    fn climate_runs_in_two_waves() {
+        let e = WorkflowEngine::new(climate_spec()).unwrap();
+        assert_eq!(e.waves().len(), 2);
+        assert_eq!(e.waves()[0], vec![vec![1]]);
+        // Wave 2: land and ice concurrently, as separate bundles.
+        assert_eq!(e.waves()[1].len(), 2);
+    }
+
+    #[test]
+    fn machine_sized_to_widest_wave() {
+        let e = WorkflowEngine::new(climate_spec()).unwrap();
+        // Wave 0 needs 4 tasks; wave 1 needs 2+2 = 4. 2-core nodes -> 2.
+        assert_eq!(e.machine_for(2), MachineSpec::new(2, 2));
+    }
+
+    #[test]
+    fn launch_waves_and_reuse_cores() {
+        let mut e = WorkflowEngine::new(climate_spec()).unwrap();
+        let mut alloc = CoreAllocator::new(e.machine_for(2));
+        let w0 = e.launch_next_wave(&mut alloc, &PackedMapper).unwrap();
+        assert_eq!(w0.wave, 0);
+        assert_eq!(w0.mappings.len(), 1);
+        assert_eq!(alloc.total_free(), 0);
+        // Wave 0 completes; release its cores.
+        for cores in w0.mappings[0].cores.values() {
+            for &c in cores {
+                alloc.release(c);
+            }
+        }
+        let w1 = e.launch_next_wave(&mut alloc, &PackedMapper).unwrap();
+        assert_eq!(w1.mappings.len(), 2);
+        assert!(e.launch_next_wave(&mut alloc, &PackedMapper).is_none());
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let bad = WorkflowSpec {
+            apps: vec![AppSpec::new(1, "a", 1)],
+            edges: vec![(1, 1)],
+            ..Default::default()
+        };
+        assert!(WorkflowEngine::new(bad).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Parser for the DAG description-file format of Listing 1.
+//!
+//! ```text
+//! # Climate Modeling Workflow
+//! APP_ID 1
+//! APP_ID 2
+//! APP_ID 3
+//! PARENT_APPID 1 CHILD_APPID 2
+//! PARENT_APPID 1 CHILD_APPID 3
+//! BUNDLE 1
+//! BUNDLE 2
+//! BUNDLE 3
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. `BUNDLE` lists the app
+//! ids of one bundle. Task counts and decompositions are attached
+//! programmatically after parsing (they are not part of the paper's file
+//! format).
+
+use crate::spec::{AppSpec, WorkflowSpec};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a DAG description file into a [`WorkflowSpec`] skeleton (apps
+/// have `ntasks = 0` and no decomposition until configured).
+pub fn parse_dag(input: &str) -> Result<WorkflowSpec, ParseError> {
+    let mut spec = WorkflowSpec::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |m: String| ParseError { line: lineno, message: m };
+        let parse_id = |s: &str| -> Result<u32, ParseError> {
+            s.parse::<u32>().map_err(|_| err(format!("invalid app id '{s}'")))
+        };
+        match toks[0] {
+            "APP_ID" => {
+                if toks.len() != 2 {
+                    return Err(err("APP_ID takes exactly one id".into()));
+                }
+                let id = parse_id(toks[1])?;
+                if spec.apps.iter().any(|a| a.id == id) {
+                    return Err(err(format!("app {id} declared twice")));
+                }
+                spec.apps.push(AppSpec::new(id, format!("app{id}"), 0));
+            }
+            "PARENT_APPID" => {
+                if toks.len() != 4 || toks[2] != "CHILD_APPID" {
+                    return Err(err(
+                        "expected 'PARENT_APPID <id> CHILD_APPID <id>'".into(),
+                    ));
+                }
+                spec.edges.push((parse_id(toks[1])?, parse_id(toks[3])?));
+            }
+            "BUNDLE" => {
+                if toks.len() < 2 {
+                    return Err(err("BUNDLE needs at least one app id".into()));
+                }
+                let ids = toks[1..]
+                    .iter()
+                    .map(|s| parse_id(s))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                spec.bundles.push(ids);
+            }
+            other => return Err(err(format!("unknown directive '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// The paper's Listing 1, first workflow (online data processing).
+pub const ONLINE_PROCESSING_DAG: &str = "\
+# Online Data Processing Workflow
+# Simulation code has appid=1
+# Bundle is specified by IDs of its applications
+APP_ID 1
+APP_ID 2
+
+BUNDLE 1 2
+";
+
+/// The paper's Listing 1, second workflow (climate modeling).
+pub const CLIMATE_MODELING_DAG: &str = "\
+# Climate Modeling Workflow
+# Atmosphere model has appid=1
+# Land model has appid=2, Sea-ice model has appid=3
+APP_ID 1
+APP_ID 2
+APP_ID 3
+PARENT_APPID 1 CHILD_APPID 2
+PARENT_APPID 1 CHILD_APPID 3
+BUNDLE 1
+BUNDLE 2
+BUNDLE 3
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_online_processing() {
+        let w = parse_dag(ONLINE_PROCESSING_DAG).unwrap();
+        assert_eq!(w.apps.len(), 2);
+        assert!(w.edges.is_empty());
+        assert_eq!(w.bundles, vec![vec![1, 2]]);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_listing1_climate() {
+        let w = parse_dag(CLIMATE_MODELING_DAG).unwrap();
+        assert_eq!(w.apps.len(), 3);
+        assert_eq!(w.edges, vec![(1, 2), (1, 3)]);
+        assert_eq!(w.bundles, vec![vec![1], vec![2], vec![3]]);
+        w.validate().unwrap();
+        let sched = w.bundle_schedule().unwrap();
+        assert_eq!(sched[0], vec![1]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let w = parse_dag("# just a comment\n\nAPP_ID 7 # trailing comment\n").unwrap();
+        assert_eq!(w.apps.len(), 1);
+        assert_eq!(w.apps[0].id, 7);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_dag("APP_ID 1\nBOGUS 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("BOGUS"));
+    }
+
+    #[test]
+    fn rejects_malformed_parent_child() {
+        let err = parse_dag("PARENT_APPID 1 KID 2").unwrap_err();
+        assert!(err.message.contains("CHILD_APPID"));
+    }
+
+    #[test]
+    fn rejects_duplicate_app() {
+        let err = parse_dag("APP_ID 1\nAPP_ID 1").unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_bad_id() {
+        let err = parse_dag("APP_ID banana").unwrap_err();
+        assert!(err.message.contains("invalid app id"));
+    }
+
+    #[test]
+    fn rejects_empty_bundle() {
+        let err = parse_dag("BUNDLE").unwrap_err();
+        assert!(err.message.contains("at least one"));
+    }
+
+    #[test]
+    fn multi_app_bundle() {
+        let w = parse_dag("APP_ID 1\nAPP_ID 2\nAPP_ID 3\nBUNDLE 1 2 3").unwrap();
+        assert_eq!(w.bundles, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,48 @@
+//! A real coupled simulation on the framework: distributed 2-D Jacobi
+//! heat diffusion with per-sweep halo exchange over HybridDART, residual
+//! all-reduce via group collectives, and in-situ publication of the
+//! temperature field through CoDS — verified bit-for-bit against a serial
+//! reference.
+//!
+//! ```text
+//! cargo run --release --example heat_diffusion
+//! ```
+
+use insitu::miniapp::{jacobi_serial, run_jacobi, JacobiConfig};
+use insitu_fabric::TrafficClass;
+
+fn main() {
+    let cfg = JacobiConfig { size: 48, grid: [4, 4], sweeps: 200, cores_per_node: 4 };
+    println!(
+        "== 2-D heat diffusion: {}x{} grid on {} ranks, {} sweeps ==\n",
+        cfg.size,
+        cfg.size,
+        cfg.grid[0] * cfg.grid[1],
+        cfg.sweeps
+    );
+    let out = run_jacobi(&cfg);
+    let (reference, _) = jacobi_serial(cfg.size, cfg.sweeps);
+    assert_eq!(out.field, reference, "parallel result must match serial bit-for-bit");
+
+    // Render the temperature field as ASCII shading (hot left wall).
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!("temperature (@ = hot, blank = cold), every 2nd row/col:");
+    let n = cfg.size as usize;
+    for r in (0..n).step_by(2) {
+        let row: String = (0..n)
+            .step_by(2)
+            .map(|c| {
+                let v = out.field[r * n + c];
+                shades[((v * 9.0) as usize).min(9)]
+            })
+            .collect();
+        println!("  {row}");
+    }
+    println!("\nfinal residual: {:.3e}", out.residual);
+    println!(
+        "halo exchange:  {} B in-situ, {} B over network",
+        out.ledger.shm_bytes(TrafficClass::IntraApp),
+        out.ledger.network_bytes(TrafficClass::IntraApp),
+    );
+    println!("field verified bit-for-bit against the serial reference");
+}

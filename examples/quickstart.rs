@@ -1,0 +1,49 @@
+//! Quickstart: share a 3-D field between two coupled applications.
+//!
+//! A producer application (8 tasks) simulates a field over a 16^3 domain;
+//! a consumer application (4 tasks) retrieves the regions it needs, all
+//! in-situ. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use insitu::{concurrent_scenario, pattern_pairs, run_threaded, MappingStrategy};
+use insitu_fabric::TrafficClass;
+
+fn main() {
+    // The paper's concurrent-coupling scenario in miniature: CAP1 with 8
+    // tasks produces a field; CAP2 with 4 tasks consumes it. Each CAP1
+    // task owns an 8^3 block of the shared 16^3 x 8 x 8 ... domain derived
+    // from its process grid.
+    let mut scenario = concurrent_scenario(8, 4, 8, pattern_pairs(&[4, 4, 4])[0]);
+    scenario.cores_per_node = 4; // four-core "nodes" for the demo
+
+    println!("scenario: {}", scenario.name);
+    println!(
+        "domain:   {:?} ({} MB of f64)",
+        scenario.decomposition(1).domain(),
+        scenario.decomposition(1).domain().num_cells() * 8 / (1 << 20)
+    );
+
+    for strategy in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
+        let outcome = run_threaded(&scenario, strategy);
+        assert_eq!(outcome.verify_failures, 0, "data corruption detected");
+        let net = outcome.ledger.network_bytes(TrafficClass::InterApp);
+        let shm = outcome.ledger.shm_bytes(TrafficClass::InterApp);
+        println!(
+            "\n[{}] coupled data: {:>8} B over network, {:>8} B via shared memory ({:.0}% in-situ)",
+            strategy.label(),
+            net,
+            shm,
+            100.0 * shm as f64 / (net + shm) as f64
+        );
+        for (app, rank, report) in outcome.reports.iter().take(2) {
+            println!(
+                "  app {app} rank {rank}: {} transfers, {} B local, {} B remote",
+                report.ops, report.shm_bytes, report.net_bytes
+            );
+        }
+    }
+    println!("\nBoth mappings move identical data; data-centric mapping keeps most of it on-node.");
+}

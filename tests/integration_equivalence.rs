@@ -1,0 +1,95 @@
+//! Modeled-vs-threaded equivalence: the analytic executor used for the
+//! paper-scale experiments must produce byte-for-byte the same transfer
+//! ledger as the threaded executor that really moves data. This is the
+//! license to trust the 8192-core numbers in EXPERIMENTS.md.
+
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_modeled, run_threaded, sequential_scenario,
+    MappingStrategy, Scenario,
+};
+use insitu_fabric::{Locality, TrafficClass};
+
+fn assert_ledgers_match(s: &Scenario, strategy: MappingStrategy) {
+    let modeled = run_modeled(s, strategy);
+    let threaded = run_threaded(s, strategy);
+    assert_eq!(threaded.verify_failures, 0);
+    for class in [TrafficClass::InterApp, TrafficClass::IntraApp] {
+        assert_eq!(
+            modeled.ledger.shm_bytes(class),
+            threaded.ledger.shm_bytes(class),
+            "{strategy:?} {class:?} shm mismatch"
+        );
+        assert_eq!(
+            modeled.ledger.network_bytes(class),
+            threaded.ledger.network_bytes(class),
+            "{strategy:?} {class:?} network mismatch"
+        );
+        // Per-app breakdowns too.
+        for app in s.workflow.apps.iter().map(|a| a.id) {
+            for loc in [Locality::SharedMemory, Locality::Network] {
+                assert_eq!(
+                    modeled.ledger.app_bytes(app, class, loc),
+                    threaded.ledger.app_bytes(app, class, loc),
+                    "{strategy:?} app {app} {class:?} {loc:?} mismatch"
+                );
+            }
+        }
+    }
+    // Same placements.
+    assert_eq!(modeled.mapped.app_cores, threaded.mapped.app_cores);
+}
+
+#[test]
+fn concurrent_blocked_equivalence() {
+    let mut s = concurrent_scenario(16, 8, 4, pattern_pairs(&[2, 2, 2])[0]);
+    s.cores_per_node = 4;
+    for strat in [
+        MappingStrategy::RoundRobin,
+        MappingStrategy::DataCentric,
+        MappingStrategy::NodeCyclic,
+    ] {
+        assert_ledgers_match(&s, strat);
+    }
+}
+
+#[test]
+fn concurrent_block_cyclic_equivalence() {
+    let mut s = concurrent_scenario(8, 8, 4, pattern_pairs(&[2, 2, 2])[1]);
+    s.cores_per_node = 4;
+    assert_ledgers_match(&s, MappingStrategy::DataCentric);
+}
+
+#[test]
+fn concurrent_mismatched_equivalence() {
+    let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[2]);
+    s.cores_per_node = 4;
+    assert_ledgers_match(&s, MappingStrategy::RoundRobin);
+}
+
+#[test]
+fn sequential_equivalence() {
+    let mut s = sequential_scenario(16, 8, 8, 4, pattern_pairs(&[2, 2, 2])[0]);
+    s.cores_per_node = 4;
+    for strat in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
+        assert_ledgers_match(&s, strat);
+    }
+}
+
+#[test]
+fn sequential_cyclic_consumer_equivalence() {
+    let mut s = sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[4]);
+    s.cores_per_node = 4;
+    assert_ledgers_match(&s, MappingStrategy::DataCentric);
+}
+
+#[test]
+fn iterative_equivalence() {
+    // Iterations multiply both coupling and stencil traffic identically
+    // in both executors.
+    let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]).with_iterations(3);
+    s.cores_per_node = 4;
+    assert_ledgers_match(&s, MappingStrategy::DataCentric);
+    let mut s = sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0]).with_iterations(2);
+    s.cores_per_node = 4;
+    assert_ledgers_match(&s, MappingStrategy::RoundRobin);
+}

@@ -1,0 +1,89 @@
+//! Regression net for the paper-scale modeled experiments: volume
+//! conservation, reduction bounds and time-model sanity at the largest
+//! weak-scaling point (8192 producer cores), plus randomized
+//! modeled-vs-threaded equivalence.
+
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_modeled, run_threaded, sequential_scenario,
+    MappingStrategy,
+};
+use insitu_fabric::TrafficClass;
+use proptest::prelude::*;
+
+#[test]
+fn weak_scaling_largest_point_conserves_volume() {
+    // 8192/1024 concurrent: 128 GiB redistributed.
+    let s = concurrent_scenario(8192, 1024, 128, pattern_pairs(&[32, 32, 32])[0]);
+    let o = run_modeled(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 128 << 30);
+    // Data-centric at scale keeps the reduction of the base scale.
+    assert!(o.ledger.network_fraction(TrafficClass::InterApp) < 0.35);
+    let t = o.retrieve_ms[&2];
+    assert!(t.is_finite() && t > 0.0);
+}
+
+#[test]
+fn weak_scaling_largest_sequential_point() {
+    // 8192/(2048+6144): 256 GiB redistributed.
+    let s = sequential_scenario(8192, 2048, 6144, 128, pattern_pairs(&[32, 32, 32])[0]);
+    let o = run_modeled(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 256 << 30);
+    assert!(o.retrieve_ms[&2] > 0.0 && o.retrieve_ms[&3] > 0.0);
+}
+
+#[test]
+fn round_robin_at_scale_is_worse() {
+    let s = concurrent_scenario(8192, 1024, 32, pattern_pairs(&[16, 16, 16])[0]);
+    let rr = run_modeled(&s, MappingStrategy::RoundRobin);
+    let dc = run_modeled(&s, MappingStrategy::DataCentric);
+    assert!(
+        dc.ledger.network_bytes(TrafficClass::InterApp)
+            < rr.ledger.network_bytes(TrafficClass::InterApp) / 2
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The reproduction's core guarantee, randomized: for arbitrary small
+    /// scenarios, the analytic executor's ledger matches the threaded
+    /// executor that really moves data.
+    #[test]
+    fn randomized_modeled_threaded_equivalence(
+        pexp in 1u32..4,
+        cexp in 0u32..3,
+        pattern_idx in 0usize..5,
+        strategy_idx in 0usize..3,
+        sequential in any::<bool>(),
+    ) {
+        let strategies = [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::DataCentric,
+            MappingStrategy::NodeCyclic,
+        ];
+        let strategy = strategies[strategy_idx];
+        let prod = 1u64 << (pexp + 1);
+        let cons = (1u64 << cexp).min(prod);
+        let mut s = if sequential {
+            sequential_scenario(prod, cons, cons, 4, pattern_pairs(&[2, 2, 2])[pattern_idx])
+        } else {
+            concurrent_scenario(prod, cons, 4, pattern_pairs(&[2, 2, 2])[pattern_idx])
+        };
+        s.cores_per_node = 4;
+        let modeled = run_modeled(&s, strategy);
+        let threaded = run_threaded(&s, strategy);
+        prop_assert_eq!(threaded.verify_failures, 0);
+        for class in [TrafficClass::InterApp, TrafficClass::IntraApp] {
+            prop_assert_eq!(
+                modeled.ledger.shm_bytes(class),
+                threaded.ledger.shm_bytes(class),
+                "{:?} {:?} shm", strategy, class
+            );
+            prop_assert_eq!(
+                modeled.ledger.network_bytes(class),
+                threaded.ledger.network_bytes(class),
+                "{:?} {:?} net", strategy, class
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Paper-scale threaded runs: the real task counts of the evaluation
+//! (576 clients for the concurrent scenario, 512 for the sequential one)
+//! with real threads and real data movement — shrunk per-task regions
+//! keep memory modest while every code path (mailboxes, rendezvous, DHT,
+//! schedules, collectives of the mapping pipeline) runs at full width.
+
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_threaded, sequential_scenario, MappingStrategy,
+};
+use insitu_fabric::TrafficClass;
+
+#[test]
+fn concurrent_576_clients_at_paper_task_counts() {
+    // CAP1=512, CAP2=64 on 12-core nodes — the paper's exact task layout,
+    // with 8^3 regions instead of 128^3 (16 MB -> 4 KB per task).
+    let s = concurrent_scenario(512, 64, 8, pattern_pairs(&[4, 4, 4])[0]);
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.verify_failures, 0);
+    assert_eq!(o.reports.len(), 64);
+    let total = o.ledger.total_bytes(TrafficClass::InterApp);
+    assert_eq!(total, s.decomposition(1).domain().num_cells() as u64 * 8);
+    // The paper's headline: most coupled bytes stay on-node.
+    let net_frac = o.ledger.network_fraction(TrafficClass::InterApp);
+    assert!(net_frac < 0.35, "expected ~80% in-situ, got {:.0}% network", net_frac * 100.0);
+}
+
+#[test]
+fn sequential_512_clients_at_paper_task_counts() {
+    // SAP1=512 -> SAP2=128 + SAP3=384 on 12-core nodes.
+    let s = sequential_scenario(512, 128, 384, 8, pattern_pairs(&[4, 4, 4])[0]);
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.verify_failures, 0);
+    assert_eq!(o.reports.len(), 128 + 384);
+    // Both consumers read the full domain.
+    let total = o.ledger.total_bytes(TrafficClass::InterApp);
+    assert_eq!(total, 2 * s.decomposition(1).domain().num_cells() as u64 * 8);
+    let net_frac = o.ledger.network_fraction(TrafficClass::InterApp);
+    assert!(net_frac < 0.35, "expected ~90% in-situ, got {:.0}% network", net_frac * 100.0);
+}
+
+#[test]
+fn round_robin_baseline_at_scale_is_nearly_all_network() {
+    let s = concurrent_scenario(512, 64, 8, pattern_pairs(&[4, 4, 4])[0]);
+    let o = run_threaded(&s, MappingStrategy::RoundRobin);
+    assert_eq!(o.verify_failures, 0);
+    assert!(
+        o.ledger.network_fraction(TrafficClass::InterApp) > 0.9,
+        "launcher placement should couple almost entirely over the network"
+    );
+}

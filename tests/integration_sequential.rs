@@ -1,0 +1,89 @@
+//! End-to-end sequential coupling (the paper's climate-modeling shape,
+//! SAP1 -> SAP2 + SAP3) on the threaded executor: data staged in CoDS by a
+//! finished producer is discovered through the DHT and pulled by two
+//! consumer applications launched on the same nodes.
+
+use insitu::{pattern_pairs, run_threaded, sequential_scenario, MappingStrategy, Scenario};
+use insitu_fabric::TrafficClass;
+
+fn small_sap(pattern_idx: usize) -> Scenario {
+    // SAP1=16 tasks -> SAP2=8 + SAP3=8, 6^3 regions, 4-core nodes.
+    let mut s = sequential_scenario(16, 8, 8, 6, pattern_pairs(&[3, 3, 3])[pattern_idx]);
+    s.cores_per_node = 4;
+    s
+}
+
+#[test]
+fn sequential_coupling_moves_exact_data() {
+    let s = small_sap(0);
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.verify_failures, 0);
+    // Both consumers read the whole domain: 2x volume redistributed.
+    let domain_bytes = s.decomposition(1).domain().num_cells() as u64 * 8;
+    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 2 * domain_bytes);
+}
+
+#[test]
+fn dht_is_exercised_by_sequential_gets() {
+    let s = small_sap(0);
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    // Location queries and inserts cost DHT traffic.
+    assert!(o.ledger.total_bytes(TrafficClass::Dht) > 0);
+    // Every consumer get either queried the DHT or hit the cache.
+    for (app, _, r) in &o.reports {
+        assert!(*app == 2 || *app == 3);
+        assert!(r.dht_cores_queried > 0 || r.cache_hit);
+    }
+}
+
+#[test]
+fn client_side_mapping_beats_round_robin() {
+    let s = small_sap(0);
+    let rr = run_threaded(&s, MappingStrategy::RoundRobin);
+    let dc = run_threaded(&s, MappingStrategy::DataCentric);
+    assert_eq!(rr.verify_failures + dc.verify_failures, 0);
+    let rr_net = rr.ledger.network_bytes(TrafficClass::InterApp);
+    let dc_net = dc.ledger.network_bytes(TrafficClass::InterApp);
+    assert!(
+        dc_net < rr_net,
+        "client-side mapping should reduce network coupling: rr={rr_net} dc={dc_net}"
+    );
+}
+
+#[test]
+fn consumers_run_on_producer_nodes() {
+    // In-situ execution: SAP2/SAP3 land on the same node set SAP1 used.
+    let s = small_sap(0);
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    let m = &o.mapped;
+    let producer_nodes: std::collections::HashSet<u32> =
+        (0..16).map(|r| m.node_of_task(1, r)).collect();
+    for app in [2u32, 3] {
+        for r in 0..8 {
+            assert!(
+                producer_nodes.contains(&m.node_of_task(app, r)),
+                "app {app} rank {r} landed off the data nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_consumers_verify_with_mismatched_patterns() {
+    let s = small_sap(2); // blocked producer, block-cyclic consumers
+    let o = run_threaded(&s, MappingStrategy::DataCentric);
+    assert_eq!(o.verify_failures, 0);
+}
+
+#[test]
+fn sap1_stencil_unaffected_by_strategy() {
+    // Fig. 13: the producer is packed under both strategies, so its own
+    // intra-app traffic is identical.
+    let s = small_sap(0);
+    let rr = run_threaded(&s, MappingStrategy::RoundRobin);
+    let dc = run_threaded(&s, MappingStrategy::DataCentric);
+    let net = |o: &insitu::ThreadedOutcome| {
+        o.ledger.app_bytes(1, TrafficClass::IntraApp, insitu_fabric::Locality::Network)
+    };
+    assert_eq!(net(&rr), net(&dc));
+}
