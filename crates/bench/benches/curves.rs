@@ -2,70 +2,71 @@
 //! (DESIGN.md ablation #2): index mapping throughput and box-to-span
 //! decomposition cost for both curves.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use insitu_bench::timing::{black_box, Group};
 use insitu_domain::BoundingBox;
 use insitu_sfc::{neighbor_locality, spans_of_box, HilbertCurve, MortonCurve, SpaceFillingCurve};
 
-fn bench_index_of(c: &mut Criterion) {
-    let mut g = c.benchmark_group("index_of_3d_order10");
+fn bench_index_of() {
+    let g = Group::new("index_of_3d_order10");
     let h = HilbertCurve::new(3, 10);
     let m = MortonCurve::new(3, 10);
-    let pts: Vec<[u64; 3]> = (0..256u64).map(|i| [i * 3 % 1024, i * 7 % 1024, i * 11 % 1024]).collect();
-    g.bench_function("hilbert", |b| {
-        b.iter(|| {
-            let mut acc = 0u128;
-            for p in &pts {
-                acc ^= h.index_of(black_box(p));
-            }
-            acc
-        })
+    let pts: Vec<[u64; 3]> = (0..256u64)
+        .map(|i| [i * 3 % 1024, i * 7 % 1024, i * 11 % 1024])
+        .collect();
+    g.bench("hilbert", || {
+        let mut acc = 0u128;
+        for p in &pts {
+            acc ^= h.index_of(black_box(p));
+        }
+        acc
     });
-    g.bench_function("morton", |b| {
-        b.iter(|| {
-            let mut acc = 0u128;
-            for p in &pts {
-                acc ^= m.index_of(black_box(p));
-            }
-            acc
-        })
+    g.bench("morton", || {
+        let mut acc = 0u128;
+        for p in &pts {
+            acc ^= m.index_of(black_box(p));
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_point_of(c: &mut Criterion) {
+fn bench_point_of() {
     let h = HilbertCurve::new(3, 10);
-    c.bench_function("hilbert_point_of_3d_order10", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..256u128 {
-                acc ^= h.point_of(black_box(i * 104729))[0];
-            }
-            acc
-        })
+    Group::new("point_of_3d_order10").bench("hilbert", || {
+        let mut acc = 0u64;
+        for i in 0..256u128 {
+            acc ^= h.point_of(black_box(i * 104729))[0];
+        }
+        acc
     });
 }
 
-fn bench_spans(c: &mut Criterion) {
+fn bench_spans() {
     // The ablation metric that matters for the DHT: span count per query.
-    let mut g = c.benchmark_group("spans_of_box_2d_order8");
+    let g = Group::new("spans_of_box_2d_order8");
     let query = BoundingBox::new(&[37, 19], &[171, 203]);
     for (name, curve) in [
-        ("hilbert", Box::new(HilbertCurve::new(2, 8)) as Box<dyn SpaceFillingCurve>),
-        ("morton", Box::new(MortonCurve::new(2, 8)) as Box<dyn SpaceFillingCurve>),
+        (
+            "hilbert",
+            Box::new(HilbertCurve::new(2, 8)) as Box<dyn SpaceFillingCurve>,
+        ),
+        (
+            "morton",
+            Box::new(MortonCurve::new(2, 8)) as Box<dyn SpaceFillingCurve>,
+        ),
     ] {
         let n = spans_of_box(curve.as_ref(), &query).len();
-        eprintln!("[ablation_sfc] {name}: {n} spans for {query:?}, locality {:.1}",
-            neighbor_locality(curve.as_ref(), 512));
-        g.bench_with_input(BenchmarkId::new("curve", name), &curve, |b, curve| {
-            b.iter(|| spans_of_box(black_box(curve.as_ref()), black_box(&query)).len())
+        eprintln!(
+            "[ablation_sfc] {name}: {n} spans for {query:?}, locality {:.1}",
+            neighbor_locality(curve.as_ref(), 512)
+        );
+        g.bench(name, || {
+            spans_of_box(black_box(curve.as_ref()), black_box(&query)).len()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_index_of, bench_point_of, bench_spans
+fn main() {
+    bench_index_of();
+    bench_point_of();
+    bench_spans();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! insert/query cost as the number of DHT cores (one per node in the
 //! paper) grows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use insitu_bench::timing::{black_box, Group};
 use insitu_cods::{var_id, Dht, LocationEntry};
 use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu_sfc::HilbertCurve;
@@ -17,32 +17,41 @@ fn populated_dht(cores: u32) -> Dht {
     );
     for r in 0..dec.num_ranks() {
         let piece = dec.blocked_box(r).unwrap();
-        dht.insert(var_id("t"), 0, LocationEntry { bbox: piece, owner: r as u32, piece: 0 });
+        dht.insert(
+            var_id("t"),
+            0,
+            LocationEntry {
+                bbox: piece,
+                owner: r as u32,
+                piece: 0,
+            },
+        );
     }
     dht
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dht_insert");
+fn bench_insert() {
+    let g = Group::new("dht_insert");
     for cores in [1u32, 4, 16, 48] {
         let dht = Dht::new(Box::new(HilbertCurve::new(3, 7)), (0..cores).collect());
         let piece = BoundingBox::new(&[16, 16, 16], &[31, 31, 31]);
-        g.bench_with_input(BenchmarkId::from_parameter(cores), &dht, |b, dht| {
-            b.iter(|| {
-                dht.insert(
-                    var_id("t"),
-                    1,
-                    LocationEntry { bbox: black_box(piece), owner: 0, piece: 0 },
-                )
-                .len()
-            })
+        g.bench(&cores.to_string(), || {
+            dht.insert(
+                var_id("t"),
+                1,
+                LocationEntry {
+                    bbox: black_box(piece),
+                    owner: 0,
+                    piece: 0,
+                },
+            )
+            .len()
         });
     }
-    g.finish();
 }
 
-fn bench_query(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dht_query_512pieces");
+fn bench_query() {
+    let g = Group::new("dht_query_512pieces");
     let query = BoundingBox::new(&[20, 20, 20], &[90, 90, 90]);
     for cores in [1u32, 4, 16, 48] {
         let dht = populated_dht(cores);
@@ -52,16 +61,13 @@ fn bench_query(c: &mut Criterion) {
             consulted.len(),
             entries.len()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(cores), &dht, |b, dht| {
-            b.iter(|| dht.query(var_id("t"), 0, black_box(&query)).0.len())
+        g.bench(&cores.to_string(), || {
+            dht.query(var_id("t"), 0, black_box(&query)).0.len()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_insert, bench_query
+fn main() {
+    bench_insert();
+    bench_query();
 }
-criterion_main!(benches);

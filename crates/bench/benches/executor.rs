@@ -3,36 +3,44 @@
 //! modeled executor evaluating the same scenario analytically, and the
 //! Jacobi mini-app (real computation + halo exchange + collectives).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use insitu::miniapp::{run_jacobi, JacobiConfig};
 use insitu::{concurrent_scenario, pattern_pairs, run_modeled, run_threaded, MappingStrategy};
+use insitu_bench::timing::{black_box, Group};
 
-fn bench_threaded(c: &mut Criterion) {
+fn bench_executors() {
     // 16 -> 8 tasks, 8^3 regions = 64 KiB coupled data, real threads.
     let mut s = concurrent_scenario(16, 8, 8, pattern_pairs(&[4, 4, 4])[0]);
     s.cores_per_node = 4;
     let coupled = s.decomposition(1).domain().num_cells() as u64 * 8;
-    let mut g = c.benchmark_group("executor_end_to_end");
-    g.throughput(Throughput::Bytes(coupled));
-    g.sample_size(10);
-    g.bench_function("threaded_24tasks_2MiB", |b| {
-        b.iter(|| run_threaded(black_box(&s), MappingStrategy::DataCentric).reports.len())
+    eprintln!("[executor_end_to_end] coupled bytes per run: {coupled}");
+    let g = Group::new("executor_end_to_end").sample_size(10);
+    g.bench("threaded_24tasks_2MiB", || {
+        run_threaded(black_box(&s), MappingStrategy::DataCentric)
+            .reports
+            .len()
     });
-    g.bench_function("modeled_same_scenario", |b| {
-        b.iter(|| run_modeled(black_box(&s), MappingStrategy::DataCentric).retrieve_ms.len())
+    g.bench("modeled_same_scenario", || {
+        run_modeled(black_box(&s), MappingStrategy::DataCentric)
+            .retrieve_ms
+            .len()
     });
-    g.finish();
 }
 
-fn bench_jacobi(c: &mut Criterion) {
-    let cfg = JacobiConfig { size: 24, grid: [2, 2], sweeps: 20, cores_per_node: 4 };
-    let mut g = c.benchmark_group("miniapp");
-    g.sample_size(10);
-    g.bench_function("jacobi_24x24_4ranks_20sweeps", |b| {
-        b.iter(|| run_jacobi(black_box(&cfg)).residual)
-    });
-    g.finish();
+fn bench_jacobi() {
+    let cfg = JacobiConfig {
+        size: 24,
+        grid: [2, 2],
+        sweeps: 20,
+        cores_per_node: 4,
+    };
+    Group::new("miniapp")
+        .sample_size(10)
+        .bench("jacobi_24x24_4ranks_20sweeps", || {
+            run_jacobi(black_box(&cfg)).residual
+        });
 }
 
-criterion_group!(benches, bench_threaded, bench_jacobi);
-criterion_main!(benches);
+fn main() {
+    bench_executors();
+    bench_jacobi();
+}

@@ -2,36 +2,21 @@
 //! experiment's full modeled pipeline (mapping + accounting + time model)
 //! takes. The full-scale series are produced by the `figNN` binaries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use insitu_bench::timing::{black_box, Group};
 use insitu_bench::{fig08, fig09, fig11, fig16, Size};
 
-fn bench_fig08(c: &mut Criterion) {
-    c.bench_function("fig08_pipeline_mini", |b| {
-        b.iter(|| fig08(black_box(Size::mini())).len())
+fn main() {
+    let g = Group::new("figure_pipelines").sample_size(10);
+    g.bench("fig08_pipeline_mini", || {
+        fig08(black_box(Size::mini())).len()
+    });
+    g.bench("fig09_pipeline_mini", || {
+        fig09(black_box(Size::mini())).len()
+    });
+    g.bench("fig11_pipeline_mini", || {
+        fig11(black_box(Size::mini()), black_box(Size::mini())).len()
+    });
+    g.bench("fig16_weak_scaling_2points_small", || {
+        fig16(black_box(&[1, 2]), 16).len()
     });
 }
-
-fn bench_fig09(c: &mut Criterion) {
-    c.bench_function("fig09_pipeline_mini", |b| {
-        b.iter(|| fig09(black_box(Size::mini())).len())
-    });
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    c.bench_function("fig11_pipeline_mini", |b| {
-        b.iter(|| fig11(black_box(Size::mini()), black_box(Size::mini())).len())
-    });
-}
-
-fn bench_fig16(c: &mut Criterion) {
-    c.bench_function("fig16_weak_scaling_2points_small", |b| {
-        b.iter(|| fig16(black_box(&[1, 2]), 16).len())
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig08, bench_fig09, bench_fig11, bench_fig16
-}
-criterion_main!(benches);

@@ -4,45 +4,45 @@
 //! (supports the paper's claim that the communication graph/partitioning
 //! step is cheap enough to run at workflow launch).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use insitu::{
     concurrent_scenario, map_scenario, pattern_pairs, sequential_scenario, MappingStrategy,
 };
+use insitu_bench::timing::{black_box, Group};
 
-fn bench_map_concurrent(c: &mut Criterion) {
+fn bench_map_concurrent() {
     let s = concurrent_scenario(512, 64, 128, pattern_pairs(&[32, 32, 32])[0]);
-    let mut g = c.benchmark_group("map_concurrent_576tasks");
-    g.sample_size(10);
+    let g = Group::new("map_concurrent_576tasks").sample_size(10);
     for strat in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
-        g.bench_function(strat.label(), |b| {
-            b.iter(|| map_scenario(black_box(&s), strat).app_cores.len())
+        g.bench(strat.label(), || {
+            map_scenario(black_box(&s), strat).app_cores.len()
         });
     }
-    g.finish();
 }
 
-fn bench_map_sequential(c: &mut Criterion) {
+fn bench_map_sequential() {
     let s = sequential_scenario(512, 128, 384, 128, pattern_pairs(&[32, 32, 32])[0]);
-    let mut g = c.benchmark_group("map_sequential_1024tasks");
-    g.sample_size(10);
+    let g = Group::new("map_sequential_1024tasks").sample_size(10);
     for strat in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
-        g.bench_function(strat.label(), |b| {
-            b.iter(|| map_scenario(black_box(&s), strat).app_cores.len())
+        g.bench(strat.label(), || {
+            map_scenario(black_box(&s), strat).app_cores.len()
         });
     }
-    g.finish();
 }
 
-fn bench_map_weak_scaled(c: &mut Criterion) {
+fn bench_map_weak_scaled() {
     // The largest weak-scaling point: 9216 tasks, 768-part partition.
     let s = concurrent_scenario(8192, 1024, 32, pattern_pairs(&[16, 16, 16])[0]);
-    let mut g = c.benchmark_group("map_concurrent_9216tasks");
-    g.sample_size(10);
-    g.bench_function("data-centric", |b| {
-        b.iter(|| map_scenario(black_box(&s), MappingStrategy::DataCentric).app_cores.len())
-    });
-    g.finish();
+    Group::new("map_concurrent_9216tasks")
+        .sample_size(10)
+        .bench("data-centric", || {
+            map_scenario(black_box(&s), MappingStrategy::DataCentric)
+                .app_cores
+                .len()
+        });
 }
 
-criterion_group!(benches, bench_map_concurrent, bench_map_sequential, bench_map_weak_scaled);
-criterion_main!(benches);
+fn main() {
+    bench_map_concurrent();
+    bench_map_sequential();
+    bench_map_weak_scaled();
+}

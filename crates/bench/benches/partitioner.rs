@@ -3,8 +3,8 @@
 //! graph (CAP1=512 / CAP2=64), reporting both runtime and the edge cut
 //! that determines network-coupled bytes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use insitu::{concurrent_scenario, pattern_pairs};
+use insitu_bench::timing::{black_box, Group};
 use insitu_partition::{
     GreedyGrowthPartitioner, MultilevelPartitioner, PartitionConfig, Partitioner,
     RoundRobinPartitioner,
@@ -13,16 +13,18 @@ use insitu_workflow::build_inter_app_graph;
 
 fn paper_graph() -> insitu_partition::Graph {
     let s = concurrent_scenario(512, 64, 128, pattern_pairs(&[32, 32, 32])[0]);
-    let apps = [s.workflow.app(1).unwrap().clone(), s.workflow.app(2).unwrap().clone()];
+    let apps = [
+        s.workflow.app(1).unwrap().clone(),
+        s.workflow.app(2).unwrap().clone(),
+    ];
     let refs: Vec<&insitu_workflow::AppSpec> = apps.iter().collect();
     build_inter_app_graph(&refs, 8).0
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn main() {
     let g = paper_graph();
     let cfg = PartitionConfig::with_cap(48, 12); // 48 twelve-core nodes
-    let mut group = c.benchmark_group("partition_cap_576tasks_48nodes");
-    group.sample_size(10);
+    let group = Group::new("partition_cap_576tasks_48nodes").sample_size(10);
 
     let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
         ("multilevel", Box::new(MultilevelPartitioner::default())),
@@ -38,12 +40,6 @@ fn bench_partitioners(c: &mut Criterion) {
                 .flat_map(|v| g.neighbors(v).map(move |(u, w)| if u > v { w } else { 0 }))
                 .sum::<u64>()
         );
-        group.bench_function(*name, |b| {
-            b.iter(|| p.partition(black_box(&g), black_box(&cfg)).len())
-        });
+        group.bench(name, || p.partition(black_box(&g), black_box(&cfg)).len());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! receiver-driven pull performs, and a full M×N redistribution through
 //! the space (16 producers -> 4 consumers).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use insitu_bench::timing::{black_box, Group};
 use insitu_cods::{CodsConfig, CodsSpace, Dht};
 use insitu_dart::DartRuntime;
 use insitu_domain::layout::{copy_region_bytes, fill_with};
@@ -12,7 +12,7 @@ use insitu_sfc::HilbertCurve;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn bench_strided_copy(c: &mut Criterion) {
+fn bench_strided_copy() {
     // Extract a 64^3 region (2 MiB) out of a 128^3 piece into a 96^3
     // destination: the inner loop of every get.
     let src_box = BoundingBox::from_sizes(&[128, 128, 128]);
@@ -21,10 +21,10 @@ fn bench_strided_copy(c: &mut Criterion) {
     let src = vec![0u8; src_box.num_cells() as usize * 8];
     let mut dst = vec![0u8; dst_box.num_cells() as usize * 8];
     let bytes = region.num_cells() as u64 * 8;
-    let mut g = c.benchmark_group("strided_copy");
-    g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("extract_64cubed_from_128cubed", |b| {
-        b.iter(|| {
+    eprintln!("[strided_copy] {bytes} bytes per extraction");
+    Group::new("strided_copy")
+        .sample_size(30)
+        .bench("extract_64cubed_from_128cubed", || {
             copy_region_bytes(
                 black_box(&src),
                 &src_box,
@@ -33,18 +33,23 @@ fn bench_strided_copy(c: &mut Criterion) {
                 &region,
                 8,
             )
-        })
-    });
-    g.finish();
+        });
 }
 
-fn bench_m_to_n(c: &mut Criterion) {
+fn bench_m_to_n() {
     // 16 producers blocked over 64^3 (2 MiB total) -> one consumer pulls
     // the full domain through get_cont schedules.
     let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(5, 4), 20));
     let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
     let dht = Dht::new(Box::new(HilbertCurve::new(3, 6)), vec![0, 4, 8, 12, 16]);
-    let space = CodsSpace::new(dart, dht, CodsConfig { get_timeout: Duration::from_secs(5), ..Default::default() });
+    let space = CodsSpace::new(
+        dart,
+        dht,
+        CodsConfig {
+            get_timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+    );
     let dec = Decomposition::new(
         BoundingBox::from_sizes(&[64, 64, 64]),
         ProcessGrid::new(&[4, 2, 2]),
@@ -54,27 +59,27 @@ fn bench_m_to_n(c: &mut Criterion) {
     for r in 0..16u64 {
         let piece = dec.blocked_box(r).unwrap();
         let data = fill_with(&piece, |p| p[0] as f64);
-        space.put_cont(r as u32, 1, "v", 0, 0, &piece, &data).unwrap();
+        space
+            .put_cont(r as u32, 1, "v", 0, 0, &piece, &data)
+            .unwrap();
     }
     let full = BoundingBox::from_sizes(&[64, 64, 64]);
-    let mut g = c.benchmark_group("m_to_n_redistribution");
-    g.throughput(Throughput::Bytes(full.num_cells() as u64 * 8));
-    g.sample_size(20);
-    g.bench_function("gather_16_to_1_2MiB", |b| {
-        b.iter(|| {
+    eprintln!(
+        "[m_to_n_redistribution] {} bytes per gather",
+        full.num_cells() as u64 * 8
+    );
+    Group::new("m_to_n_redistribution")
+        .sample_size(20)
+        .bench("gather_16_to_1_2MiB", || {
             space
                 .get_cont(19, 2, "v", 0, black_box(&full), &dec, &clients)
                 .unwrap()
                 .0
                 .len()
-        })
-    });
-    g.finish();
+        });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_strided_copy, bench_m_to_n
+fn main() {
+    bench_strided_copy();
+    bench_m_to_n();
 }
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! `get` planning cost with the cache on vs off — the win the paper
 //! attributes to schedule reuse across iterations.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use insitu_bench::timing::{black_box, Group};
 use insitu_cods::{schedule_from_decomposition, CodsConfig, CodsSpace, Dht};
 use insitu_dart::DartRuntime;
 use insitu_domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
@@ -12,7 +12,7 @@ use insitu_sfc::HilbertCurve;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn bench_plan_from_decomposition(c: &mut Criterion) {
+fn bench_plan_from_decomposition() {
     // The paper's CAP1 decomposition: 512 ranks, blocked over 1024^3.
     let dec = Decomposition::new(
         BoundingBox::from_sizes(&[1024, 1024, 1024]),
@@ -22,8 +22,10 @@ fn bench_plan_from_decomposition(c: &mut Criterion) {
     let clients: Vec<u32> = (0..512).collect();
     // One CAP2 task's 128 MB query region.
     let query = BoundingBox::new(&[0, 0, 0], &[255, 255, 255]);
-    c.bench_function("schedule_from_decomposition_512ranks", |b| {
-        b.iter(|| schedule_from_decomposition(black_box(&dec), &clients, black_box(&query)).ops.len())
+    Group::new("schedules").bench("schedule_from_decomposition_512ranks", || {
+        schedule_from_decomposition(black_box(&dec), &clients, black_box(&query))
+            .ops
+            .len()
     });
 }
 
@@ -48,31 +50,33 @@ fn space_with_data(cache: bool) -> (Arc<CodsSpace>, Decomposition) {
     for r in 0..16u64 {
         let piece = dec.blocked_box(r).unwrap();
         let data = layout::fill_with(&piece, |p| p[0] as f64 + p[1] as f64);
-        space.put_seq(r as u32, 1, "field", 0, 0, &piece, &data).unwrap();
+        space
+            .put_seq(r as u32, 1, "field", 0, 0, &piece, &data)
+            .unwrap();
     }
     (space, dec)
 }
 
-fn bench_get_seq_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("get_seq_32cubed");
-    group.sample_size(30);
+fn bench_get_seq_cache() {
+    let group = Group::new("get_seq_32cubed").sample_size(30);
     for (name, cache) in [("cache_on", true), ("cache_off", false)] {
         let (space, _dec) = space_with_data(cache);
         let query = BoundingBox::new(&[5, 5, 5], &[26, 26, 26]);
         // Warm the cache so cache_on measures the replay path.
         let _ = space.get_seq(1, 2, "field", 0, &query).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| space.get_seq(1, 2, "field", 0, black_box(&query)).unwrap().0.len())
+        group.bench(name, || {
+            space
+                .get_seq(1, 2, "field", 0, black_box(&query))
+                .unwrap()
+                .0
+                .len()
         });
         let (hits, misses) = space.cache().stats();
         eprintln!("[ablation_schedule_cache] {name}: {hits} hits / {misses} misses");
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_plan_from_decomposition, bench_get_seq_cache
+fn main() {
+    bench_plan_from_decomposition();
+    bench_get_seq_cache();
 }
-criterion_main!(benches);

@@ -1,31 +1,32 @@
 //! Run every evaluation figure in sequence and print the full report —
-//! the source of EXPERIMENTS.md's measured numbers.
+//! the source of EXPERIMENTS.md's measured numbers. Also writes every
+//! `BENCH_figNN.json` (to `BENCH_OUT_DIR` or the current directory).
 //!
 //! ```text
 //! cargo run --release -p insitu-bench --bin all_figures
 //! ```
 
-use insitu_bench::report;
+use insitu_bench::{emit, report};
 
 fn main() {
     println!("=== Reproduction report: all evaluation figures ===");
     println!("(modeled executor; ledger semantics verified byte-exact against the");
     println!(" threaded executor by tests/integration_equivalence.rs)\n");
-    report::print_fig08();
+    emit::emit_fig08(&report::print_fig08());
     println!();
-    report::print_fig09();
+    emit::emit_fig09(&report::print_fig09());
     println!();
-    report::print_fig10();
+    emit::emit_fig10(&report::print_fig10());
     println!();
-    report::print_fig11();
+    emit::emit_fig11(&report::print_fig11());
     println!();
-    report::print_fig12();
+    emit::emit_fig12(&report::print_fig12());
     println!();
-    report::print_fig13();
+    emit::emit_fig13(&report::print_fig13());
     println!();
-    report::print_fig14();
+    emit::emit_fig14(&report::print_fig14());
     println!();
-    report::print_fig15();
+    emit::emit_fig15(&report::print_fig15());
     println!();
-    report::print_fig16();
+    emit::emit_fig16(&report::print_fig16());
 }

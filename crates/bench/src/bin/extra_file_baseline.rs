@@ -2,8 +2,9 @@
 //! direct in-memory coupling beats file-based data sharing through the
 //! parallel filesystem ("Compared to the file-based approach, our
 //! framework provides faster and more scalable data sharing service").
+//! Prints the table and writes `BENCH_extra_file_baseline.json`.
 
-use insitu_bench::{extra_file_baseline, table, Size};
+use insitu_bench::{emit, extra_file_baseline, table, Size};
 
 fn main() {
     let rows = extra_file_baseline(Size::paper(), Size::paper_sequential());
@@ -21,9 +22,16 @@ fn main() {
         .collect();
     table::print(
         "Extra — in-memory (CoDS) vs file-based coupling (Spider/Lustre-class filesystem)",
-        &["scenario", "coupled GiB", "memory (ms)", "file (ms)", "file penalty"],
+        &[
+            "scenario",
+            "coupled GiB",
+            "memory (ms)",
+            "file (ms)",
+            "file penalty",
+        ],
         &out,
     );
     println!("paper claim (§VI): the in-memory shared space is faster and more scalable than");
     println!("coupling through files; memory numbers are the data-centric retrieve times");
+    emit::emit_extra_file_baseline(&rows);
 }

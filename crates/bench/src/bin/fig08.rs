@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 08 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig08.json`.
 
 fn main() {
-    insitu_bench::report::print_fig08();
+    let rows = insitu_bench::report::print_fig08();
+    insitu_bench::emit::emit_fig08(&rows);
 }

@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 09 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig09.json`.
 
 fn main() {
-    insitu_bench::report::print_fig09();
+    let rows = insitu_bench::report::print_fig09();
+    insitu_bench::emit::emit_fig09(&rows);
 }

@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 11 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig11.json`.
 
 fn main() {
-    insitu_bench::report::print_fig11();
+    let rows = insitu_bench::report::print_fig11();
+    insitu_bench::emit::emit_fig11(&rows);
 }

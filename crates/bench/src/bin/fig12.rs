@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 12 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig12.json`.
 
 fn main() {
-    insitu_bench::report::print_fig12();
+    let rows = insitu_bench::report::print_fig12();
+    insitu_bench::emit::emit_fig12(&rows);
 }

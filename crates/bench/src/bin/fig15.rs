@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 15 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig15.json`.
 
 fn main() {
-    insitu_bench::report::print_fig15();
+    let rows = insitu_bench::report::print_fig15();
+    insitu_bench::emit::emit_fig15(&rows);
 }

@@ -1,6 +1,8 @@
 //! Regenerate the paper's Figure 16 at its evaluation configuration.
-//! See `insitu_bench::report` for what is printed.
+//! Prints the table (see `insitu_bench::report`) and writes
+//! `BENCH_fig16.json`.
 
 fn main() {
-    insitu_bench::report::print_fig16();
+    let rows = insitu_bench::report::print_fig16();
+    insitu_bench::emit::emit_fig16(&rows);
 }

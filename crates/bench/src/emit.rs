@@ -1,0 +1,252 @@
+//! Machine-readable experiment output.
+//!
+//! Every figure binary prints its table *and* writes a
+//! `BENCH_figNN.json` file so downstream tooling (plot scripts, CI
+//! trend checks) never has to scrape stdout. Files land in the current
+//! directory unless `BENCH_OUT_DIR` points elsewhere. The payload is
+//! rendered through [`insitu_telemetry::Json`] — same writer as the
+//! metrics and trace exports, so the formats can never drift apart.
+
+use crate::experiments::{
+    BreakdownRow, CouplingRow, FanoutRow, FileBaselineRow, IntraAppRow, RetrieveRow,
+};
+use insitu_telemetry::Json;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn out_dir() -> PathBuf {
+    std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Write `payload` to `<dir>/BENCH_<figure>.json`.
+pub fn write_to(dir: &Path, figure: &str, payload: &Json) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(payload.render().as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Write `payload` to `BENCH_<figure>.json` (in `BENCH_OUT_DIR` or the
+/// current directory) and report the path; IO failure is reported on
+/// stderr but never aborts a figure run.
+pub fn emit(figure: &str, payload: &Json) {
+    match write_to(&out_dir(), figure, payload) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write BENCH_{figure}.json: {err}"),
+    }
+}
+
+fn doc(figure: &str, title: &str, rows: Vec<Json>) -> Json {
+    Json::obj()
+        .field("figure", figure)
+        .field("title", title)
+        .field("rows", Json::Arr(rows))
+}
+
+fn coupling_doc(figure: &str, title: &str, rows: &[CouplingRow]) -> Json {
+    doc(
+        figure,
+        title,
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("pattern", r.pattern.as_str())
+                    .field("strategy", r.strategy)
+                    .field("network_bytes", r.network_bytes)
+                    .field("shm_bytes", r.shm_bytes)
+            })
+            .collect(),
+    )
+}
+
+fn retrieve_doc(figure: &str, title: &str, rows: &[RetrieveRow]) -> Json {
+    doc(
+        figure,
+        title,
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("app", r.app.as_str())
+                    .field("strategy", r.strategy)
+                    .field("producer_tasks", r.producer_tasks)
+                    .field("ms", r.ms)
+            })
+            .collect(),
+    )
+}
+
+fn intra_doc(figure: &str, title: &str, rows: &[IntraAppRow]) -> Json {
+    doc(
+        figure,
+        title,
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("app", r.app.as_str())
+                    .field("strategy", r.strategy)
+                    .field("network_bytes", r.network_bytes)
+            })
+            .collect(),
+    )
+}
+
+fn breakdown_doc(figure: &str, title: &str, rows: &[BreakdownRow]) -> Json {
+    doc(
+        figure,
+        title,
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("strategy", r.strategy)
+                    .field("inter_app_net_bytes", r.inter_app_net)
+                    .field("intra_app_net_bytes", r.intra_app_net)
+            })
+            .collect(),
+    )
+}
+
+/// `BENCH_fig08.json` — concurrent coupling network bytes.
+pub fn emit_fig08(rows: &[CouplingRow]) {
+    emit(
+        "fig08",
+        &coupling_doc(
+            "fig08",
+            "concurrent coupling: coupled bytes by locality",
+            rows,
+        ),
+    );
+}
+
+/// `BENCH_fig09.json` — sequential coupling network bytes.
+pub fn emit_fig09(rows: &[CouplingRow]) {
+    emit(
+        "fig09",
+        &coupling_doc(
+            "fig09",
+            "sequential coupling: coupled bytes by locality",
+            rows,
+        ),
+    );
+}
+
+/// `BENCH_fig10.json` — coupling fan-out per consumer task.
+pub fn emit_fig10(rows: &[FanoutRow]) {
+    let payload = doc(
+        "fig10",
+        "coupling fan-out per consumer task",
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("pattern", r.pattern.as_str())
+                    .field("avg_fanout", r.avg_fanout)
+                    .field("max_fanout", r.max_fanout)
+            })
+            .collect(),
+    );
+    emit("fig10", &payload);
+}
+
+/// `BENCH_fig11.json` — retrieve time per application and strategy.
+pub fn emit_fig11(rows: &[RetrieveRow]) {
+    emit(
+        "fig11",
+        &retrieve_doc("fig11", "coupled-data retrieve time (ms)", rows),
+    );
+}
+
+/// `BENCH_fig12.json` — concurrent intra-app network bytes.
+pub fn emit_fig12(rows: &[IntraAppRow]) {
+    emit(
+        "fig12",
+        &intra_doc("fig12", "concurrent: intra-app bytes over network", rows),
+    );
+}
+
+/// `BENCH_fig13.json` — sequential intra-app network bytes.
+pub fn emit_fig13(rows: &[IntraAppRow]) {
+    emit(
+        "fig13",
+        &intra_doc("fig13", "sequential: intra-app bytes over network", rows),
+    );
+}
+
+/// `BENCH_fig14.json` — concurrent network-cost breakdown.
+pub fn emit_fig14(rows: &[BreakdownRow]) {
+    emit(
+        "fig14",
+        &breakdown_doc("fig14", "concurrent: network communication breakdown", rows),
+    );
+}
+
+/// `BENCH_fig15.json` — sequential network-cost breakdown.
+pub fn emit_fig15(rows: &[BreakdownRow]) {
+    emit(
+        "fig15",
+        &breakdown_doc("fig15", "sequential: network communication breakdown", rows),
+    );
+}
+
+/// `BENCH_fig16.json` — weak-scaling retrieve times.
+pub fn emit_fig16(rows: &[RetrieveRow]) {
+    emit(
+        "fig16",
+        &retrieve_doc(
+            "fig16",
+            "weak scaling: retrieve time (ms), data-centric",
+            rows,
+        ),
+    );
+}
+
+/// `BENCH_extra_file_baseline.json` — in-memory vs file-based coupling.
+pub fn emit_extra_file_baseline(rows: &[FileBaselineRow]) {
+    let payload = doc(
+        "extra_file_baseline",
+        "in-memory (CoDS) vs file-based coupling",
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .field("scenario", r.scenario.as_str())
+                    .field("coupled_bytes", r.bytes)
+                    .field("memory_ms", r.memory_ms)
+                    .field("file_ms", r.file_ms)
+            })
+            .collect(),
+    );
+    emit("extra_file_baseline", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_doc_shape() {
+        let rows = vec![CouplingRow {
+            pattern: "blocked/blocked".into(),
+            strategy: "round-robin",
+            network_bytes: 100,
+            shm_bytes: 28,
+        }];
+        let j = coupling_doc("fig08", "t", &rows).render();
+        assert!(j.starts_with("{\"figure\":\"fig08\""));
+        assert!(j.contains("\"network_bytes\":100"));
+        assert!(j.contains("\"shm_bytes\":28"));
+    }
+
+    #[test]
+    fn write_to_produces_parseable_file() {
+        let dir = std::env::temp_dir();
+        let payload = doc("figtest", "t", vec![Json::obj().field("ms", 1.5)]);
+        let path = write_to(&dir, "figtest", &payload).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            body,
+            "{\"figure\":\"figtest\",\"title\":\"t\",\"rows\":[{\"ms\":1.5}]}\n"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+}

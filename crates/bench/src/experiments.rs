@@ -39,17 +39,35 @@ pub struct Size {
 impl Size {
     /// The paper's evaluation size.
     pub fn paper() -> Self {
-        Size { prod: 512, cons1: 64, cons2: 384, region: 128, block: 32 }
+        Size {
+            prod: 512,
+            cons1: 64,
+            cons2: 384,
+            region: 128,
+            block: 32,
+        }
     }
 
     /// Paper sequential consumer split (SAP2=128, SAP3=384).
     pub fn paper_sequential() -> Self {
-        Size { prod: 512, cons1: 128, cons2: 384, region: 128, block: 32 }
+        Size {
+            prod: 512,
+            cons1: 128,
+            cons2: 384,
+            region: 128,
+            block: 32,
+        }
     }
 
     /// A miniature for unit tests and criterion benches.
     pub fn mini() -> Self {
-        Size { prod: 64, cons1: 8, cons2: 24, region: 16, block: 8 }
+        Size {
+            prod: 64,
+            cons1: 8,
+            cons2: 24,
+            region: 16,
+            block: 8,
+        }
     }
 
     fn block3(&self) -> [u64; 3] {
@@ -86,7 +104,10 @@ pub struct CouplingRow {
     pub shm_bytes: u64,
 }
 
-fn coupling_rows(mk: impl Fn(PatternPair) -> Scenario, patterns: &[PatternPair]) -> Vec<CouplingRow> {
+fn coupling_rows(
+    mk: impl Fn(PatternPair) -> Scenario,
+    patterns: &[PatternPair],
+) -> Vec<CouplingRow> {
     let mut rows = Vec::new();
     for &pattern in patterns {
         let scenario = mk(pattern);
@@ -134,7 +155,11 @@ pub fn fig10(size: Size) -> Vec<FanoutRow> {
         let fan = fanout_per_consumer(s.decomposition(1), s.decomposition(2));
         let max = fan.iter().copied().max().unwrap_or(0);
         let avg = fan.iter().map(|&f| f as f64).sum::<f64>() / fan.len() as f64;
-        rows.push(FanoutRow { pattern: pattern.label(), avg_fanout: avg, max_fanout: max });
+        rows.push(FanoutRow {
+            pattern: pattern.label(),
+            avg_fanout: avg,
+            max_fanout: max,
+        });
     }
     rows
 }
@@ -220,7 +245,9 @@ fn intra_rows(scenario: &Scenario, labels: &[(u32, &str)]) -> Vec<IntraAppRow> {
             rows.push(IntraAppRow {
                 app: label.into(),
                 strategy: strategy.label(),
-                network_bytes: o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::Network),
+                network_bytes: o
+                    .ledger
+                    .app_bytes(app, TrafficClass::IntraApp, Locality::Network),
             });
         }
     }
@@ -333,7 +360,7 @@ mod tests {
     fn fig08_mini_shapes() {
         let rows = fig08(Size::mini());
         assert_eq!(rows.len(), 10); // 5 patterns x 2 strategies
-        // Matched pattern: data-centric well below round-robin.
+                                    // Matched pattern: data-centric well below round-robin.
         let rr = &rows[0];
         let dc = &rows[1];
         assert_eq!(rr.strategy, "round-robin");
@@ -368,8 +395,14 @@ mod tests {
         assert_eq!(rows.len(), 6);
         // Data-centric faster than round-robin for each app.
         for app in ["CAP2", "SAP2", "SAP3"] {
-            let rr = rows.iter().find(|r| r.app == app && r.strategy == "round-robin").unwrap();
-            let dc = rows.iter().find(|r| r.app == app && r.strategy == "data-centric").unwrap();
+            let rr = rows
+                .iter()
+                .find(|r| r.app == app && r.strategy == "round-robin")
+                .unwrap();
+            let dc = rows
+                .iter()
+                .find(|r| r.app == app && r.strategy == "data-centric")
+                .unwrap();
             assert!(dc.ms < rr.ms, "{app}: dc {} >= rr {}", dc.ms, rr.ms);
         }
     }
@@ -377,8 +410,14 @@ mod tests {
     #[test]
     fn fig12_consumer_halo_grows() {
         let rows = fig12(Size::mini());
-        let rr = rows.iter().find(|r| r.app == "CAP2" && r.strategy == "round-robin").unwrap();
-        let dc = rows.iter().find(|r| r.app == "CAP2" && r.strategy == "data-centric").unwrap();
+        let rr = rows
+            .iter()
+            .find(|r| r.app == "CAP2" && r.strategy == "round-robin")
+            .unwrap();
+        let dc = rows
+            .iter()
+            .find(|r| r.app == "CAP2" && r.strategy == "data-centric")
+            .unwrap();
         assert!(dc.network_bytes >= rr.network_bytes);
     }
 
@@ -394,8 +433,14 @@ mod tests {
     #[test]
     fn fig16_times_grow_gently() {
         let rows = fig16(&[1, 2], 16);
-        let cap_small = rows.iter().find(|r| r.app == "CAP2" && r.producer_tasks == 512).unwrap();
-        let cap_big = rows.iter().find(|r| r.app == "CAP2" && r.producer_tasks == 1024).unwrap();
+        let cap_small = rows
+            .iter()
+            .find(|r| r.app == "CAP2" && r.producer_tasks == 512)
+            .unwrap();
+        let cap_big = rows
+            .iter()
+            .find(|r| r.app == "CAP2" && r.producer_tasks == 1024)
+            .unwrap();
         assert!(cap_big.ms >= cap_small.ms * 0.5, "time should not collapse");
     }
 }
@@ -471,7 +516,13 @@ mod extra_tests {
         let rows = extra_file_baseline(Size::mini(), Size::mini());
         assert_eq!(rows.len(), 2);
         for r in rows {
-            assert!(r.file_ms > r.memory_ms, "{}: file {} <= mem {}", r.scenario, r.file_ms, r.memory_ms);
+            assert!(
+                r.file_ms > r.memory_ms,
+                "{}: file {} <= mem {}",
+                r.scenario,
+                r.file_ms,
+                r.memory_ms
+            );
         }
     }
 }

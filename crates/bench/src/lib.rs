@@ -4,12 +4,15 @@
 //! `src/bin/` that regenerates its rows/series by running the modeled
 //! executor on the paper's configurations. This library holds the shared
 //! experiment drivers so the binaries, the `all_figures` report generator
-//! and the criterion benches use identical code paths.
+//! and the timing benches use identical code paths. Each figure binary
+//! also writes a machine-readable `BENCH_figNN.json` via [`emit`].
 
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod experiments;
 pub mod report;
 pub mod table;
+pub mod timing;
 
 pub use experiments::*;

@@ -1,11 +1,13 @@
 //! Printing of every figure's rows — shared by the per-figure binaries
-//! and the `all_figures` report so they can never disagree.
+//! and the `all_figures` report so they can never disagree. Each
+//! `print_figNN` returns the rows it printed so callers can also emit
+//! the machine-readable `BENCH_figNN.json` without recomputing.
 
 use crate::experiments::*;
 use crate::table;
 
 /// Print Fig. 8 at the paper's configuration.
-pub fn print_fig08() {
+pub fn print_fig08() -> Vec<CouplingRow> {
     let rows = fig08(Size::paper());
     let mut out = Vec::new();
     for pair in rows.chunks(2) {
@@ -14,7 +16,10 @@ pub fn print_fig08() {
             rr.pattern.clone(),
             table::gib(rr.network_bytes),
             table::gib(dc.network_bytes),
-            format!("{:.0}%", 100.0 * (1.0 - dc.network_bytes as f64 / rr.network_bytes as f64)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - dc.network_bytes as f64 / rr.network_bytes as f64)
+            ),
         ]);
     }
     table::print(
@@ -22,11 +27,14 @@ pub fn print_fig08() {
         &["pattern (producer/consumer)", "round-robin", "data-centric", "reduction"],
         &out,
     );
-    println!("paper shape: ~80% less network data for matched patterns; little gain when mismatched");
+    println!(
+        "paper shape: ~80% less network data for matched patterns; little gain when mismatched"
+    );
+    rows
 }
 
 /// Print Fig. 9 at the paper's configuration.
-pub fn print_fig09() {
+pub fn print_fig09() -> Vec<CouplingRow> {
     let rows = fig09(Size::paper_sequential());
     let mut out = Vec::new();
     for pair in rows.chunks(2) {
@@ -35,7 +43,10 @@ pub fn print_fig09() {
             rr.pattern.clone(),
             table::gib(rr.network_bytes),
             table::gib(dc.network_bytes),
-            format!("{:.0}%", 100.0 * (1.0 - dc.network_bytes as f64 / rr.network_bytes as f64)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - dc.network_bytes as f64 / rr.network_bytes as f64)
+            ),
         ]);
     }
     table::print(
@@ -43,11 +54,14 @@ pub fn print_fig09() {
         &["pattern (producer/consumer)", "round-robin", "data-centric", "reduction"],
         &out,
     );
-    println!("paper shape: ~90% less network data for matched patterns; little gain when mismatched");
+    println!(
+        "paper shape: ~90% less network data for matched patterns; little gain when mismatched"
+    );
+    rows
 }
 
 /// Print Fig. 10 at the paper's configuration.
-pub fn print_fig10() {
+pub fn print_fig10() -> Vec<FanoutRow> {
     let rows = fig10(Size::paper());
     let out: Vec<Vec<String>> = rows
         .iter()
@@ -56,26 +70,42 @@ pub fn print_fig10() {
                 r.pattern.clone(),
                 format!("{:.1}", r.avg_fanout),
                 r.max_fanout.to_string(),
-                if r.max_fanout <= 12 { "yes".into() } else { "no".into() },
+                if r.max_fanout <= 12 {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
     table::print(
         "Fig. 10 — coupling fan-out per consumer task (CAP1=512 / CAP2=64, 12-core nodes)",
-        &["pattern (producer/consumer)", "avg producers contacted", "max", "fits one node?"],
+        &[
+            "pattern (producer/consumer)",
+            "avg producers contacted",
+            "max",
+            "fits one node?",
+        ],
         &out,
     );
     println!("paper shape: mismatched distributions create 1-to-N patterns with N >> cores/node");
+    rows
 }
 
 /// Print Fig. 11 at the paper's configuration.
-pub fn print_fig11() {
+pub fn print_fig11() -> Vec<RetrieveRow> {
     let rows = fig11(Size::paper(), Size::paper_sequential());
     let out: Vec<Vec<String>> = ["CAP2", "SAP2", "SAP3"]
         .iter()
         .map(|app| {
-            let rr = rows.iter().find(|r| &r.app == app && r.strategy == "round-robin").unwrap();
-            let dc = rows.iter().find(|r| &r.app == app && r.strategy == "data-centric").unwrap();
+            let rr = rows
+                .iter()
+                .find(|r| &r.app == app && r.strategy == "round-robin")
+                .unwrap();
+            let dc = rows
+                .iter()
+                .find(|r| &r.app == app && r.strategy == "data-centric")
+                .unwrap();
             vec![
                 app.to_string(),
                 format!("{:.1}", rr.ms),
@@ -91,14 +121,21 @@ pub fn print_fig11() {
     );
     println!("paper shape: large drop under data-centric mapping; SAP2/SAP3 slower than CAP2");
     println!("despite smaller per-task data (2x concurrent retrieve queries contend)");
+    rows
 }
 
 fn print_intra(rows: &[IntraAppRow], apps: &[&str], title: &str, footer: &str) {
     let out: Vec<Vec<String>> = apps
         .iter()
         .map(|app| {
-            let rr = rows.iter().find(|r| &r.app == app && r.strategy == "round-robin").unwrap();
-            let dc = rows.iter().find(|r| &r.app == app && r.strategy == "data-centric").unwrap();
+            let rr = rows
+                .iter()
+                .find(|r| &r.app == app && r.strategy == "round-robin")
+                .unwrap();
+            let dc = rows
+                .iter()
+                .find(|r| &r.app == app && r.strategy == "data-centric")
+                .unwrap();
             vec![
                 app.to_string(),
                 table::mib(rr.network_bytes),
@@ -110,28 +147,36 @@ fn print_intra(rows: &[IntraAppRow], apps: &[&str], title: &str, footer: &str) {
             ]
         })
         .collect();
-    table::print(title, &["application", "round-robin", "data-centric", "change"], &out);
+    table::print(
+        title,
+        &["application", "round-robin", "data-centric", "change"],
+        &out,
+    );
     println!("{footer}");
 }
 
 /// Print Fig. 12 at the paper's configuration.
-pub fn print_fig12() {
+pub fn print_fig12() -> Vec<IntraAppRow> {
+    let rows = fig12(Size::paper());
     print_intra(
-        &fig12(Size::paper()),
+        &rows,
         &["CAP1", "CAP2"],
         "Fig. 12 — concurrent scenario: intra-app exchange over the network (MiB)",
         "paper shape: CAP2 (the smaller, scattered app) roughly doubles; CAP1 barely moves",
     );
+    rows
 }
 
 /// Print Fig. 13 at the paper's configuration.
-pub fn print_fig13() {
+pub fn print_fig13() -> Vec<IntraAppRow> {
+    let rows = fig13(Size::paper_sequential());
     print_intra(
-        &fig13(Size::paper_sequential()),
+        &rows,
         &["SAP1", "SAP2", "SAP3"],
         "Fig. 13 — sequential scenario: intra-app exchange over the network (MiB)",
         "paper shape: SAP2 roughly doubles; SAP1 and SAP3 nearly unchanged",
     );
+    rows
 }
 
 fn print_breakdown(rows: &[BreakdownRow], title: &str) {
@@ -146,28 +191,41 @@ fn print_breakdown(rows: &[BreakdownRow], title: &str) {
             ]
         })
         .collect();
-    table::print(title, &["strategy", "inter-app (coupling)", "intra-app (stencil)", "total"], &out);
+    table::print(
+        title,
+        &[
+            "strategy",
+            "inter-app (coupling)",
+            "intra-app (stencil)",
+            "total",
+        ],
+        &out,
+    );
     println!("paper shape: coupling dominates under round-robin; data-centric slashes the total");
 }
 
 /// Print Fig. 14 at the paper's configuration.
-pub fn print_fig14() {
+pub fn print_fig14() -> Vec<BreakdownRow> {
+    let rows = fig14(Size::paper());
     print_breakdown(
-        &fig14(Size::paper()),
+        &rows,
         "Fig. 14 — concurrent scenario: network communication breakdown (GiB)",
     );
+    rows
 }
 
 /// Print Fig. 15 at the paper's configuration.
-pub fn print_fig15() {
+pub fn print_fig15() -> Vec<BreakdownRow> {
+    let rows = fig15(Size::paper_sequential());
     print_breakdown(
-        &fig15(Size::paper_sequential()),
+        &rows,
         "Fig. 15 — sequential scenario: network communication breakdown (GiB)",
     );
+    rows
 }
 
 /// Print Fig. 16 at the paper's configuration.
-pub fn print_fig16() {
+pub fn print_fig16() -> Vec<RetrieveRow> {
     let rows = fig16(&[1, 2, 4, 8, 16], 128);
     let scales = [512u64, 1024, 2048, 4096, 8192];
     let out: Vec<Vec<String>> = scales
@@ -188,8 +246,16 @@ pub fn print_fig16() {
         &out,
     );
     let delta = |app: &str| {
-        let first = rows.iter().find(|r| r.app == app && r.producer_tasks == 512).unwrap().ms;
-        let last = rows.iter().find(|r| r.app == app && r.producer_tasks == 8192).unwrap().ms;
+        let first = rows
+            .iter()
+            .find(|r| r.app == app && r.producer_tasks == 512)
+            .unwrap()
+            .ms;
+        let last = rows
+            .iter()
+            .find(|r| r.app == app && r.producer_tasks == 8192)
+            .unwrap()
+            .ms;
         last - first
     };
     println!(
@@ -199,4 +265,5 @@ pub fn print_fig16() {
         delta("SAP3")
     );
     println!("paper shape: increase under ~150 ms; sequential apps rise faster than CAP2");
+    rows
 }

@@ -63,7 +63,10 @@ mod tests {
     fn renders_aligned() {
         let s = render(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,112 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The workspace is hermetic (no criterion), so the `benches/` targets
+//! use this module: a named group runs each benchmark once to warm up,
+//! then times `samples` iterations individually and prints min / median
+//! / mean. The point is trend visibility and ablation printouts, not
+//! statistical rigor — absolute numbers depend on the host.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group {
+    name: String,
+    samples: u32,
+}
+
+impl Group {
+    /// New group with the default sample count (20).
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            samples: 20,
+        }
+    }
+
+    /// Override the number of timed iterations.
+    pub fn sample_size(mut self, samples: u32) -> Group {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Warm up once, then time `samples` iterations of `f` and print a
+    /// one-line summary.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchStats {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let stats = BenchStats {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: times.iter().sum::<Duration>() / times.len() as u32,
+            samples: self.samples,
+        };
+        println!(
+            "bench {:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            format!("{}/{}", self.name, name),
+            fmt_duration(stats.min),
+            fmt_duration(stats.median),
+            fmt_duration(stats.mean),
+            stats.samples,
+        );
+        stats
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Fastest timed iteration.
+    pub min: Duration,
+    /// Median timed iteration.
+    pub median: Duration,
+    /// Mean over all timed iterations.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub samples: u32,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_warmup_plus_samples() {
+        let mut calls = 0u32;
+        let stats = Group::new("t").sample_size(5).bench("count", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6); // 1 warmup + 5 timed
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.mean * 2);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -51,8 +51,10 @@ impl std::error::Error for ConfigError {}
 fn parse_u64s(toks: &[&str], line: usize) -> Result<Vec<u64>, ConfigError> {
     toks.iter()
         .map(|t| {
-            t.parse::<u64>()
-                .map_err(|_| ConfigError { line, message: format!("invalid number '{t}'") })
+            t.parse::<u64>().map_err(|_| ConfigError {
+                line,
+                message: format!("invalid number '{t}'"),
+            })
         })
         .collect()
 }
@@ -129,7 +131,7 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
                         let blocks = parse_u64s(&toks[dist_pos + 2..], line)?;
                         if blocks.len() != grid.len() {
                             return Err(err(
-                                "block-cyclic needs one block size per dimension".into(),
+                                "block-cyclic needs one block size per dimension".into()
                             ));
                         }
                         Distribution::block_cyclic(&blocks)
@@ -180,8 +182,8 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
                 let region = match find("REGION") {
                     None => None,
                     Some(rp) => {
-                        let ub_pos = find("UB")
-                            .ok_or_else(|| err("REGION needs a matching UB".into()))?;
+                        let ub_pos =
+                            find("UB").ok_or_else(|| err("REGION needs a matching UB".into()))?;
                         let lb = parse_u64s(&toks[rp + 1..ub_pos], line)?;
                         let ub = parse_u64s(&toks[ub_pos + 1..], line)?;
                         if lb.is_empty() || lb.len() != ub.len() {
@@ -198,14 +200,19 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
                     region,
                 });
             }
-            other => return Err(ConfigError {
-                line,
-                message: format!("unknown directive '{other}'"),
-            }),
+            other => {
+                return Err(ConfigError {
+                    line,
+                    message: format!("unknown directive '{other}'"),
+                })
+            }
         }
     }
 
-    let domain = domain.ok_or(ConfigError { line: 0, message: "missing DOMAIN".into() })?;
+    let domain = domain.ok_or(ConfigError {
+        line: 0,
+        message: "missing DOMAIN".into(),
+    })?;
     for a in &apps {
         if a.grid.len() != domain.len() {
             return Err(ConfigError {
@@ -214,7 +221,14 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
             });
         }
     }
-    Ok(WorkloadConfig { cores_per_node, domain, halo, iterations, apps, couplings })
+    Ok(WorkloadConfig {
+        cores_per_node,
+        domain,
+        halo,
+        iterations,
+        apps,
+        couplings,
+    })
 }
 
 #[cfg(test)]
@@ -292,17 +306,15 @@ COUPLING VAR temperature PRODUCER 1 CONSUMERS 2 MODE concurrent
 
     #[test]
     fn grid_rank_mismatch_rejected() {
-        let err =
-            parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 2 DIST blocked\n").unwrap_err();
+        let err = parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 2 DIST blocked\n").unwrap_err();
         assert!(err.message.contains("grid rank"));
     }
 
     #[test]
     fn duplicate_app_rejected() {
-        let err = parse_config(
-            "DOMAIN 8 8\nAPP 1 GRID 2 2 DIST blocked\nAPP 1 GRID 2 2 DIST blocked\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 DIST blocked\nAPP 1 GRID 2 2 DIST blocked\n")
+                .unwrap_err();
         assert!(err.message.contains("twice"));
     }
 
@@ -314,8 +326,7 @@ COUPLING VAR temperature PRODUCER 1 CONSUMERS 2 MODE concurrent
 
     #[test]
     fn block_cyclic_needs_blocks_per_dim() {
-        let err =
-            parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 DIST block-cyclic 4\n").unwrap_err();
+        let err = parse_config("DOMAIN 8 8\nAPP 1 GRID 2 2 DIST block-cyclic 4\n").unwrap_err();
         assert!(err.message.contains("one block size per dimension"));
     }
 

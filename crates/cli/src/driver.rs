@@ -1,10 +1,12 @@
 //! Scenario assembly and execution for the command-line driver.
 
 use crate::config::{parse_config, ConfigError, WorkloadConfig};
-use insitu::{run_modeled, run_threaded, MappingStrategy, Scenario};
+use insitu::{run_modeled_with, run_threaded_with, MappingStrategy, Scenario};
 use insitu_domain::{BoundingBox, Decomposition, ProcessGrid};
 use insitu_fabric::{NetworkModel, TrafficClass};
+use insitu_telemetry::{Json, MetricsSnapshot, Recorder};
 use insitu_workflow::{parse_dag, ParseError};
+use std::path::PathBuf;
 
 /// Command-line options (already parsed from `argv`).
 #[derive(Clone, Debug)]
@@ -17,6 +19,10 @@ pub struct Options {
     pub strategy: MappingStrategy,
     /// `true` = threaded executor (real data), `false` = modeled.
     pub threaded: bool,
+    /// Write a metrics-registry JSON snapshot here after the run.
+    pub metrics_out: Option<PathBuf>,
+    /// Write a chrome://tracing JSON trace here after the run.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Driver failures.
@@ -28,6 +34,8 @@ pub enum CliError {
     Config(ConfigError),
     /// Structural mismatch between the two files.
     Mismatch(String),
+    /// Could not write a requested output file.
+    Io(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -36,6 +44,7 @@ impl std::fmt::Display for CliError {
             CliError::Dag(e) => write!(f, "DAG file: {e}"),
             CliError::Config(e) => write!(f, "{e}"),
             CliError::Mismatch(m) => write!(f, "{m}"),
+            CliError::Io(m) => write!(f, "{m}"),
         }
     }
 }
@@ -84,13 +93,49 @@ pub fn build_scenario(dag: &str, config: &str) -> Result<Scenario, CliError> {
     Ok(scenario)
 }
 
+fn write_file(path: &PathBuf, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Render a name | round-robin | data-centric | delta table over the
+/// union of both snapshots' counters.
+fn metrics_delta_table(rr: &MetricsSnapshot, dc: &MetricsSnapshot) -> String {
+    let names: std::collections::BTreeSet<&String> =
+        rr.counters.keys().chain(dc.counters.keys()).collect();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(6).max(7);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<width$}  {:>14}  {:>14}  {:>15}\n",
+        "counter", "round-robin", "data-centric", "delta"
+    ));
+    for name in names {
+        let a = rr.counter(name);
+        let b = dc.counter(name);
+        out.push_str(&format!(
+            "{name:<width$}  {a:>14}  {b:>14}  {:>+15}\n",
+            b as i64 - a as i64
+        ));
+    }
+    out
+}
+
 /// Run the workflow under *both* mapping strategies (modeled executor)
 /// and return a side-by-side comparison — the quickest way to see what
-/// in-situ placement buys a given workflow.
-pub fn compare(dag: &str, config: &str) -> Result<String, CliError> {
+/// in-situ placement buys a given workflow. Includes a per-counter
+/// metrics delta table; `metrics_out` gets both snapshots as one JSON
+/// document and `trace_out` gets the data-centric run's trace.
+pub fn compare(
+    dag: &str,
+    config: &str,
+    metrics_out: Option<&PathBuf>,
+    trace_out: Option<&PathBuf>,
+) -> Result<String, CliError> {
     let scenario = build_scenario(dag, config)?;
-    let rr = run_modeled(&scenario, MappingStrategy::RoundRobin);
-    let dc = run_modeled(&scenario, MappingStrategy::DataCentric);
+    let rec_rr = Recorder::enabled();
+    let rec_dc = Recorder::enabled();
+    let rr = run_modeled_with(&scenario, MappingStrategy::RoundRobin, &rec_rr);
+    let dc = run_modeled_with(&scenario, MappingStrategy::DataCentric, &rec_dc);
     let mut out = String::new();
     let net = |o: &insitu::ModeledOutcome| o.ledger.network_bytes(TrafficClass::InterApp);
     let total = rr.ledger.total_bytes(TrafficClass::InterApp);
@@ -112,6 +157,20 @@ pub fn compare(dag: &str, config: &str) -> Result<String, CliError> {
             "retrieve (app {app}):    round-robin {ms:.2} ms | data-centric {dc_ms:.2} ms\n"
         ));
     }
+    let (snap_rr, snap_dc) = (rec_rr.metrics_snapshot(), rec_dc.metrics_snapshot());
+    out.push_str("\nmetrics delta (data-centric vs round-robin):\n");
+    out.push_str(&metrics_delta_table(&snap_rr, &snap_dc));
+    if let Some(path) = metrics_out {
+        let doc = Json::obj()
+            .field("round_robin", snap_rr.to_json())
+            .field("data_centric", snap_dc.to_json());
+        write_file(path, &(doc.render() + "\n"))?;
+        out.push_str(&format!("metrics written to   {}\n", path.display()));
+    }
+    if let Some(path) = trace_out {
+        write_file(path, &(rec_dc.trace_json() + "\n"))?;
+        out.push_str(&format!("trace written to     {}\n", path.display()));
+    }
     Ok(out)
 }
 
@@ -126,13 +185,33 @@ pub fn run(options: &Options) -> Result<String, CliError> {
     push(&mut out, format!("strategy:  {}", options.strategy.label()));
     push(
         &mut out,
-        format!("executor:  {}", if options.threaded { "threaded" } else { "modeled" }),
+        format!(
+            "executor:  {}",
+            if options.threaded {
+                "threaded"
+            } else {
+                "modeled"
+            }
+        ),
     );
-    push(&mut out, format!("waves:     {:?}", scenario.workflow.bundle_waves().unwrap()));
+    push(
+        &mut out,
+        format!("waves:     {:?}", scenario.workflow.bundle_waves().unwrap()),
+    );
 
+    // Telemetry costs nothing unless an output was requested: a disabled
+    // recorder hands out detached handles and drops every span.
+    let recorder = if options.metrics_out.is_some() || options.trace_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     if options.threaded {
-        let o = run_threaded(&scenario, options.strategy);
-        push(&mut out, format!("verified:  {} cell mismatches", o.verify_failures));
+        let o = run_threaded_with(&scenario, options.strategy, &recorder);
+        push(
+            &mut out,
+            format!("verified:  {} cell mismatches", o.verify_failures),
+        );
         push(
             &mut out,
             format!(
@@ -152,7 +231,7 @@ pub fn run(options: &Options) -> Result<String, CliError> {
         );
         push(&mut out, format!("gets:      {}", o.reports.len()));
     } else {
-        let o = run_modeled(&scenario, options.strategy);
+        let o = run_modeled_with(&scenario, options.strategy, &recorder);
         push(
             &mut out,
             format!(
@@ -163,8 +242,19 @@ pub fn run(options: &Options) -> Result<String, CliError> {
             ),
         );
         for (app, ms) in &o.retrieve_ms {
-            push(&mut out, format!("retrieve:  app {app}: {ms:.2} ms (max over tasks)"));
+            push(
+                &mut out,
+                format!("retrieve:  app {app}: {ms:.2} ms (max over tasks)"),
+            );
         }
+    }
+    if let Some(path) = &options.metrics_out {
+        write_file(path, &(recorder.metrics_json() + "\n"))?;
+        push(&mut out, format!("metrics:   wrote {}", path.display()));
+    }
+    if let Some(path) = &options.trace_out {
+        write_file(path, &(recorder.trace_json() + "\n"))?;
+        push(&mut out, format!("trace:     wrote {}", path.display()));
     }
     Ok(out)
 }
@@ -192,36 +282,68 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
         assert_eq!(s.cores_per_node, 4);
     }
 
-    #[test]
-    fn threaded_run_produces_report() {
-        let opts = Options {
+    fn options(strategy: MappingStrategy, threaded: bool) -> Options {
+        Options {
             dag: ONLINE_PROCESSING_DAG.into(),
             config: CONFIG.into(),
-            strategy: MappingStrategy::DataCentric,
-            threaded: true,
-        };
-        let report = run(&opts).unwrap();
+            strategy,
+            threaded,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+
+    #[test]
+    fn threaded_run_produces_report() {
+        let report = run(&options(MappingStrategy::DataCentric, true)).unwrap();
         assert!(report.contains("verified:  0 cell mismatches"), "{report}");
         assert!(report.contains("coupling:"));
     }
 
     #[test]
     fn modeled_run_produces_report() {
-        let opts = Options {
-            dag: ONLINE_PROCESSING_DAG.into(),
-            config: CONFIG.into(),
-            strategy: MappingStrategy::RoundRobin,
-            threaded: false,
-        };
-        let report = run(&opts).unwrap();
+        let report = run(&options(MappingStrategy::RoundRobin, false)).unwrap();
         assert!(report.contains("retrieve:  app 2"), "{report}");
     }
 
     #[test]
-    fn compare_reports_reduction() {
-        let report = compare(ONLINE_PROCESSING_DAG, CONFIG).unwrap();
+    fn run_writes_metrics_and_trace_files() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join("insitu_cli_test_metrics.json");
+        let trace = dir.join("insitu_cli_test_trace.json");
+        let mut opts = options(MappingStrategy::DataCentric, true);
+        opts.metrics_out = Some(metrics.clone());
+        opts.trace_out = Some(trace.clone());
+        let report = run(&opts).unwrap();
+        assert!(report.contains("metrics:   wrote"), "{report}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"counters\""), "{m}");
+        assert!(m.contains("fabric.bytes.inter_app"), "{m}");
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.starts_with("{\"traceEvents\":["), "{t}");
+        assert!(t.contains("workflow.execute"), "{t}");
+        std::fs::remove_file(metrics).unwrap();
+        std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn compare_reports_reduction_and_metric_deltas() {
+        let report = compare(ONLINE_PROCESSING_DAG, CONFIG, None, None).unwrap();
         assert!(report.contains("network reduction"), "{report}");
         assert!(report.contains("retrieve (app 2)"));
+        assert!(report.contains("metrics delta"), "{report}");
+        assert!(report.contains("fabric.bytes.inter_app.net"), "{report}");
+    }
+
+    #[test]
+    fn compare_writes_combined_metrics() {
+        let path = std::env::temp_dir().join("insitu_cli_test_compare.json");
+        let report = compare(ONLINE_PROCESSING_DAG, CONFIG, Some(&path), None).unwrap();
+        assert!(report.contains("metrics written to"), "{report}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"round_robin\":{"), "{body}");
+        assert!(body.contains("\"data_centric\":{"), "{body}");
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

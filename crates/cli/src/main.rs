@@ -2,29 +2,40 @@
 //! workload configuration file.
 //!
 //! ```text
-//! insitu run --dag workflow.dag --config workload.cfg \
-//!     [--strategy data-centric|round-robin|node-cyclic] [--modeled]
+//! insitu run [--dag] workflow.dag --config workload.cfg \
+//!     [--strategy data-centric|round-robin|node-cyclic] [--modeled] \
+//!     [--metrics-out m.json] [--trace-out t.json]
 //! ```
 
 use insitu::MappingStrategy;
 use insitu_cli::{run, Options};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: insitu run     --dag <file> --config <file>
+usage: insitu run     [--dag] <file> --config <file>
               [--strategy data-centric|round-robin|node-cyclic] [--modeled]
-       insitu compare --dag <file> --config <file>
+              [--metrics-out <path>] [--trace-out <path>]
+       insitu compare [--dag] <file> --config <file>
+              [--metrics-out <path>] [--trace-out <path>]
 
 `run` executes the workflow described by the DAG file (paper Listing-1
 syntax) with the workload configuration (domains, grids, distributions,
 couplings); default is data-centric mapping on the threaded executor.
 `compare` runs both mapping strategies on the modeled executor and prints
-a side-by-side summary.";
+a side-by-side summary with a per-counter metrics delta table.
+`--metrics-out` writes the telemetry registry snapshot as JSON;
+`--trace-out` writes a chrome://tracing span timeline.";
 
 #[derive(Debug)]
 enum Command {
     Run(Options),
-    Compare { dag: String, config: String },
+    Compare {
+        dag: String,
+        config: String,
+        metrics_out: Option<PathBuf>,
+        trace_out: Option<PathBuf>,
+    },
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -32,10 +43,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if sub != Some("run") && sub != Some("compare") {
         return Err("expected the 'run' or 'compare' subcommand".into());
     }
-    let mut dag_path = None;
+    let mut dag_path: Option<String> = None;
     let mut config_path = None;
     let mut strategy = MappingStrategy::DataCentric;
     let mut threaded = true;
+    let mut metrics_out = None;
+    let mut trace_out = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -50,19 +63,42 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--modeled" => threaded = false,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a path")?,
+                ))
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?))
+            }
+            other if !other.starts_with('-') && dag_path.is_none() => {
+                dag_path = Some(other.to_string())
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
     let dag_path = dag_path.ok_or("missing --dag")?;
     let config_path = config_path.ok_or("missing --config")?;
-    let dag = std::fs::read_to_string(&dag_path)
-        .map_err(|e| format!("cannot read {dag_path}: {e}"))?;
+    let dag =
+        std::fs::read_to_string(&dag_path).map_err(|e| format!("cannot read {dag_path}: {e}"))?;
     let config = std::fs::read_to_string(&config_path)
         .map_err(|e| format!("cannot read {config_path}: {e}"))?;
     if sub == Some("compare") {
-        Ok(Command::Compare { dag, config })
+        Ok(Command::Compare {
+            dag,
+            config,
+            metrics_out,
+            trace_out,
+        })
     } else {
-        Ok(Command::Run(Options { dag, config, strategy, threaded }))
+        Ok(Command::Run(Options {
+            dag,
+            config,
+            strategy,
+            threaded,
+            metrics_out,
+            trace_out,
+        }))
     }
 }
 
@@ -77,7 +113,12 @@ fn main() -> ExitCode {
     };
     let result = match &command {
         Command::Run(options) => run(options),
-        Command::Compare { dag, config } => insitu_cli::driver::compare(dag, config),
+        Command::Compare {
+            dag,
+            config,
+            metrics_out,
+            trace_out,
+        } => insitu_cli::driver::compare(dag, config, metrics_out.as_ref(), trace_out.as_ref()),
     };
     match result {
         Ok(report) => {
@@ -118,7 +159,14 @@ mod tests {
     #[test]
     fn parses_strategy_and_modeled() {
         let cmd = parse_args(&args(&[
-            "run", "--dag", DAG, "--config", CFG, "--strategy", "round-robin", "--modeled",
+            "run",
+            "--dag",
+            DAG,
+            "--config",
+            CFG,
+            "--strategy",
+            "round-robin",
+            "--modeled",
         ]))
         .unwrap();
         match cmd {
@@ -137,6 +185,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_positional_dag_and_telemetry_outputs() {
+        let cmd = parse_args(&args(&[
+            "run",
+            DAG,
+            "--config",
+            CFG,
+            "--metrics-out",
+            "m.json",
+            "--trace-out",
+            "t.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(o) => {
+                assert!(o.dag.contains("APP_ID 1"));
+                assert_eq!(
+                    o.metrics_out.as_deref(),
+                    Some(std::path::Path::new("m.json"))
+                );
+                assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+            }
+            _ => panic!("expected run"),
+        }
+        let cmd = parse_args(&args(&[
+            "compare",
+            DAG,
+            "--config",
+            CFG,
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compare {
+                metrics_out,
+                trace_out,
+                ..
+            } => {
+                assert!(metrics_out.is_some() && trace_out.is_none());
+            }
+            _ => panic!("expected compare"),
+        }
+    }
+
+    #[test]
     fn rejects_unknown_subcommand() {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&[])).is_err());
@@ -144,15 +237,27 @@ mod tests {
 
     #[test]
     fn rejects_missing_paths_and_bad_strategy() {
-        assert!(parse_args(&args(&["run", "--dag", DAG])).unwrap_err().contains("--config"));
-        assert!(parse_args(&args(&["run", "--config", CFG])).unwrap_err().contains("--dag"));
+        assert!(parse_args(&args(&["run", "--dag", DAG]))
+            .unwrap_err()
+            .contains("--config"));
+        assert!(parse_args(&args(&["run", "--config", CFG]))
+            .unwrap_err()
+            .contains("--dag"));
         assert!(parse_args(&args(&[
-            "run", "--dag", DAG, "--config", CFG, "--strategy", "psychic"
+            "run",
+            "--dag",
+            DAG,
+            "--config",
+            CFG,
+            "--strategy",
+            "psychic"
         ]))
         .unwrap_err()
         .contains("unknown strategy"));
-        assert!(parse_args(&args(&["run", "--dag", "/no/such/file", "--config", CFG]))
-            .unwrap_err()
-            .contains("cannot read"));
+        assert!(
+            parse_args(&args(&["run", "--dag", "/no/such/file", "--config", CFG]))
+                .unwrap_err()
+                .contains("cannot read")
+        );
     }
 }

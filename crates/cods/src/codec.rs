@@ -5,7 +5,7 @@
 //! a byte view of the slice (always sound: any `f64` bit pattern is valid
 //! as bytes); decoding rebuilds `f64`s from native-endian chunks.
 
-use bytes::Bytes;
+use insitu_util::Bytes;
 
 /// Size of one field element.
 pub const ELEM_BYTES: usize = std::mem::size_of::<f64>();
@@ -14,9 +14,7 @@ pub const ELEM_BYTES: usize = std::mem::size_of::<f64>();
 pub fn encode_f64s(v: &[f64]) -> Bytes {
     // SAFETY: reinterpreting `f64`s as bytes is always valid; the view
     // lives only for the duration of the copy.
-    let view = unsafe {
-        std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), v.len() * ELEM_BYTES)
-    };
+    let view = unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), v.len() * ELEM_BYTES) };
     Bytes::copy_from_slice(view)
 }
 

@@ -10,8 +10,8 @@
 use insitu_domain::BoundingBox;
 use insitu_fabric::ClientId;
 use insitu_sfc::{spans_of_box, SpaceFillingCurve};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Stable hash of a variable name (FNV-1a).
 pub fn var_id(name: &str) -> u64 {
@@ -60,8 +60,15 @@ impl Dht {
         assert!(!core_clients.is_empty(), "DHT needs at least one core");
         let n = core_clients.len() as u128;
         let interval = curve.index_count().div_ceil(n);
-        let tables = (0..core_clients.len()).map(|_| Mutex::new(Table::new())).collect();
-        Dht { curve, core_clients, interval, tables }
+        let tables = (0..core_clients.len())
+            .map(|_| Mutex::new(Table::new()))
+            .collect();
+        Dht {
+            curve,
+            core_clients,
+            interval,
+            tables,
+        }
     }
 
     /// Number of DHT cores.
@@ -122,10 +129,12 @@ impl Dht {
     pub fn insert(&self, var: u64, version: u64, entry: LocationEntry) -> Vec<usize> {
         let cores = self.cores_for(&entry.bbox);
         for &c in &cores {
-            let mut t = self.tables[c].lock();
+            let mut t = self.tables[c].lock().unwrap();
             let list = t.entry((var, version)).or_default();
             // Replace a re-put of the same piece.
-            if let Some(e) = list.iter_mut().find(|e| e.owner == entry.owner && e.piece == entry.piece)
+            if let Some(e) = list
+                .iter_mut()
+                .find(|e| e.owner == entry.owner && e.piece == entry.piece)
             {
                 *e = entry;
             } else {
@@ -146,7 +155,7 @@ impl Dht {
         let cores = self.cores_for(query);
         let mut out: Vec<LocationEntry> = Vec::new();
         for &c in &cores {
-            let t = self.tables[c].lock();
+            let t = self.tables[c].lock().unwrap();
             if let Some(list) = t.get(&(var, version)) {
                 for e in list {
                     if e.bbox.intersect(query).is_some()
@@ -165,7 +174,7 @@ impl Dht {
     pub fn latest_version(&self, var: u64) -> Option<u64> {
         let mut best: Option<u64> = None;
         for t in &self.tables {
-            for (&(v, version), list) in t.lock().iter() {
+            for (&(v, version), list) in t.lock().unwrap().iter() {
                 if v == var && !list.is_empty() {
                     best = Some(best.map_or(version, |b| b.max(version)));
                 }
@@ -178,7 +187,7 @@ impl Dht {
     pub fn remove_version(&self, var: u64, version: u64) -> usize {
         let mut removed = 0;
         for t in &self.tables {
-            if let Some(v) = t.lock().remove(&(var, version)) {
+            if let Some(v) = t.lock().unwrap().remove(&(var, version)) {
                 removed += v.len();
             }
         }
@@ -190,7 +199,7 @@ impl Dht {
     pub fn remove_versions_up_to(&self, var: u64, max_version: u64) -> usize {
         let mut removed = 0;
         for t in &self.tables {
-            let mut t = t.lock();
+            let mut t = t.lock().unwrap();
             t.retain(|&(v, version), list| {
                 let drop = v == var && version <= max_version;
                 if drop {
@@ -209,10 +218,7 @@ mod tests {
     use insitu_sfc::HilbertCurve;
 
     fn dht(cores: u32) -> Dht {
-        Dht::new(
-            Box::new(HilbertCurve::new(2, 3)),
-            (0..cores).collect(),
-        )
+        Dht::new(Box::new(HilbertCurve::new(2, 3)), (0..cores).collect())
     }
 
     #[test]
@@ -250,7 +256,15 @@ mod tests {
     fn insert_then_query_roundtrip() {
         let d = dht(4);
         let piece = BoundingBox::new(&[0, 0], &[3, 7]);
-        d.insert(var_id("t"), 1, LocationEntry { bbox: piece, owner: 9, piece: 0 });
+        d.insert(
+            var_id("t"),
+            1,
+            LocationEntry {
+                bbox: piece,
+                owner: 9,
+                piece: 0,
+            },
+        );
         let (entries, cores) = d.query(var_id("t"), 1, &BoundingBox::new(&[2, 2], &[5, 5]));
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].owner, 9);
@@ -261,7 +275,15 @@ mod tests {
     fn query_wrong_version_empty() {
         let d = dht(2);
         let piece = BoundingBox::new(&[0, 0], &[3, 3]);
-        d.insert(var_id("t"), 1, LocationEntry { bbox: piece, owner: 0, piece: 0 });
+        d.insert(
+            var_id("t"),
+            1,
+            LocationEntry {
+                bbox: piece,
+                owner: 0,
+                piece: 0,
+            },
+        );
         let (entries, _) = d.query(var_id("t"), 2, &piece);
         assert!(entries.is_empty());
     }
@@ -272,7 +294,11 @@ mod tests {
         d.insert(
             var_id("t"),
             0,
-            LocationEntry { bbox: BoundingBox::new(&[0, 0], &[1, 1]), owner: 0, piece: 0 },
+            LocationEntry {
+                bbox: BoundingBox::new(&[0, 0], &[1, 1]),
+                owner: 0,
+                piece: 0,
+            },
         );
         let (entries, _) = d.query(var_id("t"), 0, &BoundingBox::new(&[6, 6], &[7, 7]));
         assert!(entries.is_empty());
@@ -284,7 +310,15 @@ mod tests {
         // returned once.
         let d = dht(4);
         let whole = BoundingBox::from_sizes(&[8, 8]);
-        let cores = d.insert(var_id("v"), 0, LocationEntry { bbox: whole, owner: 1, piece: 0 });
+        let cores = d.insert(
+            var_id("v"),
+            0,
+            LocationEntry {
+                bbox: whole,
+                owner: 1,
+                piece: 0,
+            },
+        );
         assert_eq!(cores.len(), 4);
         let (entries, consulted) = d.query(var_id("v"), 0, &whole);
         assert_eq!(entries.len(), 1);
@@ -295,8 +329,24 @@ mod tests {
     fn reinsert_same_piece_replaces() {
         let d = dht(2);
         let b1 = BoundingBox::new(&[0, 0], &[1, 1]);
-        d.insert(var_id("x"), 0, LocationEntry { bbox: b1, owner: 5, piece: 3 });
-        d.insert(var_id("x"), 0, LocationEntry { bbox: b1, owner: 5, piece: 3 });
+        d.insert(
+            var_id("x"),
+            0,
+            LocationEntry {
+                bbox: b1,
+                owner: 5,
+                piece: 3,
+            },
+        );
+        d.insert(
+            var_id("x"),
+            0,
+            LocationEntry {
+                bbox: b1,
+                owner: 5,
+                piece: 3,
+            },
+        );
         let (entries, _) = d.query(var_id("x"), 0, &b1);
         assert_eq!(entries.len(), 1);
     }
@@ -306,7 +356,15 @@ mod tests {
         let d = dht(4);
         for (i, lb) in [[0u64, 0], [0, 4], [4, 0], [4, 4]].iter().enumerate() {
             let b = BoundingBox::new(lb, &[lb[0] + 3, lb[1] + 3]);
-            d.insert(var_id("f"), 0, LocationEntry { bbox: b, owner: i as u32, piece: 0 });
+            d.insert(
+                var_id("f"),
+                0,
+                LocationEntry {
+                    bbox: b,
+                    owner: i as u32,
+                    piece: 0,
+                },
+            );
         }
         let (entries, _) = d.query(var_id("f"), 0, &BoundingBox::new(&[2, 2], &[5, 5]));
         assert_eq!(entries.len(), 4);
@@ -325,14 +383,25 @@ mod tests {
         }
         assert_eq!(cells.len(), 64);
         // Fig. 6: core 0's region is the first quadrant.
-        assert_eq!(d.region_of_core(0), vec![BoundingBox::new(&[0, 0], &[3, 3])]);
+        assert_eq!(
+            d.region_of_core(0),
+            vec![BoundingBox::new(&[0, 0], &[3, 3])]
+        );
     }
 
     #[test]
     fn remove_version_clears() {
         let d = dht(2);
         let b = BoundingBox::new(&[0, 0], &[7, 7]);
-        d.insert(var_id("g"), 0, LocationEntry { bbox: b, owner: 0, piece: 0 });
+        d.insert(
+            var_id("g"),
+            0,
+            LocationEntry {
+                bbox: b,
+                owner: 0,
+                piece: 0,
+            },
+        );
         assert!(d.remove_version(var_id("g"), 0) > 0);
         let (entries, _) = d.query(var_id("g"), 0, &b);
         assert!(entries.is_empty());

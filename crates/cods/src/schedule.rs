@@ -10,10 +10,9 @@
 use crate::dht::LocationEntry;
 use insitu_domain::{BoundingBox, Decomposition};
 use insitu_fabric::ClientId;
-use parking_lot::Mutex;
+use insitu_telemetry::{Counter, Recorder};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One transfer of a schedule: pull `region` out of the piece stored by
 /// `src_client`.
@@ -73,13 +72,22 @@ pub fn schedule_from_decomposition(
     producer_clients: &[ClientId],
     query: &BoundingBox,
 ) -> CommSchedule {
-    assert_eq!(producer_clients.len() as u64, producer.num_ranks(), "client map size mismatch");
+    assert_eq!(
+        producer_clients.len() as u64,
+        producer.num_ranks(),
+        "client map size mismatch"
+    );
     let mut ops = Vec::new();
     for overlap in producer.overlaps(query) {
         let src_client = producer_clients[overlap.rank as usize];
         for (piece, piece_box) in producer.rank_region(overlap.rank).into_iter().enumerate() {
             if let Some(region) = piece_box.intersect(query) {
-                ops.push(TransferOp { src_client, piece: piece as u64, piece_box, region });
+                ops.push(TransferOp {
+                    src_client,
+                    piece: piece as u64,
+                    piece_box,
+                    region,
+                });
             }
         }
     }
@@ -89,42 +97,56 @@ pub fn schedule_from_decomposition(
 
 /// Cache of computed schedules keyed by `(var, query box)` — coupling
 /// patterns repeat every iteration, so replays skip the DHT entirely.
+///
+/// Hit/miss accounting lives in telemetry [`Counter`]s
+/// (`cods.schedule_cache.hits` / `.misses` when built over a live
+/// recorder); a cache built with [`ScheduleCache::new`] counts into
+/// detached cells, so [`ScheduleCache::stats`] works either way.
 #[derive(Default)]
 pub struct ScheduleCache {
     map: Mutex<HashMap<(u64, BoundingBox), Arc<CommSchedule>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl ScheduleCache {
-    /// Empty cache.
+    /// Empty cache, not wired to any metrics registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty cache whose hit/miss counters publish through `recorder`.
+    pub fn with_recorder(recorder: &Recorder) -> Self {
+        ScheduleCache {
+            map: Mutex::new(HashMap::new()),
+            hits: recorder.counter("cods.schedule_cache.hits"),
+            misses: recorder.counter("cods.schedule_cache.misses"),
+        }
+    }
+
     /// Cached schedule for `(var, query)`, if any.
     pub fn lookup(&self, var: u64, query: &BoundingBox) -> Option<Arc<CommSchedule>> {
-        let got = self.map.lock().get(&(var, *query)).cloned();
+        let got = self.map.lock().unwrap().get(&(var, *query)).cloned();
         match &got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         got
     }
 
     /// Store a schedule.
     pub fn insert(&self, var: u64, query: &BoundingBox, schedule: Arc<CommSchedule>) {
-        self.map.lock().insert((var, *query), schedule);
+        self.map.lock().unwrap().insert((var, *query), schedule);
     }
 
     /// Invalidate everything (e.g. after a re-decomposition).
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.map.lock().unwrap().clear();
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (self.hits.get(), self.misses.get())
     }
 }
 
@@ -144,9 +166,21 @@ mod tests {
     #[test]
     fn schedule_from_entries_clips() {
         let entries = vec![
-            LocationEntry { bbox: BoundingBox::new(&[0, 0], &[3, 3]), owner: 0, piece: 0 },
-            LocationEntry { bbox: BoundingBox::new(&[0, 4], &[3, 7]), owner: 1, piece: 0 },
-            LocationEntry { bbox: BoundingBox::new(&[4, 0], &[7, 3]), owner: 2, piece: 0 },
+            LocationEntry {
+                bbox: BoundingBox::new(&[0, 0], &[3, 3]),
+                owner: 0,
+                piece: 0,
+            },
+            LocationEntry {
+                bbox: BoundingBox::new(&[0, 4], &[3, 7]),
+                owner: 1,
+                piece: 0,
+            },
+            LocationEntry {
+                bbox: BoundingBox::new(&[4, 0], &[7, 3]),
+                owner: 2,
+                piece: 0,
+            },
         ];
         let q = BoundingBox::new(&[2, 2], &[5, 5]);
         let s = schedule_from_entries(&entries, &q);

@@ -25,7 +25,8 @@ use insitu_dart::{BufKey, DartRuntime};
 use insitu_domain::layout::copy_region_bytes;
 use insitu_domain::{BoundingBox, Decomposition};
 use insitu_fabric::{ClientId, Locality, TrafficClass};
-use std::sync::Arc;
+use insitu_telemetry::{Counter, Gauge, Recorder};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Errors surfaced by the space operators.
@@ -66,8 +67,15 @@ pub enum CodsError {
 impl std::fmt::Display for CodsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodsError::Timeout { var, version, region } => {
-                write!(f, "timed out waiting for var {var:#x} v{version} piece {region:?}")
+            CodsError::Timeout {
+                var,
+                version,
+                region,
+            } => {
+                write!(
+                    f,
+                    "timed out waiting for var {var:#x} v{version} piece {region:?}"
+                )
             }
             CodsError::SizeMismatch { expected, got } => {
                 write!(f, "data length {got} does not match box volume {expected}")
@@ -123,15 +131,24 @@ pub struct GetReport {
 }
 
 /// The co-located data space.
+///
+/// Telemetry flows through the DART runtime's [`Recorder`]: put/get
+/// counts, DHT query spans, schedule-cache hits/misses and the staged
+/// bytes high-water mark are all published when the runtime was built
+/// with a live recorder.
 pub struct CodsSpace {
     dart: Arc<DartRuntime>,
     dht: Dht,
     cfg: CodsConfig,
     cache: ScheduleCache,
-    consumption: parking_lot::Mutex<ConsumptionState>,
-    consumed_cv: parking_lot::Condvar,
-    staging: parking_lot::Mutex<std::collections::HashMap<u32, u64>>,
+    consumption: Mutex<ConsumptionState>,
+    consumed_cv: Condvar,
+    staging: Mutex<std::collections::HashMap<u32, u64>>,
     staging_peak: std::sync::atomic::AtomicU64,
+    recorder: Recorder,
+    put_count: Counter,
+    get_count: Counter,
+    staging_gauge: Gauge,
 }
 
 /// Version-consumption bookkeeping for iterative coupling: producers may
@@ -146,21 +163,31 @@ struct ConsumptionState {
 }
 
 fn buf_key(var: u64, version: u64, owner: ClientId, piece: u64) -> BufKey {
-    BufKey { name: var, version, piece: ((owner as u64) << 32) | piece }
+    BufKey {
+        name: var,
+        version,
+        piece: ((owner as u64) << 32) | piece,
+    }
 }
 
 impl CodsSpace {
-    /// Build a space over an existing DART runtime and DHT.
+    /// Build a space over an existing DART runtime and DHT. Telemetry is
+    /// inherited from the runtime's recorder.
     pub fn new(dart: Arc<DartRuntime>, dht: Dht, cfg: CodsConfig) -> Arc<Self> {
+        let recorder = dart.recorder().clone();
         Arc::new(CodsSpace {
-            dart,
             dht,
             cfg,
-            cache: ScheduleCache::new(),
-            consumption: parking_lot::Mutex::new(ConsumptionState::default()),
-            consumed_cv: parking_lot::Condvar::new(),
-            staging: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            cache: ScheduleCache::with_recorder(&recorder),
+            consumption: Mutex::new(ConsumptionState::default()),
+            consumed_cv: Condvar::new(),
+            staging: Mutex::new(std::collections::HashMap::new()),
             staging_peak: std::sync::atomic::AtomicU64::new(0),
+            put_count: recorder.counter("cods.put"),
+            get_count: recorder.counter("cods.get"),
+            staging_gauge: recorder.gauge("cods.staging_bytes"),
+            recorder,
+            dart,
         })
     }
 
@@ -169,12 +196,22 @@ impl CodsSpace {
     /// consumer piece retrieval). Enables producers of iterative
     /// couplings to reclaim old versions safely.
     pub fn set_expected_gets(&self, var: &str, gets: u64) {
-        self.consumption.lock().expected.insert(var_id(var), gets);
+        self.consumption
+            .lock()
+            .unwrap()
+            .expected
+            .insert(var_id(var), gets);
     }
 
     /// Completed gets recorded for `(var, version)`.
     pub fn gets_completed(&self, var: &str, version: u64) -> u64 {
-        self.consumption.lock().done.get(&(var_id(var), version)).copied().unwrap_or(0)
+        self.consumption
+            .lock()
+            .unwrap()
+            .done
+            .get(&(var_id(var), version))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Block until every expected `get` of `(var, version)` has completed,
@@ -183,7 +220,7 @@ impl CodsSpace {
     pub fn wait_version_consumed(&self, var: &str, version: u64, timeout: Duration) -> bool {
         let vid = var_id(var);
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self.consumption.lock();
+        let mut state = self.consumption.lock().unwrap();
         let Some(&expected) = state.expected.get(&vid) else {
             return false;
         };
@@ -191,14 +228,23 @@ impl CodsSpace {
             if state.done.get(&(vid, version)).copied().unwrap_or(0) >= expected {
                 return true;
             }
-            if self.consumed_cv.wait_until(&mut state, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, res) = self
+                .consumed_cv
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = guard;
+            if res.timed_out() {
                 return state.done.get(&(vid, version)).copied().unwrap_or(0) >= expected;
             }
         }
     }
 
     fn note_get_complete(&self, vid: u64, version: u64) {
-        let mut state = self.consumption.lock();
+        let mut state = self.consumption.lock().unwrap();
         *state.done.entry((vid, version)).or_insert(0) += 1;
         drop(state);
         self.consumed_cv.notify_all();
@@ -232,31 +278,48 @@ impl CodsSpace {
         index_in_dht: bool,
     ) -> Result<(), CodsError> {
         if data.len() as u128 != bbox.num_cells() {
-            return Err(CodsError::SizeMismatch { expected: bbox.num_cells(), got: data.len() });
+            return Err(CodsError::SizeMismatch {
+                expected: bbox.num_cells(),
+                got: data.len(),
+            });
         }
         let vid = var_id(var);
         let bytes = data.len() as u64 * ELEM_BYTES as u64;
         let node = self.dart.placement().node_of(client);
         {
-            let mut staging = self.staging.lock();
+            let mut staging = self.staging.lock().unwrap();
             let used = staging.entry(node).or_insert(0);
             if let Some(limit) = self.cfg.staging_limit_per_node {
                 if *used + bytes > limit {
-                    return Err(CodsError::StagingFull { node, used: *used, limit });
+                    return Err(CodsError::StagingFull {
+                        node,
+                        used: *used,
+                        limit,
+                    });
                 }
             }
             *used += bytes;
             let peak = staging.values().copied().max().unwrap_or(0);
-            self.staging_peak.fetch_max(peak, std::sync::atomic::Ordering::Relaxed);
+            self.staging_peak
+                .fetch_max(peak, std::sync::atomic::Ordering::Relaxed);
+            self.staging_gauge.set(peak);
         }
+        self.put_count.inc();
         self.dart.registry().register(
             buf_key(vid, version, client, piece),
             client,
             encode_f64s(data),
         );
         if index_in_dht {
-            let cores =
-                self.dht.insert(vid, version, LocationEntry { bbox: *bbox, owner: client, piece });
+            let cores = self.dht.insert(
+                vid,
+                version,
+                LocationEntry {
+                    bbox: *bbox,
+                    owner: client,
+                    piece,
+                },
+            );
             for c in cores {
                 self.dart.account(
                     app,
@@ -314,6 +377,7 @@ impl CodsSpace {
         query: &BoundingBox,
     ) -> Result<(Vec<f64>, GetReport), CodsError> {
         let vid = var_id(var);
+        self.get_count.inc();
         let mut report = GetReport::default();
         let schedule = match self.cached(vid, query) {
             Some(s) => {
@@ -321,6 +385,7 @@ impl CodsSpace {
                 s
             }
             None => {
+                let _query_span = self.recorder.span("cods.dht_query", "cods", client as u64);
                 let (entries, cores) = self.dht.query(vid, version, query);
                 report.dht_cores_queried = cores.len() as u32;
                 // One query record out to each consulted core; the reply
@@ -329,7 +394,8 @@ impl CodsSpace {
                 let reply_records = 1 + entries.len().div_ceil(cores.len().max(1)) as u64;
                 for c in &cores {
                     let peer = self.dht.core_client(*c);
-                    self.dart.account(app, TrafficClass::Dht, client, peer, DHT_RECORD_BYTES);
+                    self.dart
+                        .account(app, TrafficClass::Dht, client, peer, DHT_RECORD_BYTES);
                     self.dart.account(
                         app,
                         TrafficClass::Dht,
@@ -361,6 +427,7 @@ impl CodsSpace {
         producer_clients: &[ClientId],
     ) -> Result<(Vec<f64>, GetReport), CodsError> {
         let vid = var_id(var);
+        self.get_count.inc();
         let mut report = GetReport::default();
         let schedule = match self.cached(vid, query) {
             Some(s) => {
@@ -368,8 +435,11 @@ impl CodsSpace {
                 s
             }
             None => {
-                let s =
-                    Arc::new(schedule_from_decomposition(producer, producer_clients, query));
+                let s = Arc::new(schedule_from_decomposition(
+                    producer,
+                    producer_clients,
+                    query,
+                ));
                 self.store_cache(vid, query, Arc::clone(&s));
                 s
             }
@@ -416,12 +486,24 @@ impl CodsSpace {
             let key = buf_key(vid, version, op.src_client, op.piece);
             let handle = self
                 .dart
-                .registry()
-                .wait_for(&key, self.cfg.get_timeout)
-                .ok_or(CodsError::Timeout { var: vid, version, region: op.region })?;
-            copy_region_bytes(&handle.data, &op.piece_box, &mut dst, query, &op.region, ELEM_BYTES);
+                .pull(&key, self.cfg.get_timeout)
+                .ok_or(CodsError::Timeout {
+                    var: vid,
+                    version,
+                    region: op.region,
+                })?;
+            copy_region_bytes(
+                &handle.data,
+                &op.piece_box,
+                &mut dst,
+                query,
+                &op.region,
+                ELEM_BYTES,
+            );
             let bytes = op.region.num_cells() as u64 * ELEM_BYTES as u64;
-            let loc = self.dart.account(app, TrafficClass::InterApp, handle.owner, client, bytes);
+            let loc = self
+                .dart
+                .account(app, TrafficClass::InterApp, handle.owner, client, bytes);
             match loc {
                 Locality::SharedMemory => report.shm_bytes += bytes,
                 Locality::Network => report.net_bytes += bytes,
@@ -446,18 +528,25 @@ impl CodsSpace {
         let vid = var_id(var);
         self.dht.remove_versions_up_to(vid, version);
         let removed = self.dart.registry().evict_below(vid, version + 1);
-        let mut staging = self.staging.lock();
+        let mut staging = self.staging.lock().unwrap();
         for (owner, bytes) in removed {
             let node = self.dart.placement().node_of(owner);
             if let Some(used) = staging.get_mut(&node) {
                 *used = used.saturating_sub(bytes);
             }
         }
+        self.staging_gauge
+            .set(staging.values().copied().max().unwrap_or(0));
     }
 
     /// Bytes currently staged in CoDS memory on `node`.
     pub fn staging_bytes(&self, node: u32) -> u64 {
-        self.staging.lock().get(&node).copied().unwrap_or(0)
+        self.staging
+            .lock()
+            .unwrap()
+            .get(&node)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The highest per-node staging occupancy observed so far.
@@ -475,11 +564,17 @@ mod tests {
 
     /// 4 clients on 2 nodes of 2 cores; DHT core per node on clients 0, 2.
     fn space() -> Arc<CodsSpace> {
-        let placement =
-            Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
         let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
         let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
-        CodsSpace::new(dart, dht, CodsConfig { get_timeout: Duration::from_secs(2), ..Default::default() })
+        CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig {
+                get_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
     }
 
     fn tagfn(p: &[u64]) -> f64 {
@@ -497,7 +592,9 @@ mod tests {
         for r in 0..4u64 {
             let b = dec.blocked_box(r).unwrap();
             let data = layout::fill_with(&b, tagfn);
-            space.put_seq(clients[r as usize], 1, var, version, 0, &b, &data).unwrap();
+            space
+                .put_seq(clients[r as usize], 1, var, version, 0, &b, &data)
+                .unwrap();
         }
         (dec, clients)
     }
@@ -581,7 +678,8 @@ mod tests {
         for r in 0..4u64 {
             let b = dec.blocked_box(r).unwrap();
             let data = layout::fill_with(&b, tagfn);
-            s.put_cont(clients[r as usize], 1, "vel", 7, 0, &b, &data).unwrap();
+            s.put_cont(clients[r as usize], 1, "vel", 7, 0, &b, &data)
+                .unwrap();
         }
         let q = BoundingBox::new(&[1, 1], &[6, 6]);
         let (data, report) = s.get_cont(2, 2, "vel", 7, &q, &dec, &clients).unwrap();
@@ -590,7 +688,10 @@ mod tests {
             assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
         }
         // No DHT traffic at all for the concurrent path.
-        assert_eq!(s.dart().ledger().snapshot().total_bytes(TrafficClass::Dht), 0);
+        assert_eq!(
+            s.dart().ledger().snapshot().total_bytes(TrafficClass::Dht),
+            0
+        );
     }
 
     #[test]
@@ -634,10 +735,21 @@ mod tests {
         let s = CodsSpace::new(
             dart,
             dht,
-            CodsConfig { get_timeout: Duration::from_millis(20), ..Default::default() },
+            CodsConfig {
+                get_timeout: Duration::from_millis(20),
+                ..Default::default()
+            },
         );
         let b = BoundingBox::from_sizes(&[4, 4]);
-        s.dht().insert(var_id("ghost"), 0, LocationEntry { bbox: b, owner: 1, piece: 0 });
+        s.dht().insert(
+            var_id("ghost"),
+            0,
+            LocationEntry {
+                bbox: b,
+                owner: 1,
+                piece: 0,
+            },
+        );
         let err = s.get_seq(0, 1, "ghost", 0, &b).unwrap_err();
         assert!(matches!(err, CodsError::Timeout { .. }));
     }
@@ -647,7 +759,13 @@ mod tests {
         let s = space();
         let b = BoundingBox::from_sizes(&[4, 4]);
         let err = s.put_seq(0, 1, "bad", 0, 0, &b, &[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, CodsError::SizeMismatch { expected: 16, got: 2 });
+        assert_eq!(
+            err,
+            CodsError::SizeMismatch {
+                expected: 16,
+                got: 2
+            }
+        );
     }
 
     #[test]
@@ -688,9 +806,8 @@ mod tests {
         produce(&s, "temp", 0);
         s.set_expected_gets("temp", 1);
         let s2 = Arc::clone(&s);
-        let waiter = std::thread::spawn(move || {
-            s2.wait_version_consumed("temp", 0, Duration::from_secs(5))
-        });
+        let waiter =
+            std::thread::spawn(move || s2.wait_version_consumed("temp", 0, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         let q = BoundingBox::from_sizes(&[8, 8]);
         let _ = s.get_seq(3, 2, "temp", 0, &q).unwrap();
@@ -733,13 +850,23 @@ mod tests {
         let s = CodsSpace::new(
             dart,
             dht,
-            CodsConfig { staging_limit_per_node: Some(200), ..Default::default() },
+            CodsConfig {
+                staging_limit_per_node: Some(200),
+                ..Default::default()
+            },
         );
         let b = BoundingBox::from_sizes(&[4, 4]); // 128 bytes
         let data = layout::fill_with(&b, tagfn);
         s.put_seq(0, 1, "x", 0, 0, &b, &data).unwrap();
         let err = s.put_seq(1, 1, "x", 0, 1, &b, &data).unwrap_err();
-        assert!(matches!(err, CodsError::StagingFull { node: 0, used: 128, limit: 200 }));
+        assert!(matches!(
+            err,
+            CodsError::StagingFull {
+                node: 0,
+                used: 128,
+                limit: 200
+            }
+        ));
         // Evicting frees capacity for a retry.
         s.evict_version("x", 0);
         s.put_seq(1, 1, "x", 1, 1, &b, &data).unwrap();
@@ -751,8 +878,10 @@ mod tests {
         let s = space();
         let b1 = BoundingBox::new(&[0, 0], &[3, 7]);
         let b2 = BoundingBox::new(&[4, 0], &[7, 7]);
-        s.put_seq(0, 1, "mp", 0, 0, &b1, &layout::fill_with(&b1, tagfn)).unwrap();
-        s.put_seq(0, 1, "mp", 0, 1, &b2, &layout::fill_with(&b2, tagfn)).unwrap();
+        s.put_seq(0, 1, "mp", 0, 0, &b1, &layout::fill_with(&b1, tagfn))
+            .unwrap();
+        s.put_seq(0, 1, "mp", 0, 1, &b2, &layout::fill_with(&b2, tagfn))
+            .unwrap();
         let q = BoundingBox::new(&[2, 2], &[5, 5]);
         let (data, report) = s.get_seq(3, 2, "mp", 0, &q).unwrap();
         assert_eq!(report.ops, 2);

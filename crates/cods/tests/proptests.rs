@@ -7,15 +7,20 @@ use insitu_dart::DartRuntime;
 use insitu_domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu_fabric::{ClientId, MachineSpec, Placement, TransferLedger};
 use insitu_sfc::HilbertCurve;
-use proptest::prelude::*;
+use insitu_util::check::forall;
+use insitu_util::SplitMix64;
 use std::sync::Arc;
 
-fn arb_dist() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        Just(Distribution::Blocked),
-        Just(Distribution::Cyclic),
-        (1u64..4, 1u64..4).prop_map(|(a, b)| Distribution::block_cyclic(&[a, b])),
-    ]
+fn arb_dist(rng: &mut SplitMix64) -> Distribution {
+    match rng.range_u32(0, 3) {
+        0 => Distribution::Blocked,
+        1 => Distribution::Cyclic,
+        _ => {
+            let a = rng.range_u64(1, 4);
+            let b = rng.range_u64(1, 4);
+            Distribution::block_cyclic(&[a, b])
+        }
+    }
 }
 
 fn tag(p: &[u64]) -> f64 {
@@ -24,22 +29,26 @@ fn tag(p: &[u64]) -> f64 {
 
 fn make_space(clients: u32) -> Arc<CodsSpace> {
     let nodes = clients.div_ceil(2).max(1);
-    let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(nodes, 2), clients));
+    let placement = Arc::new(Placement::pack_sequential(
+        MachineSpec::new(nodes, 2),
+        clients,
+    ));
     let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
     let dht_cores: Vec<ClientId> = (0..nodes.min(clients)).map(|n| n * 2).collect();
     let dht = Dht::new(Box::new(HilbertCurve::new(2, 4)), dht_cores);
     CodsSpace::new(dart, dht, CodsConfig::default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn get_seq_returns_what_was_put(
-        px in 1u64..3, py in 1u64..3,
-        dist in arb_dist(),
-        qx in 0u64..12, qy in 0u64..12, qw in 0u64..12, qh in 0u64..12,
-    ) {
+#[test]
+fn get_seq_returns_what_was_put() {
+    forall(64, |rng| {
+        let px = rng.range_u64(1, 3);
+        let py = rng.range_u64(1, 3);
+        let dist = arb_dist(rng);
+        let qx = rng.range_u64(0, 12);
+        let qy = rng.range_u64(0, 12);
+        let qw = rng.range_u64(0, 12);
+        let qh = rng.range_u64(0, 12);
         // Domain fixed at 16x16 (curve order 4).
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[16, 16]),
@@ -51,25 +60,27 @@ proptest! {
         for r in 0..dec.num_ranks() {
             for (pi, piece) in dec.rank_region(r).into_iter().enumerate() {
                 let data = layout::fill_with(&piece, tag);
-                space.put_seq(r as ClientId, 1, "v", 3, pi as u64, &piece, &data).unwrap();
+                space
+                    .put_seq(r as ClientId, 1, "v", 3, pi as u64, &piece, &data)
+                    .unwrap();
             }
         }
-        let query = BoundingBox::new(
-            &[qx, qy],
-            &[(qx + qw).min(15), (qy + qh).min(15)],
-        );
+        let query = BoundingBox::new(&[qx, qy], &[(qx + qw).min(15), (qy + qh).min(15)]);
         let (data, _) = space.get_seq(0, 2, "v", 3, &query).unwrap();
         for p in query.iter_points() {
-            prop_assert_eq!(data[layout::linear_index(&query, &p[..2])], tag(&p[..2]));
+            assert_eq!(data[layout::linear_index(&query, &p[..2])], tag(&p[..2]));
         }
-    }
+    });
+}
 
-    #[test]
-    fn get_cont_agrees_with_get_seq(
-        px in 1u64..3, py in 1u64..3,
-        dist in arb_dist(),
-        qx in 0u64..10, qy in 0u64..10,
-    ) {
+#[test]
+fn get_cont_agrees_with_get_seq() {
+    forall(64, |rng| {
+        let px = rng.range_u64(1, 3);
+        let py = rng.range_u64(1, 3);
+        let dist = arb_dist(rng);
+        let qx = rng.range_u64(0, 10);
+        let qy = rng.range_u64(0, 10);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[16, 16]),
             ProcessGrid::new(&[px, py]),
@@ -82,20 +93,29 @@ proptest! {
         for r in 0..dec.num_ranks() {
             for (pi, piece) in dec.rank_region(r).into_iter().enumerate() {
                 let data = layout::fill_with(&piece, tag);
-                space_seq.put_seq(r as ClientId, 1, "v", 0, pi as u64, &piece, &data).unwrap();
-                space_cont.put_cont(r as ClientId, 1, "v", 0, pi as u64, &piece, &data).unwrap();
+                space_seq
+                    .put_seq(r as ClientId, 1, "v", 0, pi as u64, &piece, &data)
+                    .unwrap();
+                space_cont
+                    .put_cont(r as ClientId, 1, "v", 0, pi as u64, &piece, &data)
+                    .unwrap();
             }
         }
         let query = BoundingBox::new(&[qx, qy], &[qx + 5, qy + 5]);
         let (a, _) = space_seq.get_seq(0, 2, "v", 0, &query).unwrap();
-        let (b, _) = space_cont.get_cont(0, 2, "v", 0, &query, &dec, &clients).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        let (b, _) = space_cont
+            .get_cont(0, 2, "v", 0, &query, &dec, &clients)
+            .unwrap();
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn ledger_total_equals_moved_bytes(
-        px in 1u64..3, py in 1u64..3, dist in arb_dist(),
-    ) {
+#[test]
+fn ledger_total_equals_moved_bytes() {
+    forall(64, |rng| {
+        let px = rng.range_u64(1, 3);
+        let py = rng.range_u64(1, 3);
+        let dist = arb_dist(rng);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[16, 16]),
             ProcessGrid::new(&[px, py]),
@@ -106,21 +126,25 @@ proptest! {
         for r in 0..dec.num_ranks() {
             for (pi, piece) in dec.rank_region(r).into_iter().enumerate() {
                 let data = layout::fill_with(&piece, tag);
-                space.put_cont(r as ClientId, 1, "v", 0, pi as u64, &piece, &data).unwrap();
+                space
+                    .put_cont(r as ClientId, 1, "v", 0, pi as u64, &piece, &data)
+                    .unwrap();
             }
         }
         let clients: Vec<ClientId> = (0..nclients).collect();
         let query = BoundingBox::from_sizes(&[16, 16]);
-        let (_, report) = space.get_cont(0, 2, "v", 0, &query, &dec, &clients).unwrap();
+        let (_, report) = space
+            .get_cont(0, 2, "v", 0, &query, &dec, &clients)
+            .unwrap();
         // Conservation: shm + net = full query volume in bytes.
-        prop_assert_eq!(
+        assert_eq!(
             report.shm_bytes + report.net_bytes,
             query.num_cells() as u64 * 8
         );
         let snap = space.dart().ledger().snapshot();
-        prop_assert_eq!(
+        assert_eq!(
             snap.total_bytes(insitu_fabric::TrafficClass::InterApp),
             report.shm_bytes + report.net_bytes
         );
-    }
+    });
 }

@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn space(clients: u32) -> Arc<CodsSpace> {
     let nodes = clients.div_ceil(4);
-    let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(nodes, 4), clients));
+    let placement = Arc::new(Placement::pack_sequential(
+        MachineSpec::new(nodes, 4),
+        clients,
+    ));
     let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
     let dht = Dht::new(
         Box::new(HilbertCurve::new(2, 5)),
@@ -21,7 +24,10 @@ fn space(clients: u32) -> Arc<CodsSpace> {
     CodsSpace::new(
         dart,
         dht,
-        CodsConfig { get_timeout: Duration::from_secs(20), ..Default::default() },
+        CodsConfig {
+            get_timeout: Duration::from_secs(20),
+            ..Default::default()
+        },
     )
 }
 
@@ -49,7 +55,8 @@ fn many_producers_consumers_many_versions() {
             for version in 0..3u64 {
                 for (vi, var) in ["a", "b", "c", "d"].iter().enumerate() {
                     let data = layout::fill_with(&piece, |p| value(vi as u64, version, p));
-                    s.put_seq(rank as ClientId, 1, var, version, 0, &piece, &data).unwrap();
+                    s.put_seq(rank as ClientId, 1, var, version, 0, &piece, &data)
+                        .unwrap();
                 }
             }
         }));
@@ -100,7 +107,15 @@ fn interleaved_put_get_rendezvous_storm() {
         handles.push(std::thread::spawn(move || {
             let var = format!("v{k}");
             let (data, _) = s1
-                .get_cont((k % 8) as ClientId, 2, &var, 0, &b, &dec, &[((k + 1) % 8) as u32])
+                .get_cont(
+                    (k % 8) as ClientId,
+                    2,
+                    &var,
+                    0,
+                    &b,
+                    &dec,
+                    &[((k + 1) % 8) as u32],
+                )
                 .unwrap();
             assert_eq!(data[0], k as f64);
         }));
@@ -109,7 +124,8 @@ fn interleaved_put_get_rendezvous_storm() {
             std::thread::sleep(Duration::from_millis(k % 7));
             let var = format!("v{k}");
             let data = layout::fill_with(&b, |_| k as f64);
-            s2.put_cont(((k + 1) % 8) as u32, 1, &var, 0, 0, &b, &data).unwrap();
+            s2.put_cont(((k + 1) % 8) as u32, 1, &var, 0, 0, &b, &data)
+                .unwrap();
         }));
     }
     for h in handles {

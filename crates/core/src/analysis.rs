@@ -36,8 +36,7 @@ impl RegionStats {
         RegionStats {
             min: self.min.min(other.min),
             max: self.max.max(other.max),
-            mean: (self.mean * self.cells as f64 + other.mean * other.cells as f64)
-                / cells as f64,
+            mean: (self.mean * self.cells as f64 + other.mean * other.cells as f64) / cells as f64,
             cells,
         }
     }
@@ -48,7 +47,11 @@ impl RegionStats {
 /// # Panics
 /// Panics if `data` length does not match the region volume or is empty.
 pub fn region_stats(region: &BoundingBox, data: &[f64]) -> RegionStats {
-    assert_eq!(data.len() as u128, region.num_cells(), "data length mismatch");
+    assert_eq!(
+        data.len() as u128,
+        region.num_cells(),
+        "data length mismatch"
+    );
     assert!(!data.is_empty(), "empty region");
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
@@ -58,7 +61,12 @@ pub fn region_stats(region: &BoundingBox, data: &[f64]) -> RegionStats {
         max = max.max(v);
         sum += v;
     }
-    RegionStats { min, max, mean: sum / data.len() as f64, cells: data.len() as u64 }
+    RegionStats {
+        min,
+        max,
+        mean: sum / data.len() as f64,
+        cells: data.len() as u64,
+    }
 }
 
 /// Downsample a region by integer `factor` per dimension (block mean):
@@ -71,7 +79,11 @@ pub fn region_stats(region: &BoundingBox, data: &[f64]) -> RegionStats {
 /// `factor` (extent and origin must be multiples).
 pub fn downsample(region: &BoundingBox, data: &[f64], factor: u64) -> (BoundingBox, Vec<f64>) {
     assert!(factor > 0, "factor must be positive");
-    assert_eq!(data.len() as u128, region.num_cells(), "data length mismatch");
+    assert_eq!(
+        data.len() as u128,
+        region.num_cells(),
+        "data length mismatch"
+    );
     let ndim = region.ndim();
     let mut lb = Vec::with_capacity(ndim);
     let mut ub = Vec::with_capacity(ndim);
@@ -112,7 +124,11 @@ pub fn downsample(region: &BoundingBox, data: &[f64], factor: u64) -> (BoundingB
 pub fn resample(src_box: &BoundingBox, src: &[f64], dst_box: &BoundingBox) -> Vec<f64> {
     assert_eq!(src_box.ndim(), dst_box.ndim(), "rank mismatch");
     assert!(src_box.ndim() <= 3, "resample supports up to 3 dimensions");
-    assert_eq!(src.len() as u128, src_box.num_cells(), "data length mismatch");
+    assert_eq!(
+        src.len() as u128,
+        src_box.num_cells(),
+        "data length mismatch"
+    );
     let ndim = src_box.ndim();
     let mut out = Vec::with_capacity(dst_box.num_cells() as usize);
     // Per-dim: fractional source coordinate for each target index.
@@ -206,8 +222,18 @@ mod tests {
 
     #[test]
     fn merge_with_empty_is_identity() {
-        let s = RegionStats { min: 1.0, max: 2.0, mean: 1.5, cells: 4 };
-        let empty = RegionStats { min: 0.0, max: 0.0, mean: 0.0, cells: 0 };
+        let s = RegionStats {
+            min: 1.0,
+            max: 2.0,
+            mean: 1.5,
+            cells: 4,
+        };
+        let empty = RegionStats {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            cells: 0,
+        };
         assert_eq!(s.merge(empty), s);
         assert_eq!(empty.merge(s), s);
     }

@@ -6,9 +6,9 @@
 //! byte accounting like every other transfer in the system.
 
 use crate::threaded::TAG_COLLECTIVE_BASE;
-use bytes::Bytes;
 use insitu_dart::{DartRuntime, Mailbox, Msg};
 use insitu_fabric::{ClientId, TrafficClass};
+use insitu_util::Bytes;
 use insitu_workflow::AppGroup;
 use std::sync::Arc;
 
@@ -158,7 +158,11 @@ impl<'a> GroupComm<'a> {
         // Binomial forwarding: once vrank v holds the data it sends to
         // v + 2^j for every power of two 2^j >= v + 1 (so each vrank
         // receives exactly once, from the highest power of two below it).
-        let mut k = if vrank == 0 { 1 } else { (vrank + 1).next_power_of_two() };
+        let mut k = if vrank == 0 {
+            1
+        } else {
+            (vrank + 1).next_power_of_two()
+        };
         while vrank + k < n {
             let dest = (vrank + k + root) % n;
             self.send_to_rank(dest, tag, payload.clone());
@@ -181,9 +185,12 @@ impl<'a> GroupComm<'a> {
                 let m = self.recv_tagged(tag);
                 // Sender rank rides in the first 4 payload bytes.
                 let sender = u32::from_ne_bytes(m.payload[..4].try_into().unwrap());
-                slots[sender as usize] = Some(m.payload.slice(4..));
+                slots[sender as usize] = Some(Bytes::copy_from_slice(&m.payload[4..]));
             }
-            slots.into_iter().map(|s| s.expect("missing contribution")).collect()
+            slots
+                .into_iter()
+                .map(|s| s.expect("missing contribution"))
+                .collect()
         } else {
             let mut framed = Vec::with_capacity(4 + data.len());
             framed.extend_from_slice(&self.rank.to_ne_bytes());
@@ -226,7 +233,10 @@ mod tests {
     {
         let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 4), n));
         let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
-        let group = Arc::new(AppGroup { app_id: 7, members: (0..n).collect() });
+        let group = Arc::new(AppGroup {
+            app_id: 7,
+            members: (0..n).collect(),
+        });
         let f = Arc::new(f);
         let mut handles = Vec::new();
         for rank in 0..n {
@@ -302,7 +312,10 @@ mod tests {
     fn collectives_account_intra_app_traffic() {
         let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 1), 2));
         let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
-        let group = Arc::new(AppGroup { app_id: 3, members: vec![0, 1] });
+        let group = Arc::new(AppGroup {
+            app_id: 3,
+            members: vec![0, 1],
+        });
         let d2 = Arc::clone(&dart);
         let g2 = Arc::clone(&group);
         let h = std::thread::spawn(move || {
@@ -324,7 +337,10 @@ mod tests {
     fn rejects_bad_rank() {
         let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(1, 2), 2));
         let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
-        let group = AppGroup { app_id: 1, members: vec![0, 1] };
+        let group = AppGroup {
+            app_id: 1,
+            members: vec![0, 1],
+        };
         let mb = dart.take_mailbox(0);
         let _ = GroupComm::new(&dart, &group, 9, &mb);
     }

@@ -59,14 +59,14 @@ pub mod threaded;
 
 pub use comm::{GroupComm, ReduceOp};
 pub use mapping::{map_scenario, MappedScenario, MappingStrategy};
-pub use modeled::{run_modeled, ModeledOutcome};
+pub use modeled::{run_modeled, run_modeled_with, ModeledOutcome};
 pub use pgas::GlobalArray;
 pub use scenario::{
     aligned_grid, balanced_grid, concurrent_scenario, concurrent_scenario_with_grids,
-    pattern_pairs, sequential_scenario, sequential_scenario_with_grids, CouplingSpec,
-    PatternPair, Scenario,
+    pattern_pairs, sequential_scenario, sequential_scenario_with_grids, CouplingSpec, PatternPair,
+    Scenario,
 };
-pub use threaded::{field_value, run_threaded, ThreadedOutcome};
+pub use threaded::{field_value, run_threaded, run_threaded_with, ThreadedOutcome};
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use insitu_cods as cods;

@@ -54,7 +54,8 @@ impl MappedScenario {
     /// Node a task runs on.
     #[inline]
     pub fn node_of_task(&self, app: u32, rank: u64) -> NodeId {
-        self.machine.node_of_core(self.app_cores[&app][rank as usize])
+        self.machine
+            .node_of_core(self.app_cores[&app][rank as usize])
     }
 
     /// Core of a task.
@@ -111,8 +112,10 @@ pub fn map_scenario(scenario: &Scenario, strategy: MappingStrategy) -> MappedSce
             alloc.release(c);
         }
         for bundle in wave {
-            let apps: Vec<&AppSpec> =
-                bundle.iter().map(|&id| scenario.workflow.app(id).expect("validated")).collect();
+            let apps: Vec<&AppSpec> = bundle
+                .iter()
+                .map(|&id| scenario.workflow.app(id).expect("validated"))
+                .collect();
             let mapping = match strategy {
                 MappingStrategy::RoundRobin => PackedMapper.map_bundle(&mut alloc, &apps),
                 MappingStrategy::NodeCyclic => RoundRobinMapper.map_bundle(&mut alloc, &apps),
@@ -126,7 +129,11 @@ pub fn map_scenario(scenario: &Scenario, strategy: MappingStrategy) -> MappedSce
             }
         }
     }
-    MappedScenario { machine, app_cores, waves }
+    MappedScenario {
+        machine,
+        app_cores,
+        waves,
+    }
 }
 
 fn map_bundle_data_centric(
@@ -160,8 +167,7 @@ fn map_bundle_data_centric(
             let coupled_region = coupling.region.unwrap_or(*producer_dec.domain());
             // Bytes of each consumer task's region per node, precomputed
             // from the closed-form pairwise overlaps.
-            let mut per_rank: Vec<HashMap<NodeId, u64>> =
-                vec![HashMap::new(); app.ntasks as usize];
+            let mut per_rank: Vec<HashMap<NodeId, u64>> = vec![HashMap::new(); app.ntasks as usize];
             for (prank, crank, cells) in
                 pairwise_overlaps_region(producer_dec, consumer_dec, &coupled_region)
             {
@@ -170,7 +176,10 @@ fn map_bundle_data_centric(
                     cells as u64 * scenario.elem_bytes;
             }
             let cores = map_client_side(alloc, app.ntasks, |rank| {
-                per_rank[rank as usize].iter().map(|(&n, &b)| (n, b)).collect()
+                per_rank[rank as usize]
+                    .iter()
+                    .map(|(&n, &b)| (n, b))
+                    .collect()
             });
             let mut mapping = insitu_workflow::BundleMapping::default();
             mapping.cores.insert(app.id, cores);
@@ -211,8 +220,7 @@ mod tests {
             assert_eq!(m.app_cores[&1].len(), 16);
             assert_eq!(m.app_cores[&2].len(), 8);
             // No core used twice within the concurrent wave.
-            let mut all: Vec<CoreId> =
-                m.app_cores.values().flatten().copied().collect();
+            let mut all: Vec<CoreId> = m.app_cores.values().flatten().copied().collect();
             all.sort_unstable();
             all.dedup();
             assert_eq!(all.len(), 24, "{strat:?}");
@@ -268,7 +276,10 @@ mod tests {
         // For this perfectly matched case the partitioner should get close
         // to full co-location.
         let total: u128 = pairwise_overlaps(p, c).iter().map(|&(_, _, c)| c).sum();
-        assert!(colocated_bytes(&dc) * 2 >= total, "less than half co-located");
+        assert!(
+            colocated_bytes(&dc) * 2 >= total,
+            "less than half co-located"
+        );
     }
 
     #[test]
@@ -282,9 +293,7 @@ mod tests {
             let local = |m: &MappedScenario| -> u128 {
                 pairwise_overlaps(p, c)
                     .into_iter()
-                    .filter(|&(pr, cr, _)| {
-                        m.node_of_task(1, pr) == m.node_of_task(consumer, cr)
-                    })
+                    .filter(|&(pr, cr, _)| m.node_of_task(1, pr) == m.node_of_task(consumer, cr))
                     .map(|(_, _, cells)| cells)
                     .sum()
             };

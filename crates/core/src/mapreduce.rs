@@ -64,11 +64,17 @@ pub fn serial_histogram(input: &Decomposition, var: &str, bins: u64) -> Vec<u64>
 /// Panics if `reduce_tasks` does not divide `bins` or the machine is too
 /// small.
 pub fn run_histogram(job: &HistogramJob, var: &str) -> HistogramOutcome {
-    assert!(job.bins % job.reduce_tasks == 0, "reduce_tasks must divide bins");
+    assert!(
+        job.bins % job.reduce_tasks == 0,
+        "reduce_tasks must divide bins"
+    );
     let m = job.input.num_ranks();
     let r = job.reduce_tasks;
     let total_clients = (m + r) as u32;
-    let machine = MachineSpec::new(total_clients.div_ceil(job.cores_per_node), job.cores_per_node);
+    let machine = MachineSpec::new(
+        total_clients.div_ceil(job.cores_per_node),
+        job.cores_per_node,
+    );
     let placement = Arc::new(Placement::pack_sequential(machine, total_clients));
     let ledger = Arc::new(TransferLedger::new());
     let dart = DartRuntime::new(placement, Arc::clone(&ledger));
@@ -151,7 +157,10 @@ pub fn run_histogram(job: &HistogramJob, var: &str) -> HistogramOutcome {
         let base = (task * slice) as usize;
         histogram[base..base + acc.len()].copy_from_slice(&acc);
     }
-    HistogramOutcome { histogram, ledger: ledger.snapshot() }
+    HistogramOutcome {
+        histogram,
+        ledger: ledger.snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +179,12 @@ mod tests {
 
     #[test]
     fn histogram_matches_serial_reference() {
-        let job = HistogramJob { input: input(), bins: 8, reduce_tasks: 4, cores_per_node: 4 };
+        let job = HistogramJob {
+            input: input(),
+            bins: 8,
+            reduce_tasks: 4,
+            cores_per_node: 4,
+        };
         let out = run_histogram(&job, "field");
         assert_eq!(out.histogram, serial_histogram(&input(), "field", 8));
         // All cells binned exactly once.
@@ -179,7 +193,12 @@ mod tests {
 
     #[test]
     fn single_reducer() {
-        let job = HistogramJob { input: input(), bins: 4, reduce_tasks: 1, cores_per_node: 4 };
+        let job = HistogramJob {
+            input: input(),
+            bins: 4,
+            reduce_tasks: 1,
+            cores_per_node: 4,
+        };
         let out = run_histogram(&job, "f2");
         assert_eq!(out.histogram.iter().sum::<u64>(), 256);
         assert_eq!(out.histogram, serial_histogram(&input(), "f2", 4));
@@ -187,7 +206,12 @@ mod tests {
 
     #[test]
     fn shuffle_traffic_is_accounted() {
-        let job = HistogramJob { input: input(), bins: 8, reduce_tasks: 2, cores_per_node: 2 };
+        let job = HistogramJob {
+            input: input(),
+            bins: 8,
+            reduce_tasks: 2,
+            cores_per_node: 2,
+        };
         let out = run_histogram(&job, "f3");
         // 4 maps x 8 bins x 8 bytes of partials, each bin pulled once.
         assert_eq!(out.ledger.total_bytes(TrafficClass::InterApp), 4 * 8 * 8);
@@ -200,7 +224,12 @@ mod tests {
             ProcessGrid::new(&[2, 2]),
             Distribution::Cyclic,
         );
-        let job = HistogramJob { input: dec, bins: 4, reduce_tasks: 2, cores_per_node: 4 };
+        let job = HistogramJob {
+            input: dec,
+            bins: 4,
+            reduce_tasks: 2,
+            cores_per_node: 4,
+        };
         let out = run_histogram(&job, "f4");
         assert_eq!(out.histogram, serial_histogram(&dec, "f4", 4));
     }
@@ -208,7 +237,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "reduce_tasks must divide bins")]
     fn rejects_indivisible_reducers() {
-        let job = HistogramJob { input: input(), bins: 7, reduce_tasks: 2, cores_per_node: 4 };
+        let job = HistogramJob {
+            input: input(),
+            bins: 7,
+            reduce_tasks: 2,
+            cores_per_node: 4,
+        };
         run_histogram(&job, "f5");
     }
 }

@@ -8,7 +8,6 @@
 //! checked against a serial reference bit for bit.
 
 use crate::comm::{GroupComm, ReduceOp};
-use bytes::Bytes;
 use insitu_cods::{CodsConfig, CodsSpace, Dht};
 use insitu_dart::{DartRuntime, Msg};
 use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
@@ -16,6 +15,7 @@ use insitu_fabric::{
     ClientId, LedgerSnapshot, MachineSpec, Placement, TrafficClass, TransferLedger,
 };
 use insitu_sfc::HilbertCurve;
+use insitu_util::Bytes;
 use insitu_workflow::AppGroup;
 use std::sync::Arc;
 
@@ -64,7 +64,9 @@ pub fn jacobi_serial(size: u64, sweeps: u32) -> (Vec<f64>, f64) {
         for r in 0..n as i64 {
             for c in 0..n as i64 {
                 let v = 0.25
-                    * (at(&cur, r - 1, c) + at(&cur, r + 1, c) + at(&cur, r, c - 1)
+                    * (at(&cur, r - 1, c)
+                        + at(&cur, r + 1, c)
+                        + at(&cur, r, c - 1)
                         + at(&cur, r, c + 1));
                 let d = (v - cur[r as usize * n + c as usize]).abs();
                 if d > residual {
@@ -93,7 +95,9 @@ fn encode(v: &[f64]) -> Bytes {
 }
 
 fn decode(b: &[u8]) -> Vec<f64> {
-    b.chunks_exact(8).map(|c| f64::from_ne_bytes(c.try_into().unwrap())).collect()
+    b.chunks_exact(8)
+        .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 /// Run the distributed solver and return the assembled field (gathered
@@ -122,7 +126,10 @@ pub fn run_jacobi(cfg: &JacobiConfig) -> JacobiOutcome {
         ProcessGrid::new(&cfg.grid),
         Distribution::Blocked,
     );
-    let group = Arc::new(AppGroup { app_id: 1, members: (0..tasks).collect() });
+    let group = Arc::new(AppGroup {
+        app_id: 1,
+        members: (0..tasks).collect(),
+    });
 
     let mut handles = Vec::new();
     for rank in 0..tasks {
@@ -144,7 +151,11 @@ pub fn run_jacobi(cfg: &JacobiConfig) -> JacobiOutcome {
     let (field, _) = space
         .get_seq(tasks, 2, "temperature", cfg.sweeps as u64, &full)
         .expect("field gather failed");
-    JacobiOutcome { field, residual, ledger: ledger.snapshot() }
+    JacobiOutcome {
+        field,
+        residual,
+        ledger: ledger.snapshot(),
+    }
 }
 
 /// One solver rank: ghosted local block, per-sweep halo exchange, local
@@ -256,9 +267,19 @@ fn jacobi_rank(
 
     // Global residual and field publish for the in-situ consumer.
     let global_residual = comm.allreduce_f64(residual, ReduceOp::Max);
-    let interior: Vec<f64> = (1..=rows).flat_map(|r| cur[r * gw + 1..r * gw + 1 + cols].to_vec()).collect();
+    let interior: Vec<f64> = (1..=rows)
+        .flat_map(|r| cur[r * gw + 1..r * gw + 1 + cols].to_vec())
+        .collect();
     space
-        .put_seq(client, 1, "temperature", cfg.sweeps as u64, 0, &region, &interior)
+        .put_seq(
+            client,
+            1,
+            "temperature",
+            cfg.sweeps as u64,
+            0,
+            &region,
+            &interior,
+        )
         .expect("field publish failed");
     dart.return_mailbox(client, mailbox);
     global_residual
@@ -279,7 +300,12 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_bitwise_2x2() {
-        let cfg = JacobiConfig { size: 12, grid: [2, 2], sweeps: 9, cores_per_node: 4 };
+        let cfg = JacobiConfig {
+            size: 12,
+            grid: [2, 2],
+            sweeps: 9,
+            cores_per_node: 4,
+        };
         let out = run_jacobi(&cfg);
         let (reference, ref_residual) = jacobi_serial(12, 9);
         assert_eq!(out.field, reference, "parallel field deviates from serial");
@@ -288,7 +314,12 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_uneven_grid() {
-        let cfg = JacobiConfig { size: 12, grid: [4, 2], sweeps: 7, cores_per_node: 4 };
+        let cfg = JacobiConfig {
+            size: 12,
+            grid: [4, 2],
+            sweeps: 7,
+            cores_per_node: 4,
+        };
         let out = run_jacobi(&cfg);
         let (reference, _) = jacobi_serial(12, 7);
         assert_eq!(out.field, reference);
@@ -296,7 +327,12 @@ mod tests {
 
     #[test]
     fn single_rank_degenerate() {
-        let cfg = JacobiConfig { size: 8, grid: [1, 1], sweeps: 4, cores_per_node: 2 };
+        let cfg = JacobiConfig {
+            size: 8,
+            grid: [1, 1],
+            sweeps: 4,
+            cores_per_node: 2,
+        };
         let out = run_jacobi(&cfg);
         let (reference, _) = jacobi_serial(8, 4);
         assert_eq!(out.field, reference);
@@ -304,13 +340,18 @@ mod tests {
 
     #[test]
     fn halo_traffic_accounted_with_locality() {
-        let cfg = JacobiConfig { size: 16, grid: [4, 1], sweeps: 3, cores_per_node: 2 };
+        let cfg = JacobiConfig {
+            size: 16,
+            grid: [4, 1],
+            sweeps: 3,
+            cores_per_node: 2,
+        };
         let out = run_jacobi(&cfg);
         let snap = &out.ledger;
         // 3 boundaries x 2 directions x 16 cells x 8 B x 3 sweeps, plus
         // collective traffic — split between shm and network by placement.
-        let halo_total = snap.shm_bytes(TrafficClass::IntraApp)
-            + snap.network_bytes(TrafficClass::IntraApp);
+        let halo_total =
+            snap.shm_bytes(TrafficClass::IntraApp) + snap.network_bytes(TrafficClass::IntraApp);
         assert!(halo_total >= 3 * 2 * 16 * 8 * 3, "halo bytes {halo_total}");
         assert!(snap.network_bytes(TrafficClass::IntraApp) > 0);
         assert!(snap.shm_bytes(TrafficClass::IntraApp) > 0);

@@ -11,6 +11,7 @@ use insitu_fabric::{
     estimate_retrieve_times, ClientRetrieve, LedgerSnapshot, Locality, NodeId, TorusTopology,
     TrafficClass, Transfer, TransferLedger,
 };
+use insitu_telemetry::Recorder;
 use insitu_workflow::pairwise_overlaps_region;
 use std::collections::{BTreeMap, HashMap};
 
@@ -42,8 +43,23 @@ fn dht_queries_estimate(region_cells: u128, domain_cells: u128, dht_cores: u32) 
 
 /// Run `scenario` under `strategy` analytically.
 pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOutcome {
-    let mapped = map_scenario(scenario, strategy);
-    let ledger = TransferLedger::new();
+    run_modeled_with(scenario, strategy, &Recorder::disabled())
+}
+
+/// Run `scenario` under `strategy` analytically, mirroring the ledger into
+/// `recorder`'s metrics and emitting one synthetic `app<N>.retrieve` span
+/// per consumer task (track = its client id, duration = the estimated
+/// retrieve time) so modeled traces line up with threaded ones.
+pub fn run_modeled_with(
+    scenario: &Scenario,
+    strategy: MappingStrategy,
+    recorder: &Recorder,
+) -> ModeledOutcome {
+    let mapped = {
+        let _span = recorder.span("workflow.map", "workflow", 0);
+        map_scenario(scenario, strategy)
+    };
+    let ledger = TransferLedger::with_recorder(recorder);
     let topo = TorusTopology::cubic_for(mapped.machine.nodes);
     let mut retrieves: BTreeMap<u32, Vec<ClientRetrieve>> = BTreeMap::new();
 
@@ -59,11 +75,24 @@ pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOut
                 let bytes = cells as u64 * scenario.elem_bytes;
                 let src = mapped.node_of_task(coupling.producer_app, pr);
                 let dst = mapped.node_of_task(capp, cr);
-                let loc = if src == dst { Locality::SharedMemory } else { Locality::Network };
+                let loc = if src == dst {
+                    Locality::SharedMemory
+                } else {
+                    Locality::Network
+                };
                 // The coupling repeats every iteration with the same
-                // schedule; flows below stay per-iteration (retrieve time
-                // is a per-version quantity).
-                ledger.record(capp, TrafficClass::InterApp, loc, bytes * scenario.iterations);
+                // schedule: one transfer per (producer rank, consumer
+                // rank) pair per iteration, exactly as the threaded
+                // executor accounts its per-version pulls. Flows below
+                // stay per-iteration (retrieve time is a per-version
+                // quantity).
+                ledger.record_repeated(
+                    capp,
+                    TrafficClass::InterApp,
+                    loc,
+                    bytes,
+                    scenario.iterations,
+                );
                 *per_rank[cr as usize].entry(src).or_insert(0) += bytes;
             }
             let domain_cells = pdec.domain().num_cells();
@@ -83,25 +112,38 @@ pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOut
                         mapped.machine.nodes,
                     )
                 };
-                app_retrieves.push(ClientRetrieve { dst_node, transfers, dht_queries });
+                app_retrieves.push(ClientRetrieve {
+                    dst_node,
+                    transfers,
+                    dht_queries,
+                });
             }
         }
     }
 
     // Intra-application stencil traffic.
     for app in &scenario.workflow.apps {
-        let Some(dec) = &app.decomposition else { continue };
+        let Some(dec) = &app.decomposition else {
+            continue;
+        };
         for ex in halo_exchanges(dec, scenario.halo) {
             let bytes = ex.cells as u64 * scenario.elem_bytes;
             let na = mapped.node_of_task(app.id, ex.rank_a);
             let nb = mapped.node_of_task(app.id, ex.rank_b);
-            let loc = if na == nb { Locality::SharedMemory } else { Locality::Network };
-            // Both directions of the exchange, once per iteration.
-            ledger.record(
+            let loc = if na == nb {
+                Locality::SharedMemory
+            } else {
+                Locality::Network
+            };
+            // Both directions of the exchange, once per iteration — two
+            // transfers of `bytes` each, matching the threaded executor's
+            // two mailbox sends per exchange pair.
+            ledger.record_repeated(
                 app.id,
                 TrafficClass::IntraApp,
                 loc,
-                2 * bytes * scenario.iterations,
+                bytes,
+                2 * scenario.iterations,
             );
         }
     }
@@ -115,12 +157,23 @@ pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOut
         .iter()
         .flat_map(|(&app, v)| (0..v.len()).map(move |i| (app, i)))
         .collect();
-    let flat: Vec<ClientRetrieve> =
-        retrieves.values().flat_map(|v| v.iter().cloned()).collect();
+    let flat: Vec<ClientRetrieve> = retrieves.values().flat_map(|v| v.iter().cloned()).collect();
     if !flat.is_empty() {
         let times = estimate_retrieve_times(&scenario.model, &topo, &flat);
         let mut sums: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
-        for ((app, _), t) in all.into_iter().zip(times) {
+        for ((app, rank), t) in all.into_iter().zip(times) {
+            // Synthetic per-client timeline entry: all retrieves of a wave
+            // start together (ts 0); the duration is the model's estimate.
+            // An app consuming several couplings contributes one flow per
+            // coupling per rank, all on the rank's client track.
+            let ntasks = mapped.app_cores[&app].len();
+            recorder.synthetic_span(
+                &format!("app{app}.retrieve"),
+                "execute",
+                mapped.core_of_task(app, (rank % ntasks) as u64) as u64,
+                0,
+                (t * 1000.0) as u64,
+            );
             let e = retrieve_ms.entry(app).or_insert(0.0f64);
             if t > *e {
                 *e = t;
@@ -134,7 +187,13 @@ pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOut
         }
     }
 
-    ModeledOutcome { strategy, ledger: ledger.snapshot(), retrieve_ms, retrieve_ms_mean, mapped }
+    ModeledOutcome {
+        strategy,
+        ledger: ledger.snapshot(),
+        retrieve_ms,
+        retrieve_ms_mean,
+        mapped,
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +215,11 @@ mod tests {
         let volume = s.decomposition(1).domain().num_cells() as u64 * 8;
         for strat in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
             let o = run_modeled(&s, strat);
-            assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), volume, "{strat:?}");
+            assert_eq!(
+                o.ledger.total_bytes(TrafficClass::InterApp),
+                volume,
+                "{strat:?}"
+            );
         }
     }
 
@@ -219,8 +282,11 @@ mod tests {
         let s = small(pattern_pairs(&[4, 4, 4])[0]);
         let o = run_modeled(&s, MappingStrategy::RoundRobin);
         for app in [1u32, 2] {
-            let total = o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::SharedMemory)
-                + o.ledger.app_bytes(app, TrafficClass::IntraApp, Locality::Network);
+            let total = o
+                .ledger
+                .app_bytes(app, TrafficClass::IntraApp, Locality::SharedMemory)
+                + o.ledger
+                    .app_bytes(app, TrafficClass::IntraApp, Locality::Network);
             assert!(total > 0, "app {app} has no stencil traffic");
         }
     }
@@ -233,18 +299,46 @@ mod tests {
         let s = small(pattern_pairs(&[4, 4, 4])[0]);
         let rr = run_modeled(&s, MappingStrategy::RoundRobin);
         let dc = run_modeled(&s, MappingStrategy::DataCentric);
-        let rr_net = rr.ledger.app_bytes(2, TrafficClass::IntraApp, Locality::Network);
-        let dc_net = dc.ledger.app_bytes(2, TrafficClass::IntraApp, Locality::Network);
+        let rr_net = rr
+            .ledger
+            .app_bytes(2, TrafficClass::IntraApp, Locality::Network);
+        let dc_net = dc
+            .ledger
+            .app_bytes(2, TrafficClass::IntraApp, Locality::Network);
         assert!(dc_net >= rr_net, "dc {dc_net} < rr {rr_net}");
+    }
+
+    #[test]
+    fn telemetry_mirrors_ledger_and_emits_synthetic_spans() {
+        let mut s = sequential_scenario(16, 8, 8, 8, pattern_pairs(&[4, 4, 4])[0]);
+        s.cores_per_node = 4;
+        let rec = Recorder::enabled();
+        let o = run_modeled_with(&s, MappingStrategy::DataCentric, &rec);
+        let snap = rec.metrics_snapshot();
+        for class in [TrafficClass::InterApp, TrafficClass::IntraApp] {
+            let mirrored: u64 = Locality::ALL
+                .iter()
+                .map(|l| snap.counter(&format!("fabric.bytes.{}.{}", class.slug(), l.slug())))
+                .sum();
+            assert_eq!(mirrored, o.ledger.total_bytes(class), "{class:?}");
+        }
+        let trace = rec.trace_summary();
+        assert!(trace.contains("workflow.map"), "missing map span:\n{trace}");
+        assert!(
+            trace.contains("app2.retrieve"),
+            "missing synthetic spans:\n{trace}"
+        );
+        assert!(
+            trace.contains("app3.retrieve"),
+            "missing synthetic spans:\n{trace}"
+        );
     }
 
     #[test]
     fn dht_query_estimate_monotone_and_clamped() {
         assert_eq!(dht_queries_estimate(0, 1000, 10), 1);
         assert!(dht_queries_estimate(500, 1000, 10) <= 10);
-        assert!(
-            dht_queries_estimate(100, 1000, 10) <= dht_queries_estimate(900, 1000, 10)
-        );
+        assert!(dht_queries_estimate(100, 1000, 10) <= dht_queries_estimate(900, 1000, 10));
         assert_eq!(dht_queries_estimate(1000, 1000, 4), 4);
     }
 }

@@ -44,7 +44,14 @@ impl GlobalArray {
             decomposition.num_ranks(),
             "one client per rank required"
         );
-        GlobalArray { space, name: name.into(), app, decomposition, clients, version }
+        GlobalArray {
+            space,
+            name: name.into(),
+            app,
+            decomposition,
+            clients,
+            version,
+        }
     }
 
     /// The array's global bounds.
@@ -143,7 +150,10 @@ mod tests {
         let section = BoundingBox::new(&[4, 4], &[11, 11]);
         let (data, report) = ga.read(3, &section).unwrap();
         for p in section.iter_points() {
-            assert_eq!(data[layout::linear_index(&section, &p[..2])], value(&p[..2]));
+            assert_eq!(
+                data[layout::linear_index(&section, &p[..2])],
+                value(&p[..2])
+            );
         }
         assert!(report.ops >= 4);
         // Mixed locality: some shared memory, some network.
@@ -164,7 +174,10 @@ mod tests {
     #[test]
     fn partitions_tile_bounds() {
         let ga = array();
-        let total: u128 = (0..4).flat_map(|r| ga.partition_of(r)).map(|b| b.num_cells()).sum();
+        let total: u128 = (0..4)
+            .flat_map(|r| ga.partition_of(r))
+            .map(|b| b.num_cells())
+            .sum();
         assert_eq!(total, ga.bounds().num_cells());
     }
 
@@ -203,7 +216,10 @@ mod tests {
         let section = BoundingBox::new(&[1, 1], &[6, 6]);
         let (data, _) = ga.read(1, &section).unwrap();
         for p in section.iter_points() {
-            assert_eq!(data[layout::linear_index(&section, &p[..2])], value(&p[..2]));
+            assert_eq!(
+                data[layout::linear_index(&section, &p[..2])],
+                value(&p[..2])
+            );
         }
     }
 

@@ -70,7 +70,9 @@ impl Scenario {
 
     /// The coupling that feeds `consumer`, if any.
     pub fn coupling_into(&self, consumer: u32) -> Option<&CouplingSpec> {
-        self.couplings.iter().find(|c| c.consumer_apps.contains(&consumer))
+        self.couplings
+            .iter()
+            .find(|c| c.consumer_apps.contains(&consumer))
     }
 }
 
@@ -95,11 +97,26 @@ impl PatternPair {
 pub fn pattern_pairs(block: &[u64]) -> Vec<PatternPair> {
     let bc = Distribution::block_cyclic(block);
     vec![
-        PatternPair { producer: Distribution::Blocked, consumer: Distribution::Blocked },
-        PatternPair { producer: bc, consumer: bc },
-        PatternPair { producer: Distribution::Blocked, consumer: bc },
-        PatternPair { producer: bc, consumer: Distribution::Blocked },
-        PatternPair { producer: Distribution::Blocked, consumer: Distribution::Cyclic },
+        PatternPair {
+            producer: Distribution::Blocked,
+            consumer: Distribution::Blocked,
+        },
+        PatternPair {
+            producer: bc,
+            consumer: bc,
+        },
+        PatternPair {
+            producer: Distribution::Blocked,
+            consumer: bc,
+        },
+        PatternPair {
+            producer: bc,
+            consumer: Distribution::Blocked,
+        },
+        PatternPair {
+            producer: Distribution::Blocked,
+            consumer: Distribution::Cyclic,
+        },
     ]
 }
 
@@ -111,13 +128,9 @@ pub fn balanced_grid(n: u64, ndim: usize) -> Vec<u64> {
     while rem > 1 {
         // Smallest prime factor of the remainder, assigned to the
         // currently smallest dimension, keeps the grid near-cubic.
-        let f = (2..).find(|f| rem % f == 0 || f * f > rem).map(|f| {
-            if rem % f == 0 {
-                f
-            } else {
-                rem
-            }
-        });
+        let f = (2..)
+            .find(|f| rem % f == 0 || f * f > rem)
+            .map(|f| if rem % f == 0 { f } else { rem });
         let f = f.unwrap();
         let d = (0..ndim).min_by_key(|&i| dims[i]).unwrap();
         dims[d] *= f;
@@ -216,7 +229,9 @@ pub fn aligned_grid(n: u64, producer: &[u64]) -> Vec<u64> {
         }
         (s, std::cmp::Reverse(*g.iter().max().unwrap()))
     };
-    all.into_iter().max_by_key(score).unwrap_or_else(|| balanced_grid(n, ndim))
+    all.into_iter()
+        .max_by_key(score)
+        .unwrap_or_else(|| balanced_grid(n, ndim))
 }
 
 /// [`concurrent_scenario`] with explicit process grids (used by the
@@ -344,7 +359,14 @@ mod tests {
 
     #[test]
     fn balanced_grid_products() {
-        for (n, d) in [(512u64, 3usize), (64, 3), (128, 3), (384, 3), (8192, 3), (12, 2)] {
+        for (n, d) in [
+            (512u64, 3usize),
+            (64, 3),
+            (128, 3),
+            (384, 3),
+            (8192, 3),
+            (12, 2),
+        ] {
             let g = balanced_grid(n, d);
             assert_eq!(g.iter().product::<u64>(), n, "grid {g:?} for {n}");
             assert_eq!(g.len(), d);
@@ -382,7 +404,11 @@ mod tests {
         // SAP2: 64 MB per task; SAP3: ~22 MB per task.
         assert_eq!(s.decomposition(2).rank_cells(0) * 8, 64 << 20);
         let sap3 = s.decomposition(3).rank_cells(0) * 8;
-        assert!(sap3 > 21 << 20 && sap3 < 23 << 20, "SAP3 per-task {} MB", sap3 >> 20);
+        assert!(
+            sap3 > 21 << 20 && sap3 < 23 << 20,
+            "SAP3 per-task {} MB",
+            sap3 >> 20
+        );
         s.workflow.validate().unwrap();
         // Two waves: SAP1, then SAP2+SAP3 concurrently.
         let waves = s.workflow.bundle_waves().unwrap();

@@ -9,18 +9,17 @@
 
 use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
 use crate::scenario::Scenario;
-use bytes::Bytes;
 use insitu_cods::{var_id, CodsConfig, CodsSpace, Dht, GetReport};
 use insitu_dart::DartRuntime;
 use insitu_domain::stencil::halo_exchanges;
 use insitu_domain::{layout, BoundingBox};
-use insitu_fabric::{
-    ClientId, LedgerSnapshot, Placement, TrafficClass, TransferLedger,
-};
+use insitu_fabric::{ClientId, LedgerSnapshot, Placement, TrafficClass, TransferLedger};
 use insitu_sfc::HilbertCurve;
-use parking_lot::Mutex;
+use insitu_telemetry::Recorder;
+use insitu_util::Bytes;
+use insitu_workflow::ClientRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Message tag for halo-exchange payloads.
@@ -81,13 +80,37 @@ struct TaskCtx {
 /// Intended for up to a few hundred tasks (tests, examples); use
 /// [`crate::run_modeled`] for paper-scale configurations.
 pub fn run_threaded(scenario: &Scenario, strategy: MappingStrategy) -> ThreadedOutcome {
+    run_threaded_with(scenario, strategy, &Recorder::disabled())
+}
+
+/// Run `scenario` under `strategy`, recording metrics and workflow-phase
+/// spans (`workflow.register` → `workflow.map` → `workflow.group` →
+/// `workflow.execute`, plus one `app<N>.task` span per execution client)
+/// into `recorder`.
+pub fn run_threaded_with(
+    scenario: &Scenario,
+    strategy: MappingStrategy,
+    recorder: &Recorder,
+) -> ThreadedOutcome {
     assert_eq!(scenario.elem_bytes, 8, "threaded mode stores f64 fields");
-    let mapped = Arc::new(map_scenario(scenario, strategy));
+    let mapped = {
+        let _span = recorder.span("workflow.map", "workflow", 0);
+        Arc::new(map_scenario(scenario, strategy))
+    };
     let machine = mapped.machine;
-    // One execution client per core, client id == core id.
+    // One execution client per core, client id == core id. The workflow
+    // server's client-management module registers every client (its core
+    // stands in for a network address) before any task is dispatched.
+    let mut registry = ClientRegistry::new();
+    {
+        let _span = recorder.span("workflow.register", "workflow", 0);
+        for client in 0..machine.total_cores() {
+            registry.register(client, client);
+        }
+    }
     let placement = Arc::new(Placement::pack_sequential(machine, machine.total_cores()));
-    let ledger = Arc::new(TransferLedger::new());
-    let dart = DartRuntime::new(placement, Arc::clone(&ledger));
+    let ledger = Arc::new(TransferLedger::with_recorder(recorder));
+    let dart = DartRuntime::with_recorder(placement, Arc::clone(&ledger), recorder.clone());
     let domain = *scenario
         .workflow
         .apps
@@ -132,25 +155,37 @@ pub fn run_threaded(scenario: &Scenario, strategy: MappingStrategy) -> ThreadedO
         space.set_expected_gets(&coupling.var, gets);
     }
 
-    for wave in &mapped.waves {
+    for (wi, wave) in mapped.waves.iter().enumerate() {
         // The workflow management server dispatches each task assignment
         // (app id, rank) to its execution client before launch — the
         // paper's "initial distribution of computation tasks". The server
         // is modeled as co-resident with client 0's node; dispatches are
         // Control-class traffic. These are enqueued before any task thread
         // exists, so each client's first message is its assignment.
-        for bundle in wave {
-            for &app_id in bundle {
-                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
-                for rank in 0..ntasks {
-                    let client = mapped.core_of_task(app_id, rank);
-                    let mut payload = Vec::with_capacity(12);
-                    payload.extend_from_slice(&app_id.to_ne_bytes());
-                    payload.extend_from_slice(&rank.to_ne_bytes());
-                    dart.send(app_id, TrafficClass::Control, 0, client, TAG_DISPATCH, Bytes::from(payload));
+        {
+            let _span = recorder.span("workflow.group", "workflow", wi as u64);
+            for bundle in wave {
+                for &app_id in bundle {
+                    let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
+                    for rank in 0..ntasks {
+                        let client = mapped.core_of_task(app_id, rank);
+                        registry.set_running(client, app_id);
+                        let mut payload = Vec::with_capacity(12);
+                        payload.extend_from_slice(&app_id.to_ne_bytes());
+                        payload.extend_from_slice(&rank.to_ne_bytes());
+                        dart.send(
+                            app_id,
+                            TrafficClass::Control,
+                            0,
+                            client,
+                            TAG_DISPATCH,
+                            Bytes::from(payload),
+                        );
+                    }
                 }
             }
         }
+        let _span = recorder.span("workflow.execute", "workflow", wi as u64);
         let mut handles = Vec::new();
         for bundle in wave {
             for &app_id in bundle {
@@ -179,9 +214,21 @@ pub fn run_threaded(scenario: &Scenario, strategy: MappingStrategy) -> ThreadedO
         for h in handles {
             h.join().expect("task thread panicked");
         }
+        // Wave complete: its clients return to the idle pool.
+        for bundle in wave {
+            for &app_id in bundle {
+                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
+                for rank in 0..ntasks {
+                    registry.set_idle(mapped.core_of_task(app_id, rank));
+                }
+            }
+        }
     }
 
-    let reports = Arc::try_unwrap(reports).expect("threads done").into_inner();
+    let reports = Arc::try_unwrap(reports)
+        .expect("threads done")
+        .into_inner()
+        .unwrap();
     ThreadedOutcome {
         strategy,
         ledger: ledger.snapshot(),
@@ -196,14 +243,27 @@ pub fn run_threaded(scenario: &Scenario, strategy: MappingStrategy) -> ThreadedO
 /// exchange round.
 fn task_routine(ctx: TaskCtx) {
     let client = ctx.mapped.core_of_task(ctx.app, ctx.rank);
+    // One span per execution client, keyed by client id, so the trace
+    // export shows a per-client timeline comparable with the modeled
+    // executor's synthetic spans.
+    let _task_span =
+        ctx.dart
+            .recorder()
+            .span(&format!("app{}.task", ctx.app), "execute", client as u64);
     let mailbox = ctx.dart.take_mailbox(client);
 
     // First message is always this client's task assignment from the
     // workflow server (enqueued before the thread was spawned).
     let dispatch = mailbox.recv();
     assert_eq!(dispatch.tag, TAG_DISPATCH, "expected dispatch first");
-    assert_eq!(u32::from_ne_bytes(dispatch.payload[..4].try_into().unwrap()), ctx.app);
-    assert_eq!(u64::from_ne_bytes(dispatch.payload[4..12].try_into().unwrap()), ctx.rank);
+    assert_eq!(
+        u32::from_ne_bytes(dispatch.payload[..4].try_into().unwrap()),
+        ctx.app
+    );
+    assert_eq!(
+        u64::from_ne_bytes(dispatch.payload[4..12].try_into().unwrap()),
+        ctx.rank
+    );
 
     let dec = ctx.scenario.decomposition(ctx.app);
 
@@ -222,11 +282,25 @@ fn task_routine(ctx: TaskCtx) {
                 let data =
                     layout::fill_with(piece, |p| field_value(vid, version, &p[..piece.ndim()]));
                 let res = if coupling.concurrent {
-                    ctx.space
-                        .put_cont(client, ctx.app, &coupling.var, version, pi as u64, piece, &data)
+                    ctx.space.put_cont(
+                        client,
+                        ctx.app,
+                        &coupling.var,
+                        version,
+                        pi as u64,
+                        piece,
+                        &data,
+                    )
                 } else {
-                    ctx.space
-                        .put_seq(client, ctx.app, &coupling.var, version, pi as u64, piece, &data)
+                    ctx.space.put_seq(
+                        client,
+                        ctx.app,
+                        &coupling.var,
+                        version,
+                        pi as u64,
+                        piece,
+                        &data,
+                    )
                 };
                 res.expect("put failed");
             }
@@ -295,7 +369,10 @@ fn task_routine(ctx: TaskCtx) {
                 if bad > 0 {
                     ctx.failures.fetch_add(bad, Ordering::Relaxed);
                 }
-                ctx.reports.lock().push((ctx.app, ctx.rank, report));
+                ctx.reports
+                    .lock()
+                    .unwrap()
+                    .push((ctx.app, ctx.rank, report));
             }
         }
     }
@@ -375,9 +452,15 @@ mod tests {
         let o = run_threaded(&s, MappingStrategy::DataCentric);
         assert_eq!(o.verify_failures, 0);
         // SAP2 and SAP3 each read the whole domain.
-        assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 2 * 8 * 8 * 8 * 8);
+        assert_eq!(
+            o.ledger.total_bytes(TrafficClass::InterApp),
+            2 * 8 * 8 * 8 * 8
+        );
         // Sequential gets consult the DHT.
-        assert!(o.reports.iter().any(|(_, _, r)| r.dht_cores_queried > 0 || r.cache_hit));
+        assert!(o
+            .reports
+            .iter()
+            .any(|(_, _, r)| r.dht_cores_queried > 0 || r.cache_hit));
     }
 
     #[test]
@@ -391,8 +474,7 @@ mod tests {
 
     #[test]
     fn iterative_concurrent_coupling_verifies_and_reclaims() {
-        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0])
-            .with_iterations(4);
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]).with_iterations(4);
         s.cores_per_node = 4;
         let o = run_threaded(&s, MappingStrategy::DataCentric);
         assert_eq!(o.verify_failures, 0);
@@ -411,8 +493,8 @@ mod tests {
 
     #[test]
     fn iterative_sequential_coupling_verifies() {
-        let mut s = sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0])
-            .with_iterations(2);
+        let mut s =
+            sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0]).with_iterations(2);
         s.cores_per_node = 4;
         let o = run_threaded(&s, MappingStrategy::RoundRobin);
         assert_eq!(o.verify_failures, 0);
@@ -429,6 +511,37 @@ mod tests {
         s.cores_per_node = 4;
         let o = run_threaded(&s, MappingStrategy::RoundRobin);
         assert!(o.ledger.total_bytes(TrafficClass::IntraApp) > 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_ledger_and_traces_phases() {
+        let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+        s.cores_per_node = 4;
+        let rec = Recorder::enabled();
+        let o = run_threaded_with(&s, MappingStrategy::DataCentric, &rec);
+        assert_eq!(o.verify_failures, 0);
+        let snap = rec.metrics_snapshot();
+        for class in TrafficClass::ALL {
+            let mirrored: u64 = insitu_fabric::Locality::ALL
+                .iter()
+                .map(|l| snap.counter(&format!("fabric.bytes.{}.{}", class.slug(), l.slug())))
+                .sum();
+            assert_eq!(mirrored, o.ledger.total_bytes(class), "{class:?}");
+        }
+        // All four workflow phases and at least one per-client task span.
+        let trace = rec.trace_summary();
+        for phase in [
+            "workflow.register",
+            "workflow.map",
+            "workflow.group",
+            "workflow.execute",
+        ] {
+            assert!(trace.contains(phase), "missing {phase} in:\n{trace}");
+        }
+        assert!(
+            trace.contains("app1.task"),
+            "missing task spans in:\n{trace}"
+        );
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Property tests for the group collectives: correctness across arbitrary
 //! group sizes, roots, payload sizes and operation sequences.
 
-use bytes::Bytes;
 use insitu::comm::{GroupComm, ReduceOp};
 use insitu_dart::DartRuntime;
 use insitu_fabric::{MachineSpec, Placement, TransferLedger};
+use insitu_util::check::forall;
+use insitu_util::Bytes;
 use insitu_workflow::AppGroup;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Run `f` as every rank of an `n`-member group on real threads, collect
@@ -21,7 +21,10 @@ where
         n,
     ));
     let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
-    let group = Arc::new(AppGroup { app_id: 1, members: (0..n).collect() });
+    let group = Arc::new(AppGroup {
+        app_id: 1,
+        members: (0..n).collect(),
+    });
     let f = Arc::new(f);
     let mut handles = Vec::new();
     for rank in 0..n {
@@ -37,12 +40,12 @@ where
     handles.into_iter().map(|h| h.join().unwrap()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn broadcast_any_root_any_payload(n in 1u32..10, root_seed in any::<u32>(), len in 0usize..300) {
-        let root = root_seed % n;
+#[test]
+fn broadcast_any_root_any_payload() {
+    forall(24, |rng| {
+        let n = rng.range_u32(1, 10);
+        let root = rng.next_u64() as u32 % n;
+        let len = rng.range_usize(0, 300);
         let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
         let expected = payload.clone();
         let results = with_group(n, move |comm| {
@@ -54,28 +57,37 @@ proptest! {
             comm.broadcast(root, data).to_vec()
         });
         for r in results {
-            prop_assert_eq!(&r[..], &expected[..]);
+            assert_eq!(&r[..], &expected[..]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn allreduce_sum_matches_serial(n in 1u32..9, seed in any::<u64>()) {
-        let values: Vec<f64> =
-            (0..n).map(|i| ((seed >> (i % 48)) & 0xff) as f64 / 7.0).collect();
+#[test]
+fn allreduce_sum_matches_serial() {
+    forall(24, |rng| {
+        let n = rng.range_u32(1, 9);
+        let seed = rng.next_u64();
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((seed >> (i % 48)) & 0xff) as f64 / 7.0)
+            .collect();
         let expect: f64 = values.iter().sum();
         let v2 = values.clone();
         let results = with_group(n, move |comm| {
             comm.allreduce_f64(v2[comm.rank() as usize], ReduceOp::Sum)
         });
         for r in results {
-            prop_assert!((r - expect).abs() < 1e-9, "{r} != {expect}");
+            assert!((r - expect).abs() < 1e-9, "{r} != {expect}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaved_collective_sequences(n in 2u32..7, rounds in 1u32..5) {
+#[test]
+fn interleaved_collective_sequences() {
+    forall(24, |rng| {
         // barrier / broadcast / gather interleaved `rounds` times; every
         // rank must observe consistent results at each step.
+        let n = rng.range_u32(2, 7);
+        let rounds = rng.range_u32(1, 5);
         let results = with_group(n, move |comm| {
             let mut log = Vec::new();
             for round in 0..rounds {
@@ -103,15 +115,15 @@ proptest! {
         for (rank, log) in results.into_iter().enumerate() {
             let mut i = 0;
             for round in 0..rounds as u8 {
-                prop_assert_eq!(log[i], round, "rank {} round {} broadcast", rank, round);
+                assert_eq!(log[i], round, "rank {rank} round {round} broadcast");
                 i += 1;
                 if rank == 0 {
-                    prop_assert_eq!(log[i] as u32, n, "gather size");
+                    assert_eq!(log[i] as u32, n, "gather size");
                     i += 1;
                 }
-                prop_assert_eq!(log[i], n8, "allreduce max");
+                assert_eq!(log[i], n8, "allreduce max");
                 i += 1;
             }
         }
-    }
+    });
 }

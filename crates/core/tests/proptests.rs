@@ -4,54 +4,65 @@ use insitu::{
     aligned_grid, balanced_grid, concurrent_scenario, map_scenario, pattern_pairs,
     sequential_scenario, MappingStrategy,
 };
-use proptest::prelude::*;
+use insitu_util::check::forall;
+use insitu_util::SplitMix64;
 
-fn arb_strategy() -> impl Strategy<Value = MappingStrategy> {
-    prop_oneof![
-        Just(MappingStrategy::RoundRobin),
-        Just(MappingStrategy::DataCentric),
-        Just(MappingStrategy::NodeCyclic),
-    ]
+fn arb_strategy(rng: &mut SplitMix64) -> MappingStrategy {
+    *rng.choose(&[
+        MappingStrategy::RoundRobin,
+        MappingStrategy::DataCentric,
+        MappingStrategy::NodeCyclic,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn balanced_grid_always_multiplies_out(n in 1u64..5000, ndim in 1usize..4) {
+#[test]
+fn balanced_grid_always_multiplies_out() {
+    forall(48, |rng| {
+        let n = rng.range_u64(1, 5000);
+        let ndim = rng.range_usize(1, 4);
         let g = balanced_grid(n, ndim);
-        prop_assert_eq!(g.len(), ndim);
-        prop_assert_eq!(g.iter().product::<u64>(), n);
-        prop_assert!(g.iter().all(|&d| d >= 1));
-    }
+        assert_eq!(g.len(), ndim);
+        assert_eq!(g.iter().product::<u64>(), n);
+        assert!(g.iter().all(|&d| d >= 1));
+    });
+}
 
-    #[test]
-    fn aligned_grid_always_multiplies_out(
-        n in 1u64..200,
-        p0 in 1u64..9, p1 in 1u64..9, p2 in 1u64..9,
-    ) {
+#[test]
+fn aligned_grid_always_multiplies_out() {
+    forall(48, |rng| {
+        let n = rng.range_u64(1, 200);
+        let p0 = rng.range_u64(1, 9);
+        let p1 = rng.range_u64(1, 9);
+        let p2 = rng.range_u64(1, 9);
         let g = aligned_grid(n, &[p0, p1, p2]);
-        prop_assert_eq!(g.len(), 3);
-        prop_assert_eq!(g.iter().product::<u64>(), n);
-    }
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.iter().product::<u64>(), n);
+    });
+}
 
-    #[test]
-    fn aligned_grid_perfect_when_divisible(k in 1u64..5) {
+#[test]
+fn aligned_grid_perfect_when_divisible() {
+    forall(8, |rng| {
         // Consumer count = producer count / 2^k along z: the aligned grid
         // must divide component-wise.
+        let k = rng.range_u64(1, 5);
         let producer = [8u64, 8, 8];
         let n = 512 / (1 << k);
         let g = aligned_grid(n, &producer);
         for d in 0..3 {
-            prop_assert_eq!(producer[d] % g[d], 0, "grid {:?}", g);
+            assert_eq!(producer[d] % g[d], 0, "grid {g:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn concurrent_mapping_valid_for_arbitrary_sizes(
-        pexp in 1u32..5, cexp in 0u32..4, strategy in arb_strategy(), pattern_idx in 0usize..5,
-    ) {
+#[test]
+fn concurrent_mapping_valid_for_arbitrary_sizes() {
+    forall(48, |rng| {
         // Producer 2^pexp tasks, consumer 2^cexp (consumer <= producer).
+        let pexp = rng.range_u32(1, 5);
+        let cexp = rng.range_u32(0, 4);
+        let strategy = arb_strategy(rng);
+        let pattern_idx = rng.range_usize(0, 5);
         let prod = 1u64 << pexp;
         let cons = 1u64 << cexp.min(pexp);
         let mut s = concurrent_scenario(prod, cons, 4, pattern_pairs(&[2, 2, 2])[pattern_idx]);
@@ -59,19 +70,21 @@ proptest! {
         let m = map_scenario(&s, strategy);
         // Every task mapped, no core reused within the concurrent wave.
         let mut cores: Vec<u32> = m.app_cores.values().flatten().copied().collect();
-        prop_assert_eq!(cores.len() as u64, prod + cons);
+        assert_eq!(cores.len() as u64, prod + cons);
         cores.sort_unstable();
         cores.dedup();
-        prop_assert_eq!(cores.len() as u64, prod + cons, "core reused");
+        assert_eq!(cores.len() as u64, prod + cons, "core reused");
         for &c in &cores {
-            prop_assert!(c < m.machine.total_cores());
+            assert!(c < m.machine.total_cores());
         }
-    }
+    });
+}
 
-    #[test]
-    fn sequential_mapping_valid(
-        pexp in 2u32..5, strategy in arb_strategy(),
-    ) {
+#[test]
+fn sequential_mapping_valid() {
+    forall(48, |rng| {
+        let pexp = rng.range_u32(2, 5);
+        let strategy = arb_strategy(rng);
         let prod = 1u64 << pexp;
         let c1 = prod / 2;
         let c2 = prod / 2;
@@ -86,24 +99,25 @@ proptest! {
             .collect();
         cores.sort_unstable();
         cores.dedup();
-        prop_assert_eq!(cores.len() as u64, c1 + c2);
-    }
+        assert_eq!(cores.len() as u64, c1 + c2);
+    });
+}
 
-    #[test]
-    fn data_centric_never_loses_to_baseline_on_matched_patterns(
-        pexp in 2u32..5,
-    ) {
+#[test]
+fn data_centric_never_loses_to_baseline_on_matched_patterns() {
+    forall(8, |rng| {
         use insitu::run_modeled;
         use insitu_fabric::TrafficClass;
+        let pexp = rng.range_u32(2, 5);
         let prod = 1u64 << pexp;
         let cons = prod / 2;
         let mut s = concurrent_scenario(prod, cons, 4, pattern_pairs(&[2, 2, 2])[0]);
         s.cores_per_node = 4;
         let rr = run_modeled(&s, MappingStrategy::RoundRobin);
         let dc = run_modeled(&s, MappingStrategy::DataCentric);
-        prop_assert!(
+        assert!(
             dc.ledger.network_bytes(TrafficClass::InterApp)
                 <= rr.ledger.network_bytes(TrafficClass::InterApp)
         );
-    }
+    });
 }

@@ -3,9 +3,9 @@
 //! Every client owns an unbounded inbox; `send` never blocks (DART's
 //! asynchronous RPC abstraction hides buffer management from the caller).
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use insitu_fabric::ClientId;
+use insitu_util::channel::{Receiver, RecvTimeoutError, Sender};
+use insitu_util::Bytes;
 use std::time::Duration;
 
 /// A message delivered to a client's inbox.
@@ -32,7 +32,7 @@ impl Mailbox {
         let mut boxes = Vec::with_capacity(n as usize);
         let mut senders = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = insitu_util::channel::unbounded();
             senders.push(tx.clone());
             boxes.push(Mailbox { rx, tx });
         }
@@ -58,7 +58,7 @@ impl Mailbox {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Msg> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv()
     }
 
     /// Number of queued messages.
@@ -85,7 +85,11 @@ mod tests {
     fn send_and_recv() {
         let (boxes, senders) = Mailbox::create_all(2);
         senders[1]
-            .send(Msg { src: 0, tag: 7, payload: Bytes::from_static(b"hi") })
+            .send(Msg {
+                src: 0,
+                tag: 7,
+                payload: Bytes::from_static(b"hi"),
+            })
             .unwrap();
         let m = boxes[1].recv();
         assert_eq!(m.src, 0);
@@ -97,7 +101,13 @@ mod tests {
     fn fifo_per_sender() {
         let (boxes, senders) = Mailbox::create_all(1);
         for i in 0..10u64 {
-            senders[0].send(Msg { src: 0, tag: i, payload: Bytes::new() }).unwrap();
+            senders[0]
+                .send(Msg {
+                    src: 0,
+                    tag: i,
+                    payload: Bytes::new(),
+                })
+                .unwrap();
         }
         for i in 0..10u64 {
             assert_eq!(boxes[0].recv().tag, i);
@@ -122,7 +132,12 @@ mod tests {
         let (boxes, senders) = Mailbox::create_all(2);
         let tx = senders[0].clone();
         let h = std::thread::spawn(move || {
-            tx.send(Msg { src: 1, tag: 42, payload: Bytes::from_static(b"x") }).unwrap();
+            tx.send(Msg {
+                src: 1,
+                tag: 42,
+                payload: Bytes::from_static(b"x"),
+            })
+            .unwrap();
         });
         let m = boxes[0].recv();
         h.join().unwrap();

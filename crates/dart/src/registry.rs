@@ -8,10 +8,10 @@
 //! concurrent coupling, where a consumer's `get` may race the producer's
 //! `put`.
 
-use bytes::Bytes;
 use insitu_fabric::ClientId;
-use parking_lot::{Condvar, Mutex};
+use insitu_util::Bytes;
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Key of a registered buffer. CoDS composes `(name_hash, version, piece)`;
@@ -51,24 +51,33 @@ impl BufferRegistry {
 
     /// Register (or replace) a buffer and wake any waiters.
     pub fn register(&self, key: BufKey, owner: ClientId, data: Bytes) {
-        self.table.lock().insert(key, BufferHandle { owner, data });
+        self.table
+            .lock()
+            .unwrap()
+            .insert(key, BufferHandle { owner, data });
         self.arrived.notify_all();
     }
 
     /// Non-blocking lookup.
     pub fn get(&self, key: &BufKey) -> Option<BufferHandle> {
-        self.table.lock().get(key).cloned()
+        self.table.lock().unwrap().get(key).cloned()
     }
 
     /// Block until `key` is registered, up to `timeout`. `None` on timeout.
     pub fn wait_for(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         loop {
             if let Some(h) = table.get(key) {
                 return Some(h.clone());
             }
-            if self.arrived.wait_until(&mut table, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self.arrived.wait_timeout(table, deadline - now).unwrap();
+            table = guard;
+            if res.timed_out() {
                 return table.get(key).cloned();
             }
         }
@@ -76,14 +85,14 @@ impl BufferRegistry {
 
     /// Remove a buffer (e.g. when a version is garbage collected).
     pub fn unregister(&self, key: &BufKey) -> Option<BufferHandle> {
-        self.table.lock().remove(key)
+        self.table.lock().unwrap().remove(key)
     }
 
     /// Remove every buffer whose version is strictly below `min_version`
     /// for the given name hash. Returns `(owner, bytes)` of each removed
     /// buffer so callers can release per-node staging accounting.
     pub fn evict_below(&self, name: u64, min_version: u64) -> Vec<(ClientId, u64)> {
-        let mut t = self.table.lock();
+        let mut t = self.table.lock().unwrap();
         let mut removed = Vec::new();
         t.retain(|k, h| {
             let keep = k.name != name || k.version >= min_version;
@@ -97,12 +106,12 @@ impl BufferRegistry {
 
     /// Number of registered buffers.
     pub fn len(&self) -> usize {
-        self.table.lock().len()
+        self.table.lock().unwrap().len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.lock().is_empty()
+        self.table.lock().unwrap().is_empty()
     }
 }
 
@@ -112,7 +121,11 @@ mod tests {
     use std::sync::Arc;
 
     fn key(n: u64) -> BufKey {
-        BufKey { name: n, version: 0, piece: 0 }
+        BufKey {
+            name: n,
+            version: 0,
+            piece: 0,
+        }
     }
 
     #[test]
@@ -143,7 +156,8 @@ mod tests {
         let r = Arc::new(BufferRegistry::new());
         let r2 = Arc::clone(&r);
         let waiter = std::thread::spawn(move || {
-            r2.wait_for(&key(7), Duration::from_secs(5)).expect("producer must arrive")
+            r2.wait_for(&key(7), Duration::from_secs(5))
+                .expect("producer must arrive")
         });
         std::thread::sleep(Duration::from_millis(20));
         r.register(key(7), 11, Bytes::from_static(b"data"));
@@ -164,8 +178,24 @@ mod tests {
     fn evict_below_respects_name_and_version() {
         let r = BufferRegistry::new();
         for v in 0..5u64 {
-            r.register(BufKey { name: 1, version: v, piece: 0 }, v as u32, Bytes::from(vec![0u8; 4]));
-            r.register(BufKey { name: 2, version: v, piece: 0 }, 0, Bytes::new());
+            r.register(
+                BufKey {
+                    name: 1,
+                    version: v,
+                    piece: 0,
+                },
+                v as u32,
+                Bytes::from(vec![0u8; 4]),
+            );
+            r.register(
+                BufKey {
+                    name: 2,
+                    version: v,
+                    piece: 0,
+                },
+                0,
+                Bytes::new(),
+            );
         }
         let removed = r.evict_below(1, 3);
         assert_eq!(removed.len(), 3);
@@ -174,8 +204,20 @@ mod tests {
         let owners: std::collections::HashSet<u32> = removed.iter().map(|&(o, _)| o).collect();
         assert_eq!(owners, [0u32, 1, 2].into_iter().collect());
         assert_eq!(r.len(), 7);
-        assert!(r.get(&BufKey { name: 1, version: 3, piece: 0 }).is_some());
-        assert!(r.get(&BufKey { name: 2, version: 0, piece: 0 }).is_some());
+        assert!(r
+            .get(&BufKey {
+                name: 1,
+                version: 3,
+                piece: 0
+            })
+            .is_some());
+        assert!(r
+            .get(&BufKey {
+                name: 2,
+                version: 0,
+                piece: 0
+            })
+            .is_some());
     }
 
     #[test]

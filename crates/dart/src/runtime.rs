@@ -1,29 +1,48 @@
 //! The HybridDART runtime: endpoints, transport selection and accounting.
 
 use crate::mailbox::{Mailbox, Msg};
-use crate::registry::BufferRegistry;
-use bytes::Bytes;
-use crossbeam::channel::Sender;
+use crate::registry::{BufKey, BufferHandle, BufferRegistry};
 use insitu_fabric::{ClientId, Locality, Placement, TrafficClass, TransferLedger};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use insitu_telemetry::{Counter, Histogram, Recorder};
+use insitu_util::channel::Sender;
+use insitu_util::Bytes;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The shared communication runtime for one workflow execution.
 ///
 /// Holds the placement (to select transports), the transfer ledger (to
 /// account every byte), the message senders of all endpoints and the
 /// one-sided buffer registry. Cheap to clone via `Arc`.
+///
+/// The runtime is also the telemetry injection point for the data plane:
+/// construct with [`DartRuntime::with_recorder`] and every layer above
+/// (CoDS, the executors) records through [`DartRuntime::recorder`].
 pub struct DartRuntime {
     placement: Arc<Placement>,
     ledger: Arc<TransferLedger>,
     senders: Vec<Sender<Msg>>,
     mailboxes: Vec<Mutex<Option<Mailbox>>>,
     registry: BufferRegistry,
+    recorder: Recorder,
+    msgs_sent: Counter,
+    transport_shm: Counter,
+    transport_net: Counter,
+    pull_wait_us: Histogram,
 }
 
 impl DartRuntime {
-    /// Build a runtime for every client of `placement`.
+    /// Build a runtime for every client of `placement`, without telemetry.
     pub fn new(placement: Arc<Placement>, ledger: Arc<TransferLedger>) -> Arc<Self> {
+        Self::with_recorder(placement, ledger, Recorder::disabled())
+    }
+
+    /// Build a runtime whose transports and pulls record into `recorder`.
+    pub fn with_recorder(
+        placement: Arc<Placement>,
+        ledger: Arc<TransferLedger>,
+        recorder: Recorder,
+    ) -> Arc<Self> {
         let n = placement.num_clients();
         let (boxes, senders) = Mailbox::create_all(n);
         Arc::new(DartRuntime {
@@ -32,6 +51,11 @@ impl DartRuntime {
             senders,
             mailboxes: boxes.into_iter().map(|b| Mutex::new(Some(b))).collect(),
             registry: BufferRegistry::new(),
+            msgs_sent: recorder.counter("dart.msgs_sent"),
+            transport_shm: recorder.counter("dart.transport.shm"),
+            transport_net: recorder.counter("dart.transport.net"),
+            pull_wait_us: recorder.histogram("dart.pull_wait_us"),
+            recorder,
         })
     }
 
@@ -48,6 +72,12 @@ impl DartRuntime {
     /// The one-sided buffer registry.
     pub fn registry(&self) -> &BufferRegistry {
         &self.registry
+    }
+
+    /// The telemetry recorder this runtime was built with (disabled by
+    /// default). Layers above the transport share it.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// HybridDART's transport selection: shared memory when the two
@@ -72,6 +102,10 @@ impl DartRuntime {
         bytes: u64,
     ) -> Locality {
         let loc = self.transport(from, to);
+        match loc {
+            Locality::SharedMemory => self.transport_shm.inc(),
+            Locality::Network => self.transport_net.inc(),
+        }
         self.ledger.record(app, class, loc, bytes);
         loc
     }
@@ -88,15 +122,30 @@ impl DartRuntime {
         payload: Bytes,
     ) {
         self.account(app, class, from, to, payload.len() as u64);
+        self.msgs_sent.inc();
         self.senders[to as usize]
-            .send(Msg { src: from, tag, payload })
+            .send(Msg {
+                src: from,
+                tag,
+                payload,
+            })
             .expect("receiver mailbox dropped");
+    }
+
+    /// Receiver-driven pull: block until `key` is registered, timing the
+    /// wait into the `dart.pull_wait_us` histogram. `None` on timeout.
+    pub fn pull(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
+        let started = Instant::now();
+        let handle = self.registry.wait_for(key, timeout);
+        self.pull_wait_us
+            .record(started.elapsed().as_micros() as u64);
+        handle
     }
 
     /// Return a mailbox taken with [`Self::take_mailbox`] so a later task
     /// on the same core (a new wave's application) can take it again.
     pub fn return_mailbox(&self, client: ClientId, mailbox: Mailbox) {
-        let mut slot = self.mailboxes[client as usize].lock();
+        let mut slot = self.mailboxes[client as usize].lock().unwrap();
         assert!(slot.is_none(), "mailbox returned twice");
         *slot = Some(mailbox);
     }
@@ -109,6 +158,7 @@ impl DartRuntime {
     pub fn take_mailbox(&self, client: ClientId) -> Mailbox {
         self.mailboxes[client as usize]
             .lock()
+            .unwrap()
             .take()
             .expect("mailbox already taken")
     }
@@ -125,8 +175,10 @@ mod tests {
     use insitu_fabric::MachineSpec;
 
     fn runtime(nodes: u32, cores: u32, clients: u32) -> Arc<DartRuntime> {
-        let placement =
-            Arc::new(Placement::pack_sequential(MachineSpec::new(nodes, cores), clients));
+        let placement = Arc::new(Placement::pack_sequential(
+            MachineSpec::new(nodes, cores),
+            clients,
+        ));
         DartRuntime::new(placement, Arc::new(TransferLedger::new()))
     }
 
@@ -152,7 +204,14 @@ mod tests {
     fn send_delivers_and_accounts_class() {
         let rt = runtime(1, 4, 4);
         let mb = rt.take_mailbox(3);
-        rt.send(9, TrafficClass::Control, 0, 3, 5, Bytes::from_static(b"task"));
+        rt.send(
+            9,
+            TrafficClass::Control,
+            0,
+            3,
+            5,
+            Bytes::from_static(b"task"),
+        );
         let m = mb.recv();
         assert_eq!(m.src, 0);
         assert_eq!(m.tag, 5);
@@ -180,11 +239,58 @@ mod tests {
     fn registry_shared_through_runtime() {
         let rt = runtime(2, 2, 4);
         rt.registry().register(
-            crate::BufKey { name: 1, version: 0, piece: 0 },
+            crate::BufKey {
+                name: 1,
+                version: 0,
+                piece: 0,
+            },
             2,
             Bytes::from_static(b"xyz"),
         );
-        let h = rt.registry().get(&crate::BufKey { name: 1, version: 0, piece: 0 }).unwrap();
+        let h = rt
+            .registry()
+            .get(&crate::BufKey {
+                name: 1,
+                version: 0,
+                piece: 0,
+            })
+            .unwrap();
         assert_eq!(h.owner, 2);
+    }
+
+    #[test]
+    fn telemetry_counts_transports_and_messages() {
+        let rec = Recorder::enabled();
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let rt =
+            DartRuntime::with_recorder(placement, Arc::new(TransferLedger::new()), rec.clone());
+        let mb = rt.take_mailbox(1);
+        rt.send(0, TrafficClass::Control, 0, 1, 1, Bytes::from_static(b"a")); // colocated
+        rt.account(0, TrafficClass::InterApp, 0, 2, 10); // cross-node
+        mb.recv();
+        rt.registry().register(
+            BufKey {
+                name: 1,
+                version: 0,
+                piece: 0,
+            },
+            0,
+            Bytes::new(),
+        );
+        assert!(rt
+            .pull(
+                &BufKey {
+                    name: 1,
+                    version: 0,
+                    piece: 0
+                },
+                Duration::from_secs(1)
+            )
+            .is_some());
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("dart.msgs_sent"), 1);
+        assert_eq!(snap.counter("dart.transport.shm"), 1);
+        assert_eq!(snap.counter("dart.transport.net"), 1);
+        assert_eq!(snap.histograms["dart.pull_wait_us"].count, 1);
     }
 }

@@ -18,7 +18,11 @@ pub type Pt = [u64; MAX_DIMS];
 /// Build a [`Pt`] from a slice of at most [`MAX_DIMS`] coordinates.
 #[inline]
 pub fn pt(coords: &[u64]) -> Pt {
-    assert!(coords.len() <= MAX_DIMS, "too many dimensions: {}", coords.len());
+    assert!(
+        coords.len() <= MAX_DIMS,
+        "too many dimensions: {}",
+        coords.len()
+    );
     let mut p = [0u64; MAX_DIMS];
     p[..coords.len()].copy_from_slice(coords);
     p
@@ -61,11 +65,24 @@ impl BoundingBox {
     /// empty, or if `lb[d] > ub[d]` for any dimension.
     pub fn new(lb: &[u64], ub: &[u64]) -> Self {
         assert_eq!(lb.len(), ub.len(), "bound rank mismatch");
-        assert!(!lb.is_empty() && lb.len() <= MAX_DIMS, "bad rank {}", lb.len());
+        assert!(
+            !lb.is_empty() && lb.len() <= MAX_DIMS,
+            "bad rank {}",
+            lb.len()
+        );
         for d in 0..lb.len() {
-            assert!(lb[d] <= ub[d], "empty extent in dim {d}: {} > {}", lb[d], ub[d]);
+            assert!(
+                lb[d] <= ub[d],
+                "empty extent in dim {d}: {} > {}",
+                lb[d],
+                ub[d]
+            );
         }
-        BoundingBox { ndim: lb.len() as u8, lb: pt(lb), ub: pt(ub) }
+        BoundingBox {
+            ndim: lb.len() as u8,
+            lb: pt(lb),
+            ub: pt(ub),
+        }
     }
 
     /// A box spanning `[0, size_d - 1]` in each dimension.
@@ -74,10 +91,13 @@ impl BoundingBox {
     /// Panics if any size is zero.
     pub fn from_sizes(sizes: &[u64]) -> Self {
         let lb = vec![0u64; sizes.len()];
-        let ub: Vec<u64> = sizes.iter().map(|&s| {
-            assert!(s > 0, "zero-size dimension");
-            s - 1
-        }).collect();
+        let ub: Vec<u64> = sizes
+            .iter()
+            .map(|&s| {
+                assert!(s > 0, "zero-size dimension");
+                s - 1
+            })
+            .collect();
         Self::new(&lb, &ub)
     }
 
@@ -150,7 +170,11 @@ impl BoundingBox {
             lb[d] = lo;
             ub[d] = hi;
         }
-        Some(BoundingBox { ndim: self.ndim, lb, ub })
+        Some(BoundingBox {
+            ndim: self.ndim,
+            lb,
+            ub,
+        })
     }
 
     /// Smallest box containing both inputs.
@@ -162,7 +186,11 @@ impl BoundingBox {
             lb[d] = self.lb[d].min(other.lb[d]);
             ub[d] = self.ub[d].max(other.ub[d]);
         }
-        BoundingBox { ndim: self.ndim, lb, ub }
+        BoundingBox {
+            ndim: self.ndim,
+            lb,
+            ub,
+        }
     }
 
     /// Translate the box so coordinates become relative to `origin`.
@@ -177,13 +205,21 @@ impl BoundingBox {
             lb[d] = self.lb[d] - origin[d];
             ub[d] = self.ub[d] - origin[d];
         }
-        BoundingBox { ndim: self.ndim, lb, ub }
+        BoundingBox {
+            ndim: self.ndim,
+            lb,
+            ub,
+        }
     }
 
     /// Iterate all lattice points of the box in row-major order (last
     /// dimension fastest). Intended for tests and small regions.
     pub fn iter_points(&self) -> PointIter {
-        PointIter { bbox: *self, cur: self.lb, done: false }
+        PointIter {
+            bbox: *self,
+            cur: self.lb,
+            done: false,
+        }
     }
 }
 

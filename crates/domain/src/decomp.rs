@@ -70,7 +70,8 @@ impl Decomposition {
     /// Effective block extent in dimension `d`.
     #[inline]
     pub fn block_extent(&self, d: usize) -> u64 {
-        self.dist.block_extent(d, self.domain.extent(d), self.grid.dim(d))
+        self.dist
+            .block_extent(d, self.domain.extent(d), self.grid.dim(d))
     }
 
     /// Rank owning the lattice point `p`.
@@ -151,7 +152,10 @@ impl Decomposition {
                 coords[d] = g;
                 cells *= c as u128;
             }
-            out.push(RankOverlap { rank: self.grid.rank_of(&coords), cells });
+            out.push(RankOverlap {
+                rank: self.grid.rank_of(&coords),
+                cells,
+            });
             let mut d = ndim;
             loop {
                 if d == 0 {
@@ -242,7 +246,11 @@ mod tests {
     use super::*;
 
     fn d3(sizes: &[u64], procs: &[u64], dist: Distribution) -> Decomposition {
-        Decomposition::new(BoundingBox::from_sizes(sizes), ProcessGrid::new(procs), dist)
+        Decomposition::new(
+            BoundingBox::from_sizes(sizes),
+            ProcessGrid::new(procs),
+            dist,
+        )
     }
 
     #[test]
@@ -381,7 +389,11 @@ mod tests {
     #[test]
     fn block_cyclic_3d_paper_scale_shape() {
         // A miniature of the paper's 3-D configuration.
-        let dec = d3(&[64, 64, 64], &[4, 4, 4], Distribution::block_cyclic(&[8, 8, 8]));
+        let dec = d3(
+            &[64, 64, 64],
+            &[4, 4, 4],
+            Distribution::block_cyclic(&[8, 8, 8]),
+        );
         assert_eq!(dec.num_ranks(), 64);
         for r in [0, 13, 63] {
             assert_eq!(dec.rank_cells(r), (64u128 * 64 * 64) / 64);

@@ -107,7 +107,13 @@ impl OwnedRanges {
         if start + b <= lo {
             start += period;
         }
-        OwnedRanges { b, period, hi, next_start: start, done: lo > hi }
+        OwnedRanges {
+            b,
+            period,
+            hi,
+            next_start: start,
+            done: lo > hi,
+        }
     }
 }
 
@@ -188,8 +194,7 @@ mod tests {
                                 assert!(s <= e && *s >= lo && *e <= hi);
                                 cover.extend(*s..=*e);
                             }
-                            let expect: Vec<u64> =
-                                (lo..=hi).filter(|x| (x / b) % p == g).collect();
+                            let expect: Vec<u64> = (lo..=hi).filter(|x| (x / b) % p == g).collect();
                             assert_eq!(cover, expect, "b={b} p={p} g={g} [{lo},{hi}]");
                         }
                     }

@@ -19,11 +19,18 @@ impl ProcessGrid {
     /// Panics on an empty slice, more than [`MAX_DIMS`] dimensions, or a
     /// zero count in any dimension.
     pub fn new(dims: &[u64]) -> Self {
-        assert!(!dims.is_empty() && dims.len() <= MAX_DIMS, "bad rank {}", dims.len());
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "bad rank {}",
+            dims.len()
+        );
         for (d, &p) in dims.iter().enumerate() {
             assert!(p > 0, "zero processes in dim {d}");
         }
-        ProcessGrid { ndim: dims.len() as u8, dims: pt(dims) }
+        ProcessGrid {
+            ndim: dims.len() as u8,
+            dims: pt(dims),
+        }
     }
 
     /// Number of dimensions.
@@ -67,7 +74,11 @@ impl ProcessGrid {
         debug_assert!(coords.len() >= self.ndim());
         let mut rank = 0u64;
         for d in 0..self.ndim() {
-            assert!(coords[d] < self.dims[d], "grid coord {} out of range in dim {d}", coords[d]);
+            assert!(
+                coords[d] < self.dims[d],
+                "grid coord {} out of range in dim {d}",
+                coords[d]
+            );
             rank = rank * self.dims[d] + coords[d];
         }
         rank

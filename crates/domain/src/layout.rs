@@ -38,8 +38,16 @@ pub fn copy_region<T: Copy>(
     dst_box: &BoundingBox,
     region: &BoundingBox,
 ) {
-    assert_eq!(src.len() as u128, src_box.num_cells(), "src length mismatch");
-    assert_eq!(dst.len() as u128, dst_box.num_cells(), "dst length mismatch");
+    assert_eq!(
+        src.len() as u128,
+        src_box.num_cells(),
+        "src length mismatch"
+    );
+    assert_eq!(
+        dst.len() as u128,
+        dst_box.num_cells(),
+        "dst length mismatch"
+    );
     assert!(src_box.contains_box(region), "region outside src box");
     assert!(dst_box.contains_box(region), "region outside dst box");
 
@@ -91,8 +99,16 @@ pub fn copy_region_bytes(
     region: &BoundingBox,
     elem_bytes: usize,
 ) {
-    assert_eq!(src.len() as u128, src_box.num_cells() * elem_bytes as u128, "src length mismatch");
-    assert_eq!(dst.len() as u128, dst_box.num_cells() * elem_bytes as u128, "dst length mismatch");
+    assert_eq!(
+        src.len() as u128,
+        src_box.num_cells() * elem_bytes as u128,
+        "src length mismatch"
+    );
+    assert_eq!(
+        dst.len() as u128,
+        dst_box.num_cells() * elem_bytes as u128,
+        "dst length mismatch"
+    );
     assert!(src_box.contains_box(region), "region outside src box");
     assert!(dst_box.contains_box(region), "region outside dst box");
 
@@ -170,7 +186,11 @@ mod tests {
         let mut dst = vec![0u64; dst_box.num_cells() as usize];
         copy_region(&src, &src_box, &mut dst, &dst_box, &region);
         for p in dst_box.iter_points() {
-            let expect = if region.contains_point(&p) { tag(&p[..2]) } else { 0 };
+            let expect = if region.contains_point(&p) {
+                tag(&p[..2])
+            } else {
+                0
+            };
             assert_eq!(dst[linear_index(&dst_box, &p[..2])], expect, "at {p:?}");
         }
     }

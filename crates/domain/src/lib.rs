@@ -20,7 +20,6 @@
 //!   intra-application communication.
 
 #![warn(missing_docs)]
-
 #![allow(clippy::needless_range_loop)] // odometer/index loops read clearer with explicit dims
 
 pub mod bbox;

@@ -59,7 +59,12 @@ pub fn halo_exchanges(dec: &Decomposition, halo: u64) -> Vec<HaloExchange> {
                 .map(|dd| owned[dd] as u128)
                 .product();
             let depth = (halo as u128).min(owned[d] as u128);
-            out.push(HaloExchange { rank_a: rank, rank_b: neighbor, dim: d, cells: face * depth });
+            out.push(HaloExchange {
+                rank_a: rank,
+                rank_b: neighbor,
+                dim: d,
+                cells: face * depth,
+            });
         }
     }
     out
@@ -78,7 +83,11 @@ mod tests {
     use crate::grid::ProcessGrid;
 
     fn dec(sizes: &[u64], procs: &[u64], dist: Distribution) -> Decomposition {
-        Decomposition::new(BoundingBox::from_sizes(sizes), ProcessGrid::new(procs), dist)
+        Decomposition::new(
+            BoundingBox::from_sizes(sizes),
+            ProcessGrid::new(procs),
+            dist,
+        )
     }
 
     #[test]

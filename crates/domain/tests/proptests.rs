@@ -4,61 +4,86 @@ use insitu_domain::bbox::pt;
 use insitu_domain::dist::count_owned_in_range;
 use insitu_domain::layout::{copy_region, fill_with, linear_index};
 use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
-use proptest::prelude::*;
+use insitu_util::check::forall;
+use insitu_util::SplitMix64;
 
-fn arb_box_2d(max: u64) -> impl Strategy<Value = BoundingBox> {
-    (0..max, 0..max, 0..max, 0..max).prop_map(move |(a, b, c, d)| {
-        BoundingBox::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)])
-    })
+fn arb_box_2d(rng: &mut SplitMix64, max: u64) -> BoundingBox {
+    let a = rng.range_u64(0, max);
+    let b = rng.range_u64(0, max);
+    let c = rng.range_u64(0, max);
+    let d = rng.range_u64(0, max);
+    BoundingBox::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)])
 }
 
-fn arb_dist() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        Just(Distribution::Blocked),
-        Just(Distribution::Cyclic),
-        (1u64..5, 1u64..5).prop_map(|(a, b)| Distribution::block_cyclic(&[a, b])),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn intersect_commutative_and_contained(a in arb_box_2d(32), b in arb_box_2d(32)) {
-        let ab = a.intersect(&b);
-        let ba = b.intersect(&a);
-        prop_assert_eq!(ab, ba);
-        if let Some(i) = ab {
-            prop_assert!(a.contains_box(&i));
-            prop_assert!(b.contains_box(&i));
-            prop_assert!(i.num_cells() <= a.num_cells().min(b.num_cells()));
+fn arb_dist(rng: &mut SplitMix64) -> Distribution {
+    match rng.range_u32(0, 3) {
+        0 => Distribution::Blocked,
+        1 => Distribution::Cyclic,
+        _ => {
+            let a = rng.range_u64(1, 5);
+            let b = rng.range_u64(1, 5);
+            Distribution::block_cyclic(&[a, b])
         }
     }
+}
 
-    #[test]
-    fn intersect_idempotent(a in arb_box_2d(32)) {
-        prop_assert_eq!(a.intersect(&a), Some(a));
-    }
+#[test]
+fn intersect_commutative_and_contained() {
+    forall(256, |rng| {
+        let a = arb_box_2d(rng, 32);
+        let b = arb_box_2d(rng, 32);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            assert!(a.contains_box(&i));
+            assert!(b.contains_box(&i));
+            assert!(i.num_cells() <= a.num_cells().min(b.num_cells()));
+        }
+    });
+}
 
-    #[test]
-    fn hull_contains_both(a in arb_box_2d(32), b in arb_box_2d(32)) {
+#[test]
+fn intersect_idempotent() {
+    forall(256, |rng| {
+        let a = arb_box_2d(rng, 32);
+        assert_eq!(a.intersect(&a), Some(a));
+    });
+}
+
+#[test]
+fn hull_contains_both() {
+    forall(256, |rng| {
+        let a = arb_box_2d(rng, 32);
+        let b = arb_box_2d(rng, 32);
         let h = a.hull(&b);
-        prop_assert!(h.contains_box(&a));
-        prop_assert!(h.contains_box(&b));
-    }
+        assert!(h.contains_box(&a));
+        assert!(h.contains_box(&b));
+    });
+}
 
-    #[test]
-    fn count_owned_matches_brute(
-        lo in 0u64..40, len in 0u64..40, b in 1u64..6, p in 1u64..6, g_seed in 0u64..6,
-    ) {
-        let g = g_seed % p;
+#[test]
+fn count_owned_matches_brute() {
+    forall(256, |rng| {
+        let lo = rng.range_u64(0, 40);
+        let len = rng.range_u64(0, 40);
+        let b = rng.range_u64(1, 6);
+        let p = rng.range_u64(1, 6);
+        let g = rng.range_u64(0, 6) % p;
         let hi = lo + len;
         let brute = (lo..=hi).filter(|x| (x / b) % p == g).count() as u64;
-        prop_assert_eq!(count_owned_in_range(lo, hi, b, p, g), brute);
-    }
+        assert_eq!(count_owned_in_range(lo, hi, b, p, g), brute);
+    });
+}
 
-    #[test]
-    fn decomposition_tiles_domain(
-        sx in 1u64..24, sy in 1u64..24, px in 1u64..4, py in 1u64..4, dist in arb_dist(),
-    ) {
+#[test]
+fn decomposition_tiles_domain() {
+    forall(64, |rng| {
+        let sx = rng.range_u64(1, 24);
+        let sy = rng.range_u64(1, 24);
+        let px = rng.range_u64(1, 4);
+        let py = rng.range_u64(1, 4);
+        let dist = arb_dist(rng);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[sx, sy]),
             ProcessGrid::new(&[px, py]),
@@ -66,18 +91,23 @@ proptest! {
         );
         // Every cell owned by exactly one rank; rank_cells sums to volume.
         let total: u128 = (0..dec.num_ranks()).map(|r| dec.rank_cells(r)).sum();
-        prop_assert_eq!(total, dec.domain().num_cells());
+        assert_eq!(total, dec.domain().num_cells());
         for ptt in dec.domain().iter_points() {
             let owner = dec.owner_of_point(&ptt[..2]);
-            prop_assert!(owner < dec.num_ranks());
+            assert!(owner < dec.num_ranks());
         }
-    }
+    });
+}
 
-    #[test]
-    fn overlaps_consistent_with_overlap_cells(
-        sx in 4u64..20, sy in 4u64..20, px in 1u64..4, py in 1u64..4,
-        dist in arb_dist(), q in arb_box_2d(24),
-    ) {
+#[test]
+fn overlaps_consistent_with_overlap_cells() {
+    forall(64, |rng| {
+        let sx = rng.range_u64(4, 20);
+        let sy = rng.range_u64(4, 20);
+        let px = rng.range_u64(1, 4);
+        let py = rng.range_u64(1, 4);
+        let dist = arb_dist(rng);
+        let q = arb_box_2d(rng, 24);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[sx, sy]),
             ProcessGrid::new(&[px, py]),
@@ -86,24 +116,28 @@ proptest! {
         let overlaps = dec.overlaps(&q);
         // Reported entries match per-rank closed form and are non-zero.
         for o in &overlaps {
-            prop_assert!(o.cells > 0);
-            prop_assert_eq!(o.cells, dec.overlap_cells(o.rank, &q));
+            assert!(o.cells > 0);
+            assert_eq!(o.cells, dec.overlap_cells(o.rank, &q));
         }
         // Non-reported ranks overlap nothing.
-        let reported: std::collections::HashSet<u64> =
-            overlaps.iter().map(|o| o.rank).collect();
+        let reported: std::collections::HashSet<u64> = overlaps.iter().map(|o| o.rank).collect();
         for r in 0..dec.num_ranks() {
             if !reported.contains(&r) {
-                prop_assert_eq!(dec.overlap_cells(r, &q), 0);
+                assert_eq!(dec.overlap_cells(r, &q), 0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pieces_partition_overlap(
-        sx in 4u64..16, sy in 4u64..16, px in 1u64..4, py in 1u64..4,
-        dist in arb_dist(), q in arb_box_2d(20),
-    ) {
+#[test]
+fn pieces_partition_overlap() {
+    forall(64, |rng| {
+        let sx = rng.range_u64(4, 16);
+        let sy = rng.range_u64(4, 16);
+        let px = rng.range_u64(1, 4);
+        let py = rng.range_u64(1, 4);
+        let dist = arb_dist(rng);
+        let q = arb_box_2d(rng, 20);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[sx, sy]),
             ProcessGrid::new(&[px, py]),
@@ -112,19 +146,23 @@ proptest! {
         for r in 0..dec.num_ranks() {
             let pieces = dec.pieces(r, &q);
             let vol: u128 = pieces.iter().map(|p| p.num_cells()).sum();
-            prop_assert_eq!(vol, dec.overlap_cells(r, &q));
+            assert_eq!(vol, dec.overlap_cells(r, &q));
             for (i, a) in pieces.iter().enumerate() {
                 for b in &pieces[i + 1..] {
-                    prop_assert!(a.intersect(b).is_none());
+                    assert!(a.intersect(b).is_none());
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn copy_region_moves_exactly_region(
-        ax in 0u64..6, ay in 0u64..6, ex in 1u64..6, ey in 1u64..6,
-    ) {
+#[test]
+fn copy_region_moves_exactly_region() {
+    forall(128, |rng| {
+        let ax = rng.range_u64(0, 6);
+        let ay = rng.range_u64(0, 6);
+        let ex = rng.range_u64(1, 6);
+        let ey = rng.range_u64(1, 6);
         // src and dst boxes both contain the region; src larger.
         let region = BoundingBox::new(&[ax + 2, ay + 2], &[ax + 1 + ex, ay + 1 + ey]);
         let src_box = BoundingBox::new(&[0, 0], &[15, 15]);
@@ -136,17 +174,22 @@ proptest! {
         for p in dst_box.iter_points() {
             let got = dst[linear_index(&dst_box, &p[..2])];
             if region.contains_point(&p) {
-                prop_assert_eq!(got, tag(&p[..2]));
+                assert_eq!(got, tag(&p[..2]));
             } else {
-                prop_assert_eq!(got, 0);
+                assert_eq!(got, 0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn owner_of_point_agrees_with_pieces(
-        sx in 2u64..12, sy in 2u64..12, px in 1u64..3, py in 1u64..3, dist in arb_dist(),
-    ) {
+#[test]
+fn owner_of_point_agrees_with_pieces() {
+    forall(64, |rng| {
+        let sx = rng.range_u64(2, 12);
+        let sy = rng.range_u64(2, 12);
+        let px = rng.range_u64(1, 3);
+        let py = rng.range_u64(1, 3);
+        let dist = arb_dist(rng);
         let dec = Decomposition::new(
             BoundingBox::from_sizes(&[sx, sy]),
             ProcessGrid::new(&[px, py]),
@@ -155,9 +198,9 @@ proptest! {
         for p in dec.domain().iter_points() {
             let owner = dec.owner_of_point(&p[..2]);
             let cell = BoundingBox::new(&[p[0], p[1]], &[p[0], p[1]]);
-            prop_assert_eq!(dec.overlap_cells(owner, &cell), 1);
+            assert_eq!(dec.overlap_cells(owner, &cell), 1);
         }
         // silence unused import lint for pt in some configurations
         let _ = pt(&[0, 0]);
-    }
+    });
 }

@@ -7,10 +7,16 @@
 //! (which really moves bytes) and the modeled executor (which only counts
 //! them) record into it, classified by traffic class, application id and
 //! locality.
+//!
+//! When built with a live [`Recorder`], the ledger mirrors every record
+//! into the telemetry registry as `fabric.bytes.<class>.<locality>` and
+//! `fabric.transfers.<class>.<locality>` counters, so metrics exports
+//! carry the same truth without a second accounting path.
 
-use parking_lot::Mutex;
+use insitu_telemetry::{Counter, Recorder};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// What a transfer is for. The evaluation separates inter-application
 /// coupling traffic from intra-application (stencil) exchanges; DHT
@@ -28,7 +34,8 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
-    const ALL: [TrafficClass; 4] = [
+    /// Every traffic class, in `idx` order.
+    pub const ALL: [TrafficClass; 4] = [
         TrafficClass::InterApp,
         TrafficClass::IntraApp,
         TrafficClass::Dht,
@@ -43,6 +50,16 @@ impl TrafficClass {
             TrafficClass::Control => 3,
         }
     }
+
+    /// Stable lowercase name, used in metric keys and JSON reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            TrafficClass::InterApp => "inter_app",
+            TrafficClass::IntraApp => "intra_app",
+            TrafficClass::Dht => "dht",
+            TrafficClass::Control => "control",
+        }
+    }
 }
 
 /// Whether a transfer stayed on-node (shared memory) or crossed the
@@ -55,8 +72,48 @@ pub enum Locality {
     Network,
 }
 
+impl Locality {
+    /// Both localities, in `idx` order.
+    pub const ALL: [Locality; 2] = [Locality::SharedMemory, Locality::Network];
+
+    fn idx(self) -> usize {
+        match self {
+            Locality::SharedMemory => 0,
+            Locality::Network => 1,
+        }
+    }
+
+    /// Stable lowercase name, used in metric keys and JSON reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Locality::SharedMemory => "shm",
+            Locality::Network => "net",
+        }
+    }
+}
+
+/// Telemetry counters mirroring the ledger, one pair per
+/// (class, locality) cell. Handles are resolved once at construction so
+/// the record path stays lock-free.
+struct Mirror {
+    bytes: [[Counter; 2]; 4],
+    transfers: [[Counter; 2]; 4],
+}
+
+impl Mirror {
+    fn new(recorder: &Recorder) -> Mirror {
+        let cell = |kind: &str, class: TrafficClass, loc: Locality| {
+            recorder.counter(&format!("fabric.{kind}.{}.{}", class.slug(), loc.slug()))
+        };
+        Mirror {
+            bytes: TrafficClass::ALL.map(|c| Locality::ALL.map(|l| cell("bytes", c, l))),
+            transfers: TrafficClass::ALL.map(|c| Locality::ALL.map(|l| cell("transfers", c, l))),
+        }
+    }
+}
+
 /// Thread-safe accumulator of transferred bytes.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct TransferLedger {
     shm: [AtomicU64; 4],
     net: [AtomicU64; 4],
@@ -64,25 +121,71 @@ pub struct TransferLedger {
     // by Figs. 12-15. Kept under a mutex: recorded per transfer, not per
     // byte, so contention is negligible.
     per_app: Mutex<BTreeMap<(u32, TrafficClass, Locality), u64>>,
+    mirror: Option<Mirror>,
+}
+
+impl std::fmt::Debug for TransferLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferLedger")
+            .field("snapshot", &self.snapshot())
+            .field("mirrored", &self.mirror.is_some())
+            .finish()
+    }
 }
 
 impl TransferLedger {
-    /// New, empty ledger.
+    /// New, empty ledger without telemetry mirroring.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// New ledger that mirrors every record into `recorder`'s metrics
+    /// registry (no-op when the recorder is disabled).
+    pub fn with_recorder(recorder: &Recorder) -> Self {
+        TransferLedger {
+            mirror: recorder.is_enabled().then(|| Mirror::new(recorder)),
+            ..Self::default()
+        }
+    }
+
     /// Record `bytes` of traffic for application `app`.
     pub fn record(&self, app: u32, class: TrafficClass, locality: Locality, bytes: u64) {
-        if bytes == 0 {
+        self.record_repeated(app, class, locality, bytes, 1);
+    }
+
+    /// Record `times` identical transfers of `bytes` each in one call.
+    ///
+    /// The modeled executor uses this for per-iteration flows: byte totals
+    /// and transfer counts come out identical to `times` separate
+    /// [`TransferLedger::record`] calls, without the per-call overhead at
+    /// paper scale.
+    pub fn record_repeated(
+        &self,
+        app: u32,
+        class: TrafficClass,
+        locality: Locality,
+        bytes: u64,
+        times: u64,
+    ) {
+        if bytes == 0 || times == 0 {
             return;
         }
+        let total = bytes * times;
         match locality {
             Locality::SharedMemory => &self.shm[class.idx()],
             Locality::Network => &self.net[class.idx()],
         }
-        .fetch_add(bytes, Ordering::Relaxed);
-        *self.per_app.lock().entry((app, class, locality)).or_insert(0) += bytes;
+        .fetch_add(total, Ordering::Relaxed);
+        *self
+            .per_app
+            .lock()
+            .unwrap()
+            .entry((app, class, locality))
+            .or_insert(0) += total;
+        if let Some(mirror) = &self.mirror {
+            mirror.bytes[class.idx()][locality.idx()].add(total);
+            mirror.transfers[class.idx()][locality.idx()].add(times);
+        }
     }
 
     /// Immutable snapshot of all counters.
@@ -90,11 +193,14 @@ impl TransferLedger {
         LedgerSnapshot {
             shm: std::array::from_fn(|i| self.shm[i].load(Ordering::Relaxed)),
             net: std::array::from_fn(|i| self.net[i].load(Ordering::Relaxed)),
-            per_app: self.per_app.lock().clone(),
+            per_app: self.per_app.lock().unwrap().clone(),
         }
     }
 
     /// Reset every counter to zero.
+    ///
+    /// Mirrored telemetry counters are monotonic and are *not* reset; a
+    /// run that resets the ledger should use a fresh recorder as well.
     pub fn reset(&self) {
         for a in &self.shm {
             a.store(0, Ordering::Relaxed);
@@ -102,7 +208,7 @@ impl TransferLedger {
         for a in &self.net {
             a.store(0, Ordering::Relaxed);
         }
-        self.per_app.lock().clear();
+        self.per_app.lock().unwrap().clear();
     }
 }
 
@@ -132,7 +238,10 @@ impl LedgerSnapshot {
 
     /// All network bytes across classes.
     pub fn network_total(&self) -> u64 {
-        TrafficClass::ALL.iter().map(|&c| self.network_bytes(c)).sum()
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| self.network_bytes(c))
+            .sum()
     }
 
     /// All shared-memory bytes across classes.
@@ -142,7 +251,10 @@ impl LedgerSnapshot {
 
     /// Bytes recorded for one application, class and locality.
     pub fn app_bytes(&self, app: u32, class: TrafficClass, locality: Locality) -> u64 {
-        self.per_app.get(&(app, class, locality)).copied().unwrap_or(0)
+        self.per_app
+            .get(&(app, class, locality))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Fraction of `class` bytes that crossed the network (0 when no
@@ -183,8 +295,14 @@ mod tests {
         l.record(3, TrafficClass::IntraApp, Locality::Network, 5);
         l.record(4, TrafficClass::IntraApp, Locality::SharedMemory, 2);
         let s = l.snapshot();
-        assert_eq!(s.app_bytes(3, TrafficClass::IntraApp, Locality::Network), 15);
-        assert_eq!(s.app_bytes(4, TrafficClass::IntraApp, Locality::SharedMemory), 2);
+        assert_eq!(
+            s.app_bytes(3, TrafficClass::IntraApp, Locality::Network),
+            15
+        );
+        assert_eq!(
+            s.app_bytes(4, TrafficClass::IntraApp, Locality::SharedMemory),
+            2
+        );
         assert_eq!(s.app_bytes(9, TrafficClass::IntraApp, Locality::Network), 0);
     }
 
@@ -234,7 +352,50 @@ mod tests {
         let s = l.snapshot();
         assert_eq!(s.network_bytes(TrafficClass::InterApp), 8 * 1000 * 3);
         for t in 0..8 {
-            assert_eq!(s.app_bytes(t, TrafficClass::InterApp, Locality::Network), 3000);
+            assert_eq!(
+                s.app_bytes(t, TrafficClass::InterApp, Locality::Network),
+                3000
+            );
         }
+    }
+
+    #[test]
+    fn recorder_mirror_matches_ledger() {
+        let rec = Recorder::enabled();
+        let l = TransferLedger::with_recorder(&rec);
+        l.record(1, TrafficClass::InterApp, Locality::Network, 100);
+        l.record(1, TrafficClass::InterApp, Locality::Network, 50);
+        l.record(2, TrafficClass::Dht, Locality::SharedMemory, 64);
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("fabric.bytes.inter_app.net"), 150);
+        assert_eq!(snap.counter("fabric.transfers.inter_app.net"), 2);
+        assert_eq!(snap.counter("fabric.bytes.dht.shm"), 64);
+        assert_eq!(snap.counter("fabric.transfers.dht.shm"), 1);
+        assert_eq!(snap.counter("fabric.bytes.control.net"), 0);
+    }
+
+    #[test]
+    fn record_repeated_equivalent_to_loop() {
+        let rec = Recorder::enabled();
+        let l = TransferLedger::with_recorder(&rec);
+        l.record_repeated(1, TrafficClass::IntraApp, Locality::Network, 32, 5);
+        let s = l.snapshot();
+        assert_eq!(s.network_bytes(TrafficClass::IntraApp), 160);
+        assert_eq!(
+            s.app_bytes(1, TrafficClass::IntraApp, Locality::Network),
+            160
+        );
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("fabric.bytes.intra_app.net"), 160);
+        assert_eq!(snap.counter("fabric.transfers.intra_app.net"), 5);
+    }
+
+    #[test]
+    fn disabled_recorder_mirror_is_skipped() {
+        let rec = Recorder::disabled();
+        let l = TransferLedger::with_recorder(&rec);
+        l.record(1, TrafficClass::InterApp, Locality::Network, 10);
+        assert_eq!(l.snapshot().network_total(), 10);
+        assert!(rec.metrics_snapshot().counters.is_empty());
     }
 }

@@ -31,7 +31,10 @@ impl MachineSpec {
     /// Panics if either count is zero.
     pub fn new(nodes: u32, cores_per_node: u32) -> Self {
         assert!(nodes > 0 && cores_per_node > 0, "machine must be non-empty");
-        MachineSpec { nodes, cores_per_node }
+        MachineSpec {
+            nodes,
+            cores_per_node,
+        }
     }
 
     /// A machine with exactly enough 12-core (Jaguar-style) nodes for
@@ -148,7 +151,9 @@ impl Placement {
 
     /// Clients placed on `node`.
     pub fn clients_on(&self, node: NodeId) -> Vec<ClientId> {
-        (0..self.num_clients()).filter(|&c| self.node_of(c) == node).collect()
+        (0..self.num_clients())
+            .filter(|&c| self.node_of(c) == node)
+            .collect()
     }
 }
 

@@ -118,8 +118,7 @@ pub fn estimate_retrieve_times(
                     // Slowest shared resource along the path.
                     let mut max_sharers = 1u32;
                     for l in topo.route(t.src_node, r.dst_node) {
-                        max_sharers =
-                            max_sharers.max(link_sharers[&(l.from, l.dim, l.plus)]);
+                        max_sharers = max_sharers.max(link_sharers[&(l.from, l.dim, l.plus)]);
                     }
                     let src_n = src_outflows[&t.src_node].max(1);
                     let eff_bw = (gbps(model.nic_bandwidth_gbps) / src_n as f64)
@@ -188,9 +187,8 @@ pub fn estimate_file_coupling_time(
     reader_files: u32,
 ) -> f64 {
     let bw = fs.aggregate_bandwidth_gbps * 1e9;
-    let md = |files: u32| {
-        fs.op_latency_ms * (files.div_ceil(fs.metadata_concurrency.max(1))) as f64
-    };
+    let md =
+        |files: u32| fs.op_latency_ms * (files.div_ceil(fs.metadata_concurrency.max(1))) as f64;
     let write_ms = md(writer_files) + write_bytes as f64 / bw * 1e3;
     let read_ms = md(reader_files) + read_bytes as f64 / bw * 1e3;
     write_ms + read_ms
@@ -231,8 +229,14 @@ mod tests {
             .map(|i| ClientRetrieve {
                 dst_node: i % 48,
                 transfers: vec![
-                    Transfer { src_node: i % 48, bytes: 102 << 20 },
-                    Transfer { src_node: (i + 7) % 48, bytes: 26 << 20 },
+                    Transfer {
+                        src_node: i % 48,
+                        bytes: 102 << 20,
+                    },
+                    Transfer {
+                        src_node: (i + 7) % 48,
+                        bytes: 26 << 20,
+                    },
                 ],
                 dht_queries: 2,
             })
@@ -252,12 +256,18 @@ mod tests {
         let t = topo();
         let shm = ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer { src_node: 0, bytes: 16 << 20 }],
+            transfers: vec![Transfer {
+                src_node: 0,
+                bytes: 16 << 20,
+            }],
             dht_queries: 0,
         };
         let net = ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer { src_node: 5, bytes: 16 << 20 }],
+            transfers: vec![Transfer {
+                src_node: 5,
+                bytes: 16 << 20,
+            }],
             dht_queries: 0,
         };
         let times = estimate_retrieve_times(&m, &t, &[shm, net]);
@@ -270,7 +280,11 @@ mod tests {
         let times = estimate_retrieve_times(
             &m,
             &topo(),
-            &[ClientRetrieve { dst_node: 0, transfers: vec![], dht_queries: 4 }],
+            &[ClientRetrieve {
+                dst_node: 0,
+                transfers: vec![],
+                dht_queries: 4,
+            }],
         );
         let expect = 4.0 * m.dht_query_us * 1e-6 * 1e3;
         assert!((times[0] - expect).abs() < 1e-12);
@@ -283,14 +297,20 @@ mod tests {
         // One flow 0 -> 4.
         let solo = vec![ClientRetrieve {
             dst_node: 4,
-            transfers: vec![Transfer { src_node: 0, bytes: 64 << 20 }],
+            transfers: vec![Transfer {
+                src_node: 0,
+                bytes: 64 << 20,
+            }],
             dht_queries: 0,
         }];
         // Eight flows all crossing the same ring segment.
         let crowded: Vec<ClientRetrieve> = (0..8)
             .map(|_| ClientRetrieve {
                 dst_node: 4,
-                transfers: vec![Transfer { src_node: 0, bytes: 64 << 20 }],
+                transfers: vec![Transfer {
+                    src_node: 0,
+                    bytes: 64 << 20,
+                }],
                 dht_queries: 0,
             })
             .collect();
@@ -307,14 +327,20 @@ mod tests {
         // than a dedicated source.
         let dedicated = vec![ClientRetrieve {
             dst_node: 1,
-            transfers: vec![Transfer { src_node: 0, bytes: 32 << 20 }],
+            transfers: vec![Transfer {
+                src_node: 0,
+                bytes: 32 << 20,
+            }],
             dht_queries: 0,
         }];
         let fanout: Vec<ClientRetrieve> = [1u32, 2, 3, 5]
             .iter()
             .map(|&d| ClientRetrieve {
                 dst_node: d,
-                transfers: vec![Transfer { src_node: 0, bytes: 32 << 20 }],
+                transfers: vec![Transfer {
+                    src_node: 0,
+                    bytes: 32 << 20,
+                }],
                 dht_queries: 0,
             })
             .collect();
@@ -345,7 +371,10 @@ mod tests {
             &topo(),
             &[ClientRetrieve {
                 dst_node: 0,
-                transfers: vec![Transfer { src_node: 3, bytes: 0 }],
+                transfers: vec![Transfer {
+                    src_node: 3,
+                    bytes: 0,
+                }],
                 dht_queries: 0,
             }],
         );

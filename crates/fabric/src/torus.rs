@@ -104,8 +104,16 @@ impl TorusTopology {
                 (bwd, false)
             };
             for _ in 0..steps {
-                links.push(LinkId { from: self.node_of(cur), dim: d as u8, plus });
-                cur[d] = if plus { (cur[d] + 1) % n } else { (cur[d] + n - 1) % n };
+                links.push(LinkId {
+                    from: self.node_of(cur),
+                    dim: d as u8,
+                    plus,
+                });
+                cur[d] = if plus {
+                    (cur[d] + 1) % n
+                } else {
+                    (cur[d] + n - 1) % n
+                };
             }
         }
         debug_assert_eq!(cur, target);

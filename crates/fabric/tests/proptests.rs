@@ -5,23 +5,26 @@ use insitu_fabric::{
     estimate_retrieve_times, ClientRetrieve, Locality, MachineSpec, NetworkModel, Placement,
     TorusTopology, TrafficClass, Transfer, TransferLedger,
 };
-use proptest::prelude::*;
+use insitu_util::check::forall;
 
-proptest! {
-    #[test]
-    fn torus_route_is_a_valid_path(
-        dx in 1u32..5, dy in 1u32..5, dz in 1u32..5, seed in any::<u64>(),
-    ) {
-        let t = TorusTopology::new([dx, dy, dz]);
+#[test]
+fn torus_route_is_a_valid_path() {
+    forall(64, |rng| {
+        let dims = [
+            rng.range_u32(1, 5),
+            rng.range_u32(1, 5),
+            rng.range_u32(1, 5),
+        ];
+        let t = TorusTopology::new(dims);
         let n = t.num_nodes() as u64;
-        let a = (seed % n) as u32;
-        let b = ((seed >> 20) % n) as u32;
+        let a = rng.range_u64(0, n) as u32;
+        let b = rng.range_u64(0, n) as u32;
         let links = t.route(a, b);
-        prop_assert_eq!(links.len() as u32, t.hop_distance(a, b));
+        assert_eq!(links.len() as u32, t.hop_distance(a, b));
         // Links form a contiguous walk from a to b.
         let mut cur = a;
         for l in &links {
-            prop_assert_eq!(l.from, cur);
+            assert_eq!(l.from, cur);
             let mut c = t.coords_of(cur);
             let dims = t.dims();
             let d = l.dim as usize;
@@ -32,54 +35,64 @@ proptest! {
             };
             cur = t.node_of(c);
         }
-        prop_assert_eq!(cur, b);
-    }
+        assert_eq!(cur, b);
+    });
+}
 
-    #[test]
-    fn torus_distance_symmetric_and_bounded(
-        dx in 1u32..5, dy in 1u32..5, dz in 1u32..5, seed in any::<u64>(),
-    ) {
-        let t = TorusTopology::new([dx, dy, dz]);
+#[test]
+fn torus_distance_symmetric_and_bounded() {
+    forall(64, |rng| {
+        let dims = [
+            rng.range_u32(1, 5),
+            rng.range_u32(1, 5),
+            rng.range_u32(1, 5),
+        ];
+        let t = TorusTopology::new(dims);
         let n = t.num_nodes() as u64;
-        let a = (seed % n) as u32;
-        let b = ((seed >> 20) % n) as u32;
-        prop_assert_eq!(t.hop_distance(a, b), t.hop_distance(b, a));
-        let diameter: u32 = [dx, dy, dz].iter().map(|d| d / 2).sum();
-        prop_assert!(t.hop_distance(a, b) <= diameter);
-    }
+        let a = rng.range_u64(0, n) as u32;
+        let b = rng.range_u64(0, n) as u32;
+        assert_eq!(t.hop_distance(a, b), t.hop_distance(b, a));
+        let diameter: u32 = dims.iter().map(|d| d / 2).sum();
+        assert!(t.hop_distance(a, b) <= diameter);
+    });
+}
 
-    #[test]
-    fn placement_round_robin_uses_distinct_cores(
-        nodes in 1u32..8, cores in 1u32..6, fill in 0u32..40,
-    ) {
+#[test]
+fn placement_round_robin_uses_distinct_cores() {
+    forall(64, |rng| {
+        let nodes = rng.range_u32(1, 8);
+        let cores = rng.range_u32(1, 6);
+        let fill = rng.range_u32(0, 40);
         let spec = MachineSpec::new(nodes, cores);
         let clients = fill.min(spec.total_cores());
         let p = Placement::round_robin_nodes(spec, clients);
         let mut seen = std::collections::HashSet::new();
         for c in 0..clients {
-            prop_assert!(seen.insert(p.core_of(c)));
-            prop_assert!(p.core_of(c) < spec.total_cores());
+            assert!(seen.insert(p.core_of(c)));
+            assert!(p.core_of(c) < spec.total_cores());
         }
-    }
+    });
+}
 
-    #[test]
-    fn ledger_conserves_bytes(records in proptest::collection::vec(
-        (0u32..4, 0u8..2, 1u64..10_000), 0..60,
-    )) {
+#[test]
+fn ledger_conserves_bytes() {
+    forall(64, |rng| {
         let ledger = TransferLedger::new();
         let mut shm = 0u64;
         let mut net = 0u64;
-        for (app, loc, bytes) in &records {
-            let locality = if *loc == 0 { Locality::SharedMemory } else { Locality::Network };
-            ledger.record(*app, TrafficClass::InterApp, locality, *bytes);
+        for _ in 0..rng.range_usize(0, 60) {
+            let app = rng.range_u32(0, 4);
+            let locality = *rng.choose(&[Locality::SharedMemory, Locality::Network]);
+            let bytes = rng.range_u64(1, 10_000);
+            ledger.record(app, TrafficClass::InterApp, locality, bytes);
             match locality {
                 Locality::SharedMemory => shm += bytes,
                 Locality::Network => net += bytes,
             }
         }
         let snap = ledger.snapshot();
-        prop_assert_eq!(snap.shm_bytes(TrafficClass::InterApp), shm);
-        prop_assert_eq!(snap.network_bytes(TrafficClass::InterApp), net);
+        assert_eq!(snap.shm_bytes(TrafficClass::InterApp), shm);
+        assert_eq!(snap.network_bytes(TrafficClass::InterApp), net);
         // Per-app breakdown sums to the totals.
         let per_app: u64 = (0..4)
             .map(|a| {
@@ -87,41 +100,49 @@ proptest! {
                     + snap.app_bytes(a, TrafficClass::InterApp, Locality::Network)
             })
             .sum();
-        prop_assert_eq!(per_app, shm + net);
-    }
+        assert_eq!(per_app, shm + net);
+    });
+}
 
-    #[test]
-    fn retrieve_times_monotone_in_bytes(
-        base in 1u64..1_000_000, extra in 1u64..1_000_000, src in 0u32..63,
-    ) {
+#[test]
+fn retrieve_times_monotone_in_bytes() {
+    forall(64, |rng| {
+        let base = rng.range_u64(1, 1_000_000);
+        let extra = rng.range_u64(1, 1_000_000);
+        let src = rng.range_u32(0, 64);
         let m = NetworkModel::jaguar();
         let t = TorusTopology::new([4, 4, 4]);
         let mk = |bytes| ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer { src_node: src % 64, bytes }],
+            transfers: vec![Transfer {
+                src_node: src,
+                bytes,
+            }],
             dht_queries: 0,
         };
         let small = estimate_retrieve_times(&m, &t, &[mk(base)])[0];
         let large = estimate_retrieve_times(&m, &t, &[mk(base + extra)])[0];
-        prop_assert!(large >= small);
-    }
+        assert!(large >= small);
+    });
+}
 
-    #[test]
-    fn retrieve_times_nonnegative_and_finite(
-        flows in proptest::collection::vec((0u32..27, 0u32..27, 0u64..1_000_000), 1..20),
-    ) {
+#[test]
+fn retrieve_times_nonnegative_and_finite() {
+    forall(64, |rng| {
         let m = NetworkModel::jaguar();
         let t = TorusTopology::new([3, 3, 3]);
-        let retrieves: Vec<ClientRetrieve> = flows
-            .iter()
-            .map(|&(dst, src, bytes)| ClientRetrieve {
-                dst_node: dst,
-                transfers: vec![Transfer { src_node: src, bytes }],
+        let retrieves: Vec<ClientRetrieve> = (0..rng.range_usize(1, 20))
+            .map(|_| ClientRetrieve {
+                dst_node: rng.range_u32(0, 27),
+                transfers: vec![Transfer {
+                    src_node: rng.range_u32(0, 27),
+                    bytes: rng.range_u64(0, 1_000_000),
+                }],
                 dht_queries: 1,
             })
             .collect();
-        for t in estimate_retrieve_times(&m, &t, &retrieves) {
-            prop_assert!(t.is_finite() && t >= 0.0);
+        for est in estimate_retrieve_times(&m, &t, &retrieves) {
+            assert!(est.is_finite() && est >= 0.0);
         }
-    }
+    });
 }

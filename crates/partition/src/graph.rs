@@ -44,7 +44,10 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
         let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
-        self.adjncy[r.clone()].iter().copied().zip(self.adjwgt[r].iter().copied())
+        self.adjncy[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[r].iter().copied())
     }
 
     /// Degree of `v`.
@@ -92,7 +95,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for `n` vertices, all with weight 1.
     pub fn new(n: u32) -> Self {
-        GraphBuilder { n, vwgt: vec![1; n as usize], edges: BTreeMap::new() }
+        GraphBuilder {
+            n,
+            vwgt: vec![1; n as usize],
+            edges: BTreeMap::new(),
+        }
     }
 
     /// Set the weight of vertex `v`.
@@ -135,7 +142,12 @@ impl GraphBuilder {
             adjwgt[fill[b as usize]] = w;
             fill[b as usize] += 1;
         }
-        Graph { xadj, adjncy, adjwgt, vwgt: self.vwgt }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: self.vwgt,
+        }
     }
 }
 

@@ -19,4 +19,6 @@ pub mod partitioner;
 
 pub use graph::{Graph, GraphBuilder};
 pub use multilevel::MultilevelPartitioner;
-pub use partitioner::{GreedyGrowthPartitioner, PartitionConfig, Partitioner, RoundRobinPartitioner};
+pub use partitioner::{
+    GreedyGrowthPartitioner, PartitionConfig, Partitioner, RoundRobinPartitioner,
+};

@@ -25,7 +25,10 @@ pub struct MultilevelPartitioner {
 
 impl Default for MultilevelPartitioner {
     fn default() -> Self {
-        MultilevelPartitioner { coarsen_to_per_part: 8, refine_passes: 4 }
+        MultilevelPartitioner {
+            coarsen_to_per_part: 8,
+            refine_passes: 4,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl MultilevelPartitioner {
         let mut levels: Vec<Level> = Vec::new();
         let mut cur = g.clone();
         // Keep enough coarse vertices to seed every part.
-        let target = self.coarsen_to_per_part.max(2).saturating_mul(nparts).max(64);
+        let target = self
+            .coarsen_to_per_part
+            .max(2)
+            .saturating_mul(nparts)
+            .max(64);
         loop {
             if cur.num_vertices() <= target {
                 break;
@@ -50,7 +57,10 @@ impl MultilevelPartitioner {
                 break; // matching stalled; further coarsening is useless
             }
             let coarse = contract(&cur, &mapping, coarse_n);
-            levels.push(Level { graph: cur, map_to_coarse: mapping });
+            levels.push(Level {
+                graph: cur,
+                map_to_coarse: mapping,
+            });
             cur = coarse;
         }
         (levels, cur)
@@ -130,10 +140,7 @@ impl Partitioner for MultilevelPartitioner {
         crate::partitioner::rebalance(g, &mut parts, cfg.nparts, cap);
         self.refine(g, &mut parts, cfg.nparts, cap);
         debug_assert_eq!(parts.len(), g.num_vertices());
-        debug_assert!(g
-            .part_weights(&parts, cfg.nparts)
-            .iter()
-            .all(|&w| w <= cap));
+        debug_assert!(g.part_weights(&parts, cfg.nparts).iter().all(|&w| w <= cap));
         parts
     }
 

@@ -15,12 +15,18 @@ pub struct PartitionConfig {
 impl PartitionConfig {
     /// `nparts` parts with no cap.
     pub fn new(nparts: usize) -> Self {
-        PartitionConfig { nparts, max_part_weight: None }
+        PartitionConfig {
+            nparts,
+            max_part_weight: None,
+        }
     }
 
     /// `nparts` parts with a hard per-part weight cap.
     pub fn with_cap(nparts: usize, cap: u64) -> Self {
-        PartitionConfig { nparts, max_part_weight: Some(cap) }
+        PartitionConfig {
+            nparts,
+            max_part_weight: Some(cap),
+        }
     }
 
     /// The effective cap: the configured one, or a 3% slack over perfect
@@ -58,8 +64,14 @@ fn assert_feasible(g: &Graph, cfg: &PartitionConfig) -> u64 {
         cfg.nparts,
         g.total_vertex_weight()
     );
-    let max_v = (0..g.num_vertices() as u32).map(|v| g.vertex_weight(v)).max().unwrap_or(0);
-    assert!(max_v <= cap, "infeasible: vertex weight {max_v} exceeds cap {cap}");
+    let max_v = (0..g.num_vertices() as u32)
+        .map(|v| g.vertex_weight(v))
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_v <= cap,
+        "infeasible: vertex weight {max_v} exceeds cap {cap}"
+    );
     cap
 }
 
@@ -142,10 +154,10 @@ pub(crate) fn grow_parts(g: &Graph, nparts: usize, cap: u64) -> Vec<u32> {
         gain.iter_mut().for_each(|x| *x = 0);
         let mut frontier: Vec<u32> = Vec::new();
         let grow = |v: u32,
-                        parts: &mut Vec<u32>,
-                        weights: &mut Vec<u64>,
-                        gain: &mut Vec<u64>,
-                        frontier: &mut Vec<u32>| {
+                    parts: &mut Vec<u32>,
+                    weights: &mut Vec<u64>,
+                    gain: &mut Vec<u64>,
+                    frontier: &mut Vec<u32>| {
             parts[v as usize] = p as u32;
             weights[p] += g.vertex_weight(v);
             for (u, w) in g.neighbors(v) {
@@ -157,7 +169,13 @@ pub(crate) fn grow_parts(g: &Graph, nparts: usize, cap: u64) -> Vec<u32> {
                 }
             }
         };
-        grow(next_seed as u32, &mut parts, &mut weights, &mut gain, &mut frontier);
+        grow(
+            next_seed as u32,
+            &mut parts,
+            &mut weights,
+            &mut gain,
+            &mut frontier,
+        );
         while weights[p] < target {
             // Pick the frontier vertex with max gain that fits.
             frontier.retain(|&u| parts[u as usize] == UNASSIGNED);
@@ -171,8 +189,7 @@ pub(crate) fn grow_parts(g: &Graph, nparts: usize, cap: u64) -> Vec<u32> {
                     // component ended): restart growth from a fresh seed
                     // so the part still reaches its balanced target.
                     (0..n as u32).find(|&u| {
-                        parts[u as usize] == UNASSIGNED
-                            && weights[p] + g.vertex_weight(u) <= cap
+                        parts[u as usize] == UNASSIGNED && weights[p] + g.vertex_weight(u) <= cap
                     })
                 });
             let Some(best) = candidate else {
@@ -211,7 +228,9 @@ pub(crate) fn grow_parts(g: &Graph, nparts: usize, cap: u64) -> Vec<u32> {
             // vertices vs 1-unit gaps); place on the lightest part and let
             // rebalance() restore the cap at a finer level.
             .unwrap_or_else(|| {
-                (0..nparts as u32).min_by_key(|&p| weights[p as usize]).unwrap()
+                (0..nparts as u32)
+                    .min_by_key(|&p| weights[p as usize])
+                    .unwrap()
             });
         parts[v] = chosen;
         weights[chosen as usize] += w;
@@ -229,7 +248,9 @@ pub(crate) fn grow_parts(g: &Graph, nparts: usize, cap: u64) -> Vec<u32> {
 pub(crate) fn rebalance(g: &Graph, parts: &mut [u32], nparts: usize, cap: u64) {
     let mut weights = g.part_weights(parts, nparts);
     loop {
-        let Some(over) = (0..nparts).filter(|&p| weights[p] > cap).max_by_key(|&p| weights[p])
+        let Some(over) = (0..nparts)
+            .filter(|&p| weights[p] > cap)
+            .max_by_key(|&p| weights[p])
         else {
             return;
         };

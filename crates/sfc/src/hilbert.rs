@@ -136,7 +136,11 @@ impl SpaceFillingCurve for HilbertCurve {
         let side = self.side();
         let mut x = [0u64; MAX_DIMS];
         for i in 0..self.ndim {
-            assert!(p[i] < side, "coordinate {} out of range (side {side})", p[i]);
+            assert!(
+                p[i] < side,
+                "coordinate {} out of range (side {side})",
+                p[i]
+            );
             x[i] = p[i];
         }
         self.axes_to_transpose(&mut x[..self.ndim]);

@@ -67,7 +67,9 @@ pub fn neighbor_locality(curve: &dyn SpaceFillingCurve, samples: u64) -> f64 {
     // Deterministic LCG so the score is reproducible without rand.
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 11
     };
     let mut p = vec![0u64; n];

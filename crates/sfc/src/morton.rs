@@ -44,7 +44,11 @@ impl SpaceFillingCurve for MortonCurve {
         let mut h: u128 = 0;
         for k in (0..self.order).rev() {
             for i in 0..self.ndim {
-                assert!(p[i] < side, "coordinate {} out of range (side {side})", p[i]);
+                assert!(
+                    p[i] < side,
+                    "coordinate {} out of range (side {side})",
+                    p[i]
+                );
                 h = (h << 1) | ((p[i] >> k) & 1) as u128;
             }
         }

@@ -84,7 +84,10 @@ fn descend(
         return;
     };
     if overlap == cube {
-        out.push(Span { first, last: first + (1u128 << cell_bits) - 1 });
+        out.push(Span {
+            first,
+            last: first + (1u128 << cell_bits) - 1,
+        });
         return;
     }
     debug_assert!(depth < order, "leaf cells are fully in or out");
@@ -141,7 +144,10 @@ fn boxes_descend(
 
 /// Merge adjacent or overlapping spans in a sorted list, in place.
 pub fn merge_spans(spans: &mut Vec<Span>) {
-    debug_assert!(spans.windows(2).all(|w| w[0] <= w[1]), "spans must be sorted");
+    debug_assert!(
+        spans.windows(2).all(|w| w[0] <= w[1]),
+        "spans must be sorted"
+    );
     let mut w = 0;
     for i in 1..spans.len() {
         if spans[i].first <= spans[w].last.saturating_add(1) {
@@ -245,10 +251,22 @@ mod tests {
         let mut v = vec![
             Span { first: 0, last: 3 },
             Span { first: 4, last: 7 },
-            Span { first: 10, last: 11 },
+            Span {
+                first: 10,
+                last: 11,
+            },
         ];
         merge_spans(&mut v);
-        assert_eq!(v, vec![Span { first: 0, last: 7 }, Span { first: 10, last: 11 }]);
+        assert_eq!(
+            v,
+            vec![
+                Span { first: 0, last: 7 },
+                Span {
+                    first: 10,
+                    last: 11
+                }
+            ]
+        );
     }
 
     #[test]
@@ -263,7 +281,10 @@ mod tests {
         let a = Span { first: 0, last: 10 };
         let b = Span { first: 5, last: 20 };
         assert_eq!(a.intersect(&b), Some(Span { first: 5, last: 10 }));
-        let c = Span { first: 11, last: 12 };
+        let c = Span {
+            first: 11,
+            last: 12,
+        };
         assert_eq!(a.intersect(&c), None);
     }
 
@@ -290,8 +311,14 @@ mod tests {
         let h = HilbertCurve::new(3, 3);
         for s in [
             Span { first: 0, last: 63 },
-            Span { first: 17, last: 93 },
-            Span { first: 511, last: 511 },
+            Span {
+                first: 17,
+                last: 93,
+            },
+            Span {
+                first: 511,
+                last: 511,
+            },
         ] {
             let boxes = boxes_of_span(&h, &s);
             let vol: u128 = boxes.iter().map(|b| b.num_cells()).sum();

@@ -3,92 +3,120 @@
 use insitu_domain::BoundingBox;
 use insitu_sfc::span::total_len;
 use insitu_sfc::{spans_of_box, HilbertCurve, MortonCurve, SpaceFillingCurve};
-use proptest::prelude::*;
+use insitu_util::check::forall;
 
-proptest! {
-    #[test]
-    fn hilbert_roundtrip_2d(order in 1u32..10, seed in any::<u64>()) {
+#[test]
+fn hilbert_roundtrip_2d() {
+    forall(256, |rng| {
+        let order = rng.range_u32(1, 10);
+        let seed = rng.next_u64();
         let h = HilbertCurve::new(2, order);
         let side = h.side();
         let x = seed % side;
         let y = (seed >> 16) % side;
         let i = h.index_of(&[x, y]);
-        prop_assert_eq!(&h.point_of(i)[..2], &[x, y][..]);
-    }
+        assert_eq!(&h.point_of(i)[..2], &[x, y][..]);
+    });
+}
 
-    #[test]
-    fn hilbert_roundtrip_3d(order in 1u32..8, seed in any::<u64>()) {
+#[test]
+fn hilbert_roundtrip_3d() {
+    forall(256, |rng| {
+        let order = rng.range_u32(1, 8);
+        let seed = rng.next_u64();
         let h = HilbertCurve::new(3, order);
         let side = h.side();
         let p = [seed % side, (seed >> 12) % side, (seed >> 24) % side];
-        prop_assert_eq!(&h.point_of(h.index_of(&p))[..3], &p[..]);
-    }
+        assert_eq!(&h.point_of(h.index_of(&p))[..3], &p[..]);
+    });
+}
 
-    #[test]
-    fn morton_roundtrip_3d(order in 1u32..8, seed in any::<u64>()) {
+#[test]
+fn morton_roundtrip_3d() {
+    forall(256, |rng| {
+        let order = rng.range_u32(1, 8);
+        let seed = rng.next_u64();
         let m = MortonCurve::new(3, order);
         let side = m.side();
         let p = [seed % side, (seed >> 12) % side, (seed >> 24) % side];
-        prop_assert_eq!(&m.point_of(m.index_of(&p))[..3], &p[..]);
-    }
+        assert_eq!(&m.point_of(m.index_of(&p))[..3], &p[..]);
+    });
+}
 
-    #[test]
-    fn hilbert_adjacent_indices_adjacent_points(order in 1u32..6, seed in any::<u64>()) {
+#[test]
+fn hilbert_adjacent_indices_adjacent_points() {
+    forall(256, |rng| {
+        let order = rng.range_u32(1, 6);
+        let seed = rng.next_u64();
         let h = HilbertCurve::new(2, order);
         let i = seed as u128 % (h.index_count() - 1);
         let a = h.point_of(i);
         let b = h.point_of(i + 1);
         let dist: u64 = (0..2).map(|d| a[d].abs_diff(b[d])).sum();
-        prop_assert_eq!(dist, 1);
-    }
+        assert_eq!(dist, 1);
+    });
+}
 
-    #[test]
-    fn spans_cover_box_exactly_hilbert(
-        order in 2u32..6,
-        ax in 0u64..16, ay in 0u64..16, w in 0u64..16, hgt in 0u64..16,
-    ) {
+#[test]
+fn spans_cover_box_exactly_hilbert() {
+    forall(128, |rng| {
+        let order = rng.range_u32(2, 6);
+        let ax = rng.range_u64(0, 16);
+        let ay = rng.range_u64(0, 16);
+        let w = rng.range_u64(0, 16);
+        let hgt = rng.range_u64(0, 16);
         let h = HilbertCurve::new(2, order);
         let side = h.side();
         let lb = [ax % side, ay % side];
         let ub = [(lb[0] + w).min(side - 1), (lb[1] + hgt).min(side - 1)];
         let b = BoundingBox::new(&lb, &ub);
         let spans = spans_of_box(&h, &b);
-        prop_assert_eq!(total_len(&spans), b.num_cells());
+        assert_eq!(total_len(&spans), b.num_cells());
         // Disjoint + sorted + maximal.
         for wd in spans.windows(2) {
-            prop_assert!(wd[0].last + 1 < wd[1].first);
+            assert!(wd[0].last + 1 < wd[1].first);
         }
         // Sampled membership: corners of the box map into some span.
         for p in [[lb[0], lb[1]], [ub[0], ub[1]], [lb[0], ub[1]]] {
             let i = h.index_of(&p);
-            prop_assert!(spans.iter().any(|s| s.first <= i && i <= s.last));
+            assert!(spans.iter().any(|s| s.first <= i && i <= s.last));
         }
-    }
+    });
+}
 
-    #[test]
-    fn spans_cover_box_exactly_morton(
-        order in 2u32..6,
-        ax in 0u64..16, ay in 0u64..16, w in 0u64..16, hgt in 0u64..16,
-    ) {
+#[test]
+fn spans_cover_box_exactly_morton() {
+    forall(128, |rng| {
+        let order = rng.range_u32(2, 6);
+        let ax = rng.range_u64(0, 16);
+        let ay = rng.range_u64(0, 16);
+        let w = rng.range_u64(0, 16);
+        let hgt = rng.range_u64(0, 16);
         let m = MortonCurve::new(2, order);
         let side = m.side();
         let lb = [ax % side, ay % side];
         let ub = [(lb[0] + w).min(side - 1), (lb[1] + hgt).min(side - 1)];
         let b = BoundingBox::new(&lb, &ub);
         let spans = spans_of_box(&m, &b);
-        prop_assert_eq!(total_len(&spans), b.num_cells());
-    }
+        assert_eq!(total_len(&spans), b.num_cells());
+    });
+}
 
-    #[test]
-    fn spans_outside_points_not_covered(order in 2u32..5, seed in any::<u64>()) {
+#[test]
+fn spans_outside_points_not_covered() {
+    forall(128, |rng| {
+        let order = rng.range_u32(2, 5);
+        let seed = rng.next_u64();
         let h = HilbertCurve::new(2, order);
         let side = h.side();
-        if side < 4 { return Ok(()); }
+        if side < 4 {
+            return;
+        }
         let b = BoundingBox::new(&[1, 1], &[side / 2, side / 2]);
         let spans = spans_of_box(&h, &b);
         // A point outside the box must not fall in any span.
         let outside = [0u64, seed % side];
         let i = h.index_of(&outside);
-        prop_assert!(!spans.iter().any(|s| s.first <= i && i <= s.last));
-    }
+        assert!(!spans.iter().any(|s| s.first <= i && i <= s.last));
+    });
 }

@@ -1,0 +1,202 @@
+//! The [`Recorder`] facade: either live (backed by a registry and a
+//! trace sink) or disabled (every operation near-free).
+//!
+//! Components take a `&Recorder` (or clone one — it is a thin
+//! `Option<Arc<..>>`) and never need to know whether telemetry is on.
+//! Disabled recorders hand out detached metric handles, so instrumented
+//! hot paths stay branch-light: the cost of a disabled counter increment
+//! is one relaxed atomic add on a dummy cell.
+
+use std::sync::Arc;
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::trace::{SpanGuard, TraceSink, DEFAULT_TRACE_CAPACITY};
+
+struct RecorderInner {
+    metrics: MetricsRegistry,
+    trace: Arc<TraceSink>,
+}
+
+/// Entry point for all instrumentation.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Recorder {
+    /// A recorder that records nothing.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder with the default trace capacity.
+    pub fn enabled() -> Recorder {
+        Recorder::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live recorder whose trace ring holds `capacity` spans.
+    pub fn with_trace_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(RecorderInner {
+                metrics: MetricsRegistry::new(),
+                trace: Arc::new(TraceSink::with_capacity(capacity)),
+            })),
+        }
+    }
+
+    /// Whether this recorder is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Counter handle (detached dummy when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.metrics.counter(name),
+            None => Counter::detached(),
+        }
+    }
+
+    /// Gauge handle (detached dummy when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.metrics.gauge(name),
+            None => Gauge::detached(),
+        }
+    }
+
+    /// Histogram handle (detached dummy when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.metrics.histogram(name),
+            None => Histogram::detached(),
+        }
+    }
+
+    /// Start a timed span; records on drop (no-op when disabled).
+    pub fn span(&self, name: &str, category: &str, track: u64) -> SpanGuard {
+        SpanGuard::start(
+            self.inner.as_ref().map(|i| Arc::clone(&i.trace)),
+            name,
+            category,
+            track,
+        )
+    }
+
+    /// Record a synthetic span at an explicit timeline position (used by
+    /// the modeled executor; no-op when disabled).
+    pub fn synthetic_span(
+        &self,
+        name: &str,
+        category: &str,
+        track: u64,
+        start_us: u64,
+        duration_us: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner
+                .trace
+                .push_synthetic(name, category, track, start_us, duration_us);
+        }
+    }
+
+    /// Metrics snapshot (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Metrics rendered as a JSON string.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json().render()
+    }
+
+    /// Trace rendered as chrome://tracing JSON.
+    pub fn trace_json(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.trace.to_chrome_json().render(),
+            None => Json::obj()
+                .field("traceEvents", Vec::<Json>::new())
+                .field("displayTimeUnit", "ms")
+                .field("droppedSpans", 0u64)
+                .render(),
+        }
+    }
+
+    /// Trace summary table (empty string when disabled).
+    pub fn trace_summary(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.trace.to_summary_table(),
+            None => String::new(),
+        }
+    }
+
+    /// The trace sink, when live.
+    pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.trace))
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.counter("c").add(5);
+        r.gauge("g").set(9);
+        r.histogram("h").record(3);
+        r.synthetic_span("s", "cat", 0, 0, 10);
+        {
+            let _g = r.span("sp", "cat", 0);
+        }
+        let snap = r.metrics_snapshot();
+        assert!(snap.counters.is_empty());
+        assert_eq!(
+            r.trace_json(),
+            r#"{"traceEvents":[],"displayTimeUnit":"ms","droppedSpans":0}"#
+        );
+    }
+
+    #[test]
+    fn enabled_recorder_collects() {
+        let r = Recorder::enabled();
+        r.counter("c").add(5);
+        r.counter("c").add(2);
+        r.gauge("g").set(9);
+        r.histogram("h").record(3);
+        r.synthetic_span("model", "modeled", 4, 100, 50);
+        {
+            let _g = r.span("live", "threaded", 1);
+        }
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.gauges["g"].peak, 9);
+        assert_eq!(snap.histograms["h"].count, 1);
+        let trace = r.trace_json();
+        assert!(trace.contains("\"model\""));
+        assert!(trace.contains("\"live\""));
+        assert!(trace.contains("\"tid\":4"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        r2.counter("shared").inc();
+        assert_eq!(r.metrics_snapshot().counter("shared"), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Span-based tracing with a bounded in-memory ring buffer.
+//!
+//! Spans are complete events (begin + duration) stored in a
+//! [`TraceSink`]; when the buffer is full the oldest span is dropped and
+//! counted. The sink exports chrome://tracing-compatible JSON ("X" phase
+//! events) and a plain-text per-name summary table. The modeled executor
+//! injects *synthetic* spans (explicit start/duration) so threaded and
+//! modeled timelines render through the same pipeline.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Default ring-buffer capacity (spans).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Event name (e.g. `"cods.get_seq"`).
+    pub name: String,
+    /// Category, used for chrome trace colouring (e.g. `"cods"`).
+    pub category: String,
+    /// Track id — a client/thread identifier.
+    pub track: u64,
+    /// Start timestamp in microseconds from the sink's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub duration_us: u64,
+}
+
+struct Ring {
+    spans: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// Bounded collector of [`SpanRecord`]s.
+pub struct TraceSink {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// A sink holding at most `capacity` spans (oldest dropped first).
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                spans: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Microseconds elapsed since the sink was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record a completed span.
+    pub fn push(&self, span: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.spans.len() == self.capacity {
+            ring.spans.pop_front();
+            ring.dropped += 1;
+        }
+        ring.spans.push_back(span);
+    }
+
+    /// Record a synthetic span with an explicit timeline position; used
+    /// by the modeled executor so its output is comparable with threaded
+    /// traces.
+    pub fn push_synthetic(
+        &self,
+        name: &str,
+        category: &str,
+        track: u64,
+        start_us: u64,
+        duration_us: u64,
+    ) {
+        self.push(SpanRecord {
+            name: name.to_string(),
+            category: category.to_string(),
+            track,
+            start_us,
+            duration_us,
+        });
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().spans.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Copy out the buffered spans in arrival order.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().spans.iter().cloned().collect()
+    }
+
+    /// Render as chrome://tracing JSON (load via `chrome://tracing` or
+    /// <https://ui.perfetto.dev>).
+    pub fn to_chrome_json(&self) -> Json {
+        let spans = self.snapshot();
+        let events: Vec<Json> = spans
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("name", s.name.as_str())
+                    .field("cat", s.category.as_str())
+                    .field("ph", "X")
+                    .field("ts", s.start_us)
+                    .field("dur", s.duration_us)
+                    .field("pid", 0u64)
+                    .field("tid", s.track)
+            })
+            .collect();
+        Json::obj()
+            .field("traceEvents", events)
+            .field("displayTimeUnit", "ms")
+            .field("droppedSpans", self.dropped())
+    }
+
+    /// Render a per-name summary table (count, total, mean, max).
+    pub fn to_summary_table(&self) -> String {
+        struct Agg {
+            count: u64,
+            total_us: u64,
+            max_us: u64,
+        }
+        let mut by_name: BTreeMap<String, Agg> = BTreeMap::new();
+        for s in self.snapshot() {
+            let agg = by_name.entry(s.name).or_insert(Agg {
+                count: 0,
+                total_us: 0,
+                max_us: 0,
+            });
+            agg.count += 1;
+            agg.total_us += s.duration_us;
+            agg.max_us = agg.max_us.max(s.duration_us);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+            "span", "count", "total_us", "mean_us", "max_us"
+        ));
+        out.push_str(&format!(
+            "{:-<32} {:->8} {:->12} {:->12} {:->12}\n",
+            "", "", "", "", ""
+        ));
+        for (name, agg) in &by_name {
+            let mean = agg.total_us as f64 / agg.count as f64;
+            out.push_str(&format!(
+                "{name:<32} {:>8} {:>12} {mean:>12.1} {:>12}\n",
+                agg.count, agg.total_us, agg.max_us
+            ));
+        }
+        if self.dropped() > 0 {
+            out.push_str(&format!(
+                "(dropped {} spans: ring buffer full)\n",
+                self.dropped()
+            ));
+        }
+        out
+    }
+}
+
+/// RAII guard that records a span on drop.
+///
+/// Created via [`crate::Recorder::span`]; when the recorder is disabled
+/// the guard holds no sink and drop is free.
+pub struct SpanGuard {
+    sink: Option<Arc<TraceSink>>,
+    name: String,
+    category: String,
+    track: u64,
+    start_us: u64,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Start a span against `sink` (`None` → no-op guard).
+    pub fn start(
+        sink: Option<Arc<TraceSink>>,
+        name: &str,
+        category: &str,
+        track: u64,
+    ) -> SpanGuard {
+        let start_us = sink.as_deref().map(TraceSink::now_us).unwrap_or(0);
+        SpanGuard {
+            sink,
+            name: name.to_string(),
+            category: category.to_string(),
+            track,
+            start_us,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                category: std::mem::take(&mut self.category),
+                track: self.track,
+                start_us: self.start_us,
+                duration_us: self.started.elapsed().as_micros() as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            category: "test".to_string(),
+            track: 1,
+            start_us: start,
+            duration_us: dur,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let sink = TraceSink::with_capacity(3);
+        for i in 0..5 {
+            sink.push(span(&format!("s{i}"), i, 1));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let names: Vec<String> = sink.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let sink = TraceSink::with_capacity(8);
+        sink.push(span("work", 10, 5));
+        let json = sink.to_chrome_json().render();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":5"));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn span_guard_records() {
+        let sink = Arc::new(TraceSink::with_capacity(8));
+        {
+            let _g = SpanGuard::start(Some(Arc::clone(&sink)), "op", "cat", 7);
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "op");
+        assert_eq!(spans[0].track, 7);
+    }
+
+    #[test]
+    fn noop_guard_is_silent() {
+        let _g = SpanGuard::start(None, "op", "cat", 0);
+    }
+
+    #[test]
+    fn summary_table_aggregates() {
+        let sink = TraceSink::with_capacity(8);
+        sink.push(span("a", 0, 10));
+        sink.push(span("a", 10, 30));
+        sink.push(span("b", 0, 5));
+        let table = sink.to_summary_table();
+        assert!(table.contains("a"));
+        assert!(table.contains("2"));
+        assert!(table.contains("40"));
+        assert!(table.contains("b"));
+    }
+}

@@ -1,0 +1,118 @@
+//! An immutable, reference-counted byte buffer.
+//!
+//! Covers the subset of the `bytes` crate's `Bytes` API the workspace
+//! uses: cheap clones (`Arc` bump, no copy), construction from vectors,
+//! slices and strings, and `Deref` to `[u8]`. Buffers registered with
+//! HybridDART are shared zero-copy between the producer's registration
+//! and every consumer's one-sided read.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer backed by a static byte string (copied once).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(s) }
+    }
+
+    /// Buffer holding a copy of `s`.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes { data: Arc::from(s) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} B)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(Bytes::from_static(b"xy").as_slice(), b"xy");
+        assert_eq!(Bytes::from("ab".to_string()).as_ref(), b"ab");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![9u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_by_content() {
+        assert_eq!(Bytes::copy_from_slice(b"abc"), Bytes::from(b"abc".to_vec()));
+        assert_ne!(
+            Bytes::copy_from_slice(b"abc"),
+            Bytes::copy_from_slice(b"abd")
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! An unbounded multi-producer multi-consumer channel.
+//!
+//! Replaces `crossbeam::channel` for the mailbox use case: senders are
+//! `Clone + Send + Sync`, `send` never blocks, and receivers support
+//! `len`, `try_recv` and `recv_timeout`. Disconnection (every sender
+//! dropped) is reported so receivers do not block forever.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+///
+/// The mailbox pattern keeps a receiver alive for the channel's lifetime,
+/// so in practice sends only fail during teardown.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+/// The sending half; cheap to clone.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they observe
+            // disconnection.
+            let _guard = self.chan.queue.lock().unwrap();
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; never blocks.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.chan.queue.lock().unwrap();
+        q.push_back(value);
+        drop(q);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    fn disconnected(&self) -> bool {
+        self.chan.senders.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocking receive; `Err` when every sender is dropped and the queue
+    /// is drained.
+    pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+        let mut q = self.chan.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            q = self.chan.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.chan.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self.chan.ready.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+            if res.timed_out() {
+                return match q.pop_front() {
+                    Some(v) => Ok(v),
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.chan.queue.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.chan.queue.lock().unwrap().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert!(rx.try_recv().is_none());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap_err(), RecvTimeoutError::Disconnected);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn many_senders_lossless() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 800);
+    }
+}

@@ -1,0 +1,55 @@
+//! A deterministic property-test driver.
+//!
+//! Replaces `proptest` for this workspace: a property is an ordinary
+//! closure over a seeded [`SplitMix64`], run for a fixed number of cases.
+//! Failures are reproducible (the failing case index and its derived seed
+//! are printed by the panic message), and there is no shrinking — cases
+//! are kept small by construction instead.
+//!
+//! ```
+//! insitu_util::check::forall(64, |rng| {
+//!     let a = rng.range_u64(0, 100);
+//!     let b = rng.range_u64(0, 100);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::SplitMix64;
+
+/// Run `prop` for `cases` deterministic random cases.
+///
+/// Each case gets a fresh generator derived from the case index, so a
+/// failure message's case number pins down the exact inputs.
+pub fn forall(cases: u64, mut prop: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0x5EED_2012u64 ^ case.wrapping_mul(0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed at case {case}/{cases}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case_deterministically() {
+        let mut first = Vec::new();
+        forall(16, |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        forall(16, |rng| second.push(rng.next_u64()));
+        assert_eq!(first.len(), 16);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_failures() {
+        forall(8, |rng| {
+            assert!(rng.next_u64() % 2 == 0, "will fail quickly")
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! Std-only shared utilities for the insitu workspace.
+//!
+//! The workspace builds with no network access, so the external crates a
+//! system like this would normally pull in are replaced by small local
+//! equivalents:
+//!
+//! - [`Bytes`] — a cheaply clonable, immutable byte buffer (replaces
+//!   `bytes::Bytes` for the subset of its API the workspace uses);
+//! - [`channel`] — an unbounded MPMC channel with `len`/`recv_timeout`
+//!   (replaces `crossbeam::channel` for the mailbox use case);
+//! - [`rng::SplitMix64`] — a tiny seeded PRNG (replaces `rand` in tests
+//!   and synthetic workloads);
+//! - [`check`] — a deterministic property-test driver (replaces
+//!   `proptest`: seeded random cases, plain `assert!`s, reproducible
+//!   failures).
+
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod channel;
+pub mod check;
+pub mod rng;
+
+pub use bytes::Bytes;
+pub use channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
+pub use rng::SplitMix64;

@@ -62,7 +62,11 @@ pub fn pairwise_overlaps_region(
     b: &Decomposition,
     region: &BoundingBox,
 ) -> Vec<(u64, u64, u128)> {
-    assert_eq!(a.domain(), b.domain(), "coupled apps must share the data domain");
+    assert_eq!(
+        a.domain(),
+        b.domain(),
+        "coupled apps must share the data domain"
+    );
     let Some(region) = a.domain().intersect(region) else {
         return Vec::new();
     };
@@ -188,14 +192,20 @@ mod tests {
     use insitu_domain::{BoundingBox, Distribution, ProcessGrid};
 
     fn dec(sizes: &[u64], procs: &[u64], dist: Distribution) -> Decomposition {
-        Decomposition::new(BoundingBox::from_sizes(sizes), ProcessGrid::new(procs), dist)
+        Decomposition::new(
+            BoundingBox::from_sizes(sizes),
+            ProcessGrid::new(procs),
+            dist,
+        )
     }
 
     #[test]
     fn joint_counts_match_brute_force() {
-        for (b1, p1, b2, p2, extent) in
-            [(2u64, 3u64, 3u64, 2u64, 17u64), (1, 4, 4, 1, 16), (3, 2, 2, 3, 20)]
-        {
+        for (b1, p1, b2, p2, extent) in [
+            (2u64, 3u64, 3u64, 2u64, 17u64),
+            (1, 4, 4, 1, 16),
+            (3, 2, 2, 3, 20),
+        ] {
             let m = joint_dim_counts(extent, b1, p1, b2, p2);
             for g1 in 0..p1 {
                 for g2 in 0..p2 {
@@ -268,10 +278,16 @@ mod tests {
 
     #[test]
     fn graph_vertices_and_offsets() {
-        let a = AppSpec::new(1, "p", 4)
-            .with_decomposition(dec(&[8, 8], &[2, 2], Distribution::Blocked));
-        let b = AppSpec::new(2, "c", 1)
-            .with_decomposition(dec(&[8, 8], &[1, 1], Distribution::Blocked));
+        let a = AppSpec::new(1, "p", 4).with_decomposition(dec(
+            &[8, 8],
+            &[2, 2],
+            Distribution::Blocked,
+        ));
+        let b = AppSpec::new(2, "c", 1).with_decomposition(dec(
+            &[8, 8],
+            &[1, 1],
+            Distribution::Blocked,
+        ));
         let (g, off) = build_inter_app_graph(&[&a, &b], 8);
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(off, vec![0, 4]);
@@ -310,8 +326,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "lacks a decomposition")]
     fn rejects_missing_decomposition() {
-        let a = AppSpec::new(1, "p", 4)
-            .with_decomposition(dec(&[8, 8], &[2, 2], Distribution::Blocked));
+        let a = AppSpec::new(1, "p", 4).with_decomposition(dec(
+            &[8, 8],
+            &[2, 2],
+            Distribution::Blocked,
+        ));
         let b = AppSpec::new(2, "c", 1);
         build_inter_app_graph(&[&a, &b], 8);
     }

@@ -111,7 +111,11 @@ impl WorkflowEngine {
     pub fn new(spec: WorkflowSpec) -> Result<Self, SpecError> {
         spec.validate()?;
         let waves = spec.bundle_waves()?;
-        Ok(WorkflowEngine { spec, waves, next_wave: 0 })
+        Ok(WorkflowEngine {
+            spec,
+            waves,
+            next_wave: 0,
+        })
     }
 
     /// The workflow being enacted.
@@ -147,8 +151,10 @@ impl WorkflowEngine {
         self.next_wave += 1;
         let mut mappings = Vec::new();
         for bundle in &self.waves[wave] {
-            let apps: Vec<&crate::spec::AppSpec> =
-                bundle.iter().map(|&id| self.spec.app(id).expect("validated")).collect();
+            let apps: Vec<&crate::spec::AppSpec> = bundle
+                .iter()
+                .map(|&id| self.spec.app(id).expect("validated"))
+                .collect();
             mappings.push(mapper.map_bundle(alloc, &apps));
         }
         Some(WaveLaunch { wave, mappings })

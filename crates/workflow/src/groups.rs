@@ -27,7 +27,10 @@ impl AppGroup {
 
     /// Rank of a client within the group, if a member.
     pub fn rank_of(&self, client: ClientId) -> Option<u32> {
-        self.members.iter().position(|&c| c == client).map(|p| p as u32)
+        self.members
+            .iter()
+            .position(|&c| c == client)
+            .map(|p| p as u32)
     }
 
     /// Client of a rank.
@@ -48,7 +51,10 @@ pub fn split_by_color(colored: &[(ClientId, u32, u64)]) -> Vec<AppGroup> {
         .into_iter()
         .map(|(app_id, mut v)| {
             v.sort_unstable();
-            AppGroup { app_id, members: v.into_iter().map(|(_, c)| c).collect() }
+            AppGroup {
+                app_id,
+                members: v.into_iter().map(|(_, c)| c).collect(),
+            }
         })
         .collect()
 }

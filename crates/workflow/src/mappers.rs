@@ -145,7 +145,9 @@ impl BundleMapper for PackedMapper {
         for app in apps {
             let mut cores = Vec::with_capacity(app.ntasks as usize);
             for _ in 0..app.ntasks {
-                let core = alloc.alloc_cyclic_from(0).expect("not enough cores for bundle");
+                let core = alloc
+                    .alloc_cyclic_from(0)
+                    .expect("not enough cores for bundle");
                 cores.push(core);
             }
             mapping.cores.insert(app.id, cores);
@@ -195,7 +197,9 @@ impl BundleMapper for DataCentricServerMapper {
         let total: u32 = apps.iter().map(|a| a.ntasks).sum();
         let cap = alloc.spec().cores_per_node as u64;
         let nparts = (total as u64).div_ceil(cap) as usize;
-        let parts = self.partitioner.partition(&graph, &PartitionConfig::with_cap(nparts, cap));
+        let parts = self
+            .partitioner
+            .partition(&graph, &PartitionConfig::with_cap(nparts, cap));
 
         // Choose a distinct node (with full capacity preferred) per group.
         let mut group_node: Vec<Option<NodeId>> = vec![None; nparts];
@@ -321,8 +325,7 @@ mod tests {
         let mut alloc = CoreAllocator::new(spec);
         let apps = [blocked_app(1, &[8, 8], &[2, 2])];
         let m = RoundRobinMapper.map_bundle(&mut alloc, &[&apps[0]]);
-        let nodes: Vec<NodeId> =
-            m.cores[&1].iter().map(|&c| spec.node_of_core(c)).collect();
+        let nodes: Vec<NodeId> = m.cores[&1].iter().map(|&c| spec.node_of_core(c)).collect();
         assert_eq!(nodes, vec![0, 1, 2, 3]);
     }
 
@@ -332,8 +335,7 @@ mod tests {
         let mut alloc = CoreAllocator::new(spec);
         let apps = [blocked_app(1, &[8, 8], &[2, 2])];
         let m = PackedMapper.map_bundle(&mut alloc, &[&apps[0]]);
-        let nodes: Vec<NodeId> =
-            m.cores[&1].iter().map(|&c| spec.node_of_core(c)).collect();
+        let nodes: Vec<NodeId> = m.cores[&1].iter().map(|&c| spec.node_of_core(c)).collect();
         assert_eq!(nodes, vec![0, 0, 1, 1]);
     }
 
@@ -395,8 +397,7 @@ mod tests {
     fn client_side_prefers_biggest_share() {
         let spec = MachineSpec::new(3, 2);
         let mut alloc = CoreAllocator::new(spec);
-        let cores =
-            map_client_side(&mut alloc, 1, |_| vec![(0, 10), (1, 500), (2, 20)]);
+        let cores = map_client_side(&mut alloc, 1, |_| vec![(0, 10), (1, 500), (2, 20)]);
         assert_eq!(spec.node_of_core(cores[0]), 1);
     }
 

@@ -47,9 +47,13 @@ pub fn parse_dag(input: &str) -> Result<WorkflowSpec, ParseError> {
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        let err = |m: String| ParseError { line: lineno, message: m };
+        let err = |m: String| ParseError {
+            line: lineno,
+            message: m,
+        };
         let parse_id = |s: &str| -> Result<u32, ParseError> {
-            s.parse::<u32>().map_err(|_| err(format!("invalid app id '{s}'")))
+            s.parse::<u32>()
+                .map_err(|_| err(format!("invalid app id '{s}'")))
         };
         match toks[0] {
             "APP_ID" => {
@@ -64,9 +68,7 @@ pub fn parse_dag(input: &str) -> Result<WorkflowSpec, ParseError> {
             }
             "PARENT_APPID" => {
                 if toks.len() != 4 || toks[2] != "CHILD_APPID" {
-                    return Err(err(
-                        "expected 'PARENT_APPID <id> CHILD_APPID <id>'".into(),
-                    ));
+                    return Err(err("expected 'PARENT_APPID <id> CHILD_APPID <id>'".into()));
                 }
                 spec.edges.push((parse_id(toks[1])?, parse_id(toks[3])?));
             }

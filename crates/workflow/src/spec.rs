@@ -25,7 +25,12 @@ pub struct AppSpec {
 impl AppSpec {
     /// An app with no declared decomposition.
     pub fn new(id: u32, name: impl Into<String>, ntasks: u32) -> Self {
-        AppSpec { id, name: name.into(), ntasks, decomposition: None }
+        AppSpec {
+            id,
+            name: name.into(),
+            ntasks,
+            decomposition: None,
+        }
     }
 
     /// Attach the coupled-data decomposition.
@@ -199,7 +204,10 @@ mod tests {
     /// coupled apps in one bundle.
     fn online_processing() -> WorkflowSpec {
         WorkflowSpec {
-            apps: vec![AppSpec::new(1, "simulation", 8), AppSpec::new(2, "analysis", 2)],
+            apps: vec![
+                AppSpec::new(1, "simulation", 8),
+                AppSpec::new(2, "analysis", 2),
+            ],
             edges: vec![],
             bundles: vec![vec![1, 2]],
         }
@@ -299,7 +307,9 @@ mod tests {
     #[test]
     fn diamond_dependency_schedules_correctly() {
         let w = WorkflowSpec {
-            apps: (1..=4).map(|i| AppSpec::new(i, format!("a{i}"), 1)).collect(),
+            apps: (1..=4)
+                .map(|i| AppSpec::new(i, format!("a{i}"), 1))
+                .collect(),
             edges: vec![(1, 2), (1, 3), (2, 4), (3, 4)],
             bundles: vec![],
         };

@@ -17,8 +17,9 @@ fn main() {
     // Show the curve ordering as a grid of indices.
     println!("Hilbert indices over the 8x8 domain:");
     for x in 0..8u64 {
-        let row: Vec<String> =
-            (0..8u64).map(|y| format!("{:>3}", curve.index_of(&[x, y]))).collect();
+        let row: Vec<String> = (0..8u64)
+            .map(|y| format!("{:>3}", curve.index_of(&[x, y])))
+            .collect();
         println!("  {}", row.join(" "));
     }
 
@@ -41,7 +42,11 @@ fn main() {
         let cores = dht.insert(
             var_id("temperature"),
             0,
-            LocationEntry { bbox, owner: owner as u32, piece: 0 },
+            LocationEntry {
+                bbox,
+                owner: owner as u32,
+                piece: 0,
+            },
         );
         println!("  client {owner} stores {bbox:?} -> recorded on DHT core(s) {cores:?}");
     }

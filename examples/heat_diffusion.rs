@@ -12,7 +12,12 @@ use insitu::miniapp::{jacobi_serial, run_jacobi, JacobiConfig};
 use insitu_fabric::TrafficClass;
 
 fn main() {
-    let cfg = JacobiConfig { size: 48, grid: [4, 4], sweeps: 200, cores_per_node: 4 };
+    let cfg = JacobiConfig {
+        size: 48,
+        grid: [4, 4],
+        sweeps: 200,
+        cores_per_node: 4,
+    };
     println!(
         "== 2-D heat diffusion: {}x{} grid on {} ranks, {} sweeps ==\n",
         cfg.size,
@@ -22,7 +27,10 @@ fn main() {
     );
     let out = run_jacobi(&cfg);
     let (reference, _) = jacobi_serial(cfg.size, cfg.sweeps);
-    assert_eq!(out.field, reference, "parallel result must match serial bit-for-bit");
+    assert_eq!(
+        out.field, reference,
+        "parallel result must match serial bit-for-bit"
+    );
 
     // Render the temperature field as ASCII shading (hot left wall).
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];

@@ -10,8 +10,8 @@
 //! ```
 
 use insitu::analysis::{downsample, region_stats, RegionStats};
-use insitu::comm::{GroupComm, ReduceOp};
 use insitu::cods::{var_id, CodsConfig, CodsSpace, Dht};
+use insitu::comm::{GroupComm, ReduceOp};
 use insitu::dart::DartRuntime;
 use insitu::domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu::fabric::{MachineSpec, Placement, TrafficClass, TransferLedger};
@@ -52,9 +52,10 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let piece = sim_dec.blocked_box(rank).unwrap();
             for version in 0..ITERATIONS {
-                let data =
-                    layout::fill_with(&piece, |p| field_value(vid, version, &p[..2]));
-                space.put_cont(rank as u32, 1, "field", version, 0, &piece, &data).unwrap();
+                let data = layout::fill_with(&piece, |p| field_value(vid, version, &p[..2]));
+                space
+                    .put_cont(rank as u32, 1, "field", version, 0, &piece, &data)
+                    .unwrap();
                 if rank == 0 && version > 0 {
                     space.wait_version_consumed(
                         "field",
@@ -69,7 +70,10 @@ fn main() {
 
     // Analysis application: clients 16..20, forming a process group with
     // collectives for the cross-rank reduction.
-    let group = Arc::new(AppGroup { app_id: 2, members: (16..20).collect() });
+    let group = Arc::new(AppGroup {
+        app_id: 2,
+        members: (16..20).collect(),
+    });
     let sim_clients: Vec<u32> = (0..16).collect();
     let mut analysis = Vec::new();
     for rank in 0..4u32 {
@@ -108,7 +112,9 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    println!("== In-situ analytics: 16 sim tasks -> 4 analysis tasks, {ITERATIONS} iterations ==\n");
+    println!(
+        "== In-situ analytics: 16 sim tasks -> 4 analysis tasks, {ITERATIONS} iterations ==\n"
+    );
     for h in analysis {
         let (rank, versions) = h.join().unwrap();
         if rank == 0 {

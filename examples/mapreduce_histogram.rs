@@ -7,8 +7,8 @@
 //! cargo run --release --example mapreduce_histogram
 //! ```
 
-use insitu::mapreduce::{run_histogram, serial_histogram, HistogramJob};
 use insitu::domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu::mapreduce::{run_histogram, serial_histogram, HistogramJob};
 use insitu_fabric::TrafficClass;
 
 fn main() {
@@ -17,12 +17,20 @@ fn main() {
         ProcessGrid::new(&[4, 4]),
         Distribution::Blocked,
     );
-    let job = HistogramJob { input, bins: 16, reduce_tasks: 4, cores_per_node: 4 };
+    let job = HistogramJob {
+        input,
+        bins: 16,
+        reduce_tasks: 4,
+        cores_per_node: 4,
+    };
     println!("== MapReduce histogram: 16 map tasks -> 4 reduce tasks over CoDS ==\n");
 
     let out = run_histogram(&job, "field");
     let reference = serial_histogram(&input, "field", 16);
-    assert_eq!(out.histogram, reference, "parallel result must match serial");
+    assert_eq!(
+        out.histogram, reference,
+        "parallel result must match serial"
+    );
 
     println!("bin  count   bar");
     let max = *out.histogram.iter().max().unwrap() as f64;

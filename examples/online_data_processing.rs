@@ -21,7 +21,10 @@ fn main() {
     // tasks on 12-core nodes — real threads, real data, verified.
     let mut demo = concurrent_scenario(48, 24, 8, pattern_pairs(&[4, 4, 4])[0]);
     demo.cores_per_node = 12;
-    println!("threaded demo: {} tasks total on {}-core nodes", 72, demo.cores_per_node);
+    println!(
+        "threaded demo: {} tasks total on {}-core nodes",
+        72, demo.cores_per_node
+    );
     for strategy in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
         let o = run_threaded(&demo, strategy);
         assert_eq!(o.verify_failures, 0);

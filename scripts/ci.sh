@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the insitu workspace.
+#
+# The workspace has zero external dependencies, so every step runs with
+# --offline: a network-less builder (or a hermetic CI runner) must pass.
+# Usage: scripts/ci.sh [--quick]
+#   --quick  skip the release build (debug build + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+if [[ $quick -eq 0 ]]; then
+    run cargo build --release --workspace --offline
+fi
+run cargo test -q --workspace --offline
+
+echo "==> CI gate passed"

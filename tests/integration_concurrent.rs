@@ -75,9 +75,18 @@ fn consumer_intra_app_traffic_grows_under_data_centric() {
     let rr = run_threaded(&s, MappingStrategy::RoundRobin);
     let dc = run_threaded(&s, MappingStrategy::DataCentric);
     let net = |o: &insitu::ThreadedOutcome, app| {
-        o.ledger.app_bytes(app, TrafficClass::IntraApp, insitu_fabric::Locality::Network)
+        o.ledger.app_bytes(
+            app,
+            TrafficClass::IntraApp,
+            insitu_fabric::Locality::Network,
+        )
     };
-    assert!(net(&dc, 2) >= net(&rr, 2), "dc {} < rr {}", net(&dc, 2), net(&rr, 2));
+    assert!(
+        net(&dc, 2) >= net(&rr, 2),
+        "dc {} < rr {}",
+        net(&dc, 2),
+        net(&rr, 2)
+    );
     // ...but the coupling reduction dominates total network traffic.
     assert!(dc.ledger.network_total() < rr.ledger.network_total());
 }

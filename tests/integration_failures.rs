@@ -31,9 +31,15 @@ fn dead_producer_surfaces_as_timeout() {
     // The DHT advertises a piece whose producer never registered the
     // buffer (crashed between DHT insert and registration).
     let b = BoundingBox::from_sizes(&[4, 4]);
-    space
-        .dht()
-        .insert(var_id("orphan"), 0, LocationEntry { bbox: b, owner: 3, piece: 0 });
+    space.dht().insert(
+        var_id("orphan"),
+        0,
+        LocationEntry {
+            bbox: b,
+            owner: 3,
+            piece: 0,
+        },
+    );
     let err = space.get_seq(0, 1, "orphan", 0, &b).unwrap_err();
     assert!(matches!(err, CodsError::Timeout { .. }));
     // The error display names the variable and version.
@@ -52,9 +58,13 @@ fn partially_produced_domain_is_incomplete() {
     for r in 0..3u64 {
         let piece = dec.blocked_box(r).unwrap();
         let data = layout::fill_with(&piece, |p| p[0] as f64);
-        space.put_seq(r as u32, 1, "partial", 0, 0, &piece, &data).unwrap();
+        space
+            .put_seq(r as u32, 1, "partial", 0, 0, &piece, &data)
+            .unwrap();
     }
-    let err = space.get_seq(0, 2, "partial", 0, &BoundingBox::from_sizes(&[8, 8])).unwrap_err();
+    let err = space
+        .get_seq(0, 2, "partial", 0, &BoundingBox::from_sizes(&[8, 8]))
+        .unwrap_err();
     assert_eq!(err, CodsError::IncompleteCover { missing_cells: 16 });
 }
 
@@ -71,7 +81,9 @@ fn get_of_sub_region_avoids_the_missing_producer() {
     for r in 0..3u64 {
         let piece = dec.blocked_box(r).unwrap();
         let data = layout::fill_with(&piece, |p| p[0] as f64);
-        space.put_seq(r as u32, 1, "partial2", 0, 0, &piece, &data).unwrap();
+        space
+            .put_seq(r as u32, 1, "partial2", 0, 0, &piece, &data)
+            .unwrap();
     }
     let ok_region = dec.blocked_box(0).unwrap();
     let (data, _) = space.get_seq(1, 2, "partial2", 0, &ok_region).unwrap();
@@ -89,12 +101,20 @@ fn staging_exhaustion_blocks_put_not_get() {
     let piece = |r: u64| dec.blocked_box(r).unwrap(); // 16 cells = 128 B each
     let data = |r: u64| layout::fill_with(&piece(r), |p| p[1] as f64);
     // Clients 0 and 1 live on node 0 (2 cores/node): two puts fill it.
-    space.put_seq(0, 1, "mem", 0, 0, &piece(0), &data(0)).unwrap();
-    space.put_seq(1, 1, "mem", 0, 0, &piece(1), &data(1)).unwrap();
-    let err = space.put_seq(0, 1, "mem", 1, 0, &piece(0), &data(0)).unwrap_err();
+    space
+        .put_seq(0, 1, "mem", 0, 0, &piece(0), &data(0))
+        .unwrap();
+    space
+        .put_seq(1, 1, "mem", 0, 0, &piece(1), &data(1))
+        .unwrap();
+    let err = space
+        .put_seq(0, 1, "mem", 1, 0, &piece(0), &data(0))
+        .unwrap_err();
     assert!(matches!(err, CodsError::StagingFull { node: 0, .. }));
     // Node 1 still has room.
-    space.put_seq(2, 1, "mem", 0, 0, &piece(2), &data(2)).unwrap();
+    space
+        .put_seq(2, 1, "mem", 0, 0, &piece(2), &data(2))
+        .unwrap();
     // Reads of already-staged data still work.
     let (got, _) = space.get_seq(3, 2, "mem", 0, &piece(0)).unwrap();
     assert_eq!(got, data(0));

@@ -2,9 +2,7 @@
 //! region between the models is exchanged, not the full domain — e.g. the
 //! boundary layer between atmosphere and ocean.
 
-use insitu::{
-    run_modeled, run_threaded, CouplingSpec, MappingStrategy, Scenario,
-};
+use insitu::{run_modeled, run_threaded, CouplingSpec, MappingStrategy, Scenario};
 use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu_fabric::{Locality, NetworkModel, TrafficClass};
 use insitu_workflow::{AppSpec, WorkflowSpec};
@@ -27,9 +25,17 @@ fn interface_scenario(concurrent: bool) -> Scenario {
         AppSpec::new(2, "ocean", 8).with_decomposition(blocked(&domain, &[4, 2, 1])),
     ];
     let workflow = if concurrent {
-        WorkflowSpec { apps, edges: vec![], bundles: vec![vec![1, 2]] }
+        WorkflowSpec {
+            apps,
+            edges: vec![],
+            bundles: vec![vec![1, 2]],
+        }
     } else {
-        WorkflowSpec { apps, edges: vec![(1, 2)], bundles: vec![] }
+        WorkflowSpec {
+            apps,
+            edges: vec![(1, 2)],
+            bundles: vec![],
+        }
     };
     Scenario {
         name: "interface coupling".into(),
@@ -79,7 +85,11 @@ fn tasks_outside_the_interface_do_not_couple() {
     let s = Scenario {
         name: "sparse interface".into(),
         cores_per_node: 4,
-        workflow: WorkflowSpec { apps, edges: vec![], bundles: vec![vec![1, 2]] },
+        workflow: WorkflowSpec {
+            apps,
+            edges: vec![],
+            bundles: vec![vec![1, 2]],
+        },
         couplings: vec![CouplingSpec {
             var: "flux".into(),
             producer_app: 1,
@@ -96,7 +106,10 @@ fn tasks_outside_the_interface_do_not_couple() {
     assert_eq!(o.verify_failures, 0);
     // Only ocean rank 0 (z = 0..1) touches the slab.
     assert_eq!(o.reports.len(), 1);
-    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 16 * 16 * 2 * 8);
+    assert_eq!(
+        o.ledger.total_bytes(TrafficClass::InterApp),
+        16 * 16 * 2 * 8
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@ use insitu::{
     MappingStrategy,
 };
 use insitu_fabric::TrafficClass;
-use proptest::prelude::*;
+use insitu_util::check::forall;
 
 #[test]
 fn weak_scaling_largest_point_conserves_volume() {
@@ -42,26 +42,22 @@ fn round_robin_at_scale_is_worse() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The reproduction's core guarantee, randomized: for arbitrary small
-    /// scenarios, the analytic executor's ledger matches the threaded
-    /// executor that really moves data.
-    #[test]
-    fn randomized_modeled_threaded_equivalence(
-        pexp in 1u32..4,
-        cexp in 0u32..3,
-        pattern_idx in 0usize..5,
-        strategy_idx in 0usize..3,
-        sequential in any::<bool>(),
-    ) {
+/// The reproduction's core guarantee, randomized: for arbitrary small
+/// scenarios, the analytic executor's ledger matches the threaded
+/// executor that really moves data.
+#[test]
+fn randomized_modeled_threaded_equivalence() {
+    forall(8, |rng| {
+        let pexp = rng.range_u32(1, 4);
+        let cexp = rng.range_u32(0, 3);
+        let pattern_idx = rng.range_usize(0, 5);
         let strategies = [
             MappingStrategy::RoundRobin,
             MappingStrategy::DataCentric,
             MappingStrategy::NodeCyclic,
         ];
-        let strategy = strategies[strategy_idx];
+        let strategy = *rng.choose(&strategies);
+        let sequential = rng.bool();
         let prod = 1u64 << (pexp + 1);
         let cons = (1u64 << cexp).min(prod);
         let mut s = if sequential {
@@ -72,18 +68,18 @@ proptest! {
         s.cores_per_node = 4;
         let modeled = run_modeled(&s, strategy);
         let threaded = run_threaded(&s, strategy);
-        prop_assert_eq!(threaded.verify_failures, 0);
+        assert_eq!(threaded.verify_failures, 0);
         for class in [TrafficClass::InterApp, TrafficClass::IntraApp] {
-            prop_assert_eq!(
+            assert_eq!(
                 modeled.ledger.shm_bytes(class),
                 threaded.ledger.shm_bytes(class),
-                "{:?} {:?} shm", strategy, class
+                "{strategy:?} {class:?} shm"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 modeled.ledger.network_bytes(class),
                 threaded.ledger.network_bytes(class),
-                "{:?} {:?} net", strategy, class
+                "{strategy:?} {class:?} net"
             );
         }
-    }
+    });
 }

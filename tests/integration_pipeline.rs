@@ -58,7 +58,10 @@ fn four_stage_chain_executes_in_order() {
     assert_eq!(o.verify_failures, 0);
     // Each coupling moved the full domain once: 3 stages.
     let domain_bytes = 12u64 * 12 * 12 * 8;
-    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 3 * domain_bytes);
+    assert_eq!(
+        o.ledger.total_bytes(TrafficClass::InterApp),
+        3 * domain_bytes
+    );
     // Gets per stage: B 8, C 4, D 8.
     assert_eq!(o.reports.len(), 20);
 }
@@ -78,8 +81,11 @@ fn four_dimensional_domain_coupling() {
         AppSpec::new(1, "sim4d", 8).with_decomposition(blocked(&domain, &[2, 2, 2, 1])),
         AppSpec::new(2, "ana4d", 4).with_decomposition(blocked(&domain, &[1, 1, 1, 4])),
     ];
-    let workflow =
-        WorkflowSpec { apps, edges: vec![], bundles: vec![vec![1, 2]] };
+    let workflow = WorkflowSpec {
+        apps,
+        edges: vec![],
+        bundles: vec![vec![1, 2]],
+    };
     let s = Scenario {
         name: "4-D coupling".into(),
         cores_per_node: 4,
@@ -160,7 +166,10 @@ fn diamond_with_concurrent_middle_wave() {
     assert_eq!(o.verify_failures, 0);
     let domain_bytes = 8u64 * 8 * 8 * 8;
     // src_out read twice, left_out once, right_out once.
-    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 4 * domain_bytes);
+    assert_eq!(
+        o.ledger.total_bytes(TrafficClass::InterApp),
+        4 * domain_bytes
+    );
     // Sink consumed two different variables, 8 gets each.
     let sink_gets = o.reports.iter().filter(|(a, _, _)| *a == 4).count();
     assert_eq!(sink_gets, 16);

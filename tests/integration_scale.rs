@@ -21,7 +21,11 @@ fn concurrent_576_clients_at_paper_task_counts() {
     assert_eq!(total, s.decomposition(1).domain().num_cells() as u64 * 8);
     // The paper's headline: most coupled bytes stay on-node.
     let net_frac = o.ledger.network_fraction(TrafficClass::InterApp);
-    assert!(net_frac < 0.35, "expected ~80% in-situ, got {:.0}% network", net_frac * 100.0);
+    assert!(
+        net_frac < 0.35,
+        "expected ~80% in-situ, got {:.0}% network",
+        net_frac * 100.0
+    );
 }
 
 #[test]
@@ -33,9 +37,16 @@ fn sequential_512_clients_at_paper_task_counts() {
     assert_eq!(o.reports.len(), 128 + 384);
     // Both consumers read the full domain.
     let total = o.ledger.total_bytes(TrafficClass::InterApp);
-    assert_eq!(total, 2 * s.decomposition(1).domain().num_cells() as u64 * 8);
+    assert_eq!(
+        total,
+        2 * s.decomposition(1).domain().num_cells() as u64 * 8
+    );
     let net_frac = o.ledger.network_fraction(TrafficClass::InterApp);
-    assert!(net_frac < 0.35, "expected ~90% in-situ, got {:.0}% network", net_frac * 100.0);
+    assert!(
+        net_frac < 0.35,
+        "expected ~90% in-situ, got {:.0}% network",
+        net_frac * 100.0
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn sequential_coupling_moves_exact_data() {
     assert_eq!(o.verify_failures, 0);
     // Both consumers read the whole domain: 2x volume redistributed.
     let domain_bytes = s.decomposition(1).domain().num_cells() as u64 * 8;
-    assert_eq!(o.ledger.total_bytes(TrafficClass::InterApp), 2 * domain_bytes);
+    assert_eq!(
+        o.ledger.total_bytes(TrafficClass::InterApp),
+        2 * domain_bytes
+    );
 }
 
 #[test]
@@ -83,7 +86,8 @@ fn sap1_stencil_unaffected_by_strategy() {
     let rr = run_threaded(&s, MappingStrategy::RoundRobin);
     let dc = run_threaded(&s, MappingStrategy::DataCentric);
     let net = |o: &insitu::ThreadedOutcome| {
-        o.ledger.app_bytes(1, TrafficClass::IntraApp, insitu_fabric::Locality::Network)
+        o.ledger
+            .app_bytes(1, TrafficClass::IntraApp, insitu_fabric::Locality::Network)
     };
     assert_eq!(net(&rr), net(&dc));
 }

@@ -1,0 +1,113 @@
+//! Integration tests for the telemetry subsystem: the metrics registry
+//! must agree with the transfer ledger (one truth, two views), and the
+//! threaded and modeled executors must produce identical transfer-count
+//! and byte metrics on matched scenarios.
+
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_modeled_with, run_threaded_with, sequential_scenario,
+    MappingStrategy,
+};
+use insitu_fabric::{Locality, TrafficClass};
+use insitu_telemetry::{MetricsSnapshot, Recorder};
+
+fn fabric_counter(snap: &MetricsSnapshot, kind: &str, class: TrafficClass, loc: Locality) -> u64 {
+    snap.counter(&format!("fabric.{kind}.{}.{}", class.slug(), loc.slug()))
+}
+
+#[test]
+fn threaded_byte_counters_equal_ledger_totals() {
+    let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]).with_iterations(2);
+    s.cores_per_node = 4;
+    let rec = Recorder::enabled();
+    let o = run_threaded_with(&s, MappingStrategy::DataCentric, &rec);
+    assert_eq!(o.verify_failures, 0);
+    let snap = rec.metrics_snapshot();
+    for class in TrafficClass::ALL {
+        assert_eq!(
+            fabric_counter(&snap, "bytes", class, Locality::SharedMemory),
+            o.ledger.shm_bytes(class),
+            "{class:?} shm"
+        );
+        assert_eq!(
+            fabric_counter(&snap, "bytes", class, Locality::Network),
+            o.ledger.network_bytes(class),
+            "{class:?} net"
+        );
+    }
+    // The dart layer saw every transfer the ledger saw.
+    let transfers: u64 = TrafficClass::ALL
+        .iter()
+        .flat_map(|&c| Locality::ALL.iter().map(move |&l| (c, l)))
+        .map(|(c, l)| fabric_counter(&snap, "transfers", c, l))
+        .sum();
+    assert_eq!(
+        snap.counter("dart.transport.shm") + snap.counter("dart.transport.net"),
+        transfers,
+        "dart transport selections must cover every ledger record"
+    );
+    assert!(snap.counter("cods.put") > 0);
+    assert!(snap.counter("cods.get") > 0);
+}
+
+#[test]
+fn threaded_and_modeled_emit_identical_transfer_metrics() {
+    // Matched blocked/blocked patterns, both coupling shapes: the two
+    // executors must agree transfer-for-transfer, not just byte-for-byte.
+    for (label, mut s) in [
+        (
+            "concurrent",
+            concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]),
+        ),
+        (
+            "sequential",
+            sequential_scenario(8, 4, 4, 4, pattern_pairs(&[2, 2, 2])[0]),
+        ),
+    ] {
+        s.cores_per_node = 4;
+        let s = s.with_iterations(2);
+        for strategy in [MappingStrategy::RoundRobin, MappingStrategy::DataCentric] {
+            let rec_t = Recorder::enabled();
+            let rec_m = Recorder::enabled();
+            let t = run_threaded_with(&s, strategy, &rec_t);
+            run_modeled_with(&s, strategy, &rec_m);
+            assert_eq!(t.verify_failures, 0);
+            let st = rec_t.metrics_snapshot();
+            let sm = rec_m.metrics_snapshot();
+            for class in [TrafficClass::InterApp, TrafficClass::IntraApp] {
+                for loc in Locality::ALL {
+                    for kind in ["bytes", "transfers"] {
+                        assert_eq!(
+                            fabric_counter(&st, kind, class, loc),
+                            fabric_counter(&sm, kind, class, loc),
+                            "{label} {strategy:?} fabric.{kind}.{}.{}",
+                            class.slug(),
+                            loc.slug()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_exports_are_valid_and_disabled_recorders_stay_empty() {
+    let mut s = concurrent_scenario(8, 4, 4, pattern_pairs(&[2, 2, 2])[0]);
+    s.cores_per_node = 4;
+    let rec = Recorder::enabled();
+    run_threaded_with(&s, MappingStrategy::RoundRobin, &rec);
+    let trace = rec.trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(trace.contains("workflow.execute"));
+    let metrics = rec.metrics_json();
+    assert!(metrics.starts_with('{') && metrics.ends_with('}'));
+    // A disabled recorder run must leave no residue and cost no metrics.
+    let off = Recorder::disabled();
+    run_threaded_with(&s, MappingStrategy::RoundRobin, &off);
+    assert!(off.metrics_snapshot().counters.is_empty());
+    assert_eq!(
+        off.trace_json(),
+        "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\",\"droppedSpans\":0}"
+    );
+}
