@@ -8,6 +8,7 @@
 //! ```
 
 use insitu::MappingStrategy;
+use insitu_chaos::FaultSpec;
 use insitu_cli::{run, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +19,7 @@ usage: insitu run     [--dag] <file> --config <file>
               [--metrics-out <path>] [--trace-out <path>]
        insitu compare [--dag] <file> --config <file>
               [--metrics-out <path>] [--trace-out <path>]
+       insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
 
 `run` executes the workflow described by the DAG file (paper Listing-1
 syntax) with the workload configuration (domains, grids, distributions,
@@ -25,7 +27,14 @@ couplings); default is data-centric mapping on the threaded executor.
 `compare` runs both mapping strategies on the modeled executor and prints
 a side-by-side summary with a per-counter metrics delta table.
 `--metrics-out` writes the telemetry registry snapshot as JSON;
-`--trace-out` writes a chrome://tracing span timeline.";
+`--trace-out` writes a chrome://tracing span timeline.
+`chaos` fuzzes randomized workflow cases under seeded fault injection
+(defaults: --seed 42 --cases 25 --faults standard). `--faults` takes
+'none', 'standard', or 'kind:rate,...' with kinds dead-producer,
+drop-pull, delay-pull, dht-blackout, stage-full, link-slow. The report is
+bit-for-bit replayable from the seed; the exit code is nonzero when an
+invariant was violated, and the first violation is shrunk to a minimal
+ready-to-paste #[test] reproducer.";
 
 #[derive(Debug)]
 enum Command {
@@ -36,12 +45,48 @@ enum Command {
         metrics_out: Option<PathBuf>,
         trace_out: Option<PathBuf>,
     },
+    Chaos {
+        seed: u64,
+        cases: u64,
+        faults: FaultSpec,
+    },
+}
+
+fn parse_chaos_args(args: &[String]) -> Result<Command, String> {
+    let mut seed = 42u64;
+    let mut cases = 25u64;
+    let mut faults = FaultSpec::standard();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--cases" => {
+                let v = it.next().ok_or("--cases needs a number")?;
+                cases = v.parse().map_err(|_| format!("bad case count '{v}'"))?;
+            }
+            "--faults" => {
+                faults = FaultSpec::parse(it.next().ok_or("--faults needs a spec")?)?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Command::Chaos {
+        seed,
+        cases,
+        faults,
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let sub = args.first().map(String::as_str);
+    if sub == Some("chaos") {
+        return parse_chaos_args(&args[1..]);
+    }
     if sub != Some("run") && sub != Some("compare") {
-        return Err("expected the 'run' or 'compare' subcommand".into());
+        return Err("expected the 'run', 'compare' or 'chaos' subcommand".into());
     }
     let mut dag_path: Option<String> = None;
     let mut config_path = None;
@@ -119,6 +164,21 @@ fn main() -> ExitCode {
             metrics_out,
             trace_out,
         } => insitu_cli::driver::compare(dag, config, metrics_out.as_ref(), trace_out.as_ref()),
+        Command::Chaos {
+            seed,
+            cases,
+            faults,
+        } => {
+            let report = insitu_chaos::run_chaos(*seed, *cases, faults);
+            let violations = report.violations();
+            print!("{}", report.render());
+            return if violations == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {violations} invariant violation(s)");
+                ExitCode::FAILURE
+            };
+        }
     };
     match result {
         Ok(report) => {
@@ -233,6 +293,65 @@ mod tests {
     fn rejects_unknown_subcommand() {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_with_defaults() {
+        let cmd = parse_args(&args(&["chaos"])).unwrap();
+        match cmd {
+            Command::Chaos {
+                seed,
+                cases,
+                faults,
+            } => {
+                assert_eq!(seed, 42);
+                assert_eq!(cases, 25);
+                assert_eq!(faults, FaultSpec::standard());
+            }
+            _ => panic!("expected chaos"),
+        }
+    }
+
+    #[test]
+    fn parses_chaos_flags_and_fault_specs() {
+        let cmd = parse_args(&args(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--cases",
+            "3",
+            "--faults",
+            "dead-producer:1,link-slow:0.5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos {
+                seed,
+                cases,
+                faults,
+            } => {
+                assert_eq!((seed, cases), (7, 3));
+                assert_eq!(faults.rate(insitu_chaos::FaultKind::DeadProducer), 1.0);
+                assert_eq!(faults.rate(insitu_chaos::FaultKind::LinkSlow), 0.5);
+            }
+            _ => panic!("expected chaos"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_chaos_arguments() {
+        assert!(parse_args(&args(&["chaos", "--seed", "pony"]))
+            .unwrap_err()
+            .contains("bad seed"));
+        assert!(parse_args(&args(&["chaos", "--cases"]))
+            .unwrap_err()
+            .contains("needs a number"));
+        assert!(parse_args(&args(&["chaos", "--faults", "gremlins:1"]))
+            .unwrap_err()
+            .contains("unknown fault kind"));
+        assert!(parse_args(&args(&["chaos", "--dag", "x"]))
+            .unwrap_err()
+            .contains("unknown argument"));
     }
 
     #[test]

@@ -152,7 +152,25 @@ impl Dht {
         version: u64,
         query: &BoundingBox,
     ) -> (Vec<LocationEntry>, Vec<usize>) {
-        let cores = self.cores_for(query);
+        self.query_filtered(var, version, query, &|_| true)
+    }
+
+    /// [`Dht::query`] restricted to the cores `core_up` reports reachable.
+    /// Records held only by skipped (blacked-out) cores are simply absent
+    /// from the result, surfacing downstream as an incomplete cover —
+    /// exactly how an unreachable DHT server degrades.
+    pub fn query_filtered(
+        &self,
+        var: u64,
+        version: u64,
+        query: &BoundingBox,
+        core_up: &dyn Fn(usize) -> bool,
+    ) -> (Vec<LocationEntry>, Vec<usize>) {
+        let cores: Vec<usize> = self
+            .cores_for(query)
+            .into_iter()
+            .filter(|&c| core_up(c))
+            .collect();
         let mut out: Vec<LocationEntry> = Vec::new();
         for &c in &cores {
             let t = self.tables[c].lock().unwrap();

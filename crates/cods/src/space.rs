@@ -40,6 +40,9 @@ pub enum CodsError {
         version: u64,
         /// The piece region that could not be fetched.
         region: BoundingBox,
+        /// Client that owns (and failed to serve) the piece — names the
+        /// faulty participant in reproducers.
+        owner: ClientId,
     },
     /// `put` data length does not match the declared box.
     SizeMismatch {
@@ -71,10 +74,11 @@ impl std::fmt::Display for CodsError {
                 var,
                 version,
                 region,
+                owner,
             } => {
                 write!(
                     f,
-                    "timed out waiting for var {var:#x} v{version} piece {region:?}"
+                    "timed out waiting for var {var:#x} v{version} piece {region:?} from client {owner}"
                 )
             }
             CodsError::SizeMismatch { expected, got } => {
@@ -148,6 +152,7 @@ pub struct CodsSpace {
     recorder: Recorder,
     put_count: Counter,
     get_count: Counter,
+    evict_count: Counter,
     staging_gauge: Gauge,
 }
 
@@ -185,6 +190,7 @@ impl CodsSpace {
             staging_peak: std::sync::atomic::AtomicU64::new(0),
             put_count: recorder.counter("cods.put"),
             get_count: recorder.counter("cods.get"),
+            evict_count: recorder.counter("cods.evictions"),
             staging_gauge: recorder.gauge("cods.staging_bytes"),
             recorder,
             dart,
@@ -286,7 +292,20 @@ impl CodsSpace {
         let vid = var_id(var);
         let bytes = data.len() as u64 * ELEM_BYTES as u64;
         let node = self.dart.placement().node_of(client);
-        {
+        let injector = self.dart.injector();
+        if injector.staging_exhausted(node) {
+            let used = self.staging_bytes(node);
+            return Err(CodsError::StagingFull {
+                node,
+                used,
+                limit: used,
+            });
+        }
+        // An injected dead producer crashes between its DHT insert and its
+        // buffer registration: the location is advertised below, but no
+        // payload ever lands in staging.
+        let dead = injector.dead_producer(vid, version, client, piece);
+        if !dead {
             let mut staging = self.staging.lock().unwrap();
             let used = staging.entry(node).or_insert(0);
             if let Some(limit) = self.cfg.staging_limit_per_node {
@@ -305,11 +324,13 @@ impl CodsSpace {
             self.staging_gauge.set(peak);
         }
         self.put_count.inc();
-        self.dart.registry().register(
-            buf_key(vid, version, client, piece),
-            client,
-            encode_f64s(data),
-        );
+        if !dead {
+            self.dart.registry().register(
+                buf_key(vid, version, client, piece),
+                client,
+                encode_f64s(data),
+            );
+        }
         if index_in_dht {
             let cores = self.dht.insert(
                 vid,
@@ -386,7 +407,10 @@ impl CodsSpace {
             }
             None => {
                 let _query_span = self.recorder.span("cods.dht_query", "cods", client as u64);
-                let (entries, cores) = self.dht.query(vid, version, query);
+                let injector = self.dart.injector();
+                let (entries, cores) = self
+                    .dht
+                    .query_filtered(vid, version, query, &|c| !injector.dht_core_down(c));
                 report.dht_cores_queried = cores.len() as u32;
                 // One query record out to each consulted core; the reply
                 // carries the matching location records (at least one
@@ -491,6 +515,7 @@ impl CodsSpace {
                     var: vid,
                     version,
                     region: op.region,
+                    owner: op.src_client,
                 })?;
             copy_region_bytes(
                 &handle.data,
@@ -528,6 +553,7 @@ impl CodsSpace {
         let vid = var_id(var);
         self.dht.remove_versions_up_to(vid, version);
         let removed = self.dart.registry().evict_below(vid, version + 1);
+        self.evict_count.add(removed.len() as u64);
         let mut staging = self.staging.lock().unwrap();
         for (owner, bytes) in removed {
             let node = self.dart.placement().node_of(owner);

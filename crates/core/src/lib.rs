@@ -66,7 +66,10 @@ pub use scenario::{
     pattern_pairs, sequential_scenario, sequential_scenario_with_grids, CouplingSpec, PatternPair,
     Scenario,
 };
-pub use threaded::{field_value, run_threaded, run_threaded_with, ThreadedOutcome};
+pub use threaded::{
+    field_value, run_threaded, run_threaded_configured, run_threaded_with, ThreadedConfig,
+    ThreadedOutcome,
+};
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use insitu_cods as cods;

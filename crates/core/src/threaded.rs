@@ -9,11 +9,13 @@
 
 use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
 use crate::scenario::Scenario;
-use insitu_cods::{var_id, CodsConfig, CodsSpace, Dht, GetReport};
+use insitu_cods::{var_id, CodsConfig, CodsError, CodsSpace, Dht, GetReport};
 use insitu_dart::DartRuntime;
 use insitu_domain::stencil::halo_exchanges;
 use insitu_domain::{layout, BoundingBox};
-use insitu_fabric::{ClientId, LedgerSnapshot, Placement, TrafficClass, TransferLedger};
+use insitu_fabric::{
+    ClientId, FaultInjector, LedgerSnapshot, Placement, TrafficClass, TransferLedger,
+};
 use insitu_sfc::HilbertCurve;
 use insitu_telemetry::Recorder;
 use insitu_util::Bytes;
@@ -44,8 +46,34 @@ pub struct ThreadedOutcome {
     pub reports: Vec<(u32, u64, GetReport)>,
     /// Cells whose retrieved value did not match the field function.
     pub verify_failures: u64,
+    /// Operator errors tasks hit, tagged `(app, rank)` and sorted for
+    /// determinism. Empty on a fault-free run; never triggers a panic —
+    /// a failed coupling is abandoned, the rest of the task proceeds.
+    pub errors: Vec<(u32, u64, CodsError)>,
+    /// Buffers still registered (staged) when the workflow finished —
+    /// lost puts show up here as the difference from evictions.
+    pub staged_buffers: u64,
     /// The placements used.
     pub mapped: MappedScenario,
+}
+
+/// Execution knobs of the threaded executor, mainly for chaos testing.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// How long a `get` waits for a missing piece, and how long producers
+    /// wait for a version to be consumed before giving up on reclaim.
+    pub get_timeout: Duration,
+    /// Fault sites to consult (inert by default).
+    pub injector: FaultInjector,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            get_timeout: Duration::from_secs(60),
+            injector: FaultInjector::none(),
+        }
+    }
 }
 
 /// The deterministic synthetic field: every `(variable, version, point)`
@@ -71,8 +99,19 @@ struct TaskCtx {
     dart: Arc<DartRuntime>,
     reports: Arc<Mutex<Vec<(u32, u64, GetReport)>>>,
     failures: Arc<AtomicU64>,
+    errors: Arc<Mutex<Vec<(u32, u64, CodsError)>>>,
+    get_timeout: Duration,
     app: u32,
     rank: u64,
+}
+
+impl TaskCtx {
+    /// Record an operator error; the task abandons the failed coupling
+    /// but keeps running (halo exchange in particular must complete so
+    /// peers do not block forever on their mailboxes).
+    fn note_error(&self, e: CodsError) {
+        self.errors.lock().unwrap().push((self.app, self.rank, e));
+    }
 }
 
 /// Run `scenario` under `strategy` with real threads and data.
@@ -92,6 +131,19 @@ pub fn run_threaded_with(
     strategy: MappingStrategy,
     recorder: &Recorder,
 ) -> ThreadedOutcome {
+    run_threaded_configured(scenario, strategy, recorder, &ThreadedConfig::default())
+}
+
+/// [`run_threaded_with`] with explicit execution knobs: a custom `get`
+/// timeout and a [`FaultInjector`] consulted at the runtime's fault
+/// sites. This is the chaos harness's entry point; with the default
+/// config it is exactly [`run_threaded_with`].
+pub fn run_threaded_configured(
+    scenario: &Scenario,
+    strategy: MappingStrategy,
+    recorder: &Recorder,
+    cfg: &ThreadedConfig,
+) -> ThreadedOutcome {
     assert_eq!(scenario.elem_bytes, 8, "threaded mode stores f64 fields");
     let mapped = {
         let _span = recorder.span("workflow.map", "workflow", 0);
@@ -109,8 +161,16 @@ pub fn run_threaded_with(
         }
     }
     let placement = Arc::new(Placement::pack_sequential(machine, machine.total_cores()));
-    let ledger = Arc::new(TransferLedger::with_recorder(recorder));
-    let dart = DartRuntime::with_recorder(placement, Arc::clone(&ledger), recorder.clone());
+    let ledger = Arc::new(TransferLedger::with_observer(
+        recorder,
+        cfg.injector.clone(),
+    ));
+    let dart = DartRuntime::with_injector(
+        placement,
+        Arc::clone(&ledger),
+        recorder.clone(),
+        cfg.injector.clone(),
+    );
     let domain = *scenario
         .workflow
         .apps
@@ -124,7 +184,7 @@ pub fn run_threaded_with(
         Arc::clone(&dart),
         dht,
         CodsConfig {
-            get_timeout: Duration::from_secs(60),
+            get_timeout: cfg.get_timeout,
             // Jaguar XT5 nodes carry 16 GB; staged coupling data must fit.
             staging_limit_per_node: Some(16 << 30),
             ..Default::default()
@@ -134,6 +194,7 @@ pub fn run_threaded_with(
     let scenario = Arc::new(scenario.clone());
     let reports = Arc::new(Mutex::new(Vec::new()));
     let failures = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(Mutex::new(Vec::new()));
 
     // Declare consumption expectations so producers can reclaim old
     // versions: one completed get per consumer piece per version.
@@ -198,6 +259,8 @@ pub fn run_threaded_with(
                         dart: Arc::clone(&dart),
                         reports: Arc::clone(&reports),
                         failures: Arc::clone(&failures),
+                        errors: Arc::clone(&errors),
+                        get_timeout: cfg.get_timeout,
                         app: app_id,
                         rank,
                     };
@@ -229,11 +292,21 @@ pub fn run_threaded_with(
         .expect("threads done")
         .into_inner()
         .unwrap();
+    let mut errors = Arc::try_unwrap(errors)
+        .expect("threads done")
+        .into_inner()
+        .unwrap();
+    // Threads report in scheduling order; sort so the outcome is a pure
+    // function of scenario + faults.
+    errors.sort_by(|a, b| (a.0, a.1, format!("{:?}", a.2)).cmp(&(b.0, b.1, format!("{:?}", b.2))));
+    let staged_buffers = dart.registry().len() as u64;
     ThreadedOutcome {
         strategy,
         ledger: ledger.snapshot(),
         reports,
         verify_failures: failures.load(Ordering::Relaxed),
+        errors,
+        staged_buffers,
         mapped: Arc::try_unwrap(mapped).expect("threads done"),
     }
 }
@@ -271,7 +344,7 @@ fn task_routine(ctx: TaskCtx) {
     // concurrent couplings, version v-1 is reclaimed once every consumer
     // get of it has completed — the in-memory window a long-running
     // simulation needs.
-    for coupling in &ctx.scenario.couplings {
+    'producer: for coupling in &ctx.scenario.couplings {
         if coupling.producer_app != ctx.app {
             continue;
         }
@@ -302,18 +375,21 @@ fn task_routine(ctx: TaskCtx) {
                         &data,
                     )
                 };
-                res.expect("put failed");
+                if let Err(e) = res {
+                    // Abandon this coupling; other couplings and the halo
+                    // round still run so peers are not deadlocked.
+                    ctx.note_error(e);
+                    continue 'producer;
+                }
             }
             if coupling.concurrent && version > 0 {
                 // Reclaim the previous version once fully consumed
                 // (rank 0 evicts on behalf of the group; eviction of a
                 // consumed version is idempotent).
                 if ctx.rank == 0
-                    && ctx.space.wait_version_consumed(
-                        &coupling.var,
-                        version - 1,
-                        std::time::Duration::from_secs(60),
-                    )
+                    && ctx
+                        .space
+                        .wait_version_consumed(&coupling.var, version - 1, ctx.get_timeout)
                 {
                     ctx.space.evict_version(&coupling.var, version - 1);
                 }
@@ -339,24 +415,30 @@ fn task_routine(ctx: TaskCtx) {
             .into_iter()
             .filter_map(|p| p.intersect(&coupled_region))
             .collect();
-        for version in 0..ctx.scenario.iterations {
+        'versions: for version in 0..ctx.scenario.iterations {
             for piece in &pieces {
-                let (data, report) = if coupling.concurrent {
-                    ctx.space
-                        .get_cont(
-                            client,
-                            ctx.app,
-                            &coupling.var,
-                            version,
-                            piece,
-                            pdec,
-                            &producer_clients,
-                        )
-                        .expect("get_cont failed")
+                let res = if coupling.concurrent {
+                    ctx.space.get_cont(
+                        client,
+                        ctx.app,
+                        &coupling.var,
+                        version,
+                        piece,
+                        pdec,
+                        &producer_clients,
+                    )
                 } else {
                     ctx.space
                         .get_seq(client, ctx.app, &coupling.var, version, piece)
-                        .expect("get_seq failed")
+                };
+                let (data, report) = match res {
+                    Ok(dr) => dr,
+                    Err(e) => {
+                        // Abandon this coupling's remaining versions; the
+                        // task still completes its other roles.
+                        ctx.note_error(e);
+                        break 'versions;
+                    }
                 };
                 // Verify every retrieved cell against the field function.
                 let mut bad = 0u64;

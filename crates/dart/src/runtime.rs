@@ -2,7 +2,9 @@
 
 use crate::mailbox::{Mailbox, Msg};
 use crate::registry::{BufKey, BufferHandle, BufferRegistry};
-use insitu_fabric::{ClientId, Locality, Placement, TrafficClass, TransferLedger};
+use insitu_fabric::{
+    ClientId, FaultAction, FaultInjector, Locality, Placement, TrafficClass, TransferLedger,
+};
 use insitu_telemetry::{Counter, Histogram, Recorder};
 use insitu_util::channel::Sender;
 use insitu_util::Bytes;
@@ -25,6 +27,7 @@ pub struct DartRuntime {
     mailboxes: Vec<Mutex<Option<Mailbox>>>,
     registry: BufferRegistry,
     recorder: Recorder,
+    injector: FaultInjector,
     msgs_sent: Counter,
     transport_shm: Counter,
     transport_net: Counter,
@@ -43,6 +46,18 @@ impl DartRuntime {
         ledger: Arc<TransferLedger>,
         recorder: Recorder,
     ) -> Arc<Self> {
+        Self::with_injector(placement, ledger, recorder, FaultInjector::none())
+    }
+
+    /// Build a runtime that additionally consults `injector` at its fault
+    /// sites (pulls here; the layers above reach the injector through
+    /// [`DartRuntime::injector`]).
+    pub fn with_injector(
+        placement: Arc<Placement>,
+        ledger: Arc<TransferLedger>,
+        recorder: Recorder,
+        injector: FaultInjector,
+    ) -> Arc<Self> {
         let n = placement.num_clients();
         let (boxes, senders) = Mailbox::create_all(n);
         Arc::new(DartRuntime {
@@ -51,6 +66,7 @@ impl DartRuntime {
             senders,
             mailboxes: boxes.into_iter().map(|b| Mutex::new(Some(b))).collect(),
             registry: BufferRegistry::new(),
+            injector,
             msgs_sent: recorder.counter("dart.msgs_sent"),
             transport_shm: recorder.counter("dart.transport.shm"),
             transport_net: recorder.counter("dart.transport.net"),
@@ -78,6 +94,12 @@ impl DartRuntime {
     /// default). Layers above the transport share it.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The fault injector this runtime was built with (inert by default).
+    /// CoDS consults it at its own fault sites.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// HybridDART's transport selection: shared memory when the two
@@ -133,8 +155,14 @@ impl DartRuntime {
     }
 
     /// Receiver-driven pull: block until `key` is registered, timing the
-    /// wait into the `dart.pull_wait_us` histogram. `None` on timeout.
+    /// wait into the `dart.pull_wait_us` histogram. `None` on timeout or
+    /// when an injected fault drops the pull.
     pub fn pull(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
+        match self.injector.on_pull(key.name, key.version, key.piece) {
+            FaultAction::Drop => return None,
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Proceed => {}
+        }
         let started = Instant::now();
         let handle = self.registry.wait_for(key, timeout);
         self.pull_wait_us

@@ -1,0 +1,177 @@
+//! Fault-injection hooks for chaos testing.
+//!
+//! The runtime layers (DART, CoDS, the ledger) consult a [`FaultInjector`]
+//! at well-defined *fault sites*: buffer registration after a DHT insert,
+//! receiver-driven pulls, DHT span queries and staging-memory accounting.
+//! Production code paths carry a no-op injector ([`FaultInjector::none`])
+//! whose every check is a branch on a `None`; the chaos harness
+//! (`insitu-chaos`) installs a seed-driven [`FaultHooks`] implementation
+//! so whole-workflow failure scenarios replay deterministically.
+
+use crate::ledger::{Locality, TrafficClass};
+use crate::machine::{ClientId, NodeId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do with an intercepted pull.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Let the operation proceed normally.
+    Proceed,
+    /// Fail the operation immediately (the transfer is lost).
+    Drop,
+    /// Delay the operation, then proceed.
+    Delay(Duration),
+}
+
+/// Decision points the runtime exposes to a fault plan.
+///
+/// Every method has a benign default so implementors only override the
+/// faults they model. Implementations must be deterministic functions of
+/// their arguments (plus the plan's seed): the runtime may invoke them
+/// from any thread, in any order, any number of times per site.
+pub trait FaultHooks: Send + Sync {
+    /// `true` simulates a producer that crashed between its DHT insert and
+    /// its buffer registration: the location is advertised but the payload
+    /// never lands in staging.
+    fn dead_producer(&self, var: u64, version: u64, owner: ClientId, piece: u64) -> bool {
+        let _ = (var, version, owner, piece);
+        false
+    }
+
+    /// Intercept a receiver-driven pull of one buffer.
+    fn on_pull(&self, name: u64, version: u64, piece: u64) -> FaultAction {
+        let _ = (name, version, piece);
+        FaultAction::Proceed
+    }
+
+    /// `true` blacks out one DHT core: span queries skip it as if the
+    /// core were unreachable.
+    fn dht_core_down(&self, core: usize) -> bool {
+        let _ = core;
+        false
+    }
+
+    /// `true` makes `node`'s staging memory report exhaustion regardless
+    /// of the configured limit.
+    fn staging_exhausted(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Observe every ledger record (an accounting tap, not a fault): the
+    /// chaos harness cross-checks these totals against ledger snapshots
+    /// and telemetry counters.
+    fn on_transfer(&self, class: TrafficClass, locality: Locality, bytes: u64) {
+        let _ = (class, locality, bytes);
+    }
+}
+
+/// A cheaply cloneable, optionally-empty handle to a [`FaultHooks`]
+/// implementation. The default ([`FaultInjector::none`]) injects nothing.
+#[derive(Clone, Default)]
+pub struct FaultInjector(Option<Arc<dyn FaultHooks>>);
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("active", &self.0.is_some())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never injects (the production default).
+    pub fn none() -> Self {
+        FaultInjector(None)
+    }
+
+    /// Wrap a fault plan.
+    pub fn new(hooks: Arc<dyn FaultHooks>) -> Self {
+        FaultInjector(Some(hooks))
+    }
+
+    /// Whether any hooks are installed.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// See [`FaultHooks::dead_producer`].
+    pub fn dead_producer(&self, var: u64, version: u64, owner: ClientId, piece: u64) -> bool {
+        match &self.0 {
+            Some(h) => h.dead_producer(var, version, owner, piece),
+            None => false,
+        }
+    }
+
+    /// See [`FaultHooks::on_pull`].
+    pub fn on_pull(&self, name: u64, version: u64, piece: u64) -> FaultAction {
+        match &self.0 {
+            Some(h) => h.on_pull(name, version, piece),
+            None => FaultAction::Proceed,
+        }
+    }
+
+    /// See [`FaultHooks::dht_core_down`].
+    pub fn dht_core_down(&self, core: usize) -> bool {
+        match &self.0 {
+            Some(h) => h.dht_core_down(core),
+            None => false,
+        }
+    }
+
+    /// See [`FaultHooks::staging_exhausted`].
+    pub fn staging_exhausted(&self, node: NodeId) -> bool {
+        match &self.0 {
+            Some(h) => h.staging_exhausted(node),
+            None => false,
+        }
+    }
+
+    /// See [`FaultHooks::on_transfer`].
+    pub fn on_transfer(&self, class: TrafficClass, locality: Locality, bytes: u64) {
+        if let Some(h) = &self.0 {
+            h.on_transfer(class, locality, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn none_injector_is_inert() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_active());
+        assert!(!inj.dead_producer(1, 2, 3, 4));
+        assert_eq!(inj.on_pull(1, 2, 3), FaultAction::Proceed);
+        assert!(!inj.dht_core_down(0));
+        assert!(!inj.staging_exhausted(0));
+        inj.on_transfer(TrafficClass::Dht, Locality::Network, 64);
+    }
+
+    #[test]
+    fn hooks_are_consulted() {
+        struct DropAll(AtomicU64);
+        impl FaultHooks for DropAll {
+            fn on_pull(&self, _: u64, _: u64, _: u64) -> FaultAction {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                FaultAction::Drop
+            }
+            fn dht_core_down(&self, core: usize) -> bool {
+                core == 2
+            }
+        }
+        let hooks = Arc::new(DropAll(AtomicU64::new(0)));
+        let inj = FaultInjector::new(hooks.clone());
+        assert!(inj.is_active());
+        assert_eq!(inj.on_pull(9, 0, 1), FaultAction::Drop);
+        assert!(inj.dht_core_down(2));
+        assert!(!inj.dht_core_down(3));
+        // Defaults still benign for hooks the plan does not override.
+        assert!(!inj.dead_producer(0, 0, 0, 0));
+        assert_eq!(hooks.0.load(Ordering::Relaxed), 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! `fabric.transfers.<class>.<locality>` counters, so metrics exports
 //! carry the same truth without a second accounting path.
 
+use crate::fault::FaultInjector;
 use insitu_telemetry::{Counter, Recorder};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -122,6 +123,7 @@ pub struct TransferLedger {
     // byte, so contention is negligible.
     per_app: Mutex<BTreeMap<(u32, TrafficClass, Locality), u64>>,
     mirror: Option<Mirror>,
+    observer: FaultInjector,
 }
 
 impl std::fmt::Debug for TransferLedger {
@@ -144,6 +146,17 @@ impl TransferLedger {
     pub fn with_recorder(recorder: &Recorder) -> Self {
         TransferLedger {
             mirror: recorder.is_enabled().then(|| Mirror::new(recorder)),
+            ..Self::default()
+        }
+    }
+
+    /// Like [`TransferLedger::with_recorder`], additionally tapping every
+    /// record through `observer` ([`crate::fault::FaultHooks::on_transfer`]) so a
+    /// chaos harness can cross-check accounting totals.
+    pub fn with_observer(recorder: &Recorder, observer: FaultInjector) -> Self {
+        TransferLedger {
+            mirror: recorder.is_enabled().then(|| Mirror::new(recorder)),
+            observer,
             ..Self::default()
         }
     }
@@ -186,6 +199,7 @@ impl TransferLedger {
             mirror.bytes[class.idx()][locality.idx()].add(total);
             mirror.transfers[class.idx()][locality.idx()].add(times);
         }
+        self.observer.on_transfer(class, locality, total);
     }
 
     /// Immutable snapshot of all counters.

@@ -16,15 +16,17 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ledger;
 pub mod machine;
 pub mod timemodel;
 pub mod torus;
 
+pub use fault::{FaultAction, FaultHooks, FaultInjector};
 pub use ledger::{LedgerSnapshot, Locality, TrafficClass, TransferLedger};
 pub use machine::{ClientId, CoreId, MachineSpec, NodeId, Placement};
 pub use timemodel::{
-    estimate_file_coupling_time, estimate_retrieve_times, ClientRetrieve, FilesystemModel,
-    NetworkModel, Transfer,
+    estimate_file_coupling_time, estimate_retrieve_times, estimate_retrieve_times_faulted,
+    ClientRetrieve, FilesystemModel, LinkFaults, NetworkModel, Transfer,
 };
 pub use torus::{LinkId, TorusTopology};

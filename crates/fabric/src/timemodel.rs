@@ -72,6 +72,44 @@ pub struct ClientRetrieve {
     pub dht_queries: u32,
 }
 
+/// Per-link bandwidth degradation factors for fault modeling: a slowed
+/// link divides its bandwidth by the given factor (≥ 1). Links not listed
+/// run at full speed, so the default (empty) value models a healthy torus.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    slow: HashMap<(NodeId, u8, bool), f64>,
+}
+
+impl LinkFaults {
+    /// A healthy torus: no slowed links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Degrade one directed link's bandwidth by `factor` (clamped to
+    /// ≥ 1). Repeated calls on the same link keep the worst factor.
+    pub fn slow_link(&mut self, from: NodeId, dim: u8, plus: bool, factor: f64) {
+        let f = factor.max(1.0);
+        let e = self.slow.entry((from, dim, plus)).or_insert(1.0);
+        *e = e.max(f);
+    }
+
+    /// The degradation factor of one directed link (1 when healthy).
+    pub fn factor(&self, from: NodeId, dim: u8, plus: bool) -> f64 {
+        self.slow.get(&(from, dim, plus)).copied().unwrap_or(1.0)
+    }
+
+    /// Number of slowed links.
+    pub fn len(&self) -> usize {
+        self.slow.len()
+    }
+
+    /// Whether no link is slowed.
+    pub fn is_empty(&self) -> bool {
+        self.slow.is_empty()
+    }
+}
+
 /// Estimated completion time (milliseconds) of each client's retrieve,
 /// assuming all clients start simultaneously — the paper's "time to
 /// retrieve coupled data" metric is the per-application maximum of these.
@@ -79,6 +117,19 @@ pub fn estimate_retrieve_times(
     model: &NetworkModel,
     topo: &TorusTopology,
     retrieves: &[ClientRetrieve],
+) -> Vec<f64> {
+    estimate_retrieve_times_faulted(model, topo, retrieves, &LinkFaults::default())
+}
+
+/// [`estimate_retrieve_times`] under injected torus-link slowdowns: each
+/// flow's effective bandwidth additionally divides by the worst
+/// [`LinkFaults::factor`] along its dimension-ordered route. With an empty
+/// `faults` this is bit-for-bit identical to the healthy estimate.
+pub fn estimate_retrieve_times_faulted(
+    model: &NetworkModel,
+    topo: &TorusTopology,
+    retrieves: &[ClientRetrieve],
+    faults: &LinkFaults,
 ) -> Vec<f64> {
     // Pass 1: global contention state.
     let mut link_sharers: HashMap<(NodeId, u8, bool), u32> = HashMap::new();
@@ -115,14 +166,18 @@ pub fn estimate_retrieve_times(
                     shm_msgs += 1;
                 } else {
                     net_bytes += t.bytes;
-                    // Slowest shared resource along the path.
-                    let mut max_sharers = 1u32;
+                    // Slowest shared resource along the path. A link's
+                    // cost is its sharer count scaled by any injected
+                    // slowdown (factor 1 when healthy).
+                    let mut worst_link = 1.0f64;
                     for l in topo.route(t.src_node, r.dst_node) {
-                        max_sharers = max_sharers.max(link_sharers[&(l.from, l.dim, l.plus)]);
+                        let cost = link_sharers[&(l.from, l.dim, l.plus)] as f64
+                            * faults.factor(l.from, l.dim, l.plus);
+                        worst_link = worst_link.max(cost);
                     }
                     let src_n = src_outflows[&t.src_node].max(1);
                     let eff_bw = (gbps(model.nic_bandwidth_gbps) / src_n as f64)
-                        .min(gbps(model.link_bandwidth_gbps) / max_sharers as f64)
+                        .min(gbps(model.link_bandwidth_gbps) / worst_link)
                         .min(gbps(model.nic_bandwidth_gbps));
                     let flow_t = model.net_latency_us * us + t.bytes as f64 / eff_bw;
                     worst_flow = worst_flow.max(flow_t);
@@ -361,6 +416,54 @@ mod tests {
         let a = estimate_retrieve_times(&m, &t, &[mk(1 << 20)])[0];
         let b = estimate_retrieve_times(&m, &t, &[mk(64 << 20)])[0];
         assert!(b > a * 10.0);
+    }
+
+    #[test]
+    fn link_fault_slows_only_affected_routes() {
+        let m = NetworkModel::jaguar();
+        let t = TorusTopology::new([8, 1, 1]);
+        let mk = |src: u32, dst: u32| ClientRetrieve {
+            dst_node: dst,
+            transfers: vec![Transfer {
+                src_node: src,
+                bytes: 64 << 20,
+            }],
+            dht_queries: 0,
+        };
+        let retrieves = vec![mk(0, 2), mk(5, 6)];
+        let healthy = estimate_retrieve_times(&m, &t, &retrieves);
+        // Slow the 0->1 hop: only the first flow routes through it.
+        let mut faults = LinkFaults::new();
+        faults.slow_link(0, 0, true, 8.0);
+        assert_eq!(faults.len(), 1);
+        let faulted = estimate_retrieve_times_faulted(&m, &t, &retrieves, &faults);
+        assert!(
+            faulted[0] > healthy[0] * 2.0,
+            "{} vs {}",
+            faulted[0],
+            healthy[0]
+        );
+        assert_eq!(faulted[1], healthy[1]);
+    }
+
+    #[test]
+    fn empty_link_faults_match_healthy_estimate_exactly() {
+        let m = NetworkModel::jaguar();
+        let t = TorusTopology::cubic_for(12);
+        let retrieves: Vec<ClientRetrieve> = (0..10u32)
+            .map(|i| ClientRetrieve {
+                dst_node: i % 12,
+                transfers: vec![Transfer {
+                    src_node: (i + 5) % 12,
+                    bytes: (i as u64 + 1) << 20,
+                }],
+                dht_queries: i,
+            })
+            .collect();
+        assert_eq!(
+            estimate_retrieve_times(&m, &t, &retrieves),
+            estimate_retrieve_times_faulted(&m, &t, &retrieves, &LinkFaults::new())
+        );
     }
 
     #[test]

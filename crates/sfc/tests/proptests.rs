@@ -102,6 +102,71 @@ fn spans_cover_box_exactly_morton() {
     });
 }
 
+/// Expand a span cover back into the set of lattice points it names.
+fn cells_of_spans(
+    curve: &dyn SpaceFillingCurve,
+    spans: &[insitu_sfc::Span],
+    ndim: usize,
+) -> std::collections::BTreeSet<Vec<u64>> {
+    let mut cells = std::collections::BTreeSet::new();
+    for s in spans {
+        let mut i = s.first;
+        loop {
+            cells.insert(curve.point_of(i)[..ndim].to_vec());
+            if i == s.last {
+                break;
+            }
+            i += 1;
+        }
+    }
+    cells
+}
+
+#[test]
+fn hilbert_and_morton_cover_identical_cell_sets_2d() {
+    forall(64, |rng| {
+        let order = rng.range_u32(2, 5);
+        let h = HilbertCurve::new(2, order);
+        let m = MortonCurve::new(2, order);
+        let side = h.side();
+        let lb = [rng.range_u64(0, side), rng.range_u64(0, side)];
+        let ub = [
+            (lb[0] + rng.range_u64(0, side)).min(side - 1),
+            (lb[1] + rng.range_u64(0, side)).min(side - 1),
+        ];
+        let b = BoundingBox::new(&lb, &ub);
+        let hc = cells_of_spans(&h, &spans_of_box(&h, &b), 2);
+        let mc = cells_of_spans(&m, &spans_of_box(&m, &b), 2);
+        assert_eq!(hc, mc, "curves disagree on box {b:?}");
+        assert_eq!(hc.len() as u128, b.num_cells());
+    });
+}
+
+#[test]
+fn hilbert_and_morton_cover_identical_cell_sets_3d() {
+    forall(32, |rng| {
+        let order = rng.range_u32(1, 4);
+        let h = HilbertCurve::new(3, order);
+        let m = MortonCurve::new(3, order);
+        let side = h.side();
+        let lb = [
+            rng.range_u64(0, side),
+            rng.range_u64(0, side),
+            rng.range_u64(0, side),
+        ];
+        let ub = [
+            (lb[0] + rng.range_u64(0, side)).min(side - 1),
+            (lb[1] + rng.range_u64(0, side)).min(side - 1),
+            (lb[2] + rng.range_u64(0, side)).min(side - 1),
+        ];
+        let b = BoundingBox::new(&lb, &ub);
+        let hc = cells_of_spans(&h, &spans_of_box(&h, &b), 3);
+        let mc = cells_of_spans(&m, &spans_of_box(&m, &b), 3);
+        assert_eq!(hc, mc, "curves disagree on box {b:?}");
+        assert_eq!(hc.len() as u128, b.num_cells());
+    });
+}
+
 #[test]
 fn spans_outside_points_not_covered() {
     forall(128, |rng| {

@@ -24,4 +24,20 @@ if [[ $quick -eq 0 ]]; then
 fi
 run cargo test -q --workspace --offline
 
+# Chaos smoke: a bounded fuzz run under the standard fault mix, with a
+# pinned seed. Executed twice and diffed — the report must be bit-for-bit
+# replayable — and `insitu chaos` itself exits nonzero on any invariant
+# violation.
+chaos_profile=--release
+[[ $quick -eq 1 ]] && chaos_profile=
+chaos() {
+    cargo run -q $chaos_profile -p insitu-cli --offline -- \
+        chaos --seed 42 --cases 25 --faults standard
+}
+echo "==> chaos smoke (seed 42, 25 cases, run twice, diff)"
+chaos > target/chaos-run-1.txt
+chaos > target/chaos-run-2.txt
+diff -u target/chaos-run-1.txt target/chaos-run-2.txt
+tail -n 1 target/chaos-run-1.txt
+
 echo "==> CI gate passed"

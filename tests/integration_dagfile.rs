@@ -107,3 +107,26 @@ fn malformed_dag_is_rejected_with_line_info() {
     let err = parse_dag("APP_ID 1\nPARENT_APPID 1\n").unwrap_err();
     assert_eq!(err.line, 2);
 }
+
+// Golden-file fixtures: structurally well-formed DAG files the validator
+// must reject, with the exact user-facing message pinned so error-path
+// regressions show up as test diffs.
+
+#[test]
+fn cyclic_dag_fixture_fails_validation_with_exact_message() {
+    let wf = parse_dag(include_str!("../workflows/cyclic.dag"))
+        .expect("the cycle is a semantic error, not a parse error");
+    let err = wf.validate().unwrap_err();
+    assert_eq!(err.to_string(), "workflow DAG has a cycle");
+    // The wave scheduler refuses it too — the error is caught before any
+    // execution machinery spins up.
+    assert!(wf.bundle_waves().is_err());
+}
+
+#[test]
+fn undeclared_bundle_member_fixture_fails_validation_with_exact_message() {
+    let wf = parse_dag(include_str!("../workflows/unknown-bundle.dag"))
+        .expect("the undeclared member is a semantic error, not a parse error");
+    let err = wf.validate().unwrap_err();
+    assert_eq!(err.to_string(), "unknown app id 4");
+}

@@ -41,9 +41,12 @@ fn dead_producer_surfaces_as_timeout() {
         },
     );
     let err = space.get_seq(0, 1, "orphan", 0, &b).unwrap_err();
-    assert!(matches!(err, CodsError::Timeout { .. }));
-    // The error display names the variable and version.
-    assert!(err.to_string().contains("v0"));
+    assert!(matches!(err, CodsError::Timeout { owner: 3, .. }));
+    // The error display names the variable, version and the owner rank
+    // that failed to serve the piece — the reproducer's first suspect.
+    let msg = err.to_string();
+    assert!(msg.contains("v0"), "{msg}");
+    assert!(msg.contains("from client 3"), "{msg}");
 }
 
 #[test]
@@ -118,6 +121,78 @@ fn staging_exhaustion_blocks_put_not_get() {
     // Reads of already-staged data still work.
     let (got, _) = space.get_seq(3, 2, "mem", 0, &piece(0)).unwrap();
     assert_eq!(got, data(0));
+}
+
+#[test]
+fn staging_limit_boundary_is_exact() {
+    // Two clients per node, 128 B per piece: a 256 B limit fits exactly
+    // two pieces. Landing exactly *at* the limit succeeds; one byte past
+    // fails with the typed error, naming the node and its usage.
+    let space = small_space(Some(256));
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[8, 8]),
+        ProcessGrid::new(&[2, 2]),
+        Distribution::Blocked,
+    );
+    let piece = |r: u64| dec.blocked_box(r).unwrap(); // 16 cells = 128 B
+    let data = |r: u64| layout::fill_with(&piece(r), |p| p[0] as f64);
+    space
+        .put_seq(0, 1, "edge", 0, 0, &piece(0), &data(0))
+        .unwrap();
+    assert_eq!(space.staging_bytes(0), 128);
+    // Exactly at the limit: allowed.
+    space
+        .put_seq(1, 1, "edge", 0, 1, &piece(1), &data(1))
+        .unwrap();
+    assert_eq!(space.staging_bytes(0), 256);
+    // One past: typed failure carrying the accounting.
+    let err = space
+        .put_seq(0, 1, "edge", 1, 0, &piece(0), &data(0))
+        .unwrap_err();
+    match err {
+        CodsError::StagingFull { node, used, limit } => {
+            assert_eq!(node, 0);
+            assert_eq!(used, 256);
+            assert_eq!(limit, 256);
+        }
+        other => panic!("expected StagingFull, got {other:?}"),
+    }
+}
+
+#[test]
+fn eviction_frees_staging_in_version_order() {
+    let space = small_space(Some(256));
+    let dec = Decomposition::new(
+        BoundingBox::from_sizes(&[8, 8]),
+        ProcessGrid::new(&[2, 2]),
+        Distribution::Blocked,
+    );
+    let piece = |r: u64| dec.blocked_box(r).unwrap();
+    let data = |r: u64| layout::fill_with(&piece(r), |p| p[1] as f64);
+    // Fill node 0 with versions 0 and 1 of the same variable.
+    space
+        .put_seq(0, 1, "ring", 0, 0, &piece(0), &data(0))
+        .unwrap();
+    space
+        .put_seq(1, 1, "ring", 1, 1, &piece(1), &data(1))
+        .unwrap();
+    let err = space
+        .put_seq(0, 1, "ring", 2, 0, &piece(0), &data(0))
+        .unwrap_err();
+    assert!(matches!(err, CodsError::StagingFull { node: 0, .. }));
+    // Evicting the *oldest* version (the producer reclaim order) frees
+    // exactly its bytes and unblocks the next put; the newer version
+    // stays readable.
+    space.evict_version("ring", 0);
+    assert_eq!(space.staging_bytes(0), 128);
+    assert!(space.get_seq(3, 2, "ring", 0, &piece(0)).is_err());
+    space
+        .put_seq(0, 1, "ring", 2, 0, &piece(0), &data(0))
+        .unwrap();
+    assert_eq!(space.staging_bytes(0), 256);
+    let (got, _) = space.get_seq(3, 2, "ring", 1, &piece(1)).unwrap();
+    assert_eq!(got, data(1));
+    assert_eq!(space.latest_version("ring"), Some(2));
 }
 
 #[test]
