@@ -4,8 +4,13 @@
 //! Jacobi mini-app (real computation + halo exchange + collectives).
 
 use insitu::miniapp::{run_jacobi, JacobiConfig};
-use insitu::{concurrent_scenario, pattern_pairs, run_modeled, run_threaded, MappingStrategy};
+use insitu::{
+    concurrent_scenario, pattern_pairs, run_modeled, run_threaded, run_threaded_configured,
+    MappingStrategy, ThreadedConfig,
+};
 use insitu_bench::timing::{black_box, Group};
+use insitu_obs::{FlightRecorder, ProfileReport};
+use insitu_telemetry::Recorder;
 
 fn bench_executors() {
     // 16 -> 8 tasks, 8^3 regions = 64 KiB coupled data, real threads.
@@ -24,6 +29,43 @@ fn bench_executors() {
             .retrieve_ms
             .len()
     });
+    // Same threaded run with the causal flight recorder on: the delta
+    // against `threaded_24tasks_2MiB` is the observability overhead.
+    g.bench("threaded_with_flight_recorder", || {
+        let flight = FlightRecorder::enabled();
+        let cfg = ThreadedConfig {
+            flight: flight.clone(),
+            ..Default::default()
+        };
+        run_threaded_configured(
+            black_box(&s),
+            MappingStrategy::DataCentric,
+            &Recorder::disabled(),
+            &cfg,
+        );
+        flight.len()
+    });
+    let flight = FlightRecorder::enabled();
+    let cfg = ThreadedConfig {
+        flight: flight.clone(),
+        ..Default::default()
+    };
+    run_threaded_configured(
+        &s,
+        MappingStrategy::DataCentric,
+        &Recorder::disabled(),
+        &cfg,
+    );
+    let profile = ProfileReport::analyze(&flight.snapshot(), flight.dropped());
+    let t = profile.totals();
+    eprintln!(
+        "[executor_end_to_end] critical path: e2e={:.0}us schedule={:.0}us shm={:.0}us rdma={:.0}us wait={:.0}us",
+        profile.end_to_end_total_us(),
+        t.schedule_us,
+        t.shm_us,
+        t.rdma_us,
+        t.wait_us
+    );
 }
 
 fn bench_jacobi() {

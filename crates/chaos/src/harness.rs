@@ -28,6 +28,7 @@ use insitu_fabric::{
     estimate_retrieve_times_faulted, ClientRetrieve, FaultInjector, LinkFaults, Locality,
     NetworkModel, TorusTopology, TrafficClass, Transfer,
 };
+use insitu_obs::{EventKind, FlightRecorder};
 use insitu_telemetry::Recorder;
 use insitu_util::rng::SplitMix64;
 use std::collections::BTreeMap;
@@ -97,9 +98,11 @@ pub fn run_case_spec(seed: u64, idx: u64, spec: &FaultSpec, case: &CaseSpec) -> 
 
     let plan = Arc::new(FaultPlan::new(cseed, *spec));
     let recorder = Recorder::enabled();
+    let flight = FlightRecorder::enabled();
     let cfg = ThreadedConfig {
         get_timeout: Duration::from_millis(400),
         injector: FaultInjector::new(plan.clone()),
+        flight: flight.clone(),
     };
     let outcome = run_threaded_configured(&scenario, MappingStrategy::DataCentric, &recorder, &cfg);
     let snap = recorder.metrics_snapshot();
@@ -133,6 +136,32 @@ pub fn run_case_spec(seed: u64, idx: u64, spec: &FaultSpec, case: &CaseSpec) -> 
     // link-fault sweep above) has been consulted.
     let injected = plan.injected();
     let injected_total: u64 = injected.iter().sum();
+
+    // Injected faults must be visible in the causal flight log: every
+    // distinct data-plane site that fired left at least one typed fault
+    // event (link-slow and DHT blackouts have no event site — the former
+    // only biases the time model, the latter shows as missing DHT cores).
+    let mut fault_events: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in flight.snapshot() {
+        if let EventKind::Fault { kind } = e.kind {
+            *fault_events.entry(kind).or_insert(0) += 1;
+        }
+    }
+    for kind in [
+        FaultKind::DeadProducer,
+        FaultKind::DropPull,
+        FaultKind::DelayPull,
+        FaultKind::StageFull,
+    ] {
+        let sites = injected[kind.idx()];
+        let seen = fault_events.get(kind.slug()).copied().unwrap_or(0);
+        if seen < sites {
+            violations.push(format!(
+                "flight log shows {seen} {} events but {sites} distinct sites fired",
+                kind.slug()
+            ));
+        }
+    }
 
     // Delivered data is never silently wrong, faulted or not.
     if outcome.verify_failures > 0 {

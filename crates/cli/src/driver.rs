@@ -1,9 +1,16 @@
 //! Scenario assembly and execution for the command-line driver.
 
 use crate::config::{parse_config, ConfigError, WorkloadConfig};
-use insitu::{run_modeled_with, run_threaded_with, MappingStrategy, Scenario};
+use insitu::{
+    map_scenario, run_modeled_configured, run_modeled_with, run_threaded_configured,
+    run_threaded_with, MappingStrategy, ModeledConfig, Scenario, ThreadedConfig,
+};
+use insitu_chaos::{FaultPlan, FaultSpec};
 use insitu_domain::{BoundingBox, Decomposition, ProcessGrid};
-use insitu_fabric::{NetworkModel, TrafficClass};
+use insitu_fabric::{LinkFaults, NetworkModel, TrafficClass};
+use insitu_obs::{
+    chrome_trace_with_flows, gate_compare, profile_doc, FlightRecorder, GateConfig, ProfileReport,
+};
 use insitu_telemetry::{Json, MetricsSnapshot, Recorder};
 use insitu_workflow::{parse_dag, ParseError};
 use std::path::PathBuf;
@@ -172,6 +179,187 @@ pub fn compare(
         out.push_str(&format!("trace written to     {}\n", path.display()));
     }
     Ok(out)
+}
+
+/// Options of the `profile` subcommand.
+#[derive(Clone, Debug)]
+pub struct ProfileOptions {
+    /// DAG description file contents.
+    pub dag: String,
+    /// Workload configuration file contents.
+    pub config: String,
+    /// Mapping strategy.
+    pub strategy: MappingStrategy,
+    /// `true` = threaded executor (measured), `false` = modeled.
+    pub threaded: bool,
+    /// Emit the report as a JSON document instead of text.
+    pub json: bool,
+    /// Write a chrome://tracing timeline — spans plus causal flow arrows
+    /// from producer puts to consumer pulls — here after the run.
+    pub trace_out: Option<PathBuf>,
+}
+
+/// Run the workflow with the flight recorder on and render the causal
+/// critical-path profile: per-iteration category attribution (schedule /
+/// shm / RDMA / wait), per-link-class queueing and size percentiles, and
+/// the injected-fault tally. The same analysis reads threaded (measured)
+/// and modeled (synthetic) runs.
+pub fn profile(options: &ProfileOptions) -> Result<String, CliError> {
+    let scenario = build_scenario(&options.dag, &options.config)?;
+    let recorder = Recorder::enabled();
+    let flight = FlightRecorder::enabled();
+    if options.threaded {
+        run_threaded_configured(
+            &scenario,
+            options.strategy,
+            &recorder,
+            &ThreadedConfig {
+                flight: flight.clone(),
+                ..Default::default()
+            },
+        );
+    } else {
+        run_modeled_configured(
+            &scenario,
+            options.strategy,
+            &recorder,
+            &ModeledConfig {
+                flight: flight.clone(),
+                ..Default::default()
+            },
+        );
+    }
+    let events = flight.snapshot();
+    let report = ProfileReport::analyze(&events, flight.dropped());
+    let mut out = if options.json {
+        report.to_json().render() + "\n"
+    } else {
+        let mut s = format!(
+            "profile: {} executor, {} mapping\n",
+            if options.threaded {
+                "threaded"
+            } else {
+                "modeled"
+            },
+            options.strategy.label()
+        );
+        s.push_str(&report.render());
+        s
+    };
+    if let Some(path) = &options.trace_out {
+        let doc =
+            chrome_trace_with_flows(recorder.trace_sink().as_deref(), &events, flight.dropped());
+        write_file(path, &(doc.render() + "\n"))?;
+        if !options.json {
+            out.push_str(&format!("trace written to {}\n", path.display()));
+        }
+    }
+    if !options.json {
+        let dropped_spans = recorder.trace_dropped();
+        if dropped_spans > 0 {
+            out.push_str(&format!(
+                "warning: {dropped_spans} trace spans dropped (see the trace.dropped_spans counter)\n"
+            ));
+        }
+        if flight.dropped() > 0 {
+            out.push_str(&format!(
+                "warning: {} flight events dropped; the profile is partial\n",
+                flight.dropped()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Options of the `compare --gate` regression gate.
+#[derive(Clone, Debug)]
+pub struct GateOptions {
+    /// Baseline gate document to compare against.
+    pub baseline: Option<PathBuf>,
+    /// Allowed regression percentage.
+    pub threshold_pct: f64,
+    /// Chaos fault spec whose `link-slow` faults degrade the modeled
+    /// torus (used to exercise the gate with synthetic slowdowns).
+    pub faults: Option<FaultSpec>,
+    /// Seed for the fault plan.
+    pub seed: u64,
+    /// Write the current gate document here (creates/refreshes the
+    /// checked-in baseline).
+    pub write_baseline: Option<PathBuf>,
+}
+
+/// Build the deterministic gate document for a workflow: data-centric
+/// modeled retrieve times per consumer app plus the critical-path
+/// profiler's category totals, all lower-is-better.
+fn gate_document(scenario: &Scenario, link_faults: &LinkFaults) -> Json {
+    let flight = FlightRecorder::enabled();
+    let o = run_modeled_configured(
+        scenario,
+        MappingStrategy::DataCentric,
+        &Recorder::disabled(),
+        &ModeledConfig {
+            link_faults: link_faults.clone(),
+            flight: flight.clone(),
+        },
+    );
+    let report = ProfileReport::analyze(&flight.snapshot(), flight.dropped());
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for (app, ms) in &o.retrieve_ms {
+        rows.push((format!("retrieve_ms.app{app}"), *ms));
+    }
+    let t = report.totals();
+    rows.push(("profile.e2e_us".into(), report.end_to_end_total_us()));
+    rows.push(("profile.schedule_us".into(), t.schedule_us));
+    rows.push(("profile.shm_us".into(), t.shm_us));
+    rows.push(("profile.rdma_us".into(), t.rdma_us));
+    profile_doc("gate", "modeled critical-path gate", &rows)
+}
+
+/// Run the regression gate: evaluate the workflow on the modeled executor
+/// (deterministic, so baselines are stable), optionally under injected
+/// link slowdowns, and compare against a baseline document. Returns the
+/// report and whether the gate passed.
+pub fn gate(dag: &str, config: &str, opts: &GateOptions) -> Result<(String, bool), CliError> {
+    let scenario = build_scenario(dag, config)?;
+    let link_faults = match &opts.faults {
+        Some(spec) => {
+            let nodes = map_scenario(&scenario, MappingStrategy::DataCentric)
+                .machine
+                .nodes;
+            FaultPlan::new(opts.seed, *spec).link_faults(nodes)
+        }
+        None => LinkFaults::default(),
+    };
+    let current = gate_document(&scenario, &link_faults);
+    let mut out = String::new();
+    let mut passed = true;
+    if !link_faults.is_empty() {
+        out.push_str(&format!(
+            "gate: {} torus links degraded by injected faults\n",
+            link_faults.len()
+        ));
+    }
+    if let Some(path) = &opts.write_baseline {
+        write_file(path, &(current.render() + "\n"))?;
+        out.push_str(&format!("baseline written to {}\n", path.display()));
+    }
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let baseline =
+            Json::parse(&text).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        let outcome = gate_compare(
+            &current,
+            &baseline,
+            &GateConfig {
+                threshold_pct: opts.threshold_pct,
+            },
+        )
+        .map_err(CliError::Io)?;
+        passed = outcome.passed();
+        out.push_str(&outcome.render());
+    }
+    Ok((out, passed))
 }
 
 /// Run per `options` and return the printable report.

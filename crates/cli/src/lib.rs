@@ -27,4 +27,6 @@ pub mod config;
 pub mod driver;
 
 pub use config::{parse_config, ConfigError, WorkloadConfig};
-pub use driver::{build_scenario, run, CliError, Options};
+pub use driver::{
+    build_scenario, gate, profile, run, CliError, GateOptions, Options, ProfileOptions,
+};

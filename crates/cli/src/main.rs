@@ -9,7 +9,7 @@
 
 use insitu::MappingStrategy;
 use insitu_chaos::FaultSpec;
-use insitu_cli::{run, Options};
+use insitu_cli::{run, GateOptions, Options, ProfileOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,15 +17,28 @@ const USAGE: &str = "\
 usage: insitu run     [--dag] <file> --config <file>
               [--strategy data-centric|round-robin|node-cyclic] [--modeled]
               [--metrics-out <path>] [--trace-out <path>]
+       insitu profile [--dag] <file> --config <file>
+              [--strategy <s>] [--modeled] [--json] [--trace-out <path>]
        insitu compare [--dag] <file> --config <file>
               [--metrics-out <path>] [--trace-out <path>]
+              [--gate <baseline.json>] [--threshold <pct>]
+              [--faults <spec>] [--seed <n>] [--write-baseline <path>]
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
 
 `run` executes the workflow described by the DAG file (paper Listing-1
 syntax) with the workload configuration (domains, grids, distributions,
 couplings); default is data-centric mapping on the threaded executor.
+`profile` runs the workflow with the causal flight recorder enabled and
+prints the critical-path profile: per-iteration schedule/shm/RDMA/wait
+attribution, queueing-delay and transfer-size percentiles per link class,
+and the injected-fault tally; `--trace-out` writes a chrome://tracing
+timeline whose flow arrows connect producer puts to consumer pulls.
 `compare` runs both mapping strategies on the modeled executor and prints
-a side-by-side summary with a per-counter metrics delta table.
+a side-by-side summary with a per-counter metrics delta table. With
+`--gate` it instead checks the deterministic modeled profile against a
+baseline document and exits nonzero on regression beyond `--threshold`
+percent (default 10); `--faults` injects chaos link-slow faults into the
+model and `--write-baseline` refreshes the baseline file.
 `--metrics-out` writes the telemetry registry snapshot as JSON;
 `--trace-out` writes a chrome://tracing span timeline.
 `chaos` fuzzes randomized workflow cases under seeded fault injection
@@ -39,11 +52,17 @@ ready-to-paste #[test] reproducer.";
 #[derive(Debug)]
 enum Command {
     Run(Options),
+    Profile(ProfileOptions),
     Compare {
         dag: String,
         config: String,
         metrics_out: Option<PathBuf>,
         trace_out: Option<PathBuf>,
+    },
+    Gate {
+        dag: String,
+        config: String,
+        opts: GateOptions,
     },
     Chaos {
         seed: u64,
@@ -85,15 +104,21 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if sub == Some("chaos") {
         return parse_chaos_args(&args[1..]);
     }
-    if sub != Some("run") && sub != Some("compare") {
-        return Err("expected the 'run', 'compare' or 'chaos' subcommand".into());
+    if sub != Some("run") && sub != Some("compare") && sub != Some("profile") {
+        return Err("expected the 'run', 'profile', 'compare' or 'chaos' subcommand".into());
     }
     let mut dag_path: Option<String> = None;
     let mut config_path = None;
     let mut strategy = MappingStrategy::DataCentric;
     let mut threaded = true;
+    let mut json = false;
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut gate_baseline = None;
+    let mut threshold_pct = 10.0f64;
+    let mut gate_faults = None;
+    let mut gate_seed = 42u64;
+    let mut write_baseline = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,6 +133,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--modeled" => threaded = false,
+            "--json" if sub == Some("profile") => json = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
                     it.next().ok_or("--metrics-out needs a path")?,
@@ -115,6 +141,25 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?))
+            }
+            "--gate" if sub == Some("compare") => {
+                gate_baseline = Some(PathBuf::from(it.next().ok_or("--gate needs a path")?))
+            }
+            "--threshold" if sub == Some("compare") => {
+                let v = it.next().ok_or("--threshold needs a percentage")?;
+                threshold_pct = v.parse().map_err(|_| format!("bad threshold '{v}'"))?;
+            }
+            "--faults" if sub == Some("compare") => {
+                gate_faults = Some(FaultSpec::parse(it.next().ok_or("--faults needs a spec")?)?);
+            }
+            "--seed" if sub == Some("compare") => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                gate_seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--write-baseline" if sub == Some("compare") => {
+                write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a path")?,
+                ))
             }
             other if !other.starts_with('-') && dag_path.is_none() => {
                 dag_path = Some(other.to_string())
@@ -128,7 +173,30 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         std::fs::read_to_string(&dag_path).map_err(|e| format!("cannot read {dag_path}: {e}"))?;
     let config = std::fs::read_to_string(&config_path)
         .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    if sub == Some("profile") {
+        return Ok(Command::Profile(ProfileOptions {
+            dag,
+            config,
+            strategy,
+            threaded,
+            json,
+            trace_out,
+        }));
+    }
     if sub == Some("compare") {
+        if gate_baseline.is_some() || write_baseline.is_some() {
+            return Ok(Command::Gate {
+                dag,
+                config,
+                opts: GateOptions {
+                    baseline: gate_baseline,
+                    threshold_pct,
+                    faults: gate_faults,
+                    seed: gate_seed,
+                    write_baseline,
+                },
+            });
+        }
         Ok(Command::Compare {
             dag,
             config,
@@ -158,12 +226,25 @@ fn main() -> ExitCode {
     };
     let result = match &command {
         Command::Run(options) => run(options),
+        Command::Profile(options) => insitu_cli::profile(options),
         Command::Compare {
             dag,
             config,
             metrics_out,
             trace_out,
         } => insitu_cli::driver::compare(dag, config, metrics_out.as_ref(), trace_out.as_ref()),
+        Command::Gate { dag, config, opts } => match insitu_cli::gate(dag, config, opts) {
+            Ok((report, passed)) => {
+                print!("{report}");
+                return if passed {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("error: performance gate failed");
+                    ExitCode::FAILURE
+                };
+            }
+            Err(e) => Err(e),
+        },
         Command::Chaos {
             seed,
             cases,

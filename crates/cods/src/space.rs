@@ -25,6 +25,7 @@ use insitu_dart::{BufKey, DartRuntime};
 use insitu_domain::layout::copy_region_bytes;
 use insitu_domain::{BoundingBox, Decomposition};
 use insitu_fabric::{ClientId, Locality, TrafficClass};
+use insitu_obs::{Event, EventKind, LinkClass};
 use insitu_telemetry::{Counter, Gauge, Recorder};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -292,9 +293,12 @@ impl CodsSpace {
         let vid = var_id(var);
         let bytes = data.len() as u64 * ELEM_BYTES as u64;
         let node = self.dart.placement().node_of(client);
+        let flight = self.dart.flight();
+        let put_start = flight.now_us();
         let injector = self.dart.injector();
         if injector.staging_exhausted(node) {
             let used = self.staging_bytes(node);
+            self.record_fault("stage-full", app, vid, version, client, piece);
             return Err(CodsError::StagingFull {
                 node,
                 used,
@@ -305,11 +309,15 @@ impl CodsSpace {
         // buffer registration: the location is advertised below, but no
         // payload ever lands in staging.
         let dead = injector.dead_producer(vid, version, client, piece);
+        if dead {
+            self.record_fault("dead-producer", app, vid, version, client, piece);
+        }
         if !dead {
             let mut staging = self.staging.lock().unwrap();
             let used = staging.entry(node).or_insert(0);
             if let Some(limit) = self.cfg.staging_limit_per_node {
                 if *used + bytes > limit {
+                    self.record_fault("stage-full", app, vid, version, client, piece);
                     return Err(CodsError::StagingFull {
                         node,
                         used: *used,
@@ -351,7 +359,52 @@ impl CodsSpace {
                 );
             }
         }
+        if flight.is_enabled() {
+            let now = flight.now_us();
+            flight.record(
+                Event::new(
+                    flight.next_seq(),
+                    EventKind::Put {
+                        indexed: index_in_dht,
+                    },
+                )
+                .app(app)
+                .var(vid)
+                .version(version)
+                .bbox(*bbox)
+                .src(client)
+                .piece(piece)
+                .bytes(bytes)
+                .window(put_start, now.saturating_sub(put_start)),
+            );
+        }
         Ok(())
+    }
+
+    /// Log an injected fault at a CoDS fault site as a flight event.
+    fn record_fault(
+        &self,
+        kind: &'static str,
+        app: u32,
+        vid: u64,
+        version: u64,
+        client: ClientId,
+        piece: u64,
+    ) {
+        let flight = self.dart.flight();
+        if !flight.is_enabled() {
+            return;
+        }
+        let now = flight.now_us();
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::Fault { kind })
+                .app(app)
+                .var(vid)
+                .version(version)
+                .src(client)
+                .piece(piece)
+                .window(now, 0),
+        );
     }
 
     /// `cods_put_seq`: store a piece into the space and index it in the
@@ -399,13 +452,18 @@ impl CodsSpace {
     ) -> Result<(Vec<f64>, GetReport), CodsError> {
         let vid = var_id(var);
         self.get_count.inc();
+        let flight = self.dart.flight();
+        let gstart = flight.now_us();
+        let gseq = flight.next_seq();
         let mut report = GetReport::default();
         let schedule = match self.cached(vid, query) {
             Some(s) => {
                 report.cache_hit = true;
+                self.record_schedule(gseq, gstart, true, app, vid, version, client);
                 s
             }
             None => {
+                let dht_start = flight.now_us();
                 let _query_span = self.recorder.span("cods.dht_query", "cods", client as u64);
                 let injector = self.dart.injector();
                 let (entries, cores) = self
@@ -428,12 +486,51 @@ impl CodsSpace {
                         DHT_RECORD_BYTES * reply_records,
                     );
                 }
+                if flight.is_enabled() {
+                    flight.record(
+                        Event::new(
+                            flight.next_seq(),
+                            EventKind::DhtLookup {
+                                cores: report.dht_cores_queried,
+                            },
+                        )
+                        .parent(gseq)
+                        .app(app)
+                        .var(vid)
+                        .version(version)
+                        .dst(client)
+                        .window(dht_start, flight.now_us().saturating_sub(dht_start)),
+                    );
+                }
+                let sched_start = flight.now_us();
                 let s = Arc::new(schedule_from_entries(&entries, query));
+                self.record_schedule(gseq, sched_start, false, app, vid, version, client);
                 self.store_cache(vid, query, Arc::clone(&s));
                 s
             }
         };
-        let data = self.execute(&schedule, client, app, vid, version, query, &mut report)?;
+        let data = self.execute(
+            &schedule,
+            client,
+            app,
+            vid,
+            version,
+            query,
+            gseq,
+            &mut report,
+        )?;
+        if flight.is_enabled() {
+            flight.record(
+                Event::new(gseq, EventKind::Get { cont: false })
+                    .app(app)
+                    .var(vid)
+                    .version(version)
+                    .bbox(*query)
+                    .dst(client)
+                    .bytes(data.len() as u64 * ELEM_BYTES as u64)
+                    .window(gstart, flight.now_us().saturating_sub(gstart)),
+            );
+        }
         Ok((data, report))
     }
 
@@ -452,24 +549,79 @@ impl CodsSpace {
     ) -> Result<(Vec<f64>, GetReport), CodsError> {
         let vid = var_id(var);
         self.get_count.inc();
+        let flight = self.dart.flight();
+        let gstart = flight.now_us();
+        let gseq = flight.next_seq();
         let mut report = GetReport::default();
         let schedule = match self.cached(vid, query) {
             Some(s) => {
                 report.cache_hit = true;
+                self.record_schedule(gseq, gstart, true, app, vid, version, client);
                 s
             }
             None => {
+                let sched_start = flight.now_us();
                 let s = Arc::new(schedule_from_decomposition(
                     producer,
                     producer_clients,
                     query,
                 ));
+                self.record_schedule(gseq, sched_start, false, app, vid, version, client);
                 self.store_cache(vid, query, Arc::clone(&s));
                 s
             }
         };
-        let data = self.execute(&schedule, client, app, vid, version, query, &mut report)?;
+        let data = self.execute(
+            &schedule,
+            client,
+            app,
+            vid,
+            version,
+            query,
+            gseq,
+            &mut report,
+        )?;
+        if flight.is_enabled() {
+            flight.record(
+                Event::new(gseq, EventKind::Get { cont: true })
+                    .app(app)
+                    .var(vid)
+                    .version(version)
+                    .bbox(*query)
+                    .dst(client)
+                    .bytes(data.len() as u64 * ELEM_BYTES as u64)
+                    .window(gstart, flight.now_us().saturating_sub(gstart)),
+            );
+        }
         Ok((data, report))
+    }
+
+    /// Log a schedule-computation child event under `parent` (a get's
+    /// pre-allocated sequence number).
+    #[allow(clippy::too_many_arguments)] // event tags mirror the cods_* operator signatures
+    fn record_schedule(
+        &self,
+        parent: u64,
+        start_us: u64,
+        hit: bool,
+        app: u32,
+        vid: u64,
+        version: u64,
+        client: ClientId,
+    ) {
+        let flight = self.dart.flight();
+        if !flight.is_enabled() {
+            return;
+        }
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::Schedule { hit })
+                .parent(parent)
+                .app(app)
+                .var(vid)
+                .version(version)
+                .dst(client)
+                .window(start_us, flight.now_us().saturating_sub(start_us)),
+        );
     }
 
     fn cached(&self, vid: u64, query: &BoundingBox) -> Option<Arc<CommSchedule>> {
@@ -497,6 +649,7 @@ impl CodsSpace {
         vid: u64,
         version: u64,
         query: &BoundingBox,
+        parent: u64,
         report: &mut GetReport,
     ) -> Result<Vec<f64>, CodsError> {
         let covered = schedule.total_cells();
@@ -505,9 +658,11 @@ impl CodsSpace {
                 missing_cells: query.num_cells().saturating_sub(covered),
             });
         }
+        let flight = self.dart.flight();
         let mut dst = vec![0u8; query.num_cells() as usize * ELEM_BYTES];
         for op in &schedule.ops {
             let key = buf_key(vid, version, op.src_client, op.piece);
+            let pull_start = flight.now_us();
             let handle = self
                 .dart
                 .pull(&key, self.cfg.get_timeout)
@@ -517,6 +672,7 @@ impl CodsSpace {
                     region: op.region,
                     owner: op.src_client,
                 })?;
+            let wait_us = flight.now_us().saturating_sub(pull_start);
             copy_region_bytes(
                 &handle.data,
                 &op.piece_box,
@@ -534,6 +690,22 @@ impl CodsSpace {
                 Locality::Network => report.net_bytes += bytes,
             }
             report.ops += 1;
+            if flight.is_enabled() {
+                flight.record(
+                    Event::new(flight.next_seq(), EventKind::Pull { wait_us })
+                        .parent(parent)
+                        .app(app)
+                        .var(vid)
+                        .version(version)
+                        .bbox(op.region)
+                        .src(handle.owner)
+                        .dst(client)
+                        .link(LinkClass::from_locality(loc))
+                        .piece(op.piece)
+                        .bytes(bytes)
+                        .window(pull_start, flight.now_us().saturating_sub(pull_start)),
+                );
+            }
         }
         self.note_get_complete(vid, version);
         Ok(decode_f64s(&dst))

@@ -59,7 +59,9 @@ pub mod threaded;
 
 pub use comm::{GroupComm, ReduceOp};
 pub use mapping::{map_scenario, MappedScenario, MappingStrategy};
-pub use modeled::{run_modeled, run_modeled_with, ModeledOutcome};
+pub use modeled::{
+    run_modeled, run_modeled_configured, run_modeled_with, ModeledConfig, ModeledOutcome,
+};
 pub use pgas::GlobalArray;
 pub use scenario::{
     aligned_grid, balanced_grid, concurrent_scenario, concurrent_scenario_with_grids,
@@ -76,6 +78,7 @@ pub use insitu_cods as cods;
 pub use insitu_dart as dart;
 pub use insitu_domain as domain;
 pub use insitu_fabric as fabric;
+pub use insitu_obs as obs;
 pub use insitu_partition as partition;
 pub use insitu_sfc as sfc;
 pub use insitu_workflow as workflow;

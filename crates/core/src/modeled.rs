@@ -6,11 +6,13 @@
 
 use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
 use crate::scenario::Scenario;
+use insitu_cods::var_id;
 use insitu_domain::stencil::halo_exchanges;
 use insitu_fabric::{
-    estimate_retrieve_times, ClientRetrieve, LedgerSnapshot, Locality, NodeId, TorusTopology,
-    TrafficClass, Transfer, TransferLedger,
+    estimate_retrieve_breakdowns_faulted, ClientRetrieve, LedgerSnapshot, LinkFaults, Locality,
+    MachineSpec, NodeId, RetrieveBreakdown, TorusTopology, TrafficClass, Transfer, TransferLedger,
 };
+use insitu_obs::{Event, EventKind, FlightRecorder, LinkClass};
 use insitu_telemetry::Recorder;
 use insitu_workflow::pairwise_overlaps_region;
 use std::collections::{BTreeMap, HashMap};
@@ -41,6 +43,19 @@ fn dht_queries_estimate(region_cells: u128, domain_cells: u128, dht_cores: u32) 
     (region_cells.div_ceil(interval) as u32 + 1).min(dht_cores)
 }
 
+/// Execution knobs of the modeled executor.
+#[derive(Clone, Debug, Default)]
+pub struct ModeledConfig {
+    /// Torus-link bandwidth degradations to model (healthy by default);
+    /// the modeled analogue of the chaos harness's `link-slow` faults.
+    pub link_faults: LinkFaults,
+    /// Flight recorder receiving synthetic causal events mirroring the
+    /// model's `query + max(shm, net)` time decomposition (disabled by
+    /// default), so `insitu profile` reads modeled and threaded runs
+    /// identically.
+    pub flight: FlightRecorder,
+}
+
 /// Run `scenario` under `strategy` analytically.
 pub fn run_modeled(scenario: &Scenario, strategy: MappingStrategy) -> ModeledOutcome {
     run_modeled_with(scenario, strategy, &Recorder::disabled())
@@ -55,6 +70,18 @@ pub fn run_modeled_with(
     strategy: MappingStrategy,
     recorder: &Recorder,
 ) -> ModeledOutcome {
+    run_modeled_configured(scenario, strategy, recorder, &ModeledConfig::default())
+}
+
+/// [`run_modeled_with`] with explicit execution knobs: injected torus-link
+/// slowdowns and a flight recorder for synthetic causal events. With the
+/// default config it is exactly [`run_modeled_with`].
+pub fn run_modeled_configured(
+    scenario: &Scenario,
+    strategy: MappingStrategy,
+    recorder: &Recorder,
+    cfg: &ModeledConfig,
+) -> ModeledOutcome {
     let mapped = {
         let _span = recorder.span("workflow.map", "workflow", 0);
         map_scenario(scenario, strategy)
@@ -62,6 +89,9 @@ pub fn run_modeled_with(
     let ledger = TransferLedger::with_recorder(recorder);
     let topo = TorusTopology::cubic_for(mapped.machine.nodes);
     let mut retrieves: BTreeMap<u32, Vec<ClientRetrieve>> = BTreeMap::new();
+    // `(var, concurrent, consumer rank)` tags for each retrieve, pushed in
+    // the same order as `retrieves` so the flattened vectors align.
+    let mut metas: BTreeMap<u32, Vec<(u64, bool, u64)>> = BTreeMap::new();
 
     // Inter-application coupling traffic + per-consumer retrieve flows.
     for coupling in &scenario.couplings {
@@ -117,6 +147,11 @@ pub fn run_modeled_with(
                     transfers,
                     dht_queries,
                 });
+                metas.entry(capp).or_default().push((
+                    var_id(&coupling.var),
+                    coupling.concurrent,
+                    rank as u64,
+                ));
             }
         }
     }
@@ -158,8 +193,39 @@ pub fn run_modeled_with(
         .flat_map(|(&app, v)| (0..v.len()).map(move |i| (app, i)))
         .collect();
     let flat: Vec<ClientRetrieve> = retrieves.values().flat_map(|v| v.iter().cloned()).collect();
+    let meta_flat: Vec<(u64, bool, u64)> = metas.values().flatten().copied().collect();
     if !flat.is_empty() {
-        let times = estimate_retrieve_times(&scenario.model, &topo, &flat);
+        let breakdowns =
+            estimate_retrieve_breakdowns_faulted(&scenario.model, &topo, &flat, &cfg.link_faults);
+        if cfg.flight.is_enabled() {
+            // Lay each version's events in its own time slot so the
+            // chrome trace reads as consecutive iterations.
+            let slot = breakdowns
+                .iter()
+                .map(|b| (b.total_ms * 1000.0).round() as u64)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for version in 0..scenario.iterations {
+                for (i, (b, r)) in breakdowns.iter().zip(&flat).enumerate() {
+                    let (vid, concurrent, rank) = meta_flat[i];
+                    let client = mapped.core_of_task(all[i].0, rank);
+                    emit_retrieve_events(
+                        &cfg.flight,
+                        &mapped.machine,
+                        b,
+                        r,
+                        all[i].0,
+                        vid,
+                        concurrent,
+                        client,
+                        version,
+                        version * slot,
+                    );
+                }
+            }
+        }
+        let times: Vec<f64> = breakdowns.iter().map(|b| b.total_ms).collect();
         let mut sums: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
         for ((app, rank), t) in all.into_iter().zip(times) {
             // Synthetic per-client timeline entry: all retrieves of a wave
@@ -194,6 +260,128 @@ pub fn run_modeled_with(
         retrieve_ms_mean,
         mapped,
     }
+}
+
+/// Mirror one modeled retrieve into synthetic flight events for `version`,
+/// laid out so the critical-path profiler's interval sweep reproduces the
+/// model's `query + max(shm, net)` decomposition exactly: the schedule
+/// child spans the DHT query (cold iteration only — later versions replay
+/// the cached schedule, as the threaded executor does), shared-memory
+/// pulls serialize after it, network pulls run in parallel with the
+/// largest flow spanning the whole branch, and wait attributes to zero.
+#[allow(clippy::too_many_arguments)] // event tags mirror the cods_* operator signatures
+fn emit_retrieve_events(
+    flight: &FlightRecorder,
+    machine: &MachineSpec,
+    b: &RetrieveBreakdown,
+    r: &ClientRetrieve,
+    app: u32,
+    vid: u64,
+    concurrent: bool,
+    client: u32,
+    version: u64,
+    offset: u64,
+) {
+    let query_us = if version == 0 {
+        (b.query_ms * 1000.0).round() as u64
+    } else {
+        0
+    };
+    let gseq = flight.next_seq();
+    flight.record(
+        Event::new(flight.next_seq(), EventKind::Schedule { hit: version > 0 })
+            .parent(gseq)
+            .app(app)
+            .var(vid)
+            .version(version)
+            .dst(client)
+            .window(offset, query_us),
+    );
+    if version == 0 && r.dht_queries > 0 {
+        flight.record(
+            Event::new(
+                flight.next_seq(),
+                EventKind::DhtLookup {
+                    cores: r.dht_queries,
+                },
+            )
+            .parent(gseq)
+            .app(app)
+            .var(vid)
+            .version(version)
+            .dst(client)
+            .window(offset, 0),
+        );
+    }
+    let shm_us = (b.shm_ms * 1000.0).round() as u64;
+    let net_us = (b.net_ms * 1000.0).round() as u64;
+    let shm: Vec<&Transfer> = r
+        .transfers
+        .iter()
+        .filter(|t| t.src_node == r.dst_node)
+        .collect();
+    let net: Vec<&Transfer> = r
+        .transfers
+        .iter()
+        .filter(|t| t.src_node != r.dst_node)
+        .collect();
+    let tstart = offset + query_us;
+    // Shared-memory copies serialize on the destination core: durations
+    // proportional to bytes, the last one absorbing rounding so the chain
+    // sums to `shm_us` exactly.
+    let shm_bytes: u64 = shm.iter().map(|t| t.bytes).sum();
+    let mut cursor = tstart;
+    let mut remaining = shm_us;
+    for (i, t) in shm.iter().enumerate() {
+        let d = if i + 1 == shm.len() {
+            remaining
+        } else {
+            ((shm_us as u128 * t.bytes as u128) / shm_bytes.max(1) as u128) as u64
+        }
+        .min(remaining);
+        remaining -= d;
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::Pull { wait_us: 0 })
+                .parent(gseq)
+                .app(app)
+                .var(vid)
+                .version(version)
+                .src(machine.core(t.src_node, 0))
+                .dst(client)
+                .link(LinkClass::Shm)
+                .bytes(t.bytes)
+                .window(cursor, d),
+        );
+        cursor += d;
+    }
+    // Network pulls are issued in parallel; the largest flow spans the
+    // whole branch, so the interval union is `net_us`.
+    let bytes_max = net.iter().map(|t| t.bytes).max().unwrap_or(0);
+    for t in &net {
+        let d = ((net_us as u128 * t.bytes as u128) / bytes_max.max(1) as u128) as u64;
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::Pull { wait_us: 0 })
+                .parent(gseq)
+                .app(app)
+                .var(vid)
+                .version(version)
+                .src(machine.core(t.src_node, 0))
+                .dst(client)
+                .link(LinkClass::Rdma)
+                .bytes(t.bytes)
+                .window(tstart, d),
+        );
+    }
+    let total_us = query_us + shm_us.max(net_us);
+    flight.record(
+        Event::new(gseq, EventKind::Get { cont: concurrent })
+            .app(app)
+            .var(vid)
+            .version(version)
+            .dst(client)
+            .bytes(r.transfers.iter().map(|t| t.bytes).sum())
+            .window(offset, total_us),
+    );
 }
 
 #[cfg(test)]

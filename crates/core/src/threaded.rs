@@ -16,6 +16,7 @@ use insitu_domain::{layout, BoundingBox};
 use insitu_fabric::{
     ClientId, FaultInjector, LedgerSnapshot, Placement, TrafficClass, TransferLedger,
 };
+use insitu_obs::FlightRecorder;
 use insitu_sfc::HilbertCurve;
 use insitu_telemetry::Recorder;
 use insitu_util::Bytes;
@@ -65,6 +66,9 @@ pub struct ThreadedConfig {
     pub get_timeout: Duration,
     /// Fault sites to consult (inert by default).
     pub injector: FaultInjector,
+    /// Flight recorder for causal put/get/pull events (disabled by
+    /// default; enable for `insitu profile`).
+    pub flight: FlightRecorder,
 }
 
 impl Default for ThreadedConfig {
@@ -72,6 +76,7 @@ impl Default for ThreadedConfig {
         ThreadedConfig {
             get_timeout: Duration::from_secs(60),
             injector: FaultInjector::none(),
+            flight: FlightRecorder::disabled(),
         }
     }
 }
@@ -165,11 +170,12 @@ pub fn run_threaded_configured(
         recorder,
         cfg.injector.clone(),
     ));
-    let dart = DartRuntime::with_injector(
+    let dart = DartRuntime::with_flight(
         placement,
         Arc::clone(&ledger),
         recorder.clone(),
         cfg.injector.clone(),
+        cfg.flight.clone(),
     );
     let domain = *scenario
         .workflow

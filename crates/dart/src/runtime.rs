@@ -5,6 +5,7 @@ use crate::registry::{BufKey, BufferHandle, BufferRegistry};
 use insitu_fabric::{
     ClientId, FaultAction, FaultInjector, Locality, Placement, TrafficClass, TransferLedger,
 };
+use insitu_obs::{Event, EventKind, FlightRecorder};
 use insitu_telemetry::{Counter, Histogram, Recorder};
 use insitu_util::channel::Sender;
 use insitu_util::Bytes;
@@ -27,6 +28,7 @@ pub struct DartRuntime {
     mailboxes: Vec<Mutex<Option<Mailbox>>>,
     registry: BufferRegistry,
     recorder: Recorder,
+    flight: FlightRecorder,
     injector: FaultInjector,
     msgs_sent: Counter,
     transport_shm: Counter,
@@ -58,6 +60,25 @@ impl DartRuntime {
         recorder: Recorder,
         injector: FaultInjector,
     ) -> Arc<Self> {
+        Self::with_flight(
+            placement,
+            ledger,
+            recorder,
+            injector,
+            FlightRecorder::disabled(),
+        )
+    }
+
+    /// Build a runtime that additionally logs structured causal events
+    /// (pull faults here; puts, gets, schedules and pulls in CoDS, which
+    /// reaches the recorder through [`DartRuntime::flight`]).
+    pub fn with_flight(
+        placement: Arc<Placement>,
+        ledger: Arc<TransferLedger>,
+        recorder: Recorder,
+        injector: FaultInjector,
+        flight: FlightRecorder,
+    ) -> Arc<Self> {
         let n = placement.num_clients();
         let (boxes, senders) = Mailbox::create_all(n);
         Arc::new(DartRuntime {
@@ -67,6 +88,7 @@ impl DartRuntime {
             mailboxes: boxes.into_iter().map(|b| Mutex::new(Some(b))).collect(),
             registry: BufferRegistry::new(),
             injector,
+            flight,
             msgs_sent: recorder.counter("dart.msgs_sent"),
             transport_shm: recorder.counter("dart.transport.shm"),
             transport_net: recorder.counter("dart.transport.net"),
@@ -100,6 +122,12 @@ impl DartRuntime {
     /// CoDS consults it at its own fault sites.
     pub fn injector(&self) -> &FaultInjector {
         &self.injector
+    }
+
+    /// The flight recorder this runtime was built with (disabled by
+    /// default). CoDS and the executors log causal events through it.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// HybridDART's transport selection: shared memory when the two
@@ -159,8 +187,14 @@ impl DartRuntime {
     /// when an injected fault drops the pull.
     pub fn pull(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
         match self.injector.on_pull(key.name, key.version, key.piece) {
-            FaultAction::Drop => return None,
-            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Drop => {
+                self.record_pull_fault("drop-pull", key);
+                return None;
+            }
+            FaultAction::Delay(d) => {
+                self.record_pull_fault("delay-pull", key);
+                std::thread::sleep(d);
+            }
             FaultAction::Proceed => {}
         }
         let started = Instant::now();
@@ -168,6 +202,24 @@ impl DartRuntime {
         self.pull_wait_us
             .record(started.elapsed().as_micros() as u64);
         handle
+    }
+
+    /// Log an injected pull fault as a flight event. The buf-key piece
+    /// packs the owner in its upper half, so the event keeps the full
+    /// `(var, version, owner, piece)` causal key.
+    fn record_pull_fault(&self, kind: &'static str, key: &BufKey) {
+        if !self.flight.is_enabled() {
+            return;
+        }
+        let now = self.flight.now_us();
+        self.flight.record(
+            Event::new(self.flight.next_seq(), EventKind::Fault { kind })
+                .var(key.name)
+                .version(key.version)
+                .src((key.piece >> 32) as u32)
+                .piece(key.piece & 0xffff_ffff)
+                .window(now, 0),
+        );
     }
 
     /// Return a mailbox taken with [`Self::take_mailbox`] so a later task

@@ -110,6 +110,22 @@ impl LinkFaults {
     }
 }
 
+/// Component times of one modeled retrieve, all in milliseconds. The
+/// completion time composes as `query + max(shm, net)`: the client
+/// copies local data itself while remote pulls proceed in parallel, so
+/// only the slower branch is on the critical path.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetrieveBreakdown {
+    /// DHT schedule-query time.
+    pub query_ms: f64,
+    /// Serialized shared-memory copy time.
+    pub shm_ms: f64,
+    /// Network branch time (worst flow vs NIC serialization).
+    pub net_ms: f64,
+    /// Completion time: `query + max(shm, net)`.
+    pub total_ms: f64,
+}
+
 /// Estimated completion time (milliseconds) of each client's retrieve,
 /// assuming all clients start simultaneously — the paper's "time to
 /// retrieve coupled data" metric is the per-application maximum of these.
@@ -131,6 +147,21 @@ pub fn estimate_retrieve_times_faulted(
     retrieves: &[ClientRetrieve],
     faults: &LinkFaults,
 ) -> Vec<f64> {
+    estimate_retrieve_breakdowns_faulted(model, topo, retrieves, faults)
+        .into_iter()
+        .map(|b| b.total_ms)
+        .collect()
+}
+
+/// Per-retrieve component times under injected link faults; the
+/// critical-path profiler uses these to attribute modeled retrieves to
+/// schedule / shm / RDMA categories with the model's own arithmetic.
+pub fn estimate_retrieve_breakdowns_faulted(
+    model: &NetworkModel,
+    topo: &TorusTopology,
+    retrieves: &[ClientRetrieve],
+    faults: &LinkFaults,
+) -> Vec<RetrieveBreakdown> {
     // Pass 1: global contention state.
     let mut link_sharers: HashMap<(NodeId, u8, bool), u32> = HashMap::new();
     let mut src_outflows: HashMap<NodeId, u32> = HashMap::new();
@@ -190,7 +221,12 @@ pub fn estimate_retrieve_times_faulted(
             let nic_serial = net_bytes as f64 / gbps(model.nic_bandwidth_gbps);
             let t_net = worst_flow.max(nic_serial);
             let t_query = r.dht_queries as f64 * model.dht_query_us * us;
-            (t_query + t_shm.max(t_net)) * 1e3
+            RetrieveBreakdown {
+                query_ms: t_query * 1e3,
+                shm_ms: t_shm * 1e3,
+                net_ms: t_net * 1e3,
+                total_ms: (t_query + t_shm.max(t_net)) * 1e3,
+            }
         })
         .collect()
 }
@@ -464,6 +500,31 @@ mod tests {
             estimate_retrieve_times(&m, &t, &retrieves),
             estimate_retrieve_times_faulted(&m, &t, &retrieves, &LinkFaults::new())
         );
+    }
+
+    #[test]
+    fn breakdown_components_compose_to_total() {
+        let m = NetworkModel::jaguar();
+        let t = topo();
+        let retrieves = vec![ClientRetrieve {
+            dst_node: 0,
+            transfers: vec![
+                Transfer {
+                    src_node: 0,
+                    bytes: 8 << 20,
+                },
+                Transfer {
+                    src_node: 5,
+                    bytes: 16 << 20,
+                },
+            ],
+            dht_queries: 3,
+        }];
+        let b = estimate_retrieve_breakdowns_faulted(&m, &t, &retrieves, &LinkFaults::new())[0];
+        assert!(b.query_ms > 0.0 && b.shm_ms > 0.0 && b.net_ms > 0.0);
+        assert_eq!(b.total_ms, b.query_ms + b.shm_ms.max(b.net_ms));
+        // Totals match the scalar estimate bit-for-bit.
+        assert_eq!(estimate_retrieve_times(&m, &t, &retrieves)[0], b.total_ms);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Chrome trace export with causal flow arrows.
+//!
+//! Each flight event renders as an `"X"` slice (same shape as the
+//! telemetry span export), and every pull that retrieved a staged piece
+//! contributes an `"s"`/`"f"` flow pair: the `s` anchors inside the
+//! producer's put slice, the `f` (binding-point `"e"`) inside the
+//! consumer's pull slice — which nests inside its get — so
+//! chrome://tracing and Perfetto draw an arrow from producer put to
+//! consumer get. Flow ids are the pull's sequence number, unique per
+//! run.
+
+use std::collections::BTreeMap;
+
+use insitu_telemetry::{Json, TraceSink};
+
+use crate::event::{Event, EventKind};
+
+fn slice_json(e: &Event) -> Json {
+    let mut args = Json::obj()
+        .field("seq", e.seq)
+        .field("var", e.var)
+        .field("version", e.version)
+        .field("bytes", e.bytes);
+    if let Some(link) = e.link {
+        args = args.field("link", link.slug());
+    }
+    if let Some(parent) = e.parent {
+        args = args.field("parent", parent);
+    }
+    if let EventKind::Fault { kind } = e.kind {
+        args = args.field("fault", kind);
+    }
+    Json::obj()
+        .field("name", e.kind.name())
+        .field("cat", "obs")
+        .field("ph", "X")
+        .field("ts", e.start_us)
+        .field("dur", e.duration_us)
+        .field("pid", 0u64)
+        .field("tid", e.track())
+        .field("args", args)
+}
+
+/// Render flight events as chrome trace events: one `"X"` slice per
+/// event plus `"s"`/`"f"` flow pairs joining producer puts to the pulls
+/// that retrieved their pieces.
+pub fn chrome_flow_events(events: &[Event]) -> Vec<Json> {
+    let mut out: Vec<Json> = events.iter().map(slice_json).collect();
+
+    // Producer puts indexed by piece key.
+    let mut puts: BTreeMap<(u64, u64, u32, u64), &Event> = BTreeMap::new();
+    for e in events {
+        if matches!(e.kind, EventKind::Put { .. }) {
+            if let Some(key) = e.piece_key() {
+                puts.insert(key, e);
+            }
+        }
+    }
+
+    for e in events {
+        if !matches!(e.kind, EventKind::Pull { .. }) {
+            continue;
+        }
+        let Some(put) = e.piece_key().and_then(|k| puts.get(&k)) else {
+            continue;
+        };
+        // Anchor the start inside the put slice (its last covered
+        // microsecond) and the finish at the pull slice's start.
+        let s_ts = put.start_us + put.duration_us.saturating_sub(1);
+        out.push(
+            Json::obj()
+                .field("name", "coupling")
+                .field("cat", "obs.flow")
+                .field("ph", "s")
+                .field("id", e.seq)
+                .field("ts", s_ts)
+                .field("pid", 0u64)
+                .field("tid", put.track()),
+        );
+        out.push(
+            Json::obj()
+                .field("name", "coupling")
+                .field("cat", "obs.flow")
+                .field("ph", "f")
+                .field("bp", "e")
+                .field("id", e.seq)
+                .field("ts", e.start_us)
+                .field("pid", 0u64)
+                .field("tid", e.track()),
+        );
+    }
+    out
+}
+
+/// Full chrome trace document: the telemetry span sink's slices merged
+/// with the flight events' slices and flow arrows.
+pub fn chrome_trace_with_flows(
+    sink: Option<&TraceSink>,
+    events: &[Event],
+    dropped_events: u64,
+) -> Json {
+    let mut trace_events = sink.map(TraceSink::chrome_events).unwrap_or_default();
+    trace_events.extend(chrome_flow_events(events));
+    Json::obj()
+        .field("traceEvents", trace_events)
+        .field("displayTimeUnit", "ms")
+        .field("droppedSpans", sink.map_or(0, TraceSink::dropped))
+        .field("droppedEvents", dropped_events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LinkClass;
+
+    fn coupled_events() -> Vec<Event> {
+        vec![
+            Event::new(1, EventKind::Put { indexed: false })
+                .app(1)
+                .var(3)
+                .version(0)
+                .src(2)
+                .piece(7)
+                .bytes(512)
+                .window(0, 100),
+            Event::new(2, EventKind::Get { cont: true })
+                .app(2)
+                .var(3)
+                .version(0)
+                .dst(5)
+                .window(150, 400),
+            Event::new(3, EventKind::Pull { wait_us: 10 })
+                .parent(2)
+                .var(3)
+                .version(0)
+                .src(2)
+                .dst(5)
+                .piece(7)
+                .link(LinkClass::Rdma)
+                .bytes(512)
+                .window(200, 80),
+        ]
+    }
+
+    #[test]
+    fn pull_gets_flow_pair_to_put() {
+        let events = coupled_events();
+        let json = Json::Arr(chrome_flow_events(&events)).render();
+        // One s/f pair with id 3 (the pull's seq).
+        assert!(json.contains("\"ph\":\"s\",\"id\":3,\"ts\":99,\"pid\":0,\"tid\":2"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":3,\"ts\":200,\"pid\":0,\"tid\":5"));
+        // Slices for all three events.
+        assert!(json.contains("obs.put_cont"));
+        assert!(json.contains("obs.get_cont"));
+        assert!(json.contains("obs.pull"));
+    }
+
+    #[test]
+    fn unmatched_pull_has_no_flow() {
+        let mut events = coupled_events();
+        events.remove(0); // drop the put
+        let flows: Vec<Json> = chrome_flow_events(&events);
+        let text = Json::Arr(flows).render();
+        assert!(!text.contains("\"ph\":\"s\""));
+        assert!(!text.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn merged_trace_keeps_sink_spans() {
+        let sink = TraceSink::with_capacity(8);
+        sink.push_synthetic("app1.task", "threaded", 2, 0, 500);
+        let doc = chrome_trace_with_flows(Some(&sink), &coupled_events(), 4);
+        let text = doc.render();
+        assert!(text.contains("app1.task"));
+        assert!(text.contains("obs.pull"));
+        assert!(text.contains("\"droppedEvents\":4"));
+        // Parses back as valid JSON.
+        assert!(Json::parse(&text).is_ok());
+    }
+}

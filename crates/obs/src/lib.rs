@@ -1,0 +1,38 @@
+//! # insitu-obs
+//!
+//! Causal flight recorder and critical-path profiler for coupled
+//! transfers:
+//!
+//! * [`event`] — the structured event schema: every `put`/`get`
+//!   (`*_cont` and `*_seq`), schedule computation, DHT lookup, receiver
+//!   pull and injected fault, tagged `(app, var, version, bbox, src,
+//!   dst, link_class)` with causal parent edges;
+//! * [`flight`] — the [`FlightRecorder`]: a bounded lock-sharded event
+//!   log behind the same disabled-by-default facade as the telemetry
+//!   `Recorder`;
+//! * [`profile`] — per-iteration transfer-DAG reconstruction, critical
+//!   path with schedule / shm transfer / RDMA transfer / wait
+//!   attribution (categories sum to the end-to-end iteration time by
+//!   construction), and exact p50/p95/p99 queueing-delay and
+//!   transfer-size percentiles per link class;
+//! * [`flow`] — chrome://tracing export adding `s`/`f` flow events so
+//!   arrows connect producer puts to consumer gets in the existing
+//!   span trace;
+//! * [`gate`] — baseline regression gating over BENCH-style JSON
+//!   documents, backing `insitu compare --gate`.
+//!
+//! Std-only, path-only dependencies (domain, fabric, telemetry).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod flight;
+pub mod flow;
+pub mod gate;
+pub mod profile;
+
+pub use event::{Event, EventKind, LinkClass};
+pub use flight::{FlightRecorder, DEFAULT_EVENT_CAPACITY};
+pub use flow::{chrome_flow_events, chrome_trace_with_flows};
+pub use gate::{gate_compare, profile_doc, GateConfig, GateOutcome};
+pub use profile::{CategoryBreakdown, IterationProfile, LinkClassStats, ProfileReport};

@@ -384,6 +384,9 @@ impl MetricsSnapshot {
             if let Some(p50) = h.quantile(0.5) {
                 obj = obj.field("p50", p50);
             }
+            if let Some(p95) = h.quantile(0.95) {
+                obj = obj.field("p95", p95);
+            }
             if let Some(p99) = h.quantile(0.99) {
                 obj = obj.field("p99", p99);
             }
@@ -411,10 +414,12 @@ impl MetricsSnapshot {
         }
         for (k, h) in &self.histograms {
             let mean = h.mean().unwrap_or(0.0);
+            let p50 = h.quantile(0.5).unwrap_or(0);
+            let p95 = h.quantile(0.95).unwrap_or(0);
             let p99 = h.quantile(0.99).unwrap_or(0);
             out.push_str(&format!(
                 "{k:<44} {:>16}\n",
-                format!("n={} mean={mean:.1} p99={p99}", h.count)
+                format!("n={} mean={mean:.1} p50={p50} p95={p95} p99={p99}", h.count)
             ));
         }
         out
@@ -525,8 +530,11 @@ mod tests {
         assert!(json.contains("\"a.b\":2"));
         assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"p95\""));
         let table = snap.to_table();
         assert!(table.contains("a.b"));
         assert!(table.contains("peak"));
+        // Single sample 5 sits in bucket [4,8) whose bound clamps to max=5.
+        assert!(table.contains("p50=5 p95=5 p99=5"));
     }
 }

@@ -36,11 +36,17 @@ impl Recorder {
     }
 
     /// A live recorder whose trace ring holds `capacity` spans.
+    ///
+    /// Spans evicted from a full ring are counted on the
+    /// `trace.dropped_spans` registry counter so drops are visible in
+    /// metrics snapshots, not just in the trace export.
     pub fn with_trace_capacity(capacity: usize) -> Recorder {
+        let metrics = MetricsRegistry::new();
+        let dropped = metrics.counter("trace.dropped_spans");
         Recorder {
             inner: Some(Arc::new(RecorderInner {
-                metrics: MetricsRegistry::new(),
-                trace: Arc::new(TraceSink::with_capacity(capacity)),
+                metrics,
+                trace: Arc::new(TraceSink::with_capacity_and_counter(capacity, dropped)),
             })),
         }
     }
@@ -138,6 +144,11 @@ impl Recorder {
     pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
         self.inner.as_ref().map(|i| Arc::clone(&i.trace))
     }
+
+    /// Spans evicted from the trace ring (0 when disabled).
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.trace.dropped())
+    }
 }
 
 impl std::fmt::Debug for Recorder {
@@ -190,6 +201,17 @@ mod tests {
         assert!(trace.contains("\"model\""));
         assert!(trace.contains("\"live\""));
         assert!(trace.contains("\"tid\":4"));
+    }
+
+    #[test]
+    fn dropped_spans_surface_as_counter() {
+        let r = Recorder::with_trace_capacity(1);
+        r.synthetic_span("a", "cat", 0, 0, 1);
+        r.synthetic_span("b", "cat", 0, 1, 1);
+        r.synthetic_span("c", "cat", 0, 2, 1);
+        assert_eq!(r.trace_dropped(), 2);
+        assert_eq!(r.metrics_snapshot().counter("trace.dropped_spans"), 2);
+        assert_eq!(Recorder::disabled().trace_dropped(), 0);
     }
 
     #[test]

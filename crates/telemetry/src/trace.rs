@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::metrics::Counter;
 
 /// Default ring-buffer capacity (spans).
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
@@ -41,6 +42,7 @@ pub struct TraceSink {
     epoch: Instant,
     capacity: usize,
     ring: Mutex<Ring>,
+    dropped_counter: Counter,
 }
 
 impl Default for TraceSink {
@@ -52,6 +54,13 @@ impl Default for TraceSink {
 impl TraceSink {
     /// A sink holding at most `capacity` spans (oldest dropped first).
     pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink::with_capacity_and_counter(capacity, Counter::detached())
+    }
+
+    /// Like [`TraceSink::with_capacity`], but drops are also counted on
+    /// `counter` so they show up in metrics snapshots next to everything
+    /// else instead of staying private to the sink.
+    pub fn with_capacity_and_counter(capacity: usize, counter: Counter) -> TraceSink {
         TraceSink {
             epoch: Instant::now(),
             capacity: capacity.max(1),
@@ -59,6 +68,7 @@ impl TraceSink {
                 spans: VecDeque::new(),
                 dropped: 0,
             }),
+            dropped_counter: counter,
         }
     }
 
@@ -73,6 +83,7 @@ impl TraceSink {
         if ring.spans.len() == self.capacity {
             ring.spans.pop_front();
             ring.dropped += 1;
+            self.dropped_counter.inc();
         }
         ring.spans.push_back(span);
     }
@@ -117,11 +128,13 @@ impl TraceSink {
         self.ring.lock().unwrap().spans.iter().cloned().collect()
     }
 
-    /// Render as chrome://tracing JSON (load via `chrome://tracing` or
-    /// <https://ui.perfetto.dev>).
-    pub fn to_chrome_json(&self) -> Json {
-        let spans = self.snapshot();
-        let events: Vec<Json> = spans
+    /// The buffered spans as chrome://tracing `"X"` phase event objects.
+    ///
+    /// Exposed separately from [`TraceSink::to_chrome_json`] so callers
+    /// (the flight-recorder flow export) can merge extra events into the
+    /// same `traceEvents` array.
+    pub fn chrome_events(&self) -> Vec<Json> {
+        self.snapshot()
             .iter()
             .map(|s| {
                 Json::obj()
@@ -133,9 +146,14 @@ impl TraceSink {
                     .field("pid", 0u64)
                     .field("tid", s.track)
             })
-            .collect();
+            .collect()
+    }
+
+    /// Render as chrome://tracing JSON (load via `chrome://tracing` or
+    /// <https://ui.perfetto.dev>).
+    pub fn to_chrome_json(&self) -> Json {
         Json::obj()
-            .field("traceEvents", events)
+            .field("traceEvents", self.chrome_events())
             .field("displayTimeUnit", "ms")
             .field("droppedSpans", self.dropped())
     }
@@ -255,6 +273,17 @@ mod tests {
         assert_eq!(sink.dropped(), 2);
         let names: Vec<String> = sink.snapshot().into_iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn drops_feed_registry_counter() {
+        let registry = crate::metrics::MetricsRegistry::new();
+        let sink = TraceSink::with_capacity_and_counter(2, registry.counter("trace.dropped_spans"));
+        for i in 0..5 {
+            sink.push(span(&format!("s{i}"), i, 1));
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(registry.snapshot().counter("trace.dropped_spans"), 3);
     }
 
     #[test]

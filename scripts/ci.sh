@@ -30,14 +30,31 @@ run cargo test -q --workspace --offline
 # violation.
 chaos_profile=--release
 [[ $quick -eq 1 ]] && chaos_profile=
-chaos() {
-    cargo run -q $chaos_profile -p insitu-cli --offline -- \
-        chaos --seed 42 --cases 25 --faults standard
+insitu() {
+    cargo run -q $chaos_profile -p insitu-cli --offline -- "$@"
 }
 echo "==> chaos smoke (seed 42, 25 cases, run twice, diff)"
-chaos > target/chaos-run-1.txt
-chaos > target/chaos-run-2.txt
+insitu chaos --seed 42 --cases 25 --faults standard > target/chaos-run-1.txt
+insitu chaos --seed 42 --cases 25 --faults standard > target/chaos-run-2.txt
 diff -u target/chaos-run-1.txt target/chaos-run-2.txt
 tail -n 1 target/chaos-run-1.txt
+
+# Critical-path profile of the two-app *_cont example on the threaded
+# executor. The chrome trace (spans + put->pull flow arrows) is left in
+# target/ for the CI workflow to upload as an artifact.
+echo "==> critical-path profile (workflows/online, threaded)"
+insitu profile workflows/online.dag --config workflows/online.cfg \
+    --trace-out target/profile-trace.json
+test -s target/profile-trace.json
+
+# Performance regression gate: the deterministic modeled gate document
+# (per-app retrieve times + profiler category totals) must not regress
+# past 10% against the checked-in baseline. Refresh the baseline after
+# an intentional model change with:
+#   insitu compare workflows/online.dag --config workflows/online.cfg \
+#       --write-baseline workflows/baseline_online.json
+echo "==> performance gate (vs workflows/baseline_online.json)"
+insitu compare workflows/online.dag --config workflows/online.cfg \
+    --gate workflows/baseline_online.json
 
 echo "==> CI gate passed"

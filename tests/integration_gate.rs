@@ -1,0 +1,68 @@
+//! End-to-end test of the `insitu compare --gate` path: writing a
+//! baseline from a healthy modeled run, passing a healthy re-comparison,
+//! and exiting with failure once the chaos `link-slow` fault spec
+//! degrades the torus (each hit link is slowed 2-8x, so retrieve times
+//! and the profiled critical path regress past the threshold).
+
+use std::path::PathBuf;
+
+use insitu_chaos::FaultSpec;
+use insitu_cli::{gate, GateOptions};
+
+fn workflow_file(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../workflows")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn healthy_options() -> GateOptions {
+    GateOptions {
+        baseline: None,
+        threshold_pct: 10.0,
+        faults: None,
+        seed: 42,
+        write_baseline: None,
+    }
+}
+
+#[test]
+fn gate_fails_under_chaos_link_slowdown() {
+    let dag = workflow_file("online.dag");
+    let config = workflow_file("online.cfg");
+    let baseline_path =
+        std::env::temp_dir().join(format!("insitu-gate-baseline-{}.json", std::process::id()));
+
+    // Step 1: record the healthy baseline (what CI checks in).
+    let opts = GateOptions {
+        write_baseline: Some(baseline_path.clone()),
+        ..healthy_options()
+    };
+    let (out, passed) = gate(&dag, &config, &opts).expect("baseline run");
+    assert!(passed, "writing a baseline never fails the gate: {out}");
+    assert!(out.contains("baseline written"));
+
+    // Step 2: a healthy rerun against that baseline passes — the modeled
+    // gate document is deterministic, so the comparison is bit-exact.
+    let opts = GateOptions {
+        baseline: Some(baseline_path.clone()),
+        ..healthy_options()
+    };
+    let (out, passed) = gate(&dag, &config, &opts).expect("healthy compare");
+    assert!(passed, "healthy rerun regressed: {out}");
+    assert!(out.contains("PASS"), "gate table reports PASS rows: {out}");
+
+    // Step 3: the chaos link-fault spec at rate 1.0 slows every torus
+    // link by a seeded 2-8x factor; the gate must catch the regression.
+    let opts = GateOptions {
+        baseline: Some(baseline_path.clone()),
+        faults: Some(FaultSpec::parse("link-slow:1.0").expect("spec parses")),
+        ..healthy_options()
+    };
+    let (out, passed) = gate(&dag, &config, &opts).expect("faulted compare");
+    assert!(!passed, "chaos link slowdown not caught: {out}");
+    assert!(out.contains("torus links degraded"), "{out}");
+    assert!(out.contains("REGRESSION"), "{out}");
+
+    std::fs::remove_file(&baseline_path).ok();
+}
