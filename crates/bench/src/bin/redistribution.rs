@@ -1,0 +1,260 @@
+//! M×N redistribution throughput: sequential vs overlapped pulls.
+//!
+//! For each redistribution pattern the bench stages every producer piece
+//! except one deliberately *slow* producer per consumer — chosen as the
+//! producer whose transfer op sorts first in that consumer's schedule, so
+//! its piece lands last while heading the op list. A sequential pull loop
+//! blocks on that first op and performs every copy after the stall; the
+//! overlapped path (`pull_many`) assembles the already-arrived pieces
+//! during the stall and pays only the slow piece's copy afterwards.
+//!
+//! Emits `BENCH_redistribution.json` with ops/s and bytes/s per
+//! pattern × mode plus the overlapped-vs-sequential speedup.
+
+use insitu_bench::emit;
+use insitu_cods::{CodsConfig, CodsSpace, Dht};
+use insitu_dart::DartRuntime;
+use insitu_domain::layout::{fill_with, linear_index};
+use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu_fabric::{ClientId, MachineSpec, Placement, TransferLedger};
+use insitu_sfc::HilbertCurve;
+use insitu_telemetry::Json;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Versions redistributed per pattern × mode; elapsed time is summed.
+const VERSIONS: u64 = 3;
+
+struct Pattern {
+    name: &'static str,
+    /// Square domain side (cells); field data is `side * side * 8` bytes.
+    side: u64,
+    /// Producer process grid.
+    pgrid: [u64; 2],
+    /// Consumer process grid (`[1, 1]` = one consumer gathers the domain).
+    cgrid: [u64; 2],
+    /// How late each slow producer's piece lands.
+    stall: Duration,
+}
+
+const PATTERNS: &[Pattern] = &[
+    Pattern {
+        name: "4x1",
+        side: 2048,
+        pgrid: [2, 2],
+        cgrid: [1, 1],
+        stall: Duration::from_millis(10),
+    },
+    Pattern {
+        name: "8x8->1",
+        side: 2048,
+        pgrid: [8, 8],
+        cgrid: [1, 1],
+        stall: Duration::from_millis(10),
+    },
+    Pattern {
+        name: "64->16",
+        side: 2048,
+        pgrid: [8, 8],
+        cgrid: [4, 4],
+        stall: Duration::from_millis(10),
+    },
+];
+
+fn tag(p: &[u64]) -> f64 {
+    (p[0].wrapping_mul(131).wrapping_add(p[1])) as f64
+}
+
+/// Pull `query` as consumer `client` and spot-check its corner cells.
+fn gather(
+    space: &CodsSpace,
+    client: ClientId,
+    version: u64,
+    query: &BoundingBox,
+    pdec: &Decomposition,
+    pclients: &[ClientId],
+) -> u64 {
+    let (data, _) = space
+        .get_cont(client, 2, "f", version, query, pdec, pclients)
+        .unwrap();
+    for corner in [
+        [query.lb(0), query.lb(1)],
+        [query.lb(0), query.ub(1)],
+        [query.ub(0), query.lb(1)],
+        [query.ub(0), query.ub(1)],
+    ] {
+        assert_eq!(data[linear_index(query, &corner)], tag(&corner));
+    }
+    query.num_cells() as u64 * 8
+}
+
+struct RunStats {
+    elapsed: Duration,
+    gets: u64,
+    bytes: u64,
+}
+
+fn run(pat: &Pattern, sequential: bool) -> RunStats {
+    let producers = pat.pgrid[0] * pat.pgrid[1];
+    let consumers = pat.cgrid[0] * pat.cgrid[1];
+    let clients = (producers + consumers) as u32;
+    let placement = Arc::new(Placement::pack_sequential(
+        MachineSpec::new(clients.div_ceil(4), 4),
+        clients,
+    ));
+    let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+    let order = pat.side.next_power_of_two().trailing_zeros();
+    let dht = Dht::new(Box::new(HilbertCurve::new(2, order)), vec![0]);
+    let space = CodsSpace::new(
+        dart,
+        dht,
+        CodsConfig {
+            get_timeout: Duration::from_secs(30),
+            sequential_pulls: sequential,
+            ..Default::default()
+        },
+    );
+    let domain = BoundingBox::from_sizes(&[pat.side, pat.side]);
+    let pdec = Decomposition::new(domain, ProcessGrid::new(&pat.pgrid), Distribution::Blocked);
+    let cdec = Decomposition::new(domain, ProcessGrid::new(&pat.cgrid), Distribution::Blocked);
+    let pclients: Arc<Vec<ClientId>> = Arc::new((0..producers as ClientId).collect());
+
+    // One slow producer per consumer: the lowest-ranked producer whose
+    // piece intersects the consumer's query heads that consumer's
+    // (src_client, piece)-sorted schedule.
+    let slow: BTreeSet<u64> = (0..consumers)
+        .map(|ci| {
+            let q = cdec.blocked_box(ci).unwrap();
+            (0..producers)
+                .find(|&r| pdec.blocked_box(r).unwrap().intersect(&q).is_some())
+                .unwrap()
+        })
+        .collect();
+
+    let pieces: Arc<Vec<(BoundingBox, Vec<f64>)>> = Arc::new(
+        (0..producers)
+            .map(|r| {
+                let b = pdec.blocked_box(r).unwrap();
+                let data = fill_with(&b, tag);
+                (b, data)
+            })
+            .collect(),
+    );
+
+    let mut elapsed = Duration::ZERO;
+    let mut gets = 0u64;
+    let mut bytes = 0u64;
+    for v in 0..VERSIONS {
+        // Fast pieces are staged before the clock starts; each slow
+        // piece lands `stall` after it.
+        for r in 0..producers {
+            if !slow.contains(&r) {
+                let (b, data) = &pieces[r as usize];
+                space
+                    .put_cont(r as ClientId, 1, "f", v, 0, b, data)
+                    .unwrap();
+            }
+        }
+        let t0 = Instant::now();
+        let late: Vec<_> = slow
+            .iter()
+            .map(|&r| {
+                let space = Arc::clone(&space);
+                let pieces = Arc::clone(&pieces);
+                let stall = pat.stall;
+                std::thread::spawn(move || {
+                    std::thread::sleep(stall);
+                    let (b, data) = &pieces[r as usize];
+                    space
+                        .put_cont(r as ClientId, 1, "f", v, 0, b, data)
+                        .unwrap();
+                })
+            })
+            .collect();
+        if consumers == 1 {
+            bytes += gather(&space, producers as ClientId, v, &domain, &pdec, &pclients);
+        } else {
+            let got: Vec<_> = (0..consumers)
+                .map(|ci| {
+                    let space = Arc::clone(&space);
+                    let pclients = Arc::clone(&pclients);
+                    let query = cdec.blocked_box(ci).unwrap();
+                    std::thread::spawn(move || {
+                        gather(
+                            &space,
+                            (producers + ci) as ClientId,
+                            v,
+                            &query,
+                            &pdec,
+                            &pclients,
+                        )
+                    })
+                })
+                .collect();
+            for h in got {
+                bytes += h.join().unwrap();
+            }
+        }
+        elapsed += t0.elapsed();
+        gets += consumers;
+        for h in late {
+            h.join().unwrap();
+        }
+    }
+    RunStats {
+        elapsed,
+        gets,
+        bytes,
+    }
+}
+
+fn row(pat: &Pattern, mode: &str, s: &RunStats, speedup: f64) -> Json {
+    let secs = s.elapsed.as_secs_f64();
+    println!(
+        "{:>8}  {:>10}  {:>5} gets  {:>9.1} ms  {:>8.1} ops/s  {:>8.1} MiB/s  {:>5.2}x",
+        pat.name,
+        mode,
+        s.gets,
+        secs * 1e3,
+        s.gets as f64 / secs,
+        s.bytes as f64 / secs / (1 << 20) as f64,
+        speedup,
+    );
+    Json::obj()
+        .field("pattern", pat.name)
+        .field("mode", mode)
+        .field("producers", pat.pgrid[0] * pat.pgrid[1])
+        .field("consumers", pat.cgrid[0] * pat.cgrid[1])
+        .field("gets", s.gets)
+        .field("bytes", s.bytes)
+        .field("elapsed_ms", secs * 1e3)
+        .field("ops_per_s", s.gets as f64 / secs)
+        .field("bytes_per_s", s.bytes as f64 / secs)
+        .field("speedup_vs_sequential", speedup)
+}
+
+fn main() {
+    println!(
+        "M x N redistribution: one slow producer per consumer, {} versions",
+        VERSIONS
+    );
+    let mut rows = Vec::new();
+    for pat in PATTERNS {
+        let seq = run(pat, true);
+        let ovl = run(pat, false);
+        let speedup = seq.elapsed.as_secs_f64() / ovl.elapsed.as_secs_f64();
+        rows.push(row(pat, "sequential", &seq, 1.0));
+        rows.push(row(pat, "overlapped", &ovl, speedup));
+    }
+    emit::emit(
+        "redistribution",
+        &Json::obj()
+            .field("figure", "redistribution")
+            .field(
+                "title",
+                "M x N redistribution: sequential vs overlapped pulls",
+            )
+            .field("rows", Json::Arr(rows)),
+    );
+}

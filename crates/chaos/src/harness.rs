@@ -286,10 +286,7 @@ fn synthesized_retrieves(cseed: u64, nodes: u32) -> Vec<ClientRetrieve> {
         .map(|_| ClientRetrieve {
             dst_node: rng.range_u32(0, nodes.max(1)),
             transfers: (0..rng.range_usize(1, 4))
-                .map(|_| Transfer {
-                    src_node: rng.range_u32(0, nodes.max(1)),
-                    bytes: rng.range_u64(1, 1 << 20),
-                })
+                .map(|_| Transfer::new(rng.range_u32(0, nodes.max(1)), rng.range_u64(1, 1 << 20)))
                 .collect(),
             dht_queries: rng.range_u32(0, 3),
         })

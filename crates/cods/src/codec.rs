@@ -3,7 +3,11 @@
 //! CoDS stores registered buffers as raw bytes ([`bytes::Bytes`]); the
 //! applications' field data is `f64`. Encoding is a single memcpy through
 //! a byte view of the slice (always sound: any `f64` bit pattern is valid
-//! as bytes); decoding rebuilds `f64`s from native-endian chunks.
+//! as bytes); decoding rebuilds `f64`s from native-endian chunks. The
+//! assembly path avoids decoding entirely: [`f64s_of_bytes`] reinterprets
+//! an aligned staged buffer in place, and [`FieldData`] lets a `get`
+//! return either an owned assembly buffer or a zero-copy view of a single
+//! staged piece.
 
 use insitu_util::Bytes;
 
@@ -27,6 +31,116 @@ pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
     b.chunks_exact(ELEM_BYTES)
         .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
         .collect()
+}
+
+/// Reinterpret a byte buffer as `f64` cells without copying. `None` when
+/// the buffer is misaligned for `f64` access or has a ragged length —
+/// callers fall back to a decoding copy.
+pub fn f64s_of_bytes(b: &[u8]) -> Option<&[f64]> {
+    if b.len() % ELEM_BYTES != 0 || b.as_ptr() as usize % std::mem::align_of::<f64>() != 0 {
+        return None;
+    }
+    // SAFETY: length and alignment were just checked, and every bit
+    // pattern is a valid f64.
+    Some(unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<f64>(), b.len() / ELEM_BYTES) })
+}
+
+/// View a mutable `f64` slice as raw bytes (for byte-level region copies
+/// directly into a typed assembly buffer).
+pub fn bytes_of_f64s_mut(v: &mut [f64]) -> &mut [u8] {
+    // SAFETY: any f64 is valid as bytes and any bytes are valid as f64;
+    // the view covers exactly the slice's storage.
+    unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr().cast::<u8>(), v.len() * ELEM_BYTES) }
+}
+
+/// Field data returned by a `get`: either an owned assembly of several
+/// pieces, or a zero-copy view of a single staged piece that exactly
+/// covered the query. Derefs to `[f64]` either way.
+#[derive(Clone)]
+pub enum FieldData {
+    /// Assembled into a dedicated buffer.
+    Owned(Vec<f64>),
+    /// Zero-copy view of one staged piece (kept alive by the refcount;
+    /// invariant: aligned and sized for `f64` reinterpretation).
+    View(Bytes),
+}
+
+impl FieldData {
+    /// Wrap staged bytes without copying when alignment permits; falls
+    /// back to a decoding copy otherwise.
+    pub fn from_bytes(b: Bytes) -> FieldData {
+        if f64s_of_bytes(&b).is_some() {
+            FieldData::View(b)
+        } else {
+            FieldData::Owned(decode_f64s(&b))
+        }
+    }
+
+    /// Whether this is a zero-copy view.
+    pub fn is_view(&self) -> bool {
+        matches!(self, FieldData::View(_))
+    }
+
+    /// The cells as an owned vector (free for `Owned`, one copy for a
+    /// view).
+    pub fn into_vec(self) -> Vec<f64> {
+        match self {
+            FieldData::Owned(v) => v,
+            FieldData::View(b) => f64s_of_bytes(&b).expect("view invariant").to_vec(),
+        }
+    }
+}
+
+impl std::ops::Deref for FieldData {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        match self {
+            FieldData::Owned(v) => v,
+            FieldData::View(b) => f64s_of_bytes(b).expect("view invariant"),
+        }
+    }
+}
+
+impl std::fmt::Debug for FieldData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FieldData::{}({} cells)",
+            if self.is_view() { "View" } else { "Owned" },
+            self.len()
+        )
+    }
+}
+
+impl PartialEq for FieldData {
+    fn eq(&self, other: &FieldData) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Vec<f64>> for FieldData {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<FieldData> for Vec<f64> {
+    fn eq(&self, other: &FieldData) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<[f64]> for FieldData {
+    fn eq(&self, other: &[f64]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl From<FieldData> for Vec<f64> {
+    fn from(d: FieldData) -> Vec<f64> {
+        d.into_vec()
+    }
 }
 
 #[cfg(test)]
@@ -61,5 +175,41 @@ mod tests {
     fn large_buffer_roundtrip() {
         let v: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
         assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+    }
+
+    #[test]
+    fn typed_view_agrees_with_decode() {
+        let v = vec![1.0, 2.5, -0.0, f64::INFINITY];
+        let b = encode_f64s(&v);
+        match f64s_of_bytes(&b) {
+            Some(view) => assert_eq!(view, &v[..]),
+            // Arc allocations are not guaranteed 8-aligned; the decode
+            // fallback must still hold.
+            None => assert_eq!(decode_f64s(&b), v),
+        }
+    }
+
+    #[test]
+    fn typed_view_rejects_ragged_length() {
+        assert!(f64s_of_bytes(&[0u8; 12]).is_none());
+    }
+
+    #[test]
+    fn mut_byte_view_writes_through() {
+        let mut v = vec![0.0f64; 2];
+        let src = encode_f64s(&[3.5, -7.25]);
+        bytes_of_f64s_mut(&mut v).copy_from_slice(&src);
+        assert_eq!(v, vec![3.5, -7.25]);
+    }
+
+    #[test]
+    fn field_data_view_and_owned_agree() {
+        let v = vec![9.0, 8.0, 7.0];
+        let d = FieldData::from_bytes(encode_f64s(&v));
+        assert_eq!(d, v);
+        assert_eq!(d.len(), 3);
+        assert_eq!(FieldData::Owned(v.clone()), d);
+        assert_eq!(d.clone().into_vec(), v);
+        assert_eq!(Vec::from(d), v);
     }
 }

@@ -19,8 +19,10 @@ pub mod dht;
 pub mod schedule;
 pub mod space;
 
+pub use codec::FieldData;
 pub use dht::{var_id, Dht, LocationEntry, DHT_RECORD_BYTES};
 pub use schedule::{
-    schedule_from_decomposition, schedule_from_entries, CommSchedule, ScheduleCache, TransferOp,
+    merge_schedule_ops, schedule_from_decomposition, schedule_from_entries, CommSchedule,
+    ScheduleCache, TransferOp,
 };
 pub use space::{CodsConfig, CodsError, CodsSpace, GetReport};

@@ -42,6 +42,87 @@ impl CommSchedule {
     }
 }
 
+/// Union of two regions when they tile a box: identical, or abutting
+/// along exactly one dimension with matching extents in all others.
+fn try_union(a: &BoundingBox, b: &BoundingBox) -> Option<BoundingBox> {
+    if a == b {
+        return Some(*a);
+    }
+    let ndim = a.ndim();
+    let mut split = None;
+    for d in 0..ndim {
+        if a.lb(d) == b.lb(d) && a.ub(d) == b.ub(d) {
+            continue;
+        }
+        if split.is_some() {
+            return None;
+        }
+        split = Some(d);
+    }
+    let d = split?;
+    // Abutting (not overlapping, not gapped) along the split dimension.
+    if a.ub(d) + 1 != b.lb(d) && b.ub(d) + 1 != a.lb(d) {
+        return None;
+    }
+    let ndim = a.ndim();
+    let lbs: Vec<u64> = (0..ndim).map(|i| a.lb(i).min(b.lb(i))).collect();
+    let ubs: Vec<u64> = (0..ndim).map(|i| a.ub(i).max(b.ub(i))).collect();
+    Some(BoundingBox::new(&lbs, &ubs))
+}
+
+/// Coalesce ops that pull from the same stored piece: duplicate regions
+/// collapse and regions abutting along one dimension merge into a single
+/// larger transfer, shrinking the schedule without changing the set of
+/// cells it moves. Ops must be sorted by `(src_client, piece)`.
+pub fn merge_schedule_ops(mut ops: Vec<TransferOp>) -> Vec<TransferOp> {
+    let mut out: Vec<TransferOp> = Vec::with_capacity(ops.len());
+    let mut start = 0;
+    while start < ops.len() {
+        let mut end = start + 1;
+        while end < ops.len()
+            && ops[end].src_client == ops[start].src_client
+            && ops[end].piece == ops[start].piece
+            && ops[end].piece_box == ops[start].piece_box
+        {
+            end += 1;
+        }
+        let group = &mut ops[start..end];
+        // Fixpoint merge within the group (groups are tiny in practice).
+        // Duplicates collapse first: a copy of a band that already merged
+        // into a larger box would otherwise never find its twin.
+        let mut regions: Vec<BoundingBox> = group.iter().map(|o| o.region).collect();
+        let key = |b: &BoundingBox| -> Vec<(u64, u64)> {
+            (0..b.ndim()).map(|d| (b.lb(d), b.ub(d))).collect()
+        };
+        regions.sort_by_key(&key);
+        regions.dedup_by_key(|b| key(b));
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..regions.len() {
+                for j in i + 1..regions.len() {
+                    if let Some(u) = try_union(&regions[i], &regions[j]) {
+                        regions[i] = u;
+                        regions.swap_remove(j);
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        let proto = group[0];
+        out.extend(
+            regions
+                .into_iter()
+                .map(|region| TransferOp { region, ..proto }),
+        );
+        start = end;
+    }
+    out
+}
+
 /// Build a schedule from DHT location entries, clipping each stored piece
 /// to the query box.
 pub fn schedule_from_entries(entries: &[LocationEntry], query: &BoundingBox) -> CommSchedule {
@@ -57,7 +138,9 @@ pub fn schedule_from_entries(entries: &[LocationEntry], query: &BoundingBox) -> 
         })
         .collect();
     ops.sort_by_key(|o| (o.src_client, o.piece));
-    CommSchedule { ops }
+    CommSchedule {
+        ops: merge_schedule_ops(ops),
+    }
 }
 
 /// Build a schedule directly from a producer's decomposition — the
@@ -92,7 +175,9 @@ pub fn schedule_from_decomposition(
         }
     }
     ops.sort_by_key(|o| (o.src_client, o.piece));
-    CommSchedule { ops }
+    CommSchedule {
+        ops: merge_schedule_ops(ops),
+    }
 }
 
 /// Cache of computed schedules keyed by `(var, query box)` — coupling
@@ -256,6 +341,146 @@ mod tests {
         assert_eq!(c.stats(), (1, 2));
         c.clear();
         assert!(c.lookup(1, &q).is_none());
+    }
+
+    /// Cells covered by a list of ops, as a multiset-free set (ops never
+    /// overlap, so a set is enough to compare coverage).
+    fn covered_cells(ops: &[TransferOp]) -> std::collections::BTreeSet<Vec<u64>> {
+        ops.iter()
+            .flat_map(|o| {
+                o.region
+                    .iter_points()
+                    .map(|p| p[..o.region.ndim()].to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_coalesces_adjacent_regions_same_piece() {
+        let piece_box = BoundingBox::new(&[0, 0], &[7, 7]);
+        let mk = |lb: [u64; 2], ub: [u64; 2]| TransferOp {
+            src_client: 3,
+            piece: 0,
+            piece_box,
+            region: BoundingBox::new(&lb, &ub),
+        };
+        // Two row bands abutting along dim 0, plus a duplicate.
+        let ops = vec![mk([0, 0], [3, 7]), mk([4, 0], [7, 7]), mk([0, 0], [3, 7])];
+        let before = covered_cells(&ops);
+        let merged = merge_schedule_ops(ops);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].region, BoundingBox::new(&[0, 0], &[7, 7]));
+        assert_eq!(covered_cells(&merged), before);
+    }
+
+    #[test]
+    fn merge_cascades_to_fixpoint() {
+        let piece_box = BoundingBox::new(&[0, 0], &[7, 7]);
+        let mk = |lb: [u64; 2], ub: [u64; 2]| TransferOp {
+            src_client: 0,
+            piece: 0,
+            piece_box,
+            region: BoundingBox::new(&lb, &ub),
+        };
+        // Four quadrants: pairwise merges must cascade into one box.
+        let ops = vec![
+            mk([0, 0], [3, 3]),
+            mk([0, 4], [3, 7]),
+            mk([4, 0], [7, 3]),
+            mk([4, 4], [7, 7]),
+        ];
+        let before = covered_cells(&ops);
+        let merged = merge_schedule_ops(ops);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(covered_cells(&merged), before);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_sources_and_pieces_apart() {
+        let piece_box = BoundingBox::new(&[0, 0], &[7, 7]);
+        let mk = |src: ClientId, piece: u64, lb: [u64; 2], ub: [u64; 2]| TransferOp {
+            src_client: src,
+            piece,
+            piece_box,
+            region: BoundingBox::new(&lb, &ub),
+        };
+        // Adjacent regions, but different owners / piece ids: untouched.
+        let ops = vec![
+            mk(0, 0, [0, 0], [3, 7]),
+            mk(0, 1, [4, 0], [7, 7]),
+            mk(1, 0, [0, 0], [3, 7]),
+        ];
+        let before = covered_cells(&ops);
+        let merged = merge_schedule_ops(ops.clone());
+        assert_eq!(merged, ops);
+        assert_eq!(covered_cells(&merged), before);
+    }
+
+    #[test]
+    fn merge_rejects_diagonal_and_gapped_regions() {
+        let piece_box = BoundingBox::new(&[0, 0], &[7, 7]);
+        let mk = |lb: [u64; 2], ub: [u64; 2]| TransferOp {
+            src_client: 0,
+            piece: 0,
+            piece_box,
+            region: BoundingBox::new(&lb, &ub),
+        };
+        // Diagonal neighbors and a gapped pair: no merge is legal.
+        let ops = vec![mk([0, 0], [1, 1]), mk([2, 2], [3, 3]), mk([0, 6], [1, 7])];
+        let merged = merge_schedule_ops(ops.clone());
+        assert_eq!(merged.len(), 3);
+        assert_eq!(covered_cells(&merged), covered_cells(&ops));
+    }
+
+    #[test]
+    fn merge_requires_matching_piece_boxes() {
+        // Same owner and piece id but different stored boxes (as distinct
+        // DHT records could claim): regions must NOT merge across them —
+        // the merged op would read from the wrong source layout.
+        let mk = |pb: BoundingBox, lb: [u64; 2], ub: [u64; 2]| TransferOp {
+            src_client: 0,
+            piece: 0,
+            piece_box: pb,
+            region: BoundingBox::new(&lb, &ub),
+        };
+        let ops = vec![
+            mk(BoundingBox::new(&[0, 0], &[3, 7]), [0, 0], [3, 7]),
+            mk(BoundingBox::new(&[4, 0], &[7, 7]), [4, 0], [7, 7]),
+        ];
+        let merged = merge_schedule_ops(ops.clone());
+        assert_eq!(merged, ops);
+    }
+
+    #[test]
+    fn merged_and_unmerged_entry_schedules_move_identical_cells() {
+        // Duplicate location records for the same piece (e.g. replicated
+        // DHT cores answering the same query, before any dedup).
+        let q = BoundingBox::new(&[1, 1], &[6, 6]);
+        let bbox = BoundingBox::new(&[0, 0], &[7, 7]);
+        let entries: Vec<LocationEntry> = (0..3)
+            .map(|_| LocationEntry {
+                bbox,
+                owner: 5,
+                piece: 0,
+            })
+            .collect();
+        let merged = schedule_from_entries(&entries, &q);
+        // Reference: the unmerged clip of each entry.
+        let unmerged: Vec<TransferOp> = entries
+            .iter()
+            .filter_map(|e| {
+                e.bbox.intersect(&q).map(|region| TransferOp {
+                    src_client: e.owner,
+                    piece: e.piece,
+                    piece_box: e.bbox,
+                    region,
+                })
+            })
+            .collect();
+        assert_eq!(unmerged.len(), 3);
+        assert_eq!(merged.ops.len(), 1);
+        assert_eq!(covered_cells(&merged.ops), covered_cells(&unmerged));
+        assert_eq!(merged.total_cells(), q.num_cells());
     }
 
     #[test]

@@ -16,13 +16,13 @@
 //! (simulated) network otherwise. The sequential variants additionally
 //! index the data in the DHT so later applications can discover it.
 
-use crate::codec::{decode_f64s, encode_f64s, ELEM_BYTES};
+use crate::codec::{bytes_of_f64s_mut, encode_f64s, f64s_of_bytes, FieldData, ELEM_BYTES};
 use crate::dht::{var_id, Dht, LocationEntry, DHT_RECORD_BYTES};
 use crate::schedule::{
     schedule_from_decomposition, schedule_from_entries, CommSchedule, ScheduleCache,
 };
-use insitu_dart::{BufKey, DartRuntime};
-use insitu_domain::layout::copy_region_bytes;
+use insitu_dart::{BufKey, BufferHandle, DartRuntime};
+use insitu_domain::layout::{copy_region, copy_region_bytes};
 use insitu_domain::{BoundingBox, Decomposition};
 use insitu_fabric::{ClientId, Locality, TrafficClass};
 use insitu_obs::{Event, EventKind, LinkClass};
@@ -107,6 +107,9 @@ pub struct CodsConfig {
     /// Per-node in-memory staging capacity (16 GB per Jaguar XT5 node).
     /// `None` disables the check.
     pub staging_limit_per_node: Option<u64>,
+    /// Issue schedule ops one at a time instead of overlapping them
+    /// (the pre-overlap behavior; kept as an A/B knob for benchmarks).
+    pub sequential_pulls: bool,
 }
 
 impl Default for CodsConfig {
@@ -115,6 +118,7 @@ impl Default for CodsConfig {
             get_timeout: Duration::from_secs(30),
             cache_schedules: true,
             staging_limit_per_node: None,
+            sequential_pulls: false,
         }
     }
 }
@@ -449,7 +453,7 @@ impl CodsSpace {
         var: &str,
         version: u64,
         query: &BoundingBox,
-    ) -> Result<(Vec<f64>, GetReport), CodsError> {
+    ) -> Result<(FieldData, GetReport), CodsError> {
         let vid = var_id(var);
         self.get_count.inc();
         let flight = self.dart.flight();
@@ -546,7 +550,7 @@ impl CodsSpace {
         query: &BoundingBox,
         producer: &Decomposition,
         producer_clients: &[ClientId],
-    ) -> Result<(Vec<f64>, GetReport), CodsError> {
+    ) -> Result<(FieldData, GetReport), CodsError> {
         let vid = var_id(var);
         self.get_count.inc();
         let flight = self.dart.flight();
@@ -633,13 +637,21 @@ impl CodsSpace {
     }
 
     fn store_cache(&self, vid: u64, query: &BoundingBox, s: Arc<CommSchedule>) {
-        if self.cfg.cache_schedules {
+        // Never cache a schedule that does not cover the query (e.g. a
+        // DHT snapshot taken before every producer had indexed its
+        // piece): replays would keep failing even once the data exists.
+        if self.cfg.cache_schedules && s.total_cells() == query.num_cells() {
             self.cache.insert(vid, query, s);
         }
     }
 
-    /// Receiver-driven pull: fetch every scheduled piece and assemble the
-    /// dense row-major array of `query`.
+    /// Receiver-driven pull: issue every scheduled piece at once and
+    /// assemble the dense row-major array of `query` out of order as
+    /// pieces arrive, so the get blocks for the slowest producer instead
+    /// of the sum of all producer waits. Each piece is copied exactly
+    /// once, straight from the staged buffer into the result; when a
+    /// single piece exactly covers the query the result is a zero-copy
+    /// view of the staged buffer itself.
     #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
     fn execute(
         &self,
@@ -651,7 +663,7 @@ impl CodsSpace {
         query: &BoundingBox,
         parent: u64,
         report: &mut GetReport,
-    ) -> Result<Vec<f64>, CodsError> {
+    ) -> Result<FieldData, CodsError> {
         let covered = schedule.total_cells();
         if covered != query.num_cells() {
             return Err(CodsError::IncompleteCover {
@@ -659,28 +671,42 @@ impl CodsSpace {
             });
         }
         let flight = self.dart.flight();
-        let mut dst = vec![0u8; query.num_cells() as usize * ELEM_BYTES];
-        for op in &schedule.ops {
-            let key = buf_key(vid, version, op.src_client, op.piece);
-            let pull_start = flight.now_us();
-            let handle = self
-                .dart
-                .pull(&key, self.cfg.get_timeout)
-                .ok_or(CodsError::Timeout {
-                    var: vid,
-                    version,
-                    region: op.region,
-                    owner: op.src_client,
-                })?;
-            let wait_us = flight.now_us().saturating_sub(pull_start);
-            copy_region_bytes(
-                &handle.data,
-                &op.piece_box,
-                &mut dst,
-                query,
-                &op.region,
-                ELEM_BYTES,
-            );
+        let cells = query.num_cells() as usize;
+        let keys: Vec<BufKey> = schedule
+            .ops
+            .iter()
+            .map(|op| buf_key(vid, version, op.src_client, op.piece))
+            .collect();
+        let zero_copy = schedule.ops.len() == 1 && schedule.ops[0].piece_box == *query;
+        let mut out: Vec<f64> = if zero_copy {
+            Vec::new()
+        } else {
+            vec![0.0; cells]
+        };
+        let mut view: Option<insitu_util::Bytes> = None;
+        let issue_us = flight.now_us();
+        let mut complete = |i: usize, handle: BufferHandle, wait: Duration| {
+            let op = &schedule.ops[i];
+            if zero_copy {
+                assert_eq!(
+                    handle.data.len(),
+                    cells * ELEM_BYTES,
+                    "staged piece does not match its declared box"
+                );
+                view = Some(handle.data.clone());
+            } else if let Some(src) = f64s_of_bytes(&handle.data) {
+                copy_region(src, &op.piece_box, &mut out, query, &op.region);
+            } else {
+                // Staged buffer not 8-aligned: copy at byte granularity.
+                copy_region_bytes(
+                    &handle.data,
+                    &op.piece_box,
+                    bytes_of_f64s_mut(&mut out),
+                    query,
+                    &op.region,
+                    ELEM_BYTES,
+                );
+            }
             let bytes = op.region.num_cells() as u64 * ELEM_BYTES as u64;
             let loc = self
                 .dart
@@ -692,23 +718,58 @@ impl CodsSpace {
             report.ops += 1;
             if flight.is_enabled() {
                 flight.record(
-                    Event::new(flight.next_seq(), EventKind::Pull { wait_us })
-                        .parent(parent)
-                        .app(app)
-                        .var(vid)
-                        .version(version)
-                        .bbox(op.region)
-                        .src(handle.owner)
-                        .dst(client)
-                        .link(LinkClass::from_locality(loc))
-                        .piece(op.piece)
-                        .bytes(bytes)
-                        .window(pull_start, flight.now_us().saturating_sub(pull_start)),
+                    Event::new(
+                        flight.next_seq(),
+                        EventKind::Pull {
+                            wait_us: wait.as_micros() as u64,
+                        },
+                    )
+                    .parent(parent)
+                    .app(app)
+                    .var(vid)
+                    .version(version)
+                    .bbox(op.region)
+                    .src(handle.owner)
+                    .dst(client)
+                    .link(LinkClass::from_locality(loc))
+                    .piece(op.piece)
+                    .bytes(bytes)
+                    .window(issue_us, flight.now_us().saturating_sub(issue_us)),
                 );
             }
+        };
+        let result = if self.cfg.sequential_pulls {
+            // A/B baseline: one op at a time, same single-copy assembly.
+            let mut failed = None;
+            for (i, key) in keys.iter().enumerate() {
+                let started = std::time::Instant::now();
+                match self.dart.pull(key, self.cfg.get_timeout) {
+                    Some(handle) => complete(i, handle, started.elapsed()),
+                    None => {
+                        failed = Some(i);
+                        break;
+                    }
+                }
+            }
+            failed.map_or(Ok(()), Err)
+        } else {
+            self.dart
+                .pull_many(&keys, self.cfg.get_timeout, &mut complete)
+        };
+        if let Err(i) = result {
+            let op = &schedule.ops[i];
+            return Err(CodsError::Timeout {
+                var: vid,
+                version,
+                region: op.region,
+                owner: op.src_client,
+            });
         }
         self.note_get_complete(vid, version);
-        Ok(decode_f64s(&dst))
+        Ok(match view {
+            Some(bytes) => FieldData::from_bytes(bytes),
+            None => FieldData::Owned(out),
+        })
     }
 
     /// Highest version of `var` visible in the DHT (sequential couplings
@@ -1068,6 +1129,56 @@ mod tests {
         // Evicting frees capacity for a retry.
         s.evict_version("x", 0);
         s.put_seq(1, 1, "x", 1, 1, &b, &data).unwrap();
+    }
+
+    #[test]
+    fn exact_cover_single_piece_is_zero_copy() {
+        let s = space();
+        produce(&s, "temp", 0);
+        // Query exactly one producer's piece: the result must be a view
+        // of the staged buffer, not a copy.
+        let piece = BoundingBox::from_sizes(&[4, 4]);
+        let (data, report) = s.get_seq(1, 2, "temp", 0, &piece).unwrap();
+        assert_eq!(report.ops, 1);
+        assert!(data.is_view(), "single exact piece should not be copied");
+        for p in piece.iter_points() {
+            assert_eq!(data[layout::linear_index(&piece, &p[..2])], tagfn(&p[..2]));
+        }
+        // A multi-piece query assembles into an owned buffer.
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let (data, report) = s.get_seq(1, 2, "temp", 0, &q).unwrap();
+        assert!(report.ops > 1);
+        assert!(!data.is_view());
+        // A sub-piece query is a single op but not an exact cover.
+        let sub = BoundingBox::new(&[1, 1], &[2, 2]);
+        let (data, report) = s.get_seq(1, 2, "temp", 0, &sub).unwrap();
+        assert_eq!(report.ops, 1);
+        assert!(!data.is_view());
+        for p in sub.iter_points() {
+            assert_eq!(data[layout::linear_index(&sub, &p[..2])], tagfn(&p[..2]));
+        }
+    }
+
+    #[test]
+    fn sequential_pulls_knob_matches_overlapped_results() {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        let s = CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig {
+                sequential_pulls: true,
+                ..Default::default()
+            },
+        );
+        produce(&s, "temp", 0);
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let (data, report) = s.get_seq(3, 2, "temp", 0, &q).unwrap();
+        assert_eq!(report.ops, 4);
+        for p in q.iter_points() {
+            assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
     }
 
     #[test]

@@ -70,7 +70,18 @@ fn many_producers_consumers_many_versions() {
                 for (vi, var) in vars.iter().enumerate() {
                     let lo = [(c as u64 * 3) % 16, (c as u64 * 5) % 16];
                     let q = BoundingBox::new(&lo, &[lo[0] + 13, lo[1] + 13]);
-                    let (data, _) = s.get_seq(client, 2, var, version, &q).unwrap();
+                    // A consumer may query the DHT before every producer
+                    // has indexed its piece; retry until the cover is
+                    // complete (puts and gets are deliberately unordered).
+                    let data = loop {
+                        match s.get_seq(client, 2, var, version, &q) {
+                            Ok((data, _)) => break data,
+                            Err(insitu_cods::CodsError::IncompleteCover { .. }) => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(e) => panic!("get_seq failed: {e}"),
+                        }
+                    };
                     for p in q.iter_points() {
                         assert_eq!(
                             data[layout::linear_index(&q, &p[..2])],

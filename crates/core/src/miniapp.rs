@@ -152,7 +152,7 @@ pub fn run_jacobi(cfg: &JacobiConfig) -> JacobiOutcome {
         .get_seq(tasks, 2, "temperature", cfg.sweeps as u64, &full)
         .expect("field gather failed");
     JacobiOutcome {
-        field,
+        field: field.into_vec(),
         residual,
         ledger: ledger.snapshot(),
     }

@@ -9,8 +9,9 @@ use crate::scenario::Scenario;
 use insitu_cods::var_id;
 use insitu_domain::stencil::halo_exchanges;
 use insitu_fabric::{
-    estimate_retrieve_breakdowns_faulted, ClientRetrieve, LedgerSnapshot, LinkFaults, Locality,
+    estimate_retrieve_slots_faulted, ClientRetrieve, LedgerSnapshot, LinkFaults, Locality,
     MachineSpec, NodeId, RetrieveBreakdown, TorusTopology, TrafficClass, Transfer, TransferLedger,
+    TransferSlot,
 };
 use insitu_obs::{Event, EventKind, FlightRecorder, LinkClass};
 use insitu_telemetry::Recorder;
@@ -131,7 +132,7 @@ pub fn run_modeled_configured(
                 let dst_node = mapped.node_of_task(capp, rank as u64);
                 let transfers: Vec<Transfer> = sources
                     .into_iter()
-                    .map(|(src_node, bytes)| Transfer { src_node, bytes })
+                    .map(|(src_node, bytes)| Transfer::new(src_node, bytes))
                     .collect();
                 let dht_queries = if coupling.concurrent {
                     0
@@ -195,8 +196,9 @@ pub fn run_modeled_configured(
     let flat: Vec<ClientRetrieve> = retrieves.values().flat_map(|v| v.iter().cloned()).collect();
     let meta_flat: Vec<(u64, bool, u64)> = metas.values().flatten().copied().collect();
     if !flat.is_empty() {
-        let breakdowns =
-            estimate_retrieve_breakdowns_faulted(&scenario.model, &topo, &flat, &cfg.link_faults);
+        let with_slots =
+            estimate_retrieve_slots_faulted(&scenario.model, &topo, &flat, &cfg.link_faults);
+        let breakdowns: Vec<RetrieveBreakdown> = with_slots.iter().map(|(b, _)| *b).collect();
         if cfg.flight.is_enabled() {
             // Lay each version's events in its own time slot so the
             // chrome trace reads as consecutive iterations.
@@ -207,13 +209,14 @@ pub fn run_modeled_configured(
                 .unwrap_or(0)
                 + 1;
             for version in 0..scenario.iterations {
-                for (i, (b, r)) in breakdowns.iter().zip(&flat).enumerate() {
+                for (i, ((b, slots), r)) in with_slots.iter().zip(&flat).enumerate() {
                     let (vid, concurrent, rank) = meta_flat[i];
                     let client = mapped.core_of_task(all[i].0, rank);
                     emit_retrieve_events(
                         &cfg.flight,
                         &mapped.machine,
                         b,
+                        slots,
                         r,
                         all[i].0,
                         vid,
@@ -266,14 +269,17 @@ pub fn run_modeled_configured(
 /// laid out so the critical-path profiler's interval sweep reproduces the
 /// model's `query + max(shm, net)` decomposition exactly: the schedule
 /// child spans the DHT query (cold iteration only — later versions replay
-/// the cached schedule, as the threaded executor does), shared-memory
-/// pulls serialize after it, network pulls run in parallel with the
-/// largest flow spanning the whole branch, and wait attributes to zero.
+/// the cached schedule, as the threaded executor does), and each pull
+/// takes its window and `wait_us` from the model's [`TransferSlot`]
+/// timeline — overlapped issue at the branch start, busy copy beginning
+/// after the slot's wait. Piece-readiness stalls (`Transfer::ready_us`)
+/// thus surface as profiler wait time, exactly as in threaded runs.
 #[allow(clippy::too_many_arguments)] // event tags mirror the cods_* operator signatures
 fn emit_retrieve_events(
     flight: &FlightRecorder,
     machine: &MachineSpec,
     b: &RetrieveBreakdown,
+    slots: &[TransferSlot],
     r: &ClientRetrieve,
     app: u32,
     vid: u64,
@@ -315,61 +321,48 @@ fn emit_retrieve_events(
     }
     let shm_us = (b.shm_ms * 1000.0).round() as u64;
     let net_us = (b.net_ms * 1000.0).round() as u64;
-    let shm: Vec<&Transfer> = r
-        .transfers
-        .iter()
-        .filter(|t| t.src_node == r.dst_node)
-        .collect();
-    let net: Vec<&Transfer> = r
-        .transfers
-        .iter()
-        .filter(|t| t.src_node != r.dst_node)
-        .collect();
     let tstart = offset + query_us;
-    // Shared-memory copies serialize on the destination core: durations
-    // proportional to bytes, the last one absorbing rounding so the chain
-    // sums to `shm_us` exactly.
-    let shm_bytes: u64 = shm.iter().map(|t| t.bytes).sum();
-    let mut cursor = tstart;
-    let mut remaining = shm_us;
-    for (i, t) in shm.iter().enumerate() {
-        let d = if i + 1 == shm.len() {
-            remaining
-        } else {
-            ((shm_us as u128 * t.bytes as u128) / shm_bytes.max(1) as u128) as u64
+    // The slot whose end defines each branch absorbs µs rounding, so the
+    // event union hits the branch envelope exactly.
+    let last_of = |shm: bool| {
+        slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| s.shm == shm && r.transfers[i].bytes > 0)
+            .max_by(|a, b| a.1.end_us().total_cmp(&b.1.end_us()))
+            .map(|(i, _)| i)
+    };
+    let (shm_last, net_last) = (last_of(true), last_of(false));
+    // Every pull is issued at the branch start; its event spans issue to
+    // completion, with the slot's idle prefix carried in `wait_us` so the
+    // profiler charges only the busy tail to the link.
+    for (i, (t, s)) in r.transfers.iter().zip(slots).enumerate() {
+        if t.bytes == 0 {
+            continue;
         }
-        .min(remaining);
-        remaining -= d;
+        let branch = if s.shm { shm_us } else { net_us };
+        let last = if s.shm { shm_last } else { net_last };
+        let end = if last == Some(i) {
+            branch
+        } else {
+            (s.end_us().round() as u64).min(branch)
+        };
+        let wait = (s.wait_us.round() as u64).min(end);
         flight.record(
-            Event::new(flight.next_seq(), EventKind::Pull { wait_us: 0 })
+            Event::new(flight.next_seq(), EventKind::Pull { wait_us: wait })
                 .parent(gseq)
                 .app(app)
                 .var(vid)
                 .version(version)
                 .src(machine.core(t.src_node, 0))
                 .dst(client)
-                .link(LinkClass::Shm)
+                .link(if s.shm {
+                    LinkClass::Shm
+                } else {
+                    LinkClass::Rdma
+                })
                 .bytes(t.bytes)
-                .window(cursor, d),
-        );
-        cursor += d;
-    }
-    // Network pulls are issued in parallel; the largest flow spans the
-    // whole branch, so the interval union is `net_us`.
-    let bytes_max = net.iter().map(|t| t.bytes).max().unwrap_or(0);
-    for t in &net {
-        let d = ((net_us as u128 * t.bytes as u128) / bytes_max.max(1) as u128) as u64;
-        flight.record(
-            Event::new(flight.next_seq(), EventKind::Pull { wait_us: 0 })
-                .parent(gseq)
-                .app(app)
-                .var(vid)
-                .version(version)
-                .src(machine.core(t.src_node, 0))
-                .dst(client)
-                .link(LinkClass::Rdma)
-                .bytes(t.bytes)
-                .window(tstart, d),
+                .window(tstart, end),
         );
     }
     let total_us = query_us + shm_us.max(net_us);
@@ -519,6 +512,100 @@ mod tests {
         assert!(
             trace.contains("app3.retrieve"),
             "missing synthetic spans:\n{trace}"
+        );
+    }
+
+    #[test]
+    fn overlapped_modeled_retrieve_wait_is_max_not_sum() {
+        use insitu_fabric::{estimate_retrieve_slots_faulted, NetworkModel};
+        use insitu_obs::ProfileReport;
+
+        // Three 1 MiB network pulls whose producers finish 5, 20 and
+        // 35 ms after the get is issued. Under overlapped issue the
+        // retrieve waits for the slowest producer once, not for each in
+        // turn, so profiled wait ≈ max(ready), far below the 60 ms sum.
+        let m = NetworkModel::jaguar();
+        let topo = TorusTopology::new([4, 4, 4]);
+        let machine = MachineSpec::new(8, 4);
+        let readies = [5_000u64, 20_000, 35_000];
+        let r = ClientRetrieve {
+            dst_node: 0,
+            transfers: readies
+                .iter()
+                .enumerate()
+                .map(|(i, &ru)| Transfer::ready_at(i as u32 + 1, 1 << 20, ru))
+                .collect(),
+            dht_queries: 2,
+        };
+        let (b, slots) = estimate_retrieve_slots_faulted(
+            &m,
+            &topo,
+            std::slice::from_ref(&r),
+            &LinkFaults::new(),
+        )
+        .pop()
+        .unwrap();
+        let max_ready = *readies.iter().max().unwrap() as f64;
+        let sum_ready: f64 = readies.iter().sum::<u64>() as f64;
+        assert!(
+            b.net_ms * 1e3 < sum_ready,
+            "branch time {} should not serialize the waits ({sum_ready})",
+            b.net_ms * 1e3
+        );
+
+        let flight = FlightRecorder::enabled();
+        emit_retrieve_events(&flight, &machine, &b, &slots, &r, 2, 7, false, 0, 0, 0);
+        let report = ProfileReport::analyze(&flight.snapshot(), flight.dropped());
+        let t = report.totals();
+        assert!(
+            t.wait_us >= max_ready * 0.8 && t.wait_us <= max_ready * 1.05,
+            "wait {} should track the slowest producer ({max_ready})",
+            t.wait_us
+        );
+        assert!(
+            t.wait_us < sum_ready * 0.6,
+            "wait {} must stay well below the serialized sum ({sum_ready})",
+            t.wait_us
+        );
+        assert!(t.rdma_us > 0.0, "busy copy time must still be attributed");
+        // The modeled decomposition is exact: categories sum to the
+        // end-to-end span.
+        let covered = t.schedule_us + t.shm_us + t.rdma_us + t.wait_us;
+        assert!(
+            (covered - report.end_to_end_total_us()).abs() < 1e-6,
+            "decomposition {covered} != end-to-end {}",
+            report.end_to_end_total_us()
+        );
+    }
+
+    #[test]
+    fn staggered_producers_overlap_shared_memory_chain() {
+        use insitu_fabric::{estimate_retrieve_slots_faulted, NetworkModel};
+
+        // Two local pieces, the second ready late: the chain stalls for
+        // it only after the first copy drains, and the branch ends at
+        // ready + copy rather than sum-of-waits + copies.
+        let m = NetworkModel::jaguar();
+        let topo = TorusTopology::new([2, 1, 1]);
+        let r = ClientRetrieve {
+            dst_node: 0,
+            transfers: vec![
+                Transfer::new(0, 4 << 20),
+                Transfer::ready_at(0, 4 << 20, 30_000),
+            ],
+            dht_queries: 0,
+        };
+        let (b, slots) = estimate_retrieve_slots_faulted(&m, &topo, &[r], &LinkFaults::new())
+            .pop()
+            .unwrap();
+        let copy_us = 0.5 + (4 << 20) as f64 / 4.0e9 * 1e6;
+        assert!((slots[0].wait_us - 0.0).abs() < 1e-9);
+        assert!((slots[1].wait_us - 30_000.0).abs() < 1e-9);
+        let expect_end = 30_000.0 + copy_us;
+        assert!(
+            (b.shm_ms * 1e3 - expect_end).abs() < 1.0,
+            "shm branch {} should end at ready+copy {expect_end}",
+            b.shm_ms * 1e3
         );
     }
 

@@ -9,7 +9,7 @@
 //! like every CoDS transfer); writes are legal only within the caller's
 //! own partition (the "partitioned" in PGAS — remote writes would race).
 
-use insitu_cods::{CodsError, CodsSpace, GetReport};
+use insitu_cods::{CodsError, CodsSpace, FieldData, GetReport};
 use insitu_domain::{layout, BoundingBox, Decomposition};
 use insitu_fabric::ClientId;
 use std::sync::Arc;
@@ -90,12 +90,14 @@ impl GlobalArray {
 
     /// Read an arbitrary global section from `reader` (any client). Local
     /// parts come from shared memory, remote parts are pulled over the
-    /// (simulated) network; the report says which.
+    /// (simulated) network; the report says which. When the section falls
+    /// entirely inside one stored piece the result is a zero-copy view of
+    /// the staged buffer.
     pub fn read(
         &self,
         reader: ClientId,
         section: &BoundingBox,
-    ) -> Result<(Vec<f64>, GetReport), CodsError> {
+    ) -> Result<(FieldData, GetReport), CodsError> {
         self.space.get_cont(
             reader,
             self.app,

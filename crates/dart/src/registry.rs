@@ -7,12 +7,20 @@
 //! involvement) or block until they appear — the rendezvous used by
 //! concurrent coupling, where a consumer's `get` may race the producer's
 //! `put`.
+//!
+//! The table is sharded by key hash: each shard has its own lock, so
+//! producers registering different pieces and consumers polling
+//! different keys never contend. Waiting is per key, not per table — a
+//! [`Subscription`] parks a waiter record under each subscribed key and
+//! `register` hands the arriving handle directly to those waiters (and
+//! only those), so a `register` wakes exactly the clients that asked
+//! for that key instead of broadcasting to every blocked consumer.
 
 use insitu_fabric::ClientId;
 use insitu_util::Bytes;
-use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Key of a registered buffer. CoDS composes `(name_hash, version, piece)`;
 /// the registry treats it opaquely.
@@ -36,11 +44,61 @@ pub struct BufferHandle {
     pub data: Bytes,
 }
 
-/// A concurrent key -> buffer table with blocking waits.
-#[derive(Default)]
-pub struct BufferRegistry {
-    table: Mutex<HashMap<BufKey, BufferHandle>>,
+/// Number of independently locked table shards.
+const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over the key fields; cheap, and good enough to spread the
+/// `(name, version, piece)` tuples CoDS generates across shards.
+fn shard_of(key: &BufKey) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [key.name, key.version, key.piece] {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h as usize) % SHARD_COUNT
+}
+
+/// The wait-side half of a [`Subscription`]: arrivals are pushed here by
+/// `register` (tagged with the subscriber's key index and the arrival
+/// instant) and popped by `next_before`.
+struct Waiter {
+    ready: Mutex<VecDeque<(usize, BufferHandle, Instant)>>,
     arrived: Condvar,
+}
+
+impl Waiter {
+    fn deliver(&self, index: usize, handle: BufferHandle) {
+        self.ready
+            .lock()
+            .unwrap()
+            .push_back((index, handle, Instant::now()));
+        self.arrived.notify_one();
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    table: HashMap<BufKey, BufferHandle>,
+    /// Waiters parked on not-yet-registered keys, each tagged with the
+    /// index of the key in its subscription's key list.
+    waiters: HashMap<BufKey, Vec<(usize, Arc<Waiter>)>>,
+}
+
+/// A concurrent key -> buffer table with blocking waits.
+pub struct BufferRegistry {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for BufferRegistry {
+    fn default() -> Self {
+        BufferRegistry {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+        }
+    }
 }
 
 impl BufferRegistry {
@@ -49,69 +107,174 @@ impl BufferRegistry {
         Self::default()
     }
 
-    /// Register (or replace) a buffer and wake any waiters.
+    /// Register (or replace) a buffer and hand it to every waiter parked
+    /// on this key. Waiters on other keys are not woken.
     pub fn register(&self, key: BufKey, owner: ClientId, data: Bytes) {
-        self.table
-            .lock()
-            .unwrap()
-            .insert(key, BufferHandle { owner, data });
-        self.arrived.notify_all();
-    }
-
-    /// Non-blocking lookup.
-    pub fn get(&self, key: &BufKey) -> Option<BufferHandle> {
-        self.table.lock().unwrap().get(key).cloned()
-    }
-
-    /// Block until `key` is registered, up to `timeout`. `None` on timeout.
-    pub fn wait_for(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut table = self.table.lock().unwrap();
-        loop {
-            if let Some(h) = table.get(key) {
-                return Some(h.clone());
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, res) = self.arrived.wait_timeout(table, deadline - now).unwrap();
-            table = guard;
-            if res.timed_out() {
-                return table.get(key).cloned();
+        let handle = BufferHandle { owner, data };
+        let waiters = {
+            let mut shard = self.shards[shard_of(&key)].lock().unwrap();
+            shard.table.insert(key, handle.clone());
+            shard.waiters.remove(&key)
+        };
+        if let Some(waiters) = waiters {
+            for (index, waiter) in waiters {
+                waiter.deliver(index, handle.clone());
             }
         }
     }
 
+    /// Non-blocking lookup.
+    pub fn get(&self, key: &BufKey) -> Option<BufferHandle> {
+        self.shards[shard_of(key)]
+            .lock()
+            .unwrap()
+            .table
+            .get(key)
+            .cloned()
+    }
+
+    /// Subscribe to a set of keys: already-registered keys are ready
+    /// immediately, the rest are delivered as producers register them.
+    /// Dropping the subscription unparks its remaining waiters.
+    pub fn subscribe(&self, keys: &[BufKey]) -> Subscription<'_> {
+        let waiter = Arc::new(Waiter {
+            ready: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+        });
+        for (index, key) in keys.iter().enumerate() {
+            let mut shard = self.shards[shard_of(key)].lock().unwrap();
+            if let Some(handle) = shard.table.get(key) {
+                let handle = handle.clone();
+                drop(shard);
+                waiter.deliver(index, handle);
+            } else {
+                shard
+                    .waiters
+                    .entry(*key)
+                    .or_default()
+                    .push((index, Arc::clone(&waiter)));
+            }
+        }
+        Subscription {
+            registry: self,
+            waiter,
+            keys: keys.to_vec(),
+            delivered: 0,
+        }
+    }
+
+    /// Block until `key` is registered, up to `timeout`. `None` on timeout.
+    pub fn wait_for(&self, key: &BufKey, timeout: Duration) -> Option<BufferHandle> {
+        let mut sub = self.subscribe(std::slice::from_ref(key));
+        sub.next_before(Instant::now() + timeout)
+            .map(|(_, handle, _)| handle)
+    }
+
     /// Remove a buffer (e.g. when a version is garbage collected).
+    /// Waiters parked on the key keep waiting for a re-registration.
     pub fn unregister(&self, key: &BufKey) -> Option<BufferHandle> {
-        self.table.lock().unwrap().remove(key)
+        self.shards[shard_of(key)].lock().unwrap().table.remove(key)
     }
 
     /// Remove every buffer whose version is strictly below `min_version`
     /// for the given name hash. Returns `(owner, bytes)` of each removed
     /// buffer so callers can release per-node staging accounting.
     pub fn evict_below(&self, name: u64, min_version: u64) -> Vec<(ClientId, u64)> {
-        let mut t = self.table.lock().unwrap();
         let mut removed = Vec::new();
-        t.retain(|k, h| {
-            let keep = k.name != name || k.version >= min_version;
-            if !keep {
-                removed.push((h.owner, h.data.len() as u64));
-            }
-            keep
-        });
+        for shard in &self.shards {
+            shard.lock().unwrap().table.retain(|k, h| {
+                let keep = k.name != name || k.version >= min_version;
+                if !keep {
+                    removed.push((h.owner, h.data.len() as u64));
+                }
+                keep
+            });
+        }
         removed
     }
 
     /// Number of registered buffers.
     pub fn len(&self) -> usize {
-        self.table.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().table.len())
+            .sum()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.lock().unwrap().is_empty()
+        self.len() == 0
+    }
+
+    /// Total waiter records currently parked (diagnostics / tests).
+    pub fn waiter_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .waiters
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// A wait-for-any handle over a set of subscribed keys: yields
+/// `(key_index, handle, arrival_instant)` in arrival order.
+pub struct Subscription<'a> {
+    registry: &'a BufferRegistry,
+    waiter: Arc<Waiter>,
+    keys: Vec<BufKey>,
+    delivered: usize,
+}
+
+impl Subscription<'_> {
+    /// Next arrival, blocking until `deadline`. `None` once every
+    /// subscribed key was delivered or the deadline passes.
+    pub fn next_before(&mut self, deadline: Instant) -> Option<(usize, BufferHandle, Instant)> {
+        if self.delivered == self.keys.len() {
+            return None;
+        }
+        let mut ready = self.waiter.ready.lock().unwrap();
+        loop {
+            if let Some(item) = ready.pop_front() {
+                self.delivered += 1;
+                return Some(item);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self
+                .waiter
+                .arrived
+                .wait_timeout(ready, deadline - now)
+                .unwrap();
+            ready = guard;
+            if res.timed_out() {
+                return ready.pop_front().inspect(|_| self.delivered += 1);
+            }
+        }
+    }
+}
+
+impl Drop for Subscription<'_> {
+    fn drop(&mut self) {
+        if self.delivered == self.keys.len() {
+            return;
+        }
+        for key in &self.keys {
+            let mut shard = self.registry.shards[shard_of(key)].lock().unwrap();
+            if let Some(list) = shard.waiters.get_mut(key) {
+                list.retain(|(_, w)| !Arc::ptr_eq(w, &self.waiter));
+                if list.is_empty() {
+                    shard.waiters.remove(key);
+                }
+            }
+        }
     }
 }
 
@@ -149,6 +312,8 @@ mod tests {
     fn wait_for_timeout() {
         let r = BufferRegistry::new();
         assert!(r.wait_for(&key(9), Duration::from_millis(20)).is_none());
+        // The timed-out waiter deregistered itself.
+        assert_eq!(r.waiter_count(), 0);
     }
 
     #[test]
@@ -229,5 +394,91 @@ mod tests {
         assert_eq!(h.owner, 1);
         assert_eq!(&h.data[..], b"b");
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn subscribe_yields_present_keys_immediately() {
+        let r = BufferRegistry::new();
+        r.register(key(2), 7, Bytes::from_static(b"b"));
+        r.register(key(3), 8, Bytes::from_static(b"c"));
+        let mut sub = r.subscribe(&[key(2), key(3)]);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let mut seen = Vec::new();
+        while let Some((i, h, _)) = sub.next_before(deadline) {
+            seen.push((i, h.owner));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 7), (1, 8)]);
+    }
+
+    #[test]
+    fn subscribe_delivers_in_arrival_order() {
+        let r = Arc::new(BufferRegistry::new());
+        let r2 = Arc::clone(&r);
+        let producer = std::thread::spawn(move || {
+            // Register in reverse key order; the consumer must see this
+            // arrival order, not the subscription order.
+            std::thread::sleep(Duration::from_millis(10));
+            r2.register(key(12), 2, Bytes::from_static(b"2"));
+            std::thread::sleep(Duration::from_millis(10));
+            r2.register(key(11), 1, Bytes::from_static(b"1"));
+            std::thread::sleep(Duration::from_millis(10));
+            r2.register(key(10), 0, Bytes::from_static(b"0"));
+        });
+        let mut sub = r.subscribe(&[key(10), key(11), key(12)]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut order = Vec::new();
+        while let Some((i, _, _)) = sub.next_before(deadline) {
+            order.push(i);
+        }
+        producer.join().unwrap();
+        assert_eq!(order, vec![2, 1, 0]);
+        assert_eq!(r.waiter_count(), 0);
+    }
+
+    #[test]
+    fn register_wakes_only_matching_waiters() {
+        let r = Arc::new(BufferRegistry::new());
+        let r2 = Arc::clone(&r);
+        // A waiter on an unrelated key must stay parked across another
+        // key's registration.
+        let bystander =
+            std::thread::spawn(move || r2.wait_for(&key(99), Duration::from_millis(120)).is_none());
+        std::thread::sleep(Duration::from_millis(20));
+        r.register(key(1), 0, Bytes::from_static(b"x"));
+        assert!(bystander.join().unwrap());
+        assert_eq!(r.waiter_count(), 0);
+    }
+
+    #[test]
+    fn dropped_subscription_deregisters_waiters() {
+        let r = BufferRegistry::new();
+        {
+            let _sub = r.subscribe(&[key(1), key(2), key(3)]);
+            assert_eq!(r.waiter_count(), 3);
+        }
+        assert_eq!(r.waiter_count(), 0);
+        // A late register finds nobody to wake and must not panic.
+        r.register(key(1), 0, Bytes::new());
+    }
+
+    #[test]
+    fn many_waiters_same_key_all_served() {
+        let r = Arc::new(BufferRegistry::new());
+        let mut waiters = Vec::new();
+        for _ in 0..8 {
+            let r2 = Arc::clone(&r);
+            waiters.push(std::thread::spawn(move || {
+                r2.wait_for(&key(42), Duration::from_secs(5))
+                    .expect("must be served")
+                    .owner
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        r.register(key(42), 6, Bytes::from_static(b"shared"));
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 6);
+        }
+        assert_eq!(r.waiter_count(), 0);
     }
 }

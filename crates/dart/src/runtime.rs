@@ -204,6 +204,116 @@ impl DartRuntime {
         handle
     }
 
+    /// Receiver-driven wait-for-any pull: issue every key at once and
+    /// invoke `on_ready(index, handle, wait)` as each buffer becomes
+    /// available, in arrival order — so the total blocking time is the
+    /// max over keys, not the sum. `wait` is the time from issue until
+    /// the buffer was available (also recorded in `dart.pull_wait_us`);
+    /// the callback runs on the calling thread, and later arrivals queue
+    /// behind it.
+    ///
+    /// Every key's pull fault site is consulted up front, so drop/delay
+    /// faults fire per key exactly as they would under sequential pulls.
+    /// A delayed key is withheld until its injected delay elapses; a
+    /// dropped key fails the call. On failure the error carries the
+    /// lowest undelivered key index (callers map it back to a schedule
+    /// op); already-delivered callbacks are not undone.
+    pub fn pull_many(
+        &self,
+        keys: &[BufKey],
+        timeout: Duration,
+        mut on_ready: impl FnMut(usize, BufferHandle, Duration),
+    ) -> Result<(), usize> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let mut dropped: Option<usize> = None;
+        let mut floors: Vec<Option<Instant>> = vec![None; keys.len()];
+        for (i, key) in keys.iter().enumerate() {
+            match self.injector.on_pull(key.name, key.version, key.piece) {
+                FaultAction::Drop => {
+                    self.record_pull_fault("drop-pull", key);
+                    dropped.get_or_insert(i);
+                }
+                FaultAction::Delay(d) => {
+                    self.record_pull_fault("delay-pull", key);
+                    floors[i] = Some(start + d);
+                }
+                FaultAction::Proceed => {}
+            }
+        }
+        if let Some(i) = dropped {
+            return Err(i);
+        }
+        // Sequential pulls sleep the injected delay before their wait, so
+        // a delayed op's budget is delay + timeout; give the batch the
+        // same allowance.
+        let deadline = floors
+            .iter()
+            .flatten()
+            .max()
+            .map_or(start + timeout, |&f| f + timeout);
+
+        let mut done = vec![false; keys.len()];
+        let mut pending = keys.len();
+        // Arrived but withheld by an injected delay: (index, handle).
+        let mut held: Vec<(usize, BufferHandle)> = Vec::new();
+        let mut deliver =
+            |index: usize, handle: BufferHandle, done: &mut Vec<bool>, pending: &mut usize| {
+                let wait = Instant::now().saturating_duration_since(start);
+                self.pull_wait_us.record(wait.as_micros() as u64);
+                done[index] = true;
+                *pending -= 1;
+                on_ready(index, handle, wait);
+            };
+
+        let mut sub = self.registry.subscribe(keys);
+        while pending > 0 {
+            let now = Instant::now();
+            let mut k = 0;
+            while k < held.len() {
+                if floors[held[k].0].is_some_and(|f| f <= now) {
+                    let (i, h) = held.swap_remove(k);
+                    deliver(i, h, &mut done, &mut pending);
+                } else {
+                    k += 1;
+                }
+            }
+            if pending == 0 {
+                break;
+            }
+            // Wake at the deadline or the earliest withheld floor.
+            let wake = held
+                .iter()
+                .filter_map(|&(i, _)| floors[i])
+                .min()
+                .map_or(deadline, |f| f.min(deadline));
+            match sub.next_before(wake) {
+                Some((i, h, _arrived)) => match floors[i] {
+                    Some(f) if f > Instant::now() => held.push((i, h)),
+                    _ => deliver(i, h, &mut done, &mut pending),
+                },
+                None => {
+                    let now = Instant::now();
+                    if held.is_empty() {
+                        if now >= deadline {
+                            break;
+                        }
+                    } else if now < wake {
+                        // Every key already arrived; the only work left
+                        // is withheld deliveries — sleep to the floor.
+                        std::thread::sleep(wake - now);
+                    }
+                }
+            }
+        }
+        match done.iter().position(|d| !d) {
+            None => Ok(()),
+            Some(i) => Err(i),
+        }
+    }
+
     /// Log an injected pull fault as a flight event. The buf-key piece
     /// packs the owner in its upper half, so the event keeps the full
     /// `(var, version, owner, piece)` causal key.
@@ -336,6 +446,90 @@ mod tests {
             })
             .unwrap();
         assert_eq!(h.owner, 2);
+    }
+
+    fn bkey(piece: u64) -> BufKey {
+        BufKey {
+            name: 1,
+            version: 0,
+            piece,
+        }
+    }
+
+    #[test]
+    fn pull_many_yields_in_arrival_order() {
+        let rt = runtime(1, 4, 4);
+        let rt2 = Arc::clone(&rt);
+        let producer = std::thread::spawn(move || {
+            for piece in [2u64, 0, 1] {
+                std::thread::sleep(Duration::from_millis(10));
+                rt2.registry()
+                    .register(bkey(piece), piece as u32, Bytes::from_static(b"x"));
+            }
+        });
+        let mut order = Vec::new();
+        rt.pull(&bkey(99), Duration::from_millis(1)); // unrelated waiter churn
+        rt.pull_many(
+            &[bkey(0), bkey(1), bkey(2)],
+            Duration::from_secs(5),
+            |i, h, wait| {
+                assert_eq!(h.owner, i as u32);
+                assert!(wait >= Duration::ZERO);
+                order.push(i);
+            },
+        )
+        .unwrap();
+        producer.join().unwrap();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn pull_many_timeout_reports_missing_index() {
+        let rt = runtime(1, 4, 4);
+        rt.registry().register(bkey(0), 0, Bytes::from_static(b"x"));
+        rt.registry().register(bkey(2), 2, Bytes::from_static(b"x"));
+        let mut got = Vec::new();
+        let err = rt
+            .pull_many(
+                &[bkey(0), bkey(1), bkey(2)],
+                Duration::from_millis(30),
+                |i, _, _| got.push(i),
+            )
+            .unwrap_err();
+        assert_eq!(err, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn pull_many_empty_is_ok() {
+        let rt = runtime(1, 2, 2);
+        rt.pull_many(&[], Duration::from_millis(1), |_, _, _| {
+            panic!("no keys, no callbacks")
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pull_many_wait_is_time_to_availability() {
+        let rt = runtime(1, 4, 4);
+        rt.registry().register(bkey(0), 0, Bytes::from_static(b"x"));
+        let rt2 = Arc::clone(&rt);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            rt2.registry()
+                .register(bkey(1), 1, Bytes::from_static(b"x"));
+        });
+        let mut waits = vec![Duration::ZERO; 2];
+        rt.pull_many(&[bkey(0), bkey(1)], Duration::from_secs(5), |i, _, w| {
+            waits[i] = w;
+        })
+        .unwrap();
+        producer.join().unwrap();
+        // The present piece is delivered (almost) immediately; the late
+        // one waits for its producer.
+        assert!(waits[0] < Duration::from_millis(30), "{waits:?}");
+        assert!(waits[1] >= Duration::from_millis(50), "{waits:?}");
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub fn linear_index(bbox: &BoundingBox, p: &[u64]) -> usize {
     idx as usize
 }
 
+/// True when `region` covers every dimension of `b` except possibly the
+/// first — then the region is one contiguous run in `b`'s dense array.
+#[inline]
+fn spans_full_rows(region: &BoundingBox, b: &BoundingBox) -> bool {
+    (1..region.ndim()).all(|d| region.lb(d) == b.lb(d) && region.ub(d) == b.ub(d))
+}
+
 /// Copy the cells of `region` from the dense array of `src_box` into the
 /// dense array of `dst_box`.
 ///
@@ -52,6 +59,17 @@ pub fn copy_region<T: Copy>(
     assert!(dst_box.contains_box(region), "region outside dst box");
 
     let ndim = region.ndim();
+
+    // Fast path: a region contiguous in both arrays is one memcpy.
+    if spans_full_rows(region, src_box) && spans_full_rows(region, dst_box) {
+        let n = region.num_cells() as usize;
+        let lo = region.lower();
+        let s = linear_index(src_box, &lo[..ndim]);
+        let d = linear_index(dst_box, &lo[..ndim]);
+        dst[d..d + n].copy_from_slice(&src[s..s + n]);
+        return;
+    }
+
     let last = ndim - 1;
     let row_len = region.extent(last) as usize;
 
@@ -113,6 +131,17 @@ pub fn copy_region_bytes(
     assert!(dst_box.contains_box(region), "region outside dst box");
 
     let ndim = region.ndim();
+
+    // Fast path: a region contiguous in both arrays is one memcpy.
+    if spans_full_rows(region, src_box) && spans_full_rows(region, dst_box) {
+        let n = region.num_cells() as usize * elem_bytes;
+        let lo = region.lower();
+        let s = linear_index(src_box, &lo[..ndim]) * elem_bytes;
+        let d = linear_index(dst_box, &lo[..ndim]) * elem_bytes;
+        dst[d..d + n].copy_from_slice(&src[s..s + n]);
+        return;
+    }
+
     let last = ndim - 1;
     let row_bytes = region.extent(last) as usize * elem_bytes;
     let mut cur = region.lower();

@@ -2,7 +2,7 @@
 
 use insitu_domain::bbox::pt;
 use insitu_domain::dist::count_owned_in_range;
-use insitu_domain::layout::{copy_region, fill_with, linear_index};
+use insitu_domain::layout::{copy_region, copy_region_bytes, fill_with, linear_index};
 use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu_util::check::forall;
 use insitu_util::SplitMix64;
@@ -179,6 +179,55 @@ fn copy_region_moves_exactly_region() {
                 assert_eq!(got, 0);
             }
         }
+    });
+}
+
+#[test]
+fn copy_region_fast_and_general_paths_agree() {
+    // Half the cases deliberately hit the contiguous full-row fast path
+    // (region covers every dim but the first of both boxes); the rest are
+    // arbitrary strided sub-regions. Both must agree with a per-point
+    // reference copy, in the typed and the byte-granularity variant.
+    forall(256, |rng| {
+        let (src_box, dst_box, region) = if rng.bool() {
+            let sx = rng.range_u64(2, 10);
+            let sy = rng.range_u64(1, 10);
+            let b = BoundingBox::new(&[0, 0], &[sx - 1, sy - 1]);
+            let r0 = rng.range_u64(0, sx);
+            let r1 = rng.range_u64(r0, sx);
+            (b, b, BoundingBox::new(&[r0, 0], &[r1, sy - 1]))
+        } else {
+            let ax = rng.range_u64(2, 9);
+            let ay = rng.range_u64(2, 9);
+            let ex = rng.range_u64(0, 5);
+            let ey = rng.range_u64(0, 5);
+            (
+                BoundingBox::new(&[0, 0], &[15, 15]),
+                BoundingBox::new(&[1, 1], &[14, 14]),
+                BoundingBox::new(&[ax, ay], &[ax + ex, ay + ey]),
+            )
+        };
+        let tag = |p: &[u64]| p[0] * 1000 + p[1] + 7;
+        let src = fill_with(&src_box, tag);
+
+        // Per-point reference.
+        let mut want = vec![0u64; dst_box.num_cells() as usize];
+        for p in region.iter_points() {
+            want[linear_index(&dst_box, &p[..2])] = src[linear_index(&src_box, &p[..2])];
+        }
+
+        let mut got = vec![0u64; want.len()];
+        copy_region(&src, &src_box, &mut got, &dst_box, &region);
+        assert_eq!(got, want, "typed copy, region {region:?}");
+
+        let src_bytes: Vec<u8> = src.iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let mut got_bytes = vec![0u8; want.len() * 8];
+        copy_region_bytes(&src_bytes, &src_box, &mut got_bytes, &dst_box, &region, 8);
+        let decoded: Vec<u64> = got_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_ne_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(decoded, want, "byte copy, region {region:?}");
     });
 }
 

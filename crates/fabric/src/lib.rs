@@ -26,8 +26,9 @@ pub use fault::{FaultAction, FaultHooks, FaultInjector};
 pub use ledger::{LedgerSnapshot, Locality, TrafficClass, TransferLedger};
 pub use machine::{ClientId, CoreId, MachineSpec, NodeId, Placement};
 pub use timemodel::{
-    estimate_file_coupling_time, estimate_retrieve_breakdowns_faulted, estimate_retrieve_times,
-    estimate_retrieve_times_faulted, ClientRetrieve, FilesystemModel, LinkFaults, NetworkModel,
-    RetrieveBreakdown, Transfer,
+    estimate_file_coupling_time, estimate_retrieve_breakdowns_faulted,
+    estimate_retrieve_slots_faulted, estimate_retrieve_times, estimate_retrieve_times_faulted,
+    ClientRetrieve, FilesystemModel, LinkFaults, NetworkModel, RetrieveBreakdown, Transfer,
+    TransferSlot,
 };
 pub use torus::{LinkId, TorusTopology};

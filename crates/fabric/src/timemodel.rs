@@ -58,6 +58,33 @@ pub struct Transfer {
     pub src_node: NodeId,
     /// Payload size.
     pub bytes: u64,
+    /// Microseconds after the retrieve is issued at which the source
+    /// piece becomes available (its producer's `put` completes). Zero
+    /// means already staged. The receiver-driven executor issues every
+    /// pull up front and overlaps the waits, so a late piece delays only
+    /// its own copy, not the whole retrieve.
+    pub ready_us: u64,
+}
+
+impl Transfer {
+    /// A pull of `bytes` from `src_node`, available immediately.
+    pub fn new(src_node: NodeId, bytes: u64) -> Self {
+        Transfer {
+            src_node,
+            bytes,
+            ready_us: 0,
+        }
+    }
+
+    /// A pull whose source piece only becomes available `ready_us`
+    /// microseconds after the retrieve is issued.
+    pub fn ready_at(src_node: NodeId, bytes: u64, ready_us: u64) -> Self {
+        Transfer {
+            src_node,
+            bytes,
+            ready_us,
+        }
+    }
 }
 
 /// All pulls one execution client issues for a `get()`.
@@ -118,12 +145,38 @@ impl LinkFaults {
 pub struct RetrieveBreakdown {
     /// DHT schedule-query time.
     pub query_ms: f64,
-    /// Serialized shared-memory copy time.
+    /// Serialized shared-memory branch time (copies plus any stalls
+    /// waiting for late pieces).
     pub shm_ms: f64,
-    /// Network branch time (worst flow vs NIC serialization).
+    /// Network branch time (worst flow vs NIC serialization, including
+    /// piece-readiness stalls).
     pub net_ms: f64,
     /// Completion time: `query + max(shm, net)`.
     pub total_ms: f64,
+}
+
+/// Modeled timeline of one transfer inside its retrieve, microseconds
+/// relative to the end of the schedule query. The receiver issues every
+/// pull up front; `wait_us` is the idle span before this one's copy
+/// begins (waiting for the piece to be produced and, for shared memory,
+/// for earlier copies in the per-core chain) and `duration_us` the busy
+/// copy itself. Concurrent transfers overlap, so the retrieve's branch
+/// time is the max of slot ends, not their sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransferSlot {
+    /// Idle microseconds before this transfer's copy starts.
+    pub wait_us: f64,
+    /// Busy copy microseconds.
+    pub duration_us: f64,
+    /// Shared-memory (true) or network (false) transfer.
+    pub shm: bool,
+}
+
+impl TransferSlot {
+    /// When the transfer completes, relative to the branch start.
+    pub fn end_us(&self) -> f64 {
+        self.wait_us + self.duration_us
+    }
 }
 
 /// Estimated completion time (milliseconds) of each client's retrieve,
@@ -162,6 +215,28 @@ pub fn estimate_retrieve_breakdowns_faulted(
     retrieves: &[ClientRetrieve],
     faults: &LinkFaults,
 ) -> Vec<RetrieveBreakdown> {
+    estimate_retrieve_slots_faulted(model, topo, retrieves, faults)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect()
+}
+
+/// [`estimate_retrieve_breakdowns_faulted`] plus the per-transfer
+/// timeline each breakdown composes from. Slots align one-to-one with
+/// the retrieve's `transfers` (zero-byte entries get an all-zero slot).
+///
+/// This is where the overlapped receiver-driven pull semantics live:
+/// all pulls are issued together, shared-memory copies serialize on the
+/// destination core in piece-readiness order, network flows run
+/// concurrently (each ending at `ready + latency + bytes/eff_bw`, with
+/// the slowest stretched to when the destination NIC drains), and the
+/// branch time is the max of slot ends rather than their sum.
+pub fn estimate_retrieve_slots_faulted(
+    model: &NetworkModel,
+    topo: &TorusTopology,
+    retrieves: &[ClientRetrieve],
+    faults: &LinkFaults,
+) -> Vec<(RetrieveBreakdown, Vec<TransferSlot>)> {
     // Pass 1: global contention state.
     let mut link_sharers: HashMap<(NodeId, u8, bool), u32> = HashMap::new();
     let mut src_outflows: HashMap<NodeId, u32> = HashMap::new();
@@ -178,55 +253,93 @@ pub fn estimate_retrieve_breakdowns_faulted(
     }
 
     let gbps = |g: f64| g * 1e9; // bytes per second
-    let us = 1e-6;
+    let to_us = 1e6; // seconds -> microseconds
 
     // Pass 2: per-client completion.
     retrieves
         .iter()
         .map(|r| {
-            let mut shm_bytes = 0u64;
-            let mut shm_msgs = 0u32;
+            let mut slots = vec![TransferSlot::default(); r.transfers.len()];
+
+            // Shared-memory copies serialize on the destination core, in
+            // the order pieces become available; a late piece stalls the
+            // chain only once every earlier copy has drained.
+            let mut shm_idx: Vec<usize> = (0..r.transfers.len())
+                .filter(|&i| r.transfers[i].src_node == r.dst_node && r.transfers[i].bytes > 0)
+                .collect();
+            shm_idx.sort_by_key(|&i| r.transfers[i].ready_us);
+            let mut cursor = 0.0f64;
+            for &i in &shm_idx {
+                let t = &r.transfers[i];
+                let start = cursor.max(t.ready_us as f64);
+                let dur =
+                    model.shm_latency_us + t.bytes as f64 / gbps(model.shm_bandwidth_gbps) * to_us;
+                slots[i] = TransferSlot {
+                    wait_us: start,
+                    duration_us: dur,
+                    shm: true,
+                };
+                cursor = start + dur;
+            }
+            let shm_end = cursor;
+
+            // Network flows run concurrently; the destination NIC
+            // serializes inbound bytes from the moment the first piece is
+            // ready, and the slowest flow is stretched to that drain time.
             let mut net_bytes = 0u64;
-            let mut worst_flow = 0.0f64;
-            for t in &r.transfers {
-                if t.bytes == 0 {
+            let mut min_ready = f64::INFINITY;
+            let mut worst: Option<usize> = None;
+            for (i, t) in r.transfers.iter().enumerate() {
+                if t.src_node == r.dst_node || t.bytes == 0 {
                     continue;
                 }
-                if t.src_node == r.dst_node {
-                    shm_bytes += t.bytes;
-                    shm_msgs += 1;
-                } else {
-                    net_bytes += t.bytes;
-                    // Slowest shared resource along the path. A link's
-                    // cost is its sharer count scaled by any injected
-                    // slowdown (factor 1 when healthy).
-                    let mut worst_link = 1.0f64;
-                    for l in topo.route(t.src_node, r.dst_node) {
-                        let cost = link_sharers[&(l.from, l.dim, l.plus)] as f64
-                            * faults.factor(l.from, l.dim, l.plus);
-                        worst_link = worst_link.max(cost);
-                    }
-                    let src_n = src_outflows[&t.src_node].max(1);
-                    let eff_bw = (gbps(model.nic_bandwidth_gbps) / src_n as f64)
-                        .min(gbps(model.link_bandwidth_gbps) / worst_link)
-                        .min(gbps(model.nic_bandwidth_gbps));
-                    let flow_t = model.net_latency_us * us + t.bytes as f64 / eff_bw;
-                    worst_flow = worst_flow.max(flow_t);
+                net_bytes += t.bytes;
+                min_ready = min_ready.min(t.ready_us as f64);
+                // Slowest shared resource along the path. A link's cost
+                // is its sharer count scaled by any injected slowdown
+                // (factor 1 when healthy).
+                let mut worst_link = 1.0f64;
+                for l in topo.route(t.src_node, r.dst_node) {
+                    let cost = link_sharers[&(l.from, l.dim, l.plus)] as f64
+                        * faults.factor(l.from, l.dim, l.plus);
+                    worst_link = worst_link.max(cost);
+                }
+                let src_n = src_outflows[&t.src_node].max(1);
+                let eff_bw = (gbps(model.nic_bandwidth_gbps) / src_n as f64)
+                    .min(gbps(model.link_bandwidth_gbps) / worst_link)
+                    .min(gbps(model.nic_bandwidth_gbps));
+                let dur = model.net_latency_us + t.bytes as f64 / eff_bw * to_us;
+                slots[i] = TransferSlot {
+                    wait_us: t.ready_us as f64,
+                    duration_us: dur,
+                    shm: false,
+                };
+                if worst.is_none_or(|w| slots[i].end_us() > slots[w].end_us()) {
+                    worst = Some(i);
                 }
             }
-            // The client copies local data itself (serialized) while remote
-            // pulls proceed in parallel; the NIC serializes inbound bytes.
-            let t_shm = shm_msgs as f64 * model.shm_latency_us * us
-                + shm_bytes as f64 / gbps(model.shm_bandwidth_gbps);
-            let nic_serial = net_bytes as f64 / gbps(model.nic_bandwidth_gbps);
-            let t_net = worst_flow.max(nic_serial);
-            let t_query = r.dht_queries as f64 * model.dht_query_us * us;
-            RetrieveBreakdown {
-                query_ms: t_query * 1e3,
-                shm_ms: t_shm * 1e3,
-                net_ms: t_net * 1e3,
-                total_ms: (t_query + t_shm.max(t_net)) * 1e3,
-            }
+            let net_end = if let Some(w) = worst {
+                let nic_drain =
+                    min_ready + net_bytes as f64 / gbps(model.nic_bandwidth_gbps) * to_us;
+                let end = slots[w].end_us().max(nic_drain);
+                slots[w].duration_us = end - slots[w].wait_us;
+                end
+            } else {
+                0.0
+            };
+
+            let query_ms = r.dht_queries as f64 * model.dht_query_us * 1e-3;
+            let shm_ms = shm_end * 1e-3;
+            let net_ms = net_end * 1e-3;
+            (
+                RetrieveBreakdown {
+                    query_ms,
+                    shm_ms,
+                    net_ms,
+                    total_ms: query_ms + shm_ms.max(net_ms),
+                },
+                slots,
+            )
         })
         .collect()
 }
@@ -320,14 +433,8 @@ mod tests {
             .map(|i| ClientRetrieve {
                 dst_node: i % 48,
                 transfers: vec![
-                    Transfer {
-                        src_node: i % 48,
-                        bytes: 102 << 20,
-                    },
-                    Transfer {
-                        src_node: (i + 7) % 48,
-                        bytes: 26 << 20,
-                    },
+                    Transfer::new(i % 48, 102 << 20),
+                    Transfer::new((i + 7) % 48, 26 << 20),
                 ],
                 dht_queries: 2,
             })
@@ -347,18 +454,12 @@ mod tests {
         let t = topo();
         let shm = ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer {
-                src_node: 0,
-                bytes: 16 << 20,
-            }],
+            transfers: vec![Transfer::new(0, 16 << 20)],
             dht_queries: 0,
         };
         let net = ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer {
-                src_node: 5,
-                bytes: 16 << 20,
-            }],
+            transfers: vec![Transfer::new(5, 16 << 20)],
             dht_queries: 0,
         };
         let times = estimate_retrieve_times(&m, &t, &[shm, net]);
@@ -388,20 +489,14 @@ mod tests {
         // One flow 0 -> 4.
         let solo = vec![ClientRetrieve {
             dst_node: 4,
-            transfers: vec![Transfer {
-                src_node: 0,
-                bytes: 64 << 20,
-            }],
+            transfers: vec![Transfer::new(0, 64 << 20)],
             dht_queries: 0,
         }];
         // Eight flows all crossing the same ring segment.
         let crowded: Vec<ClientRetrieve> = (0..8)
             .map(|_| ClientRetrieve {
                 dst_node: 4,
-                transfers: vec![Transfer {
-                    src_node: 0,
-                    bytes: 64 << 20,
-                }],
+                transfers: vec![Transfer::new(0, 64 << 20)],
                 dht_queries: 0,
             })
             .collect();
@@ -418,20 +513,14 @@ mod tests {
         // than a dedicated source.
         let dedicated = vec![ClientRetrieve {
             dst_node: 1,
-            transfers: vec![Transfer {
-                src_node: 0,
-                bytes: 32 << 20,
-            }],
+            transfers: vec![Transfer::new(0, 32 << 20)],
             dht_queries: 0,
         }];
         let fanout: Vec<ClientRetrieve> = [1u32, 2, 3, 5]
             .iter()
             .map(|&d| ClientRetrieve {
                 dst_node: d,
-                transfers: vec![Transfer {
-                    src_node: 0,
-                    bytes: 32 << 20,
-                }],
+                transfers: vec![Transfer::new(0, 32 << 20)],
                 dht_queries: 0,
             })
             .collect();
@@ -446,7 +535,7 @@ mod tests {
         let t = topo();
         let mk = |bytes| ClientRetrieve {
             dst_node: 2,
-            transfers: vec![Transfer { src_node: 7, bytes }],
+            transfers: vec![Transfer::new(7, bytes)],
             dht_queries: 1,
         };
         let a = estimate_retrieve_times(&m, &t, &[mk(1 << 20)])[0];
@@ -460,10 +549,7 @@ mod tests {
         let t = TorusTopology::new([8, 1, 1]);
         let mk = |src: u32, dst: u32| ClientRetrieve {
             dst_node: dst,
-            transfers: vec![Transfer {
-                src_node: src,
-                bytes: 64 << 20,
-            }],
+            transfers: vec![Transfer::new(src, 64 << 20)],
             dht_queries: 0,
         };
         let retrieves = vec![mk(0, 2), mk(5, 6)];
@@ -489,10 +575,7 @@ mod tests {
         let retrieves: Vec<ClientRetrieve> = (0..10u32)
             .map(|i| ClientRetrieve {
                 dst_node: i % 12,
-                transfers: vec![Transfer {
-                    src_node: (i + 5) % 12,
-                    bytes: (i as u64 + 1) << 20,
-                }],
+                transfers: vec![Transfer::new((i + 5) % 12, (i as u64 + 1) << 20)],
                 dht_queries: i,
             })
             .collect();
@@ -508,16 +591,7 @@ mod tests {
         let t = topo();
         let retrieves = vec![ClientRetrieve {
             dst_node: 0,
-            transfers: vec![
-                Transfer {
-                    src_node: 0,
-                    bytes: 8 << 20,
-                },
-                Transfer {
-                    src_node: 5,
-                    bytes: 16 << 20,
-                },
-            ],
+            transfers: vec![Transfer::new(0, 8 << 20), Transfer::new(5, 16 << 20)],
             dht_queries: 3,
         }];
         let b = estimate_retrieve_breakdowns_faulted(&m, &t, &retrieves, &LinkFaults::new())[0];
@@ -535,10 +609,7 @@ mod tests {
             &topo(),
             &[ClientRetrieve {
                 dst_node: 0,
-                transfers: vec![Transfer {
-                    src_node: 3,
-                    bytes: 0,
-                }],
+                transfers: vec![Transfer::new(3, 0)],
                 dht_queries: 0,
             }],
         );

@@ -114,10 +114,7 @@ fn retrieve_times_monotone_in_bytes() {
         let t = TorusTopology::new([4, 4, 4]);
         let mk = |bytes| ClientRetrieve {
             dst_node: 0,
-            transfers: vec![Transfer {
-                src_node: src,
-                bytes,
-            }],
+            transfers: vec![Transfer::new(src, bytes)],
             dht_queries: 0,
         };
         let small = estimate_retrieve_times(&m, &t, &[mk(base)])[0];
@@ -134,10 +131,10 @@ fn retrieve_times_nonnegative_and_finite() {
         let retrieves: Vec<ClientRetrieve> = (0..rng.range_usize(1, 20))
             .map(|_| ClientRetrieve {
                 dst_node: rng.range_u32(0, 27),
-                transfers: vec![Transfer {
-                    src_node: rng.range_u32(0, 27),
-                    bytes: rng.range_u64(0, 1_000_000),
-                }],
+                transfers: vec![Transfer::new(
+                    rng.range_u32(0, 27),
+                    rng.range_u64(0, 1_000_000),
+                )],
                 dht_queries: 1,
             })
             .collect();

@@ -57,4 +57,13 @@ echo "==> performance gate (vs workflows/baseline_online.json)"
 insitu compare workflows/online.dag --config workflows/online.cfg \
     --gate workflows/baseline_online.json
 
+# M x N redistribution micro-bench: sequential vs overlapped pulls on
+# the threaded data plane (4x1, 8x8->1, 64->16). Wall-clock numbers are
+# informational (shared CI runners are noisy); the JSON lands in target/
+# for the CI workflow to upload as an artifact.
+echo "==> redistribution micro-bench (sequential vs overlapped pulls)"
+BENCH_OUT_DIR=target cargo run -q $chaos_profile -p insitu-bench \
+    --bin redistribution --offline
+test -s target/BENCH_redistribution.json
+
 echo "==> CI gate passed"
