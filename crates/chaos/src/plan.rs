@@ -10,7 +10,7 @@
 //! deterministic quantity the harness can assert on.
 
 use insitu_fabric::{
-    ClientId, FaultAction, FaultHooks, LinkFaults, Locality, NodeId, TrafficClass,
+    ClientId, FaultAction, FaultHooks, LinkFaults, Locality, NetOp, NodeId, TrafficClass,
 };
 use insitu_util::rng::SplitMix64;
 use std::collections::{BTreeMap, HashSet};
@@ -34,17 +34,29 @@ pub enum FaultKind {
     StageFull,
     /// A torus link runs degraded in the time model.
     LinkSlow,
+    /// A TCP connection attempt to a peer fails (every retry of the same
+    /// peer rolls the same site, so a faulted connect stays down).
+    NetConnect,
+    /// A data-plane frame (pull-data) is dropped before it is written to
+    /// the wire.
+    NetSend,
+    /// A data-plane frame (pull-data) is discarded after being read from
+    /// the wire.
+    NetRecv,
 }
 
 impl FaultKind {
     /// Every kind, in the canonical order used by specs and reports.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::DeadProducer,
         FaultKind::DropPull,
         FaultKind::DelayPull,
         FaultKind::DhtBlackout,
         FaultKind::StageFull,
         FaultKind::LinkSlow,
+        FaultKind::NetConnect,
+        FaultKind::NetSend,
+        FaultKind::NetRecv,
     ];
 
     /// Index into rate/count arrays.
@@ -61,6 +73,9 @@ impl FaultKind {
             FaultKind::DhtBlackout => "dht-blackout",
             FaultKind::StageFull => "stage-full",
             FaultKind::LinkSlow => "link-slow",
+            FaultKind::NetConnect => "net-connect",
+            FaultKind::NetSend => "net-send",
+            FaultKind::NetRecv => "net-recv",
         }
     }
 }
@@ -169,6 +184,9 @@ const SALT_PULL: u64 = 0x1dea_dbee_f000_0002;
 const SALT_DHT: u64 = 0x1dea_dbee_f000_0003;
 const SALT_STAGE: u64 = 0x1dea_dbee_f000_0004;
 const SALT_LINK: u64 = 0x1dea_dbee_f000_0005;
+const SALT_NET_CONNECT: u64 = 0x1dea_dbee_f000_0006;
+const SALT_NET_SEND: u64 = 0x1dea_dbee_f000_0007;
+const SALT_NET_RECV: u64 = 0x1dea_dbee_f000_0008;
 
 /// A seeded, replayable [`FaultHooks`] implementation.
 ///
@@ -325,6 +343,22 @@ impl FaultHooks for FaultPlan {
             .entry((class, locality))
             .or_insert(0) += bytes;
     }
+
+    fn on_net(&self, op: NetOp, kind: u8, a: u64, b: u64) -> FaultAction {
+        // The wire transport only offers data-plane frames (pull-data) to
+        // the send/recv sites; the frame kind participates in the site
+        // hash so distinct protocol revisions reroll.
+        let (fault, salt) = match op {
+            NetOp::Connect => (FaultKind::NetConnect, SALT_NET_CONNECT),
+            NetOp::Send => (FaultKind::NetSend, SALT_NET_SEND),
+            NetOp::Recv => (FaultKind::NetRecv, SALT_NET_RECV),
+        };
+        if self.hit(fault, salt, &[kind as u64, a, b]) {
+            FaultAction::Drop
+        } else {
+            FaultAction::Proceed
+        }
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +452,39 @@ mod tests {
         }
         assert!(plan.link_faults(64).is_empty());
         assert_eq!(plan.injected_total(), 0);
+    }
+
+    #[test]
+    fn net_sites_are_deterministic_and_per_op() {
+        let spec = FaultSpec::none()
+            .with_rate(FaultKind::NetRecv, 1.0)
+            .with_rate(FaultKind::NetConnect, 0.5);
+        let a = FaultPlan::new(11, spec);
+        let b = FaultPlan::new(11, spec);
+        // Full-rate recv drops every frame; sends were not requested.
+        assert_eq!(a.on_net(NetOp::Recv, 7, 3, 9), FaultAction::Drop);
+        assert_eq!(a.on_net(NetOp::Send, 7, 3, 9), FaultAction::Proceed);
+        // Connect fate per peer replays across plans and retries.
+        for node in 0..32u64 {
+            let first = a.on_net(NetOp::Connect, 0, node, 0);
+            assert_eq!(first, a.on_net(NetOp::Connect, 0, node, 0));
+            assert_eq!(first, b.on_net(NetOp::Connect, 0, node, 0));
+        }
+        assert_eq!(
+            a.injected()[FaultKind::NetConnect.idx()],
+            b.injected()[FaultKind::NetConnect.idx()]
+        );
+        assert_eq!(a.injected()[FaultKind::NetRecv.idx()], 1);
+        assert_eq!(a.injected()[FaultKind::NetSend.idx()], 0);
+    }
+
+    #[test]
+    fn net_slugs_parse() {
+        let s = FaultSpec::parse("net-connect:1,net-send:0.5,net-recv:0.25").unwrap();
+        assert_eq!(s.rate(FaultKind::NetConnect), 1.0);
+        assert_eq!(s.rate(FaultKind::NetSend), 0.5);
+        assert_eq!(s.rate(FaultKind::NetRecv), 0.25);
+        assert_eq!(FaultSpec::parse(&s.canonical()).unwrap(), s);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Deterministic network fault injection against the distributed
+//! runner: the wire transport consults the same seeded fault plan as
+//! every other site, so a dropped frame is replayable from the seed and
+//! surfaces as the ordinary CoDS timeout naming the owning client.
+
+use insitu::{concurrent_scenario, pattern_pairs, Scenario};
+use insitu::{join, serve, DistribOutcome, JoinOptions, MappingStrategy, ServeOptions};
+use insitu_chaos::{FaultPlan, FaultSpec};
+use insitu_fabric::FaultInjector;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two-node loopback scenario with a block-cyclic consumer: every
+/// consumer reads pieces from every producer, so some pulls must cross
+/// the wire no matter how the tasks are mapped.
+fn two_node_scenario() -> Scenario {
+    let mut s = concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[2]);
+    s.cores_per_node = 4;
+    s
+}
+
+/// Run the scenario distributed over loopback with the given injector
+/// wired into the server and every joiner.
+fn run_with_faults(
+    scenario: &Scenario,
+    injector: &FaultInjector,
+    get_timeout: Duration,
+) -> (Result<DistribOutcome, String>, Vec<Result<(), String>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut joiners = Vec::new();
+    for node in 0..2 {
+        let addr = addr.clone();
+        let s = scenario.clone();
+        let opts = JoinOptions {
+            timeout: Duration::from_secs(10),
+            injector: injector.clone(),
+            ..JoinOptions::default()
+        };
+        joiners.push(std::thread::spawn(move || {
+            join(&addr, node, move |_, _| Ok(s), &opts)
+        }));
+    }
+    let served = serve(
+        &listener,
+        "",
+        "",
+        scenario,
+        &ServeOptions {
+            strategy: MappingStrategy::DataCentric,
+            get_timeout,
+            timeout: Duration::from_secs(10),
+            injector: injector.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    let join_results = joiners.into_iter().map(|j| j.join().unwrap()).collect();
+    (served, join_results)
+}
+
+#[test]
+fn dropped_pull_data_surfaces_as_timeout_naming_owner() {
+    // Rate 1 on net-recv: every pull-data frame is discarded after the
+    // read, so no cross-process pull can ever complete.
+    let spec = FaultSpec::parse("net-recv:1").unwrap();
+    let injector = FaultInjector::new(Arc::new(FaultPlan::new(7, spec)));
+    let (served, join_results) =
+        run_with_faults(&two_node_scenario(), &injector, Duration::from_millis(600));
+
+    // The run still completes — waves, barriers and reports all use the
+    // control plane, which faults never touch.
+    let outcome = served.expect("run must complete despite dropped data frames");
+    for r in join_results {
+        r.expect("joiners must survive dropped data frames");
+    }
+    assert!(
+        !outcome.errors.is_empty(),
+        "every wire pull was dropped, yet no task reported an error"
+    );
+    // The failure mode is the *existing* pull timeout, and it names the
+    // client that owns the missing piece.
+    for e in &outcome.errors {
+        assert!(
+            e.contains("timed out waiting") && e.contains("from client"),
+            "expected the CoDS pull timeout naming the owner, got: {e}"
+        );
+    }
+}
+
+#[test]
+fn faulted_connect_fails_join_deterministically() {
+    let spec = FaultSpec::parse("net-connect:1").unwrap();
+    let injector = FaultInjector::new(Arc::new(FaultPlan::new(7, spec)));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let err = join(
+        &addr,
+        0,
+        |_, _| -> Result<Scenario, String> { unreachable!("connect is faulted") },
+        &JoinOptions {
+            timeout: Duration::from_millis(300),
+            injector,
+            ..JoinOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("fault") || err.contains("dropped"),
+        "connect fault must be named, got: {err}"
+    );
+}

@@ -1,0 +1,280 @@
+//! The distributed subcommands: `serve`, `join` and `launch`.
+//!
+//! `serve` runs the workflow management server on a real TCP listener;
+//! `join` runs one node process against it; `launch` is the one-command
+//! demonstration — it forks one `join` child per node over loopback,
+//! serves in-process, then re-runs the same workflow single-process and
+//! verifies the merged transfer ledger is byte-identical.
+
+use crate::driver::{build_scenario, CliError};
+use insitu::{
+    join, map_scenario, run_threaded, serve, DistribOutcome, JoinOptions, MappingStrategy,
+    ServeOptions,
+};
+use insitu_fabric::TrafficClass;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Options of the `serve` subcommand.
+#[derive(Clone, Debug)]
+pub struct ServeCmd {
+    /// DAG description file contents.
+    pub dag: String,
+    /// Workload configuration file contents.
+    pub config: String,
+    /// Address to listen on, e.g. `127.0.0.1:7001`.
+    pub listen: String,
+    /// Mapping strategy, sent to every joiner.
+    pub strategy: MappingStrategy,
+    /// How long to wait for joiners before failing (never blocks past
+    /// this).
+    pub timeout_ms: u64,
+    /// Write the merged ledger snapshot as JSON here after the run.
+    pub ledger_out: Option<PathBuf>,
+}
+
+/// Options of the `join` subcommand. No workflow files: the server
+/// ships the DAG and config text in its `Welcome` frame.
+#[derive(Clone, Debug)]
+pub struct JoinCmd {
+    /// Server address to connect to.
+    pub connect: String,
+    /// Which simulated node this process claims.
+    pub node: u32,
+    /// How long to keep trying to reach the server before failing.
+    pub timeout_ms: u64,
+}
+
+/// Options of the `launch` subcommand.
+#[derive(Clone, Debug)]
+pub struct LaunchCmd {
+    /// DAG description file contents.
+    pub dag: String,
+    /// Workload configuration file contents.
+    pub config: String,
+    /// Total process count: 1 server + one joiner per node.
+    pub procs: u32,
+    /// Mapping strategy.
+    pub strategy: MappingStrategy,
+    /// Joiner/server handshake timeout.
+    pub timeout_ms: u64,
+    /// Write the merged ledger snapshot as JSON here after the run.
+    pub ledger_out: Option<PathBuf>,
+}
+
+fn render_outcome(o: &DistribOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("strategy:  {}\n", o.strategy.label()));
+    out.push_str(&format!("nodes:     {} joiner process(es)\n", o.nodes));
+    out.push_str(&format!(
+        "verified:  {} cell mismatches\n",
+        o.verify_failures
+    ));
+    out.push_str(&format!(
+        "coupling:  {} B over network, {} B in-situ\n",
+        o.ledger.network_bytes(TrafficClass::InterApp),
+        o.ledger.shm_bytes(TrafficClass::InterApp),
+    ));
+    out.push_str(&format!("gets:      {}\n", o.gets));
+    for e in &o.errors {
+        out.push_str(&format!("error:     {e}\n"));
+    }
+    out
+}
+
+fn write_ledger(path: &PathBuf, o: &DistribOutcome) -> Result<String, CliError> {
+    std::fs::write(path, o.ledger.to_json().render() + "\n")
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+    Ok(format!("ledger:    wrote {}\n", path.display()))
+}
+
+/// Run the workflow server until the distributed run completes.
+pub fn serve_cmd(cmd: &ServeCmd) -> Result<String, CliError> {
+    let scenario = build_scenario(&cmd.dag, &cmd.config)?;
+    let listener = TcpListener::bind(&cmd.listen)
+        .map_err(|e| CliError::Io(format!("cannot listen on {}: {e}", cmd.listen)))?;
+    let opts = ServeOptions {
+        strategy: cmd.strategy,
+        timeout: Duration::from_millis(cmd.timeout_ms),
+        ..ServeOptions::default()
+    };
+    let outcome =
+        serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts).map_err(CliError::Mismatch)?;
+    let mut out = render_outcome(&outcome);
+    if let Some(path) = &cmd.ledger_out {
+        out.push_str(&write_ledger(path, &outcome)?);
+    }
+    Ok(out)
+}
+
+/// Run one node process against a server.
+pub fn join_cmd(cmd: &JoinCmd) -> Result<String, CliError> {
+    let opts = JoinOptions {
+        timeout: Duration::from_millis(cmd.timeout_ms),
+        ..JoinOptions::default()
+    };
+    join(
+        &cmd.connect,
+        cmd.node,
+        |dag, config| build_scenario(dag, config).map_err(|e| e.to_string()),
+        &opts,
+    )
+    .map_err(CliError::Mismatch)?;
+    Ok(format!("node {} completed all waves\n", cmd.node))
+}
+
+/// Fork one joiner process per node over loopback, serve in-process,
+/// then verify the merged ledger against a single-process run of the
+/// same workflow. Errors (including a ledger mismatch) exit nonzero.
+pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
+    let scenario = build_scenario(&cmd.dag, &cmd.config)?;
+    let nodes = map_scenario(&scenario, cmd.strategy).machine.nodes;
+    if cmd.procs != nodes + 1 {
+        return Err(CliError::Mismatch(format!(
+            "--procs {} does not fit this workflow: it maps to {nodes} node(s), \
+             so launch needs {} processes (1 server + {nodes} joiners)",
+            cmd.procs,
+            nodes + 1
+        )));
+    }
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CliError::Io(format!("cannot bind loopback: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(format!("cannot resolve loopback address: {e}")))?
+        .to_string();
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("cannot locate own executable: {e}")))?;
+
+    let mut children = Vec::new();
+    for node in 0..nodes {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "join",
+                "--connect",
+                &addr,
+                "--node",
+                &node.to_string(),
+                "--timeout-ms",
+                &cmd.timeout_ms.to_string(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| CliError::Io(format!("cannot spawn joiner {node}: {e}")))?;
+        children.push((node, child));
+    }
+
+    let opts = ServeOptions {
+        strategy: cmd.strategy,
+        timeout: Duration::from_millis(cmd.timeout_ms),
+        ..ServeOptions::default()
+    };
+    let served = serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts);
+    let mut joiner_failures = Vec::new();
+    for (node, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => joiner_failures.push(format!("joiner {node} exited with {status}")),
+            Err(e) => joiner_failures.push(format!("joiner {node} did not exit cleanly: {e}")),
+        }
+    }
+    let outcome = served.map_err(CliError::Mismatch)?;
+    if let Some(fail) = joiner_failures.first() {
+        return Err(CliError::Mismatch(fail.clone()));
+    }
+
+    let mut out = format!("launch:    1 server + {nodes} joiner process(es) over {addr}\n");
+    out.push_str(&render_outcome(&outcome));
+    if !outcome.errors.is_empty() {
+        return Err(CliError::Mismatch(format!(
+            "distributed run hit {} task error(s)",
+            outcome.errors.len()
+        )));
+    }
+
+    // The correctness anchor: the merged distributed ledger must be
+    // byte-identical to the single-process threaded run.
+    let expected = run_threaded(&scenario, cmd.strategy);
+    if outcome.ledger != expected.ledger {
+        return Err(CliError::Mismatch(format!(
+            "ledger mismatch: distributed run accounted {} inter-app bytes, \
+             single-process run {}",
+            outcome.ledger.total_bytes(TrafficClass::InterApp),
+            expected.ledger.total_bytes(TrafficClass::InterApp),
+        )));
+    }
+    out.push_str(&format!(
+        "ledger:    byte-identical to the single-process run ({} B total inter-app)\n",
+        outcome.ledger.total_bytes(TrafficClass::InterApp)
+    ));
+    if let Some(path) = &cmd.ledger_out {
+        out.push_str(&write_ledger(path, &outcome)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAG: &str = "\
+APP_ID 1
+APP_ID 2
+BUNDLE 1 2
+";
+    const CFG: &str = "\
+CORES_PER_NODE 4
+DOMAIN 8 8 8
+HALO 1
+APP 1 GRID 2 2 1 DIST blocked
+APP 2 GRID 2 1 2 DIST blocked
+COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
+";
+
+    #[test]
+    fn join_cmd_fails_fast_on_unreachable_address() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let err = join_cmd(&JoinCmd {
+            connect: addr.clone(),
+            node: 0,
+            timeout_ms: 150,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains(&addr), "{err}");
+    }
+
+    #[test]
+    fn serve_cmd_fails_fast_without_joiners() {
+        let err = serve_cmd(&ServeCmd {
+            dag: DAG.into(),
+            config: CFG.into(),
+            listen: "127.0.0.1:0".into(),
+            strategy: MappingStrategy::DataCentric,
+            timeout_ms: 150,
+            ledger_out: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("joiners"), "{err}");
+    }
+
+    #[test]
+    fn launch_cmd_rejects_wrong_proc_count() {
+        let err = launch_cmd(&LaunchCmd {
+            dag: DAG.into(),
+            config: CFG.into(),
+            procs: 7,
+            strategy: MappingStrategy::DataCentric,
+            timeout_ms: 1000,
+            ledger_out: None,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("--procs 7") && msg.contains("3 processes"),
+            "{msg}"
+        );
+    }
+}

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod distrib;
 pub mod driver;
 
 pub use config::{parse_config, ConfigError, WorkloadConfig};
+pub use distrib::{join_cmd, launch_cmd, serve_cmd, JoinCmd, LaunchCmd, ServeCmd};
 pub use driver::{
     build_scenario, gate, profile, run, CliError, GateOptions, Options, ProfileOptions,
 };

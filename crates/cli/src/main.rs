@@ -9,7 +9,7 @@
 
 use insitu::MappingStrategy;
 use insitu_chaos::FaultSpec;
-use insitu_cli::{run, GateOptions, Options, ProfileOptions};
+use insitu_cli::{run, GateOptions, JoinCmd, LaunchCmd, Options, ProfileOptions, ServeCmd};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +24,11 @@ usage: insitu run     [--dag] <file> --config <file>
               [--gate <baseline.json>] [--threshold <pct>]
               [--faults <spec>] [--seed <n>] [--write-baseline <path>]
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
+       insitu serve   [--dag] <file> --config <file> --listen <addr>
+              [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
+       insitu join    --connect <addr> --node <n> [--timeout-ms <n>]
+       insitu launch  [--dag] <file> --config <file> --procs <k>
+              [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
 
 `run` executes the workflow described by the DAG file (paper Listing-1
 syntax) with the workload configuration (domains, grids, distributions,
@@ -47,7 +52,14 @@ model and `--write-baseline` refreshes the baseline file.
 drop-pull, delay-pull, dht-blackout, stage-full, link-slow. The report is
 bit-for-bit replayable from the seed; the exit code is nonzero when an
 invariant was violated, and the first violation is shrunk to a minimal
-ready-to-paste #[test] reproducer.";
+ready-to-paste #[test] reproducer.
+`serve` runs the workflow management server on a TCP listener, waiting
+up to `--timeout-ms` (default 30000) for one joiner process per node;
+`join` runs one node process (no workflow files needed — the server
+ships them in its Welcome frame); `launch` forks one joiner per node
+over loopback, serves in-process, and exits nonzero unless the merged
+distributed ledger is byte-identical to a single-process run.
+`--ledger-out` writes the merged transfer-ledger snapshot as JSON.";
 
 #[derive(Debug)]
 enum Command {
@@ -69,6 +81,95 @@ enum Command {
         cases: u64,
         faults: FaultSpec,
     },
+    Serve(ServeCmd),
+    Join(JoinCmd),
+    Launch(LaunchCmd),
+}
+
+fn parse_strategy(v: Option<&String>) -> Result<MappingStrategy, String> {
+    let v = v.ok_or("--strategy needs a name")?;
+    MappingStrategy::from_label(v).ok_or_else(|| format!("unknown strategy {v:?}"))
+}
+
+fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
+    let mut dag_path: Option<String> = None;
+    let mut config_path: Option<String> = None;
+    let mut listen = None;
+    let mut connect = None;
+    let mut node: Option<u32> = None;
+    let mut procs: Option<u32> = None;
+    let mut strategy = MappingStrategy::DataCentric;
+    let mut timeout_ms = 30_000u64;
+    let mut ledger_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dag" if sub != "join" => {
+                dag_path = Some(it.next().ok_or("--dag needs a path")?.clone())
+            }
+            "--config" if sub != "join" => {
+                config_path = Some(it.next().ok_or("--config needs a path")?.clone())
+            }
+            "--listen" if sub == "serve" => {
+                listen = Some(it.next().ok_or("--listen needs an address")?.clone())
+            }
+            "--connect" if sub == "join" => {
+                connect = Some(it.next().ok_or("--connect needs an address")?.clone())
+            }
+            "--node" if sub == "join" => {
+                let v = it.next().ok_or("--node needs a number")?;
+                node = Some(v.parse().map_err(|_| format!("bad node '{v}'"))?);
+            }
+            "--procs" if sub == "launch" => {
+                let v = it.next().ok_or("--procs needs a count")?;
+                procs = Some(v.parse().map_err(|_| format!("bad process count '{v}'"))?);
+            }
+            "--strategy" if sub != "join" => strategy = parse_strategy(it.next())?,
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a number")?;
+                timeout_ms = v.parse().map_err(|_| format!("bad timeout '{v}'"))?;
+            }
+            "--ledger-out" if sub != "join" => {
+                ledger_out = Some(PathBuf::from(it.next().ok_or("--ledger-out needs a path")?))
+            }
+            other if !other.starts_with('-') && sub != "join" && dag_path.is_none() => {
+                dag_path = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if sub == "join" {
+        return Ok(Command::Join(JoinCmd {
+            connect: connect.ok_or("missing --connect")?,
+            node: node.ok_or("missing --node")?,
+            timeout_ms,
+        }));
+    }
+    let dag_path = dag_path.ok_or("missing --dag")?;
+    let config_path = config_path.ok_or("missing --config")?;
+    let dag =
+        std::fs::read_to_string(&dag_path).map_err(|e| format!("cannot read {dag_path}: {e}"))?;
+    let config = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    if sub == "serve" {
+        Ok(Command::Serve(ServeCmd {
+            dag,
+            config,
+            listen: listen.ok_or("missing --listen")?,
+            strategy,
+            timeout_ms,
+            ledger_out,
+        }))
+    } else {
+        Ok(Command::Launch(LaunchCmd {
+            dag,
+            config,
+            procs: procs.ok_or("missing --procs")?,
+            strategy,
+            timeout_ms,
+            ledger_out,
+        }))
+    }
 }
 
 fn parse_chaos_args(args: &[String]) -> Result<Command, String> {
@@ -104,8 +205,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if sub == Some("chaos") {
         return parse_chaos_args(&args[1..]);
     }
+    if let Some(s @ ("serve" | "join" | "launch")) = sub {
+        return parse_distrib_args(s, &args[1..]);
+    }
     if sub != Some("run") && sub != Some("compare") && sub != Some("profile") {
-        return Err("expected the 'run', 'profile', 'compare' or 'chaos' subcommand".into());
+        return Err(
+            "expected the 'run', 'profile', 'compare', 'chaos', 'serve', 'join' or 'launch' \
+             subcommand"
+                .into(),
+        );
     }
     let mut dag_path: Option<String> = None;
     let mut config_path = None;
@@ -124,14 +232,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         match a.as_str() {
             "--dag" => dag_path = Some(it.next().ok_or("--dag needs a path")?.clone()),
             "--config" => config_path = Some(it.next().ok_or("--config needs a path")?.clone()),
-            "--strategy" => {
-                strategy = match it.next().map(String::as_str) {
-                    Some("data-centric") => MappingStrategy::DataCentric,
-                    Some("round-robin") => MappingStrategy::RoundRobin,
-                    Some("node-cyclic") => MappingStrategy::NodeCyclic,
-                    other => return Err(format!("unknown strategy {other:?}")),
-                }
-            }
+            "--strategy" => strategy = parse_strategy(it.next())?,
             "--modeled" => threaded = false,
             "--json" if sub == Some("profile") => json = true,
             "--metrics-out" => {
@@ -260,6 +361,9 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             };
         }
+        Command::Serve(cmd) => insitu_cli::serve_cmd(cmd),
+        Command::Join(cmd) => insitu_cli::join_cmd(cmd),
+        Command::Launch(cmd) => insitu_cli::launch_cmd(cmd),
     };
     match result {
         Ok(report) => {
@@ -433,6 +537,99 @@ mod tests {
         assert!(parse_args(&args(&["chaos", "--dag", "x"]))
             .unwrap_err()
             .contains("unknown argument"));
+    }
+
+    #[test]
+    fn parses_serve_join_and_launch() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            DAG,
+            "--config",
+            CFG,
+            "--listen",
+            "127.0.0.1:7001",
+            "--timeout-ms",
+            "5000",
+            "--ledger-out",
+            "l.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(c) => {
+                assert_eq!(c.listen, "127.0.0.1:7001");
+                assert_eq!(c.timeout_ms, 5000);
+                assert!(c.dag.contains("APP_ID 1"));
+                assert_eq!(
+                    c.ledger_out.as_deref(),
+                    Some(std::path::Path::new("l.json"))
+                );
+            }
+            _ => panic!("expected serve"),
+        }
+        let cmd = parse_args(&args(&[
+            "join",
+            "--connect",
+            "127.0.0.1:7001",
+            "--node",
+            "1",
+            "--timeout-ms",
+            "250",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Join(c) => {
+                assert_eq!(
+                    (c.connect.as_str(), c.node, c.timeout_ms),
+                    ("127.0.0.1:7001", 1, 250)
+                );
+            }
+            _ => panic!("expected join"),
+        }
+        let cmd = parse_args(&args(&[
+            "launch",
+            "--dag",
+            DAG,
+            "--config",
+            CFG,
+            "--procs",
+            "3",
+            "--strategy",
+            "round-robin",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Launch(c) => {
+                assert_eq!(c.procs, 3);
+                assert_eq!(c.strategy, MappingStrategy::RoundRobin);
+                assert_eq!(c.timeout_ms, 30_000);
+            }
+            _ => panic!("expected launch"),
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_distrib_commands() {
+        assert!(parse_args(&args(&["serve", DAG, "--config", CFG]))
+            .unwrap_err()
+            .contains("--listen"));
+        assert!(parse_args(&args(&["join", "--node", "0"]))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(parse_args(&args(&["join", "--connect", "x:1"]))
+            .unwrap_err()
+            .contains("--node"));
+        assert!(parse_args(&args(&["launch", DAG, "--config", CFG]))
+            .unwrap_err()
+            .contains("--procs"));
+        // join takes no workflow files: the server ships them.
+        assert!(parse_args(&args(&["join", "--dag", DAG]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(
+            parse_args(&args(&["launch", DAG, "--config", CFG, "--procs", "two"]))
+                .unwrap_err()
+                .contains("bad process count")
+        );
     }
 
     #[test]

@@ -154,6 +154,7 @@ pub struct CodsSpace {
     consumed_cv: Condvar,
     staging: Mutex<std::collections::HashMap<u32, u64>>,
     staging_peak: std::sync::atomic::AtomicU64,
+    mirror: Option<Arc<dyn SpaceMirror>>,
     recorder: Recorder,
     put_count: Counter,
     get_count: Counter,
@@ -180,10 +181,52 @@ fn buf_key(var: u64, version: u64, owner: ClientId, piece: u64) -> BufKey {
     }
 }
 
+/// Replication hooks for distributed runs.
+///
+/// A single-process space holds the only copy of the DHT and the
+/// consumption/eviction bookkeeping. When execution clients are spread
+/// over several processes, each process holds a full replica and the
+/// wire transport implements this trait to propagate local state changes
+/// to the other replicas. The receiving side applies them with the
+/// `apply_remote_*` methods, which update the replica **without**
+/// re-mirroring and without any ledger accounting — the originating
+/// process already accounted the logical traffic, so merged ledgers stay
+/// byte-identical to a single-process run.
+pub trait SpaceMirror: Send + Sync {
+    /// A piece of `(var, version)` was indexed in the local DHT replica.
+    fn dht_insert(&self, var: u64, version: u64, entry: &LocationEntry);
+    /// A `get` of `(var, version)` completed locally.
+    fn get_done(&self, var: u64, version: u64);
+    /// Versions of `var` up to and including `version` were evicted
+    /// locally.
+    fn evict(&self, var: u64, version: u64);
+}
+
 impl CodsSpace {
     /// Build a space over an existing DART runtime and DHT. Telemetry is
     /// inherited from the runtime's recorder.
     pub fn new(dart: Arc<DartRuntime>, dht: Dht, cfg: CodsConfig) -> Arc<Self> {
+        Self::build(dart, dht, cfg, None)
+    }
+
+    /// Build a space whose DHT/consumption/eviction state changes are
+    /// mirrored to remote replicas through `mirror` (a distributed run's
+    /// wire transport).
+    pub fn with_mirror(
+        dart: Arc<DartRuntime>,
+        dht: Dht,
+        cfg: CodsConfig,
+        mirror: Arc<dyn SpaceMirror>,
+    ) -> Arc<Self> {
+        Self::build(dart, dht, cfg, Some(mirror))
+    }
+
+    fn build(
+        dart: Arc<DartRuntime>,
+        dht: Dht,
+        cfg: CodsConfig,
+        mirror: Option<Arc<dyn SpaceMirror>>,
+    ) -> Arc<Self> {
         let recorder = dart.recorder().clone();
         Arc::new(CodsSpace {
             dht,
@@ -193,6 +236,7 @@ impl CodsSpace {
             consumed_cv: Condvar::new(),
             staging: Mutex::new(std::collections::HashMap::new()),
             staging_peak: std::sync::atomic::AtomicU64::new(0),
+            mirror,
             put_count: recorder.counter("cods.put"),
             get_count: recorder.counter("cods.get"),
             evict_count: recorder.counter("cods.evictions"),
@@ -255,10 +299,37 @@ impl CodsSpace {
     }
 
     fn note_get_complete(&self, vid: u64, version: u64) {
+        self.bump_get_done(vid, version);
+        if let Some(m) = &self.mirror {
+            m.get_done(vid, version);
+        }
+    }
+
+    fn bump_get_done(&self, vid: u64, version: u64) {
         let mut state = self.consumption.lock().unwrap();
         *state.done.entry((vid, version)).or_insert(0) += 1;
         drop(state);
         self.consumed_cv.notify_all();
+    }
+
+    /// Apply a remote replica's completed `get` (wire reader entry point).
+    /// Bumps the consumption count without re-mirroring.
+    pub fn apply_remote_get_done(&self, vid: u64, version: u64) {
+        self.bump_get_done(vid, version);
+    }
+
+    /// Apply a remote replica's DHT insert (wire reader entry point).
+    /// Indexes the location without accounting — the producer's process
+    /// already recorded the DHT traffic — and without re-mirroring.
+    pub fn apply_remote_dht_insert(&self, vid: u64, version: u64, entry: LocationEntry) {
+        self.dht.insert(vid, version, entry);
+    }
+
+    /// Apply a remote replica's eviction (wire reader entry point):
+    /// drops DHT records and registered buffers for all versions of `vid`
+    /// up to and including `version`, without re-mirroring.
+    pub fn apply_remote_evict(&self, vid: u64, version: u64) {
+        self.evict_vid(vid, version);
     }
 
     /// The location service.
@@ -337,22 +408,22 @@ impl CodsSpace {
         }
         self.put_count.inc();
         if !dead {
-            self.dart.registry().register(
+            self.dart.register_buffer(
                 buf_key(vid, version, client, piece),
                 client,
                 encode_f64s(data),
             );
         }
         if index_in_dht {
-            let cores = self.dht.insert(
-                vid,
-                version,
-                LocationEntry {
-                    bbox: *bbox,
-                    owner: client,
-                    piece,
-                },
-            );
+            let entry = LocationEntry {
+                bbox: *bbox,
+                owner: client,
+                piece,
+            };
+            let cores = self.dht.insert(vid, version, entry);
+            if let Some(m) = &self.mirror {
+                m.dht_insert(vid, version, &entry);
+            }
             for c in cores {
                 self.dart.account(
                     app,
@@ -784,6 +855,13 @@ impl CodsSpace {
     /// are dropped from both the DHT and the registry.
     pub fn evict_version(&self, var: &str, version: u64) {
         let vid = var_id(var);
+        self.evict_vid(vid, version);
+        if let Some(m) = &self.mirror {
+            m.evict(vid, version);
+        }
+    }
+
+    fn evict_vid(&self, vid: u64, version: u64) {
         self.dht.remove_versions_up_to(vid, version);
         let removed = self.dart.registry().evict_below(vid, version + 1);
         self.evict_count.add(removed.len() as u64);
@@ -856,6 +934,93 @@ mod tests {
                 .unwrap();
         }
         (dec, clients)
+    }
+
+    #[derive(Default)]
+    struct RecordingMirror {
+        inserts: Mutex<Vec<(u64, u64, LocationEntry)>>,
+        dones: Mutex<Vec<(u64, u64)>>,
+        evicts: Mutex<Vec<(u64, u64)>>,
+    }
+
+    impl SpaceMirror for RecordingMirror {
+        fn dht_insert(&self, var: u64, version: u64, entry: &LocationEntry) {
+            self.inserts.lock().unwrap().push((var, version, *entry));
+        }
+        fn get_done(&self, var: u64, version: u64) {
+            self.dones.lock().unwrap().push((var, version));
+        }
+        fn evict(&self, var: u64, version: u64) {
+            self.evicts.lock().unwrap().push((var, version));
+        }
+    }
+
+    fn mirrored_space(mirror: Arc<RecordingMirror>) -> Arc<CodsSpace> {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        CodsSpace::with_mirror(
+            dart,
+            dht,
+            CodsConfig {
+                get_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+            mirror,
+        )
+    }
+
+    #[test]
+    fn mirror_sees_local_changes_but_not_remote_applies() {
+        let mirror = Arc::new(RecordingMirror::default());
+        let s = mirrored_space(Arc::clone(&mirror));
+        produce(&s, "temp", 0);
+        let vid = var_id("temp");
+        assert_eq!(mirror.inserts.lock().unwrap().len(), 4);
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        s.get_seq(3, 2, "temp", 0, &q).unwrap();
+        assert_eq!(*mirror.dones.lock().unwrap(), vec![(vid, 0)]);
+        s.evict_version("temp", 0);
+        assert_eq!(*mirror.evicts.lock().unwrap(), vec![(vid, 0)]);
+        // Remote applies replay the same changes without re-mirroring.
+        let entry = mirror.inserts.lock().unwrap()[0].2;
+        s.apply_remote_dht_insert(vid, 1, entry);
+        s.apply_remote_get_done(vid, 1);
+        s.apply_remote_evict(vid, 1);
+        assert_eq!(mirror.inserts.lock().unwrap().len(), 4);
+        assert_eq!(mirror.dones.lock().unwrap().len(), 1);
+        assert_eq!(mirror.evicts.lock().unwrap().len(), 1);
+        // And nothing above accounted any traffic beyond the local run's.
+        assert_eq!(s.dht().latest_version(vid), None);
+    }
+
+    #[test]
+    fn remote_dht_insert_is_queryable_without_accounting() {
+        let s = space();
+        let vid = var_id("remote_var");
+        let before = s.dart().ledger().snapshot();
+        s.apply_remote_dht_insert(
+            vid,
+            3,
+            LocationEntry {
+                bbox: BoundingBox::from_sizes(&[4, 4]),
+                owner: 2,
+                piece: 0,
+            },
+        );
+        assert_eq!(s.dht().latest_version(vid), Some(3));
+        assert_eq!(s.dart().ledger().snapshot(), before);
+    }
+
+    #[test]
+    fn remote_get_done_releases_waiting_producer() {
+        let s = space();
+        s.set_expected_gets("vel", 2);
+        let vid = var_id("vel");
+        s.apply_remote_get_done(vid, 0);
+        assert!(!s.wait_version_consumed("vel", 0, Duration::from_millis(20)));
+        s.apply_remote_get_done(vid, 0);
+        assert!(s.wait_version_consumed("vel", 0, Duration::from_millis(20)));
     }
 
     #[test]

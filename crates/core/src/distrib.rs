@@ -1,0 +1,512 @@
+//! The distributed runner: the threaded executor's workflow split into
+//! real OS processes over TCP.
+//!
+//! One process calls [`serve`] — it is the workflow management server
+//! (§III.A): it accepts one joiner per simulated node, registers their
+//! execution clients (with the real socket addresses they connected
+//! from), dispatches each wave's task assignments as `Relay` frames,
+//! runs the wave barriers and merges the final per-node reports. Every
+//! other process calls [`join`] — it rebuilds the *same* execution
+//! state from the `Welcome` frame (scenario text, strategy, get
+//! timeout) via [`crate::exec`], runs only the tasks its node hosts,
+//! and ships everything that crosses processes through an
+//! [`insitu_net::NetLink`].
+//!
+//! ## Accounting-once invariant
+//!
+//! Each logical transfer is accounted in exactly one process — the one
+//! that initiates it: puts and their DHT inserts at the producer, gets
+//! and pulls at the consumer, halo messages at the sender, and the
+//! 12-byte dispatch messages at the server. Frames that mirror already
+//! accounted state (`Relay` delivery, `PullData` registration,
+//! `DhtInsert`/`GetDone`/`Evict`) never touch the receiving ledger.
+//! The merged ledger — the server's own snapshot plus the sum of every
+//! node's — is therefore byte-identical to a single-process
+//! [`run_threaded`](crate::run_threaded) of the same scenario.
+//!
+//! One workflow-design caveat follows from the per-process schedule
+//! cache (keyed by variable and query box): if two clients on
+//! *different* nodes issue the same sequential-get query, the
+//! single-process run serves the second from the shared cache (no DHT
+//! traffic) while the distributed run computes it twice. Workflows
+//! meant for cross-mode ledger comparison must give concurrently
+//! running consumers distinct query regions; same-node and
+//! cross-iteration repeats are safe (same process ↔ same cache in both
+//! modes).
+
+use crate::exec::{dispatch_payload, wave_tasks, ExecEnv, DISPATCH_BYTES, TAG_DISPATCH};
+use crate::mapping::MappingStrategy;
+use crate::scenario::Scenario;
+use crate::threaded::ThreadedConfig;
+use insitu_cods::SpaceMirror;
+use insitu_dart::Transport;
+use insitu_fabric::{FaultInjector, LedgerSnapshot, TrafficClass};
+use insitu_net::conn::{recv_frame, send_frame};
+use insitu_net::{connect_with_retry, Ctl, Frame, Hub, HubConfig, NetLink, NetMetrics, NodeReport};
+use insitu_obs::FlightRecorder;
+use insitu_telemetry::Recorder;
+use insitu_workflow::ClientRegistry;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Knobs of the serving (workflow-server) process.
+#[derive(Clone)]
+pub struct ServeOptions {
+    /// Task-mapping strategy; sent to every joiner in `Welcome`.
+    pub strategy: MappingStrategy,
+    /// Get timeout every replica must use (sent in `Welcome`).
+    pub get_timeout: Duration,
+    /// How long to wait for joiners to connect before failing.
+    pub timeout: Duration,
+    /// Fault sites to consult (inert by default).
+    pub injector: FaultInjector,
+    /// Telemetry recorder (`net.*` counters land here).
+    pub recorder: Recorder,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            strategy: MappingStrategy::DataCentric,
+            get_timeout: Duration::from_secs(60),
+            timeout: Duration::from_secs(30),
+            injector: FaultInjector::none(),
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// Knobs of a joining (node) process.
+#[derive(Clone)]
+pub struct JoinOptions {
+    /// How long to keep trying to reach the server before failing.
+    pub timeout: Duration,
+    /// Fault sites to consult (inert by default).
+    pub injector: FaultInjector,
+    /// Telemetry recorder (`net.*` counters land here).
+    pub recorder: Recorder,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            timeout: Duration::from_secs(30),
+            injector: FaultInjector::none(),
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// The server's view of a completed distributed run.
+#[derive(Clone, Debug)]
+pub struct DistribOutcome {
+    /// Strategy the run mapped under.
+    pub strategy: MappingStrategy,
+    /// Number of joiner processes (= simulated nodes).
+    pub nodes: u32,
+    /// Merged transfer ledger: the server's dispatch accounting plus
+    /// every node's snapshot. Byte-identical to the single-process run.
+    pub ledger: LedgerSnapshot,
+    /// Value-verification failures summed over nodes.
+    pub verify_failures: u64,
+    /// Completed `get` operations summed over nodes.
+    pub gets: u64,
+    /// Buffers still registered at the end, each counted once (in its
+    /// owner's process).
+    pub staged_buffers: u64,
+    /// Task errors from every node, rendered and sorted.
+    pub errors: Vec<String>,
+}
+
+/// How long the server waits for a wave barrier or the final reports:
+/// every task's gets can time out and the wave must still complete.
+fn wave_timeout(get_timeout: Duration) -> Duration {
+    get_timeout * 4 + Duration::from_secs(60)
+}
+
+/// Run the workflow server on an already bound listener.
+///
+/// `dag` and `config` are the workflow text shipped verbatim to every
+/// joiner in `Welcome`; `scenario` must be the scenario that text
+/// describes (the caller parsed it once already). Fails with a clear
+/// error — never blocks past the deadlines — if joiners do not arrive
+/// within `opts.timeout`, or a joiner dies mid-run.
+pub fn serve(
+    listener: &TcpListener,
+    dag: &str,
+    config: &str,
+    scenario: &Scenario,
+    opts: &ServeOptions,
+) -> Result<DistribOutcome, String> {
+    let cfg = ThreadedConfig {
+        get_timeout: opts.get_timeout,
+        injector: opts.injector.clone(),
+        flight: FlightRecorder::disabled(),
+    };
+    // The server replicates the execution state like any node: it needs
+    // the mapping for dispatch and the placement for dispatch accounting.
+    // Its space and mailboxes stay idle — no tasks run here.
+    let env = ExecEnv::build(scenario, opts.strategy, &opts.recorder, &cfg, None, None);
+    let machine = env.mapped.machine;
+    let metrics = NetMetrics::new(&opts.recorder);
+    let hub = Hub::accept(
+        listener,
+        &HubConfig {
+            nodes: machine.nodes,
+            cores_per_node: machine.cores_per_node,
+            strategy: opts.strategy.label().to_string(),
+            get_timeout_ms: opts.get_timeout.as_millis() as u64,
+            dag: dag.to_string(),
+            config: config.to_string(),
+            accept_timeout: opts.timeout,
+        },
+        &opts.injector,
+        &metrics,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Execution-client management: every client registers with the real
+    // socket address its node process connected from.
+    let mut registry = ClientRegistry::new();
+    {
+        let _span = opts.recorder.span("workflow.register", "workflow", 0);
+        for client in 0..machine.total_cores() {
+            let addr = hub.peer_addr(client / machine.cores_per_node).to_string();
+            registry.register_at(client, client, &addr);
+        }
+    }
+
+    let deadline = wave_timeout(opts.get_timeout);
+    for (wi, wave) in env.mapped.waves.iter().enumerate() {
+        let tasks = wave_tasks(&env.scenario, &env.mapped, wave);
+        {
+            // Dispatch, exactly as in-process: accounted here (Control
+            // class, server co-resident with client 0's node), delivered
+            // as a Relay so each client's first message is its
+            // assignment — before RunWave on the same FIFO connection.
+            let _span = opts.recorder.span("workflow.group", "workflow", wi as u64);
+            for &(app_id, rank, client) in &tasks {
+                registry.set_running(client, app_id);
+                env.dart
+                    .account(app_id, TrafficClass::Control, 0, client, DISPATCH_BYTES);
+                hub.send_to(
+                    client / machine.cores_per_node,
+                    Frame::Relay {
+                        to: client,
+                        src: 0,
+                        tag: TAG_DISPATCH,
+                        payload: dispatch_payload(app_id, rank),
+                    },
+                );
+            }
+        }
+        hub.broadcast(Frame::RunWave { wave: wi as u32 });
+        let _span = opts
+            .recorder
+            .span("workflow.execute", "workflow", wi as u64);
+        if let Err(e) = hub.wait_barrier(wi as u32, deadline) {
+            let why = format!("wave {wi} failed: {e}");
+            hub.shutdown(false, &why);
+            return Err(why);
+        }
+        for &(_, _, client) in &tasks {
+            registry.set_idle(client);
+        }
+    }
+
+    let reports = match hub.collect_reports(deadline) {
+        Ok(r) => r,
+        Err(e) => {
+            let why = format!("collecting node reports failed: {e}");
+            hub.shutdown(false, &why);
+            return Err(why);
+        }
+    };
+    hub.shutdown(true, "");
+
+    let mut merged = env.ledger.snapshot();
+    let mut verify_failures = 0;
+    let mut gets = 0;
+    let mut staged_buffers = 0;
+    let mut errors = Vec::new();
+    for report in &reports {
+        merged.merge(&report.ledger);
+        verify_failures += report.verify_failures;
+        gets += report.gets;
+        staged_buffers += report.staged;
+        errors.extend(report.errors.iter().cloned());
+    }
+    errors.sort();
+    Ok(DistribOutcome {
+        strategy: opts.strategy,
+        nodes: machine.nodes,
+        ledger: merged,
+        verify_failures,
+        gets,
+        staged_buffers,
+        errors,
+    })
+}
+
+/// Run one node process: connect to the server at `addr`, claim `node`,
+/// rebuild the execution state from `Welcome` (parsing the workflow
+/// text with `build`), run the waves the server drives, and report.
+///
+/// Fails with a clear error — never blocks indefinitely — when the
+/// server is unreachable within `opts.timeout`, the handshake goes
+/// wrong, or the server aborts the run.
+pub fn join<F>(addr: &str, node: u32, build: F, opts: &JoinOptions) -> Result<(), String>
+where
+    F: FnOnce(&str, &str) -> Result<Scenario, String>,
+{
+    let metrics = NetMetrics::new(&opts.recorder);
+    let mut stream = connect_with_retry(addr, node, opts.timeout, &opts.injector, &metrics)
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_nodelay(true)
+        .and_then(|_| stream.set_read_timeout(Some(opts.timeout.max(Duration::from_millis(1)))))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    send_frame(
+        &mut stream,
+        &Frame::Hello { node },
+        &opts.injector,
+        &metrics,
+    )
+    .map_err(|e| format!("greeting {addr}: {e}"))?;
+    let (nodes, strategy, get_timeout_ms, dag, config) =
+        match recv_frame(&mut stream, &opts.injector, &metrics) {
+            Ok(Frame::Welcome {
+                nodes,
+                strategy,
+                get_timeout_ms,
+                dag,
+                config,
+            }) => (nodes, strategy, get_timeout_ms, dag, config),
+            Ok(other) => {
+                return Err(format!(
+                    "expected Welcome from {addr}, got frame kind {}",
+                    other.kind()
+                ))
+            }
+            Err(e) => return Err(format!("no Welcome from {addr} within deadline: {e}")),
+        };
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| format!("socket setup: {e}"))?;
+
+    let strategy = MappingStrategy::from_label(&strategy)
+        .ok_or_else(|| format!("server sent unknown strategy {strategy:?}"))?;
+    let scenario = build(&dag, &config)?;
+    let get_timeout = Duration::from_millis(get_timeout_ms);
+    if node >= nodes {
+        return Err(format!(
+            "claimed node {node}, but the run has {nodes} nodes"
+        ));
+    }
+
+    let cpn = scenario.cores_per_node;
+    let link = NetLink::new(
+        stream,
+        node,
+        cpn,
+        get_timeout,
+        opts.injector.clone(),
+        metrics,
+    )
+    .map_err(|e| e.to_string())?;
+    let cfg = ThreadedConfig {
+        get_timeout,
+        injector: opts.injector.clone(),
+        flight: FlightRecorder::disabled(),
+    };
+    let env = ExecEnv::build(
+        &scenario,
+        strategy,
+        &opts.recorder,
+        &cfg,
+        Some(Arc::clone(&link) as Arc<dyn Transport>),
+        Some(Arc::clone(&link) as Arc<dyn SpaceMirror>),
+    );
+    if env.mapped.machine.nodes != nodes {
+        link.close();
+        return Err(format!(
+            "scenario maps to {} nodes, but the server runs {nodes}",
+            env.mapped.machine.nodes
+        ));
+    }
+    debug_assert_eq!(env.mapped.machine.cores_per_node, cpn);
+
+    let ctl = link.start_reader(Arc::clone(&env.dart), Arc::clone(&env.space));
+    let last_wave = env.mapped.waves.len() as u32 - 1;
+    let result = loop {
+        match ctl.recv() {
+            Ok(Ctl::RunWave(w)) => {
+                let tasks = wave_tasks(&env.scenario, &env.mapped, &env.mapped.waves[w as usize]);
+                let local: Vec<(u32, u64)> = tasks
+                    .iter()
+                    .filter(|&&(_, _, client)| client / cpn == node)
+                    .map(|&(app, rank, _)| (app, rank))
+                    .collect();
+                env.run_tasks(&local);
+                link.barrier(w);
+                if w == last_wave {
+                    link.report(NodeReport {
+                        node,
+                        ledger: env.ledger.snapshot(),
+                        verify_failures: env.failures.load(Ordering::Relaxed),
+                        staged: env.dart.registry().count_owned(|o| o / cpn == node),
+                        gets: env.reports.lock().unwrap().len() as u64,
+                        errors: env
+                            .sorted_errors()
+                            .iter()
+                            .map(|(a, r, e)| format!("app {a} rank {r}: {e}"))
+                            .collect(),
+                    });
+                }
+            }
+            Ok(Ctl::Shutdown { ok: true, .. }) => break Ok(()),
+            Ok(Ctl::Shutdown { ok: false, reason }) => {
+                break Err(format!("server aborted the run: {reason}"))
+            }
+            Err(_) => break Err("control channel closed before shutdown".to_string()),
+        }
+    };
+    link.close();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{concurrent_scenario, pattern_pairs, sequential_scenario_with_grids};
+    use crate::threaded::run_threaded;
+
+    /// Run `scenario` distributed over loopback (one serve thread, one
+    /// join thread per node) and return the server's outcome.
+    fn run_distributed(
+        scenario: &Scenario,
+        strategy: MappingStrategy,
+        nodes: u32,
+        recorder: &Recorder,
+    ) -> DistribOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let serve_opts = ServeOptions {
+            strategy,
+            timeout: Duration::from_secs(20),
+            recorder: recorder.clone(),
+            ..ServeOptions::default()
+        };
+        let mut joiners = Vec::new();
+        for node in 0..nodes {
+            let addr = addr.clone();
+            let s = scenario.clone();
+            joiners.push(std::thread::spawn(move || {
+                join(
+                    &addr,
+                    node,
+                    move |_dag, _config| Ok(s),
+                    &JoinOptions {
+                        timeout: Duration::from_secs(20),
+                        ..JoinOptions::default()
+                    },
+                )
+            }));
+        }
+        let outcome = serve(&listener, "", "", scenario, &serve_opts).unwrap();
+        for j in joiners {
+            j.join().unwrap().unwrap();
+        }
+        outcome
+    }
+
+    #[test]
+    fn distributed_concurrent_ledger_matches_single_process() {
+        let mut s = concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[0]).with_iterations(2);
+        s.cores_per_node = 4; // 8 tasks -> 2 nodes: producers on 0, consumers on 1
+        let expected = run_threaded(&s, MappingStrategy::DataCentric);
+        assert_eq!(expected.verify_failures, 0);
+
+        let rec = Recorder::enabled();
+        let got = run_distributed(&s, MappingStrategy::DataCentric, 2, &rec);
+        assert_eq!(got.nodes, 2);
+        assert_eq!(got.verify_failures, 0);
+        assert!(got.errors.is_empty(), "{:?}", got.errors);
+        assert_eq!(
+            got.ledger, expected.ledger,
+            "merged ledger must be byte-identical"
+        );
+        assert_eq!(got.gets, expected.reports.len() as u64);
+        assert_eq!(got.staged_buffers, expected.staged_buffers);
+
+        // Real bytes moved over real sockets, and the counters saw them.
+        let snap = rec.metrics_snapshot();
+        assert!(snap.counter("net.bytes_sent") > 0);
+        assert!(snap.counter("net.bytes_recv") > 0);
+        assert!(snap.counter("net.frames") > 0);
+    }
+
+    #[test]
+    fn distributed_sequential_ledger_matches_single_process() {
+        // Two consumer apps with *different* grids, so no two processes
+        // issue the same schedule-cache query (see module docs).
+        let mut s = sequential_scenario_with_grids(
+            &[2, 2, 1],
+            &[2, 1, 1],
+            &[1, 2, 1],
+            4,
+            pattern_pairs(&[2, 2, 1])[0],
+        );
+        s.cores_per_node = 2; // widest wave 4 tasks -> 2 nodes
+        let expected = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert_eq!(expected.verify_failures, 0);
+
+        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &Recorder::disabled());
+        assert_eq!(got.verify_failures, 0);
+        assert!(got.errors.is_empty(), "{:?}", got.errors);
+        assert_eq!(
+            got.ledger, expected.ledger,
+            "merged ledger must be byte-identical"
+        );
+        assert_eq!(got.staged_buffers, expected.staged_buffers);
+    }
+
+    #[test]
+    fn join_fails_fast_on_unreachable_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener); // nothing listens here anymore
+        let err = join(
+            &addr,
+            0,
+            |_, _| -> Result<Scenario, String> { unreachable!("never welcomed") },
+            &JoinOptions {
+                timeout: Duration::from_millis(150),
+                ..JoinOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains(&addr), "error must name the address: {err}");
+    }
+
+    #[test]
+    fn serve_fails_fast_when_joiners_never_arrive() {
+        let mut s = concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[0]);
+        s.cores_per_node = 4;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve(
+            &listener,
+            "",
+            "",
+            &s,
+            &ServeOptions {
+                timeout: Duration::from_millis(150),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("joiners"), "{err}");
+    }
+}

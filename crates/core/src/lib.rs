@@ -49,6 +49,8 @@
 
 pub mod analysis;
 pub mod comm;
+pub mod distrib;
+mod exec;
 pub mod mapping;
 pub mod mapreduce;
 pub mod miniapp;
@@ -58,6 +60,7 @@ pub mod scenario;
 pub mod threaded;
 
 pub use comm::{GroupComm, ReduceOp};
+pub use distrib::{join, serve, DistribOutcome, JoinOptions, ServeOptions};
 pub use mapping::{map_scenario, MappedScenario, MappingStrategy};
 pub use modeled::{
     run_modeled, run_modeled_configured, run_modeled_with, ModeledConfig, ModeledOutcome,

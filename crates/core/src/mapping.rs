@@ -37,6 +37,17 @@ impl MappingStrategy {
             MappingStrategy::NodeCyclic => "node-cyclic",
         }
     }
+
+    /// Inverse of [`MappingStrategy::label`]: parse a strategy from its
+    /// experiment-output label (used by the CLI and the wire handshake).
+    pub fn from_label(label: &str) -> Option<MappingStrategy> {
+        match label {
+            "round-robin" => Some(MappingStrategy::RoundRobin),
+            "data-centric" => Some(MappingStrategy::DataCentric),
+            "node-cyclic" => Some(MappingStrategy::NodeCyclic),
+            _ => None,
+        }
+    }
 }
 
 /// A fully mapped scenario: every task of every app has a core.

@@ -6,35 +6,25 @@
 //! network by that placement. Consumers verify every retrieved cell
 //! against the deterministic field function, so a passing run certifies
 //! the whole redistribution pipeline end to end.
+//!
+//! The state construction and the per-task routine live in
+//! [`crate::exec`], shared with the multi-process
+//! [`distrib`](crate::distrib) runner; this module is the single-process
+//! wave engine on top.
 
-use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
+use crate::exec::{dispatch_payload, wave_tasks, ExecEnv, TAG_DISPATCH};
+use crate::mapping::{MappedScenario, MappingStrategy};
 use crate::scenario::Scenario;
-use insitu_cods::{var_id, CodsConfig, CodsError, CodsSpace, Dht, GetReport};
-use insitu_dart::DartRuntime;
-use insitu_domain::stencil::halo_exchanges;
-use insitu_domain::{layout, BoundingBox};
-use insitu_fabric::{
-    ClientId, FaultInjector, LedgerSnapshot, Placement, TrafficClass, TransferLedger,
-};
+use insitu_cods::{CodsError, GetReport};
+use insitu_fabric::{FaultInjector, LedgerSnapshot, TrafficClass};
 use insitu_obs::FlightRecorder;
-use insitu_sfc::HilbertCurve;
 use insitu_telemetry::Recorder;
 use insitu_util::Bytes;
 use insitu_workflow::ClientRegistry;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Message tag for halo-exchange payloads.
-const TAG_HALO: u64 = 0x48414c4f; // "HALO"
-
-/// Message tag for task-dispatch control messages (workflow server ->
-/// execution client).
-const TAG_DISPATCH: u64 = 0x44495350; // "DISP"
-
-/// High-bit tag namespace reserved for group collectives (see
-/// [`crate::comm`]); disjoint from [`TAG_HALO`] and user tags.
-pub(crate) const TAG_COLLECTIVE_BASE: u64 = 0xC000_0000_0000_0000;
+pub use crate::exec::field_value;
+pub(crate) use crate::exec::TAG_COLLECTIVE_BASE;
 
 /// Results of a threaded run.
 #[derive(Clone, Debug)]
@@ -81,44 +71,6 @@ impl Default for ThreadedConfig {
     }
 }
 
-/// The deterministic synthetic field: every `(variable, version, point)`
-/// has one correct value, so consumers can verify redistribution exactly.
-pub fn field_value(var: u64, version: u64, p: &[u64]) -> f64 {
-    let mut h = var ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    for &c in p {
-        h = (h ^ c.wrapping_add(0x5851_F42D)).wrapping_mul(0x1000_0000_01b3);
-    }
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
-
-fn curve_for(domain: &BoundingBox) -> HilbertCurve {
-    let max_extent = (0..domain.ndim()).map(|d| domain.extent(d)).max().unwrap();
-    let order = 64 - (max_extent - 1).leading_zeros();
-    HilbertCurve::new(domain.ndim(), order.max(1))
-}
-
-struct TaskCtx {
-    scenario: Arc<Scenario>,
-    mapped: Arc<MappedScenario>,
-    space: Arc<CodsSpace>,
-    dart: Arc<DartRuntime>,
-    reports: Arc<Mutex<Vec<(u32, u64, GetReport)>>>,
-    failures: Arc<AtomicU64>,
-    errors: Arc<Mutex<Vec<(u32, u64, CodsError)>>>,
-    get_timeout: Duration,
-    app: u32,
-    rank: u64,
-}
-
-impl TaskCtx {
-    /// Record an operator error; the task abandons the failed coupling
-    /// but keeps running (halo exchange in particular must complete so
-    /// peers do not block forever on their mailboxes).
-    fn note_error(&self, e: CodsError) {
-        self.errors.lock().unwrap().push((self.app, self.rank, e));
-    }
-}
-
 /// Run `scenario` under `strategy` with real threads and data.
 ///
 /// Intended for up to a few hundred tasks (tests, examples); use
@@ -149,12 +101,8 @@ pub fn run_threaded_configured(
     recorder: &Recorder,
     cfg: &ThreadedConfig,
 ) -> ThreadedOutcome {
-    assert_eq!(scenario.elem_bytes, 8, "threaded mode stores f64 fields");
-    let mapped = {
-        let _span = recorder.span("workflow.map", "workflow", 0);
-        Arc::new(map_scenario(scenario, strategy))
-    };
-    let machine = mapped.machine;
+    let env = ExecEnv::build(scenario, strategy, recorder, cfg, None, None);
+    let machine = env.mapped.machine;
     // One execution client per core, client id == core id. The workflow
     // server's client-management module registers every client (its core
     // stands in for a network address) before any task is dispatched.
@@ -165,64 +113,9 @@ pub fn run_threaded_configured(
             registry.register(client, client);
         }
     }
-    let placement = Arc::new(Placement::pack_sequential(machine, machine.total_cores()));
-    let ledger = Arc::new(TransferLedger::with_observer(
-        recorder,
-        cfg.injector.clone(),
-    ));
-    let dart = DartRuntime::with_flight(
-        placement,
-        Arc::clone(&ledger),
-        recorder.clone(),
-        cfg.injector.clone(),
-        cfg.flight.clone(),
-    );
-    let domain = *scenario
-        .workflow
-        .apps
-        .iter()
-        .find_map(|a| a.decomposition.as_ref())
-        .expect("no decomposition in workflow")
-        .domain();
-    let dht_clients: Vec<ClientId> = (0..machine.nodes).map(|n| machine.core(n, 0)).collect();
-    let dht = Dht::new(Box::new(curve_for(&domain)), dht_clients);
-    let space = CodsSpace::new(
-        Arc::clone(&dart),
-        dht,
-        CodsConfig {
-            get_timeout: cfg.get_timeout,
-            // Jaguar XT5 nodes carry 16 GB; staged coupling data must fit.
-            staging_limit_per_node: Some(16 << 30),
-            ..Default::default()
-        },
-    );
 
-    let scenario = Arc::new(scenario.clone());
-    let reports = Arc::new(Mutex::new(Vec::new()));
-    let failures = Arc::new(AtomicU64::new(0));
-    let errors = Arc::new(Mutex::new(Vec::new()));
-
-    // Declare consumption expectations so producers can reclaim old
-    // versions: one completed get per consumer piece per version.
-    for coupling in &scenario.couplings {
-        let coupled_region = coupling
-            .region
-            .unwrap_or(*scenario.decomposition(coupling.producer_app).domain());
-        let mut gets = 0u64;
-        for &capp in &coupling.consumer_apps {
-            let cdec = scenario.decomposition(capp);
-            for r in 0..cdec.num_ranks() {
-                gets += cdec
-                    .rank_region(r)
-                    .into_iter()
-                    .filter(|p| p.intersect(&coupled_region).is_some())
-                    .count() as u64;
-            }
-        }
-        space.set_expected_gets(&coupling.var, gets);
-    }
-
-    for (wi, wave) in mapped.waves.iter().enumerate() {
+    for (wi, wave) in env.mapped.waves.iter().enumerate() {
+        let tasks = wave_tasks(&env.scenario, &env.mapped, wave);
         // The workflow management server dispatches each task assignment
         // (app id, rank) to its execution client before launch — the
         // paper's "initial distribution of computation tasks". The server
@@ -231,277 +124,36 @@ pub fn run_threaded_configured(
         // exists, so each client's first message is its assignment.
         {
             let _span = recorder.span("workflow.group", "workflow", wi as u64);
-            for bundle in wave {
-                for &app_id in bundle {
-                    let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
-                    for rank in 0..ntasks {
-                        let client = mapped.core_of_task(app_id, rank);
-                        registry.set_running(client, app_id);
-                        let mut payload = Vec::with_capacity(12);
-                        payload.extend_from_slice(&app_id.to_ne_bytes());
-                        payload.extend_from_slice(&rank.to_ne_bytes());
-                        dart.send(
-                            app_id,
-                            TrafficClass::Control,
-                            0,
-                            client,
-                            TAG_DISPATCH,
-                            Bytes::from(payload),
-                        );
-                    }
-                }
+            for &(app_id, rank, client) in &tasks {
+                registry.set_running(client, app_id);
+                env.dart.send(
+                    app_id,
+                    TrafficClass::Control,
+                    0,
+                    client,
+                    TAG_DISPATCH,
+                    Bytes::from(dispatch_payload(app_id, rank)),
+                );
             }
         }
         let _span = recorder.span("workflow.execute", "workflow", wi as u64);
-        let mut handles = Vec::new();
-        for bundle in wave {
-            for &app_id in bundle {
-                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
-                for rank in 0..ntasks {
-                    let ctx = TaskCtx {
-                        scenario: Arc::clone(&scenario),
-                        mapped: Arc::clone(&mapped),
-                        space: Arc::clone(&space),
-                        dart: Arc::clone(&dart),
-                        reports: Arc::clone(&reports),
-                        failures: Arc::clone(&failures),
-                        errors: Arc::clone(&errors),
-                        get_timeout: cfg.get_timeout,
-                        app: app_id,
-                        rank,
-                    };
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name(format!("app{app_id}-r{rank}"))
-                            .stack_size(512 * 1024)
-                            .spawn(move || task_routine(ctx))
-                            .expect("thread spawn failed"),
-                    );
-                }
-            }
-        }
-        for h in handles {
-            h.join().expect("task thread panicked");
-        }
+        let local: Vec<(u32, u64)> = tasks.iter().map(|&(a, r, _)| (a, r)).collect();
+        env.run_tasks(&local);
         // Wave complete: its clients return to the idle pool.
-        for bundle in wave {
-            for &app_id in bundle {
-                let ntasks = scenario.workflow.app(app_id).unwrap().ntasks as u64;
-                for rank in 0..ntasks {
-                    registry.set_idle(mapped.core_of_task(app_id, rank));
-                }
-            }
+        for &(_, _, client) in &tasks {
+            registry.set_idle(client);
         }
     }
 
-    let reports = Arc::try_unwrap(reports)
-        .expect("threads done")
-        .into_inner()
-        .unwrap();
-    let mut errors = Arc::try_unwrap(errors)
-        .expect("threads done")
-        .into_inner()
-        .unwrap();
-    // Threads report in scheduling order; sort so the outcome is a pure
-    // function of scenario + faults.
-    errors.sort_by(|a, b| (a.0, a.1, format!("{:?}", a.2)).cmp(&(b.0, b.1, format!("{:?}", b.2))));
-    let staged_buffers = dart.registry().len() as u64;
-    ThreadedOutcome {
-        strategy,
-        ledger: ledger.snapshot(),
-        reports,
-        verify_failures: failures.load(Ordering::Relaxed),
-        errors,
-        staged_buffers,
-        mapped: Arc::try_unwrap(mapped).expect("threads done"),
-    }
-}
-
-/// The statically linked "application subroutine" every execution client
-/// runs: produce and/or consume coupled data, then do one stencil
-/// exchange round.
-fn task_routine(ctx: TaskCtx) {
-    let client = ctx.mapped.core_of_task(ctx.app, ctx.rank);
-    // One span per execution client, keyed by client id, so the trace
-    // export shows a per-client timeline comparable with the modeled
-    // executor's synthetic spans.
-    let _task_span =
-        ctx.dart
-            .recorder()
-            .span(&format!("app{}.task", ctx.app), "execute", client as u64);
-    let mailbox = ctx.dart.take_mailbox(client);
-
-    // First message is always this client's task assignment from the
-    // workflow server (enqueued before the thread was spawned).
-    let dispatch = mailbox.recv();
-    assert_eq!(dispatch.tag, TAG_DISPATCH, "expected dispatch first");
-    assert_eq!(
-        u32::from_ne_bytes(dispatch.payload[..4].try_into().unwrap()),
-        ctx.app
-    );
-    assert_eq!(
-        u64::from_ne_bytes(dispatch.payload[4..12].try_into().unwrap()),
-        ctx.rank
-    );
-
-    let dec = ctx.scenario.decomposition(ctx.app);
-
-    // Producer role: one put sequence per iteration (version). For
-    // concurrent couplings, version v-1 is reclaimed once every consumer
-    // get of it has completed — the in-memory window a long-running
-    // simulation needs.
-    'producer: for coupling in &ctx.scenario.couplings {
-        if coupling.producer_app != ctx.app {
-            continue;
-        }
-        let vid = var_id(&coupling.var);
-        let pieces = dec.rank_region(ctx.rank);
-        for version in 0..ctx.scenario.iterations {
-            for (pi, piece) in pieces.iter().enumerate() {
-                let data =
-                    layout::fill_with(piece, |p| field_value(vid, version, &p[..piece.ndim()]));
-                let res = if coupling.concurrent {
-                    ctx.space.put_cont(
-                        client,
-                        ctx.app,
-                        &coupling.var,
-                        version,
-                        pi as u64,
-                        piece,
-                        &data,
-                    )
-                } else {
-                    ctx.space.put_seq(
-                        client,
-                        ctx.app,
-                        &coupling.var,
-                        version,
-                        pi as u64,
-                        piece,
-                        &data,
-                    )
-                };
-                if let Err(e) = res {
-                    // Abandon this coupling; other couplings and the halo
-                    // round still run so peers are not deadlocked.
-                    ctx.note_error(e);
-                    continue 'producer;
-                }
-            }
-            if coupling.concurrent && version > 0 {
-                // Reclaim the previous version once fully consumed
-                // (rank 0 evicts on behalf of the group; eviction of a
-                // consumed version is idempotent).
-                if ctx.rank == 0
-                    && ctx
-                        .space
-                        .wait_version_consumed(&coupling.var, version - 1, ctx.get_timeout)
-                {
-                    ctx.space.evict_version(&coupling.var, version - 1);
-                }
-            }
-        }
-    }
-
-    // Consumer role: retrieve and verify every iteration's version.
-    for coupling in &ctx.scenario.couplings {
-        if !coupling.consumer_apps.contains(&ctx.app) {
-            continue;
-        }
-        let vid = var_id(&coupling.var);
-        let pdec = ctx.scenario.decomposition(coupling.producer_app);
-        let producer_clients: Vec<ClientId> = (0..pdec.num_ranks())
-            .map(|r| ctx.mapped.core_of_task(coupling.producer_app, r))
-            .collect();
-        let coupled_region = coupling.region.unwrap_or(*pdec.domain());
-        // Interface-region coupling: each task retrieves only the part of
-        // its owned set inside the coupled region.
-        let pieces: Vec<_> = dec
-            .rank_region(ctx.rank)
-            .into_iter()
-            .filter_map(|p| p.intersect(&coupled_region))
-            .collect();
-        'versions: for version in 0..ctx.scenario.iterations {
-            for piece in &pieces {
-                let res = if coupling.concurrent {
-                    ctx.space.get_cont(
-                        client,
-                        ctx.app,
-                        &coupling.var,
-                        version,
-                        piece,
-                        pdec,
-                        &producer_clients,
-                    )
-                } else {
-                    ctx.space
-                        .get_seq(client, ctx.app, &coupling.var, version, piece)
-                };
-                let (data, report) = match res {
-                    Ok(dr) => dr,
-                    Err(e) => {
-                        // Abandon this coupling's remaining versions; the
-                        // task still completes its other roles.
-                        ctx.note_error(e);
-                        break 'versions;
-                    }
-                };
-                // Verify every retrieved cell against the field function.
-                let mut bad = 0u64;
-                for p in piece.iter_points() {
-                    let got = data[layout::linear_index(piece, &p[..piece.ndim()])];
-                    if got != field_value(vid, version, &p[..piece.ndim()]) {
-                        bad += 1;
-                    }
-                }
-                if bad > 0 {
-                    ctx.failures.fetch_add(bad, Ordering::Relaxed);
-                }
-                ctx.reports
-                    .lock()
-                    .unwrap()
-                    .push((ctx.app, ctx.rank, report));
-            }
-        }
-    }
-
-    // One intra-application near-neighbor exchange round per iteration.
-    let exchanges = halo_exchanges(dec, ctx.scenario.halo);
-    for _ in 0..ctx.scenario.iterations {
-        let mut expected = 0u32;
-        for ex in &exchanges {
-            let peer_rank = if ex.rank_a == ctx.rank {
-                ex.rank_b
-            } else if ex.rank_b == ctx.rank {
-                ex.rank_a
-            } else {
-                continue;
-            };
-            let peer_client = ctx.mapped.core_of_task(ctx.app, peer_rank);
-            let bytes = ex.cells as usize * ctx.scenario.elem_bytes as usize;
-            ctx.dart.send(
-                ctx.app,
-                TrafficClass::IntraApp,
-                client,
-                peer_client,
-                TAG_HALO,
-                Bytes::from(vec![0u8; bytes]),
-            );
-            expected += 1;
-        }
-        for _ in 0..expected {
-            let msg = mailbox.recv();
-            debug_assert_eq!(msg.tag, TAG_HALO);
-        }
-    }
-
-    ctx.dart.return_mailbox(client, mailbox);
+    env.into_outcome(strategy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::curve_for;
     use crate::scenario::{concurrent_scenario, pattern_pairs, sequential_scenario};
+    use insitu_domain::BoundingBox;
     use insitu_sfc::SpaceFillingCurve;
 
     #[test]

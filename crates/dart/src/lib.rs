@@ -21,7 +21,9 @@
 pub mod mailbox;
 pub mod registry;
 pub mod runtime;
+pub mod transport;
 
 pub use mailbox::{Mailbox, Msg};
 pub use registry::{BufKey, BufferHandle, BufferRegistry};
 pub use runtime::DartRuntime;
+pub use transport::{LocalTransport, Transport};

@@ -193,6 +193,26 @@ impl BufferRegistry {
         removed
     }
 
+    /// Number of registered buffers whose owner satisfies `owned`.
+    ///
+    /// A distributed execution client counts only buffers owned by the
+    /// clients it hosts — pulled copies of remote buffers are excluded —
+    /// so the per-process counts sum to the single-process
+    /// [`BufferRegistry::len`].
+    pub fn count_owned(&self, owned: impl Fn(ClientId) -> bool) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .table
+                    .values()
+                    .filter(|h| owned(h.owner))
+                    .count() as u64
+            })
+            .sum()
+    }
+
     /// Number of registered buffers.
     pub fn len(&self) -> usize {
         self.shards

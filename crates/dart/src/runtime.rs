@@ -2,6 +2,7 @@
 
 use crate::mailbox::{Mailbox, Msg};
 use crate::registry::{BufKey, BufferHandle, BufferRegistry};
+use crate::transport::{LocalTransport, Transport};
 use insitu_fabric::{
     ClientId, FaultAction, FaultInjector, Locality, Placement, TrafficClass, TransferLedger,
 };
@@ -30,6 +31,7 @@ pub struct DartRuntime {
     recorder: Recorder,
     flight: FlightRecorder,
     injector: FaultInjector,
+    wire: Arc<dyn Transport>,
     msgs_sent: Counter,
     transport_shm: Counter,
     transport_net: Counter,
@@ -79,6 +81,28 @@ impl DartRuntime {
         injector: FaultInjector,
         flight: FlightRecorder,
     ) -> Arc<Self> {
+        Self::with_transport(
+            placement,
+            ledger,
+            recorder,
+            injector,
+            flight,
+            Arc::new(LocalTransport),
+        )
+    }
+
+    /// Build a runtime whose clients may live in other processes: `wire`
+    /// decides which clients are hosted here and carries messages and
+    /// buffer pulls to the rest. The default ([`LocalTransport`]) hosts
+    /// everyone, which is the single-process executor.
+    pub fn with_transport(
+        placement: Arc<Placement>,
+        ledger: Arc<TransferLedger>,
+        recorder: Recorder,
+        injector: FaultInjector,
+        flight: FlightRecorder,
+        wire: Arc<dyn Transport>,
+    ) -> Arc<Self> {
         let n = placement.num_clients();
         let (boxes, senders) = Mailbox::create_all(n);
         Arc::new(DartRuntime {
@@ -89,6 +113,7 @@ impl DartRuntime {
             registry: BufferRegistry::new(),
             injector,
             flight,
+            wire,
             msgs_sent: recorder.counter("dart.msgs_sent"),
             transport_shm: recorder.counter("dart.transport.shm"),
             transport_net: recorder.counter("dart.transport.net"),
@@ -161,7 +186,10 @@ impl DartRuntime {
     }
 
     /// Send a message, accounting its payload under `class` (control
-    /// messages, halo exchanges, ...).
+    /// messages, halo exchanges, ...). When `to` is hosted by another
+    /// process the message is handed to the wire transport instead of the
+    /// local mailbox; accounting happens here either way, so the
+    /// receiving process must inject it with [`DartRuntime::deliver`].
     pub fn send(
         &self,
         app: u32,
@@ -173,13 +201,37 @@ impl DartRuntime {
     ) {
         self.account(app, class, from, to, payload.len() as u64);
         self.msgs_sent.inc();
+        let msg = Msg {
+            src: from,
+            tag,
+            payload,
+        };
+        if self.wire.hosts(to) {
+            self.senders[to as usize]
+                .send(msg)
+                .expect("receiver mailbox dropped");
+        } else {
+            self.wire.forward(to, &msg);
+        }
+    }
+
+    /// Inject a message that was accounted elsewhere (the wire reader's
+    /// entry point for forwarded messages). No ledger record is made:
+    /// the sending process already accounted the transfer.
+    pub fn deliver(&self, to: ClientId, msg: Msg) {
         self.senders[to as usize]
-            .send(Msg {
-                src: from,
-                tag,
-                payload,
-            })
+            .send(msg)
             .expect("receiver mailbox dropped");
+    }
+
+    /// Register a buffer and announce it through the transport (a no-op
+    /// announcement in-process). Layers that want remote processes to be
+    /// able to find their buffers register through this instead of
+    /// [`BufferRegistry::register`] directly.
+    pub fn register_buffer(&self, key: BufKey, owner: ClientId, data: Bytes) {
+        let bytes = data.len() as u64;
+        self.registry.register(key, owner, data);
+        self.wire.publish(&key, owner, bytes);
     }
 
     /// Receiver-driven pull: block until `key` is registered, timing the
@@ -196,6 +248,9 @@ impl DartRuntime {
                 std::thread::sleep(d);
             }
             FaultAction::Proceed => {}
+        }
+        if self.registry.get(key).is_none() {
+            self.wire.request(key);
         }
         let started = Instant::now();
         let handle = self.registry.wait_for(key, timeout);
@@ -245,6 +300,11 @@ impl DartRuntime {
         }
         if let Some(i) = dropped {
             return Err(i);
+        }
+        for key in keys {
+            if self.registry.get(key).is_none() {
+                self.wire.request(key);
+            }
         }
         // Sequential pulls sleep the injected delay before their wait, so
         // a delayed op's budget is delay + timeout; give the batch the
@@ -530,6 +590,119 @@ mod tests {
         // one waits for its producer.
         assert!(waits[0] < Duration::from_millis(30), "{waits:?}");
         assert!(waits[1] >= Duration::from_millis(50), "{waits:?}");
+    }
+
+    /// Hosts only clients below a threshold; records the rest.
+    struct HalfHosted {
+        boundary: ClientId,
+        forwarded: Mutex<Vec<(ClientId, u64)>>,
+        published: Mutex<Vec<(BufKey, ClientId, u64)>>,
+        requested: Mutex<Vec<BufKey>>,
+    }
+
+    impl HalfHosted {
+        fn new(boundary: ClientId) -> Arc<Self> {
+            Arc::new(HalfHosted {
+                boundary,
+                forwarded: Mutex::new(Vec::new()),
+                published: Mutex::new(Vec::new()),
+                requested: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl crate::Transport for HalfHosted {
+        fn hosts(&self, client: ClientId) -> bool {
+            client < self.boundary
+        }
+        fn forward(&self, to: ClientId, msg: &Msg) {
+            self.forwarded.lock().unwrap().push((to, msg.tag));
+        }
+        fn publish(&self, key: &BufKey, owner: ClientId, bytes: u64) {
+            self.published.lock().unwrap().push((*key, owner, bytes));
+        }
+        fn request(&self, key: &BufKey) {
+            self.requested.lock().unwrap().push(*key);
+        }
+    }
+
+    fn split_runtime(boundary: ClientId) -> (Arc<DartRuntime>, Arc<HalfHosted>) {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let wire = HalfHosted::new(boundary);
+        let rt = DartRuntime::with_transport(
+            placement,
+            Arc::new(TransferLedger::new()),
+            Recorder::disabled(),
+            FaultInjector::none(),
+            insitu_obs::FlightRecorder::disabled(),
+            wire.clone(),
+        );
+        (rt, wire)
+    }
+
+    #[test]
+    fn send_forwards_to_unhosted_clients_after_accounting() {
+        let (rt, wire) = split_runtime(2);
+        let mb = rt.take_mailbox(1);
+        rt.send(0, TrafficClass::Control, 0, 1, 7, Bytes::from_static(b"ab"));
+        assert_eq!(mb.recv().tag, 7);
+        rt.send(0, TrafficClass::Control, 0, 3, 9, Bytes::from_static(b"ab"));
+        assert_eq!(*wire.forwarded.lock().unwrap(), vec![(3, 9)]);
+        // Both sends accounted in this process, hosted or not.
+        let s = rt.ledger().snapshot();
+        assert_eq!(s.total_bytes(TrafficClass::Control), 4);
+    }
+
+    #[test]
+    fn deliver_injects_without_accounting() {
+        let (rt, _) = split_runtime(4);
+        let mb = rt.take_mailbox(0);
+        rt.deliver(
+            0,
+            Msg {
+                src: 3,
+                tag: 11,
+                payload: Bytes::from_static(b"remote"),
+            },
+        );
+        let m = mb.recv();
+        assert_eq!((m.src, m.tag), (3, 11));
+        assert_eq!(rt.ledger().snapshot().shm_total(), 0);
+        assert_eq!(rt.ledger().snapshot().network_total(), 0);
+    }
+
+    #[test]
+    fn register_buffer_publishes_and_pull_requests_missing_keys() {
+        let (rt, wire) = split_runtime(2);
+        rt.register_buffer(bkey(0), 1, Bytes::from_static(b"xyz"));
+        assert_eq!(*wire.published.lock().unwrap(), vec![(bkey(0), 1, 3)]);
+        // Present key: no wire request.
+        assert!(rt.pull(&bkey(0), Duration::from_millis(5)).is_some());
+        assert!(wire.requested.lock().unwrap().is_empty());
+        // Absent key: requested once through the wire, then times out
+        // because no reader ever answers.
+        assert!(rt.pull(&bkey(5), Duration::from_millis(5)).is_none());
+        assert_eq!(*wire.requested.lock().unwrap(), vec![bkey(5)]);
+        wire.requested.lock().unwrap().clear();
+        let err = rt
+            .pull_many(&[bkey(0), bkey(6)], Duration::from_millis(5), |_, _, _| {})
+            .unwrap_err();
+        assert_eq!(err, 1);
+        assert_eq!(*wire.requested.lock().unwrap(), vec![bkey(6)]);
+    }
+
+    #[test]
+    fn count_owned_filters_by_owner() {
+        let rt = runtime(2, 2, 4);
+        rt.registry().register(bkey(0), 0, Bytes::from_static(b"a"));
+        rt.registry().register(bkey(1), 1, Bytes::from_static(b"b"));
+        rt.registry().register(bkey(2), 3, Bytes::from_static(b"c"));
+        assert_eq!(rt.registry().count_owned(|o| o < 2), 2);
+        assert_eq!(rt.registry().count_owned(|o| o >= 2), 1);
+        assert_eq!(
+            rt.registry().count_owned(|_| true) as usize,
+            rt.registry().len()
+        );
     }
 
     #[test]

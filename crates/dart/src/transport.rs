@@ -1,0 +1,74 @@
+//! Pluggable message/buffer transport between address spaces.
+//!
+//! The paper's HybridDART selects a transport per peer pair: shared
+//! memory when two clients share a node, the network fabric otherwise
+//! (§III.A). In a single-process run every client lives in one address
+//! space, so "shared memory" is literal and "network" is only a ledger
+//! classification — that is [`LocalTransport`]. A distributed run places
+//! each simulated node in its own OS process; the wire transport
+//! (`insitu-net`'s `NetLink`) implements this trait so that
+//! [`crate::DartRuntime`] transparently forwards messages to clients it
+//! does not host and fetches remotely-owned buffers over TCP.
+//!
+//! The split mirrors the runtime's two data paths:
+//! - **mailboxes** ([`Transport::forward`]): tagged two-sided messages
+//!   (task dispatch, halo exchange);
+//! - **buffer registry** ([`Transport::publish`] /
+//!   [`Transport::request`]): one-sided receiver-driven pulls.
+//!
+//! Accounting stays with the runtime: the sender's process accounts a
+//! forwarded message *before* handing it to the transport, and the
+//! remote side injects it with [`crate::DartRuntime::deliver`], which
+//! accounts nothing — so every logical transfer lands in exactly one
+//! process's ledger and merged distributed ledgers reproduce the
+//! single-process ledger byte for byte.
+
+use crate::mailbox::Msg;
+use crate::registry::BufKey;
+use insitu_fabric::ClientId;
+
+/// Where a client's mailbox and buffers live, and how to reach the ones
+/// that live elsewhere.
+///
+/// Implementations must be deterministic in `hosts` (it partitions the
+/// client space across processes) and are free to deliver forwarded
+/// messages and requested buffers asynchronously: the runtime's blocking
+/// receive/pull paths do the waiting.
+pub trait Transport: Send + Sync {
+    /// Whether `client`'s mailbox and registry entries are hosted by this
+    /// process. Sends to hosted clients short-circuit to the in-process
+    /// path.
+    fn hosts(&self, client: ClientId) -> bool;
+
+    /// Forward an already-accounted message to a client hosted by another
+    /// process.
+    fn forward(&self, to: ClientId, msg: &Msg);
+
+    /// Announce a buffer registered in this process to the rest of the
+    /// workflow (a put-notify on the wire; a no-op in-process).
+    fn publish(&self, key: &BufKey, owner: ClientId, bytes: u64);
+
+    /// Ask the owning process to send a buffer this process does not
+    /// host. Fire-and-forget: the caller blocks on the registry and the
+    /// reply (if any) is registered by the transport's reader.
+    fn request(&self, key: &BufKey);
+}
+
+/// The single-address-space transport: every client is local, so nothing
+/// is ever forwarded, published or requested.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalTransport;
+
+impl Transport for LocalTransport {
+    fn hosts(&self, _client: ClientId) -> bool {
+        true
+    }
+
+    fn forward(&self, _to: ClientId, _msg: &Msg) {
+        unreachable!("local transport hosts every client");
+    }
+
+    fn publish(&self, _key: &BufKey, _owner: ClientId, _bytes: u64) {}
+
+    fn request(&self, _key: &BufKey) {}
+}

@@ -24,6 +24,24 @@ pub enum FaultAction {
     Delay(Duration),
 }
 
+/// Which wire operation a network fault site intercepts.
+///
+/// The wire transport (`insitu-net`) consults [`FaultHooks::on_net`] at
+/// three sites: establishing a TCP connection, writing a frame, and
+/// reading a frame. Control-plane frames are never offered to the hook by
+/// the transport (dropping a dispatch or barrier frame models an
+/// unreliable control plane, which the paper's management server does not
+/// have); only data-plane pull payloads are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetOp {
+    /// Establishing a connection to a peer.
+    Connect,
+    /// Writing a frame to a peer.
+    Send,
+    /// Reading a frame from a peer.
+    Recv,
+}
+
 /// Decision points the runtime exposes to a fault plan.
 ///
 /// Every method has a benign default so implementors only override the
@@ -64,6 +82,17 @@ pub trait FaultHooks: Send + Sync {
     /// and telemetry counters.
     fn on_transfer(&self, class: TrafficClass, locality: Locality, bytes: u64) {
         let _ = (class, locality, bytes);
+    }
+
+    /// Intercept a wire operation.
+    ///
+    /// `kind` is the frame kind byte (0 for [`NetOp::Connect`]); `a` and
+    /// `b` identify the site — `(node, attempt-independent 0)` for
+    /// connects, `(buffer name, packed piece)` for pull-data frames — so
+    /// the same logical frame always rolls the same fate.
+    fn on_net(&self, op: NetOp, kind: u8, a: u64, b: u64) -> FaultAction {
+        let _ = (op, kind, a, b);
+        FaultAction::Proceed
     }
 }
 
@@ -134,6 +163,14 @@ impl FaultInjector {
             h.on_transfer(class, locality, bytes);
         }
     }
+
+    /// See [`FaultHooks::on_net`].
+    pub fn on_net(&self, op: NetOp, kind: u8, a: u64, b: u64) -> FaultAction {
+        match &self.0 {
+            Some(h) => h.on_net(op, kind, a, b),
+            None => FaultAction::Proceed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +187,28 @@ mod tests {
         assert!(!inj.dht_core_down(0));
         assert!(!inj.staging_exhausted(0));
         inj.on_transfer(TrafficClass::Dht, Locality::Network, 64);
+        assert_eq!(
+            inj.on_net(NetOp::Connect, 0, 1, 0),
+            FaultAction::Proceed,
+            "inert injector never faults the wire"
+        );
+    }
+
+    #[test]
+    fn net_hook_is_consulted_per_op() {
+        struct DropSends;
+        impl FaultHooks for DropSends {
+            fn on_net(&self, op: NetOp, _kind: u8, _a: u64, _b: u64) -> FaultAction {
+                match op {
+                    NetOp::Send => FaultAction::Drop,
+                    _ => FaultAction::Proceed,
+                }
+            }
+        }
+        let inj = FaultInjector::new(Arc::new(DropSends));
+        assert_eq!(inj.on_net(NetOp::Send, 7, 1, 2), FaultAction::Drop);
+        assert_eq!(inj.on_net(NetOp::Recv, 7, 1, 2), FaultAction::Proceed);
+        assert_eq!(inj.on_net(NetOp::Connect, 0, 0, 0), FaultAction::Proceed);
     }
 
     #[test]

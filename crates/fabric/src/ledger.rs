@@ -43,13 +43,20 @@ impl TrafficClass {
         TrafficClass::Control,
     ];
 
-    fn idx(self) -> usize {
+    /// Stable dense index into [`TrafficClass::ALL`] (used for wire
+    /// encodings of ledger snapshots as well as internal array layout).
+    pub fn idx(self) -> usize {
         match self {
             TrafficClass::InterApp => 0,
             TrafficClass::IntraApp => 1,
             TrafficClass::Dht => 2,
             TrafficClass::Control => 3,
         }
+    }
+
+    /// Inverse of [`TrafficClass::idx`]; `None` for out-of-range indices.
+    pub fn from_idx(idx: usize) -> Option<TrafficClass> {
+        TrafficClass::ALL.get(idx).copied()
     }
 
     /// Stable lowercase name, used in metric keys and JSON reports.
@@ -77,11 +84,18 @@ impl Locality {
     /// Both localities, in `idx` order.
     pub const ALL: [Locality; 2] = [Locality::SharedMemory, Locality::Network];
 
-    fn idx(self) -> usize {
+    /// Stable dense index into [`Locality::ALL`] (used for wire encodings
+    /// of ledger snapshots as well as internal array layout).
+    pub fn idx(self) -> usize {
         match self {
             Locality::SharedMemory => 0,
             Locality::Network => 1,
         }
+    }
+
+    /// Inverse of [`Locality::idx`]; `None` for out-of-range indices.
+    pub fn from_idx(idx: usize) -> Option<Locality> {
+        Locality::ALL.get(idx).copied()
     }
 
     /// Stable lowercase name, used in metric keys and JSON reports.
@@ -227,7 +241,7 @@ impl TransferLedger {
 }
 
 /// A point-in-time copy of a [`TransferLedger`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LedgerSnapshot {
     shm: [u64; 4],
     net: [u64; 4],
@@ -235,6 +249,93 @@ pub struct LedgerSnapshot {
 }
 
 impl LedgerSnapshot {
+    /// Reassemble a snapshot from its serialized parts (wire decode of a
+    /// remote execution client's report). The inverse of walking
+    /// [`LedgerSnapshot::shm_bytes`]/[`LedgerSnapshot::network_bytes`] per
+    /// class and [`LedgerSnapshot::per_app`].
+    pub fn from_parts(
+        shm: [u64; 4],
+        net: [u64; 4],
+        per_app: impl IntoIterator<Item = (u32, TrafficClass, Locality, u64)>,
+    ) -> LedgerSnapshot {
+        let mut map = BTreeMap::new();
+        for (app, class, loc, bytes) in per_app {
+            *map.entry((app, class, loc)).or_insert(0) += bytes;
+        }
+        LedgerSnapshot {
+            shm,
+            net,
+            per_app: map,
+        }
+    }
+
+    /// Every per-application cell, in deterministic (app, class, locality)
+    /// order.
+    pub fn per_app(&self) -> impl Iterator<Item = (u32, TrafficClass, Locality, u64)> + '_ {
+        self.per_app
+            .iter()
+            .map(|(&(app, class, loc), &bytes)| (app, class, loc, bytes))
+    }
+
+    /// Raw shared-memory totals in [`TrafficClass::idx`] order (wire
+    /// encoding of reports).
+    pub fn shm_cells(&self) -> [u64; 4] {
+        self.shm
+    }
+
+    /// Raw network totals in [`TrafficClass::idx`] order (wire encoding of
+    /// reports).
+    pub fn net_cells(&self) -> [u64; 4] {
+        self.net
+    }
+
+    /// Fold another snapshot into this one, cell by cell.
+    ///
+    /// The distributed runtime accounts every logical transfer exactly
+    /// once, in the process that initiates it; summing the per-process
+    /// snapshots therefore reconstructs the single-address-space ledger
+    /// exactly (byte-identical, not approximately).
+    pub fn merge(&mut self, other: &LedgerSnapshot) {
+        for i in 0..4 {
+            self.shm[i] += other.shm[i];
+            self.net[i] += other.net[i];
+        }
+        for (key, bytes) in &other.per_app {
+            *self.per_app.entry(*key).or_insert(0) += bytes;
+        }
+    }
+
+    /// Canonical JSON rendering (stable field order), used by the
+    /// distributed launcher to publish the merged ledger as an artifact.
+    pub fn to_json(&self) -> insitu_telemetry::Json {
+        use insitu_telemetry::Json;
+        let mut cells = Json::obj();
+        for class in TrafficClass::ALL {
+            for loc in Locality::ALL {
+                let bytes = match loc {
+                    Locality::SharedMemory => self.shm[class.idx()],
+                    Locality::Network => self.net[class.idx()],
+                };
+                cells = cells.field(&format!("{}.{}", class.slug(), loc.slug()), bytes);
+            }
+        }
+        let per_app = Json::Arr(
+            self.per_app()
+                .map(|(app, class, loc, bytes)| {
+                    Json::obj()
+                        .field("app", app as u64)
+                        .field("class", class.slug())
+                        .field("locality", loc.slug())
+                        .field("bytes", bytes)
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("bytes", cells)
+            .field("per_app", per_app)
+            .field("shm_total", self.shm_total())
+            .field("network_total", self.network_total())
+    }
     /// Bytes of `class` served from shared memory.
     pub fn shm_bytes(&self, class: TrafficClass) -> u64 {
         self.shm[class.idx()]
@@ -402,6 +503,65 @@ mod tests {
         let snap = rec.metrics_snapshot();
         assert_eq!(snap.counter("fabric.bytes.intra_app.net"), 160);
         assert_eq!(snap.counter("fabric.transfers.intra_app.net"), 5);
+    }
+
+    #[test]
+    fn snapshot_parts_round_trip() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::InterApp, Locality::Network, 100);
+        l.record(2, TrafficClass::Dht, Locality::SharedMemory, 64);
+        l.record(2, TrafficClass::Control, Locality::Network, 12);
+        let s = l.snapshot();
+        let rebuilt = LedgerSnapshot::from_parts(s.shm_cells(), s.net_cells(), s.per_app());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn class_and_locality_idx_round_trip() {
+        for class in TrafficClass::ALL {
+            assert_eq!(TrafficClass::from_idx(class.idx()), Some(class));
+        }
+        for loc in Locality::ALL {
+            assert_eq!(Locality::from_idx(loc.idx()), Some(loc));
+        }
+        assert_eq!(TrafficClass::from_idx(4), None);
+        assert_eq!(Locality::from_idx(2), None);
+    }
+
+    #[test]
+    fn merge_sums_every_cell() {
+        let a = TransferLedger::new();
+        a.record(1, TrafficClass::InterApp, Locality::Network, 100);
+        a.record(1, TrafficClass::IntraApp, Locality::SharedMemory, 7);
+        let b = TransferLedger::new();
+        b.record(1, TrafficClass::InterApp, Locality::Network, 50);
+        b.record(3, TrafficClass::Dht, Locality::Network, 64);
+        // A ledger that saw every transfer itself.
+        let whole = TransferLedger::new();
+        whole.record(1, TrafficClass::InterApp, Locality::Network, 100);
+        whole.record(1, TrafficClass::IntraApp, Locality::SharedMemory, 7);
+        whole.record(1, TrafficClass::InterApp, Locality::Network, 50);
+        whole.record(3, TrafficClass::Dht, Locality::Network, 64);
+        let mut merged = LedgerSnapshot::default();
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn json_rendering_is_exact_and_parseable() {
+        let l = TransferLedger::new();
+        l.record(1, TrafficClass::InterApp, Locality::Network, u64::MAX / 2);
+        let doc = insitu_telemetry::Json::parse(&l.snapshot().to_json().render()).unwrap();
+        let cells = doc.get("bytes").unwrap();
+        assert_eq!(
+            cells.get("inter_app.net").and_then(|v| v.as_u64()),
+            Some(u64::MAX / 2)
+        );
+        assert_eq!(
+            doc.get("network_total").and_then(|v| v.as_u64()),
+            Some(u64::MAX / 2)
+        );
     }
 
     #[test]

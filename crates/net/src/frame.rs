@@ -1,0 +1,907 @@
+//! The length-prefixed binary frame codec.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [u32 len (LE)] [u8 version] [u8 kind] [payload ...]
+//! ```
+//!
+//! where `len` counts everything after the length word (so `len ==
+//! 2 + payload.len()`). Integers are little-endian; strings are UTF-8
+//! with a `u32` byte-length prefix; byte and `u64` vectors carry a `u32`
+//! element-count prefix. Decoding is total: malformed input of any shape
+//! — truncated payloads, oversized length words, unknown versions or
+//! kinds, trailing garbage — returns a [`FrameError`], never panics, so
+//! a confused or hostile peer cannot take the process down.
+
+use insitu_fabric::{LedgerSnapshot, Locality, TrafficClass};
+use std::io::{Read, Write};
+
+/// Protocol revision; bumped on any incompatible codec change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on `len`: rejects absurd length words before any
+/// allocation happens (a 256 MiB frame comfortably fits the largest
+/// paper-scale piece).
+pub const MAX_FRAME_LEN: u32 = 256 << 20;
+
+/// Decode (and stream-read) failures. Every variant is a rejection — the
+/// codec never panics on wire input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameError {
+    /// The stream ended or the payload is shorter than its fields claim.
+    Truncated,
+    /// The length word exceeds [`MAX_FRAME_LEN`] (or is too short to hold
+    /// the version and kind bytes).
+    BadLength(u32),
+    /// Unknown protocol revision.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Structurally invalid payload (bad UTF-8, bad enum index, trailing
+    /// bytes, ...).
+    BadPayload(&'static str),
+    /// Underlying stream error while reading or writing a frame.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadLength(n) => write!(f, "bad frame length {n}"),
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadPayload(why) => write!(f, "bad frame payload: {why}"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One execution client's end-of-run report: its ledger snapshot plus
+/// the outcome fields the server folds into the merged
+/// `DistribOutcome`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// Reporting node.
+    pub node: u32,
+    /// The node process's complete transfer ledger.
+    pub ledger: LedgerSnapshot,
+    /// Value-verification failures observed by consumer tasks.
+    pub verify_failures: u64,
+    /// Buffers owned by this node's clients still registered at the end.
+    pub staged: u64,
+    /// Completed `get` operations.
+    pub gets: u64,
+    /// Task errors, rendered to strings (sorted by the sender).
+    pub errors: Vec<String>,
+}
+
+/// A protocol message.
+///
+/// Control-plane frames (everything except [`Frame::PullData`]) are
+/// never offered to fault injection: the management plane is reliable,
+/// as in the paper. `PullData` is the data plane and carries the chaos
+/// fault sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Joiner → server: first frame on a connection; registers the
+    /// process as the host of simulated node `node`.
+    Hello {
+        /// Node this process hosts.
+        node: u32,
+    },
+    /// Server → joiner: registration accepted; carries everything the
+    /// joiner needs to deterministically rebuild the scenario replica.
+    Welcome {
+        /// Total nodes (= joiner processes) in the run.
+        nodes: u32,
+        /// Mapping-strategy slug (`data-centric`, `round-robin`, ...).
+        strategy: String,
+        /// Get timeout every replica must use, in milliseconds.
+        get_timeout_ms: u64,
+        /// The workflow DAG description text.
+        dag: String,
+        /// The workload configuration text.
+        config: String,
+    },
+    /// A mailbox message for a client hosted elsewhere (task dispatch
+    /// from the server, halo exchange between joiners). Routed by the
+    /// server; already accounted by the sender.
+    Relay {
+        /// Destination client.
+        to: u32,
+        /// Source client.
+        src: u32,
+        /// Message tag.
+        tag: u64,
+        /// Message payload.
+        payload: Vec<u8>,
+    },
+    /// Joiner → server: a buffer was registered locally (put-notify).
+    /// Informational: pull routing is by the owner packed in the key.
+    PutNotify {
+        /// Buffer name hash.
+        name: u64,
+        /// Version.
+        version: u64,
+        /// Piece id with the owner client in the upper 32 bits.
+        piece: u64,
+        /// Owning client.
+        owner: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Consumer joiner → server → owner joiner: request one buffer.
+    PullRequest {
+        /// Buffer name hash.
+        name: u64,
+        /// Version.
+        version: u64,
+        /// Piece id with the owner client in the upper 32 bits.
+        piece: u64,
+        /// Node of the requesting process (reply routing).
+        from_node: u32,
+    },
+    /// Owner joiner → server → consumer joiner: the requested bytes.
+    /// The only data-plane frame; `net.send`/`net.recv` fault sites
+    /// apply to it.
+    PullData {
+        /// Buffer name hash.
+        name: u64,
+        /// Version.
+        version: u64,
+        /// Piece id with the owner client in the upper 32 bits.
+        piece: u64,
+        /// Owning client (becomes the registered handle's owner).
+        owner: u32,
+        /// Node of the requesting process.
+        to_node: u32,
+        /// The staged bytes.
+        data: Vec<u8>,
+    },
+    /// Owner joiner → server → consumer joiner: the buffer never
+    /// appeared before the owner's timeout; the consumer's own wait
+    /// will surface the pull timeout.
+    PullNack {
+        /// Buffer name hash.
+        name: u64,
+        /// Version.
+        version: u64,
+        /// Piece id with the owner client in the upper 32 bits.
+        piece: u64,
+        /// Node of the requesting process.
+        to_node: u32,
+    },
+    /// Joiner → server → all other joiners: mirror of a local DHT
+    /// insert, so every replica answers location queries identically.
+    DhtInsert {
+        /// Variable name hash.
+        var: u64,
+        /// Version.
+        version: u64,
+        /// Owning client.
+        owner: u32,
+        /// Piece id (unpacked).
+        piece: u64,
+        /// Bounding-box lower corner.
+        lbs: Vec<u64>,
+        /// Bounding-box upper corner.
+        ubs: Vec<u64>,
+    },
+    /// Joiner → server → all other joiners: a `get` of `(var, version)`
+    /// completed (version-consumption bookkeeping for producers).
+    GetDone {
+        /// Variable name hash.
+        var: u64,
+        /// Version.
+        version: u64,
+    },
+    /// Joiner → server → all other joiners: versions of `var` up to and
+    /// including `version` were evicted.
+    Evict {
+        /// Variable name hash.
+        var: u64,
+        /// Highest evicted version.
+        version: u64,
+    },
+    /// Server → joiners: all of wave `wave`'s dispatch relays precede
+    /// this frame on each connection; start executing local tasks.
+    RunWave {
+        /// Wave index.
+        wave: u32,
+    },
+    /// Joiner → server: all local tasks of `wave` finished and their
+    /// mirror frames precede this frame on the connection.
+    Barrier {
+        /// Wave index.
+        wave: u32,
+        /// Reporting node.
+        node: u32,
+    },
+    /// Joiner → server: final per-process outcome.
+    Report(NodeReport),
+    /// Server → joiners: the run is over; close down.
+    Shutdown {
+        /// Whether the run completed successfully.
+        ok: bool,
+        /// Human-readable reason (empty on success).
+        reason: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_RELAY: u8 = 3;
+const KIND_PUT_NOTIFY: u8 = 4;
+const KIND_PULL_REQUEST: u8 = 5;
+/// The pull-data kind byte, exposed so fault gating and tests can name
+/// the data-plane frame without decoding.
+pub const KIND_PULL_DATA: u8 = 6;
+const KIND_PULL_NACK: u8 = 7;
+const KIND_DHT_INSERT: u8 = 8;
+const KIND_GET_DONE: u8 = 9;
+const KIND_EVICT: u8 = 10;
+const KIND_RUN_WAVE: u8 = 11;
+const KIND_BARRIER: u8 = 12;
+const KIND_REPORT: u8 = 13;
+const KIND_SHUTDOWN: u8 = 14;
+
+impl Frame {
+    /// The kind byte this frame encodes with.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Welcome { .. } => KIND_WELCOME,
+            Frame::Relay { .. } => KIND_RELAY,
+            Frame::PutNotify { .. } => KIND_PUT_NOTIFY,
+            Frame::PullRequest { .. } => KIND_PULL_REQUEST,
+            Frame::PullData { .. } => KIND_PULL_DATA,
+            Frame::PullNack { .. } => KIND_PULL_NACK,
+            Frame::DhtInsert { .. } => KIND_DHT_INSERT,
+            Frame::GetDone { .. } => KIND_GET_DONE,
+            Frame::Evict { .. } => KIND_EVICT,
+            Frame::RunWave { .. } => KIND_RUN_WAVE,
+            Frame::Barrier { .. } => KIND_BARRIER,
+            Frame::Report(_) => KIND_REPORT,
+            Frame::Shutdown { .. } => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Whether this frame is data plane (eligible for `net.send` /
+    /// `net.recv` fault injection). Dropping control frames would model
+    /// an unreliable management server, which the system does not have.
+    pub fn is_data_plane(&self) -> bool {
+        matches!(self, Frame::PullData { .. })
+    }
+
+    /// The `(a, b)` identity of this frame's chaos fault site: the
+    /// buffer name and packed piece for pull data, zeros otherwise.
+    pub fn fault_ids(&self) -> (u64, u64) {
+        match self {
+            Frame::PullData { name, piece, .. } => (*name, *piece),
+            _ => (0, 0),
+        }
+    }
+
+    /// Encode to a complete wire frame (length word included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello { node } => put_u32(&mut p, *node),
+            Frame::Welcome {
+                nodes,
+                strategy,
+                get_timeout_ms,
+                dag,
+                config,
+            } => {
+                put_u32(&mut p, *nodes);
+                put_str(&mut p, strategy);
+                put_u64(&mut p, *get_timeout_ms);
+                put_str(&mut p, dag);
+                put_str(&mut p, config);
+            }
+            Frame::Relay {
+                to,
+                src,
+                tag,
+                payload,
+            } => {
+                put_u32(&mut p, *to);
+                put_u32(&mut p, *src);
+                put_u64(&mut p, *tag);
+                put_bytes(&mut p, payload);
+            }
+            Frame::PutNotify {
+                name,
+                version,
+                piece,
+                owner,
+                bytes,
+            } => {
+                put_u64(&mut p, *name);
+                put_u64(&mut p, *version);
+                put_u64(&mut p, *piece);
+                put_u32(&mut p, *owner);
+                put_u64(&mut p, *bytes);
+            }
+            Frame::PullRequest {
+                name,
+                version,
+                piece,
+                from_node,
+            } => {
+                put_u64(&mut p, *name);
+                put_u64(&mut p, *version);
+                put_u64(&mut p, *piece);
+                put_u32(&mut p, *from_node);
+            }
+            Frame::PullData {
+                name,
+                version,
+                piece,
+                owner,
+                to_node,
+                data,
+            } => {
+                put_u64(&mut p, *name);
+                put_u64(&mut p, *version);
+                put_u64(&mut p, *piece);
+                put_u32(&mut p, *owner);
+                put_u32(&mut p, *to_node);
+                put_bytes(&mut p, data);
+            }
+            Frame::PullNack {
+                name,
+                version,
+                piece,
+                to_node,
+            } => {
+                put_u64(&mut p, *name);
+                put_u64(&mut p, *version);
+                put_u64(&mut p, *piece);
+                put_u32(&mut p, *to_node);
+            }
+            Frame::DhtInsert {
+                var,
+                version,
+                owner,
+                piece,
+                lbs,
+                ubs,
+            } => {
+                put_u64(&mut p, *var);
+                put_u64(&mut p, *version);
+                put_u32(&mut p, *owner);
+                put_u64(&mut p, *piece);
+                put_u64s(&mut p, lbs);
+                put_u64s(&mut p, ubs);
+            }
+            Frame::GetDone { var, version } | Frame::Evict { var, version } => {
+                put_u64(&mut p, *var);
+                put_u64(&mut p, *version);
+            }
+            Frame::RunWave { wave } => put_u32(&mut p, *wave),
+            Frame::Barrier { wave, node } => {
+                put_u32(&mut p, *wave);
+                put_u32(&mut p, *node);
+            }
+            Frame::Report(r) => {
+                put_u32(&mut p, r.node);
+                for cell in r.ledger.shm_cells() {
+                    put_u64(&mut p, cell);
+                }
+                for cell in r.ledger.net_cells() {
+                    put_u64(&mut p, cell);
+                }
+                let entries: Vec<_> = r.ledger.per_app().collect();
+                put_u32(&mut p, entries.len() as u32);
+                for (app, class, loc, bytes) in entries {
+                    put_u32(&mut p, app);
+                    p.push(class.idx() as u8);
+                    p.push(loc.idx() as u8);
+                    put_u64(&mut p, bytes);
+                }
+                put_u64(&mut p, r.verify_failures);
+                put_u64(&mut p, r.staged);
+                put_u64(&mut p, r.gets);
+                put_u32(&mut p, r.errors.len() as u32);
+                for e in &r.errors {
+                    put_str(&mut p, e);
+                }
+            }
+            Frame::Shutdown { ok, reason } => {
+                p.push(*ok as u8);
+                put_str(&mut p, reason);
+            }
+        }
+        let mut out = Vec::with_capacity(6 + p.len());
+        put_u32(&mut out, 2 + p.len() as u32);
+        out.push(WIRE_VERSION);
+        out.push(self.kind());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Decode one frame body (`version`, `kind` and `payload` — the
+    /// bytes after the length word). Rejects trailing payload bytes.
+    pub fn decode(version: u8, kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        if version != WIRE_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello { node: c.u32()? },
+            KIND_WELCOME => Frame::Welcome {
+                nodes: c.u32()?,
+                strategy: c.str()?,
+                get_timeout_ms: c.u64()?,
+                dag: c.str()?,
+                config: c.str()?,
+            },
+            KIND_RELAY => Frame::Relay {
+                to: c.u32()?,
+                src: c.u32()?,
+                tag: c.u64()?,
+                payload: c.bytes()?,
+            },
+            KIND_PUT_NOTIFY => Frame::PutNotify {
+                name: c.u64()?,
+                version: c.u64()?,
+                piece: c.u64()?,
+                owner: c.u32()?,
+                bytes: c.u64()?,
+            },
+            KIND_PULL_REQUEST => Frame::PullRequest {
+                name: c.u64()?,
+                version: c.u64()?,
+                piece: c.u64()?,
+                from_node: c.u32()?,
+            },
+            KIND_PULL_DATA => Frame::PullData {
+                name: c.u64()?,
+                version: c.u64()?,
+                piece: c.u64()?,
+                owner: c.u32()?,
+                to_node: c.u32()?,
+                data: c.bytes()?,
+            },
+            KIND_PULL_NACK => Frame::PullNack {
+                name: c.u64()?,
+                version: c.u64()?,
+                piece: c.u64()?,
+                to_node: c.u32()?,
+            },
+            KIND_DHT_INSERT => Frame::DhtInsert {
+                var: c.u64()?,
+                version: c.u64()?,
+                owner: c.u32()?,
+                piece: c.u64()?,
+                lbs: c.u64s()?,
+                ubs: c.u64s()?,
+            },
+            KIND_GET_DONE => Frame::GetDone {
+                var: c.u64()?,
+                version: c.u64()?,
+            },
+            KIND_EVICT => Frame::Evict {
+                var: c.u64()?,
+                version: c.u64()?,
+            },
+            KIND_RUN_WAVE => Frame::RunWave { wave: c.u32()? },
+            KIND_BARRIER => Frame::Barrier {
+                wave: c.u32()?,
+                node: c.u32()?,
+            },
+            KIND_REPORT => {
+                let node = c.u32()?;
+                let shm = [c.u64()?, c.u64()?, c.u64()?, c.u64()?];
+                let net = [c.u64()?, c.u64()?, c.u64()?, c.u64()?];
+                let n = c.u32()? as usize;
+                let mut per_app = Vec::new();
+                for _ in 0..n {
+                    let app = c.u32()?;
+                    let class = TrafficClass::from_idx(c.u8()? as usize)
+                        .ok_or(FrameError::BadPayload("traffic class index"))?;
+                    let loc = Locality::from_idx(c.u8()? as usize)
+                        .ok_or(FrameError::BadPayload("locality index"))?;
+                    per_app.push((app, class, loc, c.u64()?));
+                }
+                let verify_failures = c.u64()?;
+                let staged = c.u64()?;
+                let gets = c.u64()?;
+                let n_err = c.u32()? as usize;
+                let mut errors = Vec::new();
+                for _ in 0..n_err {
+                    errors.push(c.str()?);
+                }
+                Frame::Report(NodeReport {
+                    node,
+                    ledger: LedgerSnapshot::from_parts(shm, net, per_app),
+                    verify_failures,
+                    staged,
+                    gets,
+                    errors,
+                })
+            }
+            KIND_SHUTDOWN => Frame::Shutdown {
+                ok: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("bool")),
+                },
+                reason: c.str()?,
+            },
+            other => return Err(FrameError::BadKind(other)),
+        };
+        if c.pos != payload.len() {
+            return Err(FrameError::BadPayload("trailing bytes"));
+        }
+        Ok(frame)
+    }
+
+    /// Read one complete frame from a blocking stream.
+    ///
+    /// Stream errors map to [`FrameError::Io`]; a clean EOF *before* the
+    /// length word also maps to `Io` (connection closed). Malformed
+    /// content is rejected with the corresponding decode error.
+    pub fn read_from(r: &mut impl Read) -> Result<Frame, FrameError> {
+        let mut lenb = [0u8; 4];
+        read_exact(r, &mut lenb)?;
+        let len = u32::from_le_bytes(lenb);
+        if !(2..=MAX_FRAME_LEN).contains(&len) {
+            return Err(FrameError::BadLength(len));
+        }
+        let mut body = vec![0u8; len as usize];
+        read_exact(r, &mut body)?;
+        Frame::decode(body[0], body[1], &body[2..])
+    }
+
+    /// Write the encoded frame to a blocking stream.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<usize, FrameError> {
+        let bytes = self.encode();
+        w.write_all(&bytes)
+            .and_then(|_| w.flush())
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        Ok(bytes.len())
+    }
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+        _ => FrameError::Io(e.to_string()),
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+fn put_u64s(out: &mut Vec<u8>, v: &[u64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u64(out, x);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes()?).map_err(|_| FrameError::BadPayload("utf-8"))
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, FrameError> {
+        let n = self.u32()? as usize;
+        // Guard the element count against the remaining payload before
+        // allocating (a hostile count of u32::MAX must not OOM).
+        if self.buf.len() - self.pos < n.saturating_mul(8) {
+            return Err(FrameError::Truncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insitu_util::check::forall;
+    use insitu_util::rng::SplitMix64;
+
+    fn arb_string(rng: &mut SplitMix64, max: usize) -> String {
+        let n = rng.range_usize(0, max);
+        (0..n)
+            .map(|_| char::from_u32(rng.range_u32(32, 0x24F)).unwrap_or('x'))
+            .collect()
+    }
+
+    fn arb_bytes(rng: &mut SplitMix64, max: usize) -> Vec<u8> {
+        let n = rng.range_usize(0, max);
+        (0..n).map(|_| rng.next_u64() as u8).collect()
+    }
+
+    fn arb_report(rng: &mut SplitMix64) -> NodeReport {
+        let n = rng.range_usize(0, 6);
+        let per_app: Vec<_> = (0..n)
+            .map(|_| {
+                (
+                    rng.range_u32(0, 8),
+                    *rng.choose(&TrafficClass::ALL),
+                    *rng.choose(&Locality::ALL),
+                    rng.next_u64() >> 8,
+                )
+            })
+            .collect();
+        NodeReport {
+            node: rng.range_u32(0, 16),
+            ledger: LedgerSnapshot::from_parts(
+                std::array::from_fn(|_| rng.next_u64() >> 8),
+                std::array::from_fn(|_| rng.next_u64() >> 8),
+                per_app,
+            ),
+            verify_failures: rng.range_u64(0, 5),
+            staged: rng.next_u64(),
+            gets: rng.next_u64(),
+            errors: (0..rng.range_usize(0, 3))
+                .map(|_| arb_string(rng, 40))
+                .collect(),
+        }
+    }
+
+    /// One random frame of every message type, driven by `rng`.
+    fn arb_frames(rng: &mut SplitMix64) -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                node: rng.range_u32(0, 64),
+            },
+            Frame::Welcome {
+                nodes: rng.range_u32(1, 64),
+                strategy: arb_string(rng, 16),
+                get_timeout_ms: rng.next_u64(),
+                dag: arb_string(rng, 200),
+                config: arb_string(rng, 200),
+            },
+            Frame::Relay {
+                to: rng.range_u32(0, 256),
+                src: rng.range_u32(0, 256),
+                tag: rng.next_u64(),
+                payload: arb_bytes(rng, 64),
+            },
+            Frame::PutNotify {
+                name: rng.next_u64(),
+                version: rng.next_u64(),
+                piece: rng.next_u64(),
+                owner: rng.range_u32(0, 256),
+                bytes: rng.next_u64(),
+            },
+            Frame::PullRequest {
+                name: rng.next_u64(),
+                version: rng.next_u64(),
+                piece: rng.next_u64(),
+                from_node: rng.range_u32(0, 64),
+            },
+            Frame::PullData {
+                name: rng.next_u64(),
+                version: rng.next_u64(),
+                piece: rng.next_u64(),
+                owner: rng.range_u32(0, 256),
+                to_node: rng.range_u32(0, 64),
+                data: arb_bytes(rng, 128),
+            },
+            Frame::PullNack {
+                name: rng.next_u64(),
+                version: rng.next_u64(),
+                piece: rng.next_u64(),
+                to_node: rng.range_u32(0, 64),
+            },
+            Frame::DhtInsert {
+                var: rng.next_u64(),
+                version: rng.next_u64(),
+                owner: rng.range_u32(0, 256),
+                piece: rng.next_u64(),
+                lbs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+                ubs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+            },
+            Frame::GetDone {
+                var: rng.next_u64(),
+                version: rng.next_u64(),
+            },
+            Frame::Evict {
+                var: rng.next_u64(),
+                version: rng.next_u64(),
+            },
+            Frame::RunWave {
+                wave: rng.range_u32(0, 1024),
+            },
+            Frame::Barrier {
+                wave: rng.range_u32(0, 1024),
+                node: rng.range_u32(0, 64),
+            },
+            Frame::Report(arb_report(rng)),
+            Frame::Shutdown {
+                ok: rng.bool(),
+                reason: arb_string(rng, 60),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_type_round_trips() {
+        forall(64, |rng| {
+            for frame in arb_frames(rng) {
+                let wire = frame.encode();
+                let len = u32::from_le_bytes(wire[..4].try_into().unwrap());
+                assert_eq!(len as usize, wire.len() - 4);
+                let decoded = Frame::decode(wire[4], wire[5], &wire[6..]).unwrap();
+                assert_eq!(decoded, frame, "round-trip of kind {}", frame.kind());
+                // And via the stream reader.
+                let mut cursor = std::io::Cursor::new(wire);
+                assert_eq!(Frame::read_from(&mut cursor).unwrap(), frame);
+            }
+        });
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_rejected_not_panicking() {
+        forall(16, |rng| {
+            for frame in arb_frames(rng) {
+                let wire = frame.encode();
+                for cut in 6..wire.len() {
+                    let err = Frame::decode(wire[4], wire[5], &wire[6..cut]).unwrap_err();
+                    assert!(
+                        matches!(err, FrameError::Truncated | FrameError::BadPayload(_)),
+                        "cut at {cut} of kind {}: {err:?}",
+                        frame.kind()
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        forall(16, |rng| {
+            for frame in arb_frames(rng) {
+                let mut wire = frame.encode();
+                wire.push(0xEE);
+                assert_eq!(
+                    Frame::decode(wire[4], wire[5], &wire[6..]),
+                    Err(FrameError::BadPayload("trailing bytes")),
+                    "kind {}",
+                    frame.kind()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn bad_version_and_kind_are_rejected() {
+        let wire = Frame::RunWave { wave: 3 }.encode();
+        assert_eq!(
+            Frame::decode(WIRE_VERSION + 1, wire[5], &wire[6..]),
+            Err(FrameError::BadVersion(WIRE_VERSION + 1))
+        );
+        assert_eq!(
+            Frame::decode(0, wire[5], &wire[6..]),
+            Err(FrameError::BadVersion(0))
+        );
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, 0xEE, &wire[6..]),
+            Err(FrameError::BadKind(0xEE))
+        );
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, 0, &wire[6..]),
+            Err(FrameError::BadKind(0))
+        );
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        wire.push(WIRE_VERSION);
+        wire.push(KIND_RUN_WAVE);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(
+            Frame::read_from(&mut cursor),
+            Err(FrameError::BadLength(MAX_FRAME_LEN + 1))
+        );
+        // Too-short length words (cannot hold version + kind) as well.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(WIRE_VERSION);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(Frame::read_from(&mut cursor), Err(FrameError::BadLength(1)));
+    }
+
+    #[test]
+    fn hostile_element_counts_do_not_allocate() {
+        // A DhtInsert whose lbs count claims u32::MAX elements.
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        put_u64(&mut p, 2);
+        put_u32(&mut p, 3);
+        put_u64(&mut p, 4);
+        put_u32(&mut p, u32::MAX);
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_DHT_INSERT, &p),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_reports_truncation() {
+        let wire = Frame::Hello { node: 1 }.encode();
+        let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 1]);
+        assert_eq!(Frame::read_from(&mut cursor), Err(FrameError::Truncated));
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(Frame::read_from(&mut empty), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn data_plane_classification() {
+        let pd = Frame::PullData {
+            name: 9,
+            version: 1,
+            piece: (3u64 << 32) | 7,
+            owner: 3,
+            to_node: 0,
+            data: vec![1, 2, 3],
+        };
+        assert!(pd.is_data_plane());
+        assert_eq!(pd.fault_ids(), (9, (3u64 << 32) | 7));
+        assert!(!Frame::RunWave { wave: 0 }.is_data_plane());
+        assert_eq!(Frame::RunWave { wave: 0 }.fault_ids(), (0, 0));
+    }
+}

@@ -1,0 +1,410 @@
+//! The workflow-server hub: accepts one TCP connection per simulated
+//! node, runs the Hello/Welcome handshake, and routes every frame of
+//! the star topology (joiners never talk to each other directly).
+//!
+//! Routing rules:
+//!
+//! - `Relay` goes to the node hosting the destination client
+//!   (`to / cores_per_node`).
+//! - `PullRequest` goes to the node of the owner client packed in the
+//!   upper 32 bits of the piece id.
+//! - `PullData` / `PullNack` go to the requesting node carried in the
+//!   frame.
+//! - `DhtInsert` / `GetDone` / `Evict` are broadcast to every node
+//!   except the origin (each replica already applied its own change).
+//! - `Barrier` and `Report` land in hub state for the wave engine;
+//!   `PutNotify` feeds diagnostics counters only.
+//!
+//! Because each peer has one FIFO writer queue and TCP preserves order,
+//! forwarding a joiner's mirror frames *before* the next wave's
+//! `RunWave` guarantees every replica sees wave N's DHT state before
+//! any wave N+1 task runs — the ordering the wave barriers rely on.
+
+use crate::conn::{recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle};
+use crate::frame::{Frame, NodeReport};
+use insitu_fabric::FaultInjector;
+use std::collections::{HashMap, HashSet};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything the hub needs to accept and greet its joiners.
+pub struct HubConfig {
+    /// Number of joiner processes (= simulated nodes) to wait for.
+    pub nodes: u32,
+    /// Cores per node, for routing by client id.
+    pub cores_per_node: u32,
+    /// Mapping-strategy slug sent in `Welcome`.
+    pub strategy: String,
+    /// Get timeout every replica must use, in milliseconds.
+    pub get_timeout_ms: u64,
+    /// Workflow DAG text sent in `Welcome`.
+    pub dag: String,
+    /// Workload configuration text sent in `Welcome`.
+    pub config: String,
+    /// How long to wait for all joiners to connect and greet.
+    pub accept_timeout: Duration,
+}
+
+/// State shared between the hub's reader threads and the wave engine.
+struct Shared {
+    nodes: u32,
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Nodes that reached each wave's barrier.
+    barriers: HashMap<u32, HashSet<u32>>,
+    /// Final per-node reports, indexed by node.
+    reports: Vec<Option<NodeReport>>,
+    /// Connection-level failures (peer hangups, protocol violations).
+    failures: Vec<String>,
+    /// Diagnostics from `PutNotify`: announced registrations and bytes.
+    puts_announced: u64,
+    put_bytes_announced: u64,
+}
+
+impl Shared {
+    fn fail(&self, why: String) {
+        self.inner.lock().unwrap().failures.push(why);
+        self.changed.notify_all();
+    }
+}
+
+/// The server's end of every joiner connection.
+pub struct Hub {
+    peers: Vec<Peer>,
+    addrs: Vec<std::net::SocketAddr>,
+    shared: Arc<Shared>,
+}
+
+impl Hub {
+    /// Accept `cfg.nodes` joiners on `listener`, handshake each
+    /// (`Hello` in, `Welcome` out) and spawn the writer and routing
+    /// reader threads. Fails with a clear [`NetError::Timeout`] if the
+    /// joiners do not all arrive within `cfg.accept_timeout`.
+    pub fn accept(
+        listener: &TcpListener,
+        cfg: &HubConfig,
+        injector: &FaultInjector,
+        metrics: &NetMetrics,
+    ) -> Result<Hub, NetError> {
+        let deadline = Instant::now() + cfg.accept_timeout;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let mut streams: Vec<Option<TcpStream>> = (0..cfg.nodes).map(|_| None).collect();
+        let mut joined = 0;
+        while joined < cfg.nodes {
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout(format!(
+                    "only {joined} of {} joiners connected within {}ms",
+                    cfg.nodes,
+                    cfg.accept_timeout.as_millis()
+                )));
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let node = handshake(stream, cfg, injector, metrics, &mut streams)?;
+                    joined += 1;
+                    let _ = node;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(NetError::Io(e.to_string())),
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            nodes: cfg.nodes,
+            inner: Mutex::new(Inner {
+                reports: (0..cfg.nodes).map(|_| None).collect(),
+                ..Inner::default()
+            }),
+            changed: Condvar::new(),
+        });
+
+        let mut peers = Vec::new();
+        let mut addrs = Vec::new();
+        for (node, stream) in streams.iter().enumerate() {
+            let stream = stream.as_ref().expect("all joiners greeted");
+            addrs.push(
+                stream
+                    .peer_addr()
+                    .map_err(|e| NetError::Io(e.to_string()))?,
+            );
+            let clone = stream
+                .try_clone()
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            peers.push(
+                Peer::spawn(
+                    clone,
+                    injector.clone(),
+                    metrics.clone(),
+                    format!("hub-to-{node}"),
+                )
+                .map_err(|e| NetError::Io(e.to_string()))?,
+            );
+        }
+        let handles: Vec<PeerHandle> = peers.iter().map(Peer::handle).collect();
+        for (node, stream) in streams.into_iter().enumerate() {
+            let stream = stream.expect("all joiners greeted");
+            spawn_reader(
+                node as u32,
+                stream,
+                cfg.cores_per_node,
+                handles.clone(),
+                Arc::clone(&shared),
+                injector.clone(),
+                metrics.clone(),
+            )
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        }
+        Ok(Hub {
+            peers,
+            addrs,
+            shared,
+        })
+    }
+
+    /// Enqueue a frame for one node.
+    pub fn send_to(&self, node: u32, frame: Frame) {
+        self.peers[node as usize].send(frame);
+    }
+
+    /// The socket address the joiner hosting `node` connected from —
+    /// the real network address the client registry records.
+    pub fn peer_addr(&self, node: u32) -> std::net::SocketAddr {
+        self.addrs[node as usize]
+    }
+
+    /// Enqueue a frame for every node.
+    pub fn broadcast(&self, frame: Frame) {
+        for peer in &self.peers {
+            peer.send(frame.clone());
+        }
+    }
+
+    /// Block until every node reported wave `wave`'s barrier. Fails if
+    /// a peer failure is recorded or `timeout` expires first.
+    pub fn wait_barrier(&self, wave: u32, timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if !inner.failures.is_empty() {
+                return Err(NetError::Io(inner.failures.join("; ")));
+            }
+            if inner
+                .barriers
+                .get(&wave)
+                .is_some_and(|s| s.len() as u32 == self.shared.nodes)
+            {
+                inner.barriers.remove(&wave);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let arrived = inner.barriers.get(&wave).map_or(0, HashSet::len);
+                return Err(NetError::Timeout(format!(
+                    "wave {wave} barrier: {arrived} of {} nodes within {}ms",
+                    self.shared.nodes,
+                    timeout.as_millis()
+                )));
+            }
+            inner = self
+                .shared
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .unwrap()
+                .0;
+        }
+    }
+
+    /// Block until every node's final [`NodeReport`] arrived.
+    pub fn collect_reports(&self, timeout: Duration) -> Result<Vec<NodeReport>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if !inner.failures.is_empty() {
+                return Err(NetError::Io(inner.failures.join("; ")));
+            }
+            if inner.reports.iter().all(Option::is_some) {
+                return Ok(inner.reports.iter().flatten().cloned().collect());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let arrived = inner.reports.iter().flatten().count();
+                return Err(NetError::Timeout(format!(
+                    "reports: {arrived} of {} nodes within {}ms",
+                    self.shared.nodes,
+                    timeout.as_millis()
+                )));
+            }
+            inner = self
+                .shared
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .unwrap()
+                .0;
+        }
+    }
+
+    /// Buffer registrations announced via `PutNotify`: `(count, bytes)`.
+    pub fn puts_announced(&self) -> (u64, u64) {
+        let inner = self.shared.inner.lock().unwrap();
+        (inner.puts_announced, inner.put_bytes_announced)
+    }
+
+    /// Connection-level failures recorded so far.
+    pub fn failures(&self) -> Vec<String> {
+        self.shared.inner.lock().unwrap().failures.clone()
+    }
+
+    /// Broadcast `Shutdown`, flush every writer queue onto the wire and
+    /// stop the writers. Reader threads exit on their own when the
+    /// joiners close their sockets.
+    pub fn shutdown(mut self, ok: bool, reason: &str) {
+        self.broadcast(Frame::Shutdown {
+            ok,
+            reason: reason.to_string(),
+        });
+        for peer in &mut self.peers {
+            peer.close();
+        }
+    }
+}
+
+/// Greet one accepted connection: read `Hello` (with a read timeout so
+/// a silent connection cannot stall the accept loop), validate the
+/// node id, write `Welcome`, and park the stream in its node slot.
+fn handshake(
+    stream: TcpStream,
+    cfg: &HubConfig,
+    injector: &FaultInjector,
+    metrics: &NetMetrics,
+    streams: &mut [Option<TcpStream>],
+) -> Result<u32, NetError> {
+    let mut stream = stream;
+    stream
+        .set_nonblocking(false)
+        .and_then(|_| stream.set_read_timeout(Some(Duration::from_secs(10))))
+        .and_then(|_| stream.set_nodelay(true))
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    let node = match recv_frame(&mut stream, injector, metrics)? {
+        Frame::Hello { node } => node,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Hello, got frame kind {}",
+                other.kind()
+            )))
+        }
+    };
+    if node >= cfg.nodes {
+        return Err(NetError::Protocol(format!(
+            "joiner claims node {node}, but the run has {} nodes",
+            cfg.nodes
+        )));
+    }
+    if streams[node as usize].is_some() {
+        return Err(NetError::Protocol(format!("two joiners claim node {node}")));
+    }
+    send_frame(
+        &mut stream,
+        &Frame::Welcome {
+            nodes: cfg.nodes,
+            strategy: cfg.strategy.clone(),
+            get_timeout_ms: cfg.get_timeout_ms,
+            dag: cfg.dag.clone(),
+            config: cfg.config.clone(),
+        },
+        injector,
+        metrics,
+    )?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    streams[node as usize] = Some(stream);
+    Ok(node)
+}
+
+/// Spawn the routing reader for one joiner connection.
+fn spawn_reader(
+    node: u32,
+    mut stream: TcpStream,
+    cores_per_node: u32,
+    peers: Vec<PeerHandle>,
+    shared: Arc<Shared>,
+    injector: FaultInjector,
+    metrics: NetMetrics,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("net-hub-from-{node}"))
+        .spawn(move || loop {
+            let frame = match recv_frame(&mut stream, &injector, &metrics) {
+                Ok(f) => f,
+                Err(NetError::Frame(crate::frame::FrameError::Truncated)) => {
+                    // EOF is a clean hangup only after the node reported;
+                    // mid-run it is a crashed joiner.
+                    let reported = shared.inner.lock().unwrap().reports[node as usize].is_some();
+                    if !reported {
+                        shared.fail(format!("node {node} hung up before reporting"));
+                    }
+                    return;
+                }
+                Err(e) => {
+                    shared.fail(format!("connection to node {node}: {e}"));
+                    return;
+                }
+            };
+            match frame {
+                Frame::Relay { to, .. } => {
+                    peers[(to / cores_per_node) as usize].send(frame);
+                }
+                Frame::PullRequest { piece, .. } => {
+                    let owner_node = ((piece >> 32) as u32) / cores_per_node;
+                    peers[owner_node as usize].send(frame);
+                }
+                Frame::PullData { to_node, .. } | Frame::PullNack { to_node, .. } => {
+                    peers[to_node as usize].send(frame);
+                }
+                Frame::DhtInsert { .. } | Frame::GetDone { .. } | Frame::Evict { .. } => {
+                    for (n, peer) in peers.iter().enumerate() {
+                        if n as u32 != node {
+                            peer.send(frame.clone());
+                        }
+                    }
+                }
+                Frame::PutNotify { bytes, .. } => {
+                    let mut inner = shared.inner.lock().unwrap();
+                    inner.puts_announced += 1;
+                    inner.put_bytes_announced += bytes;
+                }
+                Frame::Barrier { wave, node: from } => {
+                    shared
+                        .inner
+                        .lock()
+                        .unwrap()
+                        .barriers
+                        .entry(wave)
+                        .or_default()
+                        .insert(from);
+                    shared.changed.notify_all();
+                }
+                Frame::Report(report) => {
+                    let slot = report.node as usize;
+                    shared.inner.lock().unwrap().reports[slot] = Some(report);
+                    shared.changed.notify_all();
+                }
+                other => {
+                    shared.fail(format!(
+                        "node {node} sent unexpected frame kind {}",
+                        other.kind()
+                    ));
+                    return;
+                }
+            }
+        })
+}

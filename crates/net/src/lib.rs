@@ -1,0 +1,47 @@
+//! insitu-net: the wire transport.
+//!
+//! Everything below this crate simulates distribution inside one
+//! process; this crate makes it real. It carries the HybridDART
+//! network path (§III.A, §IV.A of the paper) over TCP so a coupled
+//! workflow runs as genuine OS processes — one workflow-server process
+//! plus one process per simulated node — while the layers above keep
+//! their exact in-process semantics:
+//!
+//! - [`frame`] — the length-prefixed, versioned binary codec: 14
+//!   message types covering registration (`Hello`/`Welcome`), task
+//!   dispatch (`Relay` + `RunWave`/`Barrier`), buffer movement
+//!   (`PutNotify`, `PullRequest`, `PullData`, `PullNack`), DHT-replica
+//!   maintenance (`DhtInsert`, `GetDone`, `Evict`) and run teardown
+//!   (`Report`, `Shutdown`). Decoding rejects malformed input, never
+//!   panics.
+//! - [`conn`] — counted, fault-gated frame I/O over
+//!   `std::net::TcpStream`: per-peer FIFO writer threads, retrying
+//!   connect with a hard deadline, and the `net.*` telemetry counters.
+//! - [`hub`] — the workflow server's star-topology router: joiners
+//!   only ever talk to the hub, which forwards relays, routes pulls by
+//!   the owner packed in the buffer key, broadcasts DHT mirror traffic
+//!   and runs the wave barriers.
+//! - [`link`] — the joiner's end: implements `insitu_dart::Transport`
+//!   and `insitu_cods::SpaceMirror` over the hub connection, demuxes
+//!   incoming frames into the local mailboxes / registry / DHT replica
+//!   and surfaces `RunWave`/`Shutdown` to the wave loop.
+//!
+//! Built entirely on `std::net` — the workspace stays offline-buildable
+//! with zero external dependencies.
+//!
+//! Fault injection: `net.connect` fires on every connect attempt;
+//! `net.send` / `net.recv` fire on data-plane (`PullData`) frames only.
+//! Control frames are exempt by design — the paper's management server
+//! is reliable, and dropping a barrier would model a different system.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod frame;
+pub mod hub;
+pub mod link;
+
+pub use conn::{connect_with_retry, NetError, NetMetrics, Peer, PeerHandle};
+pub use frame::{Frame, FrameError, NodeReport, MAX_FRAME_LEN, WIRE_VERSION};
+pub use hub::{Hub, HubConfig};
+pub use link::{Ctl, NetLink};

@@ -1,0 +1,366 @@
+//! The execution client's end of the wire: `NetLink` implements both
+//! [`insitu_dart::Transport`] (mailbox forwarding, buffer publication,
+//! pull requests) and [`insitu_cods::space::SpaceMirror`] (DHT-replica
+//! maintenance), speaking frames to the hub over one TCP connection.
+//!
+//! Construction is two-phase because the link and the runtime need each
+//! other: build the `NetLink` first (it only needs the socket), hand it
+//! to `DartRuntime::with_transport` and `CodsSpace::with_mirror`, then
+//! call [`NetLink::start_reader`] with both — it spawns the demux
+//! reader and returns the control channel (`RunWave` / `Shutdown`)
+//! that drives the joiner's wave loop.
+
+use crate::conn::{recv_frame, NetError, NetMetrics, Peer};
+use crate::frame::{Frame, FrameError, NodeReport};
+use insitu_cods::space::SpaceMirror;
+use insitu_cods::{CodsSpace, LocationEntry};
+use insitu_dart::transport::Transport;
+use insitu_dart::{BufKey, DartRuntime, Msg};
+use insitu_domain::BoundingBox;
+use insitu_fabric::{ClientId, FaultInjector};
+use insitu_util::channel::{unbounded, Receiver, Sender};
+use insitu_util::Bytes;
+use std::collections::HashSet;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Control frames the reader surfaces to the joiner's wave loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ctl {
+    /// Run the local tasks of this wave.
+    RunWave(u32),
+    /// The server ended the run.
+    Shutdown {
+        /// Whether the run completed successfully.
+        ok: bool,
+        /// Human-readable reason (empty on success).
+        reason: String,
+    },
+}
+
+/// One joiner process's connection to the hub.
+pub struct NetLink {
+    node: u32,
+    cores_per_node: u32,
+    peer: Peer,
+    injector: FaultInjector,
+    metrics: NetMetrics,
+    /// The demux reader's own clone of the stream.
+    stream: Mutex<Option<TcpStream>>,
+    /// Keys with an outstanding `PullRequest`, so concurrent local
+    /// waiters ask the owner once, not once per waiter.
+    inflight: Mutex<HashSet<BufKey>>,
+    /// How long the owner side waits for a requested buffer to be put
+    /// before answering `PullNack`.
+    get_timeout: Duration,
+    dart: OnceLock<Arc<DartRuntime>>,
+    space: OnceLock<Arc<CodsSpace>>,
+}
+
+impl NetLink {
+    /// Wrap an established, greeted connection. `stream` must be past
+    /// the Hello/Welcome handshake; `get_timeout` mirrors the space's
+    /// get timeout (from `Welcome`).
+    pub fn new(
+        stream: TcpStream,
+        node: u32,
+        cores_per_node: u32,
+        get_timeout: Duration,
+        injector: FaultInjector,
+        metrics: NetMetrics,
+    ) -> Result<Arc<NetLink>, NetError> {
+        let reader = stream
+            .try_clone()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let peer = Peer::spawn(
+            stream,
+            injector.clone(),
+            metrics.clone(),
+            format!("node-{node}"),
+        )
+        .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(Arc::new(NetLink {
+            node,
+            cores_per_node,
+            peer,
+            injector,
+            metrics,
+            stream: Mutex::new(Some(reader)),
+            inflight: Mutex::new(HashSet::new()),
+            get_timeout,
+            dart: OnceLock::new(),
+            space: OnceLock::new(),
+        }))
+    }
+
+    /// The simulated node this process hosts.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Spawn the demux reader thread and return the control channel it
+    /// feeds. Must be called exactly once, after the runtime and space
+    /// were built around this link.
+    pub fn start_reader(
+        self: &Arc<Self>,
+        dart: Arc<DartRuntime>,
+        space: Arc<CodsSpace>,
+    ) -> Receiver<Ctl> {
+        self.dart.set(dart).ok().expect("start_reader called twice");
+        self.space
+            .set(space)
+            .ok()
+            .expect("start_reader called twice");
+        let (ctl_tx, ctl_rx) = unbounded();
+        let link = Arc::clone(self);
+        let mut stream = self
+            .stream
+            .lock()
+            .unwrap()
+            .take()
+            .expect("start_reader called twice");
+        std::thread::Builder::new()
+            .name(format!("net-reader-{}", self.node))
+            .spawn(move || link.read_loop(&mut stream, &ctl_tx))
+            .expect("spawn net reader");
+        ctl_rx
+    }
+
+    /// Tell the server this node finished a wave.
+    pub fn barrier(&self, wave: u32) {
+        self.peer.send(Frame::Barrier {
+            wave,
+            node: self.node,
+        });
+    }
+
+    /// Send the final per-process report.
+    pub fn report(&self, report: NodeReport) {
+        self.peer.send(Frame::Report(report));
+    }
+
+    /// Flush every queued frame onto the wire and stop the writer.
+    /// Call before process exit so the `Report` is not lost.
+    pub fn close(&self) {
+        self.peer.close();
+    }
+
+    fn read_loop(&self, stream: &mut TcpStream, ctl: &Sender<Ctl>) {
+        let dart = self.dart.get().expect("reader after start").clone();
+        let space = self.space.get().expect("reader after start").clone();
+        loop {
+            let frame = match recv_frame(stream, &self.injector, &self.metrics) {
+                Ok(f) => f,
+                Err(NetError::Frame(FrameError::Truncated)) => {
+                    let _ = ctl.send(Ctl::Shutdown {
+                        ok: false,
+                        reason: "server closed the connection".into(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    let _ = ctl.send(Ctl::Shutdown {
+                        ok: false,
+                        reason: format!("server connection lost: {e}"),
+                    });
+                    return;
+                }
+            };
+            match frame {
+                Frame::Relay {
+                    to,
+                    src,
+                    tag,
+                    payload,
+                } => {
+                    dart.deliver(
+                        to,
+                        Msg {
+                            src,
+                            tag,
+                            payload: Bytes::copy_from_slice(&payload),
+                        },
+                    );
+                }
+                Frame::PullRequest {
+                    name,
+                    version,
+                    piece,
+                    from_node,
+                } => self.answer_pull(name, version, piece, from_node, &dart),
+                Frame::PullData {
+                    name,
+                    version,
+                    piece,
+                    owner,
+                    data,
+                    ..
+                } => {
+                    let key = BufKey {
+                        name,
+                        version,
+                        piece,
+                    };
+                    self.inflight.lock().unwrap().remove(&key);
+                    // Register directly (NOT through the runtime): the
+                    // bytes were accounted by the puller's `pull` and
+                    // must not be re-published as a local put.
+                    if dart.registry().get(&key).is_none() {
+                        dart.registry()
+                            .register(key, owner, Bytes::copy_from_slice(&data));
+                    }
+                }
+                Frame::PullNack {
+                    name,
+                    version,
+                    piece,
+                    ..
+                } => {
+                    // The owner gave up; our local wait will time out
+                    // and surface the pull failure. Allow a retry to
+                    // re-request.
+                    self.inflight.lock().unwrap().remove(&BufKey {
+                        name,
+                        version,
+                        piece,
+                    });
+                }
+                Frame::DhtInsert {
+                    var,
+                    version,
+                    owner,
+                    piece,
+                    lbs,
+                    ubs,
+                } => {
+                    space.apply_remote_dht_insert(
+                        var,
+                        version,
+                        LocationEntry {
+                            bbox: BoundingBox::new(&lbs, &ubs),
+                            owner,
+                            piece,
+                        },
+                    );
+                }
+                Frame::GetDone { var, version } => space.apply_remote_get_done(var, version),
+                Frame::Evict { var, version } => space.apply_remote_evict(var, version),
+                Frame::RunWave { wave } => {
+                    let _ = ctl.send(Ctl::RunWave(wave));
+                }
+                Frame::Shutdown { ok, reason } => {
+                    let _ = ctl.send(Ctl::Shutdown { ok, reason });
+                    return;
+                }
+                other => {
+                    let _ = ctl.send(Ctl::Shutdown {
+                        ok: false,
+                        reason: format!("unexpected frame kind {} from server", other.kind()),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Serve one remote pull: wait (on a throwaway thread, so the demux
+    /// loop never blocks) for the buffer to be put locally, then answer
+    /// with its bytes — or `PullNack` if the producer never delivers
+    /// within the get timeout.
+    fn answer_pull(
+        &self,
+        name: u64,
+        version: u64,
+        piece: u64,
+        from_node: u32,
+        dart: &Arc<DartRuntime>,
+    ) {
+        let key = BufKey {
+            name,
+            version,
+            piece,
+        };
+        let dart = Arc::clone(dart);
+        let reply = self.peer.handle();
+        let timeout = self.get_timeout;
+        std::thread::Builder::new()
+            .name("net-pull-wait".into())
+            .spawn(move || match dart.registry().wait_for(&key, timeout) {
+                Some(handle) => reply.send(Frame::PullData {
+                    name,
+                    version,
+                    piece,
+                    owner: handle.owner,
+                    to_node: from_node,
+                    data: handle.data.as_slice().to_vec(),
+                }),
+                None => reply.send(Frame::PullNack {
+                    name,
+                    version,
+                    piece,
+                    to_node: from_node,
+                }),
+            })
+            .expect("spawn pull waiter");
+    }
+}
+
+impl Transport for NetLink {
+    fn hosts(&self, client: ClientId) -> bool {
+        client / self.cores_per_node == self.node
+    }
+
+    fn forward(&self, to: ClientId, msg: &Msg) {
+        self.peer.send(Frame::Relay {
+            to,
+            src: msg.src,
+            tag: msg.tag,
+            payload: msg.payload.as_slice().to_vec(),
+        });
+    }
+
+    fn publish(&self, key: &BufKey, owner: ClientId, bytes: u64) {
+        self.peer.send(Frame::PutNotify {
+            name: key.name,
+            version: key.version,
+            piece: key.piece,
+            owner,
+            bytes,
+        });
+    }
+
+    fn request(&self, key: &BufKey) {
+        if !self.inflight.lock().unwrap().insert(*key) {
+            return;
+        }
+        self.peer.send(Frame::PullRequest {
+            name: key.name,
+            version: key.version,
+            piece: key.piece,
+            from_node: self.node,
+        });
+    }
+}
+
+impl SpaceMirror for NetLink {
+    fn dht_insert(&self, var: u64, version: u64, entry: &LocationEntry) {
+        let nd = entry.bbox.ndim();
+        self.peer.send(Frame::DhtInsert {
+            var,
+            version,
+            owner: entry.owner,
+            piece: entry.piece,
+            lbs: (0..nd).map(|d| entry.bbox.lb(d)).collect(),
+            ubs: (0..nd).map(|d| entry.bbox.ub(d)).collect(),
+        });
+    }
+
+    fn get_done(&self, var: u64, version: u64) {
+        self.peer.send(Frame::GetDone { var, version });
+    }
+
+    fn evict(&self, var: u64, version: u64) {
+        self.peer.send(Frame::Evict { var, version });
+    }
+}

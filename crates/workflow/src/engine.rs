@@ -24,6 +24,7 @@ pub enum ClientState {
 #[derive(Clone, Debug, Default)]
 pub struct ClientRegistry {
     clients: HashMap<ClientId, (CoreId, ClientState)>,
+    addrs: HashMap<ClientId, String>,
 }
 
 impl ClientRegistry {
@@ -41,8 +42,25 @@ impl ClientRegistry {
         assert!(prev.is_none(), "client {client} registered twice");
     }
 
+    /// Register a client together with the real network address it
+    /// connected from (distributed runs; [`ClientRegistry::register`]
+    /// keeps the core-as-address convention for in-process runs).
+    ///
+    /// # Panics
+    /// Panics on duplicate registration.
+    pub fn register_at(&mut self, client: ClientId, core: CoreId, addr: &str) {
+        self.register(client, core);
+        self.addrs.insert(client, addr.to_string());
+    }
+
+    /// The network address a client registered from, if it supplied one.
+    pub fn address_of(&self, client: ClientId) -> Option<&str> {
+        self.addrs.get(&client).map(String::as_str)
+    }
+
     /// Unregister a client (e.g. on failure).
     pub fn unregister(&mut self, client: ClientId) -> bool {
+        self.addrs.remove(&client);
         self.clients.remove(&client).is_some()
     }
 
@@ -212,6 +230,18 @@ mod tests {
         assert_eq!(r.idle_clients(), vec![0, 1]);
         assert!(r.unregister(0));
         assert!(!r.unregister(0));
+    }
+
+    #[test]
+    fn registry_records_network_addresses() {
+        let mut r = ClientRegistry::new();
+        r.register_at(0, 10, "127.0.0.1:40001");
+        r.register(1, 11);
+        assert_eq!(r.address_of(0), Some("127.0.0.1:40001"));
+        assert_eq!(r.address_of(1), None);
+        assert_eq!(r.core_of(0), Some(10));
+        r.unregister(0);
+        assert_eq!(r.address_of(0), None);
     }
 
     #[test]

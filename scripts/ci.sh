@@ -57,6 +57,18 @@ echo "==> performance gate (vs workflows/baseline_online.json)"
 insitu compare workflows/online.dag --config workflows/online.cfg \
     --gate workflows/baseline_online.json
 
+# Distributed loopback smoke: 1 in-process server + 2 real joiner
+# processes over 127.0.0.1 running the mixed *_cont + *_seq workflow.
+# `insitu launch` itself re-runs the workflow single-process and exits
+# nonzero unless the merged transfer ledger is byte-identical; the
+# merged ledger JSON lands in target/ for the CI workflow to upload.
+echo "==> distributed loopback smoke (1 server + 2 joiners over 127.0.0.1)"
+insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
+    --procs 3 --ledger-out target/launch-ledger.json \
+    | tee target/launch-report.txt
+grep -q "byte-identical to the single-process run" target/launch-report.txt
+test -s target/launch-ledger.json
+
 # M x N redistribution micro-bench: sequential vs overlapped pulls on
 # the threaded data plane (4x1, 8x8->1, 64->16). Wall-clock numbers are
 # informational (shared CI runners are noisy); the JSON lands in target/

@@ -1,0 +1,98 @@
+//! End-to-end test of the socketized workflow server: `insitu launch`
+//! forks real joiner processes over loopback, runs the mixed
+//! concurrent + sequential distrib workflow, and certifies the merged
+//! transfer ledger byte-identical to the single-process executor. Also
+//! covers the fail-fast paths: a joiner pointed at a dead address and a
+//! launch whose `--procs` does not fit the workflow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workflow_path(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../workflows")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn insitu() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_insitu"))
+}
+
+#[test]
+fn launch_runs_distributed_workflow_with_identical_ledger() {
+    let ledger = std::env::temp_dir().join("insitu_integration_launch_ledger.json");
+    let out = insitu()
+        .args([
+            "launch",
+            &workflow_path("distrib.dag"),
+            "--config",
+            &workflow_path("distrib.cfg"),
+            "--procs",
+            "3",
+            "--timeout-ms",
+            "60000",
+            "--ledger-out",
+            ledger.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn insitu launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "launch failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("byte-identical to the single-process run"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verified:  0 cell mismatches"), "{stdout}");
+    let body = std::fs::read_to_string(&ledger).expect("ledger JSON written");
+    assert!(body.contains("\"inter_app.shm\""), "{body}");
+    std::fs::remove_file(&ledger).unwrap();
+}
+
+#[test]
+fn join_exits_nonzero_fast_when_server_unreachable() {
+    // Bind-then-drop reserves an address nothing listens on.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let out = insitu()
+        .args([
+            "join",
+            "--connect",
+            &addr,
+            "--node",
+            "0",
+            "--timeout-ms",
+            "300",
+        ])
+        .output()
+        .expect("spawn insitu join");
+    assert!(!out.status.success(), "join must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&addr),
+        "error must name the address: {stderr}"
+    );
+}
+
+#[test]
+fn launch_rejects_mismatched_proc_count() {
+    let out = insitu()
+        .args([
+            "launch",
+            &workflow_path("distrib.dag"),
+            "--config",
+            &workflow_path("distrib.cfg"),
+            "--procs",
+            "5",
+        ])
+        .output()
+        .expect("spawn insitu launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--procs 5"), "{stderr}");
+    assert!(stderr.contains("3 processes"), "{stderr}");
+}
