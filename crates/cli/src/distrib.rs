@@ -124,6 +124,17 @@ pub fn join_cmd(cmd: &JoinCmd) -> Result<String, CliError> {
     Ok(format!("node {} completed all waves\n", cmd.node))
 }
 
+/// Kill and wait every joiner child. Used on launch error paths so a
+/// failed run never leaves orphaned joiner processes behind; `kill` on
+/// an already-exited child is a no-op error we ignore, and `wait` then
+/// reaps it either way.
+fn reap_joiners(children: Vec<(u32, std::process::Child)>) {
+    for (_, mut child) in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
 /// Fork one joiner process per node over loopback, serve in-process,
 /// then verify the merged ledger against a single-process run of the
 /// same workflow. Errors (including a ledger mismatch) exit nonzero.
@@ -149,7 +160,7 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
 
     let mut children = Vec::new();
     for node in 0..nodes {
-        let child = std::process::Command::new(&exe)
+        let spawned = std::process::Command::new(&exe)
             .args([
                 "join",
                 "--connect",
@@ -161,8 +172,17 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
             ])
             .stdout(std::process::Stdio::null())
             .spawn()
-            .map_err(|e| CliError::Io(format!("cannot spawn joiner {node}: {e}")))?;
-        children.push((node, child));
+            .map_err(|e| CliError::Io(format!("cannot spawn joiner {node}: {e}")));
+        match spawned {
+            Ok(child) => children.push((node, child)),
+            Err(e) => {
+                // A joiner failed to start: the run cannot proceed, so
+                // reap the ones already spawned instead of leaving them
+                // waiting on a server that will never dispatch.
+                reap_joiners(children);
+                return Err(e);
+            }
+        }
     }
 
     let opts = ServeOptions {
@@ -170,7 +190,16 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         timeout: Duration::from_millis(cmd.timeout_ms),
         ..ServeOptions::default()
     };
-    let served = serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts);
+    let outcome = match serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // The server side failed; surviving joiners may be blocked
+            // on a run that will never finish. Kill and reap them so no
+            // orphan outlives the launcher.
+            reap_joiners(children);
+            return Err(CliError::Mismatch(e));
+        }
+    };
     let mut joiner_failures = Vec::new();
     for (node, mut child) in children {
         match child.wait() {
@@ -179,7 +208,6 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
             Err(e) => joiner_failures.push(format!("joiner {node} did not exit cleanly: {e}")),
         }
     }
-    let outcome = served.map_err(CliError::Mismatch)?;
     if let Some(fail) = joiner_failures.first() {
         return Err(CliError::Mismatch(fail.clone()));
     }
@@ -258,6 +286,41 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
         })
         .unwrap_err();
         assert!(err.to_string().contains("joiners"), "{err}");
+    }
+
+    #[test]
+    fn serve_cmd_reports_busy_port_cleanly() {
+        // Hold the port, then ask serve to bind it: the failure must be
+        // a clean CLI error naming the address, not a panic.
+        let holder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = holder.local_addr().unwrap().to_string();
+        let err = serve_cmd(&ServeCmd {
+            dag: DAG.into(),
+            config: CFG.into(),
+            listen: addr.clone(),
+            strategy: MappingStrategy::DataCentric,
+            timeout_ms: 150,
+            ledger_out: None,
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(err, CliError::Io(_)) && msg.contains(&addr),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn reap_joiners_kills_stuck_children() {
+        let child = std::process::Command::new("sleep")
+            .arg("600")
+            .spawn()
+            .unwrap();
+        let started = std::time::Instant::now();
+        reap_joiners(vec![(0, child)]);
+        // reap_joiners returns only after the child is dead and waited
+        // on — far sooner than the sleep would have finished.
+        assert!(started.elapsed() < Duration::from_secs(30));
     }
 
     #[test]

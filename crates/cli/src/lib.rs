@@ -26,9 +26,14 @@
 pub mod config;
 pub mod distrib;
 pub mod driver;
+pub mod svc_cmd;
 
 pub use config::{parse_config, ConfigError, WorkloadConfig};
 pub use distrib::{join_cmd, launch_cmd, serve_cmd, JoinCmd, LaunchCmd, ServeCmd};
 pub use driver::{
     build_scenario, gate, profile, run, CliError, GateOptions, Options, ProfileOptions,
+};
+pub use svc_cmd::{
+    cancel_cmd, service_cmd, status_cmd, submit_cmd, CancelCmd, ServiceCmd, StatusCmd, SubmitCmd,
+    SubmitSource,
 };

@@ -9,7 +9,10 @@
 
 use insitu::MappingStrategy;
 use insitu_chaos::FaultSpec;
-use insitu_cli::{run, GateOptions, JoinCmd, LaunchCmd, Options, ProfileOptions, ServeCmd};
+use insitu_cli::{
+    run, CancelCmd, GateOptions, JoinCmd, LaunchCmd, Options, ProfileOptions, ServeCmd, ServiceCmd,
+    StatusCmd, SubmitCmd, SubmitSource,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,9 +29,17 @@ usage: insitu run     [--dag] <file> --config <file>
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
        insitu serve   [--dag] <file> --config <file> --listen <addr>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
+       insitu serve   --listen <addr> [--max-runs <n>] [--queue-depth <n>]
+              [--pool-nodes <n>] [--artifacts <dir>]
        insitu join    --connect <addr> --node <n> [--timeout-ms <n>]
        insitu launch  [--dag] <file> --config <file> --procs <k>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
+       insitu submit  --connect <addr> <workflow.toml> [--set k=v]...
+              [--name <s>] [--strategy <s>] [--get-timeout-ms <n>]
+              [--timeout-ms <n>] [--wait]
+       insitu submit  --connect <addr> [--dag] <file> --config <file> ...
+       insitu status  --connect <addr> [--run <id>] [--json]
+       insitu cancel  --connect <addr> --run <id>
 
 `run` executes the workflow described by the DAG file (paper Listing-1
 syntax) with the workload configuration (domains, grids, distributions,
@@ -59,7 +70,17 @@ up to `--timeout-ms` (default 30000) for one joiner process per node;
 ships them in its Welcome frame); `launch` forks one joiner per node
 over loopback, serves in-process, and exits nonzero unless the merged
 distributed ledger is byte-identical to a single-process run.
-`--ledger-out` writes the merged transfer-ledger snapshot as JSON.";
+`--ledger-out` writes the merged transfer-ledger snapshot as JSON.
+`serve` *without* workflow files runs the multi-tenant service instead:
+it executes up to `--max-runs` (default 4) concurrently submitted
+workflows over a shared pool of `--pool-nodes` (default 8) joiner
+threads, queueing up to `--queue-depth` (default 32) more, until the
+process is killed. `submit` sends a workflow to a service — either a
+parameterized workflow.toml (with `--set key=value` overrides) or a
+plain `--dag`/`--config` pair — and with `--wait` blocks until the run
+finishes; `status` shows one run (`--json` includes its ledger, metrics
+and critical-path profile artifacts) or lists all runs; `cancel` stops
+a queued run immediately or a running run at its next wave boundary.";
 
 #[derive(Debug)]
 enum Command {
@@ -84,6 +105,10 @@ enum Command {
     Serve(ServeCmd),
     Join(JoinCmd),
     Launch(LaunchCmd),
+    Service(ServiceCmd),
+    Submit(SubmitCmd),
+    Status(StatusCmd),
+    Cancel(CancelCmd),
 }
 
 fn parse_strategy(v: Option<&String>) -> Result<MappingStrategy, String> {
@@ -101,9 +126,28 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut strategy = MappingStrategy::DataCentric;
     let mut timeout_ms = 30_000u64;
     let mut ledger_out = None;
+    let mut max_runs: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut pool_nodes: Option<u32> = None;
+    let mut artifacts: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--max-runs" if sub == "serve" => {
+                let v = it.next().ok_or("--max-runs needs a count")?;
+                max_runs = Some(v.parse().map_err(|_| format!("bad run count '{v}'"))?);
+            }
+            "--queue-depth" if sub == "serve" => {
+                let v = it.next().ok_or("--queue-depth needs a count")?;
+                queue_depth = Some(v.parse().map_err(|_| format!("bad queue depth '{v}'"))?);
+            }
+            "--pool-nodes" if sub == "serve" => {
+                let v = it.next().ok_or("--pool-nodes needs a count")?;
+                pool_nodes = Some(v.parse().map_err(|_| format!("bad pool size '{v}'"))?);
+            }
+            "--artifacts" if sub == "serve" => {
+                artifacts = Some(PathBuf::from(it.next().ok_or("--artifacts needs a dir")?))
+            }
             "--dag" if sub != "join" => {
                 dag_path = Some(it.next().ok_or("--dag needs a path")?.clone())
             }
@@ -145,6 +189,23 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             timeout_ms,
         }));
     }
+    if sub == "serve" && dag_path.is_none() && config_path.is_none() {
+        // No workflow files: run the multi-tenant service.
+        return Ok(Command::Service(ServiceCmd {
+            listen: listen.ok_or("missing --listen")?,
+            max_runs: max_runs.unwrap_or(4),
+            queue_depth: queue_depth.unwrap_or(32),
+            pool_nodes: pool_nodes.unwrap_or(8),
+            artifacts,
+        }));
+    }
+    if max_runs.is_some() || queue_depth.is_some() || pool_nodes.is_some() || artifacts.is_some() {
+        return Err(
+            "--max-runs/--queue-depth/--pool-nodes/--artifacts need service mode \
+             (serve without --dag/--config)"
+                .into(),
+        );
+    }
     let dag_path = dag_path.ok_or("missing --dag")?;
     let config_path = config_path.ok_or("missing --config")?;
     let dag =
@@ -169,6 +230,112 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             timeout_ms,
             ledger_out,
         }))
+    }
+}
+
+fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
+    let mut connect: Option<String> = None;
+    let mut run: Option<u64> = None;
+    let mut json = false;
+    let mut timeout_ms = 30_000u64;
+    let mut dag_path: Option<String> = None;
+    let mut config_path: Option<String> = None;
+    let mut toml_path: Option<String> = None;
+    let mut sets: Vec<(String, String)> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut strategy = MappingStrategy::DataCentric;
+    let mut get_timeout_ms = 60_000u64;
+    let mut wait = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs an address")?.clone()),
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a number")?;
+                timeout_ms = v.parse().map_err(|_| format!("bad timeout '{v}'"))?;
+            }
+            "--run" if sub != "submit" => {
+                let v = it.next().ok_or("--run needs an id")?;
+                run = Some(v.parse().map_err(|_| format!("bad run id '{v}'"))?);
+            }
+            "--json" if sub == "status" => json = true,
+            "--dag" if sub == "submit" => {
+                dag_path = Some(it.next().ok_or("--dag needs a path")?.clone())
+            }
+            "--config" if sub == "submit" => {
+                config_path = Some(it.next().ok_or("--config needs a path")?.clone())
+            }
+            "--set" if sub == "submit" => {
+                let v = it.next().ok_or("--set needs key=value")?;
+                sets.push(insitu_workflow::parse_override(v).map_err(|e| e.to_string())?);
+            }
+            "--name" if sub == "submit" => {
+                name = Some(it.next().ok_or("--name needs a string")?.clone())
+            }
+            "--strategy" if sub == "submit" => strategy = parse_strategy(it.next())?,
+            "--get-timeout-ms" if sub == "submit" => {
+                let v = it.next().ok_or("--get-timeout-ms needs a number")?;
+                get_timeout_ms = v.parse().map_err(|_| format!("bad timeout '{v}'"))?;
+            }
+            "--wait" if sub == "submit" => wait = true,
+            other if !other.starts_with('-') && sub == "submit" => {
+                if other.ends_with(".toml") {
+                    toml_path = Some(other.to_string());
+                } else if dag_path.is_none() {
+                    dag_path = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument '{other}'"));
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let connect = connect.ok_or("missing --connect")?;
+    match sub {
+        "status" => Ok(Command::Status(StatusCmd {
+            connect,
+            run,
+            json,
+            timeout_ms,
+        })),
+        "cancel" => Ok(Command::Cancel(CancelCmd {
+            connect,
+            run: run.ok_or("missing --run")?,
+            timeout_ms,
+        })),
+        _ => {
+            let read = |p: &String| {
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))
+            };
+            let source = match (toml_path, dag_path, config_path) {
+                (Some(t), None, None) => SubmitSource::Toml {
+                    source: read(&t)?,
+                    sets,
+                },
+                (None, Some(d), Some(c)) => {
+                    if !sets.is_empty() {
+                        return Err("--set needs a workflow.toml, not --dag/--config".into());
+                    }
+                    SubmitSource::Plain {
+                        dag: read(&d)?,
+                        config: read(&c)?,
+                    }
+                }
+                (Some(_), _, _) => {
+                    return Err("give either a workflow.toml or --dag/--config, not both".into())
+                }
+                _ => return Err("missing workflow: a .toml file or --dag/--config".into()),
+            };
+            Ok(Command::Submit(SubmitCmd {
+                connect,
+                source,
+                name,
+                strategy: strategy.label().to_string(),
+                get_timeout_ms,
+                timeout_ms,
+                wait,
+            }))
+        }
     }
 }
 
@@ -208,10 +375,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if let Some(s @ ("serve" | "join" | "launch")) = sub {
         return parse_distrib_args(s, &args[1..]);
     }
+    if let Some(s @ ("submit" | "status" | "cancel")) = sub {
+        return parse_client_args(s, &args[1..]);
+    }
     if sub != Some("run") && sub != Some("compare") && sub != Some("profile") {
         return Err(
-            "expected the 'run', 'profile', 'compare', 'chaos', 'serve', 'join' or 'launch' \
-             subcommand"
+            "expected the 'run', 'profile', 'compare', 'chaos', 'serve', 'join', 'launch', \
+             'submit', 'status' or 'cancel' subcommand"
                 .into(),
         );
     }
@@ -364,6 +534,10 @@ fn main() -> ExitCode {
         Command::Serve(cmd) => insitu_cli::serve_cmd(cmd),
         Command::Join(cmd) => insitu_cli::join_cmd(cmd),
         Command::Launch(cmd) => insitu_cli::launch_cmd(cmd),
+        Command::Service(cmd) => insitu_cli::service_cmd(cmd),
+        Command::Submit(cmd) => insitu_cli::submit_cmd(cmd),
+        Command::Status(cmd) => insitu_cli::status_cmd(cmd),
+        Command::Cancel(cmd) => insitu_cli::cancel_cmd(cmd),
     };
     match result {
         Ok(report) => {
@@ -605,6 +779,167 @@ mod tests {
             }
             _ => panic!("expected launch"),
         }
+    }
+
+    #[test]
+    fn serve_without_workflow_files_is_service_mode() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7002",
+            "--max-runs",
+            "6",
+            "--queue-depth",
+            "9",
+            "--pool-nodes",
+            "12",
+            "--artifacts",
+            "artdir",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Service(c) => {
+                assert_eq!(c.listen, "127.0.0.1:7002");
+                assert_eq!((c.max_runs, c.queue_depth, c.pool_nodes), (6, 9, 12));
+                assert_eq!(c.artifacts.as_deref(), Some(std::path::Path::new("artdir")));
+            }
+            _ => panic!("expected service mode"),
+        }
+        // Defaults apply when only --listen is given.
+        match parse_args(&args(&["serve", "--listen", "127.0.0.1:7002"])).unwrap() {
+            Command::Service(c) => {
+                assert_eq!((c.max_runs, c.queue_depth, c.pool_nodes), (4, 32, 8));
+                assert!(c.artifacts.is_none());
+            }
+            _ => panic!("expected service mode"),
+        }
+        // Service flags combined with workflow files are rejected.
+        let err = parse_args(&args(&[
+            "serve",
+            DAG,
+            "--config",
+            CFG,
+            "--listen",
+            "x:1",
+            "--max-runs",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("service mode"), "{err}");
+    }
+
+    #[test]
+    fn parses_submit_status_and_cancel() {
+        let cmd = parse_args(&args(&[
+            "submit",
+            "--connect",
+            "127.0.0.1:7002",
+            "../../workflows/distrib.toml",
+            "--set",
+            "iters=4",
+            "--set",
+            "sim_grid=2 2 1",
+            "--name",
+            "my-run",
+            "--strategy",
+            "round-robin",
+            "--wait",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Submit(c) => {
+                assert_eq!(c.connect, "127.0.0.1:7002");
+                assert_eq!(c.name.as_deref(), Some("my-run"));
+                assert_eq!(c.strategy, "round-robin");
+                assert!(c.wait);
+                match c.source {
+                    SubmitSource::Toml { source, sets } => {
+                        assert!(source.contains("[workflow]"));
+                        assert_eq!(sets.len(), 2);
+                        assert_eq!(sets[0], ("iters".to_string(), "4".to_string()));
+                    }
+                    other => panic!("expected toml source, got {other:?}"),
+                }
+            }
+            _ => panic!("expected submit"),
+        }
+        let cmd = parse_args(&args(&[
+            "submit",
+            "--connect",
+            "x:1",
+            "--dag",
+            DAG,
+            "--config",
+            CFG,
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Submit(c) => match c.source {
+                SubmitSource::Plain { dag, .. } => assert!(dag.contains("APP_ID 1")),
+                other => panic!("expected plain source, got {other:?}"),
+            },
+            _ => panic!("expected submit"),
+        }
+        match parse_args(&args(&[
+            "status",
+            "--connect",
+            "x:1",
+            "--run",
+            "3",
+            "--json",
+        ]))
+        .unwrap()
+        {
+            Command::Status(c) => {
+                assert_eq!(c.run, Some(3));
+                assert!(c.json);
+            }
+            _ => panic!("expected status"),
+        }
+        match parse_args(&args(&["status", "--connect", "x:1"])).unwrap() {
+            Command::Status(c) => assert_eq!((c.run, c.json), (None, false)),
+            _ => panic!("expected status"),
+        }
+        match parse_args(&args(&["cancel", "--connect", "x:1", "--run", "2"])).unwrap() {
+            Command::Cancel(c) => assert_eq!(c.run, 2),
+            _ => panic!("expected cancel"),
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_client_commands() {
+        assert!(parse_args(&args(&["submit", "x.toml"]))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(parse_args(&args(&["submit", "--connect", "x:1"]))
+            .unwrap_err()
+            .contains("missing workflow"));
+        assert!(parse_args(&args(&[
+            "submit",
+            "--connect",
+            "x:1",
+            "--dag",
+            DAG,
+            "--config",
+            CFG,
+            "--set",
+            "a=1"
+        ]))
+        .unwrap_err()
+        .contains("--set needs a workflow.toml"));
+        assert!(parse_args(&args(&["cancel", "--connect", "x:1"]))
+            .unwrap_err()
+            .contains("--run"));
+        assert!(
+            parse_args(&args(&["status", "--connect", "x:1", "--run", "nope"]))
+                .unwrap_err()
+                .contains("bad run id")
+        );
+        assert!(
+            parse_args(&args(&["submit", "--connect", "x:1", "--set", "junk"]))
+                .unwrap_err()
+                .contains("key=value")
+        );
     }
 
     #[test]

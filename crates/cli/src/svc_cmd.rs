@@ -1,0 +1,244 @@
+//! The service-mode subcommands: `serve` without workflow files (the
+//! multi-tenant service), plus the `submit`, `status` and `cancel`
+//! RPC clients.
+
+use crate::driver::{build_scenario, CliError};
+use insitu_net::RunSummary;
+use insitu_svc::{RpcClient, RunArtifacts, Service, SvcConfig};
+use insitu_telemetry::Json;
+use insitu_workflow::compile_workflow;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options of `insitu serve` in service mode (no `--dag`/`--config`).
+#[derive(Clone, Debug)]
+pub struct ServiceCmd {
+    /// Address to listen on for RPC clients.
+    pub listen: String,
+    /// Maximum runs executing concurrently.
+    pub max_runs: usize,
+    /// Maximum queued runs before `submit` is refused.
+    pub queue_depth: usize,
+    /// Joiner-pool size in simulated nodes.
+    pub pool_nodes: u32,
+    /// Directory for per-run artifact files (optional).
+    pub artifacts: Option<PathBuf>,
+}
+
+/// The workflow a `submit` ships: either a raw DAG/config text pair or
+/// a `workflow.toml` source compiled client-side.
+#[derive(Clone, Debug)]
+pub enum SubmitSource {
+    /// `--dag`/`--config` pair, submitted verbatim.
+    Plain {
+        /// DAG description file contents.
+        dag: String,
+        /// Workload configuration file contents.
+        config: String,
+    },
+    /// `workflow.toml` contents, compiled with `--set` overrides.
+    Toml {
+        /// The TOML source.
+        source: String,
+        /// `--set key=value` parameter overrides.
+        sets: Vec<(String, String)>,
+    },
+}
+
+/// Options of the `submit` subcommand.
+#[derive(Clone, Debug)]
+pub struct SubmitCmd {
+    /// Service address.
+    pub connect: String,
+    /// The workflow to submit.
+    pub source: SubmitSource,
+    /// Display name (defaults to the workflow's own name).
+    pub name: Option<String>,
+    /// Mapping-strategy slug.
+    pub strategy: String,
+    /// Get timeout for the run's replicas.
+    pub get_timeout_ms: u64,
+    /// Connect/poll timeout.
+    pub timeout_ms: u64,
+    /// Block until the run reaches a terminal state.
+    pub wait: bool,
+}
+
+/// Options of the `status` subcommand.
+#[derive(Clone, Debug)]
+pub struct StatusCmd {
+    /// Service address.
+    pub connect: String,
+    /// Specific run to describe; `None` lists every run.
+    pub run: Option<u64>,
+    /// Emit JSON (with a specific run: its full artifacts).
+    pub json: bool,
+    /// Connect timeout.
+    pub timeout_ms: u64,
+}
+
+/// Options of the `cancel` subcommand.
+#[derive(Clone, Debug)]
+pub struct CancelCmd {
+    /// Service address.
+    pub connect: String,
+    /// Run to cancel.
+    pub run: u64,
+    /// Connect timeout.
+    pub timeout_ms: u64,
+}
+
+/// Run the multi-tenant service until the process is killed.
+pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
+    let listener = TcpListener::bind(&cmd.listen)
+        .map_err(|e| CliError::Io(format!("cannot listen on {}: {e}", cmd.listen)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(format!("cannot resolve {}: {e}", cmd.listen)))?;
+    let svc = Service::start(
+        listener,
+        SvcConfig {
+            max_runs: cmd.max_runs,
+            queue_depth: cmd.queue_depth,
+            pool_nodes: cmd.pool_nodes,
+            artifacts_dir: cmd.artifacts.clone(),
+            verbose: true,
+            ..SvcConfig::default()
+        },
+        Arc::new(|dag, config| build_scenario(dag, config).map_err(|e| e.to_string())),
+    )
+    .map_err(CliError::Io)?;
+    println!(
+        "service:   listening on {addr} ({} run slots, {} pool nodes, queue depth {})",
+        cmd.max_runs, cmd.pool_nodes, cmd.queue_depth
+    );
+    // Serve until killed; the Service owns every worker thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+        let _ = &svc;
+    }
+}
+
+fn client(connect: &str, timeout_ms: u64) -> Result<RpcClient, CliError> {
+    RpcClient::connect(connect, Duration::from_millis(timeout_ms))
+        .map_err(|e| CliError::Io(format!("cannot reach service at {connect}: {e}")))
+}
+
+fn summary_line(s: &RunSummary) -> String {
+    let detail = if s.detail.is_empty() {
+        String::new()
+    } else {
+        format!(" — {}", s.detail)
+    };
+    format!(
+        "run {:>3}  {:<10} {:>2} node(s)  {}{detail}\n",
+        s.run, s.state, s.nodes, s.name
+    )
+}
+
+fn summary_json(s: &RunSummary) -> Json {
+    Json::obj()
+        .field("run", s.run)
+        .field("name", s.name.as_str())
+        .field("state", s.state.slug())
+        .field("nodes", s.nodes)
+        .field("detail", s.detail.as_str())
+}
+
+/// Embed an artifact document: parsed JSON when present, null before
+/// the run turns terminal.
+fn artifact_json(body: &str) -> Json {
+    if body.is_empty() {
+        return Json::Null;
+    }
+    Json::parse(body).unwrap_or(Json::Null)
+}
+
+fn artifacts_json(s: &RunSummary, a: &RunArtifacts) -> Json {
+    summary_json(s)
+        .field("ledger", artifact_json(&a.ledger_json))
+        .field("metrics", artifact_json(&a.metrics_json))
+        .field("profile", artifact_json(&a.profile_json))
+        .field(
+            "errors",
+            Json::Arr(a.errors.iter().map(|e| Json::from(e.as_str())).collect()),
+        )
+}
+
+/// Submit a workflow to a running service.
+pub fn submit_cmd(cmd: &SubmitCmd) -> Result<String, CliError> {
+    let (default_name, dag, config) = match &cmd.source {
+        SubmitSource::Plain { dag, config } => {
+            // Validate locally first: a refusal should name the file
+            // problem, not bounce off the service.
+            build_scenario(dag, config)?;
+            ("workflow".to_string(), dag.clone(), config.clone())
+        }
+        SubmitSource::Toml { source, sets } => {
+            let w =
+                compile_workflow(source, sets).map_err(|e| CliError::Mismatch(e.to_string()))?;
+            build_scenario(&w.dag, &w.config)?;
+            (w.name, w.dag, w.config)
+        }
+    };
+    let name = cmd.name.clone().unwrap_or(default_name);
+    let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
+    let (run, queued_ahead) = rpc
+        .submit(
+            &name,
+            &dag,
+            &config,
+            &cmd.strategy,
+            Duration::from_millis(cmd.get_timeout_ms),
+        )
+        .map_err(CliError::Mismatch)?;
+    let mut out = format!("submitted: run {run} ({name}), {queued_ahead} queued ahead\n");
+    if cmd.wait {
+        let s = rpc
+            .wait_terminal(run, Duration::from_millis(cmd.timeout_ms))
+            .map_err(CliError::Mismatch)?;
+        out.push_str(&summary_line(&s));
+        if s.state != insitu_net::RunState::Done {
+            return Err(CliError::Mismatch(format!(
+                "run {run} finished {}: {}",
+                s.state, s.detail
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Describe one run (with `--json`: full artifacts) or list every run.
+pub fn status_cmd(cmd: &StatusCmd) -> Result<String, CliError> {
+    let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
+    match cmd.run {
+        Some(run) => {
+            let s = rpc.status(run).map_err(CliError::Mismatch)?;
+            if cmd.json {
+                let a = rpc.result(run).map_err(CliError::Mismatch)?;
+                Ok(artifacts_json(&s, &a).render() + "\n")
+            } else {
+                Ok(summary_line(&s))
+            }
+        }
+        None => {
+            let runs = rpc.list().map_err(CliError::Mismatch)?;
+            if cmd.json {
+                Ok(Json::Arr(runs.iter().map(summary_json).collect()).render() + "\n")
+            } else if runs.is_empty() {
+                Ok("no runs submitted yet\n".to_string())
+            } else {
+                Ok(runs.iter().map(summary_line).collect())
+            }
+        }
+    }
+}
+
+/// Cancel a queued or running run.
+pub fn cancel_cmd(cmd: &CancelCmd) -> Result<String, CliError> {
+    let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
+    let s = rpc.cancel(cmd.run).map_err(CliError::Mismatch)?;
+    Ok(summary_line(&s))
+}

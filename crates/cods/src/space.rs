@@ -110,6 +110,13 @@ pub struct CodsConfig {
     /// Issue schedule ops one at a time instead of overlapping them
     /// (the pre-overlap behavior; kept as an A/B knob for benchmarks).
     pub sequential_pulls: bool,
+    /// Run epoch salting every variable-name key (DHT entries, buffer
+    /// keys, version bookkeeping), so concurrent service runs sharing
+    /// one process — or one pool of node processes — never collide even
+    /// when they use identical variable names and versions. `0` means
+    /// no salting: keys equal the raw `var_id`, which keeps standalone
+    /// runs bit-for-bit identical to the pre-epoch behavior.
+    pub key_epoch: u64,
 }
 
 impl Default for CodsConfig {
@@ -119,8 +126,22 @@ impl Default for CodsConfig {
             cache_schedules: true,
             staging_limit_per_node: None,
             sequential_pulls: false,
+            key_epoch: 0,
         }
     }
+}
+
+/// The `var_id` salt for a run epoch: 0 stays 0 (identity — standalone
+/// runs keep raw ids), any other epoch is diffused through a SplitMix64
+/// finalizer so consecutive run ids land in unrelated key regions.
+pub fn epoch_salt(epoch: u64) -> u64 {
+    if epoch == 0 {
+        return 0;
+    }
+    let mut z = epoch.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// What one `get` did — consumed by tests, the ledger cross-checks and
@@ -209,6 +230,15 @@ impl CodsSpace {
         Self::build(dart, dht, cfg, None)
     }
 
+    /// The variable key this space indexes `var` under: the raw
+    /// `var_id` XOR-salted by the run epoch. With `key_epoch == 0` this
+    /// is exactly `var_id(var)`, so standalone runs are unchanged;
+    /// distinct epochs map identical variable names into disjoint key
+    /// regions of a shared registry/DHT.
+    pub fn key_of(&self, var: &str) -> u64 {
+        var_id(var) ^ epoch_salt(self.cfg.key_epoch)
+    }
+
     /// Build a space whose DHT/consumption/eviction state changes are
     /// mirrored to remote replicas through `mirror` (a distributed run's
     /// wire transport).
@@ -255,7 +285,7 @@ impl CodsSpace {
             .lock()
             .unwrap()
             .expected
-            .insert(var_id(var), gets);
+            .insert(self.key_of(var), gets);
     }
 
     /// Completed gets recorded for `(var, version)`.
@@ -264,7 +294,7 @@ impl CodsSpace {
             .lock()
             .unwrap()
             .done
-            .get(&(var_id(var), version))
+            .get(&(self.key_of(var), version))
             .copied()
             .unwrap_or(0)
     }
@@ -273,7 +303,7 @@ impl CodsSpace {
     /// up to `timeout`. Returns `false` on timeout or if no expectation
     /// was declared.
     pub fn wait_version_consumed(&self, var: &str, version: u64, timeout: Duration) -> bool {
-        let vid = var_id(var);
+        let vid = self.key_of(var);
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.consumption.lock().unwrap();
         let Some(&expected) = state.expected.get(&vid) else {
@@ -365,7 +395,7 @@ impl CodsSpace {
                 got: data.len(),
             });
         }
-        let vid = var_id(var);
+        let vid = self.key_of(var);
         let bytes = data.len() as u64 * ELEM_BYTES as u64;
         let node = self.dart.placement().node_of(client);
         let flight = self.dart.flight();
@@ -525,7 +555,7 @@ impl CodsSpace {
         version: u64,
         query: &BoundingBox,
     ) -> Result<(FieldData, GetReport), CodsError> {
-        let vid = var_id(var);
+        let vid = self.key_of(var);
         self.get_count.inc();
         let flight = self.dart.flight();
         let gstart = flight.now_us();
@@ -622,7 +652,7 @@ impl CodsSpace {
         producer: &Decomposition,
         producer_clients: &[ClientId],
     ) -> Result<(FieldData, GetReport), CodsError> {
-        let vid = var_id(var);
+        let vid = self.key_of(var);
         self.get_count.inc();
         let flight = self.dart.flight();
         let gstart = flight.now_us();
@@ -846,7 +876,7 @@ impl CodsSpace {
     /// Highest version of `var` visible in the DHT (sequential couplings
     /// only; concurrent puts are not indexed).
     pub fn latest_version(&self, var: &str) -> Option<u64> {
-        self.dht.latest_version(var_id(var))
+        self.dht.latest_version(self.key_of(var))
     }
 
     /// Drop a version's buffers and DHT records (memory management between
@@ -854,7 +884,7 @@ impl CodsSpace {
     /// Eviction is *in-order*: all versions up to and including `version`
     /// are dropped from both the DHT and the registry.
     pub fn evict_version(&self, var: &str, version: u64) {
-        let vid = var_id(var);
+        let vid = self.key_of(var);
         self.evict_vid(vid, version);
         if let Some(m) = &self.mirror {
             m.evict(vid, version);
@@ -1362,5 +1392,62 @@ mod tests {
         for p in q.iter_points() {
             assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
         }
+    }
+
+    #[test]
+    fn epoch_salt_is_identity_at_zero_and_diffuse_otherwise() {
+        assert_eq!(epoch_salt(0), 0);
+        let salts: Vec<u64> = (1..64u64).map(epoch_salt).collect();
+        for (i, &a) in salts.iter().enumerate() {
+            assert_ne!(a, 0);
+            for &b in &salts[i + 1..] {
+                assert_ne!(a, b, "epoch salts must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn key_epoch_zero_keys_equal_raw_var_ids() {
+        let s = space();
+        assert_eq!(s.key_of("temperature"), var_id("temperature"));
+    }
+
+    /// Two epoched spaces over ONE runtime (one registry, one ledger):
+    /// identical variable names and versions stay fully independent —
+    /// each run's get sees exactly its own producer's data.
+    #[test]
+    fn distinct_epochs_isolate_identical_var_names_on_a_shared_runtime() {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let mk = |epoch: u64| {
+            CodsSpace::new(
+                Arc::clone(&dart),
+                Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]),
+                CodsConfig {
+                    get_timeout: Duration::from_secs(2),
+                    key_epoch: epoch,
+                    ..Default::default()
+                },
+            )
+        };
+        let (a, b) = (mk(1), mk(2));
+        assert_ne!(a.key_of("temp"), b.key_of("temp"));
+        let bbox = BoundingBox::from_sizes(&[4, 4]);
+        let fill_a = layout::fill_with(&bbox, |p| tagfn(p) + 1000.0);
+        let fill_b = layout::fill_with(&bbox, |p| tagfn(p) + 2000.0);
+        a.put_seq(0, 1, "temp", 0, 0, &bbox, &fill_a).unwrap();
+        b.put_seq(0, 1, "temp", 0, 0, &bbox, &fill_b).unwrap();
+        // Same name, same version, same query — each space resolves to
+        // its own run's bytes.
+        let (da, _) = a.get_seq(3, 2, "temp", 0, &bbox).unwrap();
+        let (db, _) = b.get_seq(3, 2, "temp", 0, &bbox).unwrap();
+        assert_eq!(&da[..], &fill_a[..]);
+        assert_eq!(&db[..], &fill_b[..]);
+        // Eviction in one epoch must not disturb the other.
+        a.evict_version("temp", 0);
+        assert_eq!(a.latest_version("temp"), None);
+        assert_eq!(b.latest_version("temp"), Some(0));
+        let (db2, _) = b.get_seq(1, 2, "temp", 0, &bbox).unwrap();
+        assert_eq!(&db2[..], &fill_b[..]);
     }
 }

@@ -47,7 +47,7 @@ use insitu_obs::FlightRecorder;
 use insitu_telemetry::Recorder;
 use insitu_workflow::ClientRegistry;
 use std::net::TcpListener;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,6 +64,17 @@ pub struct ServeOptions {
     pub injector: FaultInjector,
     /// Telemetry recorder (`net.*` counters land here).
     pub recorder: Recorder,
+    /// Run epoch shipped to every joiner in `Welcome`; salts the
+    /// replicas' DataSpace/BufferRegistry/DHT keys so concurrent
+    /// service runs cannot collide. 0 = standalone run, no salting.
+    pub run_epoch: u64,
+    /// Cooperative cancellation flag, checked at every wave boundary:
+    /// once set, the server shuts the run down (`Shutdown{ok: false}`)
+    /// instead of dispatching the next wave.
+    pub cancel: Arc<AtomicBool>,
+    /// Flight recorder shared with in-process joiners for per-run
+    /// profiles (disabled by default).
+    pub flight: FlightRecorder,
 }
 
 impl Default for ServeOptions {
@@ -74,6 +85,9 @@ impl Default for ServeOptions {
             timeout: Duration::from_secs(30),
             injector: FaultInjector::none(),
             recorder: Recorder::disabled(),
+            run_epoch: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+            flight: FlightRecorder::disabled(),
         }
     }
 }
@@ -87,6 +101,9 @@ pub struct JoinOptions {
     pub injector: FaultInjector,
     /// Telemetry recorder (`net.*` counters land here).
     pub recorder: Recorder,
+    /// Flight recorder for per-run profiles (disabled by default; the
+    /// service passes each run's recorder to its pooled joiners).
+    pub flight: FlightRecorder,
 }
 
 impl Default for JoinOptions {
@@ -95,6 +112,7 @@ impl Default for JoinOptions {
             timeout: Duration::from_secs(30),
             injector: FaultInjector::none(),
             recorder: Recorder::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 }
@@ -144,6 +162,7 @@ pub fn serve(
         get_timeout: opts.get_timeout,
         injector: opts.injector.clone(),
         flight: FlightRecorder::disabled(),
+        key_epoch: opts.run_epoch,
     };
     // The server replicates the execution state like any node: it needs
     // the mapping for dispatch and the placement for dispatch accounting.
@@ -160,6 +179,7 @@ pub fn serve(
             get_timeout_ms: opts.get_timeout.as_millis() as u64,
             dag: dag.to_string(),
             config: config.to_string(),
+            run_epoch: opts.run_epoch,
             accept_timeout: opts.timeout,
         },
         &opts.injector,
@@ -180,6 +200,11 @@ pub fn serve(
 
     let deadline = wave_timeout(opts.get_timeout);
     for (wi, wave) in env.mapped.waves.iter().enumerate() {
+        if opts.cancel.load(Ordering::SeqCst) {
+            let why = format!("run cancelled before wave {wi}");
+            hub.shutdown(false, &why);
+            return Err(why);
+        }
         let tasks = wave_tasks(&env.scenario, &env.mapped, wave);
         {
             // Dispatch, exactly as in-process: accounted here (Control
@@ -275,7 +300,7 @@ where
         &metrics,
     )
     .map_err(|e| format!("greeting {addr}: {e}"))?;
-    let (nodes, strategy, get_timeout_ms, dag, config) =
+    let (nodes, strategy, get_timeout_ms, dag, config, run_epoch) =
         match recv_frame(&mut stream, &opts.injector, &metrics) {
             Ok(Frame::Welcome {
                 nodes,
@@ -283,7 +308,8 @@ where
                 get_timeout_ms,
                 dag,
                 config,
-            }) => (nodes, strategy, get_timeout_ms, dag, config),
+                run_epoch,
+            }) => (nodes, strategy, get_timeout_ms, dag, config, run_epoch),
             Ok(other) => {
                 return Err(format!(
                     "expected Welcome from {addr}, got frame kind {}",
@@ -319,7 +345,8 @@ where
     let cfg = ThreadedConfig {
         get_timeout,
         injector: opts.injector.clone(),
-        flight: FlightRecorder::disabled(),
+        flight: opts.flight.clone(),
+        key_epoch: run_epoch,
     };
     let env = ExecEnv::build(
         &scenario,

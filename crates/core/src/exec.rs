@@ -153,6 +153,7 @@ impl ExecEnv {
             get_timeout: cfg.get_timeout,
             // Jaguar XT5 nodes carry 16 GB; staged coupling data must fit.
             staging_limit_per_node: Some(16 << 30),
+            key_epoch: cfg.key_epoch,
             ..Default::default()
         };
         let space = match mirror {

@@ -59,6 +59,9 @@ pub struct ThreadedConfig {
     /// Flight recorder for causal put/get/pull events (disabled by
     /// default; enable for `insitu profile`).
     pub flight: FlightRecorder,
+    /// Run epoch salting the DataSpace/BufferRegistry/DHT key space
+    /// (see `CodsConfig::key_epoch`). 0 = standalone run, no salting.
+    pub key_epoch: u64,
 }
 
 impl Default for ThreadedConfig {
@@ -67,6 +70,7 @@ impl Default for ThreadedConfig {
             get_timeout: Duration::from_secs(60),
             injector: FaultInjector::none(),
             flight: FlightRecorder::disabled(),
+            key_epoch: 0,
         }
     }
 }

@@ -18,7 +18,8 @@ use insitu_fabric::{LedgerSnapshot, Locality, TrafficClass};
 use std::io::{Read, Write};
 
 /// Protocol revision; bumped on any incompatible codec change.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the service RPC frames and `Welcome::run_epoch`.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on `len`: rejects absurd length words before any
 /// allocation happens (a 256 MiB frame comfortably fits the largest
@@ -81,6 +82,89 @@ pub struct NodeReport {
     pub errors: Vec<String>,
 }
 
+/// Lifecycle state of one service run, as carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// Accepted, waiting for admission (max-runs or pool capacity).
+    Queued,
+    /// Executing on the joiner pool.
+    Running,
+    /// Completed successfully; artifacts are available.
+    Done,
+    /// Ended with an error; `detail` names it.
+    Failed,
+    /// Cancelled while queued or mid-flight.
+    Cancelled,
+}
+
+impl RunState {
+    /// All states, in wire order.
+    pub const ALL: [RunState; 5] = [
+        RunState::Queued,
+        RunState::Running,
+        RunState::Done,
+        RunState::Failed,
+        RunState::Cancelled,
+    ];
+
+    /// Wire byte for this state.
+    pub fn idx(self) -> u8 {
+        match self {
+            RunState::Queued => 0,
+            RunState::Running => 1,
+            RunState::Done => 2,
+            RunState::Failed => 3,
+            RunState::Cancelled => 4,
+        }
+    }
+
+    /// Decode a wire byte; `None` on unknown values.
+    pub fn from_idx(idx: u8) -> Option<RunState> {
+        RunState::ALL.get(idx as usize).copied()
+    }
+
+    /// Whether the run can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RunState::Done | RunState::Failed | RunState::Cancelled
+        )
+    }
+
+    /// Lower-case slug used by the CLI and JSON artifacts.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Failed => "failed",
+            RunState::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for RunState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One run's summary row, carried by [`Frame::RunStatus`] and
+/// [`Frame::RunList`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Service-assigned run id.
+    pub run: u64,
+    /// Submitter-chosen display name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: RunState,
+    /// Simulated nodes the run occupies while running.
+    pub nodes: u32,
+    /// Human-readable detail (failure reason, queue position, ...).
+    pub detail: String,
+}
+
 /// A protocol message.
 ///
 /// Control-plane frames (everything except [`Frame::PullData`]) are
@@ -108,6 +192,10 @@ pub enum Frame {
         dag: String,
         /// The workload configuration text.
         config: String,
+        /// Run epoch salting the DataSpace/BufferRegistry/DHT key space
+        /// so concurrent runs over one pool cannot collide (0 = no
+        /// salting; standalone `serve` runs use 0).
+        run_epoch: u64,
     },
     /// A mailbox message for a client hosted elsewhere (task dispatch
     /// from the server, halo exchange between joiners). Routed by the
@@ -232,6 +320,73 @@ pub enum Frame {
         /// Human-readable reason (empty on success).
         reason: String,
     },
+    /// Client → service: enqueue a new workflow run.
+    Submit {
+        /// Display name for status listings.
+        name: String,
+        /// The workflow DAG description text.
+        dag: String,
+        /// The workload configuration text.
+        config: String,
+        /// Mapping-strategy slug.
+        strategy: String,
+        /// Get timeout the run's replicas must use, in milliseconds.
+        get_timeout_ms: u64,
+    },
+    /// Service → client: the run was accepted and queued.
+    Submitted {
+        /// Assigned run id.
+        run: u64,
+        /// Runs ahead of this one in the admission queue.
+        queued_ahead: u32,
+    },
+    /// Client → service: cancel a queued or running run.
+    Cancel {
+        /// Run to cancel.
+        run: u64,
+    },
+    /// Client → service: ask for one run's summary.
+    Status {
+        /// Run to describe.
+        run: u64,
+    },
+    /// Client → service: ask for every run's summary.
+    ListRuns,
+    /// Service → client: one run's summary (answer to `Status` and
+    /// `Cancel`).
+    RunStatus(RunSummary),
+    /// Service → client: all runs (answer to `ListRuns`).
+    RunList {
+        /// Every run the service knows, in submission order.
+        runs: Vec<RunSummary>,
+    },
+    /// Client → service: ask for a completed run's artifacts.
+    RunResult {
+        /// Run whose artifacts to fetch.
+        run: u64,
+    },
+    /// Service → client: a run's artifacts (answer to `RunResult`).
+    /// JSON fields are empty until the run reaches a terminal state.
+    RunReport {
+        /// Run id.
+        run: u64,
+        /// Terminal (or current) state.
+        state: RunState,
+        /// Merged transfer ledger, rendered as JSON.
+        ledger_json: String,
+        /// Per-run metrics registry snapshot, rendered as JSON.
+        metrics_json: String,
+        /// Per-run critical-path profile, rendered as JSON.
+        profile_json: String,
+        /// Task errors, sorted.
+        errors: Vec<String>,
+    },
+    /// Service → client: an RPC could not be served (unknown run, full
+    /// queue, malformed workflow, ...).
+    RpcErr {
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -250,6 +405,16 @@ const KIND_RUN_WAVE: u8 = 11;
 const KIND_BARRIER: u8 = 12;
 const KIND_REPORT: u8 = 13;
 const KIND_SHUTDOWN: u8 = 14;
+const KIND_SUBMIT: u8 = 15;
+const KIND_SUBMITTED: u8 = 16;
+const KIND_CANCEL: u8 = 17;
+const KIND_STATUS: u8 = 18;
+const KIND_LIST_RUNS: u8 = 19;
+const KIND_RUN_STATUS: u8 = 20;
+const KIND_RUN_LIST: u8 = 21;
+const KIND_RUN_RESULT: u8 = 22;
+const KIND_RUN_REPORT: u8 = 23;
+const KIND_RPC_ERR: u8 = 24;
 
 impl Frame {
     /// The kind byte this frame encodes with.
@@ -269,6 +434,16 @@ impl Frame {
             Frame::Barrier { .. } => KIND_BARRIER,
             Frame::Report(_) => KIND_REPORT,
             Frame::Shutdown { .. } => KIND_SHUTDOWN,
+            Frame::Submit { .. } => KIND_SUBMIT,
+            Frame::Submitted { .. } => KIND_SUBMITTED,
+            Frame::Cancel { .. } => KIND_CANCEL,
+            Frame::Status { .. } => KIND_STATUS,
+            Frame::ListRuns => KIND_LIST_RUNS,
+            Frame::RunStatus(_) => KIND_RUN_STATUS,
+            Frame::RunList { .. } => KIND_RUN_LIST,
+            Frame::RunResult { .. } => KIND_RUN_RESULT,
+            Frame::RunReport { .. } => KIND_RUN_REPORT,
+            Frame::RpcErr { .. } => KIND_RPC_ERR,
         }
     }
 
@@ -299,12 +474,14 @@ impl Frame {
                 get_timeout_ms,
                 dag,
                 config,
+                run_epoch,
             } => {
                 put_u32(&mut p, *nodes);
                 put_str(&mut p, strategy);
                 put_u64(&mut p, *get_timeout_ms);
                 put_str(&mut p, dag);
                 put_str(&mut p, config);
+                put_u64(&mut p, *run_epoch);
             }
             Frame::Relay {
                 to,
@@ -419,6 +596,53 @@ impl Frame {
                 p.push(*ok as u8);
                 put_str(&mut p, reason);
             }
+            Frame::Submit {
+                name,
+                dag,
+                config,
+                strategy,
+                get_timeout_ms,
+            } => {
+                put_str(&mut p, name);
+                put_str(&mut p, dag);
+                put_str(&mut p, config);
+                put_str(&mut p, strategy);
+                put_u64(&mut p, *get_timeout_ms);
+            }
+            Frame::Submitted { run, queued_ahead } => {
+                put_u64(&mut p, *run);
+                put_u32(&mut p, *queued_ahead);
+            }
+            Frame::Cancel { run } | Frame::Status { run } | Frame::RunResult { run } => {
+                put_u64(&mut p, *run);
+            }
+            Frame::ListRuns => {}
+            Frame::RunStatus(s) => put_run_summary(&mut p, s),
+            Frame::RunList { runs } => {
+                put_u32(&mut p, runs.len() as u32);
+                for s in runs {
+                    put_run_summary(&mut p, s);
+                }
+            }
+            Frame::RunReport {
+                run,
+                state,
+                ledger_json,
+                metrics_json,
+                profile_json,
+                errors,
+            } => {
+                put_u64(&mut p, *run);
+                p.push(state.idx());
+                put_str(&mut p, ledger_json);
+                put_str(&mut p, metrics_json);
+                put_str(&mut p, profile_json);
+                put_u32(&mut p, errors.len() as u32);
+                for e in errors {
+                    put_str(&mut p, e);
+                }
+            }
+            Frame::RpcErr { message } => put_str(&mut p, message),
         }
         let mut out = Vec::with_capacity(6 + p.len());
         put_u32(&mut out, 2 + p.len() as u32);
@@ -446,6 +670,7 @@ impl Frame {
                 get_timeout_ms: c.u64()?,
                 dag: c.str()?,
                 config: c.str()?,
+                run_epoch: c.u64()?,
             },
             KIND_RELAY => Frame::Relay {
                 to: c.u32()?,
@@ -540,6 +765,58 @@ impl Frame {
                 },
                 reason: c.str()?,
             },
+            KIND_SUBMIT => Frame::Submit {
+                name: c.str()?,
+                dag: c.str()?,
+                config: c.str()?,
+                strategy: c.str()?,
+                get_timeout_ms: c.u64()?,
+            },
+            KIND_SUBMITTED => Frame::Submitted {
+                run: c.u64()?,
+                queued_ahead: c.u32()?,
+            },
+            KIND_CANCEL => Frame::Cancel { run: c.u64()? },
+            KIND_STATUS => Frame::Status { run: c.u64()? },
+            KIND_LIST_RUNS => Frame::ListRuns,
+            KIND_RUN_STATUS => Frame::RunStatus(c.run_summary()?),
+            KIND_RUN_LIST => {
+                let n = c.u32()? as usize;
+                // A RunSummary occupies at least 21 bytes (run + two
+                // length words + state + nodes); guard the count before
+                // allocating so a hostile count cannot OOM.
+                if c.buf.len() - c.pos < n.saturating_mul(21) {
+                    return Err(FrameError::Truncated);
+                }
+                let mut runs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    runs.push(c.run_summary()?);
+                }
+                Frame::RunList { runs }
+            }
+            KIND_RUN_RESULT => Frame::RunResult { run: c.u64()? },
+            KIND_RUN_REPORT => {
+                let run = c.u64()?;
+                let state =
+                    RunState::from_idx(c.u8()?).ok_or(FrameError::BadPayload("run state index"))?;
+                let ledger_json = c.str()?;
+                let metrics_json = c.str()?;
+                let profile_json = c.str()?;
+                let n = c.u32()? as usize;
+                let mut errors = Vec::new();
+                for _ in 0..n {
+                    errors.push(c.str()?);
+                }
+                Frame::RunReport {
+                    run,
+                    state,
+                    ledger_json,
+                    metrics_json,
+                    profile_json,
+                    errors,
+                }
+            }
+            KIND_RPC_ERR => Frame::RpcErr { message: c.str()? },
             other => return Err(FrameError::BadKind(other)),
         };
         if c.pos != payload.len() {
@@ -606,6 +883,14 @@ fn put_u64s(out: &mut Vec<u8>, v: &[u64]) {
     }
 }
 
+fn put_run_summary(out: &mut Vec<u8>, s: &RunSummary) {
+    put_u64(out, s.run);
+    put_str(out, &s.name);
+    out.push(s.state.idx());
+    put_u32(out, s.nodes);
+    put_str(out, &s.detail);
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -640,6 +925,17 @@ impl Cursor<'_> {
 
     fn str(&mut self) -> Result<String, FrameError> {
         String::from_utf8(self.bytes()?).map_err(|_| FrameError::BadPayload("utf-8"))
+    }
+
+    fn run_summary(&mut self) -> Result<RunSummary, FrameError> {
+        Ok(RunSummary {
+            run: self.u64()?,
+            name: self.str()?,
+            state: RunState::from_idx(self.u8()?)
+                .ok_or(FrameError::BadPayload("run state index"))?,
+            nodes: self.u32()?,
+            detail: self.str()?,
+        })
     }
 
     fn u64s(&mut self) -> Result<Vec<u64>, FrameError> {
@@ -711,6 +1007,7 @@ mod tests {
                 get_timeout_ms: rng.next_u64(),
                 dag: arb_string(rng, 200),
                 config: arb_string(rng, 200),
+                run_epoch: rng.next_u64(),
             },
             Frame::Relay {
                 to: rng.range_u32(0, 256),
@@ -773,7 +1070,57 @@ mod tests {
                 ok: rng.bool(),
                 reason: arb_string(rng, 60),
             },
+            Frame::Submit {
+                name: arb_string(rng, 24),
+                dag: arb_string(rng, 200),
+                config: arb_string(rng, 200),
+                strategy: arb_string(rng, 16),
+                get_timeout_ms: rng.next_u64(),
+            },
+            Frame::Submitted {
+                run: rng.next_u64(),
+                queued_ahead: rng.range_u32(0, 64),
+            },
+            Frame::Cancel {
+                run: rng.next_u64(),
+            },
+            Frame::Status {
+                run: rng.next_u64(),
+            },
+            Frame::ListRuns,
+            Frame::RunStatus(arb_run_summary(rng)),
+            Frame::RunList {
+                runs: (0..rng.range_usize(0, 5))
+                    .map(|_| arb_run_summary(rng))
+                    .collect(),
+            },
+            Frame::RunResult {
+                run: rng.next_u64(),
+            },
+            Frame::RunReport {
+                run: rng.next_u64(),
+                state: *rng.choose(&RunState::ALL),
+                ledger_json: arb_string(rng, 120),
+                metrics_json: arb_string(rng, 120),
+                profile_json: arb_string(rng, 120),
+                errors: (0..rng.range_usize(0, 3))
+                    .map(|_| arb_string(rng, 40))
+                    .collect(),
+            },
+            Frame::RpcErr {
+                message: arb_string(rng, 60),
+            },
         ]
+    }
+
+    fn arb_run_summary(rng: &mut SplitMix64) -> RunSummary {
+        RunSummary {
+            run: rng.next_u64(),
+            name: arb_string(rng, 24),
+            state: *rng.choose(&RunState::ALL),
+            nodes: rng.range_u32(1, 16),
+            detail: arb_string(rng, 40),
+        }
     }
 
     #[test]
@@ -878,6 +1225,36 @@ mod tests {
             Frame::decode(WIRE_VERSION, KIND_DHT_INSERT, &p),
             Err(FrameError::Truncated)
         );
+        // A RunList whose run count claims u32::MAX summaries.
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_RUN_LIST, &p),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn invalid_run_state_byte_is_rejected() {
+        let mut wire = Frame::RunStatus(RunSummary {
+            run: 7,
+            name: "x".into(),
+            state: RunState::Running,
+            nodes: 2,
+            detail: String::new(),
+        })
+        .encode();
+        // The state byte sits after run (8) + name len (4) + "x" (1).
+        let state_at = 6 + 8 + 4 + 1;
+        wire[state_at] = 0xEE;
+        assert_eq!(
+            Frame::decode(wire[4], wire[5], &wire[6..]),
+            Err(FrameError::BadPayload("run state index"))
+        );
+        assert_eq!(RunState::from_idx(5), None);
+        for s in RunState::ALL {
+            assert_eq!(RunState::from_idx(s.idx()), Some(s));
+        }
     }
 
     #[test]

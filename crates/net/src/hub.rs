@@ -42,6 +42,9 @@ pub struct HubConfig {
     pub dag: String,
     /// Workload configuration text sent in `Welcome`.
     pub config: String,
+    /// Run epoch sent in `Welcome`; salts every replica's DataSpace /
+    /// BufferRegistry / DHT keys (0 = standalone run, no salting).
+    pub run_epoch: u64,
     /// How long to wait for all joiners to connect and greet.
     pub accept_timeout: Duration,
 }
@@ -319,6 +322,7 @@ fn handshake(
             get_timeout_ms: cfg.get_timeout_ms,
             dag: cfg.dag.clone(),
             config: cfg.config.clone(),
+            run_epoch: cfg.run_epoch,
         },
         injector,
         metrics,

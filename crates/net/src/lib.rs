@@ -7,13 +7,15 @@
 //! plus one process per simulated node — while the layers above keep
 //! their exact in-process semantics:
 //!
-//! - [`frame`] — the length-prefixed, versioned binary codec: 14
+//! - [`frame`] — the length-prefixed, versioned binary codec: 24
 //!   message types covering registration (`Hello`/`Welcome`), task
 //!   dispatch (`Relay` + `RunWave`/`Barrier`), buffer movement
 //!   (`PutNotify`, `PullRequest`, `PullData`, `PullNack`), DHT-replica
-//!   maintenance (`DhtInsert`, `GetDone`, `Evict`) and run teardown
-//!   (`Report`, `Shutdown`). Decoding rejects malformed input, never
-//!   panics.
+//!   maintenance (`DhtInsert`, `GetDone`, `Evict`), run teardown
+//!   (`Report`, `Shutdown`) and the multi-tenant service RPCs
+//!   (`Submit`/`Submitted`, `Cancel`, `Status`/`RunStatus`,
+//!   `ListRuns`/`RunList`, `RunResult`/`RunReport`, `RpcErr`).
+//!   Decoding rejects malformed input, never panics.
 //! - [`conn`] — counted, fault-gated frame I/O over
 //!   `std::net::TcpStream`: per-peer FIFO writer threads, retrying
 //!   connect with a hard deadline, and the `net.*` telemetry counters.
@@ -41,7 +43,9 @@ pub mod frame;
 pub mod hub;
 pub mod link;
 
-pub use conn::{connect_with_retry, NetError, NetMetrics, Peer, PeerHandle};
-pub use frame::{Frame, FrameError, NodeReport, MAX_FRAME_LEN, WIRE_VERSION};
+pub use conn::{
+    connect_with_retry, recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle,
+};
+pub use frame::{Frame, FrameError, NodeReport, RunState, RunSummary, MAX_FRAME_LEN, WIRE_VERSION};
 pub use hub::{Hub, HubConfig};
 pub use link::{Ctl, NetLink};

@@ -1,0 +1,149 @@
+//! The RPC client: one connection, blocking request/reply calls.
+
+use insitu_fabric::FaultInjector;
+use insitu_net::{
+    connect_with_retry, recv_frame, send_frame, Frame, NetMetrics, RunState, RunSummary,
+};
+use insitu_telemetry::Recorder;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A terminal run's artifacts, as fetched over `RunResult`.
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    /// The run's terminal (or, mid-flight, current) state.
+    pub state: RunState,
+    /// Merged transfer ledger, rendered as JSON (empty until terminal).
+    pub ledger_json: String,
+    /// Metrics registry snapshot, rendered as JSON.
+    pub metrics_json: String,
+    /// Critical-path profile, rendered as JSON.
+    pub profile_json: String,
+    /// Task errors, sorted.
+    pub errors: Vec<String>,
+}
+
+/// One connection to a workflow service. Every call sends a single
+/// request frame and blocks for the single reply frame; an `RpcErr`
+/// reply becomes an `Err` with the service's message.
+pub struct RpcClient {
+    stream: TcpStream,
+    injector: FaultInjector,
+    metrics: NetMetrics,
+}
+
+impl RpcClient {
+    /// Connect to the service at `addr`, retrying until `timeout`.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<RpcClient, String> {
+        let metrics = NetMetrics::new(&Recorder::disabled());
+        let injector = FaultInjector::none();
+        let stream =
+            connect_with_retry(addr, 0, timeout, &injector, &metrics).map_err(|e| e.to_string())?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("socket setup: {e}"))?;
+        Ok(RpcClient {
+            stream,
+            injector,
+            metrics,
+        })
+    }
+
+    fn call(&mut self, request: &Frame) -> Result<Frame, String> {
+        send_frame(&mut self.stream, request, &self.injector, &self.metrics)
+            .map_err(|e| format!("sending request: {e}"))?;
+        match recv_frame(&mut self.stream, &self.injector, &self.metrics) {
+            Ok(Frame::RpcErr { message }) => Err(message),
+            Ok(reply) => Ok(reply),
+            Err(e) => Err(format!("awaiting reply: {e}")),
+        }
+    }
+
+    /// Submit a workflow; returns `(run id, runs queued ahead)`.
+    pub fn submit(
+        &mut self,
+        name: &str,
+        dag: &str,
+        config: &str,
+        strategy: &str,
+        get_timeout: Duration,
+    ) -> Result<(u64, u32), String> {
+        match self.call(&Frame::Submit {
+            name: name.to_string(),
+            dag: dag.to_string(),
+            config: config.to_string(),
+            strategy: strategy.to_string(),
+            get_timeout_ms: get_timeout.as_millis() as u64,
+        })? {
+            Frame::Submitted { run, queued_ahead } => Ok((run, queued_ahead)),
+            other => Err(unexpected("Submitted", &other)),
+        }
+    }
+
+    /// Cancel a queued or running run; returns its summary after the
+    /// request took effect (a running run turns terminal only at its
+    /// next wave boundary).
+    pub fn cancel(&mut self, run: u64) -> Result<RunSummary, String> {
+        match self.call(&Frame::Cancel { run })? {
+            Frame::RunStatus(s) => Ok(s),
+            other => Err(unexpected("RunStatus", &other)),
+        }
+    }
+
+    /// Fetch one run's summary.
+    pub fn status(&mut self, run: u64) -> Result<RunSummary, String> {
+        match self.call(&Frame::Status { run })? {
+            Frame::RunStatus(s) => Ok(s),
+            other => Err(unexpected("RunStatus", &other)),
+        }
+    }
+
+    /// Fetch every run's summary, in submission order.
+    pub fn list(&mut self) -> Result<Vec<RunSummary>, String> {
+        match self.call(&Frame::ListRuns)? {
+            Frame::RunList { runs } => Ok(runs),
+            other => Err(unexpected("RunList", &other)),
+        }
+    }
+
+    /// Fetch a run's artifacts (JSON fields are empty until terminal).
+    pub fn result(&mut self, run: u64) -> Result<RunArtifacts, String> {
+        match self.call(&Frame::RunResult { run })? {
+            Frame::RunReport {
+                state,
+                ledger_json,
+                metrics_json,
+                profile_json,
+                errors,
+                ..
+            } => Ok(RunArtifacts {
+                state,
+                ledger_json,
+                metrics_json,
+                profile_json,
+                errors,
+            }),
+            other => Err(unexpected("RunReport", &other)),
+        }
+    }
+
+    /// Poll `status` until the run reaches a terminal state; fails if
+    /// it is still in flight after `timeout`.
+    pub fn wait_terminal(&mut self, run: u64, timeout: Duration) -> Result<RunSummary, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let s = self.status(run)?;
+            if s.state.is_terminal() {
+                return Ok(s);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("run {run} still {} after {timeout:?}", s.state));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> String {
+    format!("expected {wanted}, got frame kind {}", got.kind())
+}

@@ -1,0 +1,810 @@
+//! The service: RPC listener, admission queue, shared joiner pool and
+//! per-run engines.
+
+use insitu::{join, map_scenario, serve, JoinOptions, MappingStrategy, Scenario, ServeOptions};
+use insitu_fabric::FaultInjector;
+use insitu_net::{recv_frame, send_frame, Frame, NetMetrics, RunState, RunSummary};
+use insitu_obs::{FlightRecorder, ProfileReport};
+use insitu_telemetry::Recorder;
+use insitu_util::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builds the scenario a (dag, config) text pair describes. The same
+/// callback validates submissions and rebuilds replicas inside pool
+/// workers, so every participant agrees on the workflow.
+pub type ScenarioBuilder = Arc<dyn Fn(&str, &str) -> Result<Scenario, String> + Send + Sync>;
+
+/// Service tuning knobs.
+#[derive(Clone)]
+pub struct SvcConfig {
+    /// Maximum runs executing concurrently; the rest queue.
+    pub max_runs: usize,
+    /// Maximum queued (admitted-but-waiting) runs; `Submit` beyond this
+    /// is refused with `RpcErr`.
+    pub queue_depth: usize,
+    /// Size of the shared joiner pool, in simulated nodes. A run
+    /// needing more nodes than this is refused at submit time.
+    pub pool_nodes: u32,
+    /// How long a run's joiners may take to wire up its private hub.
+    pub connect_timeout: Duration,
+    /// Directory for per-run artifact files
+    /// (`run-<id>.{ledger,metrics,profile}.json`); `None` keeps
+    /// artifacts in memory only (still served over RPC).
+    pub artifacts_dir: Option<PathBuf>,
+    /// Print run lifecycle transitions to stdout (`insitu serve` does).
+    pub verbose: bool,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            max_runs: 4,
+            queue_depth: 32,
+            pool_nodes: 8,
+            connect_timeout: Duration::from_secs(30),
+            artifacts_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// A run's artifacts once it reached a terminal state.
+#[derive(Clone, Default)]
+struct Artifacts {
+    ledger_json: String,
+    metrics_json: String,
+    profile_json: String,
+    errors: Vec<String>,
+}
+
+/// One submitted run's registry entry.
+struct RunEntry {
+    name: String,
+    dag: String,
+    config: String,
+    strategy: MappingStrategy,
+    get_timeout: Duration,
+    nodes: u32,
+    state: RunState,
+    detail: String,
+    cancel: Arc<AtomicBool>,
+    artifacts: Artifacts,
+}
+
+impl RunEntry {
+    fn summary(&self, id: u64) -> RunSummary {
+        RunSummary {
+            run: id,
+            name: self.name.clone(),
+            state: self.state,
+            nodes: self.nodes,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// Mutable service state behind one lock.
+struct State {
+    /// All runs ever submitted; `RunId = index + 1` (ids are 1-based so
+    /// a run's key epoch is never the no-salt epoch 0).
+    runs: Vec<RunEntry>,
+    /// Queued run ids, admission order.
+    queue: VecDeque<u64>,
+    /// Runs currently executing.
+    running: usize,
+    /// Pool nodes not reserved by an executing run.
+    free_nodes: u32,
+    /// Set once `shutdown` begins; stops the scheduler and acceptor.
+    stopping: bool,
+}
+
+/// One node assignment handed to a pool worker.
+struct Assignment {
+    addr: String,
+    node: u32,
+    timeout: Duration,
+    recorder: Recorder,
+    flight: FlightRecorder,
+}
+
+struct Shared {
+    cfg: SvcConfig,
+    build: ScenarioBuilder,
+    state: Mutex<State>,
+    /// Signals the scheduler: queue grew, a run finished, or stopping.
+    sched: Condvar,
+    /// Assignment channel feeding the pool workers; dropped on shutdown
+    /// so workers observe disconnection and exit.
+    pool_tx: Mutex<Option<Sender<Assignment>>>,
+    /// Engine threads of admitted runs, joined on shutdown.
+    engines: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running workflow service. Dropping without [`Service::shutdown`]
+/// leaks its threads; the CLI runs it for the process lifetime, tests
+/// shut it down explicitly.
+pub struct Service {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the service on an already bound listener: spawns the RPC
+    /// acceptor, the admission scheduler and the `pool_nodes` joiner
+    /// workers.
+    pub fn start(
+        listener: TcpListener,
+        cfg: SvcConfig,
+        build: ScenarioBuilder,
+    ) -> Result<Service, String> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve service listener address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll service listener: {e}"))?;
+        let (pool_tx, pool_rx) = unbounded::<Assignment>();
+        let pool_rx = Arc::new(pool_rx);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                runs: Vec::new(),
+                queue: VecDeque::new(),
+                running: 0,
+                free_nodes: cfg.pool_nodes,
+                stopping: false,
+            }),
+            sched: Condvar::new(),
+            pool_tx: Mutex::new(Some(pool_tx)),
+            engines: Mutex::new(Vec::new()),
+            cfg,
+            build,
+        });
+
+        let workers = (0..shared.cfg.pool_nodes)
+            .map(|i| {
+                let rx = Arc::clone(&pool_rx);
+                let build = Arc::clone(&shared.build);
+                std::thread::Builder::new()
+                    .name(format!("svc-pool-{i}"))
+                    .spawn(move || pool_worker(&rx, &build))
+                    .map_err(|e| format!("cannot spawn pool worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("svc-scheduler".into())
+                .spawn(move || scheduler_loop(&shared))
+                .map_err(|e| format!("cannot spawn scheduler: {e}"))?
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("svc-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+
+        Ok(Service {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            scheduler: Some(scheduler),
+            workers,
+        })
+    }
+
+    /// The address the RPC listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the service: cancels every queued run, flags every running
+    /// run for cancellation at its next wave boundary, waits for the
+    /// engines to drain, then stops the pool, scheduler and acceptor.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.stopping = true;
+            while let Some(id) = st.queue.pop_front() {
+                let e = &mut st.runs[id as usize - 1];
+                e.state = RunState::Cancelled;
+                e.detail = "service shutting down".into();
+            }
+            for e in &st.runs {
+                if e.state == RunState::Running {
+                    e.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+            self.shared.sched.notify_all();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        for h in self.shared.engines.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        // Disconnect the assignment channel so idle workers exit.
+        drop(self.shared.pool_tx.lock().unwrap().take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pool_worker(rx: &Receiver<Assignment>, build: &ScenarioBuilder) {
+    while let Ok(a) = rx.recv() {
+        let build = Arc::clone(build);
+        // Errors surface on the server side of the run (a missing node
+        // fails the hub accept or a wave barrier); the worker itself
+        // just returns to the pool.
+        let _ = join(
+            &a.addr,
+            a.node,
+            move |dag, config| (build)(dag, config),
+            &JoinOptions {
+                timeout: a.timeout,
+                injector: FaultInjector::none(),
+                recorder: a.recorder,
+                flight: a.flight,
+            },
+        );
+    }
+}
+
+/// Strict-FIFO admission: only the queue head is considered, and it is
+/// admitted only when a run slot *and* enough free pool nodes exist.
+fn admissible(st: &State, max_runs: usize) -> bool {
+    match st.queue.front() {
+        Some(&id) => st.running < max_runs && st.runs[id as usize - 1].nodes <= st.free_nodes,
+        None => false,
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let admitted = {
+            let mut st = shared.state.lock().unwrap();
+            while !st.stopping && !admissible(&st, shared.cfg.max_runs) {
+                st = shared.sched.wait(st).unwrap();
+            }
+            if st.stopping {
+                return;
+            }
+            let id = st.queue.pop_front().expect("admissible queue head");
+            let e = &mut st.runs[id as usize - 1];
+            e.state = RunState::Running;
+            let nodes = e.nodes;
+            st.running += 1;
+            st.free_nodes -= nodes;
+            id
+        };
+        if shared.cfg.verbose {
+            println!("run {admitted}: admitted");
+        }
+        let shared2 = Arc::clone(shared);
+        let engine = std::thread::Builder::new()
+            .name(format!("svc-run-{admitted}"))
+            .spawn(move || run_engine(&shared2, admitted))
+            .expect("spawn run engine");
+        shared.engines.lock().unwrap().push(engine);
+    }
+}
+
+/// Execute one admitted run: private loopback hub, node assignments to
+/// the pool, `serve` to completion, artifacts into the registry.
+fn run_engine(shared: &Arc<Shared>, id: u64) {
+    let (dag, config, strategy, get_timeout, nodes, cancel) = {
+        let st = shared.state.lock().unwrap();
+        let e = &st.runs[id as usize - 1];
+        (
+            e.dag.clone(),
+            e.config.clone(),
+            e.strategy,
+            e.get_timeout,
+            e.nodes,
+            Arc::clone(&e.cancel),
+        )
+    };
+    let recorder = Recorder::enabled();
+    let flight = FlightRecorder::enabled();
+    let result = (|| -> Result<_, String> {
+        let scenario = (shared.build)(&dag, &config)?;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind run hub: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve run hub address: {e}"))?
+            .to_string();
+        {
+            let tx = shared.pool_tx.lock().unwrap();
+            let tx = tx.as_ref().ok_or("pool is shut down")?;
+            for node in 0..nodes {
+                let _ = tx.send(Assignment {
+                    addr: addr.clone(),
+                    node,
+                    timeout: shared.cfg.connect_timeout,
+                    recorder: recorder.clone(),
+                    flight: flight.clone(),
+                });
+            }
+        }
+        serve(
+            &listener,
+            &dag,
+            &config,
+            &scenario,
+            &ServeOptions {
+                strategy,
+                get_timeout,
+                timeout: shared.cfg.connect_timeout,
+                injector: FaultInjector::none(),
+                recorder: recorder.clone(),
+                run_epoch: id,
+                cancel: Arc::clone(&cancel),
+                flight: flight.clone(),
+            },
+        )
+    })();
+
+    let metrics_json = recorder.metrics_snapshot().to_json().render();
+    let profile_json = ProfileReport::analyze(&flight.snapshot(), flight.dropped())
+        .to_json()
+        .render();
+    let (state, detail, artifacts) = match result {
+        Ok(outcome) => {
+            let detail = if outcome.verify_failures > 0 {
+                format!("{} verify failures", outcome.verify_failures)
+            } else {
+                String::new()
+            };
+            (
+                RunState::Done,
+                detail,
+                Artifacts {
+                    ledger_json: outcome.ledger.to_json().render(),
+                    metrics_json,
+                    profile_json,
+                    errors: outcome.errors,
+                },
+            )
+        }
+        Err(why) => {
+            let state = if cancel.load(Ordering::SeqCst) {
+                RunState::Cancelled
+            } else {
+                RunState::Failed
+            };
+            (
+                state,
+                why.clone(),
+                Artifacts {
+                    ledger_json: String::new(),
+                    metrics_json,
+                    profile_json,
+                    errors: vec![why],
+                },
+            )
+        }
+    };
+
+    if let Some(dir) = &shared.cfg.artifacts_dir {
+        let _ = std::fs::create_dir_all(dir);
+        for (kind, body) in [
+            ("ledger", &artifacts.ledger_json),
+            ("metrics", &artifacts.metrics_json),
+            ("profile", &artifacts.profile_json),
+        ] {
+            if !body.is_empty() {
+                let _ = std::fs::write(dir.join(format!("run-{id}.{kind}.json")), body);
+            }
+        }
+    }
+
+    if shared.cfg.verbose {
+        println!(
+            "run {id}: {state}{}",
+            if detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({detail})")
+            }
+        );
+    }
+    let mut st = shared.state.lock().unwrap();
+    let e = &mut st.runs[id as usize - 1];
+    e.state = state;
+    e.detail = detail;
+    e.artifacts = artifacts;
+    st.running -= 1;
+    st.free_nodes += nodes;
+    shared.sched.notify_all();
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.state.lock().unwrap().stopping {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("svc-rpc".into())
+                    .spawn(move || rpc_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve RPCs on one client connection until it closes.
+fn rpc_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let injector = FaultInjector::none();
+    let metrics = NetMetrics::new(&Recorder::disabled());
+    loop {
+        let request = match recv_frame(&mut stream, &injector, &metrics) {
+            Ok(f) => f,
+            Err(_) => return, // disconnect (or garbage): drop the connection
+        };
+        let reply = handle_rpc(request, shared);
+        if send_frame(&mut stream, &reply, &injector, &metrics).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_rpc(request: Frame, shared: &Arc<Shared>) -> Frame {
+    match request {
+        Frame::Submit {
+            name,
+            dag,
+            config,
+            strategy,
+            get_timeout_ms,
+        } => submit(shared, name, dag, config, &strategy, get_timeout_ms),
+        Frame::Cancel { run } => cancel(shared, run),
+        Frame::Status { run } => with_run(shared, run, |e, id| Frame::RunStatus(e.summary(id))),
+        Frame::ListRuns => {
+            let st = shared.state.lock().unwrap();
+            Frame::RunList {
+                runs: st
+                    .runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| e.summary(i as u64 + 1))
+                    .collect(),
+            }
+        }
+        Frame::RunResult { run } => with_run(shared, run, |e, id| Frame::RunReport {
+            run: id,
+            state: e.state,
+            ledger_json: e.artifacts.ledger_json.clone(),
+            metrics_json: e.artifacts.metrics_json.clone(),
+            profile_json: e.artifacts.profile_json.clone(),
+            errors: e.artifacts.errors.clone(),
+        }),
+        other => Frame::RpcErr {
+            message: format!("frame kind {} is not a service RPC", other.kind()),
+        },
+    }
+}
+
+fn with_run(shared: &Arc<Shared>, run: u64, f: impl FnOnce(&RunEntry, u64) -> Frame) -> Frame {
+    let st = shared.state.lock().unwrap();
+    match run.checked_sub(1).and_then(|i| st.runs.get(i as usize)) {
+        Some(e) => f(e, run),
+        None => Frame::RpcErr {
+            message: format!("unknown run {run}"),
+        },
+    }
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    name: String,
+    dag: String,
+    config: String,
+    strategy: &str,
+    get_timeout_ms: u64,
+) -> Frame {
+    let refuse = |message: String| Frame::RpcErr { message };
+    let Some(strategy) = MappingStrategy::from_label(strategy) else {
+        return refuse(format!("unknown mapping strategy {strategy:?}"));
+    };
+    let scenario = match (shared.build)(&dag, &config) {
+        Ok(s) => s,
+        Err(e) => return refuse(format!("invalid workflow: {e}")),
+    };
+    // `map_scenario` panics on capacity errors; keep a hostile
+    // submission from taking the handler thread down.
+    let nodes = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        map_scenario(&scenario, strategy).machine.nodes
+    })) {
+        Ok(n) => n,
+        Err(_) => return refuse("workflow does not map onto the machine".into()),
+    };
+    if nodes > shared.cfg.pool_nodes {
+        return refuse(format!(
+            "workflow needs {nodes} nodes, the pool has {}",
+            shared.cfg.pool_nodes
+        ));
+    }
+    let mut st = shared.state.lock().unwrap();
+    if st.stopping {
+        return refuse("service is shutting down".into());
+    }
+    if st.queue.len() >= shared.cfg.queue_depth {
+        return refuse(format!(
+            "admission queue is full ({} runs queued)",
+            st.queue.len()
+        ));
+    }
+    let id = st.runs.len() as u64 + 1;
+    st.runs.push(RunEntry {
+        name: if name.is_empty() {
+            format!("run-{id}")
+        } else {
+            name
+        },
+        dag,
+        config,
+        strategy,
+        get_timeout: Duration::from_millis(get_timeout_ms.max(1)),
+        nodes,
+        state: RunState::Queued,
+        detail: String::new(),
+        cancel: Arc::new(AtomicBool::new(false)),
+        artifacts: Artifacts::default(),
+    });
+    let queued_ahead = st.queue.len() as u32;
+    st.queue.push_back(id);
+    if shared.cfg.verbose {
+        println!("run {id}: submitted ({nodes} nodes, {queued_ahead} ahead)");
+    }
+    shared.sched.notify_all();
+    Frame::Submitted {
+        run: id,
+        queued_ahead,
+    }
+}
+
+fn cancel(shared: &Arc<Shared>, run: u64) -> Frame {
+    let mut st = shared.state.lock().unwrap();
+    let Some(i) = run.checked_sub(1).filter(|&i| (i as usize) < st.runs.len()) else {
+        return Frame::RpcErr {
+            message: format!("unknown run {run}"),
+        };
+    };
+    let queued = st.runs[i as usize].state == RunState::Queued;
+    if queued {
+        st.queue.retain(|&q| q != run);
+        let e = &mut st.runs[i as usize];
+        e.state = RunState::Cancelled;
+        e.detail = "cancelled while queued".into();
+    } else {
+        // Running: flag it; the engine records the terminal state at
+        // the next wave boundary. Terminal states are left untouched.
+        st.runs[i as usize].cancel.store(true, Ordering::SeqCst);
+    }
+    if shared.cfg.verbose {
+        println!("run {run}: cancel requested");
+    }
+    Frame::RunStatus(st.runs[i as usize].summary(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use insitu::{concurrent_scenario, pattern_pairs, run_threaded};
+
+    /// A builder that maps any dag text except `"bad"` to the same
+    /// 8-producer/4-consumer scenario (2 nodes at 4 cores each).
+    fn fixed_builder() -> ScenarioBuilder {
+        Arc::new(|dag, _config| {
+            if dag == "bad" {
+                return Err("deliberately unparsable".into());
+            }
+            let mut s =
+                concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[0]).with_iterations(2);
+            s.cores_per_node = 4;
+            Ok(s)
+        })
+    }
+
+    fn start(cfg: SvcConfig) -> (Service, RpcClient) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let svc = Service::start(listener, cfg, fixed_builder()).unwrap();
+        let client =
+            RpcClient::connect(&svc.local_addr().to_string(), Duration::from_secs(10)).unwrap();
+        (svc, client)
+    }
+
+    fn baseline_ledger_json() -> String {
+        let s = (fixed_builder())("ok", "").unwrap();
+        let out = run_threaded(&s, MappingStrategy::DataCentric);
+        assert_eq!(out.verify_failures, 0);
+        out.ledger.to_json().render()
+    }
+
+    #[test]
+    fn single_run_completes_with_threaded_identical_ledger() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 2,
+            pool_nodes: 2,
+            ..SvcConfig::default()
+        });
+        let (run, _) = client
+            .submit("smoke", "ok", "", "data-centric", Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(run, 1);
+        let s = client.wait_terminal(run, Duration::from_secs(120)).unwrap();
+        assert_eq!(s.state, RunState::Done, "{}", s.detail);
+        assert_eq!(s.nodes, 2);
+        let art = client.result(run).unwrap();
+        assert!(art.errors.is_empty(), "{:?}", art.errors);
+        assert_eq!(art.ledger_json, baseline_ledger_json());
+        assert!(art.metrics_json.contains("net.bytes_sent"));
+        assert!(!art.profile_json.is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn concurrent_runs_with_identical_variable_names_stay_isolated() {
+        // Four runs of the *same* workflow (same variable names, same
+        // versions) share one pool; epoch salting must keep their key
+        // spaces disjoint so every ledger is byte-identical to the
+        // single-process baseline.
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 4,
+            pool_nodes: 8,
+            ..SvcConfig::default()
+        });
+        let runs: Vec<u64> = (0..4)
+            .map(|i| {
+                client
+                    .submit(
+                        &format!("iso-{i}"),
+                        "ok",
+                        "",
+                        "data-centric",
+                        Duration::from_secs(60),
+                    )
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        let expected = baseline_ledger_json();
+        for run in runs {
+            let s = client.wait_terminal(run, Duration::from_secs(120)).unwrap();
+            assert_eq!(s.state, RunState::Done, "run {run}: {}", s.detail);
+            let art = client.result(run).unwrap();
+            assert!(art.errors.is_empty(), "run {run}: {:?}", art.errors);
+            assert_eq!(art.ledger_json, expected, "run {run} ledger diverged");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submission_is_validated_and_queue_is_bounded() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 0, // nothing is ever admitted: submissions stay queued
+            queue_depth: 1,
+            pool_nodes: 2,
+            ..SvcConfig::default()
+        });
+        let err = client
+            .submit("x", "ok", "", "no-such-strategy", Duration::from_secs(1))
+            .unwrap_err();
+        assert!(err.contains("strategy"), "{err}");
+        let err = client
+            .submit("x", "bad", "", "data-centric", Duration::from_secs(1))
+            .unwrap_err();
+        assert!(err.contains("invalid workflow"), "{err}");
+        let (run, ahead) = client
+            .submit("q1", "ok", "", "data-centric", Duration::from_secs(1))
+            .unwrap();
+        assert_eq!((run, ahead), (1, 0));
+        let err = client
+            .submit("q2", "ok", "", "data-centric", Duration::from_secs(1))
+            .unwrap_err();
+        assert!(err.contains("queue is full"), "{err}");
+        assert_eq!(client.status(run).unwrap().state, RunState::Queued);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn workflow_wider_than_the_pool_is_refused() {
+        let (svc, mut client) = start(SvcConfig {
+            pool_nodes: 1, // the fixed scenario needs 2 nodes
+            ..SvcConfig::default()
+        });
+        let err = client
+            .submit("wide", "ok", "", "data-centric", Duration::from_secs(1))
+            .unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+        assert!(client.list().unwrap().is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_run_removes_it_and_keeps_the_service_healthy() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 0,
+            pool_nodes: 2,
+            ..SvcConfig::default()
+        });
+        let (run, _) = client
+            .submit("doomed", "ok", "", "data-centric", Duration::from_secs(1))
+            .unwrap();
+        let s = client.cancel(run).unwrap();
+        assert_eq!(s.state, RunState::Cancelled);
+        assert_eq!(client.status(run).unwrap().state, RunState::Cancelled);
+        // Unknown runs are clean RPC errors, not dead connections.
+        let err = client.status(99).unwrap_err();
+        assert!(err.contains("unknown run"), "{err}");
+        let err = client.cancel(0).unwrap_err();
+        assert!(err.contains("unknown run"), "{err}");
+        // The same connection keeps serving after the errors.
+        assert_eq!(client.list().unwrap().len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cancel_mid_service_leaves_later_runs_correct() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 1,
+            pool_nodes: 2,
+            ..SvcConfig::default()
+        });
+        let (first, _) = client
+            .submit("victim", "ok", "", "data-centric", Duration::from_secs(60))
+            .unwrap();
+        client.cancel(first).unwrap();
+        let s = client
+            .wait_terminal(first, Duration::from_secs(120))
+            .unwrap();
+        // The cancel races the (fast) run: either it was cut at a wave
+        // boundary or it had already finished. Both are terminal; the
+        // service must stay healthy either way.
+        assert!(
+            matches!(s.state, RunState::Cancelled | RunState::Done),
+            "{:?}",
+            s.state
+        );
+        let (second, _) = client
+            .submit("after", "ok", "", "data-centric", Duration::from_secs(60))
+            .unwrap();
+        let s = client
+            .wait_terminal(second, Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(s.state, RunState::Done, "{}", s.detail);
+        assert_eq!(
+            client.result(second).unwrap().ledger_json,
+            baseline_ledger_json()
+        );
+        svc.shutdown();
+    }
+}

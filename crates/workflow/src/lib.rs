@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod authoring;
 pub mod comm_graph;
 pub mod engine;
 pub mod groups;
@@ -23,6 +24,7 @@ pub mod mappers;
 pub mod parser;
 pub mod spec;
 
+pub use authoring::{compile_workflow, parse_override, AuthorError, AuthoredWorkflow};
 pub use comm_graph::{
     build_inter_app_graph, build_inter_app_graph_region, fanout_per_consumer, pairwise_overlaps,
     pairwise_overlaps_region,

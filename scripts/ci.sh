@@ -78,4 +78,57 @@ BENCH_OUT_DIR=target cargo run -q $chaos_profile -p insitu-bench \
     --bin redistribution --offline
 test -s target/BENCH_redistribution.json
 
+# Multi-tenant service smoke: one `insitu serve` service process, three
+# concurrent submissions (raw dag/cfg, workflow.toml, and a victim that
+# is cancelled mid-flight), polled to completion over the status RPC.
+# Every completed run's artifact ledger must be byte-identical to the
+# standalone `insitu launch` ledger produced above; the per-run
+# artifacts stay in target/ for the CI workflow to upload.
+echo "==> multi-tenant service smoke (3 concurrent runs, 1 cancelled)"
+bin=target/release/insitu
+[[ $quick -eq 1 ]] && bin=target/debug/insitu
+rm -rf target/svc-artifacts
+mkdir -p target/svc-artifacts
+"$bin" serve --listen 127.0.0.1:0 --max-runs 4 --pool-nodes 8 \
+    --artifacts target/svc-artifacts > target/svc-server.log &
+svc_pid=$!
+trap 'kill $svc_pid 2>/dev/null || true' EXIT
+svc_addr=
+for _ in $(seq 1 100); do
+    svc_addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' target/svc-server.log | head -n 1)
+    [[ -n "$svc_addr" ]] && break
+    sleep 0.2
+done
+[[ -n "$svc_addr" ]]
+"$bin" submit --connect "$svc_addr" --name plain \
+    --dag workflows/distrib.dag --config workflows/distrib.cfg
+"$bin" submit --connect "$svc_addr" --name authored workflows/distrib.toml
+"$bin" submit --connect "$svc_addr" --name victim \
+    --dag workflows/distrib.dag --config workflows/distrib.cfg
+"$bin" cancel --connect "$svc_addr" --run 3
+for _ in $(seq 1 300); do
+    "$bin" status --connect "$svc_addr" > target/svc-status.txt
+    grep -Eq ' (queued|running) ' target/svc-status.txt || break
+    sleep 1
+done
+cat target/svc-status.txt
+grep -Eq '^run +1 +done' target/svc-status.txt
+grep -Eq '^run +2 +done' target/svc-status.txt
+grep -Eq '^run +3 +(done|cancelled)' target/svc-status.txt
+"$bin" status --connect "$svc_addr" --run 1 --json > target/svc-run-1.json
+grep -q '"state":"done"' target/svc-run-1.json
+# Byte-diff each completed run's ledger artifact against the standalone
+# launch ledger ($(...) strips the launch file's trailing newline).
+for run in 1 2; do
+    diff "target/svc-artifacts/run-$run.ledger.json" \
+        <(printf '%s' "$(cat target/launch-ledger.json)")
+done
+if grep -Eq '^run +3 +done' target/svc-status.txt; then
+    diff target/svc-artifacts/run-3.ledger.json \
+        <(printf '%s' "$(cat target/launch-ledger.json)")
+fi
+kill $svc_pid
+wait $svc_pid 2>/dev/null || true
+trap - EXIT
+
 echo "==> CI gate passed"
