@@ -2,12 +2,19 @@
 //! runner: the wire transport consults the same seeded fault plan as
 //! every other site, so a dropped frame is replayable from the seed and
 //! surfaces as the ordinary CoDS timeout naming the owning client.
+//!
+//! Covered in both topologies: the star hub (every frame relayed) and
+//! the p2p reactor data plane (`PullData` over direct node↔node links),
+//! where the same `net.*` fault sites must keep firing even though the
+//! frames never touch the hub.
 
 use insitu::{concurrent_scenario, pattern_pairs, Scenario};
 use insitu::{join, serve, DistribOutcome, JoinOptions, MappingStrategy, ServeOptions};
 use insitu_chaos::{FaultPlan, FaultSpec};
-use insitu_fabric::FaultInjector;
+use insitu_fabric::{FaultAction, FaultHooks, FaultInjector, NetOp};
+use insitu_telemetry::Recorder;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,11 +28,13 @@ fn two_node_scenario() -> Scenario {
 }
 
 /// Run the scenario distributed over loopback with the given injector
-/// wired into the server and every joiner.
+/// wired into the server and every joiner, in star or p2p topology.
 fn run_with_faults(
     scenario: &Scenario,
     injector: &FaultInjector,
     get_timeout: Duration,
+    p2p: bool,
+    recorder: &Recorder,
 ) -> (Result<DistribOutcome, String>, Vec<Result<(), String>>) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
@@ -36,6 +45,7 @@ fn run_with_faults(
         let opts = JoinOptions {
             timeout: Duration::from_secs(10),
             injector: injector.clone(),
+            recorder: recorder.clone(),
             ..JoinOptions::default()
         };
         joiners.push(std::thread::spawn(move || {
@@ -52,6 +62,8 @@ fn run_with_faults(
             get_timeout,
             timeout: Duration::from_secs(10),
             injector: injector.clone(),
+            recorder: recorder.clone(),
+            p2p,
             ..ServeOptions::default()
         },
     );
@@ -65,8 +77,13 @@ fn dropped_pull_data_surfaces_as_timeout_naming_owner() {
     // read, so no cross-process pull can ever complete.
     let spec = FaultSpec::parse("net-recv:1").unwrap();
     let injector = FaultInjector::new(Arc::new(FaultPlan::new(7, spec)));
-    let (served, join_results) =
-        run_with_faults(&two_node_scenario(), &injector, Duration::from_millis(600));
+    let (served, join_results) = run_with_faults(
+        &two_node_scenario(),
+        &injector,
+        Duration::from_millis(600),
+        false,
+        &Recorder::disabled(),
+    );
 
     // The run still completes — waves, barriers and reports all use the
     // control plane, which faults never touch.
@@ -86,6 +103,134 @@ fn dropped_pull_data_surfaces_as_timeout_naming_owner() {
             "expected the CoDS pull timeout naming the owner, got: {e}"
         );
     }
+}
+
+#[test]
+fn p2p_dropped_pull_data_surfaces_as_timeout_naming_owner() {
+    // Same fault plan as the star test, but the PullData frames it
+    // drops now travel direct peer links — the failure mode (and its
+    // error text) must not change with the topology.
+    let spec = FaultSpec::parse("net-recv:1").unwrap();
+    let injector = FaultInjector::new(Arc::new(FaultPlan::new(7, spec)));
+    let recorder = Recorder::enabled();
+    let (served, join_results) = run_with_faults(
+        &two_node_scenario(),
+        &injector,
+        Duration::from_millis(600),
+        true,
+        &recorder,
+    );
+
+    let outcome = served.expect("p2p run must complete despite dropped data frames");
+    for r in join_results {
+        r.expect("joiners must survive dropped data frames");
+    }
+    assert!(
+        !outcome.errors.is_empty(),
+        "every wire pull was dropped, yet no task reported an error"
+    );
+    for e in &outcome.errors {
+        assert!(
+            e.contains("timed out waiting") && e.contains("from client"),
+            "expected the CoDS pull timeout naming the owner, got: {e}"
+        );
+    }
+    // The dropped frames were really on the direct links: owners staged
+    // them peer-to-peer and none crossed the hub.
+    let snap = recorder.metrics_snapshot();
+    assert_eq!(
+        snap.counter("net.pull_frames_hub"),
+        0,
+        "no PullData may traverse the hub in p2p mode"
+    );
+    assert!(
+        snap.counter("net.pull_frames_p2p") > 0,
+        "PullData must have been staged on direct peer links"
+    );
+}
+
+#[test]
+fn p2p_chaos_replays_bit_for_bit_from_seed() {
+    // Seed 42, partial drop rates: some pulls die, some survive. Two
+    // runs of the same seed must agree on *everything* observable —
+    // the fault plan hashes sites, not wall-clock or arrival order.
+    let run = || {
+        let spec = FaultSpec::parse("net-send:0.4,net-recv:0.4").unwrap();
+        let injector = FaultInjector::new(Arc::new(FaultPlan::new(42, spec)));
+        let (served, join_results) = run_with_faults(
+            &two_node_scenario(),
+            &injector,
+            Duration::from_millis(600),
+            true,
+            &Recorder::disabled(),
+        );
+        for r in join_results {
+            r.expect("joiners must survive partial drops");
+        }
+        served.expect("p2p run must complete under partial drops")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.errors, second.errors,
+        "seed-42 error set must replay bit-for-bit"
+    );
+    assert_eq!(first.ledger, second.ledger, "seed-42 ledger must replay");
+    assert_eq!(first.verify_failures, second.verify_failures);
+    assert_eq!(first.gets, second.gets);
+}
+
+/// Fault-free hooks that count every wire-site consultation, proving
+/// the p2p data plane still reports its operations to the injector.
+#[derive(Default)]
+struct CountingHooks {
+    connects: AtomicU64,
+    sends: AtomicU64,
+    recvs: AtomicU64,
+}
+
+impl FaultHooks for CountingHooks {
+    fn on_net(&self, op: NetOp, _kind: u8, _a: u64, _b: u64) -> FaultAction {
+        match op {
+            NetOp::Connect => self.connects.fetch_add(1, Ordering::Relaxed),
+            NetOp::Send => self.sends.fetch_add(1, Ordering::Relaxed),
+            NetOp::Recv => self.recvs.fetch_add(1, Ordering::Relaxed),
+        };
+        FaultAction::Proceed
+    }
+}
+
+#[test]
+fn p2p_direct_links_still_consult_every_fault_site() {
+    let hooks = Arc::new(CountingHooks::default());
+    let injector = FaultInjector::new(Arc::clone(&hooks) as Arc<dyn FaultHooks>);
+    let (served, join_results) = run_with_faults(
+        &two_node_scenario(),
+        &injector,
+        Duration::from_secs(10),
+        true,
+        &Recorder::disabled(),
+    );
+
+    let outcome = served.expect("fault-free p2p run must succeed");
+    for r in join_results {
+        r.expect("fault-free joiners must succeed");
+    }
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+
+    // Both joiners connect to the hub, and at least one direct peer
+    // dial happens on top — every one through the net.connect site.
+    let connects = hooks.connects.load(Ordering::Relaxed);
+    assert!(
+        connects > 2,
+        "expected hub connects plus peer dials, saw {connects}"
+    );
+    // PullData crossed direct links, and both the send-staging and the
+    // post-decode receive site fired for it.
+    let sends = hooks.sends.load(Ordering::Relaxed);
+    let recvs = hooks.recvs.load(Ordering::Relaxed);
+    assert!(sends > 0, "net.send must fire for p2p PullData");
+    assert!(recvs > 0, "net.recv must fire for p2p PullData");
 }
 
 #[test]

@@ -12,6 +12,7 @@ use insitu::{
     ServeOptions,
 };
 use insitu_fabric::TrafficClass;
+use insitu_telemetry::Recorder;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -32,6 +33,9 @@ pub struct ServeCmd {
     pub timeout_ms: u64,
     /// Write the merged ledger snapshot as JSON here after the run.
     pub ledger_out: Option<PathBuf>,
+    /// Peer-to-peer data plane: joiners exchange `PullData` over direct
+    /// links, the hub carries control traffic only.
+    pub p2p: bool,
 }
 
 /// Options of the `join` subcommand. No workflow files: the server
@@ -61,6 +65,10 @@ pub struct LaunchCmd {
     pub timeout_ms: u64,
     /// Write the merged ledger snapshot as JSON here after the run.
     pub ledger_out: Option<PathBuf>,
+    /// Peer-to-peer data plane (see [`ServeCmd::p2p`]). `launch`
+    /// additionally asserts that zero `PullData` frames traversed the
+    /// hub, via the `net.pull_frames_hub` counter.
+    pub p2p: bool,
 }
 
 fn render_outcome(o: &DistribOutcome) -> String {
@@ -97,6 +105,7 @@ pub fn serve_cmd(cmd: &ServeCmd) -> Result<String, CliError> {
     let opts = ServeOptions {
         strategy: cmd.strategy,
         timeout: Duration::from_millis(cmd.timeout_ms),
+        p2p: cmd.p2p,
         ..ServeOptions::default()
     };
     let outcome =
@@ -185,9 +194,18 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         }
     }
 
+    // In p2p mode the run records telemetry so the topology claim —
+    // the hub carried no data-plane frames — is checked, not assumed.
+    let recorder = if cmd.p2p {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let opts = ServeOptions {
         strategy: cmd.strategy,
         timeout: Duration::from_millis(cmd.timeout_ms),
+        p2p: cmd.p2p,
+        recorder: recorder.clone(),
         ..ServeOptions::default()
     };
     let outcome = match serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts) {
@@ -236,6 +254,15 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         "ledger:    byte-identical to the single-process run ({} B total inter-app)\n",
         outcome.ledger.total_bytes(TrafficClass::InterApp)
     ));
+    if cmd.p2p {
+        let through_hub = recorder.metrics_snapshot().counter("net.pull_frames_hub");
+        if through_hub != 0 {
+            return Err(CliError::Mismatch(format!(
+                "p2p violation: {through_hub} PullData frame(s) traversed the hub"
+            )));
+        }
+        out.push_str("p2p:       0 PullData frames through the hub\n");
+    }
     if let Some(path) = &cmd.ledger_out {
         out.push_str(&write_ledger(path, &outcome)?);
     }
@@ -283,6 +310,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 150,
             ledger_out: None,
+            p2p: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains("joiners"), "{err}");
@@ -301,6 +329,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 150,
             ledger_out: None,
+            p2p: false,
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -332,6 +361,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 1000,
             ledger_out: None,
+            p2p: false,
         })
         .unwrap_err();
         let msg = err.to_string();

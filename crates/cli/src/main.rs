@@ -29,11 +29,13 @@ usage: insitu run     [--dag] <file> --config <file>
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
        insitu serve   [--dag] <file> --config <file> --listen <addr>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
+              [--p2p]
        insitu serve   --listen <addr> [--max-runs <n>] [--queue-depth <n>]
-              [--pool-nodes <n>] [--artifacts <dir>]
+              [--pool-nodes <n>] [--artifacts <dir>] [--p2p]
        insitu join    --connect <addr> --node <n> [--timeout-ms <n>]
        insitu launch  [--dag] <file> --config <file> --procs <k>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
+              [--p2p]
        insitu submit  --connect <addr> <workflow.toml> [--set k=v]...
               [--name <s>] [--strategy <s>] [--get-timeout-ms <n>]
               [--timeout-ms <n>] [--wait]
@@ -71,6 +73,10 @@ ships them in its Welcome frame); `launch` forks one joiner per node
 over loopback, serves in-process, and exits nonzero unless the merged
 distributed ledger is byte-identical to a single-process run.
 `--ledger-out` writes the merged transfer-ledger snapshot as JSON.
+`--p2p` runs the data plane peer-to-peer: every joiner binds a direct
+listener, `PullData` flows node-to-node, and the hub carries control
+traffic only (`launch --p2p` additionally asserts zero data frames
+traversed the hub).
 `serve` *without* workflow files runs the multi-tenant service instead:
 it executes up to `--max-runs` (default 4) concurrently submitted
 workflows over a shared pool of `--pool-nodes` (default 8) joiner
@@ -130,6 +136,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut queue_depth: Option<usize> = None;
     let mut pool_nodes: Option<u32> = None;
     let mut artifacts: Option<PathBuf> = None;
+    let mut p2p = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -168,6 +175,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--procs needs a count")?;
                 procs = Some(v.parse().map_err(|_| format!("bad process count '{v}'"))?);
             }
+            "--p2p" if sub != "join" => p2p = true,
             "--strategy" if sub != "join" => strategy = parse_strategy(it.next())?,
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a number")?;
@@ -197,6 +205,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             queue_depth: queue_depth.unwrap_or(32),
             pool_nodes: pool_nodes.unwrap_or(8),
             artifacts,
+            p2p,
         }));
     }
     if max_runs.is_some() || queue_depth.is_some() || pool_nodes.is_some() || artifacts.is_some() {
@@ -220,6 +229,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             strategy,
             timeout_ms,
             ledger_out,
+            p2p,
         }))
     } else {
         Ok(Command::Launch(LaunchCmd {
@@ -229,6 +239,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             strategy,
             timeout_ms,
             ledger_out,
+            p2p,
         }))
     }
 }
@@ -737,6 +748,7 @@ mod tests {
                     c.ledger_out.as_deref(),
                     Some(std::path::Path::new("l.json"))
                 );
+                assert!(!c.p2p, "p2p defaults off");
             }
             _ => panic!("expected serve"),
         }
@@ -769,6 +781,7 @@ mod tests {
             "3",
             "--strategy",
             "round-robin",
+            "--p2p",
         ]))
         .unwrap();
         match cmd {
@@ -776,9 +789,17 @@ mod tests {
                 assert_eq!(c.procs, 3);
                 assert_eq!(c.strategy, MappingStrategy::RoundRobin);
                 assert_eq!(c.timeout_ms, 30_000);
+                assert!(c.p2p);
             }
             _ => panic!("expected launch"),
         }
+        // --p2p is a topology choice for serve/launch; join learns it
+        // from the Welcome frame and must reject the flag.
+        assert!(
+            parse_args(&args(&["join", "--connect", "h:1", "--node", "0", "--p2p"]))
+                .unwrap_err()
+                .contains("unknown argument")
+        );
     }
 
     #[test]

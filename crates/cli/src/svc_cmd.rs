@@ -25,6 +25,8 @@ pub struct ServiceCmd {
     pub pool_nodes: u32,
     /// Directory for per-run artifact files (optional).
     pub artifacts: Option<PathBuf>,
+    /// Peer-to-peer data plane for every run the service executes.
+    pub p2p: bool,
 }
 
 /// The workflow a `submit` ships: either a raw DAG/config text pair or
@@ -105,6 +107,7 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
             pool_nodes: cmd.pool_nodes,
             artifacts_dir: cmd.artifacts.clone(),
             verbose: true,
+            p2p: cmd.p2p,
             ..SvcConfig::default()
         },
         Arc::new(|dag, config| build_scenario(dag, config).map_err(|e| e.to_string())),

@@ -75,6 +75,13 @@ pub struct ServeOptions {
     /// Flight recorder shared with in-process joiners for per-run
     /// profiles (disabled by default).
     pub flight: FlightRecorder,
+    /// Run the data plane peer-to-peer: the hub ships every joiner the
+    /// full peer-address table in `Welcome`, `PullData` flows over
+    /// direct node↔node connections, and the hub carries control
+    /// traffic only (asserted by the `net.pull_frames_hub` counter
+    /// staying at zero). Off by default: star mode routes everything
+    /// through the hub.
+    pub p2p: bool,
 }
 
 impl Default for ServeOptions {
@@ -88,6 +95,7 @@ impl Default for ServeOptions {
             run_epoch: 0,
             cancel: Arc::new(AtomicBool::new(false)),
             flight: FlightRecorder::disabled(),
+            p2p: false,
         }
     }
 }
@@ -181,6 +189,7 @@ pub fn serve(
             config: config.to_string(),
             run_epoch: opts.run_epoch,
             accept_timeout: opts.timeout,
+            p2p: opts.p2p,
         },
         &opts.injector,
         &metrics,
@@ -293,14 +302,28 @@ where
         .set_nodelay(true)
         .and_then(|_| stream.set_read_timeout(Some(opts.timeout.max(Duration::from_millis(1)))))
         .map_err(|e| format!("socket setup: {e}"))?;
+    // Bind the direct-pull listener up front, on the same interface the
+    // server connection uses, and advertise it in Hello. Whether peers
+    // actually dial it is the server's call: an empty peer table in
+    // Welcome means star mode and the listener is simply dropped.
+    let local_ip = stream
+        .local_addr()
+        .map_err(|e| format!("socket setup: {e}"))?
+        .ip();
+    let peer_listener =
+        TcpListener::bind((local_ip, 0)).map_err(|e| format!("binding peer listener: {e}"))?;
+    let peer_addr = peer_listener
+        .local_addr()
+        .map_err(|e| format!("socket setup: {e}"))?
+        .to_string();
     send_frame(
         &mut stream,
-        &Frame::Hello { node },
+        &Frame::Hello { node, peer_addr },
         &opts.injector,
         &metrics,
     )
     .map_err(|e| format!("greeting {addr}: {e}"))?;
-    let (nodes, strategy, get_timeout_ms, dag, config, run_epoch) =
+    let (nodes, strategy, get_timeout_ms, dag, config, run_epoch, peers) =
         match recv_frame(&mut stream, &opts.injector, &metrics) {
             Ok(Frame::Welcome {
                 nodes,
@@ -309,7 +332,16 @@ where
                 dag,
                 config,
                 run_epoch,
-            }) => (nodes, strategy, get_timeout_ms, dag, config, run_epoch),
+                peers,
+            }) => (
+                nodes,
+                strategy,
+                get_timeout_ms,
+                dag,
+                config,
+                run_epoch,
+                peers,
+            ),
             Ok(other) => {
                 return Err(format!(
                     "expected Welcome from {addr}, got frame kind {}",
@@ -333,14 +365,28 @@ where
     }
 
     let cpn = scenario.cores_per_node;
-    let link = NetLink::new(
-        stream,
-        node,
-        cpn,
-        get_timeout,
-        opts.injector.clone(),
-        metrics,
-    )
+    let link = if peers.is_empty() {
+        NetLink::new(
+            stream,
+            node,
+            cpn,
+            get_timeout,
+            opts.injector.clone(),
+            metrics,
+        )
+    } else {
+        NetLink::new_p2p(
+            stream,
+            node,
+            cpn,
+            get_timeout,
+            opts.injector.clone(),
+            metrics,
+            peers,
+            peer_listener,
+            opts.timeout.min(Duration::from_secs(5)),
+        )
+    }
     .map_err(|e| e.to_string())?;
     let cfg = ThreadedConfig {
         get_timeout,
@@ -417,6 +463,7 @@ mod tests {
         strategy: MappingStrategy,
         nodes: u32,
         recorder: &Recorder,
+        p2p: bool,
     ) -> DistribOutcome {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
@@ -424,12 +471,14 @@ mod tests {
             strategy,
             timeout: Duration::from_secs(20),
             recorder: recorder.clone(),
+            p2p,
             ..ServeOptions::default()
         };
         let mut joiners = Vec::new();
         for node in 0..nodes {
             let addr = addr.clone();
             let s = scenario.clone();
+            let rec = recorder.clone();
             joiners.push(std::thread::spawn(move || {
                 join(
                     &addr,
@@ -437,6 +486,7 @@ mod tests {
                     move |_dag, _config| Ok(s),
                     &JoinOptions {
                         timeout: Duration::from_secs(20),
+                        recorder: rec,
                         ..JoinOptions::default()
                     },
                 )
@@ -457,7 +507,7 @@ mod tests {
         assert_eq!(expected.verify_failures, 0);
 
         let rec = Recorder::enabled();
-        let got = run_distributed(&s, MappingStrategy::DataCentric, 2, &rec);
+        let got = run_distributed(&s, MappingStrategy::DataCentric, 2, &rec, false);
         assert_eq!(got.nodes, 2);
         assert_eq!(got.verify_failures, 0);
         assert!(got.errors.is_empty(), "{:?}", got.errors);
@@ -490,7 +540,13 @@ mod tests {
         let expected = run_threaded(&s, MappingStrategy::RoundRobin);
         assert_eq!(expected.verify_failures, 0);
 
-        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &Recorder::disabled());
+        let got = run_distributed(
+            &s,
+            MappingStrategy::RoundRobin,
+            2,
+            &Recorder::disabled(),
+            false,
+        );
         assert_eq!(got.verify_failures, 0);
         assert!(got.errors.is_empty(), "{:?}", got.errors);
         assert_eq!(
@@ -498,6 +554,47 @@ mod tests {
             "merged ledger must be byte-identical"
         );
         assert_eq!(got.staged_buffers, expected.staged_buffers);
+    }
+
+    #[test]
+    fn p2p_ledger_matches_single_process_and_data_bypasses_hub() {
+        // RoundRobin deliberately places consumers away from the staged
+        // pieces, so the gets below must pull across nodes — the same
+        // workflow routes PullData through the hub in star mode.
+        let mut s = sequential_scenario_with_grids(
+            &[2, 2, 1],
+            &[2, 1, 1],
+            &[1, 2, 1],
+            4,
+            pattern_pairs(&[2, 2, 1])[0],
+        );
+        s.cores_per_node = 2;
+        let expected = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert_eq!(expected.verify_failures, 0);
+
+        let rec = Recorder::enabled();
+        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &rec, true);
+        assert_eq!(got.verify_failures, 0);
+        assert!(got.errors.is_empty(), "{:?}", got.errors);
+        assert_eq!(
+            got.ledger, expected.ledger,
+            "p2p merged ledger must be byte-identical to the single-process run"
+        );
+        assert_eq!(got.gets, expected.reports.len() as u64);
+        assert_eq!(got.staged_buffers, expected.staged_buffers);
+
+        // The correctness anchor of the p2p topology: the hub carried
+        // control traffic only, every PullData frame took a direct link.
+        let snap = rec.metrics_snapshot();
+        assert_eq!(
+            snap.counter("net.pull_frames_hub"),
+            0,
+            "no PullData may traverse the hub in p2p mode"
+        );
+        assert!(
+            snap.counter("net.pull_frames_p2p") > 0,
+            "cross-node pulls must flow over direct peer links"
+        );
     }
 
     #[test]

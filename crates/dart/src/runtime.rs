@@ -301,6 +301,20 @@ impl DartRuntime {
         if let Some(i) = dropped {
             return Err(i);
         }
+        // Warm up direct peer links before the burst: each distinct
+        // owner (packed in the piece's upper 32 bits) is dialed once,
+        // so the requests below never serialize behind a dial. Hub-only
+        // transports report false and the burst proceeds unchanged.
+        let mut dialed: Vec<u32> = Vec::new();
+        for key in keys {
+            if self.registry.get(key).is_none() {
+                let owner = (key.piece >> 32) as u32;
+                if !dialed.contains(&owner) {
+                    dialed.push(owner);
+                    self.wire.dial_peer(owner);
+                }
+            }
+        }
         for key in keys {
             if self.registry.get(key).is_none() {
                 self.wire.request(key);

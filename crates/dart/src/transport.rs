@@ -52,6 +52,16 @@ pub trait Transport: Send + Sync {
     /// host. Fire-and-forget: the caller blocks on the registry and the
     /// reply (if any) is registered by the transport's reader.
     fn request(&self, key: &BufKey);
+
+    /// Pre-establish a direct connection to the process hosting
+    /// `client`, if this transport supports peer-to-peer links. Returns
+    /// whether a direct path exists afterwards. The default (and any
+    /// hub-only transport) reports `false`; callers use this as a
+    /// warm-up hint before issuing a burst of pulls, never for
+    /// correctness.
+    fn dial_peer(&self, _client: ClientId) -> bool {
+        false
+    }
 }
 
 /// The single-address-space transport: every client is local, so nothing

@@ -66,6 +66,12 @@ pub struct NetMetrics {
     pub frames: Counter,
     /// Connect attempts that failed and were retried.
     pub reconnects: Counter,
+    /// PullData frames routed through the hub (star topology). The p2p
+    /// acceptance gate asserts this stays zero in reactor mode: the hub
+    /// must carry control traffic only.
+    pub pull_hub: Counter,
+    /// PullData frames staged on direct node↔node links (p2p topology).
+    pub pull_p2p: Counter,
 }
 
 impl NetMetrics {
@@ -76,6 +82,8 @@ impl NetMetrics {
             bytes_recv: recorder.counter("net.bytes_recv"),
             frames: recorder.counter("net.frames"),
             reconnects: recorder.counter("net.reconnects"),
+            pull_hub: recorder.counter("net.pull_frames_hub"),
+            pull_p2p: recorder.counter("net.pull_frames_p2p"),
         }
     }
 }

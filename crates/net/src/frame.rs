@@ -18,8 +18,10 @@ use insitu_fabric::{LedgerSnapshot, Locality, TrafficClass};
 use std::io::{Read, Write};
 
 /// Protocol revision; bumped on any incompatible codec change.
-/// Version 2 added the service RPC frames and `Welcome::run_epoch`.
-pub const WIRE_VERSION: u8 = 2;
+/// Version 2 added the service RPC frames and `Welcome::run_epoch`;
+/// version 3 added `Hello::peer_addr` and `Welcome::peers` for the
+/// direct node↔node data plane.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on `len`: rejects absurd length words before any
 /// allocation happens (a 256 MiB frame comfortably fits the largest
@@ -178,6 +180,10 @@ pub enum Frame {
     Hello {
         /// Node this process hosts.
         node: u32,
+        /// Address (`ip:port`) where this process accepts direct
+        /// node↔node data-plane connections; empty when the joiner has
+        /// no peer listener (star-only transport).
+        peer_addr: String,
     },
     /// Server → joiner: registration accepted; carries everything the
     /// joiner needs to deterministically rebuild the scenario replica.
@@ -196,6 +202,11 @@ pub enum Frame {
         /// so concurrent runs over one pool cannot collide (0 = no
         /// salting; standalone `serve` runs use 0).
         run_epoch: u64,
+        /// Peer data-plane addresses indexed by node, as advertised in
+        /// each joiner's `Hello`. Empty = star topology (all PullData
+        /// routed through the hub); length `nodes` = reactor/p2p mode
+        /// (PullData flows node↔node, the hub carries control only).
+        peers: Vec<String>,
     },
     /// A mailbox message for a client hosted elsewhere (task dispatch
     /// from the server, halo exchange between joiners). Routed by the
@@ -467,7 +478,10 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
-            Frame::Hello { node } => put_u32(&mut p, *node),
+            Frame::Hello { node, peer_addr } => {
+                put_u32(&mut p, *node);
+                put_str(&mut p, peer_addr);
+            }
             Frame::Welcome {
                 nodes,
                 strategy,
@@ -475,6 +489,7 @@ impl Frame {
                 dag,
                 config,
                 run_epoch,
+                peers,
             } => {
                 put_u32(&mut p, *nodes);
                 put_str(&mut p, strategy);
@@ -482,6 +497,7 @@ impl Frame {
                 put_str(&mut p, dag);
                 put_str(&mut p, config);
                 put_u64(&mut p, *run_epoch);
+                put_strs(&mut p, peers);
             }
             Frame::Relay {
                 to,
@@ -663,7 +679,10 @@ impl Frame {
             pos: 0,
         };
         let frame = match kind {
-            KIND_HELLO => Frame::Hello { node: c.u32()? },
+            KIND_HELLO => Frame::Hello {
+                node: c.u32()?,
+                peer_addr: c.str()?,
+            },
             KIND_WELCOME => Frame::Welcome {
                 nodes: c.u32()?,
                 strategy: c.str()?,
@@ -671,6 +690,7 @@ impl Frame {
                 dag: c.str()?,
                 config: c.str()?,
                 run_epoch: c.u64()?,
+                peers: c.strs()?,
             },
             KIND_RELAY => Frame::Relay {
                 to: c.u32()?,
@@ -852,6 +872,94 @@ impl Frame {
     }
 }
 
+/// Encode a batch of frames into one contiguous byte run (each frame
+/// complete with its own length word). This is the reactor's small-
+/// message coalescing primitive: a batch crosses the socket in one
+/// `write` syscall, and any split of the byte run — including splits
+/// inside a frame — decodes back to the identical sequence through
+/// [`FrameDecoder`].
+pub fn encode_batch(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend_from_slice(&f.encode());
+    }
+    out
+}
+
+/// Incremental frame decoder over an arbitrarily-chunked byte stream.
+///
+/// The reactor reads whatever the socket has buffered — which may end
+/// mid-frame, or hold several coalesced frames — feeds it in with
+/// [`push`](FrameDecoder::push), and drains complete frames with
+/// [`next_frame`](FrameDecoder::next_frame). Decoding is total: malformed input
+/// surfaces as a [`FrameError`] exactly as [`Frame::read_from`] would
+/// report it, after which the connection is poisoned (every subsequent
+/// `next` repeats the error) — a protocol error leaves no way to
+/// re-synchronise the stream.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly-read bytes to the pending buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop the prefix already consumed by
+        // decoded frames so the buffer stays bounded by one frame plus
+        // one socket read.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or the (sticky) protocol error.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let rest = &self.buf[self.pos..];
+        if rest.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if !(2..=MAX_FRAME_LEN).contains(&len) {
+            return Err(self.poison(FrameError::BadLength(len)));
+        }
+        let total = 4 + len as usize;
+        if rest.len() < total {
+            return Ok(None);
+        }
+        let body = &rest[4..total];
+        match Frame::decode(body[0], body[1], &body[2..]) {
+            Ok(frame) => {
+                self.pos += total;
+                Ok(Some(frame))
+            }
+            Err(e) => Err(self.poison(e)),
+        }
+    }
+
+    fn poison(&mut self, err: FrameError) -> FrameError {
+        self.poisoned = Some(err.clone());
+        err
+    }
+}
+
 fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
     r.read_exact(buf).map_err(|e| match e.kind() {
         std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
@@ -880,6 +988,13 @@ fn put_u64s(out: &mut Vec<u8>, v: &[u64]) {
     put_u32(out, v.len() as u32);
     for &x in v {
         put_u64(out, x);
+    }
+}
+
+fn put_strs(out: &mut Vec<u8>, v: &[String]) {
+    put_u32(out, v.len() as u32);
+    for s in v {
+        put_str(out, s);
     }
 }
 
@@ -947,6 +1062,16 @@ impl Cursor<'_> {
         }
         (0..n).map(|_| self.u64()).collect()
     }
+
+    fn strs(&mut self) -> Result<Vec<String>, FrameError> {
+        let n = self.u32()? as usize;
+        // Every string costs at least its 4-byte length word; guard the
+        // count before allocating.
+        if self.buf.len() - self.pos < n.saturating_mul(4) {
+            return Err(FrameError::Truncated);
+        }
+        (0..n).map(|_| self.str()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -1000,6 +1125,7 @@ mod tests {
         vec![
             Frame::Hello {
                 node: rng.range_u32(0, 64),
+                peer_addr: arb_string(rng, 24),
             },
             Frame::Welcome {
                 nodes: rng.range_u32(1, 64),
@@ -1008,6 +1134,9 @@ mod tests {
                 dag: arb_string(rng, 200),
                 config: arb_string(rng, 200),
                 run_epoch: rng.next_u64(),
+                peers: (0..rng.range_usize(0, 4))
+                    .map(|_| arb_string(rng, 24))
+                    .collect(),
             },
             Frame::Relay {
                 to: rng.range_u32(0, 256),
@@ -1232,6 +1361,19 @@ mod tests {
             Frame::decode(WIRE_VERSION, KIND_RUN_LIST, &p),
             Err(FrameError::Truncated)
         );
+        // A Welcome whose peer count claims u32::MAX strings.
+        let mut p = Vec::new();
+        put_u32(&mut p, 2); // nodes
+        put_str(&mut p, "s");
+        put_u64(&mut p, 1); // get_timeout_ms
+        put_str(&mut p, "");
+        put_str(&mut p, "");
+        put_u64(&mut p, 0); // run_epoch
+        put_u32(&mut p, u32::MAX); // hostile peer count
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_WELCOME, &p),
+            Err(FrameError::Truncated)
+        );
     }
 
     #[test]
@@ -1259,11 +1401,155 @@ mod tests {
 
     #[test]
     fn truncated_stream_reports_truncation() {
-        let wire = Frame::Hello { node: 1 }.encode();
+        let wire = Frame::Hello {
+            node: 1,
+            peer_addr: String::new(),
+        }
+        .encode();
         let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 1]);
         assert_eq!(Frame::read_from(&mut cursor), Err(FrameError::Truncated));
         let mut empty = std::io::Cursor::new(Vec::<u8>::new());
         assert_eq!(Frame::read_from(&mut empty), Err(FrameError::Truncated));
+    }
+
+    /// A random permuted multiset of frames (1–3 copies of a random
+    /// subset of every message type), modelling a coalesced write run.
+    fn arb_batch(rng: &mut SplitMix64) -> Vec<Frame> {
+        let mut batch = Vec::new();
+        for _ in 0..rng.range_usize(1, 4) {
+            for frame in arb_frames(rng) {
+                if rng.bool() {
+                    batch.push(frame);
+                }
+            }
+        }
+        // Fisher–Yates so batches are not grouped by kind.
+        for i in (1..batch.len()).rev() {
+            batch.swap(i, rng.range_usize(0, i + 1));
+        }
+        batch
+    }
+
+    /// Feed `wire` to a decoder in chunks split at `cuts` (ascending
+    /// byte offsets), draining after every chunk; return all frames.
+    fn decode_split(wire: &[u8], cuts: &[usize]) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut at = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+            dec.push(&wire[at..cut]);
+            at = cut;
+            while let Some(f) = dec.next_frame().expect("valid batch bytes") {
+                out.push(f);
+            }
+        }
+        assert_eq!(dec.pending(), 0, "undecoded bytes left over");
+        out
+    }
+
+    #[test]
+    fn batched_frames_split_at_arbitrary_boundaries_decode_identically() {
+        forall(48, |rng| {
+            let batch = arb_batch(rng);
+            let wire = encode_batch(&batch);
+            // One-shot.
+            assert_eq!(decode_split(&wire, &[]), batch);
+            // Byte-at-a-time.
+            let every: Vec<usize> = (1..wire.len()).collect();
+            assert_eq!(decode_split(&wire, &every), batch);
+            // Random split points.
+            let mut cuts: Vec<usize> = (0..rng.range_usize(0, 9))
+                .map(|_| rng.range_usize(0, wire.len() + 1))
+                .collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            assert_eq!(decode_split(&wire, &cuts), batch);
+        });
+    }
+
+    #[test]
+    fn decoder_surfaces_mid_batch_corruption_after_prior_frames() {
+        forall(24, |rng| {
+            let good = arb_batch(rng);
+            let mut wire = encode_batch(&good);
+            let tail_at = wire.len();
+            // Append a frame with a corrupted version byte mid-batch.
+            let mut bad = Frame::RunWave { wave: 9 }.encode();
+            bad[4] = WIRE_VERSION + 1;
+            wire.extend_from_slice(&bad);
+            wire.extend_from_slice(&Frame::ListRuns.encode());
+
+            let mut dec = FrameDecoder::new();
+            // Feed in two chunks split inside the bad frame to prove
+            // the error only fires once the frame is complete.
+            let cut = tail_at + 2;
+            dec.push(&wire[..cut]);
+            let mut seen = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                seen.push(f);
+            }
+            assert_eq!(seen, good, "all frames before the corruption decode");
+            dec.push(&wire[cut..]);
+            let err = loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => seen.push(f),
+                    Ok(None) => panic!("corruption not surfaced"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(seen, good);
+            assert_eq!(err, FrameError::BadVersion(WIRE_VERSION + 1));
+            // Poisoned: the error is sticky even after more (valid) bytes.
+            dec.push(&Frame::ListRuns.encode());
+            assert_eq!(
+                dec.next_frame(),
+                Err(FrameError::BadVersion(WIRE_VERSION + 1))
+            );
+        });
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_short_length_words_mid_batch() {
+        let mut wire = encode_batch(&[Frame::ListRuns, Frame::RunWave { wave: 1 }]);
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        wire.extend_from_slice(&[WIRE_VERSION, KIND_RUN_WAVE]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame(), Ok(Some(Frame::ListRuns)));
+        assert_eq!(dec.next_frame(), Ok(Some(Frame::RunWave { wave: 1 })));
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::BadLength(MAX_FRAME_LEN + 1))
+        );
+
+        // A length word too short to hold version + kind.
+        let mut dec = FrameDecoder::new();
+        let mut wire = Frame::ListRuns.encode();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(WIRE_VERSION);
+        dec.push(&wire);
+        assert_eq!(dec.next_frame(), Ok(Some(Frame::ListRuns)));
+        assert_eq!(dec.next_frame(), Err(FrameError::BadLength(1)));
+    }
+
+    #[test]
+    fn decoder_truncation_mid_batch_waits_for_more_bytes() {
+        let frames = [
+            Frame::GetDone { var: 1, version: 2 },
+            Frame::Evict { var: 3, version: 4 },
+        ];
+        let wire = encode_batch(&frames);
+        let mut dec = FrameDecoder::new();
+        // Everything except the last byte: first frame decodes, second
+        // is incomplete — not an error, just "need more".
+        dec.push(&wire[..wire.len() - 1]);
+        assert_eq!(dec.next_frame(), Ok(Some(frames[0].clone())));
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert!(dec.pending() > 0);
+        dec.push(&wire[wire.len() - 1..]);
+        assert_eq!(dec.next_frame(), Ok(Some(frames[1].clone())));
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(dec.pending(), 0);
     }
 
     #[test]

@@ -1,8 +1,21 @@
 //! The workflow-server hub: accepts one TCP connection per simulated
-//! node, runs the Hello/Welcome handshake, and routes every frame of
-//! the star topology (joiners never talk to each other directly).
+//! node, runs the Hello/Welcome handshake, and routes control traffic.
 //!
-//! Routing rules:
+//! Two transports, same protocol:
+//!
+//! - **Star** (`p2p: false`): one FIFO writer thread plus one routing
+//!   reader thread per joiner; every frame — including bulk `PullData`
+//!   — transits the hub.
+//! - **Reactor** (`p2p: true`): all joiner connections live on one
+//!   [`Reactor`] event-loop thread, and the `Welcome` carries each
+//!   joiner's advertised peer address so `PullRequest`/`PullData`/
+//!   `PullNack` flow directly node↔node. The hub carries only control
+//!   traffic (registration, dispatch relays, wave barriers, DHT mirror
+//!   broadcasts, reports, shutdown); `net.pull_frames_hub` counts any
+//!   PullData that still shows up here, and the launch gate asserts it
+//!   stays zero.
+//!
+//! Routing rules (both modes):
 //!
 //! - `Relay` goes to the node hosting the destination client
 //!   (`to / cores_per_node`).
@@ -15,13 +28,15 @@
 //! - `Barrier` and `Report` land in hub state for the wave engine;
 //!   `PutNotify` feeds diagnostics counters only.
 //!
-//! Because each peer has one FIFO writer queue and TCP preserves order,
-//! forwarding a joiner's mirror frames *before* the next wave's
-//! `RunWave` guarantees every replica sees wave N's DHT state before
-//! any wave N+1 task runs — the ordering the wave barriers rely on.
+//! Because each connection preserves FIFO order (writer queue or staged
+//! reactor buffer) and TCP preserves order, forwarding a joiner's
+//! mirror frames *before* the next wave's `RunWave` guarantees every
+//! replica sees wave N's DHT state before any wave N+1 task runs — the
+//! ordering the wave barriers rely on.
 
 use crate::conn::{recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle};
 use crate::frame::{Frame, NodeReport};
+use crate::reactor::{ConnEvent, Reactor, ReactorHandle, Token};
 use insitu_fabric::FaultInjector;
 use std::collections::{HashMap, HashSet};
 use std::net::{TcpListener, TcpStream};
@@ -47,9 +62,12 @@ pub struct HubConfig {
     pub run_epoch: u64,
     /// How long to wait for all joiners to connect and greet.
     pub accept_timeout: Duration,
+    /// Reactor mode: serve all joiners from one event-loop thread and
+    /// publish their peer addresses so PullData flows node↔node.
+    pub p2p: bool,
 }
 
-/// State shared between the hub's reader threads and the wave engine.
+/// State shared between the hub's readers and the wave engine.
 struct Shared {
     nodes: u32,
     inner: Mutex<Inner>,
@@ -76,18 +94,48 @@ impl Shared {
     }
 }
 
+/// Per-node send paths, by transport mode.
+enum Links {
+    Star(Vec<Peer>),
+    P2p {
+        reactor: Reactor,
+        tokens: Vec<Token>,
+    },
+}
+
+/// A cheaply-clonable "enqueue for node N" fan-out used by the routing
+/// code in both modes.
+#[derive(Clone)]
+enum TxSet {
+    Star(Vec<PeerHandle>),
+    P2p(ReactorHandle, Vec<Token>),
+}
+
+impl TxSet {
+    fn send_to(&self, node: u32, frame: Frame) {
+        match self {
+            TxSet::Star(handles) => handles[node as usize].send(frame),
+            TxSet::P2p(handle, tokens) => handle.send(tokens[node as usize], frame),
+        }
+    }
+}
+
 /// The server's end of every joiner connection.
 pub struct Hub {
-    peers: Vec<Peer>,
+    links: Links,
     addrs: Vec<std::net::SocketAddr>,
     shared: Arc<Shared>,
 }
 
 impl Hub {
-    /// Accept `cfg.nodes` joiners on `listener`, handshake each
-    /// (`Hello` in, `Welcome` out) and spawn the writer and routing
-    /// reader threads. Fails with a clear [`NetError::Timeout`] if the
-    /// joiners do not all arrive within `cfg.accept_timeout`.
+    /// Accept `cfg.nodes` joiners on `listener` and greet them.
+    ///
+    /// The handshake is two-phase: every joiner's `Hello` (with its
+    /// advertised peer address) is collected first, then all `Welcome`s
+    /// go out — in reactor mode the `Welcome` carries the complete peer
+    /// address table, which only exists once everyone has arrived.
+    /// Fails with a clear [`NetError::Timeout`] if the joiners do not
+    /// all arrive within `cfg.accept_timeout`.
     pub fn accept(
         listener: &TcpListener,
         cfg: &HubConfig,
@@ -98,7 +146,8 @@ impl Hub {
         listener
             .set_nonblocking(true)
             .map_err(|e| NetError::Io(e.to_string()))?;
-        let mut streams: Vec<Option<TcpStream>> = (0..cfg.nodes).map(|_| None).collect();
+        // Phase 1: collect every joiner's stream and advertised address.
+        let mut slots: Vec<Option<(TcpStream, String)>> = (0..cfg.nodes).map(|_| None).collect();
         let mut joined = 0;
         while joined < cfg.nodes {
             if Instant::now() >= deadline {
@@ -110,15 +159,48 @@ impl Hub {
             }
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let node = handshake(stream, cfg, injector, metrics, &mut streams)?;
+                    read_hello(stream, cfg, injector, metrics, &mut slots)?;
                     joined += 1;
-                    let _ = node;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) => return Err(NetError::Io(e.to_string())),
             }
+        }
+        let mut streams = Vec::new();
+        let mut peer_addrs = Vec::new();
+        for (node, slot) in slots.into_iter().enumerate() {
+            let (stream, peer_addr) = slot.expect("all joiners greeted");
+            if cfg.p2p && peer_addr.is_empty() {
+                return Err(NetError::Protocol(format!(
+                    "p2p run, but node {node} advertises no peer address"
+                )));
+            }
+            streams.push(stream);
+            peer_addrs.push(peer_addr);
+        }
+
+        // Phase 2: everyone is here — greet them all.
+        let peers_field = if cfg.p2p { peer_addrs } else { Vec::new() };
+        for stream in &mut streams {
+            send_frame(
+                stream,
+                &Frame::Welcome {
+                    nodes: cfg.nodes,
+                    strategy: cfg.strategy.clone(),
+                    get_timeout_ms: cfg.get_timeout_ms,
+                    dag: cfg.dag.clone(),
+                    config: cfg.config.clone(),
+                    run_epoch: cfg.run_epoch,
+                    peers: peers_field.clone(),
+                },
+                injector,
+                metrics,
+            )?;
+            stream
+                .set_read_timeout(None)
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
 
         let shared = Arc::new(Shared {
@@ -129,45 +211,82 @@ impl Hub {
             }),
             changed: Condvar::new(),
         });
-
-        let mut peers = Vec::new();
         let mut addrs = Vec::new();
-        for (node, stream) in streams.iter().enumerate() {
-            let stream = stream.as_ref().expect("all joiners greeted");
+        for stream in &streams {
             addrs.push(
                 stream
                     .peer_addr()
                     .map_err(|e| NetError::Io(e.to_string()))?,
             );
-            let clone = stream
-                .try_clone()
+        }
+
+        let links = if cfg.p2p {
+            let reactor = Reactor::spawn("hub", injector.clone(), metrics.clone())
                 .map_err(|e| NetError::Io(e.to_string()))?;
-            peers.push(
-                Peer::spawn(
-                    clone,
+            let handle = reactor.handle();
+            let tokens: Vec<Token> = (0..cfg.nodes).map(|_| handle.alloc_token()).collect();
+            let tx = TxSet::P2p(handle.clone(), tokens.clone());
+            for (node, stream) in streams.into_iter().enumerate() {
+                let node = node as u32;
+                let tx = tx.clone();
+                let shared = Arc::clone(&shared);
+                let cores_per_node = cfg.cores_per_node;
+                let metrics = metrics.clone();
+                handle.add_stream(
+                    tokens[node as usize],
+                    stream,
+                    Box::new(move |ev| match ev {
+                        ConnEvent::Frame(frame) => {
+                            route(node, frame, cores_per_node, &shared, &tx, &metrics);
+                        }
+                        ConnEvent::Closed(reason) => {
+                            let reported =
+                                shared.inner.lock().unwrap().reports[node as usize].is_some();
+                            if reason.is_empty() {
+                                if !reported {
+                                    shared.fail(format!("node {node} hung up before reporting"));
+                                }
+                            } else {
+                                shared.fail(format!("connection to node {node}: {reason}"));
+                            }
+                        }
+                    }),
+                );
+            }
+            Links::P2p { reactor, tokens }
+        } else {
+            let mut peers = Vec::new();
+            for (node, stream) in streams.iter().enumerate() {
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| NetError::Io(e.to_string()))?;
+                peers.push(
+                    Peer::spawn(
+                        clone,
+                        injector.clone(),
+                        metrics.clone(),
+                        format!("hub-to-{node}"),
+                    )
+                    .map_err(|e| NetError::Io(e.to_string()))?,
+                );
+            }
+            let tx = TxSet::Star(peers.iter().map(Peer::handle).collect());
+            for (node, stream) in streams.into_iter().enumerate() {
+                spawn_reader(
+                    node as u32,
+                    stream,
+                    cfg.cores_per_node,
+                    tx.clone(),
+                    Arc::clone(&shared),
                     injector.clone(),
                     metrics.clone(),
-                    format!("hub-to-{node}"),
                 )
-                .map_err(|e| NetError::Io(e.to_string()))?,
-            );
-        }
-        let handles: Vec<PeerHandle> = peers.iter().map(Peer::handle).collect();
-        for (node, stream) in streams.into_iter().enumerate() {
-            let stream = stream.expect("all joiners greeted");
-            spawn_reader(
-                node as u32,
-                stream,
-                cfg.cores_per_node,
-                handles.clone(),
-                Arc::clone(&shared),
-                injector.clone(),
-                metrics.clone(),
-            )
-            .map_err(|e| NetError::Io(e.to_string()))?;
-        }
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            }
+            Links::Star(peers)
+        };
         Ok(Hub {
-            peers,
+            links,
             addrs,
             shared,
         })
@@ -175,7 +294,10 @@ impl Hub {
 
     /// Enqueue a frame for one node.
     pub fn send_to(&self, node: u32, frame: Frame) {
-        self.peers[node as usize].send(frame);
+        match &self.links {
+            Links::Star(peers) => peers[node as usize].send(frame),
+            Links::P2p { reactor, tokens } => reactor.handle().send(tokens[node as usize], frame),
+        }
     }
 
     /// The socket address the joiner hosting `node` connected from —
@@ -186,8 +308,8 @@ impl Hub {
 
     /// Enqueue a frame for every node.
     pub fn broadcast(&self, frame: Frame) {
-        for peer in &self.peers {
-            peer.send(frame.clone());
+        for node in 0..self.addrs.len() as u32 {
+            self.send_to(node, frame.clone());
         }
     }
 
@@ -266,29 +388,35 @@ impl Hub {
         self.shared.inner.lock().unwrap().failures.clone()
     }
 
-    /// Broadcast `Shutdown`, flush every writer queue onto the wire and
-    /// stop the writers. Reader threads exit on their own when the
-    /// joiners close their sockets.
+    /// Broadcast `Shutdown`, flush every staged frame onto the wire and
+    /// stop the transport. Reader threads (star) exit on their own when
+    /// the joiners close their sockets.
     pub fn shutdown(mut self, ok: bool, reason: &str) {
         self.broadcast(Frame::Shutdown {
             ok,
             reason: reason.to_string(),
         });
-        for peer in &mut self.peers {
-            peer.close();
+        match &mut self.links {
+            Links::Star(peers) => {
+                for peer in peers {
+                    peer.close();
+                }
+            }
+            Links::P2p { reactor, .. } => reactor.shutdown(),
         }
     }
 }
 
-/// Greet one accepted connection: read `Hello` (with a read timeout so
-/// a silent connection cannot stall the accept loop), validate the
-/// node id, write `Welcome`, and park the stream in its node slot.
-fn handshake(
+/// Read one accepted connection's `Hello` (with a read timeout so a
+/// silent connection cannot stall the accept loop), validate the node
+/// id, and park the stream in its node slot. The `Welcome` goes out in
+/// phase 2, once the full peer table exists.
+fn read_hello(
     stream: TcpStream,
     cfg: &HubConfig,
     injector: &FaultInjector,
     metrics: &NetMetrics,
-    streams: &mut [Option<TcpStream>],
+    slots: &mut [Option<(TcpStream, String)>],
 ) -> Result<u32, NetError> {
     let mut stream = stream;
     stream
@@ -296,8 +424,8 @@ fn handshake(
         .and_then(|_| stream.set_read_timeout(Some(Duration::from_secs(10))))
         .and_then(|_| stream.set_nodelay(true))
         .map_err(|e| NetError::Io(e.to_string()))?;
-    let node = match recv_frame(&mut stream, injector, metrics)? {
-        Frame::Hello { node } => node,
+    let (node, peer_addr) = match recv_frame(&mut stream, injector, metrics)? {
+        Frame::Hello { node, peer_addr } => (node, peer_addr),
         other => {
             return Err(NetError::Protocol(format!(
                 "expected Hello, got frame kind {}",
@@ -311,35 +439,88 @@ fn handshake(
             cfg.nodes
         )));
     }
-    if streams[node as usize].is_some() {
+    if slots[node as usize].is_some() {
         return Err(NetError::Protocol(format!("two joiners claim node {node}")));
     }
-    send_frame(
-        &mut stream,
-        &Frame::Welcome {
-            nodes: cfg.nodes,
-            strategy: cfg.strategy.clone(),
-            get_timeout_ms: cfg.get_timeout_ms,
-            dag: cfg.dag.clone(),
-            config: cfg.config.clone(),
-            run_epoch: cfg.run_epoch,
-        },
-        injector,
-        metrics,
-    )?;
-    stream
-        .set_read_timeout(None)
-        .map_err(|e| NetError::Io(e.to_string()))?;
-    streams[node as usize] = Some(stream);
+    slots[node as usize] = Some((stream, peer_addr));
     Ok(node)
 }
 
-/// Spawn the routing reader for one joiner connection.
+/// Route one frame arriving from `node`. Shared by the star reader
+/// threads and the reactor sinks. Returns `false` when the frame was a
+/// protocol violation (recorded in `shared`); the star reader stops on
+/// that, the reactor keeps the loop alive for the other connections.
+fn route(
+    node: u32,
+    frame: Frame,
+    cores_per_node: u32,
+    shared: &Shared,
+    tx: &TxSet,
+    metrics: &NetMetrics,
+) -> bool {
+    match frame {
+        Frame::Relay { to, .. } => {
+            tx.send_to(to / cores_per_node, frame);
+        }
+        Frame::PullRequest { piece, .. } => {
+            let owner_node = ((piece >> 32) as u32) / cores_per_node;
+            tx.send_to(owner_node, frame);
+        }
+        Frame::PullData { to_node, .. } => {
+            // Data plane through the control plane. Expected in star
+            // mode; the p2p acceptance gate asserts this counter stays
+            // zero in reactor mode.
+            metrics.pull_hub.inc();
+            tx.send_to(to_node, frame);
+        }
+        Frame::PullNack { to_node, .. } => {
+            tx.send_to(to_node, frame);
+        }
+        Frame::DhtInsert { .. } | Frame::GetDone { .. } | Frame::Evict { .. } => {
+            for n in 0..shared.nodes {
+                if n != node {
+                    tx.send_to(n, frame.clone());
+                }
+            }
+        }
+        Frame::PutNotify { bytes, .. } => {
+            let mut inner = shared.inner.lock().unwrap();
+            inner.puts_announced += 1;
+            inner.put_bytes_announced += bytes;
+        }
+        Frame::Barrier { wave, node: from } => {
+            shared
+                .inner
+                .lock()
+                .unwrap()
+                .barriers
+                .entry(wave)
+                .or_default()
+                .insert(from);
+            shared.changed.notify_all();
+        }
+        Frame::Report(report) => {
+            let slot = report.node as usize;
+            shared.inner.lock().unwrap().reports[slot] = Some(report);
+            shared.changed.notify_all();
+        }
+        other => {
+            shared.fail(format!(
+                "node {node} sent unexpected frame kind {}",
+                other.kind()
+            ));
+            return false;
+        }
+    }
+    true
+}
+
+/// Spawn the routing reader for one joiner connection (star mode).
 fn spawn_reader(
     node: u32,
     mut stream: TcpStream,
     cores_per_node: u32,
-    peers: Vec<PeerHandle>,
+    tx: TxSet,
     shared: Arc<Shared>,
     injector: FaultInjector,
     metrics: NetMetrics,
@@ -363,52 +544,8 @@ fn spawn_reader(
                     return;
                 }
             };
-            match frame {
-                Frame::Relay { to, .. } => {
-                    peers[(to / cores_per_node) as usize].send(frame);
-                }
-                Frame::PullRequest { piece, .. } => {
-                    let owner_node = ((piece >> 32) as u32) / cores_per_node;
-                    peers[owner_node as usize].send(frame);
-                }
-                Frame::PullData { to_node, .. } | Frame::PullNack { to_node, .. } => {
-                    peers[to_node as usize].send(frame);
-                }
-                Frame::DhtInsert { .. } | Frame::GetDone { .. } | Frame::Evict { .. } => {
-                    for (n, peer) in peers.iter().enumerate() {
-                        if n as u32 != node {
-                            peer.send(frame.clone());
-                        }
-                    }
-                }
-                Frame::PutNotify { bytes, .. } => {
-                    let mut inner = shared.inner.lock().unwrap();
-                    inner.puts_announced += 1;
-                    inner.put_bytes_announced += bytes;
-                }
-                Frame::Barrier { wave, node: from } => {
-                    shared
-                        .inner
-                        .lock()
-                        .unwrap()
-                        .barriers
-                        .entry(wave)
-                        .or_default()
-                        .insert(from);
-                    shared.changed.notify_all();
-                }
-                Frame::Report(report) => {
-                    let slot = report.node as usize;
-                    shared.inner.lock().unwrap().reports[slot] = Some(report);
-                    shared.changed.notify_all();
-                }
-                other => {
-                    shared.fail(format!(
-                        "node {node} sent unexpected frame kind {}",
-                        other.kind()
-                    ));
-                    return;
-                }
+            if !route(node, frame, cores_per_node, &shared, &tx, &metrics) {
+                return;
             }
         })
 }

@@ -19,12 +19,19 @@
 //! - [`conn`] — counted, fault-gated frame I/O over
 //!   `std::net::TcpStream`: per-peer FIFO writer threads, retrying
 //!   connect with a hard deadline, and the `net.*` telemetry counters.
-//! - [`hub`] — the workflow server's star-topology router: joiners
-//!   only ever talk to the hub, which forwards relays, routes pulls by
-//!   the owner packed in the buffer key, broadcasts DHT mirror traffic
-//!   and runs the wave barriers.
+//! - [`reactor`] — the non-blocking event loop: one thread owns every
+//!   connection, readiness comes from the `insitu_util::Poller` shim,
+//!   small messages coalesce into batched writes, and thread count
+//!   stays O(1) per process no matter how many peers connect.
+//! - [`hub`] — the workflow server's router. In star mode joiners only
+//!   ever talk to the hub, which forwards relays, routes pulls by the
+//!   owner packed in the buffer key, broadcasts DHT mirror traffic and
+//!   runs the wave barriers. In reactor (p2p) mode the hub serves all
+//!   joiners from one event loop and carries control traffic only —
+//!   `PullData` flows directly node↔node.
 //! - [`link`] — the joiner's end: implements `insitu_dart::Transport`
-//!   and `insitu_cods::SpaceMirror` over the hub connection, demuxes
+//!   and `insitu_cods::SpaceMirror` over the hub connection (and, in
+//!   p2p mode, lazily-dialed direct peer connections), demuxes
 //!   incoming frames into the local mailboxes / registry / DHT replica
 //!   and surfaces `RunWave`/`Shutdown` to the wave loop.
 //!
@@ -42,10 +49,16 @@ pub mod conn;
 pub mod frame;
 pub mod hub;
 pub mod link;
+mod peers;
+pub mod reactor;
 
 pub use conn::{
     connect_with_retry, recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle,
 };
-pub use frame::{Frame, FrameError, NodeReport, RunState, RunSummary, MAX_FRAME_LEN, WIRE_VERSION};
+pub use frame::{
+    encode_batch, Frame, FrameDecoder, FrameError, NodeReport, RunState, RunSummary, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
 pub use hub::{Hub, HubConfig};
 pub use link::{Ctl, NetLink};
+pub use reactor::{AcceptFn, ConnEvent, Reactor, ReactorHandle, Sink, Token};

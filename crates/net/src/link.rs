@@ -1,17 +1,32 @@
 //! The execution client's end of the wire: `NetLink` implements both
 //! [`insitu_dart::Transport`] (mailbox forwarding, buffer publication,
 //! pull requests) and [`insitu_cods::space::SpaceMirror`] (DHT-replica
-//! maintenance), speaking frames to the hub over one TCP connection.
+//! maintenance), speaking frames to the hub — and, in p2p mode,
+//! directly to peer joiners.
+//!
+//! Two transports, chosen by the `Welcome`:
+//!
+//! - **Star** ([`NetLink::new`]): one hub connection with a FIFO writer
+//!   thread and a blocking demux reader thread; every frame, including
+//!   `PullData`, rides the hub.
+//! - **Reactor/p2p** ([`NetLink::new_p2p`]): the hub connection, a
+//!   local peer listener and every direct peer connection all live on
+//!   one [`Reactor`] event-loop thread. `PullRequest` goes straight to
+//!   the owner's node over a lazily-dialed direct connection (see
+//!   [`PeerTable`]); the `PullData`/`PullNack` answer returns on the
+//!   same socket. The hub carries only control traffic.
 //!
 //! Construction is two-phase because the link and the runtime need each
 //! other: build the `NetLink` first (it only needs the socket), hand it
 //! to `DartRuntime::with_transport` and `CodsSpace::with_mirror`, then
-//! call [`NetLink::start_reader`] with both — it spawns the demux
-//! reader and returns the control channel (`RunWave` / `Shutdown`)
-//! that drives the joiner's wave loop.
+//! call [`NetLink::start_reader`] with both — it wires up the demux
+//! (reader thread or reactor sinks) and returns the control channel
+//! (`RunWave` / `Shutdown`) that drives the joiner's wave loop.
 
-use crate::conn::{recv_frame, NetError, NetMetrics, Peer};
+use crate::conn::{recv_frame, NetError, NetMetrics, Peer, PeerHandle};
 use crate::frame::{Frame, FrameError, NodeReport};
+use crate::peers::PeerTable;
+use crate::reactor::{ConnEvent, Reactor, ReactorHandle, Sink, Token};
 use insitu_cods::space::SpaceMirror;
 use insitu_cods::{CodsSpace, LocationEntry};
 use insitu_dart::transport::Transport;
@@ -21,8 +36,8 @@ use insitu_fabric::{ClientId, FaultInjector};
 use insitu_util::channel::{unbounded, Receiver, Sender};
 use insitu_util::Bytes;
 use std::collections::HashSet;
-use std::net::TcpStream;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Duration;
 
 /// Control frames the reader surfaces to the joiner's wave loop.
@@ -39,15 +54,58 @@ pub enum Ctl {
     },
 }
 
-/// One joiner process's connection to the hub.
+/// The send path to the hub, by transport mode.
+enum HubTx {
+    /// FIFO writer thread over the hub socket.
+    Star(Peer),
+    /// The hub connection's token on this process's reactor.
+    P2p(ReactorHandle, Token),
+}
+
+impl HubTx {
+    fn send(&self, frame: Frame) {
+        match self {
+            HubTx::Star(peer) => peer.send(frame),
+            HubTx::P2p(handle, token) => handle.send(*token, frame),
+        }
+    }
+}
+
+/// Where a pull answer goes: back up the hub (star) or out the same
+/// direct connection the request arrived on (p2p).
+#[derive(Clone)]
+enum ReplyTx {
+    Star(PeerHandle),
+    Reactor(ReactorHandle, Token),
+}
+
+impl ReplyTx {
+    fn send(&self, frame: Frame) {
+        match self {
+            ReplyTx::Star(handle) => handle.send(frame),
+            ReplyTx::Reactor(handle, token) => handle.send(*token, frame),
+        }
+    }
+}
+
+/// One joiner process's connection(s) to the run.
 pub struct NetLink {
     node: u32,
     cores_per_node: u32,
-    peer: Peer,
+    hub: HubTx,
     injector: FaultInjector,
     metrics: NetMetrics,
-    /// The demux reader's own clone of the stream.
+    /// The hub stream, parked until `start_reader` wires up the demux.
     stream: Mutex<Option<TcpStream>>,
+    /// The p2p peer listener, parked until `start_reader`.
+    listener: Mutex<Option<TcpListener>>,
+    /// The event loop (p2p mode only).
+    reactor: Option<Reactor>,
+    /// Direct connections to peer nodes (p2p mode only).
+    peers: Option<PeerTable>,
+    /// Back-reference for building reactor sinks from `&self` methods;
+    /// `Weak` so sinks never keep the link (or its reactor) alive.
+    self_ref: Mutex<Weak<NetLink>>,
     /// Keys with an outstanding `PullRequest`, so concurrent local
     /// waiters ask the owner once, not once per waiter.
     inflight: Mutex<HashSet<BufKey>>,
@@ -59,9 +117,9 @@ pub struct NetLink {
 }
 
 impl NetLink {
-    /// Wrap an established, greeted connection. `stream` must be past
-    /// the Hello/Welcome handshake; `get_timeout` mirrors the space's
-    /// get timeout (from `Welcome`).
+    /// Wrap an established, greeted connection in star mode. `stream`
+    /// must be past the Hello/Welcome handshake; `get_timeout` mirrors
+    /// the space's get timeout (from `Welcome`).
     pub fn new(
         stream: TcpStream,
         node: u32,
@@ -80,18 +138,66 @@ impl NetLink {
             format!("node-{node}"),
         )
         .map_err(|e| NetError::Io(e.to_string()))?;
-        Ok(Arc::new(NetLink {
+        let link = Arc::new(NetLink {
             node,
             cores_per_node,
-            peer,
+            hub: HubTx::Star(peer),
             injector,
             metrics,
             stream: Mutex::new(Some(reader)),
+            listener: Mutex::new(None),
+            reactor: None,
+            peers: None,
+            self_ref: Mutex::new(Weak::new()),
             inflight: Mutex::new(HashSet::new()),
             get_timeout,
             dart: OnceLock::new(),
             space: OnceLock::new(),
-        }))
+        });
+        *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
+        Ok(link)
+    }
+
+    /// Wrap an established, greeted connection in reactor/p2p mode.
+    ///
+    /// `peers` is the address table from the `Welcome`; `listener` is
+    /// this process's own peer listener, already bound to the address
+    /// it advertised in its `Hello`. `dial_timeout` bounds each direct
+    /// peer dial (retried transparently while it lasts).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_p2p(
+        stream: TcpStream,
+        node: u32,
+        cores_per_node: u32,
+        get_timeout: Duration,
+        injector: FaultInjector,
+        metrics: NetMetrics,
+        peers: Vec<String>,
+        listener: TcpListener,
+        dial_timeout: Duration,
+    ) -> Result<Arc<NetLink>, NetError> {
+        let reactor = Reactor::spawn(&format!("node-{node}"), injector.clone(), metrics.clone())
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let handle = reactor.handle();
+        let hub_token = handle.alloc_token();
+        let link = Arc::new(NetLink {
+            node,
+            cores_per_node,
+            hub: HubTx::P2p(handle, hub_token),
+            injector,
+            metrics,
+            stream: Mutex::new(Some(stream)),
+            listener: Mutex::new(Some(listener)),
+            reactor: Some(reactor),
+            peers: Some(PeerTable::new(peers, dial_timeout)),
+            self_ref: Mutex::new(Weak::new()),
+            inflight: Mutex::new(HashSet::new()),
+            get_timeout,
+            dart: OnceLock::new(),
+            space: OnceLock::new(),
+        });
+        *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
+        Ok(link)
     }
 
     /// The simulated node this process hosts.
@@ -99,9 +205,9 @@ impl NetLink {
         self.node
     }
 
-    /// Spawn the demux reader thread and return the control channel it
-    /// feeds. Must be called exactly once, after the runtime and space
-    /// were built around this link.
+    /// Wire up the frame demux and return the control channel it feeds.
+    /// Must be called exactly once, after the runtime and space were
+    /// built around this link.
     pub fn start_reader(
         self: &Arc<Self>,
         dart: Arc<DartRuntime>,
@@ -113,23 +219,82 @@ impl NetLink {
             .ok()
             .expect("start_reader called twice");
         let (ctl_tx, ctl_rx) = unbounded();
-        let link = Arc::clone(self);
         let mut stream = self
             .stream
             .lock()
             .unwrap()
             .take()
             .expect("start_reader called twice");
-        std::thread::Builder::new()
-            .name(format!("net-reader-{}", self.node))
-            .spawn(move || link.read_loop(&mut stream, &ctl_tx))
-            .expect("spawn net reader");
+        match (&self.hub, &self.reactor) {
+            (HubTx::Star(_), _) => {
+                let link = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("net-reader-{}", self.node))
+                    .spawn(move || link.read_loop(&mut stream, &ctl_tx))
+                    .expect("spawn net reader");
+            }
+            (HubTx::P2p(handle, hub_token), Some(reactor)) => {
+                // Hub connection: demux frames, surface lost-hub as
+                // Shutdown to the wave loop.
+                let weak = Arc::downgrade(self);
+                let hub_reply = ReplyTx::Reactor(handle.clone(), *hub_token);
+                let ctl_for_hub = ctl_tx.clone();
+                handle.add_stream(
+                    *hub_token,
+                    stream,
+                    Box::new(move |ev| match ev {
+                        ConnEvent::Frame(frame) => {
+                            if let Some(link) = weak.upgrade() {
+                                link.on_frame(frame, &hub_reply, Some(&ctl_for_hub));
+                            }
+                        }
+                        ConnEvent::Closed(reason) => {
+                            let _ = ctl_for_hub.send(Ctl::Shutdown {
+                                ok: false,
+                                reason: if reason.is_empty() {
+                                    "server closed the connection".into()
+                                } else {
+                                    format!("server connection lost: {reason}")
+                                },
+                            });
+                        }
+                    }),
+                );
+                // Peer listener: every inbound direct connection serves
+                // pulls for this process's staged buffers.
+                let listener = self
+                    .listener
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("p2p listener present");
+                let weak = Arc::downgrade(self);
+                let accept_handle = handle.clone();
+                reactor.handle().add_listener(
+                    listener,
+                    Box::new(move |token, _addr| {
+                        let weak = weak.clone();
+                        let reply = ReplyTx::Reactor(accept_handle.clone(), token);
+                        Box::new(move |ev| {
+                            if let ConnEvent::Frame(frame) = ev {
+                                if let Some(link) = weak.upgrade() {
+                                    link.on_frame(frame, &reply, None);
+                                }
+                            }
+                            // Closed: an inbound peer vanished; its
+                            // dialer re-establishes on the next pull.
+                        })
+                    }),
+                );
+            }
+            _ => unreachable!("p2p HubTx implies a reactor"),
+        }
         ctl_rx
     }
 
     /// Tell the server this node finished a wave.
     pub fn barrier(&self, wave: u32) {
-        self.peer.send(Frame::Barrier {
+        self.hub.send(Frame::Barrier {
             wave,
             node: self.node,
         });
@@ -137,18 +302,28 @@ impl NetLink {
 
     /// Send the final per-process report.
     pub fn report(&self, report: NodeReport) {
-        self.peer.send(Frame::Report(report));
+        self.hub.send(Frame::Report(report));
     }
 
-    /// Flush every queued frame onto the wire and stop the writer.
+    /// Flush every queued frame onto the wire and stop the transport.
     /// Call before process exit so the `Report` is not lost.
     pub fn close(&self) {
-        self.peer.close();
+        match &self.hub {
+            HubTx::Star(peer) => peer.close(),
+            HubTx::P2p(..) => {
+                if let Some(reactor) = &self.reactor {
+                    reactor.shutdown();
+                }
+            }
+        }
     }
 
+    /// Star mode: the blocking demux reader.
     fn read_loop(&self, stream: &mut TcpStream, ctl: &Sender<Ctl>) {
-        let dart = self.dart.get().expect("reader after start").clone();
-        let space = self.space.get().expect("reader after start").clone();
+        let reply = match &self.hub {
+            HubTx::Star(peer) => ReplyTx::Star(peer.handle()),
+            HubTx::P2p(..) => unreachable!("read_loop is star-only"),
+        };
         loop {
             let frame = match recv_frame(stream, &self.injector, &self.metrics) {
                 Ok(f) => f,
@@ -167,107 +342,129 @@ impl NetLink {
                     return;
                 }
             };
-            match frame {
-                Frame::Relay {
-                    to,
-                    src,
-                    tag,
-                    payload,
-                } => {
-                    dart.deliver(
-                        to,
-                        Msg {
-                            src,
-                            tag,
-                            payload: Bytes::copy_from_slice(&payload),
-                        },
-                    );
-                }
-                Frame::PullRequest {
-                    name,
-                    version,
-                    piece,
-                    from_node,
-                } => self.answer_pull(name, version, piece, from_node, &dart),
-                Frame::PullData {
-                    name,
-                    version,
-                    piece,
-                    owner,
-                    data,
-                    ..
-                } => {
-                    let key = BufKey {
-                        name,
-                        version,
-                        piece,
-                    };
-                    self.inflight.lock().unwrap().remove(&key);
-                    // Register directly (NOT through the runtime): the
-                    // bytes were accounted by the puller's `pull` and
-                    // must not be re-published as a local put.
-                    if dart.registry().get(&key).is_none() {
-                        dart.registry()
-                            .register(key, owner, Bytes::copy_from_slice(&data));
-                    }
-                }
-                Frame::PullNack {
-                    name,
-                    version,
-                    piece,
-                    ..
-                } => {
-                    // The owner gave up; our local wait will time out
-                    // and surface the pull failure. Allow a retry to
-                    // re-request.
-                    self.inflight.lock().unwrap().remove(&BufKey {
-                        name,
-                        version,
-                        piece,
-                    });
-                }
-                Frame::DhtInsert {
-                    var,
-                    version,
-                    owner,
-                    piece,
-                    lbs,
-                    ubs,
-                } => {
-                    space.apply_remote_dht_insert(
-                        var,
-                        version,
-                        LocationEntry {
-                            bbox: BoundingBox::new(&lbs, &ubs),
-                            owner,
-                            piece,
-                        },
-                    );
-                }
-                Frame::GetDone { var, version } => space.apply_remote_get_done(var, version),
-                Frame::Evict { var, version } => space.apply_remote_evict(var, version),
-                Frame::RunWave { wave } => {
-                    let _ = ctl.send(Ctl::RunWave(wave));
-                }
-                Frame::Shutdown { ok, reason } => {
-                    let _ = ctl.send(Ctl::Shutdown { ok, reason });
-                    return;
-                }
-                other => {
-                    let _ = ctl.send(Ctl::Shutdown {
-                        ok: false,
-                        reason: format!("unexpected frame kind {} from server", other.kind()),
-                    });
-                    return;
-                }
+            if !self.on_frame(frame, &reply, Some(ctl)) {
+                return;
             }
         }
     }
 
+    /// Demux one incoming frame. `reply` is where pull answers go —
+    /// back up the connection the request arrived on. `ctl` is present
+    /// on hub connections (which carry `RunWave`/`Shutdown`) and absent
+    /// on direct peer connections. Returns `false` when the connection's
+    /// demux should stop (shutdown or protocol violation).
+    fn on_frame(&self, frame: Frame, reply: &ReplyTx, ctl: Option<&Sender<Ctl>>) -> bool {
+        let dart = self.dart.get().expect("demux after start_reader");
+        let space = self.space.get().expect("demux after start_reader");
+        match frame {
+            Frame::Relay {
+                to,
+                src,
+                tag,
+                payload,
+            } => {
+                dart.deliver(
+                    to,
+                    Msg {
+                        src,
+                        tag,
+                        payload: Bytes::copy_from_slice(&payload),
+                    },
+                );
+            }
+            Frame::PullRequest {
+                name,
+                version,
+                piece,
+                from_node,
+            } => self.answer_pull(name, version, piece, from_node, dart, reply.clone()),
+            Frame::PullData {
+                name,
+                version,
+                piece,
+                owner,
+                data,
+                ..
+            } => {
+                let key = BufKey {
+                    name,
+                    version,
+                    piece,
+                };
+                self.inflight.lock().unwrap().remove(&key);
+                // Register directly (NOT through the runtime): the
+                // bytes were accounted by the puller's `pull` and
+                // must not be re-published as a local put.
+                if dart.registry().get(&key).is_none() {
+                    dart.registry()
+                        .register(key, owner, Bytes::copy_from_slice(&data));
+                }
+            }
+            Frame::PullNack {
+                name,
+                version,
+                piece,
+                ..
+            } => {
+                // The owner gave up; our local wait will time out
+                // and surface the pull failure. Allow a retry to
+                // re-request.
+                self.inflight.lock().unwrap().remove(&BufKey {
+                    name,
+                    version,
+                    piece,
+                });
+            }
+            Frame::DhtInsert {
+                var,
+                version,
+                owner,
+                piece,
+                lbs,
+                ubs,
+            } => {
+                space.apply_remote_dht_insert(
+                    var,
+                    version,
+                    LocationEntry {
+                        bbox: BoundingBox::new(&lbs, &ubs),
+                        owner,
+                        piece,
+                    },
+                );
+            }
+            Frame::GetDone { var, version } => space.apply_remote_get_done(var, version),
+            Frame::Evict { var, version } => space.apply_remote_evict(var, version),
+            Frame::RunWave { wave } => {
+                if let Some(ctl) = ctl {
+                    let _ = ctl.send(Ctl::RunWave(wave));
+                }
+            }
+            Frame::Shutdown { ok, reason } => {
+                if let Some(ctl) = ctl {
+                    let _ = ctl.send(Ctl::Shutdown { ok, reason });
+                }
+                return false;
+            }
+            other => {
+                if let Some(ctl) = ctl {
+                    let _ = ctl.send(Ctl::Shutdown {
+                        ok: false,
+                        reason: format!("unexpected frame kind {} from server", other.kind()),
+                    });
+                    return false;
+                }
+                // A confused peer connection is ignored, not fatal to
+                // the run: its pulls simply won't complete.
+            }
+        }
+        true
+    }
+
     /// Serve one remote pull: wait (on a throwaway thread, so the demux
-    /// loop never blocks) for the buffer to be put locally, then answer
-    /// with its bytes — or `PullNack` if the producer never delivers
-    /// within the get timeout.
+    /// never blocks) for the buffer to be put locally, then answer with
+    /// its bytes — or `PullNack` if the producer never delivers within
+    /// the get timeout.
     fn answer_pull(
         &self,
         name: u64,
@@ -275,6 +472,7 @@ impl NetLink {
         piece: u64,
         from_node: u32,
         dart: &Arc<DartRuntime>,
+        reply: ReplyTx,
     ) {
         let key = BufKey {
             name,
@@ -282,7 +480,6 @@ impl NetLink {
             piece,
         };
         let dart = Arc::clone(dart);
-        let reply = self.peer.handle();
         let timeout = self.get_timeout;
         std::thread::Builder::new()
             .name("net-pull-wait".into())
@@ -304,6 +501,45 @@ impl NetLink {
             })
             .expect("spawn pull waiter");
     }
+
+    /// P2p: the live token for the direct connection to `node`, dialing
+    /// it first if needed.
+    fn ensure_peer(&self, owner_node: u32) -> Result<Token, NetError> {
+        let (table, reactor) = match (&self.peers, &self.reactor) {
+            (Some(t), Some(r)) => (t, r),
+            _ => return Err(NetError::Protocol("not a p2p link".into())),
+        };
+        let handle = reactor.handle();
+        let weak = self.self_ref.lock().unwrap().clone();
+        table.ensure(
+            owner_node,
+            self.node,
+            &handle,
+            &self.injector,
+            &self.metrics,
+            |token| {
+                let reply = ReplyTx::Reactor(handle.clone(), token);
+                let weak2 = weak.clone();
+                let sink: Sink = Box::new(move |ev| match ev {
+                    ConnEvent::Frame(frame) => {
+                        if let Some(link) = weak2.upgrade() {
+                            link.on_frame(frame, &reply, None);
+                        }
+                    }
+                    ConnEvent::Closed(_) => {
+                        // Forget the dead connection so the next pull
+                        // re-dials (transparent reconnect).
+                        if let Some(link) = weak2.upgrade() {
+                            if let Some(table) = &link.peers {
+                                table.forget(token);
+                            }
+                        }
+                    }
+                });
+                sink
+            },
+        )
+    }
 }
 
 impl Transport for NetLink {
@@ -312,7 +548,7 @@ impl Transport for NetLink {
     }
 
     fn forward(&self, to: ClientId, msg: &Msg) {
-        self.peer.send(Frame::Relay {
+        self.hub.send(Frame::Relay {
             to,
             src: msg.src,
             tag: msg.tag,
@@ -321,7 +557,7 @@ impl Transport for NetLink {
     }
 
     fn publish(&self, key: &BufKey, owner: ClientId, bytes: u64) {
-        self.peer.send(Frame::PutNotify {
+        self.hub.send(Frame::PutNotify {
             name: key.name,
             version: key.version,
             piece: key.piece,
@@ -334,19 +570,45 @@ impl Transport for NetLink {
         if !self.inflight.lock().unwrap().insert(*key) {
             return;
         }
-        self.peer.send(Frame::PullRequest {
+        let req = Frame::PullRequest {
             name: key.name,
             version: key.version,
             piece: key.piece,
             from_node: self.node,
-        });
+        };
+        if self.peers.is_some() {
+            // P2p: straight to the owner's node, dialing on first use.
+            let owner_node = ((key.piece >> 32) as u32) / self.cores_per_node;
+            match self.ensure_peer(owner_node) {
+                Ok(token) => {
+                    if let HubTx::P2p(handle, _) = &self.hub {
+                        handle.send(token, req);
+                    }
+                }
+                Err(_) => {
+                    // Dial failed: release the inflight slot so the
+                    // local wait times out naming the owner (and a
+                    // retry may re-dial).
+                    self.inflight.lock().unwrap().remove(key);
+                }
+            }
+        } else {
+            self.hub.send(req);
+        }
+    }
+
+    fn dial_peer(&self, client: ClientId) -> bool {
+        if self.peers.is_none() {
+            return false;
+        }
+        self.ensure_peer(client / self.cores_per_node).is_ok()
     }
 }
 
 impl SpaceMirror for NetLink {
     fn dht_insert(&self, var: u64, version: u64, entry: &LocationEntry) {
         let nd = entry.bbox.ndim();
-        self.peer.send(Frame::DhtInsert {
+        self.hub.send(Frame::DhtInsert {
             var,
             version,
             owner: entry.owner,
@@ -357,10 +619,10 @@ impl SpaceMirror for NetLink {
     }
 
     fn get_done(&self, var: u64, version: u64) {
-        self.peer.send(Frame::GetDone { var, version });
+        self.hub.send(Frame::GetDone { var, version });
     }
 
     fn evict(&self, var: u64, version: u64) {
-        self.peer.send(Frame::Evict { var, version });
+        self.hub.send(Frame::Evict { var, version });
     }
 }

@@ -39,6 +39,10 @@ pub struct SvcConfig {
     pub artifacts_dir: Option<PathBuf>,
     /// Print run lifecycle transitions to stdout (`insitu serve` does).
     pub verbose: bool,
+    /// Run every run's data plane peer-to-peer: joiners exchange
+    /// `PullData` over direct links and each run's private hub carries
+    /// control traffic only. Off by default (star topology).
+    pub p2p: bool,
 }
 
 impl Default for SvcConfig {
@@ -50,6 +54,7 @@ impl Default for SvcConfig {
             connect_timeout: Duration::from_secs(30),
             artifacts_dir: None,
             verbose: false,
+            p2p: false,
         }
     }
 }
@@ -357,6 +362,7 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                 run_epoch: id,
                 cancel: Arc::clone(&cancel),
                 flight: flight.clone(),
+                p2p: shared.cfg.p2p,
             },
         )
     })();

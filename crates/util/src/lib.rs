@@ -12,15 +12,19 @@
 //!   and synthetic workloads);
 //! - [`check`] — a deterministic property-test driver (replaces
 //!   `proptest`: seeded random cases, plain `assert!`s, reproducible
-//!   failures).
+//!   failures);
+//! - [`Poller`] — a readiness poller over non-blocking `TcpStream`s
+//!   (replaces `mio`/`epoll` for the `insitu-net` reactor's needs).
 
 #![warn(missing_docs)]
 
 pub mod bytes;
 pub mod channel;
 pub mod check;
+pub mod poller;
 pub mod rng;
 
 pub use bytes::Bytes;
 pub use channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
+pub use poller::Poller;
 pub use rng::SplitMix64;

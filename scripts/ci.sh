@@ -69,6 +69,25 @@ insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
 grep -q "byte-identical to the single-process run" target/launch-report.txt
 test -s target/launch-ledger.json
 
+# The same smoke in reactor (p2p) mode: PullData flows over direct
+# node<->node links and launch itself asserts — via the
+# net.pull_frames_hub counter — that the hub carried control traffic
+# only. The merged ledger must still be byte-identical.
+echo "==> distributed loopback smoke, p2p data plane (--p2p)"
+insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
+    --procs 3 --p2p | tee target/launch-p2p-report.txt
+grep -q "byte-identical to the single-process run" target/launch-p2p-report.txt
+grep -q "p2p:       0 PullData frames through the hub" target/launch-p2p-report.txt
+
+# Wire-transport bench: star (thread-per-peer) vs reactor over
+# loopback — frames/s, pull RTT p50/p99, threads for 32 connections.
+# NET_BENCH_GATE=1 fails the run if the reactor's pull p99 regresses
+# past 1.5x the star baseline; the JSON lands in target/ for upload.
+echo "==> wire transport bench (star vs reactor, gated on pull p99)"
+BENCH_OUT_DIR=target NET_BENCH_GATE=1 cargo run -q $chaos_profile \
+    -p insitu-bench --bin net_bench --offline
+test -s target/BENCH_net.json
+
 # M x N redistribution micro-bench: sequential vs overlapped pulls on
 # the threaded data plane (4x1, 8x8->1, 64->16). Wall-clock numbers are
 # informational (shared CI runners are noisy); the JSON lands in target/

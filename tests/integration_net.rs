@@ -1,9 +1,12 @@
 //! End-to-end test of the socketized workflow server: `insitu launch`
 //! forks real joiner processes over loopback, runs the mixed
 //! concurrent + sequential distrib workflow, and certifies the merged
-//! transfer ledger byte-identical to the single-process executor. Also
-//! covers the fail-fast paths: a joiner pointed at a dead address and a
-//! launch whose `--procs` does not fit the workflow.
+//! transfer ledger byte-identical to the single-process executor — in
+//! star mode and in `--p2p` reactor mode (where zero `PullData` frames
+//! may traverse the hub). Also covers the fail-fast paths (a joiner
+//! pointed at a dead address, a launch whose `--procs` does not fit the
+//! workflow) and a reactor soak: 64 concurrent connections served with
+//! O(1) threads per process.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -50,6 +53,139 @@ fn launch_runs_distributed_workflow_with_identical_ledger() {
     let body = std::fs::read_to_string(&ledger).expect("ledger JSON written");
     assert!(body.contains("\"inter_app.shm\""), "{body}");
     std::fs::remove_file(&ledger).unwrap();
+}
+
+#[test]
+fn launch_p2p_keeps_ledger_identical_and_hub_data_free() {
+    let out = insitu()
+        .args([
+            "launch",
+            &workflow_path("distrib.dag"),
+            "--config",
+            &workflow_path("distrib.cfg"),
+            "--procs",
+            "3",
+            "--timeout-ms",
+            "60000",
+            "--p2p",
+        ])
+        .output()
+        .expect("spawn insitu launch --p2p");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "launch --p2p failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("byte-identical to the single-process run"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("p2p:       0 PullData frames through the hub"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verified:  0 cell mismatches"), "{stdout}");
+}
+
+/// OS thread count of this process, from `/proc/self/status`.
+fn os_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn reactor_soaks_64_connections_with_constant_threads() {
+    use insitu_fabric::FaultInjector;
+    use insitu_net::{ConnEvent, Frame, NetMetrics, Reactor};
+    use insitu_telemetry::Recorder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const CONNS: usize = 64;
+    const FRAMES_PER_CONN: usize = 50;
+
+    let metrics = NetMetrics::new(&Recorder::disabled());
+    let before = os_threads();
+
+    // Server: one reactor echoing every frame straight back.
+    let server = Reactor::spawn("soak-server", FaultInjector::none(), metrics.clone())
+        .expect("spawn server reactor");
+    let handle = server.handle();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    {
+        let echo = handle.clone();
+        handle.add_listener(
+            listener,
+            Box::new(move |token, _| {
+                let echo = echo.clone();
+                Box::new(move |event| {
+                    if let ConnEvent::Frame(f) = event {
+                        echo.send(token, f);
+                    }
+                })
+            }),
+        );
+    }
+
+    // Clients: one more reactor owning all 64 outbound connections; a
+    // shared counter tracks echoed frames.
+    let echoed = Arc::new(AtomicU64::new(0));
+    let client = Reactor::spawn("soak-client", FaultInjector::none(), metrics.clone())
+        .expect("spawn client reactor");
+    let chandle = client.handle();
+    let mut tokens = Vec::new();
+    for _ in 0..CONNS {
+        let stream = std::net::TcpStream::connect(addr).expect("dial soak server");
+        let token = chandle.alloc_token();
+        let echoed = Arc::clone(&echoed);
+        chandle.add_stream(
+            token,
+            stream,
+            Box::new(move |event| {
+                if let ConnEvent::Frame(_) = event {
+                    echoed.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        );
+        tokens.push(token);
+    }
+    for round in 0..FRAMES_PER_CONN {
+        for &token in &tokens {
+            chandle.send(token, Frame::RunWave { wave: round as u32 });
+        }
+    }
+
+    let expected = (CONNS * FRAMES_PER_CONN) as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while echoed.load(Ordering::Relaxed) < expected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        echoed.load(Ordering::Relaxed),
+        expected,
+        "every frame must come back within the deadline"
+    );
+
+    // The tentpole claim: 64 live connections in each direction, yet
+    // thread count stays O(1) per process — two reactor loops and their
+    // wake plumbing, not a thread (or two) per connection.
+    let during = os_threads();
+    let added = during.saturating_sub(before);
+    assert!(
+        added <= 8,
+        "64 connections added {added} threads (before {before}, during {during}); \
+         a thread-per-peer transport would have added >= 64"
+    );
+
+    client.shutdown();
+    server.shutdown();
 }
 
 #[test]
