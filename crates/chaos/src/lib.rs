@@ -35,7 +35,7 @@ pub use generator::{dag_round_trip, random_workflow, render_dag, CaseSpec};
 pub use harness::{
     case_seed, run_case, run_case_spec, run_chaos, shrink_to_reproducer, CaseOutcome, ChaosReport,
 };
-pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use plan::{FaultKind, FaultPlan, FaultSpec, TELEMETRY_FRAME_KIND};
 pub use shrink::{reproducer, shrink};
 
 #[cfg(test)]

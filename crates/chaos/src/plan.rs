@@ -32,7 +32,9 @@ pub enum FaultKind {
     DhtBlackout,
     /// Staging memory on a node is exhausted: puts from it fail.
     StageFull,
-    /// A torus link runs degraded in the time model.
+    /// A torus link runs degraded: estimates slow down in the time
+    /// model, and on the real wire the affected pull-data sends are
+    /// held 15-50 ms before they are written.
     LinkSlow,
     /// A TCP connection attempt to a peer fails (every retry of the same
     /// peer rolls the same site, so a faulted connect stays down).
@@ -43,11 +45,16 @@ pub enum FaultKind {
     /// A data-plane frame (pull-data) is discarded after being read from
     /// the wire.
     NetRecv,
+    /// A telemetry batch is lost on the wire. Separately rated from the
+    /// data-plane drops because its blast radius is different by
+    /// design: a lost batch degrades the merged trace to the processes
+    /// that reported, never the run itself.
+    NetTelemetry,
 }
 
 impl FaultKind {
     /// Every kind, in the canonical order used by specs and reports.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::DeadProducer,
         FaultKind::DropPull,
         FaultKind::DelayPull,
@@ -57,6 +64,7 @@ impl FaultKind {
         FaultKind::NetConnect,
         FaultKind::NetSend,
         FaultKind::NetRecv,
+        FaultKind::NetTelemetry,
     ];
 
     /// Index into rate/count arrays.
@@ -76,6 +84,7 @@ impl FaultKind {
             FaultKind::NetConnect => "net-connect",
             FaultKind::NetSend => "net-send",
             FaultKind::NetRecv => "net-recv",
+            FaultKind::NetTelemetry => "net-telemetry",
         }
     }
 }
@@ -187,6 +196,13 @@ const SALT_LINK: u64 = 0x1dea_dbee_f000_0005;
 const SALT_NET_CONNECT: u64 = 0x1dea_dbee_f000_0006;
 const SALT_NET_SEND: u64 = 0x1dea_dbee_f000_0007;
 const SALT_NET_RECV: u64 = 0x1dea_dbee_f000_0008;
+const SALT_NET_TELEMETRY: u64 = 0x1dea_dbee_f000_0009;
+
+/// The wire kind byte of `Telemetry` frames
+/// (`insitu_net::frame::KIND_TELEMETRY`). Duplicated here because the
+/// chaos crate sits below the transport in the dependency order; a
+/// cross-crate test pins the two constants together.
+pub const TELEMETRY_FRAME_KIND: u8 = 25;
 
 /// A seeded, replayable [`FaultHooks`] implementation.
 ///
@@ -345,19 +361,41 @@ impl FaultHooks for FaultPlan {
     }
 
     fn on_net(&self, op: NetOp, kind: u8, a: u64, b: u64) -> FaultAction {
-        // The wire transport only offers data-plane frames (pull-data) to
-        // the send/recv sites; the frame kind participates in the site
-        // hash so distinct protocol revisions reroll.
+        // The wire transport offers data-plane frames (pull-data) and
+        // telemetry batches to the send/recv sites; the frame kind
+        // participates in the site hash so distinct protocol revisions
+        // reroll. Telemetry batches roll their own kind *op-independently*
+        // on (node, batch): the shipper and the hub consult different
+        // plan instances, and with a shared seed a doomed batch is
+        // dropped consistently at both ends instead of rolling twice.
+        if kind == TELEMETRY_FRAME_KIND && op != NetOp::Connect {
+            return if self.hit(FaultKind::NetTelemetry, SALT_NET_TELEMETRY, &[a, b]) {
+                FaultAction::Drop
+            } else {
+                FaultAction::Proceed
+            };
+        }
         let (fault, salt) = match op {
             NetOp::Connect => (FaultKind::NetConnect, SALT_NET_CONNECT),
             NetOp::Send => (FaultKind::NetSend, SALT_NET_SEND),
             NetOp::Recv => (FaultKind::NetRecv, SALT_NET_RECV),
         };
         if self.hit(fault, salt, &[kind as u64, a, b]) {
-            FaultAction::Drop
-        } else {
-            FaultAction::Proceed
+            return FaultAction::Drop;
         }
+        // A slow torus link, felt on the real wire: the pull-data send
+        // is held 15-50 ms before it is written. Same kind (and salt)
+        // as the time model's link degradation, rolled per logical
+        // frame so a degraded path stays degraded across retries —
+        // this is the signal the service watchdog's stall detector
+        // reacts to.
+        if op == NetOp::Send {
+            let site = self.site(SALT_LINK, &[kind as u64, a, b]);
+            if self.hit(FaultKind::LinkSlow, SALT_LINK, &[kind as u64, a, b]) {
+                return FaultAction::Delay(Duration::from_millis(15 + site % 36));
+            }
+        }
+        FaultAction::Proceed
     }
 }
 
@@ -485,6 +523,39 @@ mod tests {
         assert_eq!(s.rate(FaultKind::NetSend), 0.5);
         assert_eq!(s.rate(FaultKind::NetRecv), 0.25);
         assert_eq!(FaultSpec::parse(&s.canonical()).unwrap(), s);
+        let t = FaultSpec::parse("net-telemetry:0.5").unwrap();
+        assert_eq!(t.rate(FaultKind::NetTelemetry), 0.5);
+        assert_eq!(FaultSpec::parse(&t.canonical()).unwrap(), t);
+    }
+
+    #[test]
+    fn telemetry_batches_roll_their_own_kind_op_independently() {
+        let spec = FaultSpec::none().with_rate(FaultKind::NetTelemetry, 1.0);
+        let plan = FaultPlan::new(5, spec);
+        // Every telemetry batch drops; data-plane frames are untouched
+        // even at the same (a, b) identity, because only the telemetry
+        // kind was rated.
+        assert_eq!(
+            plan.on_net(NetOp::Send, TELEMETRY_FRAME_KIND, 0, 0),
+            FaultAction::Drop
+        );
+        assert_eq!(plan.on_net(NetOp::Send, 6, 0, 0), FaultAction::Proceed);
+        // Send and recv agree on a batch's fate: one roll per (node,
+        // batch), not per op — the sender's and receiver's plans (same
+        // seed) cannot disagree.
+        let sender = FaultPlan::new(9, FaultSpec::none().with_rate(FaultKind::NetTelemetry, 0.5));
+        let receiver = FaultPlan::new(9, FaultSpec::none().with_rate(FaultKind::NetTelemetry, 0.5));
+        for node in 0..4u64 {
+            for batch in 0..16u64 {
+                assert_eq!(
+                    sender.on_net(NetOp::Send, TELEMETRY_FRAME_KIND, node, batch),
+                    receiver.on_net(NetOp::Recv, TELEMETRY_FRAME_KIND, node, batch),
+                );
+            }
+        }
+        // And a rated mix actually drops something *and* spares something.
+        let hits = sender.injected()[FaultKind::NetTelemetry.idx()];
+        assert!(hits > 0 && hits < 64, "half-rate spec hit {hits} of 64");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use insitu::{
     ServeOptions,
 };
 use insitu_fabric::TrafficClass;
+use insitu_obs::{chrome_trace_merged, merge_traces, FlightRecorder, ProfileReport};
 use insitu_telemetry::Recorder;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -33,6 +34,10 @@ pub struct ServeCmd {
     pub timeout_ms: u64,
     /// Write the merged ledger snapshot as JSON here after the run.
     pub ledger_out: Option<PathBuf>,
+    /// Write the merged cross-process chrome trace here after the run.
+    pub trace_out: Option<PathBuf>,
+    /// Write the merged critical-path profile as JSON here.
+    pub profile_out: Option<PathBuf>,
     /// Peer-to-peer data plane: joiners exchange `PullData` over direct
     /// links, the hub carries control traffic only.
     pub p2p: bool,
@@ -65,6 +70,10 @@ pub struct LaunchCmd {
     pub timeout_ms: u64,
     /// Write the merged ledger snapshot as JSON here after the run.
     pub ledger_out: Option<PathBuf>,
+    /// Write the merged cross-process chrome trace here after the run.
+    pub trace_out: Option<PathBuf>,
+    /// Write the merged critical-path profile as JSON here.
+    pub profile_out: Option<PathBuf>,
     /// Peer-to-peer data plane (see [`ServeCmd::p2p`]). `launch`
     /// additionally asserts that zero `PullData` frames traversed the
     /// hub, via the `net.pull_frames_hub` counter.
@@ -97,6 +106,53 @@ fn write_ledger(path: &PathBuf, o: &DistribOutcome) -> Result<String, CliError> 
     Ok(format!("ledger:    wrote {}\n", path.display()))
 }
 
+/// Merge the joiners' shipped telemetry into one cross-process trace,
+/// render its critical-path summary and degradation warnings, and write
+/// the merged chrome trace / profile files when requested.
+fn render_merged_telemetry(
+    o: &DistribOutcome,
+    trace_out: Option<&PathBuf>,
+    profile_out: Option<&PathBuf>,
+) -> Result<String, CliError> {
+    let merged = merge_traces(o.telemetry.clone());
+    let report = ProfileReport::analyze(&merged.events, merged.dropped);
+    let t = report.totals();
+    let mut out = format!(
+        "telemetry: {} event(s) from {} process(es), {} cross-process edge(s) stitched\n",
+        merged.events.len(),
+        merged.processes,
+        merged.stitched,
+    );
+    out.push_str(&format!(
+        "critical:  {:.0} us end-to-end = schedule {:.0} + shm {:.0} + rdma {:.0} + wait {:.0}\n",
+        report.end_to_end_total_us(),
+        t.schedule_us,
+        t.shm_us,
+        t.rdma_us,
+        t.wait_us,
+    ));
+    for w in merged.warnings() {
+        out.push_str(&format!("warning:   telemetry: {w}\n"));
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, chrome_trace_merged(&merged).render() + "\n")
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        out.push_str(&format!(
+            "trace:     wrote {} (merged, per-process lanes)\n",
+            path.display()
+        ));
+    }
+    if let Some(path) = profile_out {
+        std::fs::write(path, report.to_json().render() + "\n")
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        out.push_str(&format!(
+            "profile:   wrote {} (merged critical path)\n",
+            path.display()
+        ));
+    }
+    Ok(out)
+}
+
 /// Run the workflow server until the distributed run completes.
 pub fn serve_cmd(cmd: &ServeCmd) -> Result<String, CliError> {
     let scenario = build_scenario(&cmd.dag, &cmd.config)?;
@@ -111,16 +167,26 @@ pub fn serve_cmd(cmd: &ServeCmd) -> Result<String, CliError> {
     let outcome =
         serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts).map_err(CliError::Mismatch)?;
     let mut out = render_outcome(&outcome);
+    out.push_str(&render_merged_telemetry(
+        &outcome,
+        cmd.trace_out.as_ref(),
+        cmd.profile_out.as_ref(),
+    )?);
     if let Some(path) = &cmd.ledger_out {
         out.push_str(&write_ledger(path, &outcome)?);
     }
     Ok(out)
 }
 
-/// Run one node process against a server.
+/// Run one node process against a server. The recorder and flight
+/// recorder are always on: the joiner ships its metrics snapshot and
+/// causal event log to the hub at collect time, so the server side can
+/// stitch the merged cross-process trace.
 pub fn join_cmd(cmd: &JoinCmd) -> Result<String, CliError> {
     let opts = JoinOptions {
         timeout: Duration::from_millis(cmd.timeout_ms),
+        recorder: Recorder::enabled(),
+        flight: FlightRecorder::enabled(),
         ..JoinOptions::default()
     };
     join(
@@ -232,6 +298,11 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
 
     let mut out = format!("launch:    1 server + {nodes} joiner process(es) over {addr}\n");
     out.push_str(&render_outcome(&outcome));
+    out.push_str(&render_merged_telemetry(
+        &outcome,
+        cmd.trace_out.as_ref(),
+        cmd.profile_out.as_ref(),
+    )?);
     if !outcome.errors.is_empty() {
         return Err(CliError::Mismatch(format!(
             "distributed run hit {} task error(s)",
@@ -310,6 +381,8 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 150,
             ledger_out: None,
+            trace_out: None,
+            profile_out: None,
             p2p: false,
         })
         .unwrap_err();
@@ -329,6 +402,8 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 150,
             ledger_out: None,
+            trace_out: None,
+            profile_out: None,
             p2p: false,
         })
         .unwrap_err();
@@ -361,6 +436,8 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             strategy: MappingStrategy::DataCentric,
             timeout_ms: 1000,
             ledger_out: None,
+            trace_out: None,
+            profile_out: None,
             p2p: false,
         })
         .unwrap_err();

@@ -34,6 +34,6 @@ pub use driver::{
     build_scenario, gate, profile, run, CliError, GateOptions, Options, ProfileOptions,
 };
 pub use svc_cmd::{
-    cancel_cmd, service_cmd, status_cmd, submit_cmd, CancelCmd, ServiceCmd, StatusCmd, SubmitCmd,
-    SubmitSource,
+    cancel_cmd, service_cmd, status_cmd, submit_cmd, watch_cmd, CancelCmd, ServiceCmd, StatusCmd,
+    SubmitCmd, SubmitSource, WatchCmd,
 };

@@ -11,7 +11,7 @@ use insitu::MappingStrategy;
 use insitu_chaos::FaultSpec;
 use insitu_cli::{
     run, CancelCmd, GateOptions, JoinCmd, LaunchCmd, Options, ProfileOptions, ServeCmd, ServiceCmd,
-    StatusCmd, SubmitCmd, SubmitSource,
+    StatusCmd, SubmitCmd, SubmitSource, WatchCmd,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,18 +29,21 @@ usage: insitu run     [--dag] <file> --config <file>
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
        insitu serve   [--dag] <file> --config <file> --listen <addr>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
-              [--p2p]
+              [--trace-out <path>] [--profile-out <path>] [--p2p]
        insitu serve   --listen <addr> [--max-runs <n>] [--queue-depth <n>]
               [--pool-nodes <n>] [--artifacts <dir>] [--p2p]
+              [--faults <spec>] [--seed <n>] [--stall-ms <n>]
        insitu join    --connect <addr> --node <n> [--timeout-ms <n>]
        insitu launch  [--dag] <file> --config <file> --procs <k>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
-              [--p2p]
+              [--trace-out <path>] [--profile-out <path>] [--p2p]
        insitu submit  --connect <addr> <workflow.toml> [--set k=v]...
               [--name <s>] [--strategy <s>] [--get-timeout-ms <n>]
               [--timeout-ms <n>] [--wait]
        insitu submit  --connect <addr> [--dag] <file> --config <file> ...
        insitu status  --connect <addr> [--run <id>] [--json]
+       insitu watch   --connect <addr> --run <id> [--interval-ms <n>]
+              [--once] [--json]
        insitu cancel  --connect <addr> --run <id>
 
 `run` executes the workflow described by the DAG file (paper Listing-1
@@ -51,6 +54,9 @@ prints the critical-path profile: per-iteration schedule/shm/RDMA/wait
 attribution, queueing-delay and transfer-size percentiles per link class,
 and the injected-fault tally; `--trace-out` writes a chrome://tracing
 timeline whose flow arrows connect producer puts to consumer pulls.
+`profile` is single-process; for a distributed run use `launch` with
+`--trace-out`/`--profile-out`, which merge every joiner's shipped
+telemetry into one cross-process trace and critical-path profile.
 `compare` runs both mapping strategies on the modeled executor and prints
 a side-by-side summary with a per-counter metrics delta table. With
 `--gate` it instead checks the deterministic modeled profile against a
@@ -85,8 +91,15 @@ process is killed. `submit` sends a workflow to a service — either a
 parameterized workflow.toml (with `--set key=value` overrides) or a
 plain `--dag`/`--config` pair — and with `--wait` blocks until the run
 finishes; `status` shows one run (`--json` includes its ledger, metrics
-and critical-path profile artifacts) or lists all runs; `cancel` stops
-a queued run immediately or a running run at its next wave boundary.";
+and critical-path profile artifacts plus the watchdog's link_stalls and
+health events) or lists all runs; `cancel` stops a queued run
+immediately or a running run at its next wave boundary. `watch` streams
+a run's live progress — waves, pulls, per-link-class wait percentiles,
+bytes in flight and health events — as a refreshing table (`--once`
+prints a single frame for CI; `--json` emits one JSON line per frame).
+Service-mode `serve` also takes `--faults`/`--seed` (chaos spec, same
+syntax as `chaos`, injected into every run's wire traffic) and
+`--stall-ms` (link-health watchdog stall threshold).";
 
 #[derive(Debug)]
 enum Command {
@@ -114,6 +127,7 @@ enum Command {
     Service(ServiceCmd),
     Submit(SubmitCmd),
     Status(StatusCmd),
+    Watch(WatchCmd),
     Cancel(CancelCmd),
 }
 
@@ -136,10 +150,26 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut queue_depth: Option<usize> = None;
     let mut pool_nodes: Option<u32> = None;
     let mut artifacts: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut faults: Option<FaultSpec> = None;
+    let mut seed = 42u64;
+    let mut stall_ms: Option<u64> = None;
     let mut p2p = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" if sub == "serve" => {
+                faults = Some(FaultSpec::parse(it.next().ok_or("--faults needs a spec")?)?);
+            }
+            "--seed" if sub == "serve" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--stall-ms" if sub == "serve" => {
+                let v = it.next().ok_or("--stall-ms needs a number")?;
+                stall_ms = Some(v.parse().map_err(|_| format!("bad threshold '{v}'"))?);
+            }
             "--max-runs" if sub == "serve" => {
                 let v = it.next().ok_or("--max-runs needs a count")?;
                 max_runs = Some(v.parse().map_err(|_| format!("bad run count '{v}'"))?);
@@ -184,6 +214,14 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             "--ledger-out" if sub != "join" => {
                 ledger_out = Some(PathBuf::from(it.next().ok_or("--ledger-out needs a path")?))
             }
+            "--trace-out" if sub != "join" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?))
+            }
+            "--profile-out" if sub != "join" => {
+                profile_out = Some(PathBuf::from(
+                    it.next().ok_or("--profile-out needs a path")?,
+                ))
+            }
             other if !other.starts_with('-') && sub != "join" && dag_path.is_none() => {
                 dag_path = Some(other.to_string())
             }
@@ -206,12 +244,21 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             pool_nodes: pool_nodes.unwrap_or(8),
             artifacts,
             p2p,
+            faults,
+            seed,
+            stall_ms,
         }));
     }
-    if max_runs.is_some() || queue_depth.is_some() || pool_nodes.is_some() || artifacts.is_some() {
+    if max_runs.is_some()
+        || queue_depth.is_some()
+        || pool_nodes.is_some()
+        || artifacts.is_some()
+        || faults.is_some()
+        || stall_ms.is_some()
+    {
         return Err(
-            "--max-runs/--queue-depth/--pool-nodes/--artifacts need service mode \
-             (serve without --dag/--config)"
+            "--max-runs/--queue-depth/--pool-nodes/--artifacts/--faults/--stall-ms need \
+             service mode (serve without --dag/--config)"
                 .into(),
         );
     }
@@ -229,6 +276,8 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             strategy,
             timeout_ms,
             ledger_out,
+            trace_out,
+            profile_out,
             p2p,
         }))
     } else {
@@ -239,6 +288,8 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             strategy,
             timeout_ms,
             ledger_out,
+            trace_out,
+            profile_out,
             p2p,
         }))
     }
@@ -257,6 +308,8 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut strategy = MappingStrategy::DataCentric;
     let mut get_timeout_ms = 60_000u64;
     let mut wait = false;
+    let mut interval_ms = 500u64;
+    let mut once = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -269,7 +322,12 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--run needs an id")?;
                 run = Some(v.parse().map_err(|_| format!("bad run id '{v}'"))?);
             }
-            "--json" if sub == "status" => json = true,
+            "--json" if sub == "status" || sub == "watch" => json = true,
+            "--interval-ms" if sub == "watch" => {
+                let v = it.next().ok_or("--interval-ms needs a number")?;
+                interval_ms = v.parse().map_err(|_| format!("bad interval '{v}'"))?;
+            }
+            "--once" if sub == "watch" => once = true,
             "--dag" if sub == "submit" => {
                 dag_path = Some(it.next().ok_or("--dag needs a path")?.clone())
             }
@@ -312,6 +370,14 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
         "cancel" => Ok(Command::Cancel(CancelCmd {
             connect,
             run: run.ok_or("missing --run")?,
+            timeout_ms,
+        })),
+        "watch" => Ok(Command::Watch(WatchCmd {
+            connect,
+            run: run.ok_or("missing --run")?,
+            interval_ms,
+            once,
+            json,
             timeout_ms,
         })),
         _ => {
@@ -386,13 +452,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if let Some(s @ ("serve" | "join" | "launch")) = sub {
         return parse_distrib_args(s, &args[1..]);
     }
-    if let Some(s @ ("submit" | "status" | "cancel")) = sub {
+    if let Some(s @ ("submit" | "status" | "cancel" | "watch")) = sub {
         return parse_client_args(s, &args[1..]);
     }
     if sub != Some("run") && sub != Some("compare") && sub != Some("profile") {
         return Err(
             "expected the 'run', 'profile', 'compare', 'chaos', 'serve', 'join', 'launch', \
-             'submit', 'status' or 'cancel' subcommand"
+             'submit', 'status', 'watch' or 'cancel' subcommand"
                 .into(),
         );
     }
@@ -416,6 +482,18 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--strategy" => strategy = parse_strategy(it.next())?,
             "--modeled" => threaded = false,
             "--json" if sub == Some("profile") => json = true,
+            // A loud refusal, not a silent scope bug: single-process
+            // profile output for a multi-process run would print a
+            // plausible but wrong critical path.
+            "--procs" if sub == Some("profile") => {
+                return Err(
+                    "profile is single-process: with --procs its trace would cover only this \
+                     process and print a misleading critical path. Use `insitu launch --procs <k> \
+                     --profile-out <p.json> --trace-out <t.json>` instead — the hub merges every \
+                     joiner's shipped telemetry into one cross-process profile and trace"
+                        .into(),
+                )
+            }
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
                     it.next().ok_or("--metrics-out needs a path")?,
@@ -548,6 +626,7 @@ fn main() -> ExitCode {
         Command::Service(cmd) => insitu_cli::service_cmd(cmd),
         Command::Submit(cmd) => insitu_cli::submit_cmd(cmd),
         Command::Status(cmd) => insitu_cli::status_cmd(cmd),
+        Command::Watch(cmd) => insitu_cli::watch_cmd(cmd),
         Command::Cancel(cmd) => insitu_cli::cancel_cmd(cmd),
     };
     match result {
@@ -925,6 +1004,109 @@ mod tests {
             Command::Cancel(c) => assert_eq!(c.run, 2),
             _ => panic!("expected cancel"),
         }
+    }
+
+    #[test]
+    fn parses_watch() {
+        match parse_args(&args(&[
+            "watch",
+            "--connect",
+            "x:1",
+            "--run",
+            "4",
+            "--interval-ms",
+            "250",
+            "--once",
+            "--json",
+        ]))
+        .unwrap()
+        {
+            Command::Watch(c) => {
+                assert_eq!((c.run, c.interval_ms), (4, 250));
+                assert!(c.once && c.json);
+            }
+            _ => panic!("expected watch"),
+        }
+        // Defaults: half-second interval, streaming table.
+        match parse_args(&args(&["watch", "--connect", "x:1", "--run", "1"])).unwrap() {
+            Command::Watch(c) => {
+                assert_eq!(c.interval_ms, 500);
+                assert!(!c.once && !c.json);
+            }
+            _ => panic!("expected watch"),
+        }
+        assert!(parse_args(&args(&["watch", "--connect", "x:1"]))
+            .unwrap_err()
+            .contains("--run"));
+    }
+
+    #[test]
+    fn profile_refuses_procs_loudly() {
+        let err =
+            parse_args(&args(&["profile", DAG, "--config", CFG, "--procs", "3"])).unwrap_err();
+        assert!(err.contains("single-process"), "{err}");
+        assert!(err.contains("launch"), "{err}");
+    }
+
+    #[test]
+    fn parses_launch_telemetry_outputs_and_service_faults() {
+        match parse_args(&args(&[
+            "launch",
+            DAG,
+            "--config",
+            CFG,
+            "--procs",
+            "3",
+            "--trace-out",
+            "t.json",
+            "--profile-out",
+            "p.json",
+        ]))
+        .unwrap()
+        {
+            Command::Launch(c) => {
+                assert_eq!(c.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+                assert_eq!(
+                    c.profile_out.as_deref(),
+                    Some(std::path::Path::new("p.json"))
+                );
+            }
+            _ => panic!("expected launch"),
+        }
+        match parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--faults",
+            "link-slow:1",
+            "--seed",
+            "7",
+            "--stall-ms",
+            "10",
+        ]))
+        .unwrap()
+        {
+            Command::Service(c) => {
+                let spec = c.faults.expect("fault spec parsed");
+                assert_eq!(spec.rate(insitu_chaos::FaultKind::LinkSlow), 1.0);
+                assert_eq!((c.seed, c.stall_ms), (7, Some(10)));
+            }
+            _ => panic!("expected service mode"),
+        }
+        // Chaos faults govern service runs only; workflow-mode serve
+        // must reject them.
+        let err = parse_args(&args(&[
+            "serve",
+            DAG,
+            "--config",
+            CFG,
+            "--listen",
+            "x:1",
+            "--faults",
+            "link-slow:1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("service mode"), "{err}");
     }
 
     #[test]

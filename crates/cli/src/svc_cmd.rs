@@ -1,12 +1,15 @@
 //! The service-mode subcommands: `serve` without workflow files (the
-//! multi-tenant service), plus the `submit`, `status` and `cancel`
-//! RPC clients.
+//! multi-tenant service), plus the `submit`, `status`, `cancel` and
+//! `watch` RPC clients.
 
 use crate::driver::{build_scenario, CliError};
-use insitu_net::RunSummary;
-use insitu_svc::{RpcClient, RunArtifacts, Service, SvcConfig};
+use insitu_chaos::{FaultPlan, FaultSpec};
+use insitu_fabric::FaultInjector;
+use insitu_net::{Frame, RunSummary};
+use insitu_svc::{RpcClient, RunArtifacts, Service, SvcConfig, WatchdogConfig};
 use insitu_telemetry::Json;
 use insitu_workflow::compile_workflow;
+use std::io::{IsTerminal, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -27,6 +30,13 @@ pub struct ServiceCmd {
     pub artifacts: Option<PathBuf>,
     /// Peer-to-peer data plane for every run the service executes.
     pub p2p: bool,
+    /// Chaos fault spec injected into every run's wire traffic (used to
+    /// exercise the link-health watchdog; `None` = inert).
+    pub faults: Option<FaultSpec>,
+    /// Seed for the fault plan.
+    pub seed: u64,
+    /// Watchdog stall threshold override in milliseconds.
+    pub stall_ms: Option<u64>,
 }
 
 /// The workflow a `submit` ships: either a raw DAG/config text pair or
@@ -92,6 +102,24 @@ pub struct CancelCmd {
     pub timeout_ms: u64,
 }
 
+/// Options of the `watch` subcommand.
+#[derive(Clone, Debug)]
+pub struct WatchCmd {
+    /// Service address.
+    pub connect: String,
+    /// Run to watch.
+    pub run: u64,
+    /// Sampling interval in milliseconds (the service floors it at its
+    /// watchdog cadence).
+    pub interval_ms: u64,
+    /// Print exactly one progress frame and exit (CI mode).
+    pub once: bool,
+    /// Emit each progress frame as one JSON line instead of the table.
+    pub json: bool,
+    /// Connect timeout.
+    pub timeout_ms: u64,
+}
+
 /// Run the multi-tenant service until the process is killed.
 pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
     let listener = TcpListener::bind(&cmd.listen)
@@ -99,6 +127,17 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
     let addr = listener
         .local_addr()
         .map_err(|e| CliError::Io(format!("cannot resolve {}: {e}", cmd.listen)))?;
+    let injector = match &cmd.faults {
+        Some(spec) => FaultInjector::new(Arc::new(FaultPlan::new(cmd.seed, *spec))),
+        None => FaultInjector::none(),
+    };
+    let mut watchdog = WatchdogConfig::default();
+    if let Some(ms) = cmd.stall_ms {
+        watchdog.stall_ms = ms;
+        // Keep several polls inside one stall window so a short
+        // threshold still gets sampled before it trips.
+        watchdog.poll_ms = watchdog.poll_ms.min(ms / 2).max(1);
+    }
     let svc = Service::start(
         listener,
         SvcConfig {
@@ -108,6 +147,8 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
             artifacts_dir: cmd.artifacts.clone(),
             verbose: true,
             p2p: cmd.p2p,
+            injector,
+            watchdog,
             ..SvcConfig::default()
         },
         Arc::new(|dag, config| build_scenario(dag, config).map_err(|e| e.to_string())),
@@ -117,6 +158,9 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
         "service:   listening on {addr} ({} run slots, {} pool nodes, queue depth {})",
         cmd.max_runs, cmd.pool_nodes, cmd.queue_depth
     );
+    if cmd.faults.is_some() {
+        println!("service:   chaos faults armed (seed {})", cmd.seed);
+    }
     // Serve until killed; the Service owns every worker thread.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
@@ -135,8 +179,17 @@ fn summary_line(s: &RunSummary) -> String {
     } else {
         format!(" — {}", s.detail)
     };
+    let health = if s.link_stalls > 0 || !s.health.is_empty() {
+        format!(
+            "  [{} link-stall(s), {} health event(s)]",
+            s.link_stalls,
+            s.health.len()
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "run {:>3}  {:<10} {:>2} node(s)  {}{detail}\n",
+        "run {:>3}  {:<10} {:>2} node(s)  {}{detail}{health}\n",
         s.run, s.state, s.nodes, s.name
     )
 }
@@ -148,6 +201,11 @@ fn summary_json(s: &RunSummary) -> Json {
         .field("state", s.state.slug())
         .field("nodes", s.nodes)
         .field("detail", s.detail.as_str())
+        .field("link_stalls", s.link_stalls)
+        .field(
+            "health",
+            Json::Arr(s.health.iter().map(|h| Json::from(h.as_str())).collect()),
+        )
 }
 
 /// Embed an artifact document: parsed JSON when present, null before
@@ -244,4 +302,130 @@ pub fn cancel_cmd(cmd: &CancelCmd) -> Result<String, CliError> {
     let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
     let s = rpc.cancel(cmd.run).map_err(CliError::Mismatch)?;
     Ok(summary_line(&s))
+}
+
+/// Lines in one rendered progress block; the live view rewinds the
+/// cursor by exactly this much between frames.
+const PROGRESS_LINES: usize = 4;
+
+fn progress_block(f: &Frame) -> String {
+    let Frame::Progress {
+        run,
+        state,
+        done,
+        wave,
+        waves,
+        pulls,
+        pull_bytes,
+        shm_wait_p50_us,
+        shm_wait_p99_us,
+        rdma_wait_p50_us,
+        rdma_wait_p99_us,
+        pulls_in_flight,
+        bytes_in_flight,
+        queue_depth,
+        link_stalls,
+        health,
+    } = f
+    else {
+        return String::new();
+    };
+    let health_line = match health.last() {
+        None => "ok".to_string(),
+        Some(last) => format!("{} event(s); last: {last}", health.len()),
+    };
+    format!(
+        "run {run:>3}  {state:<10} wave {wave}/{waves}  pulls {pulls} ({pull_bytes} B){}\n  \
+         wait-us  shm p50/p99 {shm_wait_p50_us}/{shm_wait_p99_us}  \
+         rdma p50/p99 {rdma_wait_p50_us}/{rdma_wait_p99_us}\n  \
+         flight   {pulls_in_flight} pull(s), {bytes_in_flight} B staged, \
+         {queue_depth} B queued  link-stalls {link_stalls}\n  \
+         health   {health_line}\n",
+        if *done { "  [final]" } else { "" },
+    )
+}
+
+fn progress_json(f: &Frame) -> Json {
+    let Frame::Progress {
+        run,
+        state,
+        done,
+        wave,
+        waves,
+        pulls,
+        pull_bytes,
+        shm_wait_p50_us,
+        shm_wait_p99_us,
+        rdma_wait_p50_us,
+        rdma_wait_p99_us,
+        pulls_in_flight,
+        bytes_in_flight,
+        queue_depth,
+        link_stalls,
+        health,
+    } = f
+    else {
+        return Json::Null;
+    };
+    Json::obj()
+        .field("run", *run)
+        .field("state", state.slug())
+        .field("done", *done)
+        .field("wave", *wave)
+        .field("waves", *waves)
+        .field("pulls", *pulls)
+        .field("pull_bytes", *pull_bytes)
+        .field("shm_wait_p50_us", *shm_wait_p50_us)
+        .field("shm_wait_p99_us", *shm_wait_p99_us)
+        .field("rdma_wait_p50_us", *rdma_wait_p50_us)
+        .field("rdma_wait_p99_us", *rdma_wait_p99_us)
+        .field("pulls_in_flight", *pulls_in_flight)
+        .field("bytes_in_flight", *bytes_in_flight)
+        .field("queue_depth", *queue_depth)
+        .field("link_stalls", *link_stalls)
+        .field(
+            "health",
+            Json::Arr(health.iter().map(|h| Json::from(h.as_str())).collect()),
+        )
+}
+
+/// Stream a run's live progress. Frames print as they arrive —
+/// in-place (a refreshing table) on a terminal, appended otherwise,
+/// one JSON line each with `--json`.
+pub fn watch_cmd(cmd: &WatchCmd) -> Result<String, CliError> {
+    let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
+    let live = !cmd.once && !cmd.json && std::io::stdout().is_terminal();
+    let mut printed = 0u64;
+    let mut last_state = String::new();
+    let frames = rpc
+        .watch(
+            cmd.run,
+            Duration::from_millis(cmd.interval_ms),
+            cmd.once,
+            |frame| {
+                if live && printed > 0 {
+                    // Rewind over the previous block and clear below so
+                    // the table refreshes in place.
+                    print!("\x1b[{PROGRESS_LINES}A\x1b[J");
+                }
+                printed += 1;
+                if cmd.json {
+                    println!("{}", progress_json(frame).render());
+                } else {
+                    print!("{}", progress_block(frame));
+                }
+                let _ = std::io::stdout().flush();
+                if let Frame::Progress { state, .. } = frame {
+                    last_state = state.slug().to_string();
+                }
+            },
+        )
+        .map_err(CliError::Mismatch)?;
+    if cmd.json {
+        Ok(String::new())
+    } else {
+        Ok(format!(
+            "watch:     {frames} progress frame(s), final state {last_state}\n"
+        ))
+    }
 }

@@ -43,7 +43,7 @@ use insitu_dart::Transport;
 use insitu_fabric::{FaultInjector, LedgerSnapshot, TrafficClass};
 use insitu_net::conn::{recv_frame, send_frame};
 use insitu_net::{connect_with_retry, Ctl, Frame, Hub, HubConfig, NetLink, NetMetrics, NodeReport};
-use insitu_obs::FlightRecorder;
+use insitu_obs::{FlightRecorder, ProcessTrace};
 use insitu_telemetry::Recorder;
 use insitu_workflow::ClientRegistry;
 use std::net::TcpListener;
@@ -144,7 +144,16 @@ pub struct DistribOutcome {
     pub staged_buffers: u64,
     /// Task errors from every node, rendered and sorted.
     pub errors: Vec<String>,
+    /// Each joiner's shipped flight recording, one per node, ready for
+    /// [`insitu_obs::merge_traces`]. A node whose telemetry was lost on
+    /// the wire (or that never enabled its recorder and shipped only
+    /// counters) still appears — the merge degrades, the run does not.
+    pub telemetry: Vec<ProcessTrace>,
 }
+
+/// How long a joiner waits for each `TelemetryAck` before abandoning
+/// the rest of its shipment.
+const TELEMETRY_ACK_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// How long the server waits for a wave barrier or the final reports:
 /// every task's gets can time out and the wave must still complete.
@@ -208,6 +217,12 @@ pub fn serve(
     }
 
     let deadline = wave_timeout(opts.get_timeout);
+    // Wave progress for live observers (`insitu watch`): total up front,
+    // completions as the barriers clear.
+    opts.recorder
+        .gauge("workflow.waves")
+        .set(env.mapped.waves.len() as u64);
+    let waves_done = opts.recorder.counter("workflow.waves_done");
     for (wi, wave) in env.mapped.waves.iter().enumerate() {
         if opts.cancel.load(Ordering::SeqCst) {
             let why = format!("run cancelled before wave {wi}");
@@ -248,8 +263,19 @@ pub fn serve(
         for &(_, _, client) in &tasks {
             registry.set_idle(client);
         }
+        waves_done.inc();
     }
 
+    // Every wave barriered: no pull is in flight anywhere, and wire
+    // events are recorded before their answers are enqueued, so each
+    // joiner's flight recording is closed. The collect wave (index one
+    // past the schedule) tells the joiners to ship telemetry and then
+    // report on the same FIFO connection — the reports' arrival below
+    // therefore implies every telemetry batch that survived the wire
+    // has landed in the hub.
+    hub.broadcast(Frame::RunWave {
+        wave: env.mapped.waves.len() as u32,
+    });
     let reports = match hub.collect_reports(deadline) {
         Ok(r) => r,
         Err(e) => {
@@ -258,6 +284,7 @@ pub fn serve(
             return Err(why);
         }
     };
+    let telemetry = hub.take_telemetry();
     hub.shutdown(true, "");
 
     let mut merged = env.ledger.snapshot();
@@ -281,6 +308,7 @@ pub fn serve(
         gets,
         staged_buffers,
         errors,
+        telemetry,
     })
 }
 
@@ -388,6 +416,7 @@ where
         )
     }
     .map_err(|e| e.to_string())?;
+    link.set_flight(opts.flight.clone());
     let cfg = ThreadedConfig {
         get_timeout,
         injector: opts.injector.clone(),
@@ -412,10 +441,10 @@ where
     debug_assert_eq!(env.mapped.machine.cores_per_node, cpn);
 
     let ctl = link.start_reader(Arc::clone(&env.dart), Arc::clone(&env.space));
-    let last_wave = env.mapped.waves.len() as u32 - 1;
+    let waves = env.mapped.waves.len() as u32;
     let result = loop {
         match ctl.recv() {
-            Ok(Ctl::RunWave(w)) => {
+            Ok(Ctl::RunWave(w)) if w < waves => {
                 let tasks = wave_tasks(&env.scenario, &env.mapped, &env.mapped.waves[w as usize]);
                 let local: Vec<(u32, u64)> = tasks
                     .iter()
@@ -424,20 +453,38 @@ where
                     .collect();
                 env.run_tasks(&local);
                 link.barrier(w);
-                if w == last_wave {
-                    link.report(NodeReport {
-                        node,
-                        ledger: env.ledger.snapshot(),
-                        verify_failures: env.failures.load(Ordering::Relaxed),
-                        staged: env.dart.registry().count_owned(|o| o / cpn == node),
-                        gets: env.reports.lock().unwrap().len() as u64,
-                        errors: env
-                            .sorted_errors()
-                            .iter()
-                            .map(|(a, r, e)| format!("app {a} rank {r}: {e}"))
-                            .collect(),
-                    });
-                }
+            }
+            Ok(Ctl::RunWave(_)) => {
+                // The collect wave: every node barriered every wave, so
+                // this process's flight recording is closed. Ship it
+                // before the report — the hub connection is FIFO, so
+                // the report's arrival proves every surviving batch
+                // landed. A lost batch times out its ack and the rest
+                // is abandoned: telemetry loss degrades the merged
+                // trace, never the run.
+                let _ = link.ship_telemetry(
+                    &opts.flight.snapshot(),
+                    opts.flight.dropped(),
+                    opts.recorder.trace_dropped(),
+                    opts.recorder
+                        .metrics_snapshot()
+                        .counters
+                        .into_iter()
+                        .collect(),
+                    TELEMETRY_ACK_TIMEOUT,
+                );
+                link.report(NodeReport {
+                    node,
+                    ledger: env.ledger.snapshot(),
+                    verify_failures: env.failures.load(Ordering::Relaxed),
+                    staged: env.dart.registry().count_owned(|o| o / cpn == node),
+                    gets: env.reports.lock().unwrap().len() as u64,
+                    errors: env
+                        .sorted_errors()
+                        .iter()
+                        .map(|(a, r, e)| format!("app {a} rank {r}: {e}"))
+                        .collect(),
+                });
             }
             Ok(Ctl::Shutdown { ok: true, .. }) => break Ok(()),
             Ok(Ctl::Shutdown { ok: false, reason }) => {
@@ -595,6 +642,75 @@ mod tests {
             snap.counter("net.pull_frames_p2p") > 0,
             "cross-node pulls must flow over direct peer links"
         );
+    }
+
+    #[test]
+    fn telemetry_ships_and_stitches_across_processes() {
+        // Same placement as the p2p gate test: RoundRobin forces the
+        // consumers' gets to pull across nodes, so the traces must
+        // contain wire hops to stitch.
+        let mut s = sequential_scenario_with_grids(
+            &[2, 2, 1],
+            &[2, 1, 1],
+            &[1, 2, 1],
+            4,
+            pattern_pairs(&[2, 2, 1])[0],
+        );
+        s.cores_per_node = 2;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut joiners = Vec::new();
+        for node in 0..2 {
+            let addr = addr.clone();
+            let sc = s.clone();
+            joiners.push(std::thread::spawn(move || {
+                join(
+                    &addr,
+                    node,
+                    move |_, _| Ok(sc),
+                    &JoinOptions {
+                        timeout: Duration::from_secs(20),
+                        // Per-joiner recorders, as real processes have.
+                        recorder: Recorder::enabled(),
+                        flight: FlightRecorder::enabled(),
+                        ..JoinOptions::default()
+                    },
+                )
+            }));
+        }
+        let outcome = serve(
+            &listener,
+            "",
+            "",
+            &s,
+            &ServeOptions {
+                strategy: MappingStrategy::RoundRobin,
+                timeout: Duration::from_secs(20),
+                p2p: true,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        for j in joiners {
+            j.join().unwrap().unwrap();
+        }
+
+        assert_eq!(outcome.telemetry.len(), 2);
+        for t in &outcome.telemetry {
+            assert!(t.complete, "node {} telemetry must be complete", t.node);
+            assert!(!t.events.is_empty(), "node {} shipped no events", t.node);
+            assert!(
+                t.counters.contains_key("net.frames"),
+                "node {} counters must travel on the last batch",
+                t.node
+            );
+        }
+        let merged = insitu_obs::merge_traces(outcome.telemetry);
+        assert!(merged.stitched > 0, "cross-node pulls must stitch");
+        assert_eq!(merged.unmatched_sends, 0, "{:?}", merged.warnings());
+        assert_eq!(merged.unmatched_recvs, 0, "{:?}", merged.warnings());
+        assert!(merged.fully_stitched());
+        assert!(merged.incomplete.is_empty());
     }
 
     #[test]

@@ -2,15 +2,17 @@
 //! `std::net::TcpStream`, per-peer writer threads and retrying connect.
 //!
 //! Fault gating is by frame class, decided here (the caller of the
-//! codec), not in the chaos plan: only the data plane —
-//! [`Frame::PullData`] — is offered to the `net.send` / `net.recv`
-//! sites, because dropping control frames would model an unreliable
-//! management server, which neither the paper's system nor this one
-//! has. Connect attempts are offered to `net.connect` on every try.
+//! codec), not in the chaos plan: only fault-eligible frames — the
+//! data plane ([`Frame::PullData`]) and the telemetry plane
+//! ([`Frame::Telemetry`], whose loss degrades observability, never a
+//! run) — are offered to the `net.send` / `net.recv` sites, because
+//! dropping other control frames would model an unreliable management
+//! server, which neither the paper's system nor this one has. Connect
+//! attempts are offered to `net.connect` on every try.
 
 use crate::frame::{Frame, FrameError};
 use insitu_fabric::{FaultAction, FaultInjector, NetOp};
-use insitu_telemetry::{Counter, Recorder};
+use insitu_telemetry::{Counter, Gauge, Recorder};
 use insitu_util::channel::{unbounded, Receiver, Sender};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -72,6 +74,15 @@ pub struct NetMetrics {
     pub pull_hub: Counter,
     /// PullData frames staged on direct node↔node links (p2p topology).
     pub pull_p2p: Counter,
+    /// Link-stall episodes declared by the service watchdog (no pull
+    /// progress within its stall window, or p99 drift past its factor).
+    pub link_stalls: Counter,
+    /// Pulls requested but not yet landed, kept current by the link.
+    pub pulls_in_flight: Gauge,
+    /// Bytes staged on this process's reactor send paths, encoded but
+    /// not yet flushed to a socket — the wire-side queue depth. Stays 0
+    /// in star mode, where the writer threads block instead of staging.
+    pub bytes_in_flight: Gauge,
 }
 
 impl NetMetrics {
@@ -84,21 +95,24 @@ impl NetMetrics {
             reconnects: recorder.counter("net.reconnects"),
             pull_hub: recorder.counter("net.pull_frames_hub"),
             pull_p2p: recorder.counter("net.pull_frames_p2p"),
+            link_stalls: recorder.counter("net.link_stalls"),
+            pulls_in_flight: recorder.gauge("net.pulls_in_flight"),
+            bytes_in_flight: recorder.gauge("net.bytes_in_flight"),
         }
     }
 }
 
-/// Write one frame, consulting the `net.send` fault site for data-plane
-/// frames. A dropped frame is silently not written (the wire "lost"
-/// it); a delayed frame sleeps first. Control-plane frames bypass the
-/// injector entirely.
+/// Write one frame, consulting the `net.send` fault site for
+/// fault-eligible frames (pull data and telemetry batches). A dropped
+/// frame is silently not written (the wire "lost" it); a delayed frame
+/// sleeps first. Control-plane frames bypass the injector entirely.
 pub fn send_frame(
     stream: &mut TcpStream,
     frame: &Frame,
     injector: &FaultInjector,
     metrics: &NetMetrics,
 ) -> Result<(), NetError> {
-    if frame.is_data_plane() {
+    if frame.fault_eligible() {
         let (a, b) = frame.fault_ids();
         match injector.on_net(NetOp::Send, frame.kind(), a, b) {
             FaultAction::Drop => return Ok(()),
@@ -118,8 +132,8 @@ pub fn send_frame(
 
 /// Read frames until one survives the `net.recv` fault site. Bytes and
 /// frames are counted on arrival (the wire carried them); a dropped
-/// data-plane frame is then discarded and the read continues, exactly
-/// as if the frame had been lost in flight.
+/// fault-eligible frame is then discarded and the read continues,
+/// exactly as if the frame had been lost in flight.
 pub fn recv_frame(
     stream: &mut TcpStream,
     injector: &FaultInjector,
@@ -129,7 +143,7 @@ pub fn recv_frame(
         let frame = Frame::read_from(stream)?;
         metrics.bytes_recv.add(frame.encode().len() as u64);
         metrics.frames.inc();
-        if frame.is_data_plane() {
+        if frame.fault_eligible() {
             let (a, b) = frame.fault_ids();
             match injector.on_net(NetOp::Recv, frame.kind(), a, b) {
                 FaultAction::Drop => continue,

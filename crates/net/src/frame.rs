@@ -15,13 +15,16 @@
 //! a confused or hostile peer cannot take the process down.
 
 use insitu_fabric::{LedgerSnapshot, Locality, TrafficClass};
+use insitu_obs::{Event, EventKind, LinkClass};
 use std::io::{Read, Write};
 
 /// Protocol revision; bumped on any incompatible codec change.
 /// Version 2 added the service RPC frames and `Welcome::run_epoch`;
 /// version 3 added `Hello::peer_addr` and `Welcome::peers` for the
-/// direct node↔node data plane.
-pub const WIRE_VERSION: u8 = 3;
+/// direct node↔node data plane; version 4 added the telemetry plane
+/// (`Telemetry`/`TelemetryAck`), live run streaming (`Watch`/
+/// `Progress`) and the `RunSummary` link-health fields.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Upper bound on `len`: rejects absurd length words before any
 /// allocation happens (a 256 MiB frame comfortably fits the largest
@@ -165,14 +168,22 @@ pub struct RunSummary {
     pub nodes: u32,
     /// Human-readable detail (failure reason, queue position, ...).
     pub detail: String,
+    /// Link-stall episodes the service watchdog counted for this run
+    /// (mirrors the `net.link_stalls` counter).
+    pub link_stalls: u64,
+    /// Structured health events the watchdog recorded, oldest first
+    /// (e.g. `"link-stall: no pull progress for 2000ms"`).
+    pub health: Vec<String>,
 }
 
 /// A protocol message.
 ///
-/// Control-plane frames (everything except [`Frame::PullData`]) are
-/// never offered to fault injection: the management plane is reliable,
-/// as in the paper. `PullData` is the data plane and carries the chaos
-/// fault sites.
+/// Control-plane frames are never offered to fault injection: the
+/// management plane is reliable, as in the paper. [`Frame::PullData`]
+/// is the data plane and carries the `net.send`/`net.recv` chaos fault
+/// sites; [`Frame::Telemetry`] is the observability plane and carries
+/// its own droppable `net-telemetry` site — losing a telemetry batch
+/// degrades the merged trace, never the run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Joiner → server: first frame on a connection; registers the
@@ -398,6 +409,89 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// Joiner → server: one bounded batch of the joiner's flight
+    /// recording plus (on the last batch) its metrics counters — the
+    /// telemetry plane's unit of shipping. Batches ride the same FIFO
+    /// connection as control traffic but are sized so they can never
+    /// starve data frames, and they are fault-eligible: a dropped batch
+    /// costs trace completeness, not run correctness.
+    Telemetry {
+        /// Shipping node.
+        node: u32,
+        /// Batch index within this node's shipment (0-based).
+        batch: u32,
+        /// True on the final batch; its arrival marks the node's trace
+        /// complete. A node that never delivers a `last` batch is
+        /// reported as incomplete by the merge.
+        last: bool,
+        /// Flight events the node's bounded recorder dropped.
+        dropped_events: u64,
+        /// Trace spans the node's telemetry sink dropped
+        /// (`trace.dropped_spans`), so drops on *any* process surface
+        /// in the merged report.
+        dropped_spans: u64,
+        /// Metrics counters `(name, value)` at snapshot time; only
+        /// populated on the last batch.
+        counters: Vec<(String, u64)>,
+        /// The flight events of this batch, in recording order.
+        events: Vec<Event>,
+    },
+    /// Server → joiner: `Telemetry` batch received; the shipper's
+    /// bounded-window flow control (ship, await ack, ship next).
+    TelemetryAck {
+        /// Acknowledged node.
+        node: u32,
+        /// Acknowledged batch index.
+        batch: u32,
+    },
+    /// Client → service: subscribe to periodic run-progress frames.
+    Watch {
+        /// Run to watch.
+        run: u64,
+        /// Requested sampling interval in milliseconds (the service
+        /// clamps to its watchdog cadence).
+        interval_ms: u64,
+        /// Deliver exactly one `Progress` frame, then stop (CI mode).
+        once: bool,
+    },
+    /// Service → client: one live progress sample of a watched run
+    /// (answer stream to `Watch`; `done` marks the final frame).
+    Progress {
+        /// Watched run.
+        run: u64,
+        /// Lifecycle state at sample time.
+        state: RunState,
+        /// True on the final frame of the stream.
+        done: bool,
+        /// Completed waves (iterations dispatched so far).
+        wave: u32,
+        /// Total waves in the run's schedule.
+        waves: u32,
+        /// Completed pulls across the run's processes.
+        pulls: u64,
+        /// Bytes moved by those pulls.
+        pull_bytes: u64,
+        /// Shared-memory pull-wait p50, microseconds.
+        shm_wait_p50_us: u64,
+        /// Shared-memory pull-wait p99, microseconds.
+        shm_wait_p99_us: u64,
+        /// RDMA pull-wait p50, microseconds.
+        rdma_wait_p50_us: u64,
+        /// RDMA pull-wait p99, microseconds.
+        rdma_wait_p99_us: u64,
+        /// Pulls currently in flight (requested, not yet landed).
+        pulls_in_flight: u64,
+        /// Bytes currently staged and pullable across the run
+        /// (`cods.staging_bytes`).
+        bytes_in_flight: u64,
+        /// Bytes staged on the run's wire send paths, not yet flushed
+        /// (`net.bytes_in_flight`); 0 for in-process runs.
+        queue_depth: u64,
+        /// Link-stall episodes the watchdog has counted so far.
+        link_stalls: u64,
+        /// Structured health events recorded so far, oldest first.
+        health: Vec<String>,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -426,6 +520,12 @@ const KIND_RUN_LIST: u8 = 21;
 const KIND_RUN_RESULT: u8 = 22;
 const KIND_RUN_REPORT: u8 = 23;
 const KIND_RPC_ERR: u8 = 24;
+/// The telemetry-batch kind byte, exposed so the chaos plan's
+/// `net-telemetry` fault site can classify frames without decoding.
+pub const KIND_TELEMETRY: u8 = 25;
+const KIND_TELEMETRY_ACK: u8 = 26;
+const KIND_WATCH: u8 = 27;
+const KIND_PROGRESS: u8 = 28;
 
 impl Frame {
     /// The kind byte this frame encodes with.
@@ -455,21 +555,36 @@ impl Frame {
             Frame::RunResult { .. } => KIND_RUN_RESULT,
             Frame::RunReport { .. } => KIND_RUN_REPORT,
             Frame::RpcErr { .. } => KIND_RPC_ERR,
+            Frame::Telemetry { .. } => KIND_TELEMETRY,
+            Frame::TelemetryAck { .. } => KIND_TELEMETRY_ACK,
+            Frame::Watch { .. } => KIND_WATCH,
+            Frame::Progress { .. } => KIND_PROGRESS,
         }
     }
 
-    /// Whether this frame is data plane (eligible for `net.send` /
-    /// `net.recv` fault injection). Dropping control frames would model
-    /// an unreliable management server, which the system does not have.
+    /// Whether this frame is data plane (a bulk `PullData` payload).
+    /// Feeds the `net.pull_hub`/`net.pull_p2p` routing counters and the
+    /// p2p acceptance gate; telemetry is deliberately excluded so the
+    /// observability plane cannot perturb those gates.
     pub fn is_data_plane(&self) -> bool {
         matches!(self, Frame::PullData { .. })
     }
 
+    /// Whether this frame may be offered to `net.send`/`net.recv` fault
+    /// injection: the data plane (`PullData`) and the telemetry plane
+    /// (`Telemetry`). Dropping other control frames would model an
+    /// unreliable management server, which the system does not have.
+    pub fn fault_eligible(&self) -> bool {
+        matches!(self, Frame::PullData { .. } | Frame::Telemetry { .. })
+    }
+
     /// The `(a, b)` identity of this frame's chaos fault site: the
-    /// buffer name and packed piece for pull data, zeros otherwise.
+    /// buffer name and packed piece for pull data, the node and batch
+    /// for telemetry, zeros otherwise.
     pub fn fault_ids(&self) -> (u64, u64) {
         match self {
             Frame::PullData { name, piece, .. } => (*name, *piece),
+            Frame::Telemetry { node, batch, .. } => (*node as u64, *batch as u64),
             _ => (0, 0),
         }
     }
@@ -659,6 +774,78 @@ impl Frame {
                 }
             }
             Frame::RpcErr { message } => put_str(&mut p, message),
+            Frame::Telemetry {
+                node,
+                batch,
+                last,
+                dropped_events,
+                dropped_spans,
+                counters,
+                events,
+            } => {
+                put_u32(&mut p, *node);
+                put_u32(&mut p, *batch);
+                p.push(*last as u8);
+                put_u64(&mut p, *dropped_events);
+                put_u64(&mut p, *dropped_spans);
+                put_u32(&mut p, counters.len() as u32);
+                for (name, value) in counters {
+                    put_str(&mut p, name);
+                    put_u64(&mut p, *value);
+                }
+                put_u32(&mut p, events.len() as u32);
+                for e in events {
+                    put_event(&mut p, e);
+                }
+            }
+            Frame::TelemetryAck { node, batch } => {
+                put_u32(&mut p, *node);
+                put_u32(&mut p, *batch);
+            }
+            Frame::Watch {
+                run,
+                interval_ms,
+                once,
+            } => {
+                put_u64(&mut p, *run);
+                put_u64(&mut p, *interval_ms);
+                p.push(*once as u8);
+            }
+            Frame::Progress {
+                run,
+                state,
+                done,
+                wave,
+                waves,
+                pulls,
+                pull_bytes,
+                shm_wait_p50_us,
+                shm_wait_p99_us,
+                rdma_wait_p50_us,
+                rdma_wait_p99_us,
+                pulls_in_flight,
+                bytes_in_flight,
+                queue_depth,
+                link_stalls,
+                health,
+            } => {
+                put_u64(&mut p, *run);
+                p.push(state.idx());
+                p.push(*done as u8);
+                put_u32(&mut p, *wave);
+                put_u32(&mut p, *waves);
+                put_u64(&mut p, *pulls);
+                put_u64(&mut p, *pull_bytes);
+                put_u64(&mut p, *shm_wait_p50_us);
+                put_u64(&mut p, *shm_wait_p99_us);
+                put_u64(&mut p, *rdma_wait_p50_us);
+                put_u64(&mut p, *rdma_wait_p99_us);
+                put_u64(&mut p, *pulls_in_flight);
+                put_u64(&mut p, *bytes_in_flight);
+                put_u64(&mut p, *queue_depth);
+                put_u64(&mut p, *link_stalls);
+                put_strs(&mut p, health);
+            }
         }
         let mut out = Vec::with_capacity(6 + p.len());
         put_u32(&mut out, 2 + p.len() as u32);
@@ -802,10 +989,11 @@ impl Frame {
             KIND_RUN_STATUS => Frame::RunStatus(c.run_summary()?),
             KIND_RUN_LIST => {
                 let n = c.u32()? as usize;
-                // A RunSummary occupies at least 21 bytes (run + two
-                // length words + state + nodes); guard the count before
-                // allocating so a hostile count cannot OOM.
-                if c.buf.len() - c.pos < n.saturating_mul(21) {
+                // A RunSummary occupies at least 33 bytes (run + two
+                // length words + state + nodes + link_stalls + the
+                // health count); guard the count before allocating so a
+                // hostile count cannot OOM.
+                if c.buf.len() - c.pos < n.saturating_mul(33) {
                     return Err(FrameError::Truncated);
                 }
                 let mut runs = Vec::with_capacity(n);
@@ -837,6 +1025,83 @@ impl Frame {
                 }
             }
             KIND_RPC_ERR => Frame::RpcErr { message: c.str()? },
+            KIND_TELEMETRY => {
+                let node = c.u32()?;
+                let batch = c.u32()?;
+                let last = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("bool")),
+                };
+                let dropped_events = c.u64()?;
+                let dropped_spans = c.u64()?;
+                let n = c.u32()? as usize;
+                // Every counter costs at least its name length word
+                // plus the u64 value; guard before allocating.
+                if c.buf.len() - c.pos < n.saturating_mul(12) {
+                    return Err(FrameError::Truncated);
+                }
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = c.str()?;
+                    counters.push((name, c.u64()?));
+                }
+                let n = c.u32()? as usize;
+                // A wire event occupies at least EVENT_WIRE_MIN bytes;
+                // a hostile count must not OOM.
+                if c.buf.len() - c.pos < n.saturating_mul(EVENT_WIRE_MIN) {
+                    return Err(FrameError::Truncated);
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(c.event()?);
+                }
+                Frame::Telemetry {
+                    node,
+                    batch,
+                    last,
+                    dropped_events,
+                    dropped_spans,
+                    counters,
+                    events,
+                }
+            }
+            KIND_TELEMETRY_ACK => Frame::TelemetryAck {
+                node: c.u32()?,
+                batch: c.u32()?,
+            },
+            KIND_WATCH => Frame::Watch {
+                run: c.u64()?,
+                interval_ms: c.u64()?,
+                once: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("bool")),
+                },
+            },
+            KIND_PROGRESS => Frame::Progress {
+                run: c.u64()?,
+                state: RunState::from_idx(c.u8()?)
+                    .ok_or(FrameError::BadPayload("run state index"))?,
+                done: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("bool")),
+                },
+                wave: c.u32()?,
+                waves: c.u32()?,
+                pulls: c.u64()?,
+                pull_bytes: c.u64()?,
+                shm_wait_p50_us: c.u64()?,
+                shm_wait_p99_us: c.u64()?,
+                rdma_wait_p50_us: c.u64()?,
+                rdma_wait_p99_us: c.u64()?,
+                pulls_in_flight: c.u64()?,
+                bytes_in_flight: c.u64()?,
+                queue_depth: c.u64()?,
+                link_stalls: c.u64()?,
+                health: c.strs()?,
+            },
             other => return Err(FrameError::BadKind(other)),
         };
         if c.pos != payload.len() {
@@ -1004,6 +1269,112 @@ fn put_run_summary(out: &mut Vec<u8>, s: &RunSummary) {
     out.push(s.state.idx());
     put_u32(out, s.nodes);
     put_str(out, &s.detail);
+    put_u64(out, s.link_stalls);
+    put_strs(out, &s.health);
+}
+
+/// Fixed cost of one wire event: seq (8) + parent (8) + kind (1) +
+/// app (4) + var (8) + version (8) + bbox flag (1) + src flag (1) +
+/// dst flag (1) + link (1) + piece (8) + bytes (8) + start (8) +
+/// duration (8) + pid (4). Kind arguments only add to it. Used to
+/// guard hostile event counts before allocation.
+const EVENT_WIRE_MIN: usize = 77;
+
+/// Event kind wire bytes (indexes into the `EventKind` shapes; kinds
+/// with an argument encode it right after the byte).
+const EK_PUT_CONT: u8 = 0;
+const EK_PUT_SEQ: u8 = 1;
+const EK_GET_SEQ: u8 = 2;
+const EK_GET_CONT: u8 = 3;
+const EK_SCHED_MISS: u8 = 4;
+const EK_SCHED_HIT: u8 = 5;
+const EK_DHT_LOOKUP: u8 = 6;
+const EK_PULL: u8 = 7;
+const EK_FAULT: u8 = 8;
+const EK_NET_SEND: u8 = 9;
+const EK_NET_RECV: u8 = 10;
+
+/// Map a fault slug read off the wire back to the `&'static str` the
+/// event schema carries. Slugs name the chaos fault kinds; an unknown
+/// slug (a newer peer's kind) degrades to the generic `"fault"`.
+fn intern_fault_slug(slug: &str) -> &'static str {
+    match slug {
+        "dead-producer" => "dead-producer",
+        "drop-pull" => "drop-pull",
+        "delay-pull" => "delay-pull",
+        "dht-blackout" => "dht-blackout",
+        "stage-full" => "stage-full",
+        "link-slow" => "link-slow",
+        "net-connect" => "net-connect",
+        "net-send" => "net-send",
+        "net-recv" => "net-recv",
+        "net-telemetry" => "net-telemetry",
+        _ => "fault",
+    }
+}
+
+fn put_event(out: &mut Vec<u8>, e: &Event) {
+    put_u64(out, e.seq);
+    put_u64(out, e.parent.unwrap_or(0)); // seqs are 1-based; 0 = none
+    match e.kind {
+        EventKind::Put { indexed: false } => out.push(EK_PUT_CONT),
+        EventKind::Put { indexed: true } => out.push(EK_PUT_SEQ),
+        EventKind::Get { cont: false } => out.push(EK_GET_SEQ),
+        EventKind::Get { cont: true } => out.push(EK_GET_CONT),
+        EventKind::Schedule { hit: false } => out.push(EK_SCHED_MISS),
+        EventKind::Schedule { hit: true } => out.push(EK_SCHED_HIT),
+        EventKind::DhtLookup { cores } => {
+            out.push(EK_DHT_LOOKUP);
+            put_u32(out, cores);
+        }
+        EventKind::Pull { wait_us } => {
+            out.push(EK_PULL);
+            put_u64(out, wait_us);
+        }
+        EventKind::Fault { kind } => {
+            out.push(EK_FAULT);
+            put_str(out, kind);
+        }
+        EventKind::NetSend => out.push(EK_NET_SEND),
+        EventKind::NetRecv => out.push(EK_NET_RECV),
+    }
+    put_u32(out, e.app);
+    put_u64(out, e.var);
+    put_u64(out, e.version);
+    match &e.bbox {
+        Some(bb) => {
+            out.push(1);
+            let lbs: Vec<u64> = (0..bb.ndim()).map(|d| bb.lb(d)).collect();
+            let ubs: Vec<u64> = (0..bb.ndim()).map(|d| bb.ub(d)).collect();
+            put_u64s(out, &lbs);
+            put_u64s(out, &ubs);
+        }
+        None => out.push(0),
+    }
+    match e.src {
+        Some(src) => {
+            out.push(1);
+            put_u32(out, src);
+        }
+        None => out.push(0),
+    }
+    match e.dst {
+        Some(dst) => {
+            out.push(1);
+            put_u32(out, dst);
+        }
+        None => out.push(0),
+    }
+    out.push(match e.link {
+        None => 0,
+        Some(LinkClass::Shm) => 1,
+        Some(LinkClass::Rdma) => 2,
+    });
+    put_u64(out, e.piece);
+    put_u64(out, e.bytes);
+    put_u64(out, e.start_us);
+    put_u64(out, e.duration_us);
+    put_u32(out, e.pid);
 }
 
 struct Cursor<'a> {
@@ -1050,7 +1421,79 @@ impl Cursor<'_> {
                 .ok_or(FrameError::BadPayload("run state index"))?,
             nodes: self.u32()?,
             detail: self.str()?,
+            link_stalls: self.u64()?,
+            health: self.strs()?,
         })
+    }
+
+    fn event(&mut self) -> Result<Event, FrameError> {
+        let seq = self.u64()?;
+        let parent = self.u64()?;
+        let kind = match self.u8()? {
+            EK_PUT_CONT => EventKind::Put { indexed: false },
+            EK_PUT_SEQ => EventKind::Put { indexed: true },
+            EK_GET_SEQ => EventKind::Get { cont: false },
+            EK_GET_CONT => EventKind::Get { cont: true },
+            EK_SCHED_MISS => EventKind::Schedule { hit: false },
+            EK_SCHED_HIT => EventKind::Schedule { hit: true },
+            EK_DHT_LOOKUP => EventKind::DhtLookup { cores: self.u32()? },
+            EK_PULL => EventKind::Pull {
+                wait_us: self.u64()?,
+            },
+            EK_FAULT => EventKind::Fault {
+                kind: intern_fault_slug(&self.str()?),
+            },
+            EK_NET_SEND => EventKind::NetSend,
+            EK_NET_RECV => EventKind::NetRecv,
+            _ => return Err(FrameError::BadPayload("event kind index")),
+        };
+        let mut e = Event::new(seq, kind);
+        if parent != 0 {
+            e.parent = Some(parent);
+        }
+        e.app = self.u32()?;
+        e.var = self.u64()?;
+        e.version = self.u64()?;
+        e.bbox = match self.u8()? {
+            0 => None,
+            1 => {
+                let lbs = self.u64s()?;
+                let ubs = self.u64s()?;
+                // BoundingBox::new panics on invalid corners; the codec
+                // must stay total, so validate the wire shape first.
+                if lbs.is_empty()
+                    || lbs.len() != ubs.len()
+                    || lbs.len() > insitu_domain::MAX_DIMS
+                    || lbs.iter().zip(&ubs).any(|(l, u)| l > u)
+                {
+                    return Err(FrameError::BadPayload("bbox corners"));
+                }
+                Some(insitu_domain::BoundingBox::new(&lbs, &ubs))
+            }
+            _ => return Err(FrameError::BadPayload("bool")),
+        };
+        e.src = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            _ => return Err(FrameError::BadPayload("bool")),
+        };
+        e.dst = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            _ => return Err(FrameError::BadPayload("bool")),
+        };
+        e.link = match self.u8()? {
+            0 => None,
+            1 => Some(LinkClass::Shm),
+            2 => Some(LinkClass::Rdma),
+            _ => return Err(FrameError::BadPayload("link class index")),
+        };
+        e.piece = self.u64()?;
+        e.bytes = self.u64()?;
+        e.start_us = self.u64()?;
+        e.duration_us = self.u64()?;
+        e.pid = self.u32()?;
+        Ok(e)
     }
 
     fn u64s(&mut self) -> Result<Vec<u64>, FrameError> {
@@ -1239,6 +1682,46 @@ mod tests {
             Frame::RpcErr {
                 message: arb_string(rng, 60),
             },
+            Frame::Telemetry {
+                node: rng.range_u32(0, 64),
+                batch: rng.range_u32(0, 16),
+                last: rng.bool(),
+                dropped_events: rng.range_u64(0, 100),
+                dropped_spans: rng.range_u64(0, 100),
+                counters: (0..rng.range_usize(0, 4))
+                    .map(|_| (arb_string(rng, 24), rng.next_u64()))
+                    .collect(),
+                events: (0..rng.range_usize(0, 6)).map(|_| arb_event(rng)).collect(),
+            },
+            Frame::TelemetryAck {
+                node: rng.range_u32(0, 64),
+                batch: rng.range_u32(0, 16),
+            },
+            Frame::Watch {
+                run: rng.next_u64(),
+                interval_ms: rng.range_u64(0, 10_000),
+                once: rng.bool(),
+            },
+            Frame::Progress {
+                run: rng.next_u64(),
+                state: *rng.choose(&RunState::ALL),
+                done: rng.bool(),
+                wave: rng.range_u32(0, 64),
+                waves: rng.range_u32(0, 64),
+                pulls: rng.next_u64(),
+                pull_bytes: rng.next_u64(),
+                shm_wait_p50_us: rng.next_u64(),
+                shm_wait_p99_us: rng.next_u64(),
+                rdma_wait_p50_us: rng.next_u64(),
+                rdma_wait_p99_us: rng.next_u64(),
+                pulls_in_flight: rng.range_u64(0, 64),
+                bytes_in_flight: rng.next_u64(),
+                queue_depth: rng.range_u64(0, 1024),
+                link_stalls: rng.range_u64(0, 8),
+                health: (0..rng.range_usize(0, 3))
+                    .map(|_| arb_string(rng, 40))
+                    .collect(),
+            },
         ]
     }
 
@@ -1249,7 +1732,64 @@ mod tests {
             state: *rng.choose(&RunState::ALL),
             nodes: rng.range_u32(1, 16),
             detail: arb_string(rng, 40),
+            link_stalls: rng.range_u64(0, 8),
+            health: (0..rng.range_usize(0, 3))
+                .map(|_| arb_string(rng, 32))
+                .collect(),
         }
+    }
+
+    fn arb_event(rng: &mut SplitMix64) -> Event {
+        let kind = match rng.range_u32(0, 12) {
+            0 => EventKind::Put { indexed: false },
+            1 => EventKind::Put { indexed: true },
+            2 => EventKind::Get { cont: false },
+            3 => EventKind::Get { cont: true },
+            4 => EventKind::Schedule { hit: false },
+            5 => EventKind::Schedule { hit: true },
+            6 => EventKind::DhtLookup {
+                cores: rng.range_u32(0, 64),
+            },
+            7 => EventKind::Pull {
+                wait_us: rng.next_u64(),
+            },
+            8 => EventKind::Fault { kind: "drop-pull" },
+            9 => EventKind::Fault {
+                kind: "net-telemetry",
+            },
+            10 => EventKind::NetSend,
+            _ => EventKind::NetRecv,
+        };
+        let mut e = Event::new(rng.range_u64(1, 1 << 40), kind);
+        if rng.bool() {
+            e.parent = Some(rng.range_u64(1, 1 << 40));
+        }
+        e.app = rng.range_u32(0, 8);
+        e.var = rng.next_u64();
+        e.version = rng.range_u64(0, 64);
+        if rng.bool() {
+            let ndim = rng.range_usize(1, insitu_domain::MAX_DIMS + 1);
+            let lbs: Vec<u64> = (0..ndim).map(|_| rng.range_u64(0, 100)).collect();
+            let ubs: Vec<u64> = lbs.iter().map(|&l| l + rng.range_u64(0, 50)).collect();
+            e.bbox = Some(insitu_domain::BoundingBox::new(&lbs, &ubs));
+        }
+        if rng.bool() {
+            e.src = Some(rng.range_u32(0, 256));
+        }
+        if rng.bool() {
+            e.dst = Some(rng.range_u32(0, 256));
+        }
+        e.link = match rng.range_u32(0, 3) {
+            0 => None,
+            1 => Some(LinkClass::Shm),
+            _ => Some(LinkClass::Rdma),
+        };
+        e.piece = rng.next_u64();
+        e.bytes = rng.next_u64() >> 8;
+        e.start_us = rng.next_u64() >> 16;
+        e.duration_us = rng.next_u64() >> 16;
+        e.pid = rng.range_u32(0, 16);
+        e
     }
 
     #[test]
@@ -1384,6 +1924,8 @@ mod tests {
             state: RunState::Running,
             nodes: 2,
             detail: String::new(),
+            link_stalls: 0,
+            health: Vec::new(),
         })
         .encode();
         // The state byte sits after run (8) + name len (4) + "x" (1).
@@ -1563,8 +2105,108 @@ mod tests {
             data: vec![1, 2, 3],
         };
         assert!(pd.is_data_plane());
+        assert!(pd.fault_eligible());
         assert_eq!(pd.fault_ids(), (9, (3u64 << 32) | 7));
         assert!(!Frame::RunWave { wave: 0 }.is_data_plane());
+        assert!(!Frame::RunWave { wave: 0 }.fault_eligible());
         assert_eq!(Frame::RunWave { wave: 0 }.fault_ids(), (0, 0));
+        // Telemetry is fault-eligible (droppable observability) but
+        // NOT data plane: it must not count toward pull routing gates.
+        let tel = Frame::Telemetry {
+            node: 2,
+            batch: 5,
+            last: true,
+            dropped_events: 0,
+            dropped_spans: 0,
+            counters: Vec::new(),
+            events: Vec::new(),
+        };
+        assert!(!tel.is_data_plane());
+        assert!(tel.fault_eligible());
+        assert_eq!(tel.fault_ids(), (2, 5));
+        assert_eq!(tel.kind(), KIND_TELEMETRY);
+    }
+
+    #[test]
+    fn hostile_telemetry_counts_do_not_allocate() {
+        // A Telemetry frame whose counter count claims u32::MAX.
+        let mut p = Vec::new();
+        put_u32(&mut p, 1); // node
+        put_u32(&mut p, 0); // batch
+        p.push(1); // last
+        put_u64(&mut p, 0); // dropped_events
+        put_u64(&mut p, 0); // dropped_spans
+        put_u32(&mut p, u32::MAX); // hostile counter count
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_TELEMETRY, &p),
+            Err(FrameError::Truncated)
+        );
+        // And a hostile event count.
+        let mut p = Vec::new();
+        put_u32(&mut p, 1);
+        put_u32(&mut p, 0);
+        p.push(1);
+        put_u64(&mut p, 0);
+        put_u64(&mut p, 0);
+        put_u32(&mut p, 0); // no counters
+        put_u32(&mut p, u32::MAX); // hostile event count
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_TELEMETRY, &p),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn hostile_event_bbox_is_rejected_not_panicking() {
+        // An event whose bbox corners are inverted (lb > ub) must be a
+        // decode error — BoundingBox::new would panic on it.
+        let event = Event::new(1, EventKind::NetSend);
+        let frame = Frame::Telemetry {
+            node: 0,
+            batch: 0,
+            last: true,
+            dropped_events: 0,
+            dropped_spans: 0,
+            counters: Vec::new(),
+            events: vec![event],
+        };
+        let mut wire = frame.encode();
+        // The bbox flag sits after node(4)+batch(4)+last(1)+drops(16)+
+        // counter count(4)+event count(4)+seq(8)+parent(8)+kind(1)+
+        // app(4)+var(8)+version(8) of payload (frame header is 6).
+        let flag_at = 6 + 4 + 4 + 1 + 16 + 4 + 4 + 8 + 8 + 1 + 4 + 8 + 8;
+        assert_eq!(wire[flag_at], 0, "located the bbox flag");
+        wire[flag_at] = 1;
+        // lbs = [5], ubs = [2]: inverted.
+        let mut corners = Vec::new();
+        put_u64s(&mut corners, &[5]);
+        put_u64s(&mut corners, &[2]);
+        wire.splice(flag_at + 1..flag_at + 1, corners);
+        let len = (wire.len() - 4) as u32;
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            Frame::decode(wire[4], wire[5], &wire[6..]),
+            Err(FrameError::BadPayload("bbox corners"))
+        );
+    }
+
+    #[test]
+    fn fault_slugs_intern_to_known_kinds() {
+        assert_eq!(intern_fault_slug("drop-pull"), "drop-pull");
+        assert_eq!(intern_fault_slug("net-telemetry"), "net-telemetry");
+        assert_eq!(intern_fault_slug("some-future-kind"), "fault");
+        // Round-trip through the wire keeps the static slug.
+        let frame = Frame::Telemetry {
+            node: 0,
+            batch: 0,
+            last: true,
+            dropped_events: 0,
+            dropped_spans: 0,
+            counters: Vec::new(),
+            events: vec![Event::new(1, EventKind::Fault { kind: "link-slow" })],
+        };
+        let wire = frame.encode();
+        let decoded = Frame::decode(wire[4], wire[5], &wire[6..]).unwrap();
+        assert_eq!(decoded, frame);
     }
 }

@@ -27,6 +27,10 @@
 //!   except the origin (each replica already applied its own change).
 //! - `Barrier` and `Report` land in hub state for the wave engine;
 //!   `PutNotify` feeds diagnostics counters only.
+//! - `Telemetry` batches accumulate per node in hub state (drained by
+//!   [`Hub::take_telemetry`] for the cross-process trace merge) and
+//!   are answered with `TelemetryAck` — the shipper's one-in-flight
+//!   flow control.
 //!
 //! Because each connection preserves FIFO order (writer queue or staged
 //! reactor buffer) and TCP preserves order, forwarding a joiner's
@@ -38,7 +42,8 @@ use crate::conn::{recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle
 use crate::frame::{Frame, NodeReport};
 use crate::reactor::{ConnEvent, Reactor, ReactorHandle, Token};
 use insitu_fabric::FaultInjector;
-use std::collections::{HashMap, HashSet};
+use insitu_obs::{Event, ProcessTrace};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -85,6 +90,24 @@ struct Inner {
     /// Diagnostics from `PutNotify`: announced registrations and bytes.
     puts_announced: u64,
     put_bytes_announced: u64,
+    /// Flight-recorder shipments, accumulating per node until the
+    /// `last` batch marks a trace complete.
+    telemetry: HashMap<u32, NodeTelemetry>,
+}
+
+/// One node's telemetry shipment as it accumulates batch by batch.
+#[derive(Default)]
+struct NodeTelemetry {
+    events: Vec<Event>,
+    /// The batch index expected next; an out-of-order arrival (a batch
+    /// lost to fault injection, with the shipper retrying nothing)
+    /// marks the trace gapped and therefore incomplete.
+    next_batch: u32,
+    gap: bool,
+    last_seen: bool,
+    dropped_events: u64,
+    dropped_spans: u64,
+    counters: Vec<(String, u64)>,
 }
 
 impl Shared {
@@ -377,6 +400,40 @@ impl Hub {
         }
     }
 
+    /// Drain the telemetry the joiners shipped, as merge inputs: one
+    /// [`ProcessTrace`] per node `0..nodes`, marked complete only when
+    /// that node's `last` batch arrived with no gaps. A node whose
+    /// shipment was lost entirely yields an empty, incomplete trace —
+    /// the merge degrades to the processes that reported.
+    ///
+    /// Call after [`Hub::collect_reports`]: each hub connection is
+    /// FIFO and joiners ship telemetry before their `Report`, so every
+    /// batch that survived the wire has landed by then.
+    pub fn take_telemetry(&self) -> Vec<ProcessTrace> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let mut shipped = std::mem::take(&mut inner.telemetry);
+        (0..self.shared.nodes)
+            .map(|node| match shipped.remove(&node) {
+                Some(t) => ProcessTrace {
+                    node,
+                    events: t.events,
+                    dropped: t.dropped_events,
+                    dropped_spans: t.dropped_spans,
+                    counters: t.counters.into_iter().collect::<BTreeMap<_, _>>(),
+                    complete: t.last_seen && !t.gap,
+                },
+                None => ProcessTrace {
+                    node,
+                    events: Vec::new(),
+                    dropped: 0,
+                    dropped_spans: 0,
+                    counters: BTreeMap::new(),
+                    complete: false,
+                },
+            })
+            .collect()
+    }
+
     /// Buffer registrations announced via `PutNotify`: `(count, bytes)`.
     pub fn puts_announced(&self) -> (u64, u64) {
         let inner = self.shared.inner.lock().unwrap();
@@ -503,6 +560,37 @@ fn route(
             let slot = report.node as usize;
             shared.inner.lock().unwrap().reports[slot] = Some(report);
             shared.changed.notify_all();
+        }
+        Frame::Telemetry {
+            batch,
+            last,
+            dropped_events,
+            dropped_spans,
+            counters,
+            events,
+            ..
+        } => {
+            {
+                let mut inner = shared.inner.lock().unwrap();
+                // Keyed by the connection's node, not the frame field:
+                // the connection identity is authenticated by the
+                // handshake, the payload is not.
+                let t = inner.telemetry.entry(node).or_default();
+                if batch != t.next_batch {
+                    t.gap = true;
+                }
+                t.next_batch = batch.saturating_add(1);
+                t.events.extend(events);
+                if last {
+                    t.last_seen = true;
+                    t.dropped_events = dropped_events;
+                    t.dropped_spans = dropped_spans;
+                    t.counters = counters;
+                }
+            }
+            // The ack releases the shipper's next batch — one batch in
+            // flight per node, so telemetry cannot flood the hub.
+            tx.send_to(node, Frame::TelemetryAck { node, batch });
         }
         other => {
             shared.fail(format!(

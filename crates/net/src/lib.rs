@@ -7,14 +7,16 @@
 //! plus one process per simulated node — while the layers above keep
 //! their exact in-process semantics:
 //!
-//! - [`frame`] — the length-prefixed, versioned binary codec: 24
+//! - [`frame`] — the length-prefixed, versioned binary codec: 28
 //!   message types covering registration (`Hello`/`Welcome`), task
 //!   dispatch (`Relay` + `RunWave`/`Barrier`), buffer movement
 //!   (`PutNotify`, `PullRequest`, `PullData`, `PullNack`), DHT-replica
 //!   maintenance (`DhtInsert`, `GetDone`, `Evict`), run teardown
-//!   (`Report`, `Shutdown`) and the multi-tenant service RPCs
+//!   (`Report`, `Shutdown`), the multi-tenant service RPCs
 //!   (`Submit`/`Submitted`, `Cancel`, `Status`/`RunStatus`,
-//!   `ListRuns`/`RunList`, `RunResult`/`RunReport`, `RpcErr`).
+//!   `ListRuns`/`RunList`, `RunResult`/`RunReport`, `RpcErr`) and the
+//!   telemetry plane (`Telemetry`/`TelemetryAck` batch shipping,
+//!   `Watch`/`Progress` live run streaming).
 //!   Decoding rejects malformed input, never panics.
 //! - [`conn`] — counted, fault-gated frame I/O over
 //!   `std::net::TcpStream`: per-peer FIFO writer threads, retrying
@@ -39,9 +41,11 @@
 //! with zero external dependencies.
 //!
 //! Fault injection: `net.connect` fires on every connect attempt;
-//! `net.send` / `net.recv` fire on data-plane (`PullData`) frames only.
-//! Control frames are exempt by design — the paper's management server
-//! is reliable, and dropping a barrier would model a different system.
+//! `net.send` / `net.recv` fire on data-plane (`PullData`) frames and
+//! on `Telemetry` batches (whose loss costs trace completeness, never
+//! run correctness). Other control frames are exempt by design — the
+//! paper's management server is reliable, and dropping a barrier would
+//! model a different system.
 
 #![warn(missing_docs)]
 
@@ -56,8 +60,8 @@ pub use conn::{
     connect_with_retry, recv_frame, send_frame, NetError, NetMetrics, Peer, PeerHandle,
 };
 pub use frame::{
-    encode_batch, Frame, FrameDecoder, FrameError, NodeReport, RunState, RunSummary, MAX_FRAME_LEN,
-    WIRE_VERSION,
+    encode_batch, Frame, FrameDecoder, FrameError, NodeReport, RunState, RunSummary,
+    KIND_TELEMETRY, MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use hub::{Hub, HubConfig};
 pub use link::{Ctl, NetLink};

@@ -22,6 +22,13 @@
 //! call [`NetLink::start_reader`] with both — it wires up the demux
 //! (reader thread or reactor sinks) and returns the control channel
 //! (`RunWave` / `Shutdown`) that drives the joiner's wave loop.
+//!
+//! The telemetry plane rides the same connections: with a flight
+//! recorder attached ([`NetLink::set_flight`]) the link records a
+//! `NetSend` event when it answers a remote pull and a `NetRecv` when
+//! pulled bytes land, and at teardown [`NetLink::ship_telemetry`]
+//! ships the recording to the hub in ack-paced batches for the
+//! cross-process trace merge.
 
 use crate::conn::{recv_frame, NetError, NetMetrics, Peer, PeerHandle};
 use crate::frame::{Frame, FrameError, NodeReport};
@@ -33,6 +40,7 @@ use insitu_dart::transport::Transport;
 use insitu_dart::{BufKey, DartRuntime, Msg};
 use insitu_domain::BoundingBox;
 use insitu_fabric::{ClientId, FaultInjector};
+use insitu_obs::{Event, EventKind, FlightRecorder, LinkClass};
 use insitu_util::channel::{unbounded, Receiver, Sender};
 use insitu_util::Bytes;
 use std::collections::HashSet;
@@ -114,7 +122,19 @@ pub struct NetLink {
     get_timeout: Duration,
     dart: OnceLock<Arc<DartRuntime>>,
     space: OnceLock<Arc<CodsSpace>>,
+    /// The process's flight recorder; wire send/recv events land here
+    /// so the hub-side merge can stitch cross-process causal chains.
+    /// Disabled until [`NetLink::set_flight`].
+    flight: OnceLock<FlightRecorder>,
+    /// Live only while [`NetLink::ship_telemetry`] runs: the demux
+    /// forwards `TelemetryAck` batch indices here.
+    telemetry_ack: Mutex<Option<Sender<u32>>>,
 }
+
+/// Flight events per `Telemetry` frame. Bounds frame size (~100 B per
+/// event) so a telemetry batch can never monopolise a writer queue or
+/// the reactor loop against data-plane traffic.
+const TELEMETRY_BATCH_EVENTS: usize = 2048;
 
 impl NetLink {
     /// Wrap an established, greeted connection in star mode. `stream`
@@ -153,6 +173,8 @@ impl NetLink {
             get_timeout,
             dart: OnceLock::new(),
             space: OnceLock::new(),
+            flight: OnceLock::new(),
+            telemetry_ack: Mutex::new(None),
         });
         *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
         Ok(link)
@@ -195,6 +217,8 @@ impl NetLink {
             get_timeout,
             dart: OnceLock::new(),
             space: OnceLock::new(),
+            flight: OnceLock::new(),
+            telemetry_ack: Mutex::new(None),
         });
         *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
         Ok(link)
@@ -203,6 +227,17 @@ impl NetLink {
     /// The simulated node this process hosts.
     pub fn node(&self) -> u32 {
         self.node
+    }
+
+    /// Attach the process's flight recorder. Call before the run starts
+    /// (alongside `start_reader`); until then wire events are not
+    /// recorded. Setting it twice is a bug.
+    pub fn set_flight(&self, flight: FlightRecorder) {
+        assert!(self.flight.set(flight).is_ok(), "set_flight called twice");
+    }
+
+    fn flight(&self) -> FlightRecorder {
+        self.flight.get().cloned().unwrap_or_default()
     }
 
     /// Wire up the frame demux and return the control channel it feeds.
@@ -305,6 +340,56 @@ impl NetLink {
         self.hub.send(Frame::Report(report));
     }
 
+    /// Ship this process's flight recording and counter snapshot to the
+    /// hub as bounded `Telemetry` batches. The shipper waits for the
+    /// hub's `TelemetryAck` between batches — one batch in flight at a
+    /// time — so telemetry can never build an unbounded queue behind
+    /// the data plane. Call before [`NetLink::report`]: the hub
+    /// connection is FIFO, so when the `Report` lands the hub already
+    /// holds every batch that survived the wire.
+    ///
+    /// Returns `false` when an ack misses `ack_timeout` (e.g. the
+    /// batch was chaos-dropped): the remainder is abandoned and the
+    /// hub reports this node's trace incomplete — telemetry loss
+    /// degrades the merge, never the run.
+    pub fn ship_telemetry(
+        &self,
+        events: &[Event],
+        dropped_events: u64,
+        dropped_spans: u64,
+        counters: Vec<(String, u64)>,
+        ack_timeout: Duration,
+    ) -> bool {
+        let (tx, rx) = unbounded();
+        *self.telemetry_ack.lock().unwrap() = Some(tx);
+        // At least one batch even with zero events, so the counters and
+        // drop tallies always travel and the hub sees a `last` marker.
+        let total = events.len().div_ceil(TELEMETRY_BATCH_EVENTS).max(1);
+        let mut chunks = events.chunks(TELEMETRY_BATCH_EVENTS);
+        let mut ok = true;
+        for batch in 0..total {
+            let last = batch + 1 == total;
+            self.hub.send(Frame::Telemetry {
+                node: self.node,
+                batch: batch as u32,
+                last,
+                dropped_events,
+                dropped_spans,
+                counters: if last { counters.clone() } else { Vec::new() },
+                events: chunks.next().unwrap_or(&[]).to_vec(),
+            });
+            match rx.recv_timeout(ack_timeout) {
+                Ok(acked) if acked == batch as u32 => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        *self.telemetry_ack.lock().unwrap() = None;
+        ok
+    }
+
     /// Flush every queued frame onto the wire and stop the transport.
     /// Call before process exit so the `Report` is not lost.
     pub fn close(&self) {
@@ -386,18 +471,42 @@ impl NetLink {
                 data,
                 ..
             } => {
+                let flight = self.flight();
+                let t0 = flight.now_us();
                 let key = BufKey {
                     name,
                     version,
                     piece,
                 };
-                self.inflight.lock().unwrap().remove(&key);
+                {
+                    let mut inflight = self.inflight.lock().unwrap();
+                    inflight.remove(&key);
+                    self.metrics.pulls_in_flight.set(inflight.len() as u64);
+                }
                 // Register directly (NOT through the runtime): the
                 // bytes were accounted by the puller's `pull` and
                 // must not be re-published as a local put.
                 if dart.registry().get(&key).is_none() {
+                    let bytes = data.len() as u64;
                     dart.registry()
                         .register(key, owner, Bytes::copy_from_slice(&data));
+                    // The recv half of the wire hop. The merge matches
+                    // it to the owner side's NetSend by
+                    // (src, dst, var, version, piece); dst is the
+                    // requesting node's representative client (its
+                    // core 0) because the wire carries nodes, not the
+                    // individual waiter.
+                    flight.record(
+                        Event::new(flight.next_seq(), EventKind::NetRecv)
+                            .var(name)
+                            .version(version)
+                            .piece(piece)
+                            .src(owner)
+                            .dst(self.node * self.cores_per_node)
+                            .link(LinkClass::Rdma)
+                            .bytes(bytes)
+                            .window(t0, flight.now_us().saturating_sub(t0).max(1)),
+                    );
                 }
             }
             Frame::PullNack {
@@ -409,11 +518,20 @@ impl NetLink {
                 // The owner gave up; our local wait will time out
                 // and surface the pull failure. Allow a retry to
                 // re-request.
-                self.inflight.lock().unwrap().remove(&BufKey {
+                let mut inflight = self.inflight.lock().unwrap();
+                inflight.remove(&BufKey {
                     name,
                     version,
                     piece,
                 });
+                self.metrics.pulls_in_flight.set(inflight.len() as u64);
+            }
+            Frame::TelemetryAck { batch, .. } => {
+                // Flow control for an in-progress `ship_telemetry`;
+                // a stray ack after the shipper gave up is dropped.
+                if let Some(tx) = self.telemetry_ack.lock().unwrap().as_ref() {
+                    let _ = tx.send(batch);
+                }
             }
             Frame::DhtInsert {
                 var,
@@ -481,17 +599,41 @@ impl NetLink {
         };
         let dart = Arc::clone(dart);
         let timeout = self.get_timeout;
+        let flight = self.flight();
+        let requester = from_node * self.cores_per_node;
         std::thread::Builder::new()
             .name("net-pull-wait".into())
             .spawn(move || match dart.registry().wait_for(&key, timeout) {
-                Some(handle) => reply.send(Frame::PullData {
-                    name,
-                    version,
-                    piece,
-                    owner: handle.owner,
-                    to_node: from_node,
-                    data: handle.data.as_slice().to_vec(),
-                }),
+                Some(handle) => {
+                    // Record *before* enqueueing the answer: once the
+                    // consumer can observe these bytes the send event
+                    // is already in this process's recorder, so the
+                    // collect wave snapshots with no wire event still
+                    // unrecorded (zero unmatched pairs). The nominal
+                    // 1µs window keeps `send.end <= recv.start` in
+                    // real time, which the merge's clock alignment
+                    // relaxes over.
+                    let t0 = flight.now_us();
+                    flight.record(
+                        Event::new(flight.next_seq(), EventKind::NetSend)
+                            .var(name)
+                            .version(version)
+                            .piece(piece)
+                            .src(handle.owner)
+                            .dst(requester)
+                            .link(LinkClass::Rdma)
+                            .bytes(handle.data.as_slice().len() as u64)
+                            .window(t0, 1),
+                    );
+                    reply.send(Frame::PullData {
+                        name,
+                        version,
+                        piece,
+                        owner: handle.owner,
+                        to_node: from_node,
+                        data: handle.data.as_slice().to_vec(),
+                    });
+                }
                 None => reply.send(Frame::PullNack {
                     name,
                     version,
@@ -567,8 +709,12 @@ impl Transport for NetLink {
     }
 
     fn request(&self, key: &BufKey) {
-        if !self.inflight.lock().unwrap().insert(*key) {
-            return;
+        {
+            let mut inflight = self.inflight.lock().unwrap();
+            if !inflight.insert(*key) {
+                return;
+            }
+            self.metrics.pulls_in_flight.set(inflight.len() as u64);
         }
         let req = Frame::PullRequest {
             name: key.name,
@@ -589,7 +735,9 @@ impl Transport for NetLink {
                     // Dial failed: release the inflight slot so the
                     // local wait times out naming the owner (and a
                     // retry may re-dial).
-                    self.inflight.lock().unwrap().remove(key);
+                    let mut inflight = self.inflight.lock().unwrap();
+                    inflight.remove(key);
+                    self.metrics.pulls_in_flight.set(inflight.len() as u64);
                 }
             }
         } else {

@@ -276,7 +276,7 @@ fn run_loop(
                     let Some(conn) = conns.get_mut(&token.0) else {
                         continue; // peer already gone
                     };
-                    if frame.is_data_plane() {
+                    if frame.fault_eligible() {
                         let (a, b) = frame.fault_ids();
                         match injector.on_net(NetOp::Send, frame.kind(), a, b) {
                             FaultAction::Drop => continue,
@@ -286,6 +286,8 @@ fn run_loop(
                             FaultAction::Delay(d) => std::thread::sleep(d),
                             FaultAction::Proceed => {}
                         }
+                    }
+                    if frame.is_data_plane() {
                         metrics.pull_p2p.inc();
                     }
                     conn.out.extend_from_slice(&frame.encode());
@@ -350,7 +352,9 @@ fn run_loop(
         // (4) Wait for readiness. Short timeout while writes are
         // pending or listeners may have queued accepts; longer when
         // fully idle.
-        let pending_writes = conns.values().any(|c| c.pending_out() > 0);
+        let staged: usize = conns.values().map(Conn::pending_out).sum();
+        metrics.bytes_in_flight.set(staged as u64);
+        let pending_writes = staged > 0;
         let timeout = if pending_writes {
             Duration::from_micros(50)
         } else if !listeners.is_empty() {
@@ -384,7 +388,7 @@ fn run_loop(
                             match conn.decoder.next_frame() {
                                 Ok(Some(frame)) => {
                                     metrics.frames.inc();
-                                    if frame.is_data_plane() {
+                                    if frame.fault_eligible() {
                                         let (a, b) = frame.fault_ids();
                                         match injector.on_net(NetOp::Recv, frame.kind(), a, b) {
                                             FaultAction::Drop => continue,

@@ -80,6 +80,17 @@ pub enum EventKind {
         /// Fault-kind slug.
         kind: &'static str,
     },
+    /// A `PullData` payload left this process on the wire. The window
+    /// covers serialization + enqueue on the sender; `src` is the owner
+    /// client, `dst` the requesting client. Matched against the
+    /// receiving process's [`EventKind::NetRecv`] by
+    /// `(src, dst, var, version, piece)` when traces are merged.
+    NetSend,
+    /// A `PullData` payload arrived from the wire. After cross-process
+    /// merge its `parent` points at the matching [`EventKind::NetSend`]
+    /// on the sending process — the stitched edge that lets causal
+    /// chains span process boundaries.
+    NetRecv,
 }
 
 impl EventKind {
@@ -95,12 +106,14 @@ impl EventKind {
             EventKind::DhtLookup { .. } => "obs.dht_lookup",
             EventKind::Pull { .. } => "obs.pull",
             EventKind::Fault { .. } => "obs.fault",
+            EventKind::NetSend => "obs.net_send",
+            EventKind::NetRecv => "obs.net_recv",
         }
     }
 }
 
 /// One structured flight-recorder event.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Event {
     /// Monotone sequence number (unique per recorder; 1-based).
     pub seq: u64,
@@ -124,6 +137,10 @@ pub struct Event {
     pub link: Option<LinkClass>,
     /// Piece id within `(var, version, owner)`.
     pub piece: u64,
+    /// Originating process lane in a merged multi-process trace:
+    /// `node + 1` for a joiner, `0` for a single-process run (assigned
+    /// by the merge; recorders always emit `0`).
+    pub pid: u32,
     /// Payload bytes moved (or staged).
     pub bytes: u64,
     /// Window start, microseconds from the recorder epoch.
@@ -147,6 +164,7 @@ impl Event {
             dst: None,
             link: None,
             piece: 0,
+            pid: 0,
             bytes: 0,
             start_us: 0,
             duration_us: 0,
@@ -207,6 +225,12 @@ impl Event {
         self
     }
 
+    /// Set the process lane for merged traces.
+    pub fn pid(mut self, pid: u32) -> Event {
+        self.pid = pid;
+        self
+    }
+
     /// Set the payload size.
     pub fn bytes(mut self, bytes: u64) -> Event {
         self.bytes = bytes;
@@ -242,8 +266,22 @@ impl Event {
     /// gets/pulls, the producer for puts, 0 otherwise.
     pub fn track(&self) -> u64 {
         match self.kind {
-            EventKind::Put { .. } => self.src.unwrap_or(0) as u64,
+            EventKind::Put { .. } | EventKind::NetSend => self.src.unwrap_or(0) as u64,
             _ => self.dst.or(self.src).unwrap_or(0) as u64,
+        }
+    }
+
+    /// The cross-process stitch key for `PullData` wire hops:
+    /// `(src, dst, var, version, piece)`. `Some` only for
+    /// [`EventKind::NetSend`] / [`EventKind::NetRecv`] events with both
+    /// endpoints tagged.
+    pub fn wire_key(&self) -> Option<(ClientId, ClientId, u64, u64, u64)> {
+        match self.kind {
+            EventKind::NetSend | EventKind::NetRecv => match (self.src, self.dst) {
+                (Some(src), Some(dst)) => Some((src, dst, self.var, self.version, self.piece)),
+                _ => None,
+            },
+            _ => None,
         }
     }
 }
@@ -288,5 +326,36 @@ mod tests {
         assert_eq!(put.track(), 3);
         let pull = Event::new(2, EventKind::Pull { wait_us: 0 }).src(3).dst(8);
         assert_eq!(pull.track(), 8);
+        let send = Event::new(3, EventKind::NetSend).src(3).dst(8);
+        assert_eq!(send.track(), 3);
+        let recv = Event::new(4, EventKind::NetRecv).src(3).dst(8);
+        assert_eq!(recv.track(), 8);
+    }
+
+    #[test]
+    fn wire_key_joins_send_and_recv() {
+        let send = Event::new(1, EventKind::NetSend)
+            .src(2)
+            .dst(6)
+            .var(7)
+            .version(3)
+            .piece(5);
+        let recv = Event::new(9, EventKind::NetRecv)
+            .src(2)
+            .dst(6)
+            .var(7)
+            .version(3)
+            .piece(5);
+        assert_eq!(send.wire_key(), recv.wire_key());
+        assert_eq!(send.wire_key(), Some((2, 6, 7, 3, 5)));
+        // Non-wire events and untagged wire events have no stitch key.
+        assert_eq!(
+            Event::new(2, EventKind::Pull { wait_us: 0 })
+                .src(2)
+                .dst(6)
+                .wire_key(),
+            None
+        );
+        assert_eq!(Event::new(3, EventKind::NetSend).src(2).wire_key(), None);
     }
 }

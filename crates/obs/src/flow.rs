@@ -8,6 +8,13 @@
 //! chrome://tracing and Perfetto draw an arrow from producer put to
 //! consumer get. Flow ids are the pull's sequence number, unique per
 //! run.
+//!
+//! Merged multi-process traces add two things: every slice lands on its
+//! process lane (`pid` from [`Event::pid`], one lane per joiner), and
+//! every stitched wire hop — a [`EventKind::NetRecv`] whose `parent`
+//! points at the matching [`EventKind::NetSend`] — contributes a second
+//! flow pair, so the arrow chain reads put → wire → pull → get across
+//! process boundaries.
 
 use std::collections::BTreeMap;
 
@@ -36,7 +43,7 @@ fn slice_json(e: &Event) -> Json {
         .field("ph", "X")
         .field("ts", e.start_us)
         .field("dur", e.duration_us)
-        .field("pid", 0u64)
+        .field("pid", e.pid as u64)
         .field("tid", e.track())
         .field("args", args)
 }
@@ -74,7 +81,7 @@ pub fn chrome_flow_events(events: &[Event]) -> Vec<Json> {
                 .field("ph", "s")
                 .field("id", e.seq)
                 .field("ts", s_ts)
-                .field("pid", 0u64)
+                .field("pid", put.pid as u64)
                 .field("tid", put.track()),
         );
         out.push(
@@ -85,11 +92,65 @@ pub fn chrome_flow_events(events: &[Event]) -> Vec<Json> {
                 .field("bp", "e")
                 .field("id", e.seq)
                 .field("ts", e.start_us)
-                .field("pid", 0u64)
+                .field("pid", e.pid as u64)
+                .field("tid", e.track()),
+        );
+    }
+
+    // Stitched wire hops: recv.parent names the send on the other
+    // process (the merge's cross-process edge).
+    let by_seq: BTreeMap<u64, &Event> = events.iter().map(|e| (e.seq, e)).collect();
+    for e in events {
+        if e.kind != EventKind::NetRecv {
+            continue;
+        }
+        let Some(send) = e
+            .parent
+            .and_then(|p| by_seq.get(&p))
+            .filter(|s| s.kind == EventKind::NetSend)
+        else {
+            continue;
+        };
+        let s_ts = send.start_us + send.duration_us.saturating_sub(1);
+        out.push(
+            Json::obj()
+                .field("name", "wire")
+                .field("cat", "obs.flow")
+                .field("ph", "s")
+                .field("id", e.seq)
+                .field("ts", s_ts)
+                .field("pid", send.pid as u64)
+                .field("tid", send.track()),
+        );
+        out.push(
+            Json::obj()
+                .field("name", "wire")
+                .field("cat", "obs.flow")
+                .field("ph", "f")
+                .field("bp", "e")
+                .field("id", e.seq)
+                .field("ts", e.start_us)
+                .field("pid", e.pid as u64)
                 .field("tid", e.track()),
         );
     }
     out
+}
+
+/// Chrome trace document for a merged multi-process trace: one lane per
+/// process, flow arrows across the stitched wire hops, and the merge's
+/// degradation tallies recorded as top-level fields.
+pub fn chrome_trace_merged(report: &crate::merge::MergeReport) -> Json {
+    Json::obj()
+        .field("traceEvents", chrome_flow_events(&report.events))
+        .field("displayTimeUnit", "ms")
+        .field("droppedSpans", report.dropped_spans)
+        .field("droppedEvents", report.dropped)
+        .field("processes", report.processes as u64)
+        .field("stitched", report.stitched)
+        .field("unmatchedSends", report.unmatched_sends)
+        .field("unmatchedRecvs", report.unmatched_recvs)
+        .field("retriedWire", report.retried)
 }
 
 /// Full chrome trace document: the telemetry span sink's slices merged
@@ -163,6 +224,55 @@ mod tests {
         let text = Json::Arr(flows).render();
         assert!(!text.contains("\"ph\":\"s\""));
         assert!(!text.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn stitched_wire_hop_gets_flow_pair() {
+        // A stitched merge output: send on pid 1, recv on pid 2 whose
+        // parent names the send.
+        let events = vec![
+            Event::new(2, EventKind::NetSend)
+                .var(3)
+                .version(0)
+                .src(2)
+                .dst(5)
+                .piece(7)
+                .pid(1)
+                .window(100, 40),
+            Event::new(5, EventKind::NetRecv)
+                .parent(2)
+                .var(3)
+                .version(0)
+                .src(2)
+                .dst(5)
+                .piece(7)
+                .pid(2)
+                .window(140, 30),
+        ];
+        let json = Json::Arr(chrome_flow_events(&events)).render();
+        assert!(json.contains("\"name\":\"wire\",\"cat\":\"obs.flow\",\"ph\":\"s\",\"id\":5,\"ts\":139,\"pid\":1,\"tid\":2"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":5,\"ts\":140,\"pid\":2,\"tid\":5"));
+        // Slices land on their process lanes.
+        assert!(json.contains("\"name\":\"obs.net_send\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":100,\"dur\":40,\"pid\":1"));
+    }
+
+    #[test]
+    fn merged_document_carries_degradation_tallies() {
+        use crate::merge::{merge_traces, ProcessTrace};
+        let traces = vec![ProcessTrace {
+            node: 0,
+            events: coupled_events(),
+            dropped: 2,
+            dropped_spans: 1,
+            counters: Default::default(),
+            complete: true,
+        }];
+        let doc = chrome_trace_merged(&merge_traces(traces));
+        let text = doc.render();
+        assert!(text.contains("\"droppedEvents\":2"));
+        assert!(text.contains("\"droppedSpans\":1"));
+        assert!(text.contains("\"processes\":1"));
+        assert!(Json::parse(&text).is_ok());
     }
 
     #[test]

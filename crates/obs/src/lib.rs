@@ -17,7 +17,13 @@
 //!   transfer-size percentiles per link class;
 //! * [`flow`] — chrome://tracing export adding `s`/`f` flow events so
 //!   arrows connect producer puts to consumer gets in the existing
-//!   span trace;
+//!   span trace (and, for merged traces, per-process lanes plus wire
+//!   arrows across stitched hops);
+//! * [`merge`] — the distributed mode: per-process traces are
+//!   renumbered, clock-aligned by happens-before relaxation over
+//!   matched `NetSend`/`NetRecv` pairs, and stitched into one causal
+//!   trace whose cross-process edges let the profiler and the chrome
+//!   export span process boundaries;
 //! * [`gate`] — baseline regression gating over BENCH-style JSON
 //!   documents, backing `insitu compare --gate`.
 //!
@@ -29,10 +35,12 @@ pub mod event;
 pub mod flight;
 pub mod flow;
 pub mod gate;
+pub mod merge;
 pub mod profile;
 
 pub use event::{Event, EventKind, LinkClass};
 pub use flight::{FlightRecorder, DEFAULT_EVENT_CAPACITY};
-pub use flow::{chrome_flow_events, chrome_trace_with_flows};
+pub use flow::{chrome_flow_events, chrome_trace_merged, chrome_trace_with_flows};
 pub use gate::{gate_compare, profile_doc, GateConfig, GateOutcome};
+pub use merge::{merge_traces, MergeReport, ProcessTrace};
 pub use profile::{CategoryBreakdown, IterationProfile, LinkClassStats, ProfileReport};

@@ -127,6 +127,43 @@ impl RpcClient {
         }
     }
 
+    /// Subscribe to a run's live progress stream: sends `Watch` and
+    /// invokes `on_progress` with every `Progress` frame until the
+    /// final one (`done = true`; with `once`, the first frame is the
+    /// final one). Returns the number of frames received. The service
+    /// floors `interval` at its watchdog cadence.
+    pub fn watch(
+        &mut self,
+        run: u64,
+        interval: Duration,
+        once: bool,
+        mut on_progress: impl FnMut(&Frame),
+    ) -> Result<u64, String> {
+        let request = Frame::Watch {
+            run,
+            interval_ms: interval.as_millis() as u64,
+            once,
+        };
+        send_frame(&mut self.stream, &request, &self.injector, &self.metrics)
+            .map_err(|e| format!("sending watch: {e}"))?;
+        let mut frames = 0u64;
+        loop {
+            match recv_frame(&mut self.stream, &self.injector, &self.metrics) {
+                Ok(Frame::RpcErr { message }) => return Err(message),
+                Ok(frame @ Frame::Progress { .. }) => {
+                    frames += 1;
+                    let done = matches!(frame, Frame::Progress { done: true, .. });
+                    on_progress(&frame);
+                    if done {
+                        return Ok(frames);
+                    }
+                }
+                Ok(other) => return Err(unexpected("Progress", &other)),
+                Err(e) => return Err(format!("awaiting progress: {e}")),
+            }
+        }
+    }
+
     /// Poll `status` until the run reaches a terminal state; fails if
     /// it is still in flight after `timeout`.
     pub fn wait_terminal(&mut self, run: u64, timeout: Duration) -> Result<RunSummary, String> {

@@ -44,4 +44,4 @@ pub mod client;
 pub mod service;
 
 pub use client::{RpcClient, RunArtifacts};
-pub use service::{Service, SvcConfig};
+pub use service::{Service, SvcConfig, WatchdogConfig};

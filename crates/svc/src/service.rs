@@ -4,16 +4,19 @@
 use insitu::{join, map_scenario, serve, JoinOptions, MappingStrategy, Scenario, ServeOptions};
 use insitu_fabric::FaultInjector;
 use insitu_net::{recv_frame, send_frame, Frame, NetMetrics, RunState, RunSummary};
-use insitu_obs::{FlightRecorder, ProfileReport};
+use insitu_obs::{
+    chrome_trace_merged, merge_traces, EventKind, FlightRecorder, LinkClass, ProcessTrace,
+    ProfileReport,
+};
 use insitu_telemetry::Recorder;
 use insitu_util::channel::{unbounded, Receiver, Sender};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Builds the scenario a (dag, config) text pair describes. The same
 /// callback validates submissions and rebuilds replicas inside pool
@@ -43,6 +46,12 @@ pub struct SvcConfig {
     /// `PullData` over direct links and each run's private hub carries
     /// control traffic only. Off by default (star topology).
     pub p2p: bool,
+    /// Fault sites consulted by every run's server and pooled joiners
+    /// (inert by default); `insitu serve --faults` wires a chaos plan
+    /// through here.
+    pub injector: FaultInjector,
+    /// Link-health watchdog tuning.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for SvcConfig {
@@ -55,6 +64,33 @@ impl Default for SvcConfig {
             artifacts_dir: None,
             verbose: false,
             p2p: false,
+            injector: FaultInjector::none(),
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Link-health watchdog tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Sampling cadence; also the floor for `Watch` stream intervals.
+    pub poll_ms: u64,
+    /// A run with pulls in flight and no pull completions for this long
+    /// earns a `link-stall` health event (once per stall episode) and a
+    /// `net.link_stalls` count.
+    pub stall_ms: u64,
+    /// A link class whose pull-wait p99 exceeds this multiple of its
+    /// run-local baseline (first sample with >= 8 pulls) earns a
+    /// `link-degraded` health event (once per class).
+    pub p99_factor: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            poll_ms: 200,
+            stall_ms: 2000,
+            p99_factor: 4.0,
         }
     }
 }
@@ -65,7 +101,25 @@ struct Artifacts {
     ledger_json: String,
     metrics_json: String,
     profile_json: String,
+    trace_json: String,
     errors: Vec<String>,
+}
+
+/// Live numeric progress of a run: refreshed by the watchdog while the
+/// run executes, finalized by the run engine. Feeds `Progress` frames.
+#[derive(Clone, Copy, Default)]
+struct ProgressSample {
+    wave: u32,
+    waves: u32,
+    pulls: u64,
+    pull_bytes: u64,
+    shm_wait_p50_us: u64,
+    shm_wait_p99_us: u64,
+    rdma_wait_p50_us: u64,
+    rdma_wait_p99_us: u64,
+    pulls_in_flight: u64,
+    bytes_in_flight: u64,
+    queue_depth: u64,
 }
 
 /// One submitted run's registry entry.
@@ -80,6 +134,12 @@ struct RunEntry {
     detail: String,
     cancel: Arc<AtomicBool>,
     artifacts: Artifacts,
+    /// Stall episodes the watchdog counted for this run.
+    link_stalls: u64,
+    /// Structured health events (`link-stall: ...`, `link-degraded:
+    /// ...`), appended once per episode.
+    health: Vec<String>,
+    progress: ProgressSample,
 }
 
 impl RunEntry {
@@ -90,6 +150,30 @@ impl RunEntry {
             state: self.state,
             nodes: self.nodes,
             detail: self.detail.clone(),
+            link_stalls: self.link_stalls,
+            health: self.health.clone(),
+        }
+    }
+
+    fn progress_frame(&self, id: u64, done: bool) -> Frame {
+        let p = self.progress;
+        Frame::Progress {
+            run: id,
+            state: self.state,
+            done,
+            wave: p.wave,
+            waves: p.waves,
+            pulls: p.pulls,
+            pull_bytes: p.pull_bytes,
+            shm_wait_p50_us: p.shm_wait_p50_us,
+            shm_wait_p99_us: p.shm_wait_p99_us,
+            rdma_wait_p50_us: p.rdma_wait_p50_us,
+            rdma_wait_p99_us: p.rdma_wait_p99_us,
+            pulls_in_flight: p.pulls_in_flight,
+            bytes_in_flight: p.bytes_in_flight,
+            queue_depth: p.queue_depth,
+            link_stalls: self.link_stalls,
+            health: self.health.clone(),
         }
     }
 }
@@ -114,8 +198,16 @@ struct Assignment {
     addr: String,
     node: u32,
     timeout: Duration,
+    injector: FaultInjector,
     recorder: Recorder,
     flight: FlightRecorder,
+}
+
+/// Live handles of an executing run, registered for the watchdog.
+struct RunLive {
+    recorder: Recorder,
+    /// One flight recorder per pooled joiner, in node order.
+    flights: Vec<FlightRecorder>,
 }
 
 struct Shared {
@@ -129,6 +221,8 @@ struct Shared {
     pool_tx: Mutex<Option<Sender<Assignment>>>,
     /// Engine threads of admitted runs, joined on shutdown.
     engines: Mutex<Vec<JoinHandle<()>>>,
+    /// Executing runs' recorders, for the watchdog and `Watch` streams.
+    live: Mutex<HashMap<u64, RunLive>>,
 }
 
 /// A running workflow service. Dropping without [`Service::shutdown`]
@@ -139,6 +233,7 @@ pub struct Service {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -170,6 +265,7 @@ impl Service {
             sched: Condvar::new(),
             pool_tx: Mutex::new(Some(pool_tx)),
             engines: Mutex::new(Vec::new()),
+            live: Mutex::new(HashMap::new()),
             cfg,
             build,
         });
@@ -193,6 +289,14 @@ impl Service {
                 .map_err(|e| format!("cannot spawn scheduler: {e}"))?
         };
 
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("svc-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .map_err(|e| format!("cannot spawn watchdog: {e}"))?
+        };
+
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -206,6 +310,7 @@ impl Service {
             shared,
             acceptor: Some(acceptor),
             scheduler: Some(scheduler),
+            watchdog: Some(watchdog),
             workers,
         })
     }
@@ -237,6 +342,9 @@ impl Service {
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
         for h in self.shared.engines.lock().unwrap().drain(..) {
             let _ = h.join();
         }
@@ -263,7 +371,7 @@ fn pool_worker(rx: &Receiver<Assignment>, build: &ScenarioBuilder) {
             move |dag, config| (build)(dag, config),
             &JoinOptions {
                 timeout: a.timeout,
-                injector: FaultInjector::none(),
+                injector: a.injector,
                 recorder: a.recorder,
                 flight: a.flight,
             },
@@ -326,7 +434,18 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
         )
     };
     let recorder = Recorder::enabled();
-    let flight = FlightRecorder::enabled();
+    // One flight recorder per pooled joiner: each worker records its own
+    // process-local trace exactly as a real distributed joiner would,
+    // and the merged artifacts below come from the same telemetry path
+    // the wire uses (the joiners ship their snapshots to the run hub).
+    let flights: Vec<FlightRecorder> = (0..nodes).map(|_| FlightRecorder::enabled()).collect();
+    shared.live.lock().unwrap().insert(
+        id,
+        RunLive {
+            recorder: recorder.clone(),
+            flights: flights.clone(),
+        },
+    );
     let result = (|| -> Result<_, String> {
         let scenario = (shared.build)(&dag, &config)?;
         let listener =
@@ -343,8 +462,9 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                     addr: addr.clone(),
                     node,
                     timeout: shared.cfg.connect_timeout,
+                    injector: shared.cfg.injector.clone(),
                     recorder: recorder.clone(),
-                    flight: flight.clone(),
+                    flight: flights[node as usize].clone(),
                 });
             }
         }
@@ -357,22 +477,36 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                 strategy,
                 get_timeout,
                 timeout: shared.cfg.connect_timeout,
-                injector: FaultInjector::none(),
+                injector: shared.cfg.injector.clone(),
                 recorder: recorder.clone(),
                 run_epoch: id,
                 cancel: Arc::clone(&cancel),
-                flight: flight.clone(),
+                flight: FlightRecorder::disabled(),
                 p2p: shared.cfg.p2p,
             },
         )
     })();
 
+    shared.live.lock().unwrap().remove(&id);
+    let final_progress = sample_run(&recorder, &flights).0;
     let metrics_json = recorder.metrics_snapshot().to_json().render();
-    let profile_json = ProfileReport::analyze(&flight.snapshot(), flight.dropped())
-        .to_json()
-        .render();
-    let (state, detail, artifacts) = match result {
+    let (state, detail, artifacts, telemetry_health) = match result {
         Ok(outcome) => {
+            // The merged causal trace: the joiners' telemetry, stitched
+            // at the hub. Lost telemetry degrades the merge — surfaced
+            // as health events, not errors: a run whose tasks all
+            // succeeded is healthy even when its trace is partial.
+            let merged = merge_traces(outcome.telemetry);
+            let profile_json = ProfileReport::analyze(&merged.events, merged.dropped)
+                .to_json()
+                .render();
+            let trace_json = chrome_trace_merged(&merged).render();
+            let errors = outcome.errors;
+            let telemetry_health: Vec<String> = merged
+                .warnings()
+                .into_iter()
+                .map(|w| format!("telemetry: {w}"))
+                .collect();
             let detail = if outcome.verify_failures > 0 {
                 format!("{} verify failures", outcome.verify_failures)
             } else {
@@ -385,11 +519,33 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                     ledger_json: outcome.ledger.to_json().render(),
                     metrics_json,
                     profile_json,
-                    errors: outcome.errors,
+                    trace_json,
+                    errors,
                 },
+                telemetry_health,
             )
         }
         Err(why) => {
+            // No telemetry made it back; profile what the pooled
+            // workers recorded locally so failed runs still leave a
+            // trace behind.
+            let traces: Vec<ProcessTrace> = flights
+                .iter()
+                .enumerate()
+                .map(|(node, f)| ProcessTrace {
+                    node: node as u32,
+                    events: f.snapshot(),
+                    dropped: f.dropped(),
+                    dropped_spans: 0,
+                    counters: BTreeMap::new(),
+                    complete: false,
+                })
+                .collect();
+            let merged = merge_traces(traces);
+            let profile_json = ProfileReport::analyze(&merged.events, merged.dropped)
+                .to_json()
+                .render();
+            let trace_json = chrome_trace_merged(&merged).render();
             let state = if cancel.load(Ordering::SeqCst) {
                 RunState::Cancelled
             } else {
@@ -402,8 +558,10 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                     ledger_json: String::new(),
                     metrics_json,
                     profile_json,
+                    trace_json,
                     errors: vec![why],
                 },
+                Vec::new(),
             )
         }
     };
@@ -414,6 +572,7 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
             ("ledger", &artifacts.ledger_json),
             ("metrics", &artifacts.metrics_json),
             ("profile", &artifacts.profile_json),
+            ("trace", &artifacts.trace_json),
         ] {
             if !body.is_empty() {
                 let _ = std::fs::write(dir.join(format!("run-{id}.{kind}.json")), body);
@@ -436,9 +595,196 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
     e.state = state;
     e.detail = detail;
     e.artifacts = artifacts;
+    e.health.extend(telemetry_health);
+    e.progress = final_progress;
     st.running -= 1;
     st.free_nodes += nodes;
     shared.sched.notify_all();
+}
+
+/// Sample one run's live numbers: wave progress and in-flight gauges
+/// from the shared metrics registry, pull counts and per-class wait
+/// percentiles from the pooled joiners' flight recorders. The second
+/// value is the per-class pull count (`[shm, rdma]`), used by the
+/// watchdog's drift detector.
+fn sample_run(recorder: &Recorder, flights: &[FlightRecorder]) -> (ProgressSample, [u64; 2]) {
+    let snap = recorder.metrics_snapshot();
+    let mut waits: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut pulls = 0u64;
+    let mut pull_bytes = 0u64;
+    for f in flights {
+        for e in f.snapshot() {
+            if let EventKind::Pull { wait_us } = e.kind {
+                pulls += 1;
+                pull_bytes += e.bytes;
+                let class = match e.link {
+                    Some(LinkClass::Shm) => 0,
+                    _ => 1,
+                };
+                waits[class].push(wait_us);
+            }
+        }
+    }
+    for w in &mut waits {
+        w.sort_unstable();
+    }
+    let q = |w: &[u64], q: f64| -> u64 {
+        if w.is_empty() {
+            0
+        } else {
+            w[((q * w.len() as f64).ceil() as usize).clamp(1, w.len()) - 1]
+        }
+    };
+    let gauge = |name: &str| snap.gauges.get(name).map_or(0, |g| g.value);
+    let sample = ProgressSample {
+        wave: snap.counter("workflow.waves_done") as u32,
+        waves: gauge("workflow.waves") as u32,
+        pulls,
+        pull_bytes,
+        shm_wait_p50_us: q(&waits[0], 0.50),
+        shm_wait_p99_us: q(&waits[0], 0.99),
+        rdma_wait_p50_us: q(&waits[1], 0.50),
+        rdma_wait_p99_us: q(&waits[1], 0.99),
+        pulls_in_flight: gauge("net.pulls_in_flight"),
+        bytes_in_flight: gauge("cods.staging_bytes"),
+        queue_depth: gauge("net.bytes_in_flight"),
+    };
+    (sample, [waits[0].len() as u64, waits[1].len() as u64])
+}
+
+/// Per-run detection state the watchdog keeps between polls.
+#[derive(Default)]
+struct WatchState {
+    last_progress: (u64, u64),
+    last_change: Option<Instant>,
+    /// Inside a flagged stall episode (re-arms when progress resumes).
+    stalled: bool,
+    /// First-sample pull-wait p99 per class (`[shm, rdma]`), the
+    /// run-local drift baseline.
+    baseline_p99: [Option<u64>; 2],
+    degraded: [bool; 2],
+}
+
+/// The link-health watchdog: polls every executing run's recorders,
+/// refreshes its `Progress` sample and raises `link-stall` /
+/// `link-degraded` health events. Detection is per episode: a stall is
+/// counted once until progress resumes, a degraded class once per run.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let cfg = shared.cfg.watchdog;
+    let mut states: HashMap<u64, WatchState> = HashMap::new();
+    loop {
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(5)));
+        if shared.state.lock().unwrap().stopping {
+            return;
+        }
+        let live: Vec<(u64, Recorder, Vec<FlightRecorder>)> = {
+            let l = shared.live.lock().unwrap();
+            l.iter()
+                .map(|(&id, r)| (id, r.recorder.clone(), r.flights.clone()))
+                .collect()
+        };
+        states.retain(|id, _| live.iter().any(|(lid, _, _)| lid == id));
+        for (id, recorder, flights) in live {
+            let (sample, class_pulls) = sample_run(&recorder, &flights);
+            let st = states.entry(id).or_default();
+            let mut events: Vec<String> = Vec::new();
+            let now = Instant::now();
+            let progress = (sample.pulls, sample.pull_bytes);
+            let mut stalled_now = false;
+            match st.last_change {
+                Some(since) if progress == st.last_progress => {
+                    if sample.pulls_in_flight > 0
+                        && !st.stalled
+                        && now.duration_since(since) >= Duration::from_millis(cfg.stall_ms)
+                    {
+                        st.stalled = true;
+                        stalled_now = true;
+                        recorder.counter("net.link_stalls").inc();
+                        events.push(format!(
+                            "link-stall: {} pull(s) in flight, no completion for {} ms",
+                            sample.pulls_in_flight, cfg.stall_ms
+                        ));
+                    }
+                }
+                _ => {
+                    st.last_progress = progress;
+                    st.last_change = Some(now);
+                    st.stalled = false;
+                }
+            }
+            for (class, label) in [(0usize, "shm"), (1usize, "rdma")] {
+                if class_pulls[class] < 8 {
+                    continue;
+                }
+                let p99 = [sample.shm_wait_p99_us, sample.rdma_wait_p99_us][class];
+                match st.baseline_p99[class] {
+                    None => st.baseline_p99[class] = Some(p99.max(1)),
+                    Some(base) => {
+                        if !st.degraded[class] && p99 as f64 > cfg.p99_factor * base as f64 {
+                            st.degraded[class] = true;
+                            events.push(format!(
+                                "link-degraded: {label} pull-wait p99 {p99} us exceeds \
+                                 {}x run baseline {base} us",
+                                cfg.p99_factor
+                            ));
+                        }
+                    }
+                }
+            }
+            let mut stl = shared.state.lock().unwrap();
+            if let Some(e) = stl
+                .runs
+                .get_mut(id as usize - 1)
+                .filter(|e| e.state == RunState::Running)
+            {
+                e.progress = sample;
+                if stalled_now {
+                    e.link_stalls += 1;
+                }
+                e.health.extend(events);
+            }
+        }
+    }
+}
+
+/// Stream `Progress` frames for one watched run until it turns terminal
+/// (or immediately, in `once` mode). The final frame carries `done =
+/// true`; afterwards the connection resumes normal RPC service. The
+/// interval is floored at the watchdog cadence — samples cannot refresh
+/// faster than they are taken.
+fn watch_stream(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    run: u64,
+    interval_ms: u64,
+    once: bool,
+    injector: &FaultInjector,
+    metrics: &NetMetrics,
+) -> Result<(), ()> {
+    let interval = Duration::from_millis(interval_ms.max(shared.cfg.watchdog.poll_ms).max(1));
+    loop {
+        let frame = {
+            let st = shared.state.lock().unwrap();
+            match run.checked_sub(1).and_then(|i| st.runs.get(i as usize)) {
+                Some(e) => {
+                    let terminal = e.state.is_terminal();
+                    (e.progress_frame(run, once || terminal), terminal)
+                }
+                None => (
+                    Frame::RpcErr {
+                        message: format!("unknown run {run}"),
+                    },
+                    true,
+                ),
+            }
+        };
+        let (frame, last) = frame;
+        send_frame(stream, &frame, injector, metrics).map_err(|_| ())?;
+        if once || last {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -474,6 +820,30 @@ fn rpc_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(f) => f,
             Err(_) => return, // disconnect (or garbage): drop the connection
         };
+        // `Watch` is the one streaming RPC: it answers with a frame
+        // *sequence* and then hands the connection back to the
+        // request/reply loop.
+        if let Frame::Watch {
+            run,
+            interval_ms,
+            once,
+        } = request
+        {
+            if watch_stream(
+                &mut stream,
+                shared,
+                run,
+                interval_ms,
+                once,
+                &injector,
+                &metrics,
+            )
+            .is_err()
+            {
+                return;
+            }
+            continue;
+        }
         let reply = handle_rpc(request, shared);
         if send_frame(&mut stream, &reply, &injector, &metrics).is_err() {
             return;
@@ -583,6 +953,9 @@ fn submit(
         detail: String::new(),
         cancel: Arc::new(AtomicBool::new(false)),
         artifacts: Artifacts::default(),
+        link_stalls: 0,
+        health: Vec::new(),
+        progress: ProgressSample::default(),
     });
     let queued_ahead = st.queue.len() as u32;
     st.queue.push_back(id);
@@ -775,6 +1148,126 @@ mod tests {
         assert!(err.contains("unknown run"), "{err}");
         // The same connection keeps serving after the errors.
         assert_eq!(client.list().unwrap().len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn watch_streams_progress_and_returns_the_connection() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 1,
+            pool_nodes: 2,
+            watchdog: WatchdogConfig {
+                poll_ms: 10,
+                ..WatchdogConfig::default()
+            },
+            ..SvcConfig::default()
+        });
+        let err = client
+            .watch(99, Duration::from_millis(10), true, |_| {})
+            .unwrap_err();
+        assert!(err.contains("unknown run"), "{err}");
+        let (run, _) = client
+            .submit("watched", "ok", "", "round-robin", Duration::from_secs(60))
+            .unwrap();
+        let mut last: Option<(RunState, bool, u32, u32, u64)> = None;
+        let frames = client
+            .watch(run, Duration::from_millis(10), false, |f| {
+                if let Frame::Progress {
+                    state,
+                    done,
+                    wave,
+                    waves,
+                    pulls,
+                    ..
+                } = f
+                {
+                    last = Some((*state, *done, *wave, *waves, *pulls));
+                }
+            })
+            .unwrap();
+        assert!(frames >= 1);
+        let (state, done, wave, waves, pulls) = last.unwrap();
+        assert_eq!(state, RunState::Done);
+        assert!(done, "final frame must carry done");
+        assert!(waves > 0 && wave == waves, "final sample at {wave}/{waves}");
+        assert!(pulls > 0, "final sample saw no pulls");
+        // After the final frame the same connection serves plain RPCs.
+        assert_eq!(client.status(run).unwrap().state, RunState::Done);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn chaos_link_slow_trips_the_watchdog_without_failing_the_run() {
+        use insitu_chaos::{FaultKind, FaultPlan, FaultSpec};
+        // Every pull-data send held 15-50 ms by the chaos plan; with a
+        // 10 ms stall threshold the watchdog must notice, and the run
+        // must still complete.
+        let plan = Arc::new(FaultPlan::new(
+            7,
+            FaultSpec::none().with_rate(FaultKind::LinkSlow, 1.0),
+        ));
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 1,
+            pool_nodes: 2,
+            injector: FaultInjector::new(plan),
+            watchdog: WatchdogConfig {
+                poll_ms: 5,
+                stall_ms: 10,
+                p99_factor: 1e9, // stall detection only: keep drift quiet
+            },
+            ..SvcConfig::default()
+        });
+        let (run, _) = client
+            .submit("slow", "ok", "", "round-robin", Duration::from_secs(60))
+            .unwrap();
+        let s = client.wait_terminal(run, Duration::from_secs(120)).unwrap();
+        assert_eq!(s.state, RunState::Done, "{}", s.detail);
+        assert!(s.link_stalls > 0, "watchdog saw no stalls");
+        assert!(
+            s.health.iter().any(|h| h.starts_with("link-stall")),
+            "{:?}",
+            s.health
+        );
+        let art = client.result(run).unwrap();
+        assert!(
+            art.metrics_json.contains("net.link_stalls"),
+            "counter missing from metrics artifact"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn merged_artifacts_cover_every_process_and_land_on_disk() {
+        let dir = std::env::temp_dir().join(format!("insitu-svc-trace-{}", std::process::id()));
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 1,
+            pool_nodes: 2,
+            artifacts_dir: Some(dir.clone()),
+            ..SvcConfig::default()
+        });
+        let (run, _) = client
+            .submit("merged", "ok", "", "round-robin", Duration::from_secs(60))
+            .unwrap();
+        let s = client.wait_terminal(run, Duration::from_secs(120)).unwrap();
+        assert_eq!(s.state, RunState::Done, "{}", s.detail);
+        let art = client.result(run).unwrap();
+        // No degradation warnings: telemetry from both joiners arrived
+        // complete and every wire event pair stitched. A degraded merge
+        // would surface as `telemetry:` *health* events — never as run
+        // errors, which are reserved for task failures.
+        assert!(art.errors.is_empty(), "{:?}", art.errors);
+        assert!(
+            s.health.iter().all(|h| !h.starts_with("telemetry:")),
+            "{:?}",
+            s.health
+        );
+        let trace = std::fs::read_to_string(dir.join(format!("run-{run}.trace.json"))).unwrap();
+        assert!(
+            trace.contains("\"processes\":2"),
+            "merged trace must cover both joiners"
+        );
+        assert!(trace.contains("\"unmatchedSends\":0") && trace.contains("\"unmatchedRecvs\":0"));
+        let _ = std::fs::remove_dir_all(&dir);
         svc.shutdown();
     }
 

@@ -79,6 +79,28 @@ insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
 grep -q "byte-identical to the single-process run" target/launch-p2p-report.txt
 grep -q "p2p:       0 PullData frames through the hub" target/launch-p2p-report.txt
 
+# Merged distributed telemetry: the round-robin placement forces
+# cross-node pulls, every joiner ships its flight recording to the hub,
+# and the hub stitches one cross-process trace. The trace's structural
+# fields (process lanes, stitched wire edges, unmatched send/recv
+# counts) are deterministic and diffed against a checked-in baseline;
+# the merged trace + profile land in target/ for the CI workflow to
+# upload as artifacts. Refresh the baseline after an intentional
+# topology change by re-running this step and committing the grep line.
+echo "==> merged distributed telemetry (vs workflows/baseline_distrib.json)"
+insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
+    --procs 3 --p2p --strategy round-robin \
+    --trace-out target/launch-trace.json \
+    --profile-out target/launch-profile.json \
+    | tee target/launch-telemetry-report.txt
+grep -q "cross-process edge(s) stitched" target/launch-telemetry-report.txt
+if grep -q "^warning:" target/launch-telemetry-report.txt; then
+    echo "merged telemetry degraded on a healthy run"; exit 1
+fi
+grep -o '"processes":[0-9]*,"stitched":[0-9]*,"unmatchedSends":[0-9]*,"unmatchedRecvs":[0-9]*' \
+    target/launch-trace.json | diff - workflows/baseline_distrib.json
+test -s target/launch-profile.json
+
 # Wire-transport bench: star (thread-per-peer) vs reactor over
 # loopback — frames/s, pull RTT p50/p99, threads for 32 connections.
 # NET_BENCH_GATE=1 fails the run if the reactor's pull p99 regresses
@@ -136,6 +158,12 @@ grep -Eq '^run +2 +done' target/svc-status.txt
 grep -Eq '^run +3 +(done|cancelled)' target/svc-status.txt
 "$bin" status --connect "$svc_addr" --run 1 --json > target/svc-run-1.json
 grep -q '"state":"done"' target/svc-run-1.json
+grep -q '"link_stalls"' target/svc-run-1.json
+# Live streaming: `watch --once` must deliver exactly one Progress
+# frame (the CI-friendly mode; a TTY gets the in-place refreshing
+# table instead).
+"$bin" watch --connect "$svc_addr" --run 1 --once | tee target/svc-watch.txt
+grep -q "1 progress frame(s), final state done" target/svc-watch.txt
 # Byte-diff each completed run's ledger artifact against the standalone
 # launch ledger ($(...) strips the launch file's trailing newline).
 for run in 1 2; do
@@ -146,6 +174,43 @@ if grep -Eq '^run +3 +done' target/svc-status.txt; then
     diff target/svc-artifacts/run-3.ledger.json \
         <(printf '%s' "$(cat target/launch-ledger.json)")
 fi
+kill $svc_pid
+wait $svc_pid 2>/dev/null || true
+trap - EXIT
+
+# Link-health watchdog: a second service instance armed with the
+# link-slow chaos fault (every PullData send held 15-50 ms on the
+# wire) and a 10 ms stall threshold. The watchdog must count at least
+# one stall episode and surface a health event in `status --json` —
+# and the run must still complete and verify: the watchdog observes,
+# it never cancels.
+echo "==> link-health watchdog (chaos link-slow:1.0, 10 ms stall threshold)"
+"$bin" serve --listen 127.0.0.1:0 --max-runs 1 --pool-nodes 8 \
+    --faults link-slow:1.0 --seed 42 --stall-ms 10 \
+    > target/svc-chaos-server.log &
+svc_pid=$!
+trap 'kill $svc_pid 2>/dev/null || true' EXIT
+svc_addr=
+for _ in $(seq 1 100); do
+    svc_addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' target/svc-chaos-server.log | head -n 1)
+    [[ -n "$svc_addr" ]] && break
+    sleep 0.2
+done
+[[ -n "$svc_addr" ]]
+"$bin" submit --connect "$svc_addr" --name slow-links \
+    --dag workflows/distrib.dag --config workflows/distrib.cfg
+for _ in $(seq 1 300); do
+    "$bin" status --connect "$svc_addr" > target/svc-chaos-status.txt
+    grep -Eq ' (queued|running) ' target/svc-chaos-status.txt || break
+    sleep 1
+done
+grep -Eq '^run +1 +done' target/svc-chaos-status.txt
+"$bin" status --connect "$svc_addr" --run 1 --json > target/svc-chaos-run-1.json
+grep -q '"state":"done"' target/svc-chaos-run-1.json
+if grep -q '"link_stalls":0' target/svc-chaos-run-1.json; then
+    echo "watchdog never tripped under link-slow:1.0"; exit 1
+fi
+grep -q 'link-stall' target/svc-chaos-run-1.json
 kill $svc_pid
 wait $svc_pid 2>/dev/null || true
 trap - EXIT
