@@ -9,9 +9,12 @@
 //!   reactor coalesces staged frames into batched writes.
 //! - **pull latency p50/p99** — request/response round trips carrying a
 //!   1 KiB `PullData`: star pays the two-hop consumer→hub→owner path,
-//!   the reactor serves the direct peer link of p2p mode. Each side is
-//!   measured over several rounds and the minimum kept, so one noisy
-//!   scheduler slice on a shared runner cannot fail the gate.
+//!   the reactor serves the direct peer link of p2p mode, and shm
+//!   answers over a `/dev/shm` ring (payload through the mapping,
+//!   only the doorbell control frame on the socket — the same-host
+//!   fast path of `launch --procs`). Each side is measured over
+//!   several rounds and the minimum kept, so one noisy scheduler
+//!   slice on a shared runner cannot fail the gate.
 //! - **threads for 32 connections** — OS threads (`/proc/self/status`)
 //!   the process adds to serve 32 connections: one writer thread per
 //!   peer in star mode, O(1) for the reactor event loop.
@@ -23,8 +26,11 @@
 use insitu_fabric::FaultInjector;
 use insitu_net::{recv_frame, send_frame, Frame, NetMetrics, Peer, Reactor};
 use insitu_telemetry::{Json, Recorder};
+use insitu_util::bytes::Bytes;
+use insitu_util::shm::{self, MapRegion, RecordDesc, Ring, RingMem, ShmMap};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const SMALL_FRAMES: usize = 50_000;
@@ -227,6 +233,97 @@ fn reactor_pull_latencies() -> Vec<u64> {
     lat
 }
 
+/// Pull round trips over the shared-memory plane: the request and the
+/// doorbell control frame ride the direct socket exactly as in a real
+/// same-host run, but the 1 KiB payload crosses a `/dev/shm` ring —
+/// the producer pushes into the segment, the consumer's reply is a
+/// zero-copy `Bytes` view borrowing the mapping.
+fn shm_pull_latencies() -> Vec<u64> {
+    let dir = shm::segment_dir();
+    let path = dir.join(shm::segment_name(std::process::id(), 0xbe9c, 1, 0));
+    let slots = 256u32;
+    let arena = 1u64 << 20;
+    let map = ShmMap::create(&path, Ring::required_len(slots, arena)).expect("create segment");
+    let producer = Arc::new(Ring::create(RingMem::from_map(Arc::new(map)), slots, arena));
+    // The consumer attaches through its own mapping of the same file,
+    // exactly as a second process would.
+    let consumer_map = ShmMap::open(&path).expect("open segment");
+    let consumer_ring =
+        Arc::new(Ring::attach(RingMem::from_map(Arc::new(consumer_map))).expect("attach segment"));
+
+    // The owner: a reactor that answers every request by staging the
+    // payload in the ring and ringing the doorbell over the socket.
+    let reactor =
+        Reactor::spawn("bench-shm-owner", FaultInjector::none(), metrics()).expect("spawn reactor");
+    let handle = reactor.handle();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind owner");
+    let addr = listener.local_addr().expect("owner addr");
+    {
+        let reply = handle.clone();
+        let ring = Arc::clone(&producer);
+        handle.add_listener(
+            listener,
+            Box::new(move |token, _addr| {
+                let reply = reply.clone();
+                let ring = Arc::clone(&ring);
+                Box::new(move |event| {
+                    if let insitu_net::ConnEvent::Frame(Frame::PullRequest { version, .. }) = event
+                    {
+                        let desc = RecordDesc {
+                            name: 7,
+                            version,
+                            piece: 3 << 32,
+                            owner: 3,
+                        };
+                        let payload = vec![0xA5u8; PULL_BYTES];
+                        let seq = ring.push(&desc, &payload).expect("bench ring never fills");
+                        reply.send(
+                            token,
+                            Frame::ShmDoorbell {
+                                src_node: 1,
+                                dst_node: 0,
+                                segment: 1 << 32,
+                                seq,
+                            },
+                        );
+                    }
+                })
+            }),
+        );
+    }
+
+    let mut consumer = TcpStream::connect(addr).expect("dial owner");
+    consumer.set_nodelay(true).expect("nodelay");
+    let injector = FaultInjector::none();
+    let m = metrics();
+    let mut lat = Vec::with_capacity(PULL_RTTS);
+    for i in 0..PULL_RTTS {
+        let start = Instant::now();
+        send_frame(&mut consumer, &pull_request(i), &injector, &m).expect("consumer send");
+        match recv_frame(&mut consumer, &injector, &m).expect("consumer recv") {
+            Frame::ShmDoorbell { .. } => {}
+            other => panic!("consumer expected ShmDoorbell, got kind {}", other.kind()),
+        }
+        let rec = consumer_ring.pop().expect("doorbell implies a record");
+        let release_ring = Arc::clone(&consumer_ring);
+        let range = rec.range;
+        let region = MapRegion::new(
+            consumer_ring.mem().clone(),
+            rec.off,
+            rec.len,
+            Some(Box::new(move || release_ring.release(range))),
+        );
+        let bytes = Bytes::from_map(Arc::new(region));
+        assert_eq!(bytes.as_slice().len(), PULL_BYTES);
+        drop(bytes);
+        lat.push(start.elapsed().as_micros() as u64);
+    }
+    reactor.shutdown();
+    std::fs::remove_file(&path).ok();
+    lat.sort_unstable();
+    lat
+}
+
 /// OS thread count of this process, from `/proc/self/status`.
 fn os_threads() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
@@ -320,8 +417,9 @@ fn main() {
     // estimate of what the transport actually costs.
     let (star_p50, star_p99) = best_percentiles(star_pull_latencies);
     let (reactor_p50, reactor_p99) = best_percentiles(reactor_pull_latencies);
+    let (shm_p50, shm_p99) = best_percentiles(shm_pull_latencies);
     println!(
-        "pull RTT:  star p50 {star_p50} us p99 {star_p99} us   reactor p50 {reactor_p50} us p99 {reactor_p99} us  ({PULL_RTTS} x {PULL_BYTES} B, best of {LAT_ROUNDS} rounds)"
+        "pull RTT:  star p50 {star_p50} us p99 {star_p99} us   reactor p50 {reactor_p50} us p99 {reactor_p99} us   shm p50 {shm_p50} us p99 {shm_p99} us  ({PULL_RTTS} x {PULL_BYTES} B, best of {LAT_ROUNDS} rounds)"
     );
 
     let star_threads = star_threads_for_conns();
@@ -345,6 +443,8 @@ fn main() {
         .field("star_pull_p99_us", star_p99)
         .field("reactor_pull_p50_us", reactor_p50)
         .field("reactor_pull_p99_us", reactor_p99)
+        .field("shm_pull_p50_us", shm_p50)
+        .field("shm_pull_p99_us", shm_p99)
         .field("conns", SOAK_CONNS as u64)
         .field("star_threads_added", star_threads)
         .field("reactor_threads_added", reactor_threads);

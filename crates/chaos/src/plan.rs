@@ -50,11 +50,18 @@ pub enum FaultKind {
     /// design: a lost batch degrades the merged trace to the processes
     /// that reported, never the run itself.
     NetTelemetry,
+    /// Creating or attaching an intra-host shared-memory segment fails;
+    /// the directed peer pair transparently falls back to sending
+    /// PullData over the established TCP link. Rolled op-independently
+    /// on (creator node, segment id) so producer and consumer — who
+    /// consult *different plan instances* — agree on a doomed pair's
+    /// fate under a shared seed.
+    ShmAttach,
 }
 
 impl FaultKind {
     /// Every kind, in the canonical order used by specs and reports.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::DeadProducer,
         FaultKind::DropPull,
         FaultKind::DelayPull,
@@ -65,6 +72,7 @@ impl FaultKind {
         FaultKind::NetSend,
         FaultKind::NetRecv,
         FaultKind::NetTelemetry,
+        FaultKind::ShmAttach,
     ];
 
     /// Index into rate/count arrays.
@@ -85,6 +93,7 @@ impl FaultKind {
             FaultKind::NetSend => "net-send",
             FaultKind::NetRecv => "net-recv",
             FaultKind::NetTelemetry => "net-telemetry",
+            FaultKind::ShmAttach => "shm-attach",
         }
     }
 }
@@ -197,6 +206,7 @@ const SALT_NET_CONNECT: u64 = 0x1dea_dbee_f000_0006;
 const SALT_NET_SEND: u64 = 0x1dea_dbee_f000_0007;
 const SALT_NET_RECV: u64 = 0x1dea_dbee_f000_0008;
 const SALT_NET_TELEMETRY: u64 = 0x1dea_dbee_f000_0009;
+const SALT_SHM_ATTACH: u64 = 0x1dea_dbee_f000_000a;
 
 /// The wire kind byte of `Telemetry` frames
 /// (`insitu_net::frame::KIND_TELEMETRY`). Duplicated here because the
@@ -397,6 +407,19 @@ impl FaultHooks for FaultPlan {
         }
         FaultAction::Proceed
     }
+
+    fn shm_attach_fails(&self, node: NodeId, segment: u64) -> bool {
+        // Op-independent like telemetry batches: the producer consults
+        // its plan at segment creation, the consumer at attach, and the
+        // (node, segment) site hashes identically on both ends — a
+        // doomed pair degrades to TCP consistently instead of leaving
+        // one side waiting on a ring the other abandoned.
+        self.hit(
+            FaultKind::ShmAttach,
+            SALT_SHM_ATTACH,
+            &[node as u64, segment],
+        )
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +549,35 @@ mod tests {
         let t = FaultSpec::parse("net-telemetry:0.5").unwrap();
         assert_eq!(t.rate(FaultKind::NetTelemetry), 0.5);
         assert_eq!(FaultSpec::parse(&t.canonical()).unwrap(), t);
+        let u = FaultSpec::parse("shm-attach:0.75").unwrap();
+        assert_eq!(u.rate(FaultKind::ShmAttach), 0.75);
+        assert_eq!(FaultSpec::parse(&u.canonical()).unwrap(), u);
+    }
+
+    #[test]
+    fn shm_attach_rolls_op_independently_on_both_ends() {
+        let spec = FaultSpec::none().with_rate(FaultKind::ShmAttach, 0.5);
+        let producer = FaultPlan::new(21, spec);
+        let consumer = FaultPlan::new(21, spec);
+        // Producer (at create) and consumer (at attach) consult separate
+        // plan instances; a shared seed makes every pair's fate agree.
+        for node in 0..4u32 {
+            for segment in 0..16u64 {
+                assert_eq!(
+                    producer.shm_attach_fails(node, segment),
+                    consumer.shm_attach_fails(node, segment),
+                );
+            }
+        }
+        assert_eq!(
+            producer.injected()[FaultKind::ShmAttach.idx()],
+            consumer.injected()[FaultKind::ShmAttach.idx()]
+        );
+        // The half-rate spec both hits and spares some of the 64 pairs.
+        let hits = producer.injected()[FaultKind::ShmAttach.idx()];
+        assert!(hits > 0 && hits < 64, "half-rate spec hit {hits} of 64");
+        // An inert plan never fails an attach.
+        assert!(!FaultPlan::new(21, FaultSpec::none()).shm_attach_fails(0, 1));
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn run_with_faults(
     get_timeout: Duration,
     p2p: bool,
     recorder: &Recorder,
+    shm: bool,
 ) -> (Result<DistribOutcome, String>, Vec<Result<(), String>>) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
@@ -64,6 +65,10 @@ fn run_with_faults(
             injector: injector.clone(),
             recorder: recorder.clone(),
             p2p,
+            // The wire-fault tests pin what happens to frames on the
+            // socket, so the payloads must actually ride the socket:
+            // same-host shm would carry them around the fault site.
+            shm,
             ..ServeOptions::default()
         },
     );
@@ -83,6 +88,7 @@ fn dropped_pull_data_surfaces_as_timeout_naming_owner() {
         Duration::from_millis(600),
         false,
         &Recorder::disabled(),
+        false,
     );
 
     // The run still completes — waves, barriers and reports all use the
@@ -119,6 +125,7 @@ fn p2p_dropped_pull_data_surfaces_as_timeout_naming_owner() {
         Duration::from_millis(600),
         true,
         &recorder,
+        false,
     );
 
     let outcome = served.expect("p2p run must complete despite dropped data frames");
@@ -163,6 +170,7 @@ fn p2p_chaos_replays_bit_for_bit_from_seed() {
             Duration::from_millis(600),
             true,
             &Recorder::disabled(),
+            false,
         );
         for r in join_results {
             r.expect("joiners must survive partial drops");
@@ -210,6 +218,7 @@ fn p2p_direct_links_still_consult_every_fault_site() {
         Duration::from_secs(10),
         true,
         &Recorder::disabled(),
+        false,
     );
 
     let outcome = served.expect("fault-free p2p run must succeed");
@@ -231,6 +240,111 @@ fn p2p_direct_links_still_consult_every_fault_site() {
     let recvs = hooks.recvs.load(Ordering::Relaxed);
     assert!(sends > 0, "net.send must fire for p2p PullData");
     assert!(recvs > 0, "net.recv must fire for p2p PullData");
+}
+
+#[test]
+fn shm_attach_fault_degrades_to_tcp_with_identical_ledger() {
+    // Baseline: fault-free run with shm on — the payloads ride rings.
+    let base_rec = Recorder::enabled();
+    let (served, join_results) = run_with_faults(
+        &two_node_scenario(),
+        &FaultInjector::none(),
+        Duration::from_secs(10),
+        false,
+        &base_rec,
+        true,
+    );
+    let baseline = served.expect("fault-free shm run must succeed");
+    for r in join_results {
+        r.expect("fault-free joiners must succeed");
+    }
+    assert!(baseline.errors.is_empty(), "{:?}", baseline.errors);
+    assert!(
+        base_rec.metrics_snapshot().counter("net.shm_frames") > 0,
+        "baseline must actually use shared memory"
+    );
+
+    // Rate 1 on shm-attach: every pair is doomed. Both ends roll the
+    // same op-independent (creator, segment) hash, so the producer
+    // never stages into a ring nobody will drain — the payloads fall
+    // back to the socket transparently and the run is oblivious.
+    let spec = FaultSpec::parse("shm-attach:1").unwrap();
+    let injector = FaultInjector::new(Arc::new(FaultPlan::new(21, spec)));
+    let rec = Recorder::enabled();
+    let (served, join_results) = run_with_faults(
+        &two_node_scenario(),
+        &injector,
+        Duration::from_secs(10),
+        false,
+        &rec,
+        true,
+    );
+    let outcome = served.expect("run must complete despite shm-attach faults");
+    for r in join_results {
+        r.expect("joiners must survive shm-attach faults");
+    }
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    assert_eq!(
+        outcome.ledger, baseline.ledger,
+        "the TCP fallback must leave the merged ledger byte-identical"
+    );
+    assert_eq!(outcome.gets, baseline.gets);
+    let snap = rec.metrics_snapshot();
+    assert_eq!(
+        snap.counter("net.shm_frames"),
+        0,
+        "no record may ride a ring when every attach is doomed"
+    );
+    assert!(
+        snap.counter("net.shm_fallbacks") > 0,
+        "the degradations must be counted"
+    );
+    assert!(
+        snap.counter("net.pull_frames_hub") > 0,
+        "the payloads must have fallen back to the hub path"
+    );
+}
+
+#[test]
+fn shm_attach_chaos_replays_bit_for_bit_from_seed() {
+    // Partial rate: some pairs degrade, some ride rings. The segment
+    // identity hashes the directed pair (not a counter), so two runs of
+    // one seed must agree on every fallback — and on every observable
+    // the run produces.
+    let run = |seed| {
+        let spec = FaultSpec::parse("shm-attach:0.5").unwrap();
+        let injector = FaultInjector::new(Arc::new(FaultPlan::new(seed, spec)));
+        let rec = Recorder::enabled();
+        let (served, join_results) = run_with_faults(
+            &two_node_scenario(),
+            &injector,
+            Duration::from_secs(10),
+            false,
+            &rec,
+            true,
+        );
+        for r in join_results {
+            r.expect("joiners must survive partial shm faults");
+        }
+        let outcome = served.expect("run must complete under partial shm faults");
+        let snap = rec.metrics_snapshot();
+        (
+            outcome,
+            snap.counter("net.shm_frames"),
+            snap.counter("net.shm_fallbacks"),
+        )
+    };
+    let (a, a_frames, a_fallbacks) = run(33);
+    let (b, b_frames, b_fallbacks) = run(33);
+    assert_eq!(a.errors, b.errors, "seed-33 error set must replay");
+    assert_eq!(a.ledger, b.ledger, "seed-33 ledger must replay");
+    assert_eq!(a.verify_failures, b.verify_failures);
+    assert_eq!(a.gets, b.gets);
+    assert_eq!(a_frames, b_frames, "ring traffic must replay bit-for-bit");
+    assert_eq!(
+        a_fallbacks, b_fallbacks,
+        "fallbacks must replay bit-for-bit"
+    );
 }
 
 #[test]

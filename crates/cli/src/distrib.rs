@@ -14,6 +14,7 @@ use insitu::{
 use insitu_fabric::TrafficClass;
 use insitu_obs::{chrome_trace_merged, merge_traces, FlightRecorder, ProfileReport};
 use insitu_telemetry::Recorder;
+use insitu_util::shm;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -41,6 +42,9 @@ pub struct ServeCmd {
     /// Peer-to-peer data plane: joiners exchange `PullData` over direct
     /// links, the hub carries control traffic only.
     pub p2p: bool,
+    /// Keep same-host `PullData` off the shared-memory plane and on the
+    /// socket (`--no-shm`).
+    pub no_shm: bool,
 }
 
 /// Options of the `join` subcommand. No workflow files: the server
@@ -53,6 +57,9 @@ pub struct JoinCmd {
     pub node: u32,
     /// How long to keep trying to reach the server before failing.
     pub timeout_ms: u64,
+    /// Opt this node out of the shared-memory plane: its `Hello`
+    /// carries no host fingerprint, so no peer ever offers it a segment.
+    pub no_shm: bool,
 }
 
 /// Options of the `launch` subcommand.
@@ -78,6 +85,9 @@ pub struct LaunchCmd {
     /// additionally asserts that zero `PullData` frames traversed the
     /// hub, via the `net.pull_frames_hub` counter.
     pub p2p: bool,
+    /// Disable the shared-memory plane for the whole run: the hub ships
+    /// no host table and every joiner is spawned with `--no-shm`.
+    pub no_shm: bool,
 }
 
 fn render_outcome(o: &DistribOutcome) -> String {
@@ -156,17 +166,27 @@ fn render_merged_telemetry(
 /// Run the workflow server until the distributed run completes.
 pub fn serve_cmd(cmd: &ServeCmd) -> Result<String, CliError> {
     let scenario = build_scenario(&cmd.dag, &cmd.config)?;
+    // A crashed earlier run must not leak /dev/shm space forever: drop
+    // any segment whose creator process is gone before serving.
+    let swept = shm::sweep_stale(&shm::segment_dir());
     let listener = TcpListener::bind(&cmd.listen)
         .map_err(|e| CliError::Io(format!("cannot listen on {}: {e}", cmd.listen)))?;
     let opts = ServeOptions {
         strategy: cmd.strategy,
         timeout: Duration::from_millis(cmd.timeout_ms),
         p2p: cmd.p2p,
+        shm: !cmd.no_shm,
         ..ServeOptions::default()
     };
     let outcome =
         serve(&listener, &cmd.dag, &cmd.config, &scenario, &opts).map_err(CliError::Mismatch)?;
-    let mut out = render_outcome(&outcome);
+    let mut out = String::new();
+    if swept > 0 {
+        out.push_str(&format!(
+            "swept:     {swept} stale shared-memory segment(s) from dead runs\n"
+        ));
+    }
+    out.push_str(&render_outcome(&outcome));
     out.push_str(&render_merged_telemetry(
         &outcome,
         cmd.trace_out.as_ref(),
@@ -187,6 +207,7 @@ pub fn join_cmd(cmd: &JoinCmd) -> Result<String, CliError> {
         timeout: Duration::from_millis(cmd.timeout_ms),
         recorder: Recorder::enabled(),
         flight: FlightRecorder::enabled(),
+        shm: !cmd.no_shm,
         ..JoinOptions::default()
     };
     join(
@@ -202,11 +223,14 @@ pub fn join_cmd(cmd: &JoinCmd) -> Result<String, CliError> {
 /// Kill and wait every joiner child. Used on launch error paths so a
 /// failed run never leaves orphaned joiner processes behind; `kill` on
 /// an already-exited child is a no-op error we ignore, and `wait` then
-/// reaps it either way.
+/// reaps it either way. A killed joiner never runs its own segment
+/// teardown, so its shared-memory segments are reaped here by pid.
 fn reap_joiners(children: Vec<(u32, std::process::Child)>) {
     for (_, mut child) in children {
+        let pid = child.id();
         let _ = child.kill();
         let _ = child.wait();
+        shm::reap_pid(&shm::segment_dir(), pid);
     }
 }
 
@@ -235,16 +259,20 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
 
     let mut children = Vec::new();
     for node in 0..nodes {
+        let mut join_args = vec![
+            "join".to_string(),
+            "--connect".to_string(),
+            addr.clone(),
+            "--node".to_string(),
+            node.to_string(),
+            "--timeout-ms".to_string(),
+            cmd.timeout_ms.to_string(),
+        ];
+        if cmd.no_shm {
+            join_args.push("--no-shm".to_string());
+        }
         let spawned = std::process::Command::new(&exe)
-            .args([
-                "join",
-                "--connect",
-                &addr,
-                "--node",
-                &node.to_string(),
-                "--timeout-ms",
-                &cmd.timeout_ms.to_string(),
-            ])
+            .args(&join_args)
             .stdout(std::process::Stdio::null())
             .spawn()
             .map_err(|e| CliError::Io(format!("cannot spawn joiner {node}: {e}")));
@@ -260,17 +288,15 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         }
     }
 
-    // In p2p mode the run records telemetry so the topology claim —
-    // the hub carried no data-plane frames — is checked, not assumed.
-    let recorder = if cmd.p2p {
-        Recorder::enabled()
-    } else {
-        Recorder::disabled()
-    };
+    // The hub always records metrics: the transport-topology claims —
+    // no data-plane frames through the hub in p2p mode, same-host
+    // PullData off the socket in shm mode — are checked, not assumed.
+    let recorder = Recorder::enabled();
     let opts = ServeOptions {
         strategy: cmd.strategy,
         timeout: Duration::from_millis(cmd.timeout_ms),
         p2p: cmd.p2p,
+        shm: !cmd.no_shm,
         recorder: recorder.clone(),
         ..ServeOptions::default()
     };
@@ -286,11 +312,15 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
     };
     let mut joiner_failures = Vec::new();
     for (node, mut child) in children {
+        let pid = child.id();
         match child.wait() {
             Ok(status) if status.success() => {}
             Ok(status) => joiner_failures.push(format!("joiner {node} exited with {status}")),
             Err(e) => joiner_failures.push(format!("joiner {node} did not exit cleanly: {e}")),
         }
+        // A joiner that died mid-run never unlinked its segments; a
+        // clean one already did, making this a cheap no-op.
+        shm::reap_pid(&shm::segment_dir(), pid);
     }
     if let Some(fail) = joiner_failures.first() {
         return Err(CliError::Mismatch(fail.clone()));
@@ -334,6 +364,31 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         }
         out.push_str("p2p:       0 PullData frames through the hub\n");
     }
+    // Transport census for the shared-memory plane. Every launch
+    // process shares this host, so with shm on every PullData should
+    // ride a segment; the counters make that greppable rather than
+    // assumed (ring-full fallbacks legitimately shift frames back to
+    // the socket, so the census reports rather than hard-fails).
+    if cmd.no_shm {
+        out.push_str("shm:       disabled (--no-shm), PullData on the socket\n");
+    } else {
+        let joiner_sum = |key: &str| -> u64 {
+            outcome
+                .telemetry
+                .iter()
+                .map(|t| t.counters.get(key).copied().unwrap_or(0))
+                .sum()
+        };
+        // net.shm_frames ticks on both ends of a transfer, so the
+        // joiner sum counts each frame at its producer and consumer.
+        let shm_frames = joiner_sum("net.shm_frames");
+        let fallbacks = joiner_sum("net.shm_fallbacks");
+        let hub_pulls = recorder.metrics_snapshot().counter("net.pull_frames_hub");
+        out.push_str(&format!(
+            "shm:       {shm_frames} shared-memory frame event(s), \
+             {hub_pulls} PullData through the hub, {fallbacks} fallback(s)\n"
+        ));
+    }
     if let Some(path) = &cmd.ledger_out {
         out.push_str(&write_ledger(path, &outcome)?);
     }
@@ -367,6 +422,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             connect: addr.clone(),
             node: 0,
             timeout_ms: 150,
+            no_shm: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains(&addr), "{err}");
@@ -384,6 +440,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             trace_out: None,
             profile_out: None,
             p2p: false,
+            no_shm: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains("joiners"), "{err}");
@@ -405,6 +462,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             trace_out: None,
             profile_out: None,
             p2p: false,
+            no_shm: false,
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -439,6 +497,7 @@ COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
             trace_out: None,
             profile_out: None,
             p2p: false,
+            no_shm: false,
         })
         .unwrap_err();
         let msg = err.to_string();

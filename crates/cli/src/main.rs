@@ -29,14 +29,14 @@ usage: insitu run     [--dag] <file> --config <file>
        insitu chaos   [--seed <n>] [--cases <n>] [--faults <spec>]
        insitu serve   [--dag] <file> --config <file> --listen <addr>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
-              [--trace-out <path>] [--profile-out <path>] [--p2p]
+              [--trace-out <path>] [--profile-out <path>] [--p2p] [--no-shm]
        insitu serve   --listen <addr> [--max-runs <n>] [--queue-depth <n>]
-              [--pool-nodes <n>] [--artifacts <dir>] [--p2p]
+              [--pool-nodes <n>] [--artifacts <dir>] [--p2p] [--no-shm]
               [--faults <spec>] [--seed <n>] [--stall-ms <n>]
-       insitu join    --connect <addr> --node <n> [--timeout-ms <n>]
+       insitu join    --connect <addr> --node <n> [--timeout-ms <n>] [--no-shm]
        insitu launch  [--dag] <file> --config <file> --procs <k>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
-              [--trace-out <path>] [--profile-out <path>] [--p2p]
+              [--trace-out <path>] [--profile-out <path>] [--p2p] [--no-shm]
        insitu submit  --connect <addr> <workflow.toml> [--set k=v]...
               [--name <s>] [--strategy <s>] [--get-timeout-ms <n>]
               [--timeout-ms <n>] [--wait]
@@ -83,6 +83,13 @@ distributed ledger is byte-identical to a single-process run.
 listener, `PullData` flows node-to-node, and the hub carries control
 traffic only (`launch --p2p` additionally asserts zero data frames
 traversed the hub).
+Same-host `PullData` rides shared-memory segments by default — peers on
+one host (matching kernel boot id) exchange payloads through `/dev/shm`
+rings, with the socket carrying only the doorbell control frames.
+`--no-shm` forces everything back onto the socket: on `serve`/`launch`
+it disables the plane for the whole run, on `join` it opts one node
+out. `launch` prints a greppable `shm:` census line, and `serve` sweeps
+stale segments left by crashed earlier runs at startup.
 `serve` *without* workflow files runs the multi-tenant service instead:
 it executes up to `--max-runs` (default 4) concurrently submitted
 workflows over a shared pool of `--pool-nodes` (default 8) joiner
@@ -156,6 +163,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut seed = 42u64;
     let mut stall_ms: Option<u64> = None;
     let mut p2p = false;
+    let mut no_shm = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -206,6 +214,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
                 procs = Some(v.parse().map_err(|_| format!("bad process count '{v}'"))?);
             }
             "--p2p" if sub != "join" => p2p = true,
+            "--no-shm" => no_shm = true,
             "--strategy" if sub != "join" => strategy = parse_strategy(it.next())?,
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a number")?;
@@ -233,6 +242,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             connect: connect.ok_or("missing --connect")?,
             node: node.ok_or("missing --node")?,
             timeout_ms,
+            no_shm,
         }));
     }
     if sub == "serve" && dag_path.is_none() && config_path.is_none() {
@@ -247,6 +257,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             faults,
             seed,
             stall_ms,
+            no_shm,
         }));
     }
     if max_runs.is_some()
@@ -279,6 +290,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             trace_out,
             profile_out,
             p2p,
+            no_shm,
         }))
     } else {
         Ok(Command::Launch(LaunchCmd {
@@ -291,6 +303,7 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
             trace_out,
             profile_out,
             p2p,
+            no_shm,
         }))
     }
 }
@@ -879,6 +892,56 @@ mod tests {
                 .unwrap_err()
                 .contains("unknown argument")
         );
+    }
+
+    #[test]
+    fn parses_no_shm_on_every_distrib_subcommand() {
+        // Defaults: the shared-memory plane is on everywhere.
+        match parse_args(&args(&["launch", DAG, "--config", CFG, "--procs", "3"])).unwrap() {
+            Command::Launch(c) => assert!(!c.no_shm, "shm defaults on"),
+            _ => panic!("expected launch"),
+        }
+        match parse_args(&args(&[
+            "launch", DAG, "--config", CFG, "--procs", "3", "--no-shm",
+        ]))
+        .unwrap()
+        {
+            Command::Launch(c) => assert!(c.no_shm),
+            _ => panic!("expected launch"),
+        }
+        match parse_args(&args(&[
+            "serve", DAG, "--config", CFG, "--listen", "x:1", "--no-shm",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(c) => assert!(c.no_shm),
+            _ => panic!("expected serve"),
+        }
+        // Unlike --p2p (a hub topology choice), --no-shm is also a
+        // per-node opt-out: a join without it still advertises a host
+        // fingerprint, with it the node stays off the shm plane.
+        match parse_args(&args(&["join", "--connect", "x:1", "--node", "0"])).unwrap() {
+            Command::Join(c) => assert!(!c.no_shm),
+            _ => panic!("expected join"),
+        }
+        match parse_args(&args(&[
+            "join",
+            "--connect",
+            "x:1",
+            "--node",
+            "0",
+            "--no-shm",
+        ]))
+        .unwrap()
+        {
+            Command::Join(c) => assert!(c.no_shm),
+            _ => panic!("expected join"),
+        }
+        // Service mode forwards the knob to every hosted run.
+        match parse_args(&args(&["serve", "--listen", "x:1", "--no-shm"])).unwrap() {
+            Command::Service(c) => assert!(c.no_shm),
+            _ => panic!("expected service mode"),
+        }
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub struct ServiceCmd {
     pub seed: u64,
     /// Watchdog stall threshold override in milliseconds.
     pub stall_ms: Option<u64>,
+    /// Force every run's `PullData` onto the socket (`--no-shm`).
+    pub no_shm: bool,
 }
 
 /// The workflow a `submit` ships: either a raw DAG/config text pair or
@@ -138,6 +140,12 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
         // threshold still gets sampled before it trips.
         watchdog.poll_ms = watchdog.poll_ms.min(ms / 2).max(1);
     }
+    // A killed earlier service never ran its segment teardown; reclaim
+    // its /dev/shm space before taking submissions.
+    let swept = insitu_util::shm::sweep_stale(&insitu_util::shm::segment_dir());
+    if swept > 0 {
+        println!("service:   swept {swept} stale shared-memory segment(s)");
+    }
     let svc = Service::start(
         listener,
         SvcConfig {
@@ -147,6 +155,7 @@ pub fn service_cmd(cmd: &ServiceCmd) -> Result<String, CliError> {
             artifacts_dir: cmd.artifacts.clone(),
             verbose: true,
             p2p: cmd.p2p,
+            shm: !cmd.no_shm,
             injector,
             watchdog,
             ..SvcConfig::default()

@@ -180,6 +180,10 @@ pub struct CodsSpace {
     put_count: Counter,
     get_count: Counter,
     evict_count: Counter,
+    /// Gets answered zero-copy: one aligned piece covered the whole
+    /// query, so the result is a `FieldData::View` of the staged (or
+    /// shm-mapped) buffer rather than an assembled copy.
+    view_count: Counter,
     staging_gauge: Gauge,
 }
 
@@ -270,6 +274,7 @@ impl CodsSpace {
             put_count: recorder.counter("cods.put"),
             get_count: recorder.counter("cods.get"),
             evict_count: recorder.counter("cods.evictions"),
+            view_count: recorder.counter("cods.view_hits"),
             staging_gauge: recorder.gauge("cods.staging_bytes"),
             recorder,
             dart,
@@ -867,10 +872,14 @@ impl CodsSpace {
             });
         }
         self.note_get_complete(vid, version);
-        Ok(match view {
+        let data = match view {
             Some(bytes) => FieldData::from_bytes(bytes),
             None => FieldData::Owned(out),
-        })
+        };
+        if data.is_view() {
+            self.view_count.inc();
+        }
+        Ok(data)
     }
 
     /// Highest version of `var` visible in the DHT (sequential couplings

@@ -82,6 +82,11 @@ pub struct ServeOptions {
     /// staying at zero). Off by default: star mode routes everything
     /// through the hub.
     pub p2p: bool,
+    /// Allow same-host joiner pairs to move `PullData` payloads through
+    /// shared-memory segments instead of the socket. On by default; off
+    /// ships an empty host table in `Welcome`, so no joiner ever offers
+    /// a segment — one knob, decided at the hub.
+    pub shm: bool,
 }
 
 impl Default for ServeOptions {
@@ -96,6 +101,7 @@ impl Default for ServeOptions {
             cancel: Arc::new(AtomicBool::new(false)),
             flight: FlightRecorder::disabled(),
             p2p: false,
+            shm: true,
         }
     }
 }
@@ -112,6 +118,11 @@ pub struct JoinOptions {
     /// Flight recorder for per-run profiles (disabled by default; the
     /// service passes each run's recorder to its pooled joiners).
     pub flight: FlightRecorder,
+    /// Advertise this process's host fingerprint in `Hello`, letting
+    /// same-host peers answer its pulls through shared memory. Off
+    /// sends an empty fingerprint, which never matches: this joiner's
+    /// pairs all ride the wire.
+    pub shm: bool,
 }
 
 impl Default for JoinOptions {
@@ -121,6 +132,7 @@ impl Default for JoinOptions {
             injector: FaultInjector::none(),
             recorder: Recorder::disabled(),
             flight: FlightRecorder::disabled(),
+            shm: true,
         }
     }
 }
@@ -199,6 +211,7 @@ pub fn serve(
             run_epoch: opts.run_epoch,
             accept_timeout: opts.timeout,
             p2p: opts.p2p,
+            shm: opts.shm,
         },
         &opts.injector,
         &metrics,
@@ -344,14 +357,25 @@ where
         .local_addr()
         .map_err(|e| format!("socket setup: {e}"))?
         .to_string();
+    // An opted-out joiner sends an empty fingerprint, which never
+    // matches anyone: its pairs all ride the wire.
+    let host = if opts.shm {
+        insitu_util::shm::host_fingerprint()
+    } else {
+        String::new()
+    };
     send_frame(
         &mut stream,
-        &Frame::Hello { node, peer_addr },
+        &Frame::Hello {
+            node,
+            peer_addr,
+            host,
+        },
         &opts.injector,
         &metrics,
     )
     .map_err(|e| format!("greeting {addr}: {e}"))?;
-    let (nodes, strategy, get_timeout_ms, dag, config, run_epoch, peers) =
+    let (nodes, strategy, get_timeout_ms, dag, config, run_epoch, peers, hosts) =
         match recv_frame(&mut stream, &opts.injector, &metrics) {
             Ok(Frame::Welcome {
                 nodes,
@@ -361,6 +385,7 @@ where
                 config,
                 run_epoch,
                 peers,
+                hosts,
             }) => (
                 nodes,
                 strategy,
@@ -369,6 +394,7 @@ where
                 config,
                 run_epoch,
                 peers,
+                hosts,
             ),
             Ok(other) => {
                 return Err(format!(
@@ -417,6 +443,7 @@ where
     }
     .map_err(|e| e.to_string())?;
     link.set_flight(opts.flight.clone());
+    link.set_shm(hosts);
     let cfg = ThreadedConfig {
         get_timeout,
         injector: opts.injector.clone(),
@@ -511,6 +538,7 @@ mod tests {
         nodes: u32,
         recorder: &Recorder,
         p2p: bool,
+        shm: bool,
     ) -> DistribOutcome {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
@@ -519,6 +547,7 @@ mod tests {
             timeout: Duration::from_secs(20),
             recorder: recorder.clone(),
             p2p,
+            shm,
             ..ServeOptions::default()
         };
         let mut joiners = Vec::new();
@@ -554,7 +583,7 @@ mod tests {
         assert_eq!(expected.verify_failures, 0);
 
         let rec = Recorder::enabled();
-        let got = run_distributed(&s, MappingStrategy::DataCentric, 2, &rec, false);
+        let got = run_distributed(&s, MappingStrategy::DataCentric, 2, &rec, false, true);
         assert_eq!(got.nodes, 2);
         assert_eq!(got.verify_failures, 0);
         assert!(got.errors.is_empty(), "{:?}", got.errors);
@@ -572,10 +601,10 @@ mod tests {
         assert!(snap.counter("net.frames") > 0);
     }
 
-    #[test]
-    fn distributed_sequential_ledger_matches_single_process() {
-        // Two consumer apps with *different* grids, so no two processes
-        // issue the same schedule-cache query (see module docs).
+    /// Scenario whose RoundRobin placement forces cross-node pulls (the
+    /// consumers' gets land away from the staged pieces) — the workload
+    /// for every data-plane topology test below.
+    fn cross_node_scenario() -> Scenario {
         let mut s = sequential_scenario_with_grids(
             &[2, 2, 1],
             &[2, 1, 1],
@@ -583,7 +612,69 @@ mod tests {
             4,
             pattern_pairs(&[2, 2, 1])[0],
         );
-        s.cores_per_node = 2; // widest wave 4 tasks -> 2 nodes
+        s.cores_per_node = 2;
+        s
+    }
+
+    #[test]
+    fn star_shm_carries_same_host_pulls_with_identical_ledger() {
+        let s = cross_node_scenario();
+        let expected = run_threaded(&s, MappingStrategy::RoundRobin);
+        assert_eq!(expected.verify_failures, 0);
+
+        let rec = Recorder::enabled();
+        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &rec, false, true);
+        assert_eq!(got.verify_failures, 0);
+        assert!(got.errors.is_empty(), "{:?}", got.errors);
+        assert_eq!(
+            got.ledger, expected.ledger,
+            "shm transport must leave the merged ledger byte-identical"
+        );
+        assert_eq!(got.staged_buffers, expected.staged_buffers);
+
+        // Every joiner shares this host, so with shm on (the default)
+        // the cross-node payloads ride rings and loopback carries no
+        // PullData at all.
+        let snap = rec.metrics_snapshot();
+        assert!(
+            snap.counter("net.shm_frames") > 0,
+            "same-host pulls must ride shared memory"
+        );
+        assert!(snap.counter("net.shm_bytes") > 0);
+        assert_eq!(
+            snap.counter("net.pull_frames_hub"),
+            0,
+            "no PullData may ride loopback between same-host pairs"
+        );
+        assert_eq!(snap.counter("net.shm_fallbacks"), 0);
+    }
+
+    #[test]
+    fn distributed_shm_opt_out_falls_back_to_loopback() {
+        let s = cross_node_scenario();
+        let expected = run_threaded(&s, MappingStrategy::RoundRobin);
+
+        let rec = Recorder::enabled();
+        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &rec, false, false);
+        assert_eq!(got.verify_failures, 0);
+        assert!(got.errors.is_empty(), "{:?}", got.errors);
+        assert_eq!(
+            got.ledger, expected.ledger,
+            "opted-out ledger must be byte-identical too"
+        );
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("net.shm_frames"), 0, "shm was opted out");
+        assert!(
+            snap.counter("net.pull_frames_hub") > 0,
+            "PullData must ride the hub when shm is off"
+        );
+    }
+
+    #[test]
+    fn distributed_sequential_ledger_matches_single_process() {
+        // Two consumer apps with *different* grids, so no two processes
+        // issue the same schedule-cache query (see module docs).
+        let s = cross_node_scenario(); // widest wave 4 tasks -> 2 nodes
         let expected = run_threaded(&s, MappingStrategy::RoundRobin);
         assert_eq!(expected.verify_failures, 0);
 
@@ -593,6 +684,7 @@ mod tests {
             2,
             &Recorder::disabled(),
             false,
+            true,
         );
         assert_eq!(got.verify_failures, 0);
         assert!(got.errors.is_empty(), "{:?}", got.errors);
@@ -605,22 +697,14 @@ mod tests {
 
     #[test]
     fn p2p_ledger_matches_single_process_and_data_bypasses_hub() {
-        // RoundRobin deliberately places consumers away from the staged
-        // pieces, so the gets below must pull across nodes — the same
-        // workflow routes PullData through the hub in star mode.
-        let mut s = sequential_scenario_with_grids(
-            &[2, 2, 1],
-            &[2, 1, 1],
-            &[1, 2, 1],
-            4,
-            pattern_pairs(&[2, 2, 1])[0],
-        );
-        s.cores_per_node = 2;
+        let s = cross_node_scenario();
         let expected = run_threaded(&s, MappingStrategy::RoundRobin);
         assert_eq!(expected.verify_failures, 0);
 
+        // Shm off: this test pins down the p2p *wire* topology, so the
+        // data plane must actually use the direct links it asserts on.
         let rec = Recorder::enabled();
-        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &rec, true);
+        let got = run_distributed(&s, MappingStrategy::RoundRobin, 2, &rec, true, false);
         assert_eq!(got.verify_failures, 0);
         assert!(got.errors.is_empty(), "{:?}", got.errors);
         assert_eq!(
@@ -648,15 +732,10 @@ mod tests {
     fn telemetry_ships_and_stitches_across_processes() {
         // Same placement as the p2p gate test: RoundRobin forces the
         // consumers' gets to pull across nodes, so the traces must
-        // contain wire hops to stitch.
-        let mut s = sequential_scenario_with_grids(
-            &[2, 2, 1],
-            &[2, 1, 1],
-            &[1, 2, 1],
-            4,
-            pattern_pairs(&[2, 2, 1])[0],
-        );
-        s.cores_per_node = 2;
+        // contain hops to stitch — here over shm rings (the joiners
+        // share this host and shm stays on), proving the merge stitches
+        // shm sends/recvs exactly like wire ones.
+        let s = cross_node_scenario();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let mut joiners = Vec::new();

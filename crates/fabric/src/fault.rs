@@ -94,6 +94,17 @@ pub trait FaultHooks: Send + Sync {
         let _ = (op, kind, a, b);
         FaultAction::Proceed
     }
+
+    /// `true` fails the creation of (producer side) or the attach to
+    /// (consumer side) an intra-host shared-memory segment; the pair
+    /// transparently falls back to the TCP path. `node` is the segment
+    /// creator's node and `segment` the directed-pair segment id —
+    /// deliberately op-independent, so with a shared seed both ends of
+    /// a doomed pair fail identically instead of rolling twice.
+    fn shm_attach_fails(&self, node: NodeId, segment: u64) -> bool {
+        let _ = (node, segment);
+        false
+    }
 }
 
 /// A cheaply cloneable, optionally-empty handle to a [`FaultHooks`]
@@ -171,6 +182,14 @@ impl FaultInjector {
             None => FaultAction::Proceed,
         }
     }
+
+    /// See [`FaultHooks::shm_attach_fails`].
+    pub fn shm_attach_fails(&self, node: NodeId, segment: u64) -> bool {
+        match &self.0 {
+            Some(h) => h.shm_attach_fails(node, segment),
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +211,7 @@ mod tests {
             FaultAction::Proceed,
             "inert injector never faults the wire"
         );
+        assert!(!inj.shm_attach_fails(0, 1));
     }
 
     #[test]

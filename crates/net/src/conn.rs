@@ -77,6 +77,15 @@ pub struct NetMetrics {
     /// Link-stall episodes declared by the service watchdog (no pull
     /// progress within its stall window, or p99 drift past its factor).
     pub link_stalls: Counter,
+    /// Payload bytes moved through intra-host shared-memory rings
+    /// (either direction), never touching a socket.
+    pub shm_bytes: Counter,
+    /// PullData records moved through intra-host shared-memory rings.
+    pub shm_frames: Counter,
+    /// Times a same-host pair degraded a record (or the whole pair) to
+    /// the TCP path: attach failures, ring backpressure deadlines,
+    /// payloads larger than the arena.
+    pub shm_fallbacks: Counter,
     /// Pulls requested but not yet landed, kept current by the link.
     pub pulls_in_flight: Gauge,
     /// Bytes staged on this process's reactor send paths, encoded but
@@ -96,6 +105,9 @@ impl NetMetrics {
             pull_hub: recorder.counter("net.pull_frames_hub"),
             pull_p2p: recorder.counter("net.pull_frames_p2p"),
             link_stalls: recorder.counter("net.link_stalls"),
+            shm_bytes: recorder.counter("net.shm_bytes"),
+            shm_frames: recorder.counter("net.shm_frames"),
+            shm_fallbacks: recorder.counter("net.shm_fallbacks"),
             pulls_in_flight: recorder.gauge("net.pulls_in_flight"),
             bytes_in_flight: recorder.gauge("net.bytes_in_flight"),
         }

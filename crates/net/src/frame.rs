@@ -23,8 +23,10 @@ use std::io::{Read, Write};
 /// version 3 added `Hello::peer_addr` and `Welcome::peers` for the
 /// direct node↔node data plane; version 4 added the telemetry plane
 /// (`Telemetry`/`TelemetryAck`), live run streaming (`Watch`/
-/// `Progress`) and the `RunSummary` link-health fields.
-pub const WIRE_VERSION: u8 = 4;
+/// `Progress`) and the `RunSummary` link-health fields; version 5
+/// added the intra-host shared-memory data plane (`Hello::host`,
+/// `Welcome::hosts`, `ShmOffer`/`ShmAck`/`ShmDoorbell`).
+pub const WIRE_VERSION: u8 = 5;
 
 /// Upper bound on `len`: rejects absurd length words before any
 /// allocation happens (a 256 MiB frame comfortably fits the largest
@@ -195,6 +197,11 @@ pub enum Frame {
         /// node↔node data-plane connections; empty when the joiner has
         /// no peer listener (star-only transport).
         peer_addr: String,
+        /// Host fingerprint (boot id) for same-host detection; two
+        /// processes with equal non-empty fingerprints may exchange
+        /// PullData over shared memory. Empty = shm opted out
+        /// (`--no-shm`) or unavailable on this platform.
+        host: String,
     },
     /// Server → joiner: registration accepted; carries everything the
     /// joiner needs to deterministically rebuild the scenario replica.
@@ -218,6 +225,12 @@ pub enum Frame {
         /// routed through the hub); length `nodes` = reactor/p2p mode
         /// (PullData flows node↔node, the hub carries control only).
         peers: Vec<String>,
+        /// Host fingerprints indexed by node, as advertised in each
+        /// joiner's `Hello`. A pair of nodes with equal non-empty
+        /// fingerprints is same-host: the producer may offer a
+        /// shared-memory segment for its PullData. Empty = shm
+        /// disabled run-wide.
+        hosts: Vec<String>,
     },
     /// A mailbox message for a client hosted elsewhere (task dispatch
     /// from the server, halo exchange between joiners). Routed by the
@@ -492,6 +505,60 @@ pub enum Frame {
         /// Structured health events recorded so far, oldest first.
         health: Vec<String>,
     },
+    /// Producer → consumer (control plane): the producer created a
+    /// shared-memory segment for its directed pair with `dst_node`;
+    /// subsequent PullData for that pair rides the segment's ring,
+    /// announced by `ShmDoorbell` frames on this same FIFO link.
+    /// Control plane: never fault-eligible, never data plane — the
+    /// chaos `shm-attach` site fires at segment creation/attach, not
+    /// on the wire.
+    ShmOffer {
+        /// Producer's node (segment creator).
+        src_node: u32,
+        /// Consumer's node (segment attacher).
+        dst_node: u32,
+        /// Directed-pair segment id (`src << 32 | dst`).
+        segment: u64,
+        /// Filesystem path of the segment file (producer's view; the
+        /// pair is same-host, so the consumer opens the same path).
+        path: String,
+        /// Descriptor-ring slot count.
+        slots: u64,
+        /// Payload arena length in bytes.
+        arena_bytes: u64,
+    },
+    /// Consumer → producer (control plane): the consumer's answer to
+    /// `ShmOffer` (`attached` = mapped and validated) and, later, its
+    /// credit/nack channel: `attached == false` after records were
+    /// published tells the producer to resend them as PullData and
+    /// retire the segment.
+    ShmAck {
+        /// Producer's node.
+        src_node: u32,
+        /// Consumer's node.
+        dst_node: u32,
+        /// Directed-pair segment id.
+        segment: u64,
+        /// Ring sequence the consumer has consumed through (0 on the
+        /// initial attach answer).
+        seq: u64,
+        /// Whether the consumer is attached to the segment.
+        attached: bool,
+    },
+    /// Producer → consumer (control plane): one or more records were
+    /// published to the pair's ring at or below `seq`; drain it. The
+    /// doorbell carries no payload — the data already sits in the
+    /// consumer-mapped segment.
+    ShmDoorbell {
+        /// Producer's node.
+        src_node: u32,
+        /// Consumer's node.
+        dst_node: u32,
+        /// Directed-pair segment id.
+        segment: u64,
+        /// Ring head sequence after the publish.
+        seq: u64,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -526,6 +593,9 @@ pub const KIND_TELEMETRY: u8 = 25;
 const KIND_TELEMETRY_ACK: u8 = 26;
 const KIND_WATCH: u8 = 27;
 const KIND_PROGRESS: u8 = 28;
+const KIND_SHM_OFFER: u8 = 29;
+const KIND_SHM_ACK: u8 = 30;
+const KIND_SHM_DOORBELL: u8 = 31;
 
 impl Frame {
     /// The kind byte this frame encodes with.
@@ -559,6 +629,9 @@ impl Frame {
             Frame::TelemetryAck { .. } => KIND_TELEMETRY_ACK,
             Frame::Watch { .. } => KIND_WATCH,
             Frame::Progress { .. } => KIND_PROGRESS,
+            Frame::ShmOffer { .. } => KIND_SHM_OFFER,
+            Frame::ShmAck { .. } => KIND_SHM_ACK,
+            Frame::ShmDoorbell { .. } => KIND_SHM_DOORBELL,
         }
     }
 
@@ -593,9 +666,14 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
-            Frame::Hello { node, peer_addr } => {
+            Frame::Hello {
+                node,
+                peer_addr,
+                host,
+            } => {
                 put_u32(&mut p, *node);
                 put_str(&mut p, peer_addr);
+                put_str(&mut p, host);
             }
             Frame::Welcome {
                 nodes,
@@ -605,6 +683,7 @@ impl Frame {
                 config,
                 run_epoch,
                 peers,
+                hosts,
             } => {
                 put_u32(&mut p, *nodes);
                 put_str(&mut p, strategy);
@@ -613,6 +692,7 @@ impl Frame {
                 put_str(&mut p, config);
                 put_u64(&mut p, *run_epoch);
                 put_strs(&mut p, peers);
+                put_strs(&mut p, hosts);
             }
             Frame::Relay {
                 to,
@@ -846,6 +926,45 @@ impl Frame {
                 put_u64(&mut p, *link_stalls);
                 put_strs(&mut p, health);
             }
+            Frame::ShmOffer {
+                src_node,
+                dst_node,
+                segment,
+                path,
+                slots,
+                arena_bytes,
+            } => {
+                put_u32(&mut p, *src_node);
+                put_u32(&mut p, *dst_node);
+                put_u64(&mut p, *segment);
+                put_str(&mut p, path);
+                put_u64(&mut p, *slots);
+                put_u64(&mut p, *arena_bytes);
+            }
+            Frame::ShmAck {
+                src_node,
+                dst_node,
+                segment,
+                seq,
+                attached,
+            } => {
+                put_u32(&mut p, *src_node);
+                put_u32(&mut p, *dst_node);
+                put_u64(&mut p, *segment);
+                put_u64(&mut p, *seq);
+                p.push(*attached as u8);
+            }
+            Frame::ShmDoorbell {
+                src_node,
+                dst_node,
+                segment,
+                seq,
+            } => {
+                put_u32(&mut p, *src_node);
+                put_u32(&mut p, *dst_node);
+                put_u64(&mut p, *segment);
+                put_u64(&mut p, *seq);
+            }
         }
         let mut out = Vec::with_capacity(6 + p.len());
         put_u32(&mut out, 2 + p.len() as u32);
@@ -869,6 +988,7 @@ impl Frame {
             KIND_HELLO => Frame::Hello {
                 node: c.u32()?,
                 peer_addr: c.str()?,
+                host: c.str()?,
             },
             KIND_WELCOME => Frame::Welcome {
                 nodes: c.u32()?,
@@ -878,6 +998,7 @@ impl Frame {
                 config: c.str()?,
                 run_epoch: c.u64()?,
                 peers: c.strs()?,
+                hosts: c.strs()?,
             },
             KIND_RELAY => Frame::Relay {
                 to: c.u32()?,
@@ -1102,6 +1223,31 @@ impl Frame {
                 link_stalls: c.u64()?,
                 health: c.strs()?,
             },
+            KIND_SHM_OFFER => Frame::ShmOffer {
+                src_node: c.u32()?,
+                dst_node: c.u32()?,
+                segment: c.u64()?,
+                path: c.str()?,
+                slots: c.u64()?,
+                arena_bytes: c.u64()?,
+            },
+            KIND_SHM_ACK => Frame::ShmAck {
+                src_node: c.u32()?,
+                dst_node: c.u32()?,
+                segment: c.u64()?,
+                seq: c.u64()?,
+                attached: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("bool")),
+                },
+            },
+            KIND_SHM_DOORBELL => Frame::ShmDoorbell {
+                src_node: c.u32()?,
+                dst_node: c.u32()?,
+                segment: c.u64()?,
+                seq: c.u64()?,
+            },
             other => return Err(FrameError::BadKind(other)),
         };
         if c.pos != payload.len() {
@@ -1309,6 +1455,7 @@ fn intern_fault_slug(slug: &str) -> &'static str {
         "net-send" => "net-send",
         "net-recv" => "net-recv",
         "net-telemetry" => "net-telemetry",
+        "shm-attach" => "shm-attach",
         _ => "fault",
     }
 }
@@ -1569,6 +1716,7 @@ mod tests {
             Frame::Hello {
                 node: rng.range_u32(0, 64),
                 peer_addr: arb_string(rng, 24),
+                host: arb_string(rng, 36),
             },
             Frame::Welcome {
                 nodes: rng.range_u32(1, 64),
@@ -1579,6 +1727,9 @@ mod tests {
                 run_epoch: rng.next_u64(),
                 peers: (0..rng.range_usize(0, 4))
                     .map(|_| arb_string(rng, 24))
+                    .collect(),
+                hosts: (0..rng.range_usize(0, 4))
+                    .map(|_| arb_string(rng, 36))
                     .collect(),
             },
             Frame::Relay {
@@ -1721,6 +1872,27 @@ mod tests {
                 health: (0..rng.range_usize(0, 3))
                     .map(|_| arb_string(rng, 40))
                     .collect(),
+            },
+            Frame::ShmOffer {
+                src_node: rng.range_u32(0, 64),
+                dst_node: rng.range_u32(0, 64),
+                segment: rng.next_u64(),
+                path: arb_string(rng, 48),
+                slots: rng.range_u64(1, 1 << 16),
+                arena_bytes: rng.next_u64(),
+            },
+            Frame::ShmAck {
+                src_node: rng.range_u32(0, 64),
+                dst_node: rng.range_u32(0, 64),
+                segment: rng.next_u64(),
+                seq: rng.next_u64(),
+                attached: rng.bool(),
+            },
+            Frame::ShmDoorbell {
+                src_node: rng.range_u32(0, 64),
+                dst_node: rng.range_u32(0, 64),
+                segment: rng.next_u64(),
+                seq: rng.next_u64(),
             },
         ]
     }
@@ -1914,6 +2086,20 @@ mod tests {
             Frame::decode(WIRE_VERSION, KIND_WELCOME, &p),
             Err(FrameError::Truncated)
         );
+        // And a hostile host-fingerprint count after valid peers.
+        let mut p = Vec::new();
+        put_u32(&mut p, 2); // nodes
+        put_str(&mut p, "s");
+        put_u64(&mut p, 1); // get_timeout_ms
+        put_str(&mut p, "");
+        put_str(&mut p, "");
+        put_u64(&mut p, 0); // run_epoch
+        put_u32(&mut p, 0); // no peers
+        put_u32(&mut p, u32::MAX); // hostile host count
+        assert_eq!(
+            Frame::decode(WIRE_VERSION, KIND_WELCOME, &p),
+            Err(FrameError::Truncated)
+        );
     }
 
     #[test]
@@ -1946,6 +2132,7 @@ mod tests {
         let wire = Frame::Hello {
             node: 1,
             peer_addr: String::new(),
+            host: String::new(),
         }
         .encode();
         let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 1]);
@@ -2125,6 +2312,26 @@ mod tests {
         assert!(tel.fault_eligible());
         assert_eq!(tel.fault_ids(), (2, 5));
         assert_eq!(tel.kind(), KIND_TELEMETRY);
+        // The shm frames are control plane: not data plane (the bytes
+        // ride the segment, not the wire) and never fault-eligible (the
+        // `shm-attach` chaos site fires at create/attach instead).
+        let bell = Frame::ShmDoorbell {
+            src_node: 1,
+            dst_node: 0,
+            segment: 1 << 32,
+            seq: 3,
+        };
+        assert!(!bell.is_data_plane());
+        assert!(!bell.fault_eligible());
+        let offer = Frame::ShmOffer {
+            src_node: 1,
+            dst_node: 0,
+            segment: 1 << 32,
+            path: "/dev/shm/insitu-1-2-s1-d0".into(),
+            slots: 256,
+            arena_bytes: 1 << 23,
+        };
+        assert!(!offer.is_data_plane() && !offer.fault_eligible());
     }
 
     #[test]

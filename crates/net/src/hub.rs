@@ -70,6 +70,10 @@ pub struct HubConfig {
     /// Reactor mode: serve all joiners from one event-loop thread and
     /// publish their peer addresses so PullData flows node↔node.
     pub p2p: bool,
+    /// Publish the joiners' host fingerprints in `Welcome` so same-host
+    /// pairs can carry PullData over shared-memory segments. When off,
+    /// the `Welcome` ships no fingerprints and every pair stays on TCP.
+    pub shm: bool,
 }
 
 /// State shared between the hub's readers and the wave engine.
@@ -169,8 +173,10 @@ impl Hub {
         listener
             .set_nonblocking(true)
             .map_err(|e| NetError::Io(e.to_string()))?;
-        // Phase 1: collect every joiner's stream and advertised address.
-        let mut slots: Vec<Option<(TcpStream, String)>> = (0..cfg.nodes).map(|_| None).collect();
+        // Phase 1: collect every joiner's stream, advertised address and
+        // host fingerprint.
+        let mut slots: Vec<Option<(TcpStream, String, String)>> =
+            (0..cfg.nodes).map(|_| None).collect();
         let mut joined = 0;
         while joined < cfg.nodes {
             if Instant::now() >= deadline {
@@ -193,8 +199,9 @@ impl Hub {
         }
         let mut streams = Vec::new();
         let mut peer_addrs = Vec::new();
+        let mut hosts = Vec::new();
         for (node, slot) in slots.into_iter().enumerate() {
-            let (stream, peer_addr) = slot.expect("all joiners greeted");
+            let (stream, peer_addr, host) = slot.expect("all joiners greeted");
             if cfg.p2p && peer_addr.is_empty() {
                 return Err(NetError::Protocol(format!(
                     "p2p run, but node {node} advertises no peer address"
@@ -202,10 +209,14 @@ impl Hub {
             }
             streams.push(stream);
             peer_addrs.push(peer_addr);
+            hosts.push(host);
         }
 
         // Phase 2: everyone is here — greet them all.
         let peers_field = if cfg.p2p { peer_addrs } else { Vec::new() };
+        // An opted-out run ships no fingerprints, so no joiner ever
+        // offers a segment — one knob, decided at the hub.
+        let hosts_field = if cfg.shm { hosts } else { Vec::new() };
         for stream in &mut streams {
             send_frame(
                 stream,
@@ -217,6 +228,7 @@ impl Hub {
                     config: cfg.config.clone(),
                     run_epoch: cfg.run_epoch,
                     peers: peers_field.clone(),
+                    hosts: hosts_field.clone(),
                 },
                 injector,
                 metrics,
@@ -473,7 +485,7 @@ fn read_hello(
     cfg: &HubConfig,
     injector: &FaultInjector,
     metrics: &NetMetrics,
-    slots: &mut [Option<(TcpStream, String)>],
+    slots: &mut [Option<(TcpStream, String, String)>],
 ) -> Result<u32, NetError> {
     let mut stream = stream;
     stream
@@ -481,8 +493,12 @@ fn read_hello(
         .and_then(|_| stream.set_read_timeout(Some(Duration::from_secs(10))))
         .and_then(|_| stream.set_nodelay(true))
         .map_err(|e| NetError::Io(e.to_string()))?;
-    let (node, peer_addr) = match recv_frame(&mut stream, injector, metrics)? {
-        Frame::Hello { node, peer_addr } => (node, peer_addr),
+    let (node, peer_addr, host) = match recv_frame(&mut stream, injector, metrics)? {
+        Frame::Hello {
+            node,
+            peer_addr,
+            host,
+        } => (node, peer_addr, host),
         other => {
             return Err(NetError::Protocol(format!(
                 "expected Hello, got frame kind {}",
@@ -499,7 +515,7 @@ fn read_hello(
     if slots[node as usize].is_some() {
         return Err(NetError::Protocol(format!("two joiners claim node {node}")));
     }
-    slots[node as usize] = Some((stream, peer_addr));
+    slots[node as usize] = Some((stream, peer_addr, host));
     Ok(node)
 }
 
@@ -532,6 +548,16 @@ fn route(
         }
         Frame::PullNack { to_node, .. } => {
             tx.send_to(to_node, frame);
+        }
+        // Shm control frames ride the hub in star mode exactly like the
+        // pull frames they replace — offers and doorbells go to the
+        // consumer, acks back to the producer. The payloads themselves
+        // never transit here: they sit in the pair's segment.
+        Frame::ShmOffer { dst_node, .. } | Frame::ShmDoorbell { dst_node, .. } => {
+            tx.send_to(dst_node, frame);
+        }
+        Frame::ShmAck { src_node, .. } => {
+            tx.send_to(src_node, frame);
         }
         Frame::DhtInsert { .. } | Frame::GetDone { .. } | Frame::Evict { .. } => {
             for n in 0..shared.nodes {

@@ -42,9 +42,12 @@ use insitu_domain::BoundingBox;
 use insitu_fabric::{ClientId, FaultInjector};
 use insitu_obs::{Event, EventKind, FlightRecorder, LinkClass};
 use insitu_util::channel::{unbounded, Receiver, Sender};
+use insitu_util::shm::{self, MapRegion, PushError, RecordDesc, Ring, RingMem, ShmMap};
 use insitu_util::Bytes;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Duration;
 
@@ -96,6 +99,61 @@ impl ReplyTx {
     }
 }
 
+/// Descriptor slots per directed shm pair.
+const SHM_SLOTS: u32 = 256;
+
+/// Payload arena bytes per directed shm pair. 4 MiB keeps a handful of
+/// pairs inside a container's default 64 MiB `/dev/shm` while still
+/// moving redistribution-sized pieces without falling back.
+const SHM_ARENA: u64 = 4 << 20;
+
+/// How long a producer spins on a full ring before degrading the
+/// record to the wire. The wait itself is recorded as a shm-classed
+/// `Pull` event, so backpressure shows up in the shm-wait quantiles.
+const SHM_FULL_WAIT: Duration = Duration::from_millis(20);
+
+/// Distinguishes segments created by different links in one process
+/// (the in-process tests run every joiner as a thread, so pid alone
+/// does not make names unique).
+static SHM_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Fault/offer identity of the directed pair's segment. Derived from
+/// the pair, not a counter, so a seeded chaos replay rolls the same
+/// `shm-attach` verdicts run after run.
+fn shm_segment_id(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// The intra-host shared-memory data plane (DESIGN.md §13): host
+/// fingerprints from the `Welcome` plus this link's producer and
+/// consumer ring state. Present only after [`NetLink::set_shm`].
+struct ShmPlane {
+    /// Per-node host fingerprints, indexed by node id. An empty entry
+    /// never matches (that joiner opted out or has no fingerprint); an
+    /// empty table means the whole run opted out at the hub.
+    hosts: Vec<String>,
+    /// Producer side: outbound segment per consumer node. The per-pair
+    /// inner lock serializes push/doorbell against the ack handler so a
+    /// record is either in the ring when a nack resends `unconsumed`,
+    /// or pushed after the pair flipped to TCP — never lost.
+    out: Mutex<HashMap<u32, Arc<Mutex<ShmOut>>>>,
+    /// Consumer side: attached ring per producer node.
+    inbound: Mutex<HashMap<u32, Arc<Ring>>>,
+}
+
+/// Producer-side state of one directed pair.
+enum ShmOut {
+    /// Segment created and offered; pushes allowed. `path` is cleared
+    /// by the early unlink once the consumer acks its attach.
+    Live {
+        ring: Arc<Ring>,
+        segment: u64,
+        path: Option<PathBuf>,
+    },
+    /// The pair degraded to the wire for good.
+    Tcp,
+}
+
 /// One joiner process's connection(s) to the run.
 pub struct NetLink {
     node: u32,
@@ -129,6 +187,10 @@ pub struct NetLink {
     /// Live only while [`NetLink::ship_telemetry`] runs: the demux
     /// forwards `TelemetryAck` batch indices here.
     telemetry_ack: Mutex<Option<Sender<u32>>>,
+    /// The intra-host shared-memory data plane, armed by
+    /// [`NetLink::set_shm`] after the `Welcome`. Unset means every pull
+    /// answer rides the wire.
+    shm: OnceLock<ShmPlane>,
 }
 
 /// Flight events per `Telemetry` frame. Bounds frame size (~100 B per
@@ -175,6 +237,7 @@ impl NetLink {
             space: OnceLock::new(),
             flight: OnceLock::new(),
             telemetry_ack: Mutex::new(None),
+            shm: OnceLock::new(),
         });
         *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
         Ok(link)
@@ -219,6 +282,7 @@ impl NetLink {
             space: OnceLock::new(),
             flight: OnceLock::new(),
             telemetry_ack: Mutex::new(None),
+            shm: OnceLock::new(),
         });
         *link.self_ref.lock().unwrap() = Arc::downgrade(&link);
         Ok(link)
@@ -238,6 +302,31 @@ impl NetLink {
 
     fn flight(&self) -> FlightRecorder {
         self.flight.get().cloned().unwrap_or_default()
+    }
+
+    /// Arm the shared-memory data plane with the `Welcome`'s per-node
+    /// host fingerprints. Call before the run starts (alongside
+    /// `start_reader`); until then — or when `hosts` carries no match
+    /// for this node — every pull answer rides the wire. Setting it
+    /// twice is a bug.
+    pub fn set_shm(&self, hosts: Vec<String>) {
+        let plane = ShmPlane {
+            hosts,
+            out: Mutex::new(HashMap::new()),
+            inbound: Mutex::new(HashMap::new()),
+        };
+        assert!(self.shm.set(plane).is_ok(), "set_shm called twice");
+    }
+
+    /// Whether pull answers to `dst` should ride a shared-memory ring:
+    /// both ends advertised the same non-empty host fingerprint.
+    fn shm_to(&self, dst: u32) -> bool {
+        let Some(plane) = self.shm.get() else {
+            return false;
+        };
+        let me = plane.hosts.get(self.node as usize);
+        let them = plane.hosts.get(dst as usize);
+        matches!((me, them), (Some(a), Some(b)) if !a.is_empty() && a == b)
     }
 
     /// Wire up the frame demux and return the control channel it feeds.
@@ -393,6 +482,7 @@ impl NetLink {
     /// Flush every queued frame onto the wire and stop the transport.
     /// Call before process exit so the `Report` is not lost.
     pub fn close(&self) {
+        self.shm_teardown();
         match &self.hub {
             HubTx::Star(peer) => peer.close(),
             HubTx::P2p(..) => {
@@ -526,6 +616,25 @@ impl NetLink {
                 });
                 self.metrics.pulls_in_flight.set(inflight.len() as u64);
             }
+            Frame::ShmOffer {
+                src_node,
+                segment,
+                path,
+                ..
+            } => {
+                let attached = self.shm_accept(src_node, segment, &path);
+                reply.send(Frame::ShmAck {
+                    src_node,
+                    dst_node: self.node,
+                    segment,
+                    seq: 0,
+                    attached,
+                });
+            }
+            Frame::ShmDoorbell { src_node, .. } => self.shm_drain(src_node, dart),
+            Frame::ShmAck {
+                dst_node, attached, ..
+            } => self.shm_on_ack(dst_node, attached, reply),
             Frame::TelemetryAck { batch, .. } => {
                 // Flow control for an in-progress `ship_telemetry`;
                 // a stray ack after the shipper gave up is dropped.
@@ -601,10 +710,32 @@ impl NetLink {
         let timeout = self.get_timeout;
         let flight = self.flight();
         let requester = from_node * self.cores_per_node;
+        let weak = self.self_ref.lock().unwrap().clone();
         std::thread::Builder::new()
             .name("net-pull-wait".into())
             .spawn(move || match dart.registry().wait_for(&key, timeout) {
                 Some(handle) => {
+                    // Same-host pairs go through the shared-memory ring
+                    // instead of the socket; everything below is the
+                    // wire path.
+                    if let Some(link) = weak.upgrade() {
+                        let desc = RecordDesc {
+                            name,
+                            version,
+                            piece,
+                            owner: handle.owner,
+                        };
+                        if link.shm_send(
+                            from_node,
+                            desc,
+                            handle.data.as_slice(),
+                            &reply,
+                            &flight,
+                            requester,
+                        ) {
+                            return;
+                        }
+                    }
                     // Record *before* enqueueing the answer: once the
                     // consumer can observe these bytes the send event
                     // is already in this process's recorder, so the
@@ -642,6 +773,305 @@ impl NetLink {
                 }),
             })
             .expect("spawn pull waiter");
+    }
+
+    /// Create this pair's segment and offer it to the consumer. Run
+    /// once per destination, on the first pull answer headed there.
+    fn shm_create(&self, dst: u32, reply: &ReplyTx) -> ShmOut {
+        let segment = shm_segment_id(self.node, dst);
+        // Op-independent chaos verdict: the consumer rolls the same
+        // (creator, segment) hash at attach, so a doomed pair skips
+        // straight to the wire instead of staging records in a ring
+        // nobody will ever drain.
+        if self.injector.shm_attach_fails(self.node, segment) {
+            self.metrics.shm_fallbacks.inc();
+            return ShmOut::Tcp;
+        }
+        let nonce = SHM_NONCE.fetch_add(1, Ordering::Relaxed);
+        let path =
+            shm::segment_dir().join(shm::segment_name(std::process::id(), nonce, self.node, dst));
+        let map = match ShmMap::create(&path, Ring::required_len(SHM_SLOTS, SHM_ARENA)) {
+            Ok(m) => Arc::new(m),
+            Err(_) => {
+                // No mmap (non-unix), no space, no permission: the wire
+                // still works.
+                let _ = std::fs::remove_file(&path);
+                self.metrics.shm_fallbacks.inc();
+                return ShmOut::Tcp;
+            }
+        };
+        let ring = Arc::new(Ring::create(RingMem::from_map(map), SHM_SLOTS, SHM_ARENA));
+        reply.send(Frame::ShmOffer {
+            src_node: self.node,
+            dst_node: dst,
+            segment,
+            path: path.to_string_lossy().into_owned(),
+            slots: SHM_SLOTS as u64,
+            arena_bytes: SHM_ARENA,
+        });
+        ShmOut::Live {
+            ring,
+            segment,
+            path: Some(path),
+        }
+    }
+
+    /// Try to move one pull answer to `dst` through the pair's ring.
+    /// Returns `true` when the record was published and doorbelled (the
+    /// caller must not also send `PullData`), `false` when the caller
+    /// must use the wire. Records the `NetSend` (between publish and
+    /// doorbell, mirroring the wire path's record-before-send rule) and
+    /// any backpressure wait.
+    fn shm_send(
+        &self,
+        dst: u32,
+        desc: RecordDesc,
+        data: &[u8],
+        reply: &ReplyTx,
+        flight: &FlightRecorder,
+        requester: u32,
+    ) -> bool {
+        if !self.shm_to(dst) {
+            return false;
+        }
+        let plane = self.shm.get().expect("shm_to checked the plane");
+        let slot = {
+            let mut out = plane.out.lock().unwrap();
+            match out.get(&dst) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let s = Arc::new(Mutex::new(self.shm_create(dst, reply)));
+                    out.insert(dst, Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        let slot = slot.lock().unwrap();
+        let (ring, segment) = match &*slot {
+            ShmOut::Tcp => return false,
+            ShmOut::Live { ring, segment, .. } => (Arc::clone(ring), *segment),
+        };
+        let wait_t0 = flight.now_us();
+        let mut waited = Duration::ZERO;
+        loop {
+            match ring.push(&desc, data) {
+                Ok(seq) => {
+                    if !waited.is_zero() {
+                        self.record_shm_wait(flight, &desc, requester, wait_t0, waited);
+                    }
+                    let t0 = flight.now_us();
+                    flight.record(
+                        Event::new(flight.next_seq(), EventKind::NetSend)
+                            .var(desc.name)
+                            .version(desc.version)
+                            .piece(desc.piece)
+                            .src(desc.owner)
+                            .dst(requester)
+                            .link(LinkClass::Shm)
+                            .bytes(data.len() as u64)
+                            .window(t0, 1),
+                    );
+                    reply.send(Frame::ShmDoorbell {
+                        src_node: self.node,
+                        dst_node: dst,
+                        segment,
+                        seq,
+                    });
+                    self.metrics.shm_frames.inc();
+                    self.metrics.shm_bytes.add(data.len() as u64);
+                    return true;
+                }
+                Err(PushError::TooBig) => {
+                    // This payload can never fit the arena; the pair
+                    // itself stays live for smaller records.
+                    self.metrics.shm_fallbacks.inc();
+                    return false;
+                }
+                Err(PushError::SlotsFull | PushError::ArenaFull) => {
+                    if waited >= SHM_FULL_WAIT {
+                        self.record_shm_wait(flight, &desc, requester, wait_t0, waited);
+                        self.metrics.shm_fallbacks.inc();
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                    waited += Duration::from_micros(100);
+                }
+            }
+        }
+    }
+
+    /// Backpressure accounting: a ring-full wait surfaces as a
+    /// shm-classed `Pull` event so the existing shm-wait quantiles (and
+    /// the watchdog baseline built on them) see it.
+    fn record_shm_wait(
+        &self,
+        flight: &FlightRecorder,
+        desc: &RecordDesc,
+        requester: u32,
+        t0: u64,
+        waited: Duration,
+    ) {
+        let wait_us = waited.as_micros() as u64;
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::Pull { wait_us })
+                .var(desc.name)
+                .version(desc.version)
+                .piece(desc.piece)
+                .src(desc.owner)
+                .dst(requester)
+                .link(LinkClass::Shm)
+                .window(t0, wait_us.max(1)),
+        );
+    }
+
+    /// Consumer side of a `ShmOffer`: attach the producer's segment.
+    /// Returns whether the attach succeeded (the `ShmAck` verdict).
+    fn shm_accept(&self, src_node: u32, segment: u64, path: &str) -> bool {
+        // Same hash the producer rolled at create; a one-sided chaos
+        // plan still degrades cleanly through the nack.
+        if self.injector.shm_attach_fails(src_node, segment) {
+            self.metrics.shm_fallbacks.inc();
+            return false;
+        }
+        let Some(plane) = self.shm.get() else {
+            return false;
+        };
+        let map = match ShmMap::open(Path::new(path)) {
+            Ok(m) => Arc::new(m),
+            Err(_) => {
+                self.metrics.shm_fallbacks.inc();
+                return false;
+            }
+        };
+        let ring = match Ring::attach(RingMem::from_map(map)) {
+            Ok(r) => Arc::new(r),
+            Err(_) => {
+                self.metrics.shm_fallbacks.inc();
+                return false;
+            }
+        };
+        plane.inbound.lock().unwrap().insert(src_node, ring);
+        true
+    }
+
+    /// Consumer side of a `ShmDoorbell`: drain every published record
+    /// from the pair's ring into the registry. The payload is *not*
+    /// copied — the registered [`Bytes`] borrows the mapping, and
+    /// dropping its last clone releases the arena range back to the
+    /// producer.
+    fn shm_drain(&self, src_node: u32, dart: &Arc<DartRuntime>) {
+        let ring = match self.shm.get() {
+            Some(plane) => plane.inbound.lock().unwrap().get(&src_node).cloned(),
+            None => None,
+        };
+        // No ring: the attach failed and our nack makes the producer
+        // resend over the wire — the doorbell is moot.
+        let Some(ring) = ring else { return };
+        let flight = self.flight();
+        while let Some(rec) = ring.pop() {
+            let t0 = flight.now_us();
+            let key = BufKey {
+                name: rec.desc.name,
+                version: rec.desc.version,
+                piece: rec.desc.piece,
+            };
+            {
+                let mut inflight = self.inflight.lock().unwrap();
+                inflight.remove(&key);
+                self.metrics.pulls_in_flight.set(inflight.len() as u64);
+            }
+            if dart.registry().get(&key).is_none() {
+                let release_ring = Arc::clone(&ring);
+                let range = rec.range;
+                let region = MapRegion::new(
+                    ring.mem().clone(),
+                    rec.off,
+                    rec.len,
+                    Some(Box::new(move || release_ring.release(range))),
+                );
+                let bytes = rec.len as u64;
+                // Register directly, like the PullData branch: the
+                // puller's `pull` already accounted these bytes.
+                dart.registry()
+                    .register(key, rec.desc.owner, Bytes::from_map(Arc::new(region)));
+                self.metrics.shm_frames.inc();
+                self.metrics.shm_bytes.add(bytes);
+                flight.record(
+                    Event::new(flight.next_seq(), EventKind::NetRecv)
+                        .var(key.name)
+                        .version(key.version)
+                        .piece(key.piece)
+                        .src(rec.desc.owner)
+                        .dst(self.node * self.cores_per_node)
+                        .link(LinkClass::Shm)
+                        .bytes(bytes)
+                        .window(t0, flight.now_us().saturating_sub(t0).max(1)),
+                );
+            } else {
+                // A wire copy beat this record in (pull retry, or the
+                // pair degraded mid-flight); the space comes straight
+                // back.
+                ring.release(rec.range);
+            }
+        }
+    }
+
+    /// Producer side of a `ShmAck`. Attached: unlink the segment name
+    /// early — the consumer holds its own mapping now, so a crash from
+    /// here on leaks nothing. Refused: resend everything staged over
+    /// the wire and degrade the pair for good.
+    fn shm_on_ack(&self, dst_node: u32, attached: bool, reply: &ReplyTx) {
+        let slot = match self.shm.get() {
+            Some(plane) => plane.out.lock().unwrap().get(&dst_node).cloned(),
+            None => None,
+        };
+        let Some(slot) = slot else { return };
+        let mut slot = slot.lock().unwrap();
+        match &mut *slot {
+            ShmOut::Live { path, .. } if attached => {
+                if let Some(p) = path.take() {
+                    let _ = std::fs::remove_file(p);
+                }
+            }
+            ShmOut::Live { ring, path, .. } => {
+                // The consumer never attached, so nothing was popped:
+                // every staged record is still in `unconsumed`. The
+                // earlier shm-classed `NetSend`s match the `NetRecv`s
+                // these wire copies will produce (the merge matches by
+                // key, not link class).
+                for rec in ring.unconsumed() {
+                    self.metrics.shm_fallbacks.inc();
+                    reply.send(Frame::PullData {
+                        name: rec.desc.name,
+                        version: rec.desc.version,
+                        piece: rec.desc.piece,
+                        owner: rec.desc.owner,
+                        to_node: dst_node,
+                        data: ring.mem().slice(rec.off, rec.len).to_vec(),
+                    });
+                }
+                if let Some(p) = path.take() {
+                    let _ = std::fs::remove_file(p);
+                }
+                *slot = ShmOut::Tcp;
+            }
+            ShmOut::Tcp => {}
+        }
+    }
+
+    /// Unlink any segment whose ack never arrived. The early unlink
+    /// handles the common case; this catches runs torn down between
+    /// offer and ack.
+    fn shm_teardown(&self) {
+        if let Some(plane) = self.shm.get() {
+            for slot in plane.out.lock().unwrap().values() {
+                if let ShmOut::Live { path, .. } = &mut *slot.lock().unwrap() {
+                    if let Some(p) = path.take() {
+                        let _ = std::fs::remove_file(p);
+                    }
+                }
+            }
+        }
     }
 
     /// P2p: the live token for the direct connection to `node`, dialing

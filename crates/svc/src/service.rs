@@ -46,6 +46,11 @@ pub struct SvcConfig {
     /// `PullData` over direct links and each run's private hub carries
     /// control traffic only. Off by default (star topology).
     pub p2p: bool,
+    /// Allow same-host pulls to ride shared-memory rings (on by
+    /// default). Off forces every run's `PullData` onto the socket —
+    /// the wire-pinning chaos tests need that, and `serve --no-shm`
+    /// exposes it.
+    pub shm: bool,
     /// Fault sites consulted by every run's server and pooled joiners
     /// (inert by default); `insitu serve --faults` wires a chaos plan
     /// through here.
@@ -64,6 +69,7 @@ impl Default for SvcConfig {
             artifacts_dir: None,
             verbose: false,
             p2p: false,
+            shm: true,
             injector: FaultInjector::none(),
             watchdog: WatchdogConfig::default(),
         }
@@ -374,6 +380,7 @@ fn pool_worker(rx: &Receiver<Assignment>, build: &ScenarioBuilder) {
                 injector: a.injector,
                 recorder: a.recorder,
                 flight: a.flight,
+                shm: true,
             },
         );
     }
@@ -483,6 +490,7 @@ fn run_engine(shared: &Arc<Shared>, id: u64) {
                 cancel: Arc::clone(&cancel),
                 flight: FlightRecorder::disabled(),
                 p2p: shared.cfg.p2p,
+                shm: shared.cfg.shm,
             },
         )
     })();
@@ -1209,6 +1217,9 @@ mod tests {
         let (svc, mut client) = start(SvcConfig {
             max_runs: 1,
             pool_nodes: 2,
+            // The stalls this test watches for happen to PullData frames
+            // on the socket; shm would carry them around the fault site.
+            shm: false,
             injector: FaultInjector::new(plan),
             watchdog: WatchdogConfig {
                 poll_ms: 5,

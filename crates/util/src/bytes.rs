@@ -5,14 +5,31 @@
 //! slices and strings, and `Deref` to `[u8]`. Buffers registered with
 //! HybridDART are shared zero-copy between the producer's registration
 //! and every consumer's one-sided read.
+//!
+//! A buffer can also borrow a [`crate::shm::MapRegion`] — a view into a
+//! shared-memory segment another process staged — so the intra-host
+//! data plane registers pulled pieces without ever copying them out of
+//! the producer's arena. Equality and hashing are by content in both
+//! representations, so the two kinds mix freely in maps and
+//! comparisons.
 
+use crate::shm::MapRegion;
 use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Process-local heap storage.
+    Heap(Arc<[u8]>),
+    /// A view into a shared memory mapping (zero-copy intra-host path).
+    /// Dropping the last clone fires the region's release callback.
+    Map(Arc<MapRegion>),
 }
 
 impl Bytes {
@@ -23,27 +40,70 @@ impl Bytes {
 
     /// Buffer backed by a static byte string (copied once).
     pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(s) }
+        Bytes {
+            repr: Repr::Heap(Arc::from(s)),
+        }
     }
 
     /// Buffer holding a copy of `s`.
     pub fn copy_from_slice(s: &[u8]) -> Self {
-        Bytes { data: Arc::from(s) }
+        Bytes {
+            repr: Repr::Heap(Arc::from(s)),
+        }
+    }
+
+    /// Buffer borrowing a shared-memory region, without copying. The
+    /// region's release callback fires when the last clone drops.
+    pub fn from_map(region: Arc<MapRegion>) -> Self {
+        Bytes {
+            repr: Repr::Map(region),
+        }
+    }
+
+    /// Whether this buffer borrows a shared-memory mapping rather than
+    /// owning heap storage.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Map(_))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// The bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Heap(data) => data,
+            Repr::Map(region) => region.as_slice(),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            repr: Repr::Heap(Arc::from(&[][..])),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -51,19 +111,21 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes {
+            repr: Repr::Heap(Arc::from(v)),
+        }
     }
 }
 
@@ -81,13 +143,19 @@ impl From<String> for Bytes {
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Bytes({} B)", self.len())
+        write!(
+            f,
+            "Bytes({} B{})",
+            self.len(),
+            if self.is_mapped() { ", mapped" } else { "" }
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shm::RingMem;
 
     #[test]
     fn construction_and_access() {
@@ -114,5 +182,43 @@ mod tests {
             Bytes::copy_from_slice(b"abc"),
             Bytes::copy_from_slice(b"abd")
         );
+    }
+
+    /// Stage `content` through a heap-backed ring and wrap the popped
+    /// record as mapped Bytes — the exact shape the shm data plane
+    /// builds.
+    fn mapped(content: &[u8]) -> Bytes {
+        use crate::shm::{RecordDesc, Ring};
+        let mem = RingMem::heap(Ring::required_len(1, 64));
+        let ring = Ring::create(mem.clone(), 1, 64);
+        ring.push(
+            &RecordDesc {
+                name: 0,
+                version: 0,
+                piece: 0,
+                owner: 0,
+            },
+            content,
+        )
+        .unwrap();
+        let rec = ring.pop().unwrap();
+        Bytes::from_map(Arc::new(MapRegion::new(mem, rec.off, rec.len, None)))
+    }
+
+    #[test]
+    // The interior mutability clippy flags is the map's release closure,
+    // which never participates in Eq/Hash — those go by content alone.
+    #[allow(clippy::mutable_key_type)]
+    fn mapped_bytes_compare_and_hash_by_content() {
+        let m = mapped(&[7u8; 16]);
+        assert!(m.is_mapped());
+        assert_eq!(m, Bytes::copy_from_slice(&[7u8; 16]));
+        assert_ne!(m, Bytes::copy_from_slice(&[1u8; 16]));
+        let mut set = std::collections::HashSet::new();
+        set.insert(m.clone());
+        assert!(set.contains(&Bytes::from(vec![7u8; 16])));
+        // Clones of a mapped buffer share the mapping.
+        let c = m.clone();
+        assert_eq!(m.as_slice().as_ptr(), c.as_slice().as_ptr());
     }
 }

@@ -14,7 +14,10 @@
 //!   `proptest`: seeded random cases, plain `assert!`s, reproducible
 //!   failures);
 //! - [`Poller`] — a readiness poller over non-blocking `TcpStream`s
-//!   (replaces `mio`/`epoll` for the `insitu-net` reactor's needs).
+//!   (replaces `mio`/`epoll` for the `insitu-net` reactor's needs);
+//! - [`shm`] — file-backed shared-memory mappings and the SPSC
+//!   descriptor ring of the intra-host data plane (replaces `memmap2`
+//!   with a minimal self-declared `mmap` shim).
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod channel;
 pub mod check;
 pub mod poller;
 pub mod rng;
+pub mod shm;
 
 pub use bytes::Bytes;
 pub use channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};

@@ -69,6 +69,25 @@ insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
 grep -q "byte-identical to the single-process run" target/launch-report.txt
 test -s target/launch-ledger.json
 
+# Same-host shared-memory data plane: round-robin placement forces
+# cross-node coupling pulls, and every launch process shares this host,
+# so with shm on (the default) each one must ride a /dev/shm segment —
+# nonzero shm frame events, zero PullData through the hub, zero TCP
+# fallbacks — while the merged ledger stays byte-identical (the ledger
+# accounts simulated placement, not physical transport). `--no-shm` is
+# the escape hatch and must produce the identical ledger on the socket.
+echo "==> distributed loopback smoke, shared-memory data plane"
+insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
+    --procs 3 --strategy round-robin | tee target/launch-shm-report.txt
+grep -q "byte-identical to the single-process run" target/launch-shm-report.txt
+grep -Eq "^shm: +[1-9][0-9]* shared-memory frame event\(s\), 0 PullData through the hub, 0 fallback\(s\)" \
+    target/launch-shm-report.txt
+echo "==> distributed loopback smoke, shared memory disabled (--no-shm)"
+insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
+    --procs 3 --strategy round-robin --no-shm | tee target/launch-no-shm-report.txt
+grep -q "byte-identical to the single-process run" target/launch-no-shm-report.txt
+grep -q "shm:       disabled (--no-shm)" target/launch-no-shm-report.txt
+
 # The same smoke in reactor (p2p) mode: PullData flows over direct
 # node<->node links and launch itself asserts — via the
 # net.pull_frames_hub counter — that the hub carried control traffic
@@ -111,13 +130,18 @@ BENCH_OUT_DIR=target NET_BENCH_GATE=1 cargo run -q $chaos_profile \
 test -s target/BENCH_net.json
 
 # M x N redistribution micro-bench: sequential vs overlapped pulls on
-# the threaded data plane (4x1, 8x8->1, 64->16). Wall-clock numbers are
+# the threaded data plane (4x1, 8x8->1, 64->16), plus — via --procs —
+# the distributed mirror-grid workflow run shm-vs-loopback (the bench
+# itself asserts the shm run carried frames over shared memory and
+# assembled zero-copy FieldData::View results). Wall-clock numbers are
 # informational (shared CI runners are noisy); the JSON lands in target/
 # for the CI workflow to upload as an artifact.
-echo "==> redistribution micro-bench (sequential vs overlapped pulls)"
+echo "==> redistribution micro-bench (sequential vs overlapped, shm vs loopback)"
 BENCH_OUT_DIR=target cargo run -q $chaos_profile -p insitu-bench \
-    --bin redistribution --offline
+    --bin redistribution --offline -- --procs
 test -s target/BENCH_redistribution.json
+grep -q '"pattern":"distrib","mode":"shm"' target/BENCH_redistribution.json
+grep -q '"pattern":"distrib","mode":"loopback"' target/BENCH_redistribution.json
 
 # Multi-tenant service smoke: one `insitu serve` service process, three
 # concurrent submissions (raw dag/cfg, workflow.toml, and a victim that
@@ -183,9 +207,11 @@ trap - EXIT
 # wire) and a 10 ms stall threshold. The watchdog must count at least
 # one stall episode and surface a health event in `status --json` —
 # and the run must still complete and verify: the watchdog observes,
-# it never cancels.
+# it never cancels. Pinned to --no-shm: the probe measures socket
+# link health, and the default shared-memory plane would carry the
+# PullData payloads past the slowed wire.
 echo "==> link-health watchdog (chaos link-slow:1.0, 10 ms stall threshold)"
-"$bin" serve --listen 127.0.0.1:0 --max-runs 1 --pool-nodes 8 \
+"$bin" serve --listen 127.0.0.1:0 --max-runs 1 --pool-nodes 8 --no-shm \
     --faults link-slow:1.0 --seed 42 --stall-ms 10 \
     > target/svc-chaos-server.log &
 svc_pid=$!

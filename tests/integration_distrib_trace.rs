@@ -137,6 +137,7 @@ fn run_with_telemetry_faults(seed: u64, rate: f64) -> DistribOutcome {
                     injector,
                     recorder: Recorder::enabled(),
                     flight: FlightRecorder::enabled(),
+                    shm: true,
                 },
             )
         }));

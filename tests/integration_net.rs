@@ -88,6 +88,100 @@ fn launch_p2p_keeps_ledger_identical_and_hub_data_free() {
     assert!(stdout.contains("verified:  0 cell mismatches"), "{stdout}");
 }
 
+/// Pull the three counters out of launch's greppable census line:
+/// `shm: <frames> shared-memory frame event(s), <hub> PullData through
+/// the hub, <fallbacks> fallback(s)`.
+fn parse_shm_census(stdout: &str) -> (u64, u64, u64) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("shm:"))
+        .unwrap_or_else(|| panic!("no shm census line in:\n{stdout}"));
+    let mut nums = line
+        .split_whitespace()
+        .filter_map(|w| w.parse::<u64>().ok());
+    (
+        nums.next().expect("frame count"),
+        nums.next().expect("hub pull count"),
+        nums.next().expect("fallback count"),
+    )
+}
+
+/// The PR 9 tentpole, end to end over real processes: every launch
+/// process shares this host, so with the shared-memory plane on (the
+/// default) all cross-node `PullData` must ride `/dev/shm` segments —
+/// zero data frames on the loopback socket — while the merged ledger
+/// stays byte-identical to the single-process run (transport is
+/// physical, the ledger's locality accounting is simulated placement).
+#[test]
+fn launch_routes_same_host_pull_data_through_shared_memory() {
+    let out = insitu()
+        .args([
+            "launch",
+            &workflow_path("distrib.dag"),
+            "--config",
+            &workflow_path("distrib.cfg"),
+            "--procs",
+            "3",
+            // Round-robin mapping forces cross-node coupling pulls, so
+            // the shm plane carries real traffic.
+            "--strategy",
+            "round-robin",
+            "--timeout-ms",
+            "60000",
+        ])
+        .output()
+        .expect("spawn insitu launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "launch failed:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("byte-identical to the single-process run"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verified:  0 cell mismatches"), "{stdout}");
+    let (frames, hub_pulls, fallbacks) = parse_shm_census(&stdout);
+    assert!(frames > 0, "no PullData rode shared memory:\n{stdout}");
+    assert_eq!(hub_pulls, 0, "PullData leaked onto the socket:\n{stdout}");
+    assert_eq!(fallbacks, 0, "unexpected TCP fallback:\n{stdout}");
+}
+
+/// `--no-shm` is the escape hatch: the same workflow must complete with
+/// the identical ledger over the plain socket path, and the census line
+/// must say the plane was off rather than silently vanish.
+#[test]
+fn launch_no_shm_falls_back_to_the_socket_with_identical_ledger() {
+    let out = insitu()
+        .args([
+            "launch",
+            &workflow_path("distrib.dag"),
+            "--config",
+            &workflow_path("distrib.cfg"),
+            "--procs",
+            "3",
+            "--strategy",
+            "round-robin",
+            "--timeout-ms",
+            "60000",
+            "--no-shm",
+        ])
+        .output()
+        .expect("spawn insitu launch --no-shm");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "launch --no-shm failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("byte-identical to the single-process run"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("shm:       disabled (--no-shm)"),
+        "{stdout}"
+    );
+}
+
 /// OS thread count of this process, from `/proc/self/status`.
 fn os_threads() -> u64 {
     std::fs::read_to_string("/proc/self/status")
