@@ -1,0 +1,272 @@
+//! Standing-query benchmark: push subscriptions vs polling consumers.
+//!
+//! One producer puts a paced stream of versions of a 128x128 field into
+//! a [`CodsSpace`]; N monitors (1, 4 and 8) want every version as it
+//! appears. Two delivery planes are measured, written to
+//! `BENCH_sub.json` (honours `BENCH_OUT_DIR`):
+//!
+//! - **push** — each monitor holds a standing query
+//!   (`subscribe_local`); the producer's `put` fans the fragment
+//!   straight into every sink and the monitor blocks in `sub_take`.
+//!   Delivery latency is put-start to take-return.
+//! - **poll** — no subscriptions: each monitor probes the space with a
+//!   short-deadline `get` (the space's `get_timeout` is the probe
+//!   budget) and sleeps `POLL_INTERVAL` between misses, the classic
+//!   pull-based discovery loop a consumer runs when the space cannot
+//!   notify it. Latency is put-start to the successful `get`'s return,
+//!   so it carries both the discovery delay and the retrieve itself.
+//!
+//! Each (mode, N) pair runs `ROUNDS` independent rounds and keeps the
+//! *minimum* p50/p99 — load spikes on a shared runner only ever add
+//! latency. With `SUB_BENCH_GATE=1` the exit code is nonzero unless
+//! push beats poll on median latency at 4 and 8 subscribers — the CI
+//! anchor that the subscription plane actually removes the polling tax
+//! it was built to remove.
+
+use insitu_cods::{CodsConfig, CodsSpace, Dht};
+use insitu_dart::DartRuntime;
+use insitu_domain::{layout, BoundingBox, Decomposition, Distribution, ProcessGrid};
+use insitu_fabric::{MachineSpec, Placement, TransferLedger};
+use insitu_sfc::HilbertCurve;
+use insitu_sub::TakeResult;
+use insitu_telemetry::Json;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Versions streamed per round.
+const VERSIONS: u64 = 100;
+/// Producer pacing: one version per period, a paced simulation step.
+const PUT_PERIOD: Duration = Duration::from_micros(1000);
+/// Poll-mode discovery sleep between probe misses (one put period: the
+/// tightest interval a polling monitor would reasonably run).
+const POLL_INTERVAL: Duration = Duration::from_micros(1000);
+/// Independent rounds per (mode, N); minimum percentiles kept.
+const ROUNDS: usize = 3;
+/// Subscriber counts measured.
+const SUB_COUNTS: [usize; 3] = [1, 4, 8];
+/// Field side: 128x128 f64 = 128 KiB per version.
+const SIDE: u64 = 128;
+
+/// Producer client 0 plus up to 8 monitors on one 16-core node.
+fn space(get_timeout: Duration) -> Arc<CodsSpace> {
+    let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(1, 16), 16));
+    let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+    let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0]);
+    CodsSpace::new(
+        dart,
+        dht,
+        CodsConfig {
+            get_timeout,
+            ..Default::default()
+        },
+    )
+}
+
+fn domain() -> BoundingBox {
+    BoundingBox::from_sizes(&[SIDE, SIDE])
+}
+
+/// Single-rank producer decomposition: one piece per version.
+fn producer_dec() -> Decomposition {
+    Decomposition::new(domain(), ProcessGrid::new(&[1, 1]), Distribution::Blocked)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// One round's result: delivery latencies (us, every subscriber x every
+/// version), total producer time inside `put`, and poll probe misses.
+struct Round {
+    latencies: Vec<u64>,
+    put_us: u64,
+    probe_misses: u64,
+}
+
+/// Run the producer against `consume`, which each monitor thread runs
+/// per version; `t0[v]` is the put-start instant monitors measure from.
+fn run_round<F>(space: &Arc<CodsSpace>, nsubs: usize, consume: F) -> Round
+where
+    F: Fn(&CodsSpace, usize, u64, &[Mutex<Option<Instant>>]) -> (u64, u64) + Send + Sync + 'static,
+{
+    let t0: Arc<Vec<Mutex<Option<Instant>>>> =
+        Arc::new((0..VERSIONS).map(|_| Mutex::new(None)).collect());
+    let consume = Arc::new(consume);
+    let mut monitors = Vec::new();
+    for m in 0..nsubs {
+        let space = Arc::clone(space);
+        let t0 = Arc::clone(&t0);
+        let consume = Arc::clone(&consume);
+        monitors.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(VERSIONS as usize);
+            let mut misses = 0u64;
+            for v in 0..VERSIONS {
+                let (us, m_misses) = consume(&space, m, v, &t0);
+                lat.push(us);
+                misses += m_misses;
+            }
+            (lat, misses)
+        }));
+    }
+
+    let bbox = domain();
+    let mut put_us = 0u64;
+    for v in 0..VERSIONS {
+        let data = layout::fill_with(&bbox, |p| (v as f64) + (p[0] * SIDE + p[1]) as f64);
+        let start = Instant::now();
+        *t0[v as usize].lock().unwrap() = Some(start);
+        space
+            .put_cont(0, 1, "bench", v, 0, &bbox, &data)
+            .expect("bench put");
+        put_us += start.elapsed().as_micros() as u64;
+        std::thread::sleep(PUT_PERIOD);
+    }
+
+    let mut latencies = Vec::new();
+    let mut probe_misses = 0u64;
+    for h in monitors {
+        let (lat, misses) = h.join().expect("monitor thread");
+        latencies.extend(lat);
+        probe_misses += misses;
+    }
+    latencies.sort_unstable();
+    Round {
+        latencies,
+        put_us,
+        probe_misses,
+    }
+}
+
+/// Push mode: `nsubs` standing queries over the whole domain, stride 1.
+fn push_round(nsubs: usize) -> Round {
+    let space = space(Duration::from_secs(5));
+    let handles: Vec<_> = (0..nsubs)
+        .map(|m| space.subscribe_local(1 + m as u32, 2, "bench", &domain(), 1, VERSIONS as usize))
+        .collect();
+    let handles = Arc::new(handles);
+    let take_handles = Arc::clone(&handles);
+    let round = run_round(&space, nsubs, move |space, m, v, t0| {
+        match space.sub_take(&take_handles[m], v, Duration::from_secs(5)) {
+            TakeResult::Data(data) => {
+                let start = t0[v as usize].lock().unwrap().expect("put precedes take");
+                assert_eq!(data.len() as u64, SIDE * SIDE);
+                (start.elapsed().as_micros() as u64, 0)
+            }
+            other => panic!("push take of v{v} failed: {other:?}"),
+        }
+    });
+    for h in handles.iter() {
+        space.unsubscribe(h);
+    }
+    round
+}
+
+/// Poll mode: probe with a short-deadline get, sleep on every miss.
+fn poll_round(nsubs: usize) -> Round {
+    // The probe budget: long enough to complete a retrieve of staged
+    // data, short enough that a missing version returns immediately
+    // instead of camping on the space.
+    let space = space(Duration::from_micros(50));
+    let pdec = producer_dec();
+    run_round(&space, nsubs, move |space, m, v, t0| {
+        let client = 1 + m as u32;
+        let mut misses = 0u64;
+        loop {
+            match space.get_cont(client, 2, "bench", v, &domain(), &pdec, &[0]) {
+                Ok((data, _)) => {
+                    let start = t0[v as usize].lock().unwrap().expect("put precedes get");
+                    assert_eq!(data.len() as u64, SIDE * SIDE);
+                    return (start.elapsed().as_micros() as u64, misses);
+                }
+                Err(_) => {
+                    misses += 1;
+                    assert!(misses < 1_000_000, "version {v} never appeared");
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+    })
+}
+
+/// Best-of-rounds summary for one (mode, N) pair.
+struct Summary {
+    p50: u64,
+    p99: u64,
+    put_us_per_version: u64,
+    probe_misses: u64,
+}
+
+fn measure(rounds: impl Fn() -> Round) -> Summary {
+    let mut best = Summary {
+        p50: u64::MAX,
+        p99: u64::MAX,
+        put_us_per_version: u64::MAX,
+        probe_misses: 0,
+    };
+    for _ in 0..ROUNDS {
+        let r = rounds();
+        best.p50 = best.p50.min(percentile(&r.latencies, 0.50));
+        best.p99 = best.p99.min(percentile(&r.latencies, 0.99));
+        best.put_us_per_version = best.put_us_per_version.min(r.put_us / VERSIONS);
+        best.probe_misses = best.probe_misses.max(r.probe_misses);
+    }
+    best
+}
+
+fn main() {
+    println!(
+        "sub_bench: push (standing query) vs poll ({} versions x {} B, best of {ROUNDS} rounds)",
+        VERSIONS,
+        SIDE * SIDE * 8
+    );
+
+    let mut rows = Vec::new();
+    let mut gate_ok = true;
+    for &n in &SUB_COUNTS {
+        let push = measure(|| push_round(n));
+        let poll = measure(|| poll_round(n));
+        println!(
+            "subs={n}:  push p50 {:>5} us p99 {:>5} us (put {:>4} us/ver)   poll p50 {:>5} us p99 {:>5} us (put {:>4} us/ver, {} probe misses)",
+            push.p50, push.p99, push.put_us_per_version,
+            poll.p50, poll.p99, poll.put_us_per_version, poll.probe_misses
+        );
+        if n >= 4 && push.p50 >= poll.p50 {
+            gate_ok = false;
+        }
+        rows.push(
+            Json::obj()
+                .field("subscribers", n as u64)
+                .field("push_p50_us", push.p50)
+                .field("push_p99_us", push.p99)
+                .field("push_put_us_per_version", push.put_us_per_version)
+                .field("poll_p50_us", poll.p50)
+                .field("poll_p99_us", poll.p99)
+                .field("poll_put_us_per_version", poll.put_us_per_version)
+                .field("poll_probe_misses", poll.probe_misses),
+        );
+    }
+
+    let payload = Json::obj()
+        .field("figure", "sub")
+        .field(
+            "title",
+            "Standing queries: push delivery vs poll-based discovery",
+        )
+        .field("versions", VERSIONS)
+        .field("payload_bytes", SIDE * SIDE * 8)
+        .field("put_period_us", PUT_PERIOD.as_micros() as u64)
+        .field("poll_interval_us", POLL_INTERVAL.as_micros() as u64)
+        .field("rows", Json::Arr(rows));
+    insitu_bench::emit::emit("sub", &payload);
+
+    if std::env::var("SUB_BENCH_GATE").as_deref() == Ok("1") {
+        if !gate_ok {
+            eprintln!("GATE FAIL: push median does not beat poll median at >= 4 subscribers");
+            std::process::exit(1);
+        }
+        println!("gate:      push beats poll on median latency at 4 and 8 subscribers");
+    }
+    std::io::stdout().flush().ok();
+}

@@ -10,10 +10,11 @@
 
 use insitu::{
     concurrent_scenario_with_grids, pattern_pairs, sequential_scenario_with_grids, Scenario,
+    SubscriptionSpec,
 };
-use insitu_domain::BoundingBox;
+use insitu_domain::{BoundingBox, Decomposition, Distribution, ProcessGrid};
 use insitu_util::rng::SplitMix64;
-use insitu_workflow::{parse_dag, WorkflowSpec};
+use insitu_workflow::{parse_dag, AppSpec, WorkflowSpec};
 
 /// One generated workflow case. All fields public so reproducers can be
 /// written as plain struct literals.
@@ -41,6 +42,12 @@ pub struct CaseSpec {
     /// Couple only the lower-corner half of the domain instead of all
     /// of it (the interface-region case).
     pub subregion: bool,
+    /// Standing-query stride: `0` means no subscription; `k >= 1` adds a
+    /// one-task monitor app holding a whole-domain subscription pushed
+    /// every `k`-th version. Effective on concurrent cases only — a
+    /// sequential case's monitor would sit in a later bundle, so its
+    /// resync gets could never overlap the producers.
+    pub sub_every: u64,
 }
 
 impl CaseSpec {
@@ -60,6 +67,11 @@ impl CaseSpec {
             halo: rng.range_u64(0, 3),
             cores_per_node: rng.range_u32(1, 3) * 2,
             subregion: rng.f64() < 0.25,
+            sub_every: if rng.f64() < 0.4 {
+                rng.range_u64(1, 3)
+            } else {
+                0
+            },
         }
     }
 
@@ -91,13 +103,33 @@ impl CaseSpec {
                 c.region = Some(region);
             }
         }
+        if self.concurrent && self.sub_every >= 1 {
+            let domain = *s.decomposition(1).domain();
+            let mdec = Decomposition::new(
+                domain,
+                ProcessGrid::new(&vec![1; self.pgrid.len()]),
+                Distribution::Blocked,
+            );
+            s.workflow
+                .apps
+                .push(AppSpec::new(3, "MON", 1).with_decomposition(mdec));
+            s.workflow.bundles[0].push(3);
+            s.subscriptions.push(SubscriptionSpec {
+                var: "coupled".into(),
+                producer_app: 1,
+                subscriber_app: 3,
+                every_k: self.sub_every,
+                region: None,
+                queue_cap: 4,
+            });
+        }
         s
     }
 
     /// Render the case as a Rust struct literal for reproducers.
     pub fn literal(&self) -> String {
         format!(
-            "insitu_chaos::CaseSpec {{\n        concurrent: {},\n        pgrid: vec!{:?},\n        cgrid: vec!{:?},\n        c2grid: vec!{:?},\n        region_side: {},\n        pattern: {},\n        iterations: {},\n        halo: {},\n        cores_per_node: {},\n        subregion: {},\n    }}",
+            "insitu_chaos::CaseSpec {{\n        concurrent: {},\n        pgrid: vec!{:?},\n        cgrid: vec!{:?},\n        c2grid: vec!{:?},\n        region_side: {},\n        pattern: {},\n        iterations: {},\n        halo: {},\n        cores_per_node: {},\n        subregion: {},\n        sub_every: {},\n    }}",
             self.concurrent,
             self.pgrid,
             self.cgrid,
@@ -108,6 +140,7 @@ impl CaseSpec {
             self.halo,
             self.cores_per_node,
             self.subregion,
+            self.sub_every,
         )
     }
 
@@ -120,8 +153,13 @@ impl CaseSpec {
         } else {
             format!("+{}", g(&self.c2grid))
         };
+        let sub = if self.concurrent && self.sub_every >= 1 {
+            format!(" sub/k{}", self.sub_every)
+        } else {
+            String::new()
+        };
         format!(
-            "{kind} {}→{}{} side={} pat={} it={} halo={} cpn={}{}",
+            "{kind} {}→{}{} side={} pat={} it={} halo={} cpn={}{}{}",
             g(&self.pgrid),
             g(&self.cgrid),
             extra,
@@ -131,6 +169,7 @@ impl CaseSpec {
             self.halo,
             self.cores_per_node,
             if self.subregion { " subregion" } else { "" },
+            sub,
         )
     }
 }
@@ -263,7 +302,18 @@ mod tests {
             assert_eq!(s.iterations, case.iterations);
             assert_eq!(s.cores_per_node, case.cores_per_node);
             s.workflow.validate().expect("generated workflow validates");
-            assert_eq!(s.workflow.apps.len(), if case.concurrent { 2 } else { 3 });
+            let subscribed = case.concurrent && case.sub_every >= 1;
+            let apps = if case.concurrent {
+                2 + subscribed as usize
+            } else {
+                3
+            };
+            assert_eq!(s.workflow.apps.len(), apps);
+            assert_eq!(s.subscriptions.len(), subscribed as usize);
+            if let Some(sub) = s.subscriptions.first() {
+                assert_eq!(sub.every_k, case.sub_every);
+                assert!(s.coupling_of_subscription(sub).is_some());
+            }
         }
     }
 
@@ -294,5 +344,6 @@ mod tests {
         assert!(lit.starts_with("insitu_chaos::CaseSpec {"));
         assert!(lit.contains("pgrid: vec!["));
         assert!(lit.contains(&format!("region_side: {}", case.region_side)));
+        assert!(lit.contains(&format!("sub_every: {}", case.sub_every)));
     }
 }

@@ -153,6 +153,7 @@ pub fn run_case_spec(seed: u64, idx: u64, spec: &FaultSpec, case: &CaseSpec) -> 
         FaultKind::DropPull,
         FaultKind::DelayPull,
         FaultKind::StageFull,
+        FaultKind::SubPush,
     ] {
         let sites = injected[kind.idx()];
         let seen = fault_events.get(kind.slug()).copied().unwrap_or(0);
@@ -250,8 +251,20 @@ pub fn run_case_spec(seed: u64, idx: u64, spec: &FaultSpec, case: &CaseSpec) -> 
         .collect();
 
     let mut counters = BTreeMap::new();
-    for key in ["cods.put", "cods.get", "cods.evictions"] {
+    // `sub.deliveries` is deliberately excluded: a delivery degrades to a
+    // timed-out take (healed by the resync get) under scheduler stalls,
+    // so only the producer-side push tallies are replay-stable.
+    for key in ["cods.put", "cods.get", "sub.pushes", "sub.push_drops"] {
         counters.insert(key.to_string(), snap.counter(key));
+    }
+    // Eviction tallies (and the staged-buffer remainder, which is
+    // puts - evictions) are replay-stable only without a standing
+    // query: a subscribed producer's reclaim wait races the monitor's
+    // take-timeout -> resync-get path, so whether a version is
+    // reclaimed before the deadline is wall-clock-dependent.
+    if !(case.concurrent && case.sub_every >= 1) {
+        counters.insert("cods.evictions".into(), snap.counter("cods.evictions"));
+        counters.insert("staged_buffers".into(), outcome.staged_buffers);
     }
     for class in [
         TrafficClass::InterApp,
@@ -267,7 +280,6 @@ pub fn run_case_spec(seed: u64, idx: u64, spec: &FaultSpec, case: &CaseSpec) -> 
             ledger.network_bytes(class),
         );
     }
-    counters.insert("staged_buffers".into(), outcome.staged_buffers);
 
     CaseOutcome {
         idx,
@@ -438,6 +450,58 @@ mod tests {
         assert_eq!(a.render(), b.render());
     }
 
+    /// A standing query pulled into a fault-free case must keep every
+    /// invariant — in particular the modeled executor now accounts the
+    /// push fragments and verify gets, so the ledger comparison holds.
+    #[test]
+    fn fault_free_subscribed_case_matches_modeled_ledger() {
+        let case = CaseSpec {
+            concurrent: true,
+            pgrid: vec![2, 1],
+            cgrid: vec![1, 2],
+            c2grid: vec![1, 1],
+            region_side: 3,
+            pattern: 0,
+            iterations: 2,
+            halo: 1,
+            cores_per_node: 2,
+            subregion: false,
+            sub_every: 1,
+        };
+        let c = run_case_spec(9, 0, &FaultSpec::none(), &case);
+        assert!(c.ok(), "violations: {:?}", c.violations);
+        assert!(c.errors.is_empty());
+        // 2 producer pieces x 2 on-stride versions reach the monitor.
+        assert_eq!(c.counters["sub.pushes"], 4);
+        assert_eq!(c.counters["sub.push_drops"], 0);
+    }
+
+    /// Killing every push leaves the subscriber on the resync-get path:
+    /// drops are injected and recorded, data still verifies, and no
+    /// invariant breaks.
+    #[test]
+    fn dropped_pushes_heal_through_resync_gets() {
+        let spec = FaultSpec::none().with_rate(crate::FaultKind::SubPush, 1.0);
+        let case = CaseSpec {
+            concurrent: true,
+            pgrid: vec![2, 1],
+            cgrid: vec![1, 1],
+            c2grid: vec![1, 1],
+            region_side: 2,
+            pattern: 0,
+            iterations: 2,
+            halo: 0,
+            cores_per_node: 2,
+            subregion: false,
+            sub_every: 1,
+        };
+        let c = run_case_spec(4, 0, &spec, &case);
+        assert!(c.ok(), "violations: {:?}", c.violations);
+        assert!(c.injected[crate::FaultKind::SubPush.idx()] > 0);
+        assert_eq!(c.counters["sub.pushes"], 0, "every push was dropped");
+        assert_eq!(c.counters["sub.push_drops"], 4);
+    }
+
     #[test]
     fn injected_faults_surface_as_typed_errors_not_panics() {
         // Kill every pull: consumers must report timeouts, not panic, and
@@ -454,6 +518,7 @@ mod tests {
             halo: 0,
             cores_per_node: 2,
             subregion: false,
+            sub_every: 0,
         };
         let c = run_case_spec(1, 0, &spec, &case);
         assert!(c.ok(), "violations: {:?}", c.violations);

@@ -59,6 +59,7 @@ mod tests {
             halo: 1,
             cores_per_node: 4,
             subregion: false,
+            sub_every: 0,
         };
         let outcome = run_case_spec(7, 0, &spec, &case);
         // Every put is orphaned: the harness sees injected faults and the
@@ -106,6 +107,7 @@ mod tests {
             halo: 0,
             cores_per_node: 2,
             subregion: false,
+            sub_every: 0,
         };
         let minimal = shrink(&case, &|cand| {
             !run_case_spec(3, 5, &spec, cand).errors.is_empty()

@@ -57,11 +57,17 @@ pub enum FaultKind {
     /// consult *different plan instances* — agree on a doomed pair's
     /// fate under a shared seed.
     ShmAttach,
+    /// A standing-query push fragment is dropped before delivery. The
+    /// site is rolled in the shared put path (before the local-sink /
+    /// remote-mirror split), so single-process and distributed runs of
+    /// the same seed lose exactly the same fragments and the subscriber
+    /// heals the gap through the lag/resync protocol both ways.
+    SubPush,
 }
 
 impl FaultKind {
     /// Every kind, in the canonical order used by specs and reports.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::DeadProducer,
         FaultKind::DropPull,
         FaultKind::DelayPull,
@@ -73,6 +79,7 @@ impl FaultKind {
         FaultKind::NetRecv,
         FaultKind::NetTelemetry,
         FaultKind::ShmAttach,
+        FaultKind::SubPush,
     ];
 
     /// Index into rate/count arrays.
@@ -94,6 +101,7 @@ impl FaultKind {
             FaultKind::NetRecv => "net-recv",
             FaultKind::NetTelemetry => "net-telemetry",
             FaultKind::ShmAttach => "shm-attach",
+            FaultKind::SubPush => "sub-push",
         }
     }
 }
@@ -121,6 +129,7 @@ impl FaultSpec {
             .with_rate(FaultKind::DhtBlackout, 0.06)
             .with_rate(FaultKind::StageFull, 0.04)
             .with_rate(FaultKind::LinkSlow, 0.30)
+            .with_rate(FaultKind::SubPush, 0.08)
     }
 
     /// The rate of one kind.
@@ -207,6 +216,7 @@ const SALT_NET_SEND: u64 = 0x1dea_dbee_f000_0007;
 const SALT_NET_RECV: u64 = 0x1dea_dbee_f000_0008;
 const SALT_NET_TELEMETRY: u64 = 0x1dea_dbee_f000_0009;
 const SALT_SHM_ATTACH: u64 = 0x1dea_dbee_f000_000a;
+const SALT_SUB_PUSH: u64 = 0x1dea_dbee_f000_000b;
 
 /// The wire kind byte of `Telemetry` frames
 /// (`insitu_net::frame::KIND_TELEMETRY`). Duplicated here because the
@@ -420,6 +430,18 @@ impl FaultHooks for FaultPlan {
             &[node as u64, segment],
         )
     }
+
+    fn on_sub_push(&self, var: u64, version: u64, subscriber: ClientId, piece: u64) -> FaultAction {
+        if self.hit(
+            FaultKind::SubPush,
+            SALT_SUB_PUSH,
+            &[var, version, subscriber as u64, piece],
+        ) {
+            FaultAction::Drop
+        } else {
+            FaultAction::Proceed
+        }
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +511,9 @@ mod tests {
                 b.dead_producer(1, 0, 2, piece)
             );
         }
+        for piece in 0..64 {
+            assert_eq!(a.on_sub_push(1, 0, 2, piece), b.on_sub_push(1, 0, 2, piece));
+        }
         assert_eq!(a.injected(), b.injected());
         assert_eq!(a.link_faults(27), b.link_faults(27));
     }
@@ -552,6 +577,9 @@ mod tests {
         let u = FaultSpec::parse("shm-attach:0.75").unwrap();
         assert_eq!(u.rate(FaultKind::ShmAttach), 0.75);
         assert_eq!(FaultSpec::parse(&u.canonical()).unwrap(), u);
+        let v = FaultSpec::parse("sub-push:0.3").unwrap();
+        assert_eq!(v.rate(FaultKind::SubPush), 0.3);
+        assert_eq!(FaultSpec::parse(&v.canonical()).unwrap(), v);
     }
 
     #[test]
@@ -608,6 +636,29 @@ mod tests {
         // And a rated mix actually drops something *and* spares something.
         let hits = sender.injected()[FaultKind::NetTelemetry.idx()];
         assert!(hits > 0 && hits < 64, "half-rate spec hit {hits} of 64");
+    }
+
+    #[test]
+    fn sub_push_drops_replay_and_spare_some_sites() {
+        let spec = FaultSpec::none().with_rate(FaultKind::SubPush, 0.5);
+        let a = FaultPlan::new(42, spec);
+        let b = FaultPlan::new(42, spec);
+        for version in 0..8u64 {
+            for piece in 0..8u64 {
+                assert_eq!(
+                    a.on_sub_push(7, version, 3, piece),
+                    b.on_sub_push(7, version, 3, piece),
+                );
+            }
+        }
+        let hits = a.injected()[FaultKind::SubPush.idx()];
+        assert!(hits > 0 && hits < 64, "half-rate spec hit {hits} of 64");
+        assert_eq!(hits, b.injected()[FaultKind::SubPush.idx()]);
+        // An inert plan never drops a push.
+        assert_eq!(
+            FaultPlan::new(42, FaultSpec::none()).on_sub_push(7, 0, 3, 0),
+            FaultAction::Proceed
+        );
     }
 
     #[test]

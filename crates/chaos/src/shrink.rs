@@ -33,6 +33,16 @@ fn reductions(c: &CaseSpec) -> Vec<CaseSpec> {
         d.subregion = false;
         out.push(d);
     }
+    if c.sub_every > 0 {
+        let mut d = c.clone();
+        d.sub_every = 0;
+        out.push(d);
+        if c.sub_every > 1 {
+            let mut d = c.clone();
+            d.sub_every = 1;
+            out.push(d);
+        }
+    }
     if c.pattern != 0 {
         let mut d = c.clone();
         d.pattern = 0;
@@ -124,6 +134,7 @@ mod tests {
             halo: 2,
             cores_per_node: 4,
             subregion: true,
+            sub_every: 2,
         }
     }
 
@@ -139,6 +150,7 @@ mod tests {
         assert_eq!(minimal.pgrid, vec![1, 1]);
         assert_eq!(minimal.cgrid, vec![1, 1]);
         assert_eq!(minimal.region_side, 2);
+        assert_eq!(minimal.sub_every, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workload configuration file parsing.
 
-use insitu::CouplingSpec;
+use insitu::{CouplingSpec, SubscriptionSpec};
 use insitu_domain::Distribution;
 
 /// Per-application workload settings.
@@ -29,6 +29,8 @@ pub struct WorkloadConfig {
     pub apps: Vec<AppConfig>,
     /// Couplings.
     pub couplings: Vec<CouplingSpec>,
+    /// Standing queries layered over the couplings.
+    pub subscriptions: Vec<SubscriptionSpec>,
 }
 
 /// A configuration parse failure with its 1-based line.
@@ -67,6 +69,9 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
     let mut iterations = 1u64;
     let mut apps: Vec<AppConfig> = Vec::new();
     let mut couplings: Vec<CouplingSpec> = Vec::new();
+    // Each subscription keeps its source line so the cross-reference
+    // checks after the loop can still point at the offending directive.
+    let mut subscriptions: Vec<(usize, SubscriptionSpec)> = Vec::new();
 
     for (idx, raw) in input.lines().enumerate() {
         let line = idx + 1;
@@ -189,6 +194,12 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
                         if lb.is_empty() || lb.len() != ub.len() {
                             return Err(err("REGION lb/ub rank mismatch".into()));
                         }
+                        if let Some(d) = (0..lb.len()).find(|&d| lb[d] > ub[d]) {
+                            return Err(err(format!(
+                                "REGION is inverted in dimension {d}: lower bound {} exceeds upper bound {}",
+                                lb[d], ub[d]
+                            )));
+                        }
                         Some(insitu_domain::BoundingBox::new(&lb, &ub))
                     }
                 };
@@ -199,6 +210,78 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
                     concurrent,
                     region,
                 });
+            }
+            "SUBSCRIBE" => {
+                // SUBSCRIBE VAR <name> PRODUCER <id> SUBSCRIBER <id>
+                //           EVERY <k> [REGION lb.. UB ub..] [QUEUE <cap>]
+                let find = |key: &str| toks.iter().position(|&t| t == key);
+                let var_pos = find("VAR").ok_or_else(|| err("SUBSCRIBE needs VAR".into()))?;
+                let prod_pos =
+                    find("PRODUCER").ok_or_else(|| err("SUBSCRIBE needs PRODUCER".into()))?;
+                let sub_pos =
+                    find("SUBSCRIBER").ok_or_else(|| err("SUBSCRIBE needs SUBSCRIBER".into()))?;
+                let every_pos = find("EVERY").ok_or_else(|| err("SUBSCRIBE needs EVERY".into()))?;
+                let var = toks
+                    .get(var_pos + 1)
+                    .ok_or_else(|| err("VAR needs a name".into()))?
+                    .to_string();
+                let producer_app = toks
+                    .get(prod_pos + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("PRODUCER needs an id".into()))?;
+                let subscriber_app = toks
+                    .get(sub_pos + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("SUBSCRIBER needs an id".into()))?;
+                let every_k: u64 = toks
+                    .get(every_pos + 1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("EVERY needs a version stride".into()))?;
+                if every_k == 0 {
+                    return Err(err(
+                        "EVERY must be at least 1: a stride of 0 would match no version".into(),
+                    ));
+                }
+                let queue_pos = find("QUEUE");
+                let region = match find("REGION") {
+                    None => None,
+                    Some(rp) => {
+                        let ub_pos =
+                            find("UB").ok_or_else(|| err("REGION needs a matching UB".into()))?;
+                        let ub_end = queue_pos.filter(|&q| q > ub_pos).unwrap_or(toks.len());
+                        let lb = parse_u64s(&toks[rp + 1..ub_pos], line)?;
+                        let ub = parse_u64s(&toks[ub_pos + 1..ub_end], line)?;
+                        if lb.is_empty() || lb.len() != ub.len() {
+                            return Err(err("REGION lb/ub rank mismatch".into()));
+                        }
+                        if let Some(d) = (0..lb.len()).find(|&d| lb[d] > ub[d]) {
+                            return Err(err(format!(
+                                "REGION is inverted in dimension {d}: lower bound {} exceeds upper bound {}",
+                                lb[d], ub[d]
+                            )));
+                        }
+                        Some(insitu_domain::BoundingBox::new(&lb, &ub))
+                    }
+                };
+                let queue_cap = match queue_pos {
+                    None => insitu::sub::DEFAULT_QUEUE_CAP,
+                    Some(qp) => toks
+                        .get(qp + 1)
+                        .and_then(|t| t.parse::<usize>().ok())
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| err("QUEUE needs a positive depth".into()))?,
+                };
+                subscriptions.push((
+                    line,
+                    SubscriptionSpec {
+                        var,
+                        producer_app,
+                        subscriber_app,
+                        every_k,
+                        region,
+                        queue_cap,
+                    },
+                ));
             }
             other => {
                 return Err(ConfigError {
@@ -221,6 +304,23 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
             });
         }
     }
+    // A subscription is a push overlay on an existing coupling: the
+    // producer must already publish the variable or no put would ever
+    // match the standing query.
+    for (line, s) in &subscriptions {
+        if !couplings
+            .iter()
+            .any(|c| c.var == s.var && c.producer_app == s.producer_app)
+        {
+            return Err(ConfigError {
+                line: *line,
+                message: format!(
+                    "SUBSCRIBE references unknown variable '{}' from producer {}: no COUPLING declares it",
+                    s.var, s.producer_app
+                ),
+            });
+        }
+    }
     Ok(WorkloadConfig {
         cores_per_node,
         domain,
@@ -228,6 +328,7 @@ pub fn parse_config(input: &str) -> Result<WorkloadConfig, ConfigError> {
         iterations,
         apps,
         couplings,
+        subscriptions: subscriptions.into_iter().map(|(_, s)| s).collect(),
     })
 }
 
@@ -334,6 +435,96 @@ COUPLING VAR temperature PRODUCER 1 CONSUMERS 2 MODE concurrent
     fn errors_carry_line_numbers() {
         let err = parse_config("DOMAIN 8 8\nNONSENSE\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    const SUB_BASE: &str = "\
+DOMAIN 8 8
+APP 1 GRID 2 2 DIST blocked
+APP 2 GRID 2 1 DIST blocked
+APP 3 GRID 1 1 DIST blocked
+COUPLING VAR t PRODUCER 1 CONSUMERS 2 MODE concurrent
+";
+
+    #[test]
+    fn subscribe_parsed_with_defaults() {
+        let c = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 3 EVERY 2\n"
+        ))
+        .unwrap();
+        assert_eq!(c.subscriptions.len(), 1);
+        let s = &c.subscriptions[0];
+        assert_eq!(s.var, "t");
+        assert_eq!((s.producer_app, s.subscriber_app), (1, 3));
+        assert_eq!(s.every_k, 2);
+        assert_eq!(s.region, None);
+        assert_eq!(s.queue_cap, insitu::sub::DEFAULT_QUEUE_CAP);
+    }
+
+    #[test]
+    fn subscribe_region_and_queue_parsed() {
+        let c = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 3 EVERY 1 REGION 0 0 UB 3 7 QUEUE 2\n"
+        ))
+        .unwrap();
+        let s = &c.subscriptions[0];
+        assert_eq!(
+            s.region,
+            Some(insitu_domain::BoundingBox::new(&[0, 0], &[3, 7]))
+        );
+        assert_eq!(s.queue_cap, 2);
+    }
+
+    #[test]
+    fn subscribe_every_zero_rejected() {
+        let err = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 3 EVERY 0\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.message.contains("EVERY must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn subscribe_inverted_region_rejected() {
+        let err = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 3 EVERY 1 REGION 5 0 UB 3 7\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(
+            err.message.contains("inverted in dimension 0")
+                && err.message.contains("lower bound 5 exceeds upper bound 3"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn subscribe_unknown_variable_rejected() {
+        let err = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR pressure PRODUCER 1 SUBSCRIBER 3 EVERY 1\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(
+            err.message.contains("unknown variable 'pressure'")
+                && err.message.contains("no COUPLING declares it"),
+            "{err}"
+        );
+        // Same variable from the wrong producer is just as unknown.
+        let err = parse_config(&format!(
+            "{SUB_BASE}SUBSCRIBE VAR t PRODUCER 2 SUBSCRIBER 3 EVERY 1\n"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("producer 2"), "{err}");
+    }
+
+    #[test]
+    fn coupling_inverted_region_rejected() {
+        let err = parse_config(
+            "DOMAIN 8 8\nAPP 1 GRID 2 2 DIST blocked\nCOUPLING VAR f PRODUCER 1 CONSUMERS 1 MODE concurrent REGION 9 0 UB 3 7\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("inverted"), "{err}");
     }
 
     #[test]

@@ -362,7 +362,13 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
                 "p2p violation: {through_hub} PullData frame(s) traversed the hub"
             )));
         }
-        out.push_str("p2p:       0 PullData frames through the hub\n");
+        let sub_through_hub = recorder.metrics_snapshot().counter("net.sub_push_hub");
+        if sub_through_hub != 0 {
+            return Err(CliError::Mismatch(format!(
+                "p2p violation: {sub_through_hub} SubPush frame(s) traversed the hub"
+            )));
+        }
+        out.push_str("p2p:       0 PullData / 0 SubPush frames through the hub\n");
     }
     // Transport census for the shared-memory plane. Every launch
     // process shares this host, so with shm on every PullData should
@@ -387,6 +393,27 @@ pub fn launch_cmd(cmd: &LaunchCmd) -> Result<String, CliError> {
         out.push_str(&format!(
             "shm:       {shm_frames} shared-memory frame event(s), \
              {hub_pulls} PullData through the hub, {fallbacks} fallback(s)\n"
+        ));
+    }
+    // Standing-query census: how many subscriptions the workflow
+    // declared and what the push plane actually did. Pushes and
+    // deliveries tick in the joiner that performed them, so the joiner
+    // sum is the run total; lagged > 0 means a subscriber queue
+    // overflowed and a resync get healed the gap.
+    if !scenario.subscriptions.is_empty() {
+        let joiner_sum = |key: &str| -> u64 {
+            outcome
+                .telemetry
+                .iter()
+                .map(|t| t.counters.get(key).copied().unwrap_or(0))
+                .sum()
+        };
+        out.push_str(&format!(
+            "sub:       {} subscription(s), {} push(es), {} delivery(ies), {} lagged\n",
+            scenario.subscriptions.len(),
+            joiner_sum("sub.pushes"),
+            joiner_sum("sub.deliveries"),
+            joiner_sum("sub.lagged"),
         ));
     }
     if let Some(path) = &cmd.ledger_out {

@@ -83,11 +83,22 @@ pub fn build_scenario(dag: &str, config: &str) -> Result<Scenario, CliError> {
             }
         }
     }
+    for s in &cfg.subscriptions {
+        for id in [s.producer_app, s.subscriber_app] {
+            if workflow.app(id).is_none() {
+                return Err(CliError::Mismatch(format!(
+                    "subscription '{}' references app {id} not in the DAG",
+                    s.var
+                )));
+            }
+        }
+    }
     let scenario = Scenario {
         name: "cli workflow".into(),
         cores_per_node: cfg.cores_per_node,
         workflow,
         couplings: cfg.couplings,
+        subscriptions: cfg.subscriptions,
         halo: cfg.halo,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),

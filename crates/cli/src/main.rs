@@ -37,9 +37,10 @@ usage: insitu run     [--dag] <file> --config <file>
        insitu launch  [--dag] <file> --config <file> --procs <k>
               [--strategy <s>] [--timeout-ms <n>] [--ledger-out <path>]
               [--trace-out <path>] [--profile-out <path>] [--p2p] [--no-shm]
+       insitu launch  <workflow.toml> --procs <k> [...]
        insitu submit  --connect <addr> <workflow.toml> [--set k=v]...
               [--name <s>] [--strategy <s>] [--get-timeout-ms <n>]
-              [--timeout-ms <n>] [--wait]
+              [--timeout-ms <n>] [--wait] [--priority <n>]
        insitu submit  --connect <addr> [--dag] <file> --config <file> ...
        insitu status  --connect <addr> [--run <id>] [--json]
        insitu watch   --connect <addr> --run <id> [--interval-ms <n>]
@@ -77,7 +78,9 @@ up to `--timeout-ms` (default 30000) for one joiner process per node;
 `join` runs one node process (no workflow files needed — the server
 ships them in its Welcome frame); `launch` forks one joiner per node
 over loopback, serves in-process, and exits nonzero unless the merged
-distributed ledger is byte-identical to a single-process run.
+distributed ledger is byte-identical to a single-process run. `serve`
+and `launch` also accept a `workflow.toml` in place of the
+`--dag`/`--config` pair, compiled client-side exactly like `submit`.
 `--ledger-out` writes the merged transfer-ledger snapshot as JSON.
 `--p2p` runs the data plane peer-to-peer: every joiner binds a direct
 listener, `PullData` flows node-to-node, and the hub carries control
@@ -97,7 +100,8 @@ threads, queueing up to `--queue-depth` (default 32) more, until the
 process is killed. `submit` sends a workflow to a service — either a
 parameterized workflow.toml (with `--set key=value` overrides) or a
 plain `--dag`/`--config` pair — and with `--wait` blocks until the run
-finishes; `status` shows one run (`--json` includes its ledger, metrics
+finishes; `--priority <n>` queues it ahead of every lower-priority
+submission (default 0, plain FIFO within a level); `status` shows one run (`--json` includes its ledger, metrics
 and critical-path profile artifacts plus the watchdog's link_stalls and
 health events) or lists all runs; `cancel` stops a queued run
 immediately or a running run at its next wave boundary. `watch` streams
@@ -274,11 +278,25 @@ fn parse_distrib_args(sub: &str, args: &[String]) -> Result<Command, String> {
         );
     }
     let dag_path = dag_path.ok_or("missing --dag")?;
-    let config_path = config_path.ok_or("missing --config")?;
-    let dag =
-        std::fs::read_to_string(&dag_path).map_err(|e| format!("cannot read {dag_path}: {e}"))?;
-    let config = std::fs::read_to_string(&config_path)
-        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    // A workflow.toml stands in for the --dag/--config pair: compile it
+    // client-side exactly as `submit` would.
+    let (dag, config) = if dag_path.ends_with(".toml") {
+        if config_path.is_some() {
+            return Err("give either a workflow.toml or --dag/--config, not both".into());
+        }
+        let source = std::fs::read_to_string(&dag_path)
+            .map_err(|e| format!("cannot read {dag_path}: {e}"))?;
+        let authored =
+            insitu_workflow::compile_workflow(&source, &[]).map_err(|e| e.to_string())?;
+        (authored.dag, authored.config)
+    } else {
+        let config_path = config_path.ok_or("missing --config")?;
+        let dag = std::fs::read_to_string(&dag_path)
+            .map_err(|e| format!("cannot read {dag_path}: {e}"))?;
+        let config = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+        (dag, config)
+    };
     if sub == "serve" {
         Ok(Command::Serve(ServeCmd {
             dag,
@@ -321,6 +339,7 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
     let mut strategy = MappingStrategy::DataCentric;
     let mut get_timeout_ms = 60_000u64;
     let mut wait = false;
+    let mut priority = 0u32;
     let mut interval_ms = 500u64;
     let mut once = false;
     let mut it = args.iter();
@@ -360,6 +379,10 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
                 get_timeout_ms = v.parse().map_err(|_| format!("bad timeout '{v}'"))?;
             }
             "--wait" if sub == "submit" => wait = true,
+            "--priority" if sub == "submit" => {
+                let v = it.next().ok_or("--priority needs a number")?;
+                priority = v.parse().map_err(|_| format!("bad priority '{v}'"))?;
+            }
             other if !other.starts_with('-') && sub == "submit" => {
                 if other.ends_with(".toml") {
                     toml_path = Some(other.to_string());
@@ -424,6 +447,7 @@ fn parse_client_args(sub: &str, args: &[String]) -> Result<Command, String> {
                 get_timeout_ms,
                 timeout_ms,
                 wait,
+                priority,
             }))
         }
     }

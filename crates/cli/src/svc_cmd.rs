@@ -78,6 +78,9 @@ pub struct SubmitCmd {
     pub timeout_ms: u64,
     /// Block until the run reaches a terminal state.
     pub wait: bool,
+    /// Admission priority: a higher value is queued ahead of every
+    /// lower one, first-come-first-served within a level.
+    pub priority: u32,
 }
 
 /// Options of the `status` subcommand.
@@ -256,12 +259,13 @@ pub fn submit_cmd(cmd: &SubmitCmd) -> Result<String, CliError> {
     let name = cmd.name.clone().unwrap_or(default_name);
     let mut rpc = client(&cmd.connect, cmd.timeout_ms)?;
     let (run, queued_ahead) = rpc
-        .submit(
+        .submit_with_priority(
             &name,
             &dag,
             &config,
             &cmd.strategy,
             Duration::from_millis(cmd.get_timeout_ms),
+            cmd.priority,
         )
         .map_err(CliError::Mismatch)?;
     let mut out = format!("submitted: run {run} ({name}), {queued_ahead} queued ahead\n");
@@ -315,7 +319,7 @@ pub fn cancel_cmd(cmd: &CancelCmd) -> Result<String, CliError> {
 
 /// Lines in one rendered progress block; the live view rewinds the
 /// cursor by exactly this much between frames.
-const PROGRESS_LINES: usize = 4;
+const PROGRESS_LINES: usize = 5;
 
 fn progress_block(f: &Frame) -> String {
     let Frame::Progress {
@@ -333,6 +337,9 @@ fn progress_block(f: &Frame) -> String {
         pulls_in_flight,
         bytes_in_flight,
         queue_depth,
+        sub_active,
+        sub_pushes,
+        sub_lagged,
         link_stalls,
         health,
     } = f
@@ -349,6 +356,7 @@ fn progress_block(f: &Frame) -> String {
          rdma p50/p99 {rdma_wait_p50_us}/{rdma_wait_p99_us}\n  \
          flight   {pulls_in_flight} pull(s), {bytes_in_flight} B staged, \
          {queue_depth} B queued  link-stalls {link_stalls}\n  \
+         subs     {sub_active} active, {sub_pushes} push(es), {sub_lagged} lagged\n  \
          health   {health_line}\n",
         if *done { "  [final]" } else { "" },
     )
@@ -370,6 +378,9 @@ fn progress_json(f: &Frame) -> Json {
         pulls_in_flight,
         bytes_in_flight,
         queue_depth,
+        sub_active,
+        sub_pushes,
+        sub_lagged,
         link_stalls,
         health,
     } = f
@@ -391,6 +402,9 @@ fn progress_json(f: &Frame) -> Json {
         .field("pulls_in_flight", *pulls_in_flight)
         .field("bytes_in_flight", *bytes_in_flight)
         .field("queue_depth", *queue_depth)
+        .field("sub_active", *sub_active)
+        .field("sub_pushes", *sub_pushes)
+        .field("sub_lagged", *sub_lagged)
         .field("link_stalls", *link_stalls)
         .field(
             "health",

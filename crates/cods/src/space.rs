@@ -16,7 +16,9 @@
 //! (simulated) network otherwise. The sequential variants additionally
 //! index the data in the DHT so later applications can discover it.
 
-use crate::codec::{bytes_of_f64s_mut, encode_f64s, f64s_of_bytes, FieldData, ELEM_BYTES};
+use crate::codec::{
+    bytes_of_f64s_mut, decode_f64s, encode_f64s, f64s_of_bytes, FieldData, ELEM_BYTES,
+};
 use crate::dht::{var_id, Dht, LocationEntry, DHT_RECORD_BYTES};
 use crate::schedule::{
     schedule_from_decomposition, schedule_from_entries, CommSchedule, ScheduleCache,
@@ -24,8 +26,9 @@ use crate::schedule::{
 use insitu_dart::{BufKey, BufferHandle, DartRuntime};
 use insitu_domain::layout::{copy_region, copy_region_bytes};
 use insitu_domain::{BoundingBox, Decomposition};
-use insitu_fabric::{ClientId, Locality, TrafficClass};
+use insitu_fabric::{ClientId, FaultAction, Locality, TrafficClass};
 use insitu_obs::{Event, EventKind, LinkClass};
+use insitu_sub::{SubId, SubSink, SubSpec, TakeResult};
 use insitu_telemetry::{Counter, Gauge, Recorder};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -185,6 +188,43 @@ pub struct CodsSpace {
     /// shm-mapped) buffer rather than an assembled copy.
     view_count: Counter,
     staging_gauge: Gauge,
+    /// Standing-query fragments pushed from the put path (producer side).
+    sub_pushes: Counter,
+    /// Bytes those fragments carried.
+    sub_push_bytes: Counter,
+    /// Assembled versions handed to subscribers ([`Self::sub_take`]).
+    sub_deliveries: Counter,
+    /// Versions a subscriber observed lost to its bounded queue.
+    sub_lagged_count: Counter,
+    /// Push fragments dropped by the chaos `sub-push` fault site.
+    sub_push_drops: Counter,
+    /// Currently registered standing queries.
+    sub_active: Gauge,
+}
+
+/// The consumer end of one standing query registered through
+/// [`CodsSpace::subscribe`]: pass it back to [`CodsSpace::sub_take`] to
+/// block on pushed versions, and to [`CodsSpace::unsubscribe`] to tear
+/// the query down.
+pub struct SubHandle {
+    /// Deterministic subscription id ([`SubSpec::id`]).
+    pub id: SubId,
+    /// The registered query.
+    pub spec: SubSpec,
+    sink: Arc<SubSink>,
+    app: u32,
+}
+
+impl SubHandle {
+    /// Versions this subscription has lost to its bounded queue.
+    pub fn lagged(&self) -> u64 {
+        self.sink.lagged()
+    }
+
+    /// Fully assembled versions so far (delivered or later dropped).
+    pub fn completed(&self) -> u64 {
+        self.sink.completed()
+    }
 }
 
 /// Version-consumption bookkeeping for iterative coupling: producers may
@@ -194,8 +234,37 @@ pub struct CodsSpace {
 struct ConsumptionState {
     /// Expected number of completed gets per variable per version.
     expected: std::collections::HashMap<u64, u64>,
+    /// Extra expected gets contributed by standing queries, as
+    /// `(vid, every_k, gets)`: the gets apply only to versions on the
+    /// subscription's stride (`version % every_k == 0`). Push fragments
+    /// themselves are copied synchronously inside `put`, so they never
+    /// appear here — these entries cover the subscriber's verify/resync
+    /// `get` traffic.
+    sub_expected: Vec<(u64, u64, u64)>,
     /// Completed gets per `(var, version)`.
     done: std::collections::HashMap<(u64, u64), u64>,
+}
+
+impl ConsumptionState {
+    /// Total gets `(vid, version)` must see before release, or `None`
+    /// when neither a base expectation nor any standing query covers
+    /// the variable. A covered variable whose version is off every
+    /// stride yields `Some(0)`: nobody will consume it, so the
+    /// producer may reclaim it immediately.
+    fn expected_for(&self, vid: u64, version: u64) -> Option<u64> {
+        let base = self.expected.get(&vid).copied();
+        let mut covered = base.is_some();
+        let mut total = base.unwrap_or(0);
+        for &(v, every_k, gets) in &self.sub_expected {
+            if v == vid {
+                covered = true;
+                if version % every_k == 0 {
+                    total += gets;
+                }
+            }
+        }
+        covered.then_some(total)
+    }
 }
 
 fn buf_key(var: u64, version: u64, owner: ClientId, piece: u64) -> BufKey {
@@ -225,6 +294,39 @@ pub trait SpaceMirror: Send + Sync {
     /// Versions of `var` up to and including `version` were evicted
     /// locally.
     fn evict(&self, var: u64, version: u64);
+    /// A standing query was registered locally; replicate it so every
+    /// producer-hosting process can match puts against it. Default:
+    /// no-op (single-process spaces need no replication).
+    fn sub_open(&self, spec: &SubSpec) {
+        let _ = spec;
+    }
+    /// A standing query was cancelled locally. Default: no-op.
+    fn sub_cancel(&self, id: SubId) {
+        let _ = id;
+    }
+    /// A push fragment matched a subscription whose subscriber is
+    /// hosted by another process: carry `data` (encoded f64 cells of
+    /// `frag`) to it. Default: no-op, which silently drops the
+    /// fragment — distributed transports must override this.
+    #[allow(clippy::too_many_arguments)] // one wire frame's worth of fields
+    fn sub_push(
+        &self,
+        id: SubId,
+        var: u64,
+        version: u64,
+        src: ClientId,
+        subscriber: ClientId,
+        frag: &BoundingBox,
+        data: &[u8],
+    ) {
+        let _ = (id, var, version, src, subscriber, frag, data);
+    }
+    /// The local subscriber's bounded queue lost `version`
+    /// (diagnostics only — healing is the subscriber's resync `get`).
+    /// Default: no-op.
+    fn sub_lagged(&self, id: SubId, version: u64, subscriber: ClientId) {
+        let _ = (id, version, subscriber);
+    }
 }
 
 impl CodsSpace {
@@ -276,6 +378,12 @@ impl CodsSpace {
             evict_count: recorder.counter("cods.evictions"),
             view_count: recorder.counter("cods.view_hits"),
             staging_gauge: recorder.gauge("cods.staging_bytes"),
+            sub_pushes: recorder.counter("sub.pushes"),
+            sub_push_bytes: recorder.counter("sub.push_bytes"),
+            sub_deliveries: recorder.counter("sub.deliveries"),
+            sub_lagged_count: recorder.counter("sub.lagged"),
+            sub_push_drops: recorder.counter("sub.push_drops"),
+            sub_active: recorder.gauge("sub.active"),
             recorder,
             dart,
         })
@@ -291,6 +399,21 @@ impl CodsSpace {
             .unwrap()
             .expected
             .insert(self.key_of(var), gets);
+    }
+
+    /// Declare that every on-stride version of `var` (those with
+    /// `version % every_k == 0`) must see `gets` additional completed
+    /// gets before [`Self::wait_version_consumed`] releases it. This is
+    /// how standing-query verify/resync traffic enters the consumption
+    /// ledger: push fragments are copied synchronously inside `put` and
+    /// need no release gate of their own.
+    pub fn add_sub_expected_gets(&self, var: &str, every_k: u64, gets: u64) {
+        assert!(every_k >= 1, "every_k must be at least 1");
+        self.consumption
+            .lock()
+            .unwrap()
+            .sub_expected
+            .push((self.key_of(var), every_k, gets));
     }
 
     /// Completed gets recorded for `(var, version)`.
@@ -311,7 +434,7 @@ impl CodsSpace {
         let vid = self.key_of(var);
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.consumption.lock().unwrap();
-        let Some(&expected) = state.expected.get(&vid) else {
+        let Some(expected) = state.expected_for(vid, version) else {
             return false;
         };
         loop {
@@ -365,6 +488,163 @@ impl CodsSpace {
     /// up to and including `version`, without re-mirroring.
     pub fn apply_remote_evict(&self, vid: u64, version: u64) {
         self.evict_vid(vid, version);
+    }
+
+    /// Register a standing query for a subscriber hosted in this
+    /// process and mirror it to remote replicas: every subsequent
+    /// matching `put` pushes the overlapping fragment into the returned
+    /// handle's sink, where [`Self::sub_take`] assembles and delivers
+    /// whole versions.
+    ///
+    /// # Panics
+    /// Panics on `every_k == 0` — user-facing config validation rejects
+    /// that before it reaches the space.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's cods_* operator signatures
+    pub fn subscribe(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        region: &BoundingBox,
+        every_k: u64,
+        queue_cap: usize,
+    ) -> SubHandle {
+        let handle = self.subscribe_local(client, app, var, region, every_k, queue_cap);
+        if let Some(m) = &self.mirror {
+            m.sub_open(&handle.spec);
+        }
+        handle
+    }
+
+    /// [`Self::subscribe`] without the mirror broadcast. The execution
+    /// engine uses this when every process compiles the same scenario:
+    /// each replica registers the subscription from its own copy, so no
+    /// wire traffic (and no registration race) is needed.
+    pub fn subscribe_local(
+        &self,
+        client: ClientId,
+        app: u32,
+        var: &str,
+        region: &BoundingBox,
+        every_k: u64,
+        queue_cap: usize,
+    ) -> SubHandle {
+        let spec = SubSpec {
+            vid: self.key_of(var),
+            region: *region,
+            every_k,
+            subscriber: client,
+        };
+        let entry = self.dart.subs().register(spec.clone());
+        let sink = entry.attach_sink(queue_cap);
+        self.sub_active.set(self.dart.subs().active());
+        SubHandle {
+            id: entry.id,
+            spec,
+            sink,
+            app,
+        }
+    }
+
+    /// Replicate a standing query whose subscriber lives in another
+    /// process (wire reader / scenario compilation entry point):
+    /// registry-only — no sink, no re-mirroring. Hostile or corrupt
+    /// `every_k == 0` specs are ignored rather than panicking the
+    /// reactor.
+    pub fn apply_remote_subscribe(&self, spec: &SubSpec) {
+        if spec.every_k == 0 {
+            return;
+        }
+        self.dart.subs().register(spec.clone());
+        self.sub_active.set(self.dart.subs().active());
+    }
+
+    /// Apply a remote replica's cancellation (wire reader entry point).
+    pub fn apply_remote_sub_cancel(&self, id: SubId) {
+        self.dart.subs().cancel(id);
+        self.sub_active.set(self.dart.subs().active());
+    }
+
+    /// Deliver a wire-carried push fragment to the locally hosted
+    /// subscriber sink (wire reader entry point). No accounting and no
+    /// flight `SubPush` — the producer's process recorded both; the
+    /// transport layer records the wire hop itself. Returns `false` if
+    /// the subscription is unknown here or has no local sink (a stale
+    /// push after cancellation — dropped, the ledger already charged
+    /// it).
+    pub fn apply_remote_sub_push(
+        &self,
+        sub_id: SubId,
+        version: u64,
+        frag_box: &BoundingBox,
+        data: &[u8],
+    ) -> bool {
+        let Some(entry) = self.dart.subs().get(sub_id) else {
+            return false;
+        };
+        let Some(sink) = entry.sink() else {
+            return false;
+        };
+        if data.len() % ELEM_BYTES != 0 || (data.len() / ELEM_BYTES) as u128 != frag_box.num_cells()
+        {
+            return false;
+        }
+        let frag = decode_f64s(data);
+        sink.offer(version, frag_box, &frag);
+        true
+    }
+
+    /// Tear down a standing query: close its sink, drop the registry
+    /// entry, and mirror the cancellation. Blocked [`Self::sub_take`]
+    /// calls return [`TakeResult::Closed`]. Returns `false` if the
+    /// subscription was already gone.
+    pub fn unsubscribe(&self, handle: &SubHandle) -> bool {
+        let removed = self.dart.subs().cancel(handle.id);
+        self.sub_active.set(self.dart.subs().active());
+        if removed {
+            if let Some(m) = &self.mirror {
+                m.sub_cancel(handle.id);
+            }
+        }
+        removed
+    }
+
+    /// Block until `version` of the subscribed region is fully assembled
+    /// in `handle`'s sink, up to `timeout`. On [`TakeResult::Lagged`] or
+    /// [`TakeResult::TimedOut`] the caller heals the gap with an
+    /// ordinary `get` — the space stays policy-free about resync.
+    pub fn sub_take(&self, handle: &SubHandle, version: u64, timeout: Duration) -> TakeResult {
+        let res = handle
+            .sink
+            .take_version(version, std::time::Instant::now() + timeout);
+        match &res {
+            TakeResult::Data(data) => {
+                self.sub_deliveries.inc();
+                let flight = self.dart.flight();
+                if flight.is_enabled() {
+                    let now = flight.now_us();
+                    flight.record(
+                        Event::new(flight.next_seq(), EventKind::SubDeliver)
+                            .app(handle.app)
+                            .var(handle.spec.vid)
+                            .version(version)
+                            .bbox(handle.spec.region)
+                            .dst(handle.spec.subscriber)
+                            .piece(handle.id)
+                            .bytes(data.len() as u64 * ELEM_BYTES as u64)
+                            .window(now, 0),
+                    );
+                }
+            }
+            TakeResult::Lagged => {
+                self.sub_lagged_count.inc();
+                if let Some(m) = &self.mirror {
+                    m.sub_lagged(handle.id, version, handle.spec.subscriber);
+                }
+            }
+            _ => {}
+        }
+        res
     }
 
     /// The location service.
@@ -469,11 +749,17 @@ impl CodsSpace {
                 );
             }
         }
+        // The Put's sequence number is allocated before the push fan-out
+        // so every SubPush it spawns can name it as parent.
+        let put_seq = flight.next_seq();
+        if !dead {
+            self.push_to_subs(client, app, vid, version, piece, bbox, data, put_seq);
+        }
         if flight.is_enabled() {
             let now = flight.now_us();
             flight.record(
                 Event::new(
-                    flight.next_seq(),
+                    put_seq,
                     EventKind::Put {
                         indexed: index_in_dht,
                     },
@@ -489,6 +775,95 @@ impl CodsSpace {
             );
         }
         Ok(())
+    }
+
+    /// Fan a freshly put piece out to every matching standing query.
+    ///
+    /// This runs synchronously inside `put`, before the transport split:
+    /// a subscriber hosted in this process gets the fragment offered
+    /// straight into its sink, anything else goes through the mirror.
+    /// The chaos `sub-push` site is consulted here — on the shared path —
+    /// so an injected drop replays identically whether or not the
+    /// subscriber sits behind the wire.
+    #[allow(clippy::too_many_arguments)] // put_impl's identity plus the parent seq
+    fn push_to_subs(
+        &self,
+        client: ClientId,
+        app: u32,
+        vid: u64,
+        version: u64,
+        piece: u64,
+        bbox: &BoundingBox,
+        data: &[f64],
+        put_seq: u64,
+    ) {
+        let injector = self.dart.injector();
+        let flight = self.dart.flight();
+        for entry in self.dart.subs().matching(vid, version) {
+            let Some(overlap) = entry.spec.region.intersect(bbox) else {
+                continue;
+            };
+            if matches!(
+                injector.on_sub_push(vid, version, entry.spec.subscriber, piece),
+                FaultAction::Drop
+            ) {
+                self.record_fault("sub-push", app, vid, version, client, piece);
+                self.sub_push_drops.inc();
+                continue;
+            }
+            let mut frag = vec![0.0; overlap.num_cells() as usize];
+            copy_region(data, bbox, &mut frag, &overlap, &overlap);
+            let frag_bytes = frag.len() as u64 * ELEM_BYTES as u64;
+            entry
+                .pushes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.sub_pushes.inc();
+            self.sub_push_bytes.add(frag_bytes);
+            // Producer-side accounting, exactly once per fragment: the
+            // remote replica applies pushes without re-accounting, so
+            // merged ledgers match a single-process run byte for byte.
+            self.dart.account(
+                app,
+                TrafficClass::InterApp,
+                client,
+                entry.spec.subscriber,
+                frag_bytes,
+            );
+            if flight.is_enabled() {
+                let now = flight.now_us();
+                flight.record(
+                    Event::new(flight.next_seq(), EventKind::SubPush)
+                        .parent(put_seq)
+                        .app(app)
+                        .var(vid)
+                        .version(version)
+                        .bbox(overlap)
+                        .src(client)
+                        .dst(entry.spec.subscriber)
+                        .piece(entry.id)
+                        .bytes(frag_bytes)
+                        .window(now, 0),
+                );
+            }
+            match entry.sink() {
+                Some(sink) => {
+                    sink.offer(version, &overlap, &frag);
+                }
+                None => {
+                    if let Some(m) = &self.mirror {
+                        m.sub_push(
+                            entry.id,
+                            vid,
+                            version,
+                            client,
+                            entry.spec.subscriber,
+                            &overlap,
+                            &encode_f64s(&frag),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Log an injected fault at a CoDS fault site as a flight event.
@@ -1458,5 +1833,384 @@ mod tests {
         assert_eq!(b.latest_version("temp"), Some(0));
         let (db2, _) = b.get_seq(1, 2, "temp", 0, &bbox).unwrap();
         assert_eq!(&db2[..], &fill_b[..]);
+    }
+
+    // ----- standing queries -------------------------------------------
+
+    use insitu_fabric::{FaultHooks, FaultInjector};
+    use insitu_sub::DEFAULT_QUEUE_CAP;
+
+    fn take_data(s: &CodsSpace, h: &SubHandle, version: u64) -> Vec<f64> {
+        match s.sub_take(h, version, Duration::from_secs(2)) {
+            TakeResult::Data(d) => d,
+            other => panic!("version {version}: expected data, got {other:?}"),
+        }
+    }
+
+    /// The acceptance anchor at unit scale: with `every_k = 1` and a
+    /// full-domain region, every pushed version is byte-identical to the
+    /// same version pulled with `get`.
+    #[test]
+    fn pushed_versions_are_byte_identical_to_gets() {
+        let s = space();
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(3, 2, "temp", &q, 1, DEFAULT_QUEUE_CAP);
+        for v in 0..3 {
+            produce(&s, "temp", v);
+        }
+        for v in 0..3 {
+            let pushed = take_data(&s, &handle, v);
+            let (pulled, _) = s.get_seq(3, 2, "temp", v, &q).unwrap();
+            assert_eq!(&encode_f64s(&pushed)[..], &encode_f64s(&pulled)[..]);
+        }
+        assert_eq!(handle.completed(), 3);
+        assert_eq!(handle.lagged(), 0);
+    }
+
+    #[test]
+    fn stride_and_region_filter_pushes() {
+        let s = space();
+        let q = BoundingBox::new(&[2, 2], &[5, 5]);
+        let handle = s.subscribe(3, 2, "temp", &q, 2, 4);
+        for v in 0..4 {
+            produce(&s, "temp", v);
+        }
+        // On-stride versions assemble the sub-region from the four
+        // overlapping producer pieces.
+        for v in [0u64, 2] {
+            let data = take_data(&s, &handle, v);
+            for p in q.iter_points() {
+                assert_eq!(data[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+            }
+        }
+        // Off-stride versions are never pushed.
+        assert_eq!(
+            s.sub_take(&handle, 1, Duration::from_millis(20)),
+            TakeResult::TimedOut
+        );
+        assert_eq!(handle.completed(), 2);
+    }
+
+    /// Mirrors `chaos_pulls`: version completion order must not confuse
+    /// a subscriber taking versions in its own order.
+    #[test]
+    fn out_of_order_puts_deliver_in_any_take_order() {
+        let s = space();
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(1, 2, "temp", &q, 1, 8);
+        for v in [2u64, 0, 1] {
+            produce(&s, "temp", v);
+        }
+        for v in [1u64, 0, 2] {
+            let data = take_data(&s, &handle, v);
+            assert_eq!(data.len(), 64);
+        }
+    }
+
+    #[test]
+    fn slow_subscriber_lags_oldest_and_heals_with_get() {
+        let s = space();
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(3, 2, "temp", &q, 1, 1);
+        for v in 0..3 {
+            produce(&s, "temp", v);
+        }
+        // Queue capacity 1: versions 0 and 1 were evicted oldest-first,
+        // and the loss is reported, never silently skipped.
+        assert_eq!(
+            s.sub_take(&handle, 0, Duration::from_millis(10)),
+            TakeResult::Lagged
+        );
+        assert_eq!(handle.lagged(), 2);
+        // The gap heals with an ordinary get of the lost version.
+        let (healed, _) = s.get_seq(3, 2, "temp", 0, &q).unwrap();
+        for p in q.iter_points() {
+            assert_eq!(healed[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+        assert!(matches!(
+            s.sub_take(&handle, 2, Duration::from_millis(10)),
+            TakeResult::Data(_)
+        ));
+    }
+
+    #[test]
+    fn unsubscribe_closes_sink_and_stops_pushes() {
+        let s = space();
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(3, 2, "temp", &q, 1, 4);
+        produce(&s, "temp", 0);
+        assert!(s.unsubscribe(&handle));
+        assert!(!s.unsubscribe(&handle));
+        // Already-assembled versions stay readable; later ones see the
+        // cancellation instead of hanging.
+        assert!(matches!(
+            s.sub_take(&handle, 0, Duration::from_millis(10)),
+            TakeResult::Data(_)
+        ));
+        produce(&s, "temp", 1);
+        assert_eq!(
+            s.sub_take(&handle, 1, Duration::from_millis(10)),
+            TakeResult::Closed
+        );
+    }
+
+    /// A chaos-dropped fragment shows up as a deadline miss on exactly
+    /// the affected version — never a partial or wrong delivery — and
+    /// the subscriber resyncs with an ordinary get.
+    #[test]
+    fn dropped_push_times_out_and_resync_heals() {
+        struct DropOne;
+        impl FaultHooks for DropOne {
+            fn on_sub_push(
+                &self,
+                _var: u64,
+                version: u64,
+                _subscriber: ClientId,
+                piece: u64,
+            ) -> FaultAction {
+                if version == 1 && piece == 3 {
+                    FaultAction::Drop
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::with_injector(
+            placement,
+            Arc::new(TransferLedger::new()),
+            Recorder::disabled(),
+            FaultInjector::new(Arc::new(DropOne)),
+        );
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        let s = CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig {
+                get_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(3, 2, "temp", &q, 1, 4);
+        let dec = Decomposition::new(
+            BoundingBox::from_sizes(&[8, 8]),
+            ProcessGrid::new(&[2, 2]),
+            Distribution::Blocked,
+        );
+        for v in 0..2 {
+            for r in 0..4u64 {
+                let b = dec.blocked_box(r).unwrap();
+                let data = layout::fill_with(&b, tagfn);
+                s.put_seq(r as ClientId, 1, "temp", v, r, &b, &data)
+                    .unwrap();
+            }
+        }
+        assert!(matches!(
+            s.sub_take(&handle, 0, Duration::from_secs(2)),
+            TakeResult::Data(_)
+        ));
+        assert_eq!(
+            s.sub_take(&handle, 1, Duration::from_millis(30)),
+            TakeResult::TimedOut
+        );
+        let (healed, _) = s.get_seq(3, 2, "temp", 1, &q).unwrap();
+        for p in q.iter_points() {
+            assert_eq!(healed[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+    }
+
+    #[test]
+    fn sub_expected_gets_gate_only_on_stride_versions() {
+        let s = space();
+        s.add_sub_expected_gets("vel", 2, 1);
+        let vid = var_id("vel");
+        // Off-stride versions have no expected consumers: released at
+        // once instead of timing out the producer.
+        assert!(s.wait_version_consumed("vel", 1, Duration::from_millis(5)));
+        // On-stride versions wait for the subscriber's verify/resync get.
+        assert!(!s.wait_version_consumed("vel", 0, Duration::from_millis(5)));
+        s.apply_remote_get_done(vid, 0);
+        assert!(s.wait_version_consumed("vel", 0, Duration::from_millis(5)));
+        // Base expectations stack on top of subscription expectations.
+        s.set_expected_gets("vel", 1);
+        assert!(!s.wait_version_consumed("vel", 2, Duration::from_millis(5)));
+        s.apply_remote_get_done(vid, 2);
+        assert!(!s.wait_version_consumed("vel", 2, Duration::from_millis(5)));
+        s.apply_remote_get_done(vid, 2);
+        assert!(s.wait_version_consumed("vel", 2, Duration::from_millis(5)));
+    }
+
+    #[derive(Default)]
+    struct SubRecordingMirror {
+        opens: Mutex<Vec<SubSpec>>,
+        cancels: Mutex<Vec<SubId>>,
+        #[allow(clippy::type_complexity)]
+        pushes: Mutex<Vec<(SubId, u64, u64, ClientId, ClientId, BoundingBox, Vec<u8>)>>,
+        lags: Mutex<Vec<(SubId, u64, ClientId)>>,
+    }
+
+    impl SpaceMirror for SubRecordingMirror {
+        fn dht_insert(&self, _var: u64, _version: u64, _entry: &LocationEntry) {}
+        fn get_done(&self, _var: u64, _version: u64) {}
+        fn evict(&self, _var: u64, _version: u64) {}
+        fn sub_open(&self, spec: &SubSpec) {
+            self.opens.lock().unwrap().push(spec.clone());
+        }
+        fn sub_cancel(&self, id: SubId) {
+            self.cancels.lock().unwrap().push(id);
+        }
+        fn sub_push(
+            &self,
+            id: SubId,
+            var: u64,
+            version: u64,
+            src: ClientId,
+            subscriber: ClientId,
+            frag: &BoundingBox,
+            data: &[u8],
+        ) {
+            self.pushes.lock().unwrap().push((
+                id,
+                var,
+                version,
+                src,
+                subscriber,
+                *frag,
+                data.to_vec(),
+            ));
+        }
+        fn sub_lagged(&self, id: SubId, version: u64, subscriber: ClientId) {
+            self.lags.lock().unwrap().push((id, version, subscriber));
+        }
+    }
+
+    /// Producer process with a sink-less subscription replica: every
+    /// fragment travels through the mirror (accounted producer-side),
+    /// and the subscriber process's remote apply reassembles the exact
+    /// bytes without accounting anything again.
+    #[test]
+    fn remote_subscriber_pushes_travel_via_mirror_and_apply_delivers() {
+        let mirror = Arc::new(SubRecordingMirror::default());
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::new(placement, Arc::new(TransferLedger::new()));
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        let prod = CodsSpace::with_mirror(
+            dart,
+            dht,
+            CodsConfig {
+                get_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+            Arc::clone(&mirror) as Arc<dyn SpaceMirror>,
+        );
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let spec = SubSpec {
+            vid: prod.key_of("temp"),
+            region: q,
+            every_k: 1,
+            subscriber: 3,
+        };
+        prod.apply_remote_subscribe(&spec);
+        produce(&prod, "temp", 0);
+        let pushes = mirror.pushes.lock().unwrap().clone();
+        assert_eq!(pushes.len(), 4);
+        // Producer-side accounting, once per fragment: subscriber 3 is
+        // on node 1, producers 0,1 are on node 0 (network) and 2,3 on
+        // node 1 (shm); each fragment is 16 cells = 128 bytes.
+        let snap = prod.dart().ledger().snapshot();
+        assert_eq!(snap.shm_bytes(TrafficClass::InterApp), 256);
+        assert_eq!(snap.network_bytes(TrafficClass::InterApp), 256);
+        // Subscriber process: local sink, remote applies feed it.
+        let sub = space();
+        let handle = sub.subscribe_local(3, 2, "temp", &q, 1, 4);
+        let before = sub.dart().ledger().snapshot();
+        for (id, _var, version, _src, _subscriber, frag, data) in &pushes {
+            assert!(sub.apply_remote_sub_push(*id, *version, frag, data));
+        }
+        assert_eq!(sub.dart().ledger().snapshot(), before);
+        let got = take_data(&sub, &handle, 0);
+        for p in q.iter_points() {
+            assert_eq!(got[layout::linear_index(&q, &p[..2])], tagfn(&p[..2]));
+        }
+        // Cancelling on the subscriber side broadcasts through its
+        // mirror path only when one is attached; the producer replica
+        // is torn down by the remote apply.
+        prod.apply_remote_sub_cancel(spec.id());
+        produce(&prod, "temp", 1);
+        assert_eq!(mirror.pushes.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn hostile_remote_sub_frames_are_rejected() {
+        let s = space();
+        // A zero stride would poison the registry's matching arithmetic:
+        // ignored, not panicked.
+        s.apply_remote_subscribe(&SubSpec {
+            vid: 1,
+            region: BoundingBox::from_sizes(&[2]),
+            every_k: 0,
+            subscriber: 0,
+        });
+        assert_eq!(s.dart().subs().active(), 0);
+        // Pushes for unknown subscriptions or with ragged payloads are
+        // dropped.
+        let frag = BoundingBox::from_sizes(&[2]);
+        assert!(!s.apply_remote_sub_push(99, 0, &frag, &[0u8; 16]));
+        let handle = s.subscribe_local(0, 1, "x", &frag, 1, 4);
+        assert!(!s.apply_remote_sub_push(handle.id, 0, &frag, &[0u8; 9]));
+        assert!(s.apply_remote_sub_push(handle.id, 0, &frag, &encode_f64s(&[1.0, 2.0])));
+    }
+
+    /// The flight trace ties the fan-out together: each `SubPush` parents
+    /// to the producing `Put`, and the subscriber's `SubDeliver` carries
+    /// the subscription id in `piece`.
+    #[test]
+    fn flight_records_put_push_deliver_chain() {
+        let placement = Arc::new(Placement::pack_sequential(MachineSpec::new(2, 2), 4));
+        let dart = DartRuntime::with_flight(
+            placement,
+            Arc::new(TransferLedger::new()),
+            Recorder::disabled(),
+            FaultInjector::none(),
+            insitu_obs::FlightRecorder::enabled(),
+        );
+        let dht = Dht::new(Box::new(HilbertCurve::new(2, 3)), vec![0, 2]);
+        let s = CodsSpace::new(
+            dart,
+            dht,
+            CodsConfig {
+                get_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        let q = BoundingBox::from_sizes(&[8, 8]);
+        let handle = s.subscribe(3, 2, "temp", &q, 1, 4);
+        produce(&s, "temp", 0);
+        let _ = take_data(&s, &handle, 0);
+        let events = s.dart().flight().snapshot();
+        let puts: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Put { .. }))
+            .collect();
+        let pushes: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SubPush))
+            .collect();
+        let delivers: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SubDeliver))
+            .collect();
+        assert_eq!(puts.len(), 4);
+        assert_eq!(pushes.len(), 4);
+        assert_eq!(delivers.len(), 1);
+        for push in &pushes {
+            let parent = push.parent.expect("push must parent to its put");
+            assert!(puts.iter().any(|p| p.seq == parent));
+            assert_eq!(push.piece, handle.id);
+            assert_eq!(push.dst, Some(3));
+        }
+        assert_eq!(delivers[0].piece, handle.id);
+        assert_eq!(delivers[0].bytes, 64 * ELEM_BYTES as u64);
     }
 }

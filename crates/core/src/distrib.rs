@@ -192,6 +192,9 @@ pub fn serve(
         injector: opts.injector.clone(),
         flight: FlightRecorder::disabled(),
         key_epoch: opts.run_epoch,
+        // The server runs no tasks, so whether it hosts sinks is moot;
+        // None keeps its replicated state identical to single-process.
+        local_node: None,
     };
     // The server replicates the execution state like any node: it needs
     // the mapping for dispatch and the placement for dispatch accounting.
@@ -449,6 +452,9 @@ where
         injector: opts.injector.clone(),
         flight: opts.flight.clone(),
         key_epoch: run_epoch,
+        // Host subscription sinks only for subscriber tasks on this node;
+        // everything else stays a registry-only entry fed over the wire.
+        local_node: Some(node),
     };
     let env = ExecEnv::build(
         &scenario,

@@ -16,14 +16,18 @@
 use crate::mapping::{map_scenario, MappedScenario, MappingStrategy};
 use crate::scenario::Scenario;
 use crate::threaded::ThreadedConfig;
-use insitu_cods::{var_id, CodsConfig, CodsError, CodsSpace, Dht, GetReport, SpaceMirror};
+use insitu_cods::{
+    var_id, CodsConfig, CodsError, CodsSpace, Dht, GetReport, SpaceMirror, SubHandle,
+};
 use insitu_dart::{DartRuntime, Transport};
 use insitu_domain::stencil::halo_exchanges;
 use insitu_domain::{layout, BoundingBox};
 use insitu_fabric::{ClientId, Placement, TrafficClass, TransferLedger};
 use insitu_sfc::HilbertCurve;
+use insitu_sub::{SubSpec, TakeResult};
 use insitu_telemetry::Recorder;
 use insitu_util::Bytes;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -85,6 +89,15 @@ pub(crate) fn curve_for(domain: &BoundingBox) -> HilbertCurve {
     HilbertCurve::new(domain.ndim(), order.max(1))
 }
 
+/// One locally hosted subscription piece: the standing query covering
+/// the intersection of a subscriber rank's region with the subscribed
+/// region, plus the index of the [`crate::scenario::SubscriptionSpec`]
+/// it compiles from.
+pub(crate) struct SubPiece {
+    pub spec_idx: usize,
+    pub handle: SubHandle,
+}
+
 /// Deterministically constructed per-process execution state. In a
 /// distributed run every process builds one of these from the same
 /// `(scenario, strategy, config)` and they agree field for field.
@@ -98,6 +111,8 @@ pub(crate) struct ExecEnv {
     pub failures: Arc<AtomicU64>,
     pub errors: Arc<Mutex<Vec<(u32, u64, CodsError)>>>,
     pub get_timeout: Duration,
+    /// Locally hosted subscription handles, keyed by subscriber task.
+    pub subs: Arc<HashMap<(u32, u64), Vec<SubPiece>>>,
 }
 
 impl ExecEnv {
@@ -183,6 +198,57 @@ impl ExecEnv {
             space.set_expected_gets(&coupling.var, gets);
         }
 
+        // Standing queries: every process registers every subscription
+        // (so producers anywhere can fan out pushes with the right
+        // subscriber address), but a sink is attached only where the
+        // subscriber task will actually run — remote subscribers stay
+        // registry-only entries whose fragments travel the wire. Each
+        // piece also owes one resync `get` per on-stride version, which
+        // keeps producer-side reclaim accounting deterministic.
+        let cpn = machine.cores_per_node;
+        let mut subs: HashMap<(u32, u64), Vec<SubPiece>> = HashMap::new();
+        for (si, sub) in scenario.subscriptions.iter().enumerate() {
+            let sdec = scenario.decomposition(sub.subscriber_app);
+            let region = sub
+                .region
+                .unwrap_or(*scenario.decomposition(sub.producer_app).domain());
+            let mut pieces = 0u64;
+            for rank in 0..sdec.num_ranks() {
+                let client = mapped.core_of_task(sub.subscriber_app, rank);
+                for piece in sdec
+                    .rank_region(rank)
+                    .into_iter()
+                    .filter_map(|p| p.intersect(&region))
+                {
+                    pieces += 1;
+                    if cfg.local_node.is_none_or(|n| client / cpn == n) {
+                        let handle = space.subscribe_local(
+                            client,
+                            sub.subscriber_app,
+                            &sub.var,
+                            &piece,
+                            sub.every_k,
+                            sub.queue_cap,
+                        );
+                        subs.entry((sub.subscriber_app, rank))
+                            .or_default()
+                            .push(SubPiece {
+                                spec_idx: si,
+                                handle,
+                            });
+                    } else {
+                        space.apply_remote_subscribe(&SubSpec {
+                            vid: space.key_of(&sub.var),
+                            region: piece,
+                            every_k: sub.every_k,
+                            subscriber: client,
+                        });
+                    }
+                }
+            }
+            space.add_sub_expected_gets(&sub.var, sub.every_k, pieces);
+        }
+
         ExecEnv {
             scenario,
             mapped,
@@ -193,6 +259,7 @@ impl ExecEnv {
             failures: Arc::new(AtomicU64::new(0)),
             errors: Arc::new(Mutex::new(Vec::new())),
             get_timeout: cfg.get_timeout,
+            subs: Arc::new(subs),
         }
     }
 
@@ -211,6 +278,7 @@ impl ExecEnv {
                 failures: Arc::clone(&self.failures),
                 errors: Arc::clone(&self.errors),
                 get_timeout: self.get_timeout,
+                subs: Arc::clone(&self.subs),
                 app,
                 rank,
             };
@@ -267,6 +335,7 @@ struct TaskCtx {
     failures: Arc<AtomicU64>,
     errors: Arc<Mutex<Vec<(u32, u64, CodsError)>>>,
     get_timeout: Duration,
+    subs: Arc<HashMap<(u32, u64), Vec<SubPiece>>>,
     app: u32,
     rank: u64,
 }
@@ -425,6 +494,77 @@ fn task_routine(ctx: TaskCtx) {
                     .unwrap()
                     .push((ctx.app, ctx.rank, report));
             }
+        }
+    }
+
+    // Subscriber role: drain standing-query pushes. Every on-stride
+    // version is first taken from the push sink, then re-read with an
+    // ordinary get: on `Data` the get is the byte-identity check, on
+    // `Lagged`/`TimedOut` it *is* the resync heal — either way exactly
+    // one get per piece per on-stride version, matching the consumption
+    // expectations declared at build time so producers can reclaim.
+    for st in ctx.subs.get(&(ctx.app, ctx.rank)).into_iter().flatten() {
+        let sub = &ctx.scenario.subscriptions[st.spec_idx];
+        let vid = var_id(&sub.var);
+        let concurrent = ctx
+            .scenario
+            .coupling_of_subscription(sub)
+            .is_some_and(|c| c.concurrent);
+        let pdec = ctx.scenario.decomposition(sub.producer_app);
+        let producer_clients: Vec<ClientId> = (0..pdec.num_ranks())
+            .map(|r| ctx.mapped.core_of_task(sub.producer_app, r))
+            .collect();
+        let piece = st.handle.spec.region;
+        'sub_versions: for version in (0..ctx.scenario.iterations).filter(|v| v % sub.every_k == 0)
+        {
+            let taken = ctx.space.sub_take(&st.handle, version, ctx.get_timeout);
+            let res = if concurrent {
+                ctx.space.get_cont(
+                    client,
+                    ctx.app,
+                    &sub.var,
+                    version,
+                    &piece,
+                    pdec,
+                    &producer_clients,
+                )
+            } else {
+                ctx.space
+                    .get_seq(client, ctx.app, &sub.var, version, &piece)
+            };
+            let (data, report) = match res {
+                Ok(dr) => dr,
+                Err(e) => {
+                    ctx.note_error(e);
+                    break 'sub_versions;
+                }
+            };
+            if let TakeResult::Data(pushed) = taken {
+                // The push plane must agree with the pull plane bit for
+                // bit; any divergence is a verification failure.
+                let mismatch = pushed.len() != data.len()
+                    || pushed
+                        .iter()
+                        .zip(data.iter())
+                        .any(|(a, b)| a.to_bits() != b.to_bits());
+                if mismatch {
+                    ctx.failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let mut bad = 0u64;
+            for p in piece.iter_points() {
+                let got = data[layout::linear_index(&piece, &p[..piece.ndim()])];
+                if got != field_value(vid, version, &p[..piece.ndim()]) {
+                    bad += 1;
+                }
+            }
+            if bad > 0 {
+                ctx.failures.fetch_add(bad, Ordering::Relaxed);
+            }
+            ctx.reports
+                .lock()
+                .unwrap()
+                .push((ctx.app, ctx.rank, report));
         }
     }
 

@@ -69,7 +69,7 @@ pub use pgas::GlobalArray;
 pub use scenario::{
     aligned_grid, balanced_grid, concurrent_scenario, concurrent_scenario_with_grids,
     pattern_pairs, sequential_scenario, sequential_scenario_with_grids, CouplingSpec, PatternPair,
-    Scenario,
+    Scenario, SubscriptionSpec,
 };
 pub use threaded::{
     field_value, run_threaded, run_threaded_configured, run_threaded_with, ThreadedConfig,
@@ -84,4 +84,5 @@ pub use insitu_fabric as fabric;
 pub use insitu_obs as obs;
 pub use insitu_partition as partition;
 pub use insitu_sfc as sfc;
+pub use insitu_sub as sub;
 pub use insitu_workflow as workflow;

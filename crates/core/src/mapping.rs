@@ -360,6 +360,7 @@ mod tests {
                 edges: vec![],
                 bundles: vec![vec![1, 2]],
             },
+            subscriptions: vec![],
             couplings: vec![crate::CouplingSpec {
                 var: "v".into(),
                 producer_app: 1,

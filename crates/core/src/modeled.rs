@@ -157,6 +157,42 @@ pub fn run_modeled_configured(
         }
     }
 
+    // Standing-query traffic: each on-stride version moves every
+    // producer-piece × subscriber-piece overlap twice — once as the push
+    // fragment (charged to the producer app, exactly as `push_to_subs`
+    // accounts it at put time) and once as the subscriber's verify/resync
+    // get (charged to the subscriber app, like any consumer retrieve).
+    for sub in &scenario.subscriptions {
+        let pdec = scenario.decomposition(sub.producer_app);
+        let sdec = scenario.decomposition(sub.subscriber_app);
+        let region = sub.region.unwrap_or(*pdec.domain());
+        let on_stride = scenario.iterations.div_ceil(sub.every_k);
+        for (pr, sr, cells) in pairwise_overlaps_region(pdec, sdec, &region) {
+            let bytes = cells as u64 * scenario.elem_bytes;
+            let src = mapped.node_of_task(sub.producer_app, pr);
+            let dst = mapped.node_of_task(sub.subscriber_app, sr);
+            let loc = if src == dst {
+                Locality::SharedMemory
+            } else {
+                Locality::Network
+            };
+            ledger.record_repeated(
+                sub.producer_app,
+                TrafficClass::InterApp,
+                loc,
+                bytes,
+                on_stride,
+            );
+            ledger.record_repeated(
+                sub.subscriber_app,
+                TrafficClass::InterApp,
+                loc,
+                bytes,
+                on_stride,
+            );
+        }
+    }
+
     // Intra-application stencil traffic.
     for app in &scenario.workflow.apps {
         let Some(dec) = &app.decomposition else {

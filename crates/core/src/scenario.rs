@@ -27,6 +27,31 @@ pub struct CouplingSpec {
     pub region: Option<BoundingBox>,
 }
 
+/// A standing query: `subscriber_app` receives a push of every matching
+/// region of `var` as the producer puts it — Linda-style `rd`-with-
+/// notification layered over the coupling in `CouplingSpec` for the same
+/// variable. Subscriptions never replace a coupling; they ride one, and
+/// the subscriber still issues a verification `get` per pushed version so
+/// producer-side consumption accounting stays deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubscriptionSpec {
+    /// Shared variable name (must match a coupling's variable).
+    pub var: String,
+    /// Producing application id (must match the coupling's producer).
+    pub producer_app: u32,
+    /// Subscribing application id.
+    pub subscriber_app: u32,
+    /// Push stride: only versions with `version % every_k == 0` are
+    /// pushed. Must be at least 1.
+    pub every_k: u64,
+    /// Region of interest. `None` subscribes to the producer's whole
+    /// domain.
+    pub region: Option<BoundingBox>,
+    /// Per-piece bounded queue depth (versions buffered before the
+    /// oldest is dropped and the subscriber resyncs with a get).
+    pub queue_cap: usize,
+}
+
 /// A complete experiment scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -38,6 +63,8 @@ pub struct Scenario {
     pub workflow: WorkflowSpec,
     /// Data couplings between the apps.
     pub couplings: Vec<CouplingSpec>,
+    /// Standing queries layered over the couplings.
+    pub subscriptions: Vec<SubscriptionSpec>,
     /// Stencil halo width for intra-application exchanges.
     pub halo: u64,
     /// Bytes per field element.
@@ -73,6 +100,23 @@ impl Scenario {
         self.couplings
             .iter()
             .find(|c| c.consumer_apps.contains(&consumer))
+    }
+
+    /// The standing queries held by `subscriber`.
+    pub fn subscriptions_of(&self, subscriber: u32) -> Vec<&SubscriptionSpec> {
+        self.subscriptions
+            .iter()
+            .filter(|s| s.subscriber_app == subscriber)
+            .collect()
+    }
+
+    /// The coupling a subscription rides (same variable, same producer).
+    /// Subscriptions are validated to have one, so this only returns
+    /// `None` for hand-built scenarios that skipped validation.
+    pub fn coupling_of_subscription(&self, sub: &SubscriptionSpec) -> Option<&CouplingSpec> {
+        self.couplings
+            .iter()
+            .find(|c| c.var == sub.var && c.producer_app == sub.producer_app)
     }
 }
 
@@ -268,6 +312,7 @@ pub fn concurrent_scenario_with_grids(
             concurrent: true,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 2,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
@@ -329,6 +374,7 @@ pub fn sequential_scenario_with_grids(
             concurrent: false,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 2,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),

@@ -62,6 +62,12 @@ pub struct ThreadedConfig {
     /// Run epoch salting the DataSpace/BufferRegistry/DHT key space
     /// (see `CodsConfig::key_epoch`). 0 = standalone run, no salting.
     pub key_epoch: u64,
+    /// In a distributed run, the node this process executes tasks for:
+    /// subscription sinks are attached only for subscriber clients that
+    /// live on this node (remote subscribers get registry-only entries
+    /// fed over the wire). `None` — the single-process executors — hosts
+    /// every sink locally.
+    pub local_node: Option<u32>,
 }
 
 impl Default for ThreadedConfig {
@@ -71,6 +77,7 @@ impl Default for ThreadedConfig {
             injector: FaultInjector::none(),
             flight: FlightRecorder::disabled(),
             key_epoch: 0,
+            local_node: None,
         }
     }
 }

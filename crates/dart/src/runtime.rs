@@ -7,6 +7,7 @@ use insitu_fabric::{
     ClientId, FaultAction, FaultInjector, Locality, Placement, TrafficClass, TransferLedger,
 };
 use insitu_obs::{Event, EventKind, FlightRecorder};
+use insitu_sub::SubRegistry;
 use insitu_telemetry::{Counter, Histogram, Recorder};
 use insitu_util::channel::Sender;
 use insitu_util::Bytes;
@@ -28,6 +29,7 @@ pub struct DartRuntime {
     senders: Vec<Sender<Msg>>,
     mailboxes: Vec<Mutex<Option<Mailbox>>>,
     registry: BufferRegistry,
+    subs: SubRegistry,
     recorder: Recorder,
     flight: FlightRecorder,
     injector: FaultInjector,
@@ -111,6 +113,7 @@ impl DartRuntime {
             senders,
             mailboxes: boxes.into_iter().map(|b| Mutex::new(Some(b))).collect(),
             registry: BufferRegistry::new(),
+            subs: SubRegistry::new(),
             injector,
             flight,
             wire,
@@ -135,6 +138,12 @@ impl DartRuntime {
     /// The one-sided buffer registry.
     pub fn registry(&self) -> &BufferRegistry {
         &self.registry
+    }
+
+    /// The standing-query subscription registry, sharded like the buffer
+    /// registry so producers of unrelated variables never contend.
+    pub fn subs(&self) -> &SubRegistry {
+        &self.subs
     }
 
     /// The telemetry recorder this runtime was built with (disabled by

@@ -105,6 +105,17 @@ pub trait FaultHooks: Send + Sync {
         let _ = (node, segment);
         false
     }
+
+    /// Intercept one standing-query push fragment (producer-piece ∩
+    /// subscription overlap) before it is delivered or sent. Sited in
+    /// the shared put path — before the transport split — so a dropped
+    /// fragment surfaces identically in single-process and distributed
+    /// runs: the subscriber sees a gap and heals it through the
+    /// lag/resync protocol. Only [`FaultAction::Drop`] is honored.
+    fn on_sub_push(&self, var: u64, version: u64, subscriber: ClientId, piece: u64) -> FaultAction {
+        let _ = (var, version, subscriber, piece);
+        FaultAction::Proceed
+    }
 }
 
 /// A cheaply cloneable, optionally-empty handle to a [`FaultHooks`]
@@ -190,6 +201,20 @@ impl FaultInjector {
             None => false,
         }
     }
+
+    /// See [`FaultHooks::on_sub_push`].
+    pub fn on_sub_push(
+        &self,
+        var: u64,
+        version: u64,
+        subscriber: ClientId,
+        piece: u64,
+    ) -> FaultAction {
+        match &self.0 {
+            Some(h) => h.on_sub_push(var, version, subscriber, piece),
+            None => FaultAction::Proceed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +237,7 @@ mod tests {
             "inert injector never faults the wire"
         );
         assert!(!inj.shm_attach_fails(0, 1));
+        assert_eq!(inj.on_sub_push(1, 2, 3, 4), FaultAction::Proceed);
     }
 
     #[test]

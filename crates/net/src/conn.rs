@@ -74,6 +74,12 @@ pub struct NetMetrics {
     pub pull_hub: Counter,
     /// PullData frames staged on direct node↔node links (p2p topology).
     pub pull_p2p: Counter,
+    /// SubPush frames routed through the hub (star topology). Like
+    /// `pull_hub`, the p2p acceptance gate asserts this stays zero in
+    /// reactor mode.
+    pub sub_push_hub: Counter,
+    /// SubPush frames staged on direct node↔node links (p2p topology).
+    pub sub_push_p2p: Counter,
     /// Link-stall episodes declared by the service watchdog (no pull
     /// progress within its stall window, or p99 drift past its factor).
     pub link_stalls: Counter,
@@ -104,6 +110,8 @@ impl NetMetrics {
             reconnects: recorder.counter("net.reconnects"),
             pull_hub: recorder.counter("net.pull_frames_hub"),
             pull_p2p: recorder.counter("net.pull_frames_p2p"),
+            sub_push_hub: recorder.counter("net.sub_push_hub"),
+            sub_push_p2p: recorder.counter("net.sub_push_p2p"),
             link_stalls: recorder.counter("net.link_stalls"),
             shm_bytes: recorder.counter("net.shm_bytes"),
             shm_frames: recorder.counter("net.shm_frames"),

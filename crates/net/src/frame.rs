@@ -25,8 +25,10 @@ use std::io::{Read, Write};
 /// (`Telemetry`/`TelemetryAck`), live run streaming (`Watch`/
 /// `Progress`) and the `RunSummary` link-health fields; version 5
 /// added the intra-host shared-memory data plane (`Hello::host`,
-/// `Welcome::hosts`, `ShmOffer`/`ShmAck`/`ShmDoorbell`).
-pub const WIRE_VERSION: u8 = 5;
+/// `Welcome::hosts`, `ShmOffer`/`ShmAck`/`ShmDoorbell`); version 6
+/// added the standing-query plane (`Subscribe`/`SubAck`/`SubPush`/
+/// `SubCancel`/`SubLagged`).
+pub const WIRE_VERSION: u8 = 6;
 
 /// Upper bound on `len`: rejects absurd length words before any
 /// allocation happens (a 256 MiB frame comfortably fits the largest
@@ -367,6 +369,10 @@ pub enum Frame {
         strategy: String,
         /// Get timeout the run's replicas must use, in milliseconds.
         get_timeout_ms: u64,
+        /// Admission priority: a higher value is queued ahead of every
+        /// lower one, first-come-first-served within a level. 0 (the
+        /// default) is plain FIFO.
+        priority: u32,
     },
     /// Service → client: the run was accepted and queued.
     Submitted {
@@ -500,6 +506,12 @@ pub enum Frame {
         /// Bytes staged on the run's wire send paths, not yet flushed
         /// (`net.bytes_in_flight`); 0 for in-process runs.
         queue_depth: u64,
+        /// Standing queries currently registered (`sub.active`).
+        sub_active: u64,
+        /// Subscription fragments pushed so far (`sub.pushes`).
+        sub_pushes: u64,
+        /// Deliveries lost to subscriber queue overflow (`sub.lagged`).
+        sub_lagged: u64,
         /// Link-stall episodes the watchdog has counted so far.
         link_stalls: u64,
         /// Structured health events recorded so far, oldest first.
@@ -559,6 +571,75 @@ pub enum Frame {
         /// Ring head sequence after the publish.
         seq: u64,
     },
+    /// Joiner → hub (control plane): register a standing query on every
+    /// replica. The hub broadcasts it to all nodes except the origin
+    /// and answers the origin with `SubAck`. Idempotent by `sub_id`
+    /// (the spec-deterministic `SubSpec::id`), so re-registration after
+    /// a reconnect is harmless.
+    Subscribe {
+        /// Deterministic subscription id.
+        sub_id: u64,
+        /// Variable key (epoch-salted).
+        var: u64,
+        /// Push stride: every `every_k`-th version.
+        every_k: u64,
+        /// Subscribing execution client.
+        subscriber: u32,
+        /// Watched-region lower corner, one per dimension.
+        lbs: Vec<u64>,
+        /// Watched-region upper corner, matching `lbs`.
+        ubs: Vec<u64>,
+    },
+    /// Hub → origin node: the `Subscribe` was broadcast; producers on
+    /// every replica now feed the query. Registration rendezvous for
+    /// the subscriber task.
+    SubAck {
+        /// Acknowledged subscription.
+        sub_id: u64,
+        /// Node the ack is addressed to (the subscriber's node).
+        to_node: u32,
+    },
+    /// Producer → subscriber: one pushed fragment (producer piece ∩
+    /// subscription region) of a matching version. Deliberately NOT
+    /// data plane (it must not count toward the pull routing gates)
+    /// and NOT wire-fault-eligible: the chaos `sub-push` site fires in
+    /// the shared put path before the transport split, so a seed drops
+    /// the same fragments whether or not a wire is involved.
+    SubPush {
+        /// Target subscription.
+        sub_id: u64,
+        /// Variable key (epoch-salted).
+        var: u64,
+        /// Pushed version.
+        version: u64,
+        /// Producing client.
+        src: u32,
+        /// Subscribing client (routing key: `subscriber / cores_per_node`).
+        subscriber: u32,
+        /// Fragment lower corner, one per dimension.
+        lbs: Vec<u64>,
+        /// Fragment upper corner, matching `lbs`.
+        ubs: Vec<u64>,
+        /// Fragment payload (f64 cells, little-endian bytes).
+        data: Vec<u8>,
+    },
+    /// Joiner → hub (control plane): tear down a standing query on
+    /// every replica. Broadcast to all nodes except the origin.
+    SubCancel {
+        /// Subscription to cancel.
+        sub_id: u64,
+    },
+    /// Joiner → hub (diagnostics): the subscriber's bounded queue
+    /// dropped `version`. The hub only counts these — gap healing is
+    /// the subscriber's resync `get`, which needs no frame.
+    SubLagged {
+        /// Lagging subscription.
+        sub_id: u64,
+        /// Version lost to the bounded queue.
+        version: u64,
+        /// Subscribing client.
+        subscriber: u32,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -596,6 +677,13 @@ const KIND_PROGRESS: u8 = 28;
 const KIND_SHM_OFFER: u8 = 29;
 const KIND_SHM_ACK: u8 = 30;
 const KIND_SHM_DOORBELL: u8 = 31;
+const KIND_SUBSCRIBE: u8 = 32;
+const KIND_SUB_ACK: u8 = 33;
+/// The standing-query push kind byte, exposed so routing counters and
+/// tests can name the frame without decoding.
+pub const KIND_SUB_PUSH: u8 = 34;
+const KIND_SUB_CANCEL: u8 = 35;
+const KIND_SUB_LAGGED: u8 = 36;
 
 impl Frame {
     /// The kind byte this frame encodes with.
@@ -632,6 +720,11 @@ impl Frame {
             Frame::ShmOffer { .. } => KIND_SHM_OFFER,
             Frame::ShmAck { .. } => KIND_SHM_ACK,
             Frame::ShmDoorbell { .. } => KIND_SHM_DOORBELL,
+            Frame::Subscribe { .. } => KIND_SUBSCRIBE,
+            Frame::SubAck { .. } => KIND_SUB_ACK,
+            Frame::SubPush { .. } => KIND_SUB_PUSH,
+            Frame::SubCancel { .. } => KIND_SUB_CANCEL,
+            Frame::SubLagged { .. } => KIND_SUB_LAGGED,
         }
     }
 
@@ -813,12 +906,14 @@ impl Frame {
                 config,
                 strategy,
                 get_timeout_ms,
+                priority,
             } => {
                 put_str(&mut p, name);
                 put_str(&mut p, dag);
                 put_str(&mut p, config);
                 put_str(&mut p, strategy);
                 put_u64(&mut p, *get_timeout_ms);
+                put_u32(&mut p, *priority);
             }
             Frame::Submitted { run, queued_ahead } => {
                 put_u64(&mut p, *run);
@@ -906,6 +1001,9 @@ impl Frame {
                 pulls_in_flight,
                 bytes_in_flight,
                 queue_depth,
+                sub_active,
+                sub_pushes,
+                sub_lagged,
                 link_stalls,
                 health,
             } => {
@@ -923,6 +1021,9 @@ impl Frame {
                 put_u64(&mut p, *pulls_in_flight);
                 put_u64(&mut p, *bytes_in_flight);
                 put_u64(&mut p, *queue_depth);
+                put_u64(&mut p, *sub_active);
+                put_u64(&mut p, *sub_pushes);
+                put_u64(&mut p, *sub_lagged);
                 put_u64(&mut p, *link_stalls);
                 put_strs(&mut p, health);
             }
@@ -964,6 +1065,54 @@ impl Frame {
                 put_u32(&mut p, *dst_node);
                 put_u64(&mut p, *segment);
                 put_u64(&mut p, *seq);
+            }
+            Frame::Subscribe {
+                sub_id,
+                var,
+                every_k,
+                subscriber,
+                lbs,
+                ubs,
+            } => {
+                put_u64(&mut p, *sub_id);
+                put_u64(&mut p, *var);
+                put_u64(&mut p, *every_k);
+                put_u32(&mut p, *subscriber);
+                put_u64s(&mut p, lbs);
+                put_u64s(&mut p, ubs);
+            }
+            Frame::SubAck { sub_id, to_node } => {
+                put_u64(&mut p, *sub_id);
+                put_u32(&mut p, *to_node);
+            }
+            Frame::SubPush {
+                sub_id,
+                var,
+                version,
+                src,
+                subscriber,
+                lbs,
+                ubs,
+                data,
+            } => {
+                put_u64(&mut p, *sub_id);
+                put_u64(&mut p, *var);
+                put_u64(&mut p, *version);
+                put_u32(&mut p, *src);
+                put_u32(&mut p, *subscriber);
+                put_u64s(&mut p, lbs);
+                put_u64s(&mut p, ubs);
+                put_bytes(&mut p, data);
+            }
+            Frame::SubCancel { sub_id } => put_u64(&mut p, *sub_id),
+            Frame::SubLagged {
+                sub_id,
+                version,
+                subscriber,
+            } => {
+                put_u64(&mut p, *sub_id);
+                put_u64(&mut p, *version);
+                put_u32(&mut p, *subscriber);
             }
         }
         let mut out = Vec::with_capacity(6 + p.len());
@@ -1099,6 +1248,7 @@ impl Frame {
                 config: c.str()?,
                 strategy: c.str()?,
                 get_timeout_ms: c.u64()?,
+                priority: c.u32()?,
             },
             KIND_SUBMITTED => Frame::Submitted {
                 run: c.u64()?,
@@ -1220,6 +1370,9 @@ impl Frame {
                 pulls_in_flight: c.u64()?,
                 bytes_in_flight: c.u64()?,
                 queue_depth: c.u64()?,
+                sub_active: c.u64()?,
+                sub_pushes: c.u64()?,
+                sub_lagged: c.u64()?,
                 link_stalls: c.u64()?,
                 health: c.strs()?,
             },
@@ -1247,6 +1400,34 @@ impl Frame {
                 dst_node: c.u32()?,
                 segment: c.u64()?,
                 seq: c.u64()?,
+            },
+            KIND_SUBSCRIBE => Frame::Subscribe {
+                sub_id: c.u64()?,
+                var: c.u64()?,
+                every_k: c.u64()?,
+                subscriber: c.u32()?,
+                lbs: c.u64s()?,
+                ubs: c.u64s()?,
+            },
+            KIND_SUB_ACK => Frame::SubAck {
+                sub_id: c.u64()?,
+                to_node: c.u32()?,
+            },
+            KIND_SUB_PUSH => Frame::SubPush {
+                sub_id: c.u64()?,
+                var: c.u64()?,
+                version: c.u64()?,
+                src: c.u32()?,
+                subscriber: c.u32()?,
+                lbs: c.u64s()?,
+                ubs: c.u64s()?,
+                data: c.bytes()?,
+            },
+            KIND_SUB_CANCEL => Frame::SubCancel { sub_id: c.u64()? },
+            KIND_SUB_LAGGED => Frame::SubLagged {
+                sub_id: c.u64()?,
+                version: c.u64()?,
+                subscriber: c.u32()?,
             },
             other => return Err(FrameError::BadKind(other)),
         };
@@ -1439,6 +1620,8 @@ const EK_PULL: u8 = 7;
 const EK_FAULT: u8 = 8;
 const EK_NET_SEND: u8 = 9;
 const EK_NET_RECV: u8 = 10;
+const EK_SUB_PUSH: u8 = 11;
+const EK_SUB_DELIVER: u8 = 12;
 
 /// Map a fault slug read off the wire back to the `&'static str` the
 /// event schema carries. Slugs name the chaos fault kinds; an unknown
@@ -1456,6 +1639,7 @@ fn intern_fault_slug(slug: &str) -> &'static str {
         "net-recv" => "net-recv",
         "net-telemetry" => "net-telemetry",
         "shm-attach" => "shm-attach",
+        "sub-push" => "sub-push",
         _ => "fault",
     }
 }
@@ -1484,6 +1668,8 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
         }
         EventKind::NetSend => out.push(EK_NET_SEND),
         EventKind::NetRecv => out.push(EK_NET_RECV),
+        EventKind::SubPush => out.push(EK_SUB_PUSH),
+        EventKind::SubDeliver => out.push(EK_SUB_DELIVER),
     }
     put_u32(out, e.app);
     put_u64(out, e.var);
@@ -1592,6 +1778,8 @@ impl Cursor<'_> {
             },
             EK_NET_SEND => EventKind::NetSend,
             EK_NET_RECV => EventKind::NetRecv,
+            EK_SUB_PUSH => EventKind::SubPush,
+            EK_SUB_DELIVER => EventKind::SubDeliver,
             _ => return Err(FrameError::BadPayload("event kind index")),
         };
         let mut e = Event::new(seq, kind);
@@ -1799,6 +1987,7 @@ mod tests {
                 config: arb_string(rng, 200),
                 strategy: arb_string(rng, 16),
                 get_timeout_ms: rng.next_u64(),
+                priority: rng.range_u32(0, 8),
             },
             Frame::Submitted {
                 run: rng.next_u64(),
@@ -1868,6 +2057,9 @@ mod tests {
                 pulls_in_flight: rng.range_u64(0, 64),
                 bytes_in_flight: rng.next_u64(),
                 queue_depth: rng.range_u64(0, 1024),
+                sub_active: rng.range_u64(0, 64),
+                sub_pushes: rng.next_u64(),
+                sub_lagged: rng.range_u64(0, 64),
                 link_stalls: rng.range_u64(0, 8),
                 health: (0..rng.range_usize(0, 3))
                     .map(|_| arb_string(rng, 40))
@@ -1894,6 +2086,36 @@ mod tests {
                 segment: rng.next_u64(),
                 seq: rng.next_u64(),
             },
+            Frame::Subscribe {
+                sub_id: rng.next_u64(),
+                var: rng.next_u64(),
+                every_k: rng.range_u64(1, 16),
+                subscriber: rng.range_u32(0, 256),
+                lbs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+                ubs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+            },
+            Frame::SubAck {
+                sub_id: rng.next_u64(),
+                to_node: rng.range_u32(0, 64),
+            },
+            Frame::SubPush {
+                sub_id: rng.next_u64(),
+                var: rng.next_u64(),
+                version: rng.range_u64(0, 1024),
+                src: rng.range_u32(0, 256),
+                subscriber: rng.range_u32(0, 256),
+                lbs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+                ubs: (0..rng.range_usize(1, 4)).map(|_| rng.next_u64()).collect(),
+                data: arb_bytes(rng, 128),
+            },
+            Frame::SubCancel {
+                sub_id: rng.next_u64(),
+            },
+            Frame::SubLagged {
+                sub_id: rng.next_u64(),
+                version: rng.range_u64(0, 1024),
+                subscriber: rng.range_u32(0, 256),
+            },
         ]
     }
 
@@ -1912,7 +2134,7 @@ mod tests {
     }
 
     fn arb_event(rng: &mut SplitMix64) -> Event {
-        let kind = match rng.range_u32(0, 12) {
+        let kind = match rng.range_u32(0, 14) {
             0 => EventKind::Put { indexed: false },
             1 => EventKind::Put { indexed: true },
             2 => EventKind::Get { cont: false },
@@ -1930,7 +2152,9 @@ mod tests {
                 kind: "net-telemetry",
             },
             10 => EventKind::NetSend,
-            _ => EventKind::NetRecv,
+            11 => EventKind::NetRecv,
+            12 => EventKind::SubPush,
+            _ => EventKind::SubDeliver,
         };
         let mut e = Event::new(rng.range_u64(1, 1 << 40), kind);
         if rng.bool() {
@@ -2332,6 +2556,46 @@ mod tests {
             arena_bytes: 1 << 23,
         };
         assert!(!offer.is_data_plane() && !offer.fault_eligible());
+        // A standing-query push is NOT data plane (it must not count
+        // toward the pull routing gates) and NOT wire-fault-eligible:
+        // the chaos `sub-push` site fires in the shared put path, so a
+        // seed drops the same fragments with or without a wire.
+        let push = Frame::SubPush {
+            sub_id: 0xfeed,
+            var: 9,
+            version: 4,
+            src: 1,
+            subscriber: 6,
+            lbs: vec![0, 0],
+            ubs: vec![3, 3],
+            data: vec![0; 16],
+        };
+        assert!(!push.is_data_plane());
+        assert!(!push.fault_eligible());
+        assert_eq!(push.kind(), KIND_SUB_PUSH);
+        let sub = Frame::Subscribe {
+            sub_id: 0xfeed,
+            var: 9,
+            every_k: 2,
+            subscriber: 6,
+            lbs: vec![0],
+            ubs: vec![7],
+        };
+        assert!(!sub.is_data_plane() && !sub.fault_eligible());
+        assert!(
+            !Frame::SubCancel { sub_id: 1 }.fault_eligible()
+                && !Frame::SubAck {
+                    sub_id: 1,
+                    to_node: 0
+                }
+                .fault_eligible()
+                && !Frame::SubLagged {
+                    sub_id: 1,
+                    version: 0,
+                    subscriber: 2
+                }
+                .fault_eligible()
+        );
     }
 
     #[test]

@@ -94,6 +94,9 @@ struct Inner {
     /// Diagnostics from `PutNotify`: announced registrations and bytes.
     puts_announced: u64,
     put_bytes_announced: u64,
+    /// Diagnostics from `SubLagged`: versions subscribers lost to their
+    /// bounded queues across the run.
+    subs_lagged_announced: u64,
     /// Flight-recorder shipments, accumulating per node until the
     /// `last` batch marks a trace complete.
     telemetry: HashMap<u32, NodeTelemetry>,
@@ -452,6 +455,11 @@ impl Hub {
         (inner.puts_announced, inner.put_bytes_announced)
     }
 
+    /// Versions announced lost to bounded subscriber queues (`SubLagged`).
+    pub fn subs_lagged(&self) -> u64 {
+        self.shared.inner.lock().unwrap().subs_lagged_announced
+    }
+
     /// Connection-level failures recorded so far.
     pub fn failures(&self) -> Vec<String> {
         self.shared.inner.lock().unwrap().failures.clone()
@@ -565,6 +573,39 @@ fn route(
                     tx.send_to(n, frame.clone());
                 }
             }
+        }
+        Frame::Subscribe { sub_id, .. } => {
+            // Replicate the standing query everywhere, then release the
+            // origin's registration rendezvous with an ack.
+            for n in 0..shared.nodes {
+                if n != node {
+                    tx.send_to(n, frame.clone());
+                }
+            }
+            tx.send_to(
+                node,
+                Frame::SubAck {
+                    sub_id,
+                    to_node: node,
+                },
+            );
+        }
+        Frame::SubCancel { .. } => {
+            for n in 0..shared.nodes {
+                if n != node {
+                    tx.send_to(n, frame.clone());
+                }
+            }
+        }
+        Frame::SubPush { subscriber, .. } => {
+            // Push plane through the control plane. Expected in star
+            // mode; the p2p acceptance gate asserts this counter stays
+            // zero in reactor mode.
+            metrics.sub_push_hub.inc();
+            tx.send_to(subscriber / cores_per_node, frame);
+        }
+        Frame::SubLagged { .. } => {
+            shared.inner.lock().unwrap().subs_lagged_announced += 1;
         }
         Frame::PutNotify { bytes, .. } => {
             let mut inner = shared.inner.lock().unwrap();

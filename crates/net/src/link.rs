@@ -41,6 +41,7 @@ use insitu_dart::{BufKey, DartRuntime, Msg};
 use insitu_domain::BoundingBox;
 use insitu_fabric::{ClientId, FaultInjector};
 use insitu_obs::{Event, EventKind, FlightRecorder, LinkClass};
+use insitu_sub::{SubId, SubSpec};
 use insitu_util::channel::{unbounded, Receiver, Sender};
 use insitu_util::shm::{self, MapRegion, PushError, RecordDesc, Ring, RingMem, ShmMap};
 use insitu_util::Bytes;
@@ -662,6 +663,62 @@ impl NetLink {
             }
             Frame::GetDone { var, version } => space.apply_remote_get_done(var, version),
             Frame::Evict { var, version } => space.apply_remote_evict(var, version),
+            Frame::Subscribe {
+                var,
+                every_k,
+                subscriber,
+                lbs,
+                ubs,
+                ..
+            } => {
+                space.apply_remote_subscribe(&SubSpec {
+                    vid: var,
+                    region: BoundingBox::new(&lbs, &ubs),
+                    every_k,
+                    subscriber,
+                });
+            }
+            Frame::SubAck { .. } => {
+                // Registration acknowledgement, for protocol symmetry
+                // only: the registration race (a put landing before the
+                // Subscribe broadcast) is healed by the subscriber's
+                // deadline-driven resync, not by waiting on this ack.
+            }
+            Frame::SubCancel { sub_id } => space.apply_remote_sub_cancel(sub_id),
+            Frame::SubPush {
+                sub_id,
+                var,
+                version,
+                src,
+                subscriber,
+                lbs,
+                ubs,
+                data,
+            } => {
+                let flight = self.flight();
+                let t0 = flight.now_us();
+                let frag = BoundingBox::new(&lbs, &ubs);
+                let bytes = data.len() as u64;
+                space.apply_remote_sub_push(sub_id, version, &frag, &data);
+                // The recv half of the push's wire hop; the merge pairs
+                // it with the producer side's NetSend by
+                // (src, dst, var, version, piece = sub id).
+                flight.record(
+                    Event::new(flight.next_seq(), EventKind::NetRecv)
+                        .var(var)
+                        .version(version)
+                        .piece(sub_id)
+                        .src(src)
+                        .dst(subscriber)
+                        .link(LinkClass::Rdma)
+                        .bytes(bytes)
+                        .window(t0, flight.now_us().saturating_sub(t0).max(1)),
+                );
+            }
+            Frame::SubLagged { .. } => {
+                // Lag announcements are hub-side diagnostics; one
+                // echoed down to a joiner is harmless.
+            }
             Frame::RunWave { wave } => {
                 if let Some(ctl) = ctl {
                     let _ = ctl.send(Ctl::RunWave(wave));
@@ -1202,5 +1259,81 @@ impl SpaceMirror for NetLink {
 
     fn evict(&self, var: u64, version: u64) {
         self.hub.send(Frame::Evict { var, version });
+    }
+
+    fn sub_open(&self, spec: &SubSpec) {
+        let nd = spec.region.ndim();
+        self.hub.send(Frame::Subscribe {
+            sub_id: spec.id(),
+            var: spec.vid,
+            every_k: spec.every_k,
+            subscriber: spec.subscriber,
+            lbs: (0..nd).map(|d| spec.region.lb(d)).collect(),
+            ubs: (0..nd).map(|d| spec.region.ub(d)).collect(),
+        });
+    }
+
+    fn sub_cancel(&self, id: SubId) {
+        self.hub.send(Frame::SubCancel { sub_id: id });
+    }
+
+    fn sub_push(
+        &self,
+        id: SubId,
+        var: u64,
+        version: u64,
+        src: ClientId,
+        subscriber: ClientId,
+        frag: &BoundingBox,
+        data: &[u8],
+    ) {
+        let nd = frag.ndim();
+        let frame = Frame::SubPush {
+            sub_id: id,
+            var,
+            version,
+            src,
+            subscriber,
+            lbs: (0..nd).map(|d| frag.lb(d)).collect(),
+            ubs: (0..nd).map(|d| frag.ub(d)).collect(),
+            data: data.to_vec(),
+        };
+        // Record the send half before the bytes become observable
+        // remotely, mirroring the pull path's ordering guarantee.
+        let flight = self.flight();
+        let t0 = flight.now_us();
+        flight.record(
+            Event::new(flight.next_seq(), EventKind::NetSend)
+                .var(var)
+                .version(version)
+                .piece(id)
+                .src(src)
+                .dst(subscriber)
+                .link(LinkClass::Rdma)
+                .bytes(data.len() as u64)
+                .window(t0, 1),
+        );
+        if self.peers.is_some() {
+            // P2p: straight to the subscriber's node, dialing on first
+            // use; the hub stays control-only. A failed dial is a lost
+            // push — the subscriber's deadline fires and it resyncs
+            // with an ordinary get, so the loss is always healable.
+            if let Ok(token) = self.ensure_peer(subscriber / self.cores_per_node) {
+                if let HubTx::P2p(handle, _) = &self.hub {
+                    self.metrics.sub_push_p2p.inc();
+                    handle.send(token, frame);
+                }
+            }
+            return;
+        }
+        self.hub.send(frame);
+    }
+
+    fn sub_lagged(&self, id: SubId, version: u64, subscriber: ClientId) {
+        self.hub.send(Frame::SubLagged {
+            sub_id: id,
+            version,
+            subscriber,
+        });
     }
 }

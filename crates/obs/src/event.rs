@@ -91,6 +91,15 @@ pub enum EventKind {
     /// on the sending process — the stitched edge that lets causal
     /// chains span process boundaries.
     NetRecv,
+    /// A standing-query push fragment left the producer's put path
+    /// toward a subscriber (`src` = producing client, `dst` =
+    /// subscribing client, `piece` = subscription id). Parented to the
+    /// originating [`EventKind::Put`], so put→push→deliver chains
+    /// render as one causal tree.
+    SubPush,
+    /// A subscriber's sink completed assembly of one pushed version
+    /// (`dst` = subscribing client, `piece` = subscription id).
+    SubDeliver,
 }
 
 impl EventKind {
@@ -108,6 +117,8 @@ impl EventKind {
             EventKind::Fault { .. } => "obs.fault",
             EventKind::NetSend => "obs.net_send",
             EventKind::NetRecv => "obs.net_recv",
+            EventKind::SubPush => "obs.sub_push",
+            EventKind::SubDeliver => "obs.sub_deliver",
         }
     }
 }
@@ -266,7 +277,9 @@ impl Event {
     /// gets/pulls, the producer for puts, 0 otherwise.
     pub fn track(&self) -> u64 {
         match self.kind {
-            EventKind::Put { .. } | EventKind::NetSend => self.src.unwrap_or(0) as u64,
+            EventKind::Put { .. } | EventKind::NetSend | EventKind::SubPush => {
+                self.src.unwrap_or(0) as u64
+            }
             _ => self.dst.or(self.src).unwrap_or(0) as u64,
         }
     }

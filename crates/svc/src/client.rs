@@ -59,7 +59,8 @@ impl RpcClient {
         }
     }
 
-    /// Submit a workflow; returns `(run id, runs queued ahead)`.
+    /// Submit a workflow at the default (lowest) priority; returns
+    /// `(run id, runs queued ahead)`.
     pub fn submit(
         &mut self,
         name: &str,
@@ -68,12 +69,28 @@ impl RpcClient {
         strategy: &str,
         get_timeout: Duration,
     ) -> Result<(u64, u32), String> {
+        self.submit_with_priority(name, dag, config, strategy, get_timeout, 0)
+    }
+
+    /// Submit a workflow with an admission priority: a higher value is
+    /// queued ahead of every lower one, first-come-first-served within
+    /// a level.
+    pub fn submit_with_priority(
+        &mut self,
+        name: &str,
+        dag: &str,
+        config: &str,
+        strategy: &str,
+        get_timeout: Duration,
+        priority: u32,
+    ) -> Result<(u64, u32), String> {
         match self.call(&Frame::Submit {
             name: name.to_string(),
             dag: dag.to_string(),
             config: config.to_string(),
             strategy: strategy.to_string(),
             get_timeout_ms: get_timeout.as_millis() as u64,
+            priority,
         })? {
             Frame::Submitted { run, queued_ahead } => Ok((run, queued_ahead)),
             other => Err(unexpected("Submitted", &other)),

@@ -126,6 +126,9 @@ struct ProgressSample {
     pulls_in_flight: u64,
     bytes_in_flight: u64,
     queue_depth: u64,
+    sub_active: u64,
+    sub_pushes: u64,
+    sub_lagged: u64,
 }
 
 /// One submitted run's registry entry.
@@ -136,6 +139,12 @@ struct RunEntry {
     strategy: MappingStrategy,
     get_timeout: Duration,
     nodes: u32,
+    /// Admission priority: higher values are queued ahead of lower
+    /// ones, first-come-first-served within a level.
+    priority: u32,
+    /// Admission order stamp (0-based), set when the scheduler admits
+    /// the run; `None` while queued or refused.
+    admitted_seq: Option<u64>,
     state: RunState,
     detail: String,
     cancel: Arc<AtomicBool>,
@@ -178,6 +187,9 @@ impl RunEntry {
             pulls_in_flight: p.pulls_in_flight,
             bytes_in_flight: p.bytes_in_flight,
             queue_depth: p.queue_depth,
+            sub_active: p.sub_active,
+            sub_pushes: p.sub_pushes,
+            sub_lagged: p.sub_lagged,
             link_stalls: self.link_stalls,
             health: self.health.clone(),
         }
@@ -189,8 +201,12 @@ struct State {
     /// All runs ever submitted; `RunId = index + 1` (ids are 1-based so
     /// a run's key epoch is never the no-salt epoch 0).
     runs: Vec<RunEntry>,
-    /// Queued run ids, admission order.
+    /// Queued run ids, admission order: descending priority, FIFO
+    /// within a level (`submit` inserts behind the last entry of equal
+    /// or higher priority, so the head is always the next run due).
     queue: VecDeque<u64>,
+    /// Runs admitted so far; stamps `RunEntry::admitted_seq`.
+    admissions: u64,
     /// Runs currently executing.
     running: usize,
     /// Pool nodes not reserved by an executing run.
@@ -264,6 +280,7 @@ impl Service {
             state: Mutex::new(State {
                 runs: Vec::new(),
                 queue: VecDeque::new(),
+                admissions: 0,
                 running: 0,
                 free_nodes: cfg.pool_nodes,
                 stopping: false,
@@ -406,8 +423,11 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                 return;
             }
             let id = st.queue.pop_front().expect("admissible queue head");
+            let seq = st.admissions;
+            st.admissions += 1;
             let e = &mut st.runs[id as usize - 1];
             e.state = RunState::Running;
+            e.admitted_seq = Some(seq);
             let nodes = e.nodes;
             st.running += 1;
             st.free_nodes -= nodes;
@@ -656,6 +676,9 @@ fn sample_run(recorder: &Recorder, flights: &[FlightRecorder]) -> (ProgressSampl
         pulls_in_flight: gauge("net.pulls_in_flight"),
         bytes_in_flight: gauge("cods.staging_bytes"),
         queue_depth: gauge("net.bytes_in_flight"),
+        sub_active: gauge("sub.active"),
+        sub_pushes: snap.counter("sub.pushes"),
+        sub_lagged: snap.counter("sub.lagged"),
     };
     (sample, [waits[0].len() as u64, waits[1].len() as u64])
 }
@@ -867,7 +890,16 @@ fn handle_rpc(request: Frame, shared: &Arc<Shared>) -> Frame {
             config,
             strategy,
             get_timeout_ms,
-        } => submit(shared, name, dag, config, &strategy, get_timeout_ms),
+            priority,
+        } => submit(
+            shared,
+            name,
+            dag,
+            config,
+            &strategy,
+            get_timeout_ms,
+            priority,
+        ),
         Frame::Cancel { run } => cancel(shared, run),
         Frame::Status { run } => with_run(shared, run, |e, id| Frame::RunStatus(e.summary(id))),
         Frame::ListRuns => {
@@ -912,6 +944,7 @@ fn submit(
     config: String,
     strategy: &str,
     get_timeout_ms: u64,
+    priority: u32,
 ) -> Frame {
     let refuse = |message: String| Frame::RpcErr { message };
     let Some(strategy) = MappingStrategy::from_label(strategy) else {
@@ -957,6 +990,8 @@ fn submit(
         strategy,
         get_timeout: Duration::from_millis(get_timeout_ms.max(1)),
         nodes,
+        priority,
+        admitted_seq: None,
         state: RunState::Queued,
         detail: String::new(),
         cancel: Arc::new(AtomicBool::new(false)),
@@ -965,10 +1000,18 @@ fn submit(
         health: Vec::new(),
         progress: ProgressSample::default(),
     });
-    let queued_ahead = st.queue.len() as u32;
-    st.queue.push_back(id);
+    // Priority insertion: behind the last queued run of equal or higher
+    // priority, ahead of every lower one. Equal priorities stay FIFO,
+    // and the all-default case degenerates to a plain push_back.
+    let at = st
+        .queue
+        .iter()
+        .position(|&q| st.runs[q as usize - 1].priority < priority)
+        .unwrap_or(st.queue.len());
+    let queued_ahead = at as u32;
+    st.queue.insert(at, id);
     if shared.cfg.verbose {
-        println!("run {id}: submitted ({nodes} nodes, {queued_ahead} ahead)");
+        println!("run {id}: submitted ({nodes} nodes, priority {priority}, {queued_ahead} ahead)");
     }
     shared.sched.notify_all();
     Frame::Submitted {
@@ -1008,14 +1051,17 @@ mod tests {
     use insitu::{concurrent_scenario, pattern_pairs, run_threaded};
 
     /// A builder that maps any dag text except `"bad"` to the same
-    /// 8-producer/4-consumer scenario (2 nodes at 4 cores each).
+    /// 8-producer/4-consumer scenario (2 nodes at 4 cores each); the
+    /// dag text `"slow"` gets 30 iterations instead of 2, for tests
+    /// that need a run to reliably outlast a few RPC round-trips.
     fn fixed_builder() -> ScenarioBuilder {
         Arc::new(|dag, _config| {
             if dag == "bad" {
                 return Err("deliberately unparsable".into());
             }
-            let mut s =
-                concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[0]).with_iterations(2);
+            let iterations = if dag == "slow" { 30 } else { 2 };
+            let mut s = concurrent_scenario(4, 4, 4, pattern_pairs(&[2, 2, 1])[0])
+                .with_iterations(iterations);
             s.cores_per_node = 4;
             Ok(s)
         })
@@ -1119,6 +1165,47 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("queue is full"), "{err}");
         assert_eq!(client.status(run).unwrap().state, RunState::Queued);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn high_priority_run_overtakes_a_queued_low_priority_one() {
+        let (svc, mut client) = start(SvcConfig {
+            max_runs: 1,
+            pool_nodes: 2,
+            ..SvcConfig::default()
+        });
+        // A long run pins the single slot so the next submissions queue.
+        let (head, _) = client
+            .submit("head", "slow", "", "data-centric", Duration::from_secs(60))
+            .unwrap();
+        while client.status(head).unwrap().state == RunState::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (low, _) = client
+            .submit("low", "ok", "", "data-centric", Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(client.status(low).unwrap().state, RunState::Queued);
+        let (high, high_ahead) = client
+            .submit_with_priority("high", "ok", "", "data-centric", Duration::from_secs(60), 1)
+            .unwrap();
+        // Inserted ahead of the queued priority-0 run.
+        assert_eq!(high_ahead, 0, "high-priority run must go to the queue head");
+        for run in [head, low, high] {
+            let s = client.wait_terminal(run, Duration::from_secs(120)).unwrap();
+            assert_eq!(s.state, RunState::Done, "run {run}: {}", s.detail);
+        }
+        // The scheduler admitted the high-priority run before the
+        // earlier-submitted low-priority one.
+        let st = svc.shared.state.lock().unwrap();
+        let seq = |id: u64| st.runs[id as usize - 1].admitted_seq.unwrap();
+        assert!(
+            seq(high) < seq(low),
+            "admission order: high {} vs low {}",
+            seq(high),
+            seq(low)
+        );
+        drop(st);
         svc.shutdown();
     }
 

@@ -4,9 +4,9 @@
 //!
 //! The format is a deliberately small TOML subset (hand-rolled — the
 //! workspace is hermetic): single tables `[workflow]`, `[machine]` and
-//! `[params]`, array tables `[[app]]`, `[[coupling]]`, `[[bundle]]` and
-//! `[[edge]]`, and three value shapes — quoted strings, unsigned
-//! integers and flat arrays thereof.
+//! `[params]`, array tables `[[app]]`, `[[coupling]]`, `[[subscribe]]`,
+//! `[[bundle]]` and `[[edge]]`, and three value shapes — quoted strings,
+//! unsigned integers and flat arrays thereof.
 //!
 //! ```toml
 //! [workflow]
@@ -154,7 +154,7 @@ struct Doc {
 impl Doc {
     fn parse(source: &str) -> Result<Doc, AuthorError> {
         const SINGLE: [&str; 3] = ["workflow", "machine", "params"];
-        const ARRAY: [&str; 4] = ["app", "coupling", "bundle", "edge"];
+        const ARRAY: [&str; 5] = ["app", "coupling", "subscribe", "bundle", "edge"];
         let mut doc = Doc::default();
         let mut current: Option<&mut Table> = None;
         for (idx, raw) in source.lines().enumerate() {
@@ -458,6 +458,88 @@ pub fn compile_workflow(
         config.push_str(&line);
         config.push('\n');
     }
+    for s in doc
+        .arrays
+        .get("subscribe")
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
+        let at = s.first().map(|(_, _, l)| *l).unwrap_or(0);
+        let var = as_str(require(s, "var", "subscribe")?, "[[subscribe]] var")?;
+        let producer = as_int(
+            require(s, "producer", "subscribe")?,
+            "[[subscribe]] producer",
+        )?;
+        let subscriber = as_int(
+            require(s, "subscriber", "subscribe")?,
+            "[[subscribe]] subscriber",
+        )?;
+        let every = match get(s, "every") {
+            Some(v) => as_int(v, "[[subscribe]] every")?,
+            None => 1,
+        };
+        // The three classic authoring mistakes get pointed errors here,
+        // at the TOML layer, instead of line numbers into generated text.
+        if every == 0 {
+            return Err(err(
+                at,
+                "[[subscribe]] every must be at least 1: a stride of 0 would match no version",
+            ));
+        }
+        if !doc
+            .arrays
+            .get("coupling")
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .any(|c| {
+                get(c, "var").and_then(|v| as_str(v, "").ok()) == Some(var)
+                    && get(c, "producer").and_then(|v| as_int(v, "").ok()) == Some(producer)
+            })
+        {
+            return Err(err(
+                at,
+                format!(
+                    "[[subscribe]] references unknown variable '{var}' from producer {producer}: no [[coupling]] declares it"
+                ),
+            ));
+        }
+        let mut line = format!(
+            "SUBSCRIBE VAR {var} PRODUCER {producer} SUBSCRIBER {subscriber} EVERY {every}"
+        );
+        match (get(s, "region_lb"), get(s, "region_ub")) {
+            (Some(lb), Some(ub)) => {
+                let lb = as_ints(lb, "[[subscribe]] region_lb")?;
+                let ub = as_ints(ub, "[[subscribe]] region_ub")?;
+                if let Some(d) = (0..lb.len().min(ub.len())).find(|&d| lb[d] > ub[d]) {
+                    return Err(err(
+                        at,
+                        format!(
+                            "[[subscribe]] region is inverted in dimension {d}: lower bound {} exceeds upper bound {}",
+                            lb[d], ub[d]
+                        ),
+                    ));
+                }
+                line.push_str(&format!(
+                    " REGION {} UB {}",
+                    render_ints(&lb),
+                    render_ints(&ub)
+                ));
+            }
+            (None, None) => {}
+            _ => {
+                return Err(err(
+                    at,
+                    "region_lb and region_ub must be given together".to_string(),
+                ))
+            }
+        }
+        if let Some(v) = get(s, "queue") {
+            line.push_str(&format!(" QUEUE {}", as_int(v, "[[subscribe]] queue")?));
+        }
+        config.push_str(&line);
+        config.push('\n');
+    }
 
     Ok(AuthoredWorkflow { name, dag, config })
 }
@@ -601,6 +683,102 @@ child = 3
         )
         .unwrap_err();
         assert!(e.message.contains("region_lb and region_ub"), "{e}");
+    }
+
+    /// A valid base with one coupling, to which [[subscribe]] blocks are
+    /// appended by the golden tests below.
+    const SUB_BASE: &str = "\
+[machine]
+domain = [8, 8]
+[[app]]
+id = 1
+grid = [2, 2]
+[[app]]
+id = 2
+grid = [1, 1]
+[[coupling]]
+var = \"t\"
+producer = 1
+consumers = [2]
+";
+
+    #[test]
+    fn subscribe_compiles_to_a_subscribe_line() {
+        let w = compile_workflow(
+            &format!(
+                "{SUB_BASE}[[subscribe]]\nvar = \"t\"\nproducer = 1\nsubscriber = 2\nevery = 3\nqueue = 4\n"
+            ),
+            &[],
+        )
+        .unwrap();
+        assert!(
+            w.config
+                .contains("SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 2 EVERY 3 QUEUE 4"),
+            "{}",
+            w.config
+        );
+    }
+
+    #[test]
+    fn subscribe_every_defaults_to_one_and_region_renders() {
+        let w = compile_workflow(
+            &format!(
+                "{SUB_BASE}[[subscribe]]\nvar = \"t\"\nproducer = 1\nsubscriber = 2\nregion_lb = [0, 0]\nregion_ub = [3, 7]\n"
+            ),
+            &[],
+        )
+        .unwrap();
+        assert!(
+            w.config
+                .contains("SUBSCRIBE VAR t PRODUCER 1 SUBSCRIBER 2 EVERY 1 REGION 0 0 UB 3 7"),
+            "{}",
+            w.config
+        );
+    }
+
+    #[test]
+    fn subscribe_every_zero_rejected_with_pointed_error() {
+        let e = compile_workflow(
+            &format!(
+                "{SUB_BASE}[[subscribe]]\nvar = \"t\"\nproducer = 1\nsubscriber = 2\nevery = 0\n"
+            ),
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.line > 0, "error must point at the block: {e}");
+        assert!(e.message.contains("every must be at least 1"), "{e}");
+    }
+
+    #[test]
+    fn subscribe_inverted_region_rejected_with_pointed_error() {
+        let e = compile_workflow(
+            &format!(
+                "{SUB_BASE}[[subscribe]]\nvar = \"t\"\nproducer = 1\nsubscriber = 2\nregion_lb = [5, 0]\nregion_ub = [3, 7]\n"
+            ),
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.line > 0, "error must point at the block: {e}");
+        assert!(
+            e.message.contains("inverted in dimension 0")
+                && e.message.contains("lower bound 5 exceeds upper bound 3"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn subscribe_unknown_variable_rejected_with_pointed_error() {
+        let e = compile_workflow(
+            &format!("{SUB_BASE}[[subscribe]]\nvar = \"pressure\"\nproducer = 1\nsubscriber = 2\n"),
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.line > 0, "error must point at the block: {e}");
+        assert!(
+            e.message.contains("unknown variable 'pressure'")
+                && e.message.contains("no [[coupling]] declares it"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn main() {
             concurrent: false,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),

@@ -39,6 +39,17 @@ insitu chaos --seed 42 --cases 25 --faults standard > target/chaos-run-2.txt
 diff -u target/chaos-run-1.txt target/chaos-run-2.txt
 tail -n 1 target/chaos-run-1.txt
 
+# Subscription-plane chaos replay: the same pinned seed with the
+# sub-push drop fault forced high, so the generated standing-query
+# cases lose most pushes and must heal through resync gets. Run twice
+# and diffed — push/drop counters are part of the replay-stable set.
+echo "==> chaos push-drop replay (seed 42, sub-push:0.5, run twice, diff)"
+insitu chaos --seed 42 --cases 10 --faults sub-push:0.5 > target/chaos-sub-run-1.txt
+insitu chaos --seed 42 --cases 10 --faults sub-push:0.5 > target/chaos-sub-run-2.txt
+diff -u target/chaos-sub-run-1.txt target/chaos-sub-run-2.txt
+grep -q "sub-push=" target/chaos-sub-run-1.txt
+tail -n 1 target/chaos-sub-run-1.txt
+
 # Critical-path profile of the two-app *_cont example on the threaded
 # executor. The chrome trace (spans + put->pull flow arrows) is left in
 # target/ for the CI workflow to upload as an artifact.
@@ -96,7 +107,21 @@ echo "==> distributed loopback smoke, p2p data plane (--p2p)"
 insitu launch workflows/distrib.dag --config workflows/distrib.cfg \
     --procs 3 --p2p | tee target/launch-p2p-report.txt
 grep -q "byte-identical to the single-process run" target/launch-p2p-report.txt
-grep -q "p2p:       0 PullData frames through the hub" target/launch-p2p-report.txt
+grep -q "p2p:       0 PullData / 0 SubPush frames through the hub" target/launch-p2p-report.txt
+
+# Standing-query smoke: the monitor workflow couples a producer and a
+# consumer, plus a one-task monitor app holding a whole-domain
+# subscription pushed every other version. The subscriber role
+# byte-compares every pushed payload against a fresh per-version get
+# and fails the run on the first mismatch, and `launch` still asserts
+# ledger byte-identity vs the single-process rerun — so a passing run
+# certifies push == pull byte-for-byte. The census must show real
+# pushes and zero lagged queues.
+echo "==> standing-query smoke (workflows/monitor.toml, 1 server + 1 joiner)"
+insitu launch workflows/monitor.toml --procs 2 | tee target/launch-sub-report.txt
+grep -q "byte-identical to the single-process run" target/launch-sub-report.txt
+grep -Eq "^sub: +[1-9][0-9]* subscription\(s\), [1-9][0-9]* push\(es\), [1-9][0-9]* delivery\(ies\), 0 lagged" \
+    target/launch-sub-report.txt
 
 # Merged distributed telemetry: the round-robin placement forces
 # cross-node pulls, every joiner ships its flight recording to the hub,
@@ -128,6 +153,16 @@ echo "==> wire transport bench (star vs reactor, gated on pull p99)"
 BENCH_OUT_DIR=target NET_BENCH_GATE=1 cargo run -q $chaos_profile \
     -p insitu-bench --bin net_bench --offline
 test -s target/BENCH_net.json
+
+# Standing-query bench: push delivery vs poll-based discovery at 1, 4
+# and 8 subscribers over a paced 100-version stream. SUB_BENCH_GATE=1
+# fails the run unless push beats poll on median delivery latency at
+# >= 4 subscribers — the acceptance anchor that the subscription plane
+# removes the polling tax. The JSON lands in target/ for upload.
+echo "==> standing-query bench (push vs poll, gated at >= 4 subscribers)"
+BENCH_OUT_DIR=target SUB_BENCH_GATE=1 cargo run -q $chaos_profile \
+    -p insitu-bench --bin sub_bench --offline
+test -s target/BENCH_sub.json
 
 # M x N redistribution micro-bench: sequential vs overlapped pulls on
 # the threaded data plane (4x1, 8x8->1, 64->16), plus — via --procs —

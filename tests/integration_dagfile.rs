@@ -43,6 +43,7 @@ fn online_processing_dag_runs() {
             concurrent: true,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
@@ -84,6 +85,7 @@ fn climate_dag_runs_with_two_consumer_models() {
             concurrent: false,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),

@@ -48,6 +48,7 @@ fn interface_scenario(concurrent: bool) -> Scenario {
             concurrent,
             region: Some(slab),
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
@@ -97,6 +98,7 @@ fn tasks_outside_the_interface_do_not_couple() {
             concurrent: true,
             region: Some(slab),
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),

@@ -82,7 +82,7 @@ fn launch_p2p_keeps_ledger_identical_and_hub_data_free() {
         "{stdout}"
     );
     assert!(
-        stdout.contains("p2p:       0 PullData frames through the hub"),
+        stdout.contains("p2p:       0 PullData / 0 SubPush frames through the hub"),
         "{stdout}"
     );
     assert!(stdout.contains("verified:  0 cell mismatches"), "{stdout}");

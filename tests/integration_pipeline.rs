@@ -42,6 +42,7 @@ fn chain_scenario() -> Scenario {
         cores_per_node: 4,
         workflow,
         couplings: vec![mk("stage1", 1, 2), mk("stage2", 2, 3), mk("stage3", 3, 4)],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
@@ -97,6 +98,7 @@ fn four_dimensional_domain_coupling() {
             concurrent: true,
             region: None,
         }],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
@@ -152,6 +154,7 @@ fn diamond_with_concurrent_middle_wave() {
                 region: None,
             },
         ],
+        subscriptions: vec![],
         halo: 1,
         elem_bytes: 8,
         model: NetworkModel::jaguar(),
